@@ -1,0 +1,74 @@
+//! Whole-simulation benchmark: a CBR flow through the Fig. 1 network for
+//! a fixed simulated horizon, once per router kind. Measures simulator
+//! throughput (host time per simulated run).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpls_bench::scenarios::figure1_with_lsp;
+use mpls_core::ClockSpec;
+use mpls_net::traffic::{FlowSpec, TrafficPattern};
+use mpls_net::{QueueDiscipline, RouterKind, Simulation};
+use mpls_packet::ipv4::parse_addr;
+use mpls_router::SwTimingModel;
+use std::hint::black_box;
+
+fn flow() -> FlowSpec {
+    FlowSpec {
+        name: "cbr".into(),
+        ingress: 0,
+        src_addr: parse_addr("10.0.0.1").unwrap(),
+        dst_addr: parse_addr("192.168.1.5").unwrap(),
+        payload_bytes: 512,
+        precedence: 0,
+        pattern: TrafficPattern::Cbr { interval_ns: 100_000 },
+        start_ns: 0,
+        stop_ns: 10_000_000, // 100 packets over 10 ms
+        police: None,
+    }
+}
+
+fn bench_forwarding(c: &mut Criterion) {
+    let cp = figure1_with_lsp();
+    let mut g = c.benchmark_group("simulation_10ms");
+
+    let kinds: Vec<(&str, RouterKind)> = vec![
+        (
+            "embedded",
+            RouterKind::Embedded {
+                clock: ClockSpec::STRATIX_50MHZ,
+            },
+        ),
+        (
+            "software_hash",
+            RouterKind::SoftwareHash {
+                timing: SwTimingModel::default(),
+            },
+        ),
+        (
+            "software_linear",
+            RouterKind::SoftwareLinear {
+                timing: SwTimingModel::default(),
+            },
+        ),
+    ];
+
+    for (name, kind) in kinds {
+        g.bench_with_input(BenchmarkId::new(name, 1), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut sim = Simulation::build(
+                    &cp,
+                    kind,
+                    QueueDiscipline::Fifo { capacity: 64 },
+                    1,
+                );
+                sim.add_flow(flow());
+                let report = sim.run(100_000_000);
+                assert_eq!(report.flow("cbr").unwrap().delivered, 100);
+                black_box(report.queue_drops)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_forwarding);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Router-level comparison: one transit packet through the embedded
+//! router (cycle-accurate model) vs the software routers, measured in
+//! host time. The *simulated* latencies are reported by
+//! `cargo run -p mpls-bench --bin hw_vs_sw`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpls_bench::scenarios::figure1_with_lsp;
+use mpls_core::ClockSpec;
+use mpls_packet::{
+    CosBits, EtherType, EthernetFrame, Ipv4Header, LabelStack, MacAddr, MplsPacket,
+};
+use mpls_router::{Action, EmbeddedRouter, MplsForwarder, SoftwareRouter, SwTimingModel};
+use std::hint::black_box;
+
+fn transit_packet(cp: &mpls_control::ControlPlane) -> MplsPacket {
+    let lsp = cp.lsp(1).unwrap();
+    let mut p = MplsPacket::ipv4(
+        EthernetFrame {
+            dst: MacAddr::from_node(2, 0),
+            src: MacAddr::from_node(0, 0),
+            ethertype: EtherType::Ipv4,
+        },
+        Ipv4Header::new(0x0a000001, 0xc0a80105, Ipv4Header::PROTO_UDP, 200, 256),
+        bytes::Bytes::from(vec![0u8; 256]),
+    );
+    let mut s = LabelStack::new();
+    s.push_parts(lsp.hop_labels[0], CosBits::BEST_EFFORT, 200).unwrap();
+    p.splice_stack(s);
+    p
+}
+
+fn bench_routers(c: &mut Criterion) {
+    let cp = figure1_with_lsp();
+    let cfg = cp.config_for(2);
+    let role = mpls_control::RouterRole::Lsr;
+    let packet = transit_packet(&cp);
+
+    let mut g = c.benchmark_group("router_transit");
+
+    g.bench_with_input(BenchmarkId::new("embedded", 1), &(), |b, _| {
+        let mut r = EmbeddedRouter::new(2, role, &cfg, ClockSpec::STRATIX_50MHZ);
+        b.iter(|| {
+            let out = r.handle(black_box(packet.clone()));
+            assert!(matches!(out.action, Action::Forward { .. }));
+            black_box(out.latency_ns)
+        });
+    });
+
+    g.bench_with_input(BenchmarkId::new("software_hash", 1), &(), |b, _| {
+        let mut r: SoftwareRouter<mpls_dataplane::HashTable> =
+            SoftwareRouter::new(2, role, &cfg, SwTimingModel::default());
+        b.iter(|| {
+            let out = r.handle(black_box(packet.clone()));
+            assert!(matches!(out.action, Action::Forward { .. }));
+            black_box(out.latency_ns)
+        });
+    });
+
+    g.bench_with_input(BenchmarkId::new("software_linear", 1), &(), |b, _| {
+        let mut r: SoftwareRouter<mpls_dataplane::LinearTable> =
+            SoftwareRouter::new(2, role, &cfg, SwTimingModel::default());
+        b.iter(|| {
+            let out = r.handle(black_box(packet.clone()));
+            assert!(matches!(out.action, Action::Forward { .. }));
+            black_box(out.latency_ns)
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_routers);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Search scaling: host cost of the simulated hardware search (which the
+//! model executes in 3n+5 simulated cycles) against the software lookup
+//! strategies on identical occupancies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpls_bench::scenarios::loaded_modifier;
+use mpls_core::Level;
+use mpls_dataplane::lookup::{HashTable, LinearTable, LookupStrategy};
+use mpls_dataplane::LabelBinding;
+use mpls_packet::Label;
+use std::hint::black_box;
+
+fn binding() -> LabelBinding {
+    LabelBinding::new(Label::new(1).unwrap(), mpls_dataplane::LabelOp::Swap)
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("search");
+    for &n in &[16u64, 128, 1024] {
+        g.bench_with_input(BenchmarkId::new("hw_model_miss", n), &n, |b, &n| {
+            let mut m = loaded_modifier(n, n + 1);
+            m.user_pop(); // drain the scenario's preloaded stack entry
+            b.iter(|| black_box(m.lookup(Level::L2, 0xF_FFFE).cycles));
+        });
+
+        g.bench_with_input(BenchmarkId::new("sw_linear_miss", n), &n, |b, &n| {
+            let mut t = LinearTable::default();
+            for i in 0..n {
+                t.insert(i + 1, binding());
+            }
+            b.iter(|| black_box(t.get(0xF_FFFE)));
+        });
+
+        g.bench_with_input(BenchmarkId::new("sw_hash_miss", n), &n, |b, &n| {
+            let mut t = HashTable::default();
+            for i in 0..n {
+                t.insert(i + 1, binding());
+            }
+            b.iter(|| black_box(t.get(0xF_FFFE)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Micro-benchmarks of the wire formats and stack primitives: these are
+//! the per-packet fixed costs of any software MPLS implementation.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpls_packet::{
+    label::LabelStackEntry, CosBits, EtherType, EthernetFrame, Ipv4Header, Label, LabelStack,
+    MacAddr, MplsPacket,
+};
+use std::hint::black_box;
+
+fn sample_packet() -> MplsPacket {
+    let mut p = MplsPacket::ipv4(
+        EthernetFrame {
+            dst: MacAddr::from_node(1, 0),
+            src: MacAddr::from_node(2, 0),
+            ethertype: EtherType::Ipv4,
+        },
+        Ipv4Header::new(0x0a000001, 0xc0a80105, Ipv4Header::PROTO_UDP, 64, 512),
+        Bytes::from(vec![0u8; 512]),
+    );
+    let mut s = LabelStack::new();
+    s.push_parts(Label::new(100).unwrap(), CosBits::BEST_EFFORT, 64).unwrap();
+    s.push_parts(Label::new(200).unwrap(), CosBits::EXPEDITED, 64).unwrap();
+    p.splice_stack(s);
+    p
+}
+
+fn bench_stack_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stack_ops");
+
+    g.bench_function("entry_encode_decode", |b| {
+        let e = LabelStackEntry::new(Label::new(0xABCDE).unwrap(), CosBits::EXPEDITED, true, 17);
+        b.iter(|| {
+            let bits = black_box(e).to_bits();
+            black_box(LabelStackEntry::from_bits(bits))
+        });
+    });
+
+    g.bench_function("stack_push_swap_pop", |b| {
+        let mut s = LabelStack::new();
+        b.iter(|| {
+            s.push_parts(Label::new(100).unwrap(), CosBits::BEST_EFFORT, 64).unwrap();
+            s.swap(Label::new(200).unwrap()).unwrap();
+            black_box(s.pop().unwrap())
+        });
+    });
+
+    g.bench_function("packet_serialize", |b| {
+        let p = sample_packet();
+        b.iter(|| black_box(p.to_bytes().unwrap()));
+    });
+
+    g.bench_function("packet_parse", |b| {
+        let bytes = sample_packet().to_bytes().unwrap();
+        b.iter(|| black_box(MplsPacket::from_bytes(&bytes).unwrap()));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_stack_ops);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench over the Table 6 operations: host-side cost of
+//! simulating each hardware operation (the authoritative *cycle* numbers
+//! come from `cargo run -p mpls-bench --bin table6`; this measures how
+//! fast the model itself runs).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mpls_core::{IbOperation, LabelStackModifier, Level, RouterType};
+use mpls_packet::{label::LabelStackEntry, CosBits, Label};
+use std::hint::black_box;
+
+fn entry(label: u32) -> LabelStackEntry {
+    LabelStackEntry::new(Label::new(label).unwrap(), CosBits::BEST_EFFORT, false, 64)
+}
+
+fn bench_table6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table6");
+
+    g.bench_function("reset", |b| {
+        let mut m = LabelStackModifier::new(RouterType::Lsr);
+        b.iter(|| black_box(m.reset()));
+    });
+
+    g.bench_function("user_push_pop", |b| {
+        let mut m = LabelStackModifier::new(RouterType::Lsr);
+        b.iter(|| {
+            m.user_push(black_box(entry(42)));
+            black_box(m.user_pop())
+        });
+    });
+
+    g.bench_function("write_pair_x64", |b| {
+        b.iter_batched(
+            || LabelStackModifier::new(RouterType::Lsr),
+            |mut m| {
+                for i in 0..64u64 {
+                    m.write_pair(Level::L2, i, Label::new(1).unwrap(), IbOperation::Swap);
+                }
+                black_box(m.total_cycles())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.bench_function("swap_hit_first", |b| {
+        let mut m = LabelStackModifier::new(RouterType::Lsr);
+        m.write_pair(Level::L2, 7, Label::new(7).unwrap(), IbOperation::Swap);
+        b.iter(|| {
+            m.user_push(entry(7));
+            let r = m.update_stack(0, CosBits::BEST_EFFORT, 0);
+            m.user_pop();
+            black_box(r.cycles)
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_table6);
+criterion_main!(benches);

@@ -1,0 +1,183 @@
+//! Ablation studies of the design choices DESIGN.md calls out.
+//!
+//! 1. **Flow-cache ablation** (embedded ingress): first-packet slow path
+//!    (install + search) vs steady state, and the effect of flow-table
+//!    position — the linear search makes entry *order* a performance
+//!    knob, so placing hot flows early is a real optimization.
+//! 2. **Clock scaling**: the same cycle counts at different FPGA clocks,
+//!    mapping the architecture's throughput ceiling per occupancy.
+//! 3. **PHP ablation**: egress cycles with and without penultimate-hop
+//!    popping.
+//!
+//! Run: `cargo run --release -p mpls-bench --bin ablation`
+
+use mpls_bench::MarkdownTable;
+use mpls_control::{ControlPlane, LspRequest, RouterRole, Topology};
+use mpls_core::{table6, ClockSpec};
+use mpls_dataplane::ftn::Prefix;
+use mpls_packet::ipv4::parse_addr;
+use mpls_packet::{CosBits, EtherType, EthernetFrame, Ipv4Header, LabelStack, MacAddr, MplsPacket};
+use mpls_router::{Action, EmbeddedRouter, MplsForwarder};
+
+fn packet_to(addr: u32) -> MplsPacket {
+    MplsPacket::ipv4(
+        EthernetFrame {
+            dst: MacAddr::from_node(0, 0),
+            src: MacAddr::from_node(9, 0),
+            ethertype: EtherType::Ipv4,
+        },
+        Ipv4Header::new(0x0a000001, addr, Ipv4Header::PROTO_UDP, 64, 64),
+        bytes::Bytes::from_static(&[0u8; 64]),
+    )
+}
+
+fn plane(php: bool) -> ControlPlane {
+    let mut cp = ControlPlane::new(Topology::figure1_example());
+    let mut req = LspRequest::best_effort(
+        0,
+        1,
+        Prefix::new(parse_addr("192.168.1.0").unwrap(), 24),
+    );
+    req.php = php;
+    cp.establish_lsp(req).unwrap();
+    cp
+}
+
+fn flow_cache_ablation() {
+    println!("--- ablation 1: ingress flow cache ---\n");
+    let cp = plane(false);
+    let mut r = EmbeddedRouter::new(
+        0,
+        RouterRole::Ler,
+        &cp.config_for(0),
+        ClockSpec::STRATIX_50MHZ,
+    );
+
+    let mut t = MarkdownTable::new(&["event", "cycles", "explanation"]);
+    let base = parse_addr("192.168.1.0").unwrap();
+
+    // First packets of 8 distinct flows: install + search at increasing
+    // positions.
+    let mut first_costs = Vec::new();
+    for i in 1..=8u32 {
+        let before = r.stats().total_cycles;
+        let out = r.handle(packet_to(base + i));
+        assert!(matches!(out.action, Action::Forward { .. }));
+        first_costs.push(r.stats().total_cycles - before);
+    }
+    t.row(&[
+        "first packet, flow #1".into(),
+        first_costs[0].to_string(),
+        "install(3) + search hit at slot 1 (8) + push(6) + unload(3)".into(),
+    ]);
+    t.row(&[
+        "first packet, flow #8".into(),
+        first_costs[7].to_string(),
+        "install(3) + search hit at slot 8 (29) + push(6) + unload(3)".into(),
+    ]);
+
+    // Steady state: the same flows hit the cache at their slot position.
+    let before = r.stats().total_cycles;
+    let out = r.handle(packet_to(base + 1));
+    assert!(matches!(out.action, Action::Forward { .. }));
+    t.row(&[
+        "steady state, flow #1 (hot slot)".into(),
+        (r.stats().total_cycles - before).to_string(),
+        "search hit at slot 1 + push + unload".into(),
+    ]);
+    let before = r.stats().total_cycles;
+    r.handle(packet_to(base + 8));
+    t.row(&[
+        "steady state, flow #8 (cold slot)".into(),
+        (r.stats().total_cycles - before).to_string(),
+        "search hit at slot 8 + push + unload".into(),
+    ]);
+    println!("{}", t.render());
+    println!(
+        "insight: with a linear search, slot position is a latency knob — \
+         3 extra cycles per slot. Hot flows belong early in the level.\n"
+    );
+}
+
+fn clock_scaling() {
+    println!("--- ablation 2: clock scaling ---\n");
+    let mut t = MarkdownTable::new(&[
+        "clock",
+        "swap, n=16 (µs)",
+        "swap, n=256 (µs)",
+        "swap, n=1024 (µs)",
+        "max packets/s @ n=16",
+    ]);
+    for (name, mhz) in [("25 MHz", 25.0), ("50 MHz (paper)", 50.0), ("100 MHz", 100.0), ("200 MHz", 200.0)] {
+        let clock = ClockSpec {
+            freq_hz: mhz * 1e6,
+            device: "scaled",
+        };
+        let cost = |n: u64| {
+            table6::USER_PUSH + table6::search_hit_at(n) + table6::SWAP_FROM_IB + table6::USER_POP
+        };
+        let us16 = clock.cycles_to_us(cost(16));
+        t.row(&[
+            name.into(),
+            format!("{us16:.2}"),
+            format!("{:.2}", clock.cycles_to_us(cost(256))),
+            format!("{:.2}", clock.cycles_to_us(cost(1024))),
+            format!("{:.0}", 1e6 / us16),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "insight: the architecture is memory-bound, not logic-bound — \
+         every doubling of the clock halves latency uniformly because all \
+         costs are cycle-counted.\n"
+    );
+}
+
+fn php_ablation() {
+    println!("--- ablation 3: penultimate-hop popping ---\n");
+    let mut t = MarkdownTable::new(&["variant", "egress cycles/packet", "penultimate cycles/packet"]);
+
+    for (label, php) in [("no PHP", false), ("PHP", true)] {
+        let cp = plane(php);
+        let lsp = cp.lsp(1).unwrap().clone();
+        let mut penult = EmbeddedRouter::new(
+            3,
+            RouterRole::Lsr,
+            &cp.config_for(3),
+            ClockSpec::STRATIX_50MHZ,
+        );
+        let mut egress = EmbeddedRouter::new(
+            1,
+            RouterRole::Ler,
+            &cp.config_for(1),
+            ClockSpec::STRATIX_50MHZ,
+        );
+        // A labeled packet as it arrives at the penultimate hop.
+        let mut p = packet_to(parse_addr("192.168.1.5").unwrap());
+        let mut s = LabelStack::new();
+        s.push_parts(lsp.hop_labels[1], CosBits::BEST_EFFORT, 62).unwrap();
+        p.splice_stack(s);
+        let out = penult.handle(p);
+        let Action::Forward { packet, .. } = out.action else {
+            panic!("penultimate forwards");
+        };
+        let _ = egress.handle(packet);
+        t.row(&[
+            label.into(),
+            egress.stats().total_cycles.to_string(),
+            penult.stats().total_cycles.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "insight: PHP moves the pop into the penultimate LSR and takes the \
+         egress LER's modifier out of the forwarding path entirely (0 cycles)."
+    );
+}
+
+fn main() {
+    println!("=== Ablation studies ===\n");
+    flow_cache_ablation();
+    clock_scaling();
+    php_ablation();
+}

@@ -1,0 +1,93 @@
+//! EXT-2: the Fig. 2 packet exchange, end to end — an ingress LER labels
+//! layer-2 traffic, LSRs swap, the egress LER pops and delivers — with a
+//! per-hop latency budget from the cycle-accurate routers.
+//!
+//! Run: `cargo run -p mpls-bench --bin end_to_end`
+
+use mpls_bench::scenarios::figure1_with_lsp;
+use mpls_bench::MarkdownTable;
+use mpls_core::ClockSpec;
+use mpls_net::traffic::{FlowSpec, TrafficPattern};
+use mpls_net::{QueueDiscipline, RouterKind, Simulation};
+use mpls_packet::ipv4::parse_addr;
+
+fn main() {
+    let cp = figure1_with_lsp();
+    let lsp = cp.lsp(1).expect("scenario LSP").clone();
+    println!("=== EXT-2: Fig. 2 packet exchange over the embedded routers ===\n");
+    println!("LSP path : {:?}", lsp.path);
+    println!(
+        "labels   : {:?}",
+        lsp.hop_labels.iter().map(|l| l.value()).collect::<Vec<_>>()
+    );
+
+    let mut sim = Simulation::build(
+        &cp,
+        RouterKind::Embedded {
+            clock: ClockSpec::STRATIX_50MHZ,
+        },
+        QueueDiscipline::Fifo { capacity: 64 },
+        11,
+    );
+    sim.add_flow(FlowSpec {
+        name: "app".into(),
+        ingress: 0,
+        src_addr: parse_addr("10.0.0.1").unwrap(),
+        dst_addr: parse_addr("192.168.1.5").unwrap(),
+        payload_bytes: 512,
+        precedence: 0,
+        pattern: TrafficPattern::Cbr {
+            interval_ns: 1_000_000,
+        },
+        start_ns: 0,
+        stop_ns: 100_000_000, // 100 ms -> 100 packets
+        police: None,
+    });
+    let report = sim.run(1_000_000_000);
+    let s = report.flow("app").unwrap();
+
+    println!();
+    let mut t = MarkdownTable::new(&["metric", "value"]);
+    t.row(&["packets sent".into(), s.sent.to_string()]);
+    t.row(&["packets delivered".into(), s.delivered.to_string()]);
+    t.row(&["loss rate".into(), format!("{:.4}", s.loss_rate())]);
+    t.row(&[
+        "mean end-to-end delay".into(),
+        format!("{:.1} µs", s.mean_delay_ns() / 1000.0),
+    ]);
+    t.row(&[
+        "mean jitter".into(),
+        format!("{:.1} ns", s.mean_jitter_ns()),
+    ]);
+    t.row(&[
+        "throughput".into(),
+        format!("{:.1} kb/s", s.throughput_bps() / 1000.0),
+    ]);
+    println!("{}", t.render());
+
+    println!("per-hop data-plane budget (cycle-accurate):");
+    let mut t = MarkdownTable::new(&[
+        "node",
+        "role",
+        "packets",
+        "total cycles",
+        "mean ns/packet",
+        "flow installs",
+    ]);
+    for node in [0u32, 2, 3, 1] {
+        let rs = &report.routers[&node];
+        let role = cp.topology().node(node).unwrap();
+        t.row(&[
+            role.name.clone(),
+            format!("{:?}", role.role),
+            rs.packets_in.to_string(),
+            rs.total_cycles.to_string(),
+            format!("{:.1}", rs.mean_latency_ns()),
+            rs.flow_installs.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    assert_eq!(s.delivered, s.sent, "lossless at this load");
+    println!("Fig. 2 exchange reproduced: label pushed, swapped, popped; all packets delivered -- OK");
+}

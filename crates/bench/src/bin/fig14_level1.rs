@@ -1,0 +1,32 @@
+//! Regenerates paper Fig. 14: level-1 label pair writes (packet ids
+//! 600–609 → labels 500–509) followed by a lookup of packet id 604.
+//!
+//! Run: `cargo run -p mpls-bench --bin fig14_level1`
+
+use mpls_bench::figure_print::print_figure_run;
+use mpls_core::figures::figure14_level1;
+use mpls_core::modifier::Outcome;
+use mpls_core::IbOperation;
+use mpls_packet::Label;
+
+fn main() {
+    let run = figure14_level1();
+    print_figure_run(
+        "fig14",
+        "simulation for level 1 label pair entries",
+        &run,
+    );
+
+    // The paper's stated observations, checked live:
+    assert_eq!(
+        run.lookup.outcome,
+        Outcome::LookupHit {
+            label: Label::new(504).unwrap(),
+            op: IbOperation::Swap
+        },
+        "packet id 604 must yield label 504, operation 3 (swap)"
+    );
+    assert_eq!(run.lookup.cycles, 20, "hit at position 5: 3*5 + 5");
+    println!();
+    println!("paper check: label_out = 504, operation_out = 3, packetdiscard low  -- OK");
+}

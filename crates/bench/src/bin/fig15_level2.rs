@@ -1,0 +1,30 @@
+//! Regenerates paper Fig. 15: level-2 label pair writes (old labels 1–10
+//! → new labels 500–509) followed by a lookup of label 5.
+//!
+//! Run: `cargo run -p mpls-bench --bin fig15_level2`
+
+use mpls_bench::figure_print::print_figure_run;
+use mpls_core::figures::figure15_level2;
+use mpls_core::modifier::Outcome;
+use mpls_core::IbOperation;
+use mpls_packet::Label;
+
+fn main() {
+    let run = figure15_level2();
+    print_figure_run(
+        "fig15",
+        "simulation for level 2 label pair entries",
+        &run,
+    );
+
+    assert_eq!(
+        run.lookup.outcome,
+        Outcome::LookupHit {
+            label: Label::new(504).unwrap(),
+            op: IbOperation::Swap
+        },
+        "label 5 (slot 4) must yield label 504"
+    );
+    println!();
+    println!("paper check: w_index/r_index iterate, lookup_done pulses, no discard -- OK");
+}

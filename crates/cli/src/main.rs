@@ -1,0 +1,85 @@
+//! `mpls-sim` — run JSON-described MPLS scenarios.
+//!
+//! ```text
+//! mpls-sim run <scenario.json>          execute a scenario, print the report
+//! mpls-sim run --json <scenario.json>   ... as machine-readable JSON
+//! mpls-sim validate <scenario.json>     parse + signal without running traffic
+//! mpls-sim example                      print the bundled example scenario
+//! ```
+
+use mpls_cli::{format_report, Scenario};
+use std::path::Path;
+use std::process::ExitCode;
+
+const EXAMPLE: &str = include_str!("../scenarios/example.json");
+
+fn usage() -> ExitCode {
+    eprintln!("usage: mpls-sim <run|validate> <scenario.json> | mpls-sim example");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("example") => {
+            println!("{EXAMPLE}");
+            ExitCode::SUCCESS
+        }
+        Some(cmd @ ("run" | "validate")) => {
+            let json = args.iter().any(|a| a == "--json");
+            let Some(path) = args.iter().skip(1).find(|a| *a != "--json") else {
+                return usage();
+            };
+            let scenario = match Scenario::load(Path::new(path)) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if cmd == "validate" {
+                match scenario.build_control_plane() {
+                    Ok(cp) => {
+                        println!(
+                            "ok: {} nodes, {} links, {} LSPs signaled",
+                            cp.topology().nodes().len(),
+                            cp.topology().links().len(),
+                            cp.lsp_ids().len()
+                        );
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        ExitCode::FAILURE
+                    }
+                }
+            } else {
+                match scenario.run() {
+                    Ok(report) => {
+                        if json {
+                            match serde_json::to_string_pretty(&report) {
+                                Ok(text) => println!("{text}"),
+                                Err(e) => {
+                                    eprintln!("error: cannot serialize report: {e}");
+                                    return ExitCode::FAILURE;
+                                }
+                            }
+                        } else {
+                            println!(
+                                "simulated {:.1} ms\n",
+                                report.elapsed_ns as f64 / 1e6
+                            );
+                            print!("{}", format_report(&report));
+                        }
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        ExitCode::FAILURE
+                    }
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

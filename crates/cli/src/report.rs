@@ -1,0 +1,58 @@
+//! Plain-text report rendering for scenario runs.
+
+use mpls_net::SimReport;
+
+/// Formats the per-flow report plus link utilization as aligned text.
+pub fn format_report(report: &SimReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:>8} {:>10} {:>8} {:>12} {:>12} {:>12} {:>10}\n",
+        "flow", "sent", "delivered", "loss%", "delay p50", "delay p99", "jitter µs", "Mb/s"
+    ));
+    for (spec, s) in &report.flows {
+        let (p50, _, p99) = s.delay_hist.percentiles();
+        out.push_str(&format!(
+            "{:<12} {:>8} {:>10} {:>8.2} {:>9.1} µs {:>9.1} µs {:>12.2} {:>10.2}\n",
+            spec.name,
+            s.sent,
+            s.delivered,
+            s.loss_rate() * 100.0,
+            p50 / 1000.0,
+            p99 / 1000.0,
+            s.mean_jitter_ns() / 1000.0,
+            s.throughput_bps() / 1e6,
+        ));
+    }
+    out.push('\n');
+    out.push_str("links (utilization > 1%):\n");
+    for l in &report.links {
+        if l.utilization > 0.01 {
+            out.push_str(&format!(
+                "  {} -> {}: {:>5.1}% utilized, {} pkts, {} queue drops\n",
+                l.from,
+                l.to,
+                l.utilization * 100.0,
+                l.transmitted,
+                l.drops
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    #[test]
+    fn report_contains_flow_rows_and_links() {
+        let sc = Scenario::from_json(include_str!("../scenarios/example.json")).unwrap();
+        let report = sc.run().unwrap();
+        let text = format_report(&report);
+        assert!(text.contains("voip"));
+        assert!(text.contains("bulk"));
+        assert!(text.contains("->"));
+        assert!(text.contains("utilized"));
+    }
+}

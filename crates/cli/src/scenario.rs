@@ -1,0 +1,492 @@
+//! JSON scenario schema and loader.
+//!
+//! A scenario file describes a complete experiment: topology, attached
+//! prefixes, LSPs and tunnels to signal, traffic flows, router kind,
+//! queue discipline, seed and horizon. `mpls-sim run <file>` executes it
+//! and prints the per-flow report.
+
+use mpls_control::{ControlPlane, LinkSpec, LspRequest, RouterRole, Topology};
+use mpls_core::ClockSpec;
+use mpls_dataplane::ftn::Prefix;
+use mpls_net::policer::PolicerSpec;
+use mpls_net::traffic::{FlowSpec, TrafficPattern};
+use mpls_net::{QueueDiscipline, RouterKind, Simulation};
+use mpls_packet::ipv4::parse_addr;
+use mpls_packet::CosBits;
+use mpls_router::SwTimingModel;
+use serde::Deserialize;
+
+/// Errors while loading or running a scenario.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// I/O failure reading the file.
+    Io(std::io::Error),
+    /// Malformed JSON or schema violation.
+    Parse(serde_json::Error),
+    /// Semantically invalid content.
+    Invalid(String),
+    /// LSP/tunnel signaling failed.
+    Signal(String),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "cannot read scenario: {e}"),
+            Self::Parse(e) => write!(f, "cannot parse scenario: {e}"),
+            Self::Invalid(m) => write!(f, "invalid scenario: {m}"),
+            Self::Signal(m) => write!(f, "signaling failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+fn parse_prefix(s: &str) -> Result<Prefix, ScenarioError> {
+    let (addr, len) = s
+        .split_once('/')
+        .ok_or_else(|| ScenarioError::Invalid(format!("prefix {s:?} missing /len")))?;
+    let addr = parse_addr(addr)
+        .ok_or_else(|| ScenarioError::Invalid(format!("bad address in {s:?}")))?;
+    let len: u8 = len
+        .parse()
+        .map_err(|_| ScenarioError::Invalid(format!("bad length in {s:?}")))?;
+    if len > 32 {
+        return Err(ScenarioError::Invalid(format!("/{len} > 32 in {s:?}")));
+    }
+    Ok(Prefix::new(addr, len))
+}
+
+fn parse_ip(s: &str) -> Result<u32, ScenarioError> {
+    parse_addr(s).ok_or_else(|| ScenarioError::Invalid(format!("bad address {s:?}")))
+}
+
+/// Top-level scenario document.
+#[derive(Debug, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct Scenario {
+    /// Nodes of the topology.
+    pub nodes: Vec<NodeDecl>,
+    /// Bidirectional links.
+    pub links: Vec<LinkDecl>,
+    /// Prefixes attached behind LERs (delivered locally).
+    #[serde(default)]
+    pub attached: Vec<AttachDecl>,
+    /// LSPs to signal, in order.
+    #[serde(default)]
+    pub lsps: Vec<LspDecl>,
+    /// Traffic flows.
+    #[serde(default)]
+    pub flows: Vec<FlowDecl>,
+    /// Router implementation.
+    #[serde(default)]
+    pub router: RouterDecl,
+    /// Queue discipline.
+    #[serde(default)]
+    pub queue: QueueDecl,
+    /// RNG seed.
+    #[serde(default)]
+    pub seed: u64,
+    /// Simulated horizon in milliseconds.
+    #[serde(default = "default_horizon_ms")]
+    pub horizon_ms: u64,
+}
+
+fn default_horizon_ms() -> u64 {
+    1000
+}
+
+/// One node.
+#[derive(Debug, Deserialize)]
+pub struct NodeDecl {
+    /// Node id.
+    pub id: u32,
+    /// `"ler"` or `"lsr"`.
+    pub role: String,
+    /// Display name.
+    #[serde(default)]
+    pub name: Option<String>,
+}
+
+/// One bidirectional link.
+#[derive(Debug, Deserialize)]
+pub struct LinkDecl {
+    /// Endpoint A.
+    pub a: u32,
+    /// Endpoint B.
+    pub b: u32,
+    /// Routing cost (default 1).
+    #[serde(default = "one")]
+    pub cost: u32,
+    /// Capacity in Mb/s.
+    pub bandwidth_mbps: u64,
+    /// One-way propagation delay in microseconds.
+    pub delay_us: u64,
+}
+
+fn one() -> u32 {
+    1
+}
+
+/// A locally attached prefix.
+#[derive(Debug, Deserialize)]
+pub struct AttachDecl {
+    /// The owning LER.
+    pub node: u32,
+    /// Prefix, e.g. `"192.168.1.0/24"`.
+    pub prefix: String,
+}
+
+/// One LSP request.
+#[derive(Debug, Deserialize)]
+pub struct LspDecl {
+    /// Ingress LER.
+    pub ingress: u32,
+    /// Egress LER.
+    pub egress: u32,
+    /// FEC prefix.
+    pub fec: String,
+    /// CoS 0–7 (default 0).
+    #[serde(default)]
+    pub cos: u8,
+    /// Reserved bandwidth in Mb/s (default 0 = best effort).
+    #[serde(default)]
+    pub bandwidth_mbps: u64,
+    /// Pinned route (node ids), optional.
+    #[serde(default)]
+    pub explicit_route: Option<Vec<u32>>,
+    /// Penultimate-hop popping.
+    #[serde(default)]
+    pub php: bool,
+}
+
+/// One traffic flow.
+#[derive(Debug, Deserialize)]
+pub struct FlowDecl {
+    /// Flow name for the report.
+    pub name: String,
+    /// Ingress LER.
+    pub ingress: u32,
+    /// Source address.
+    pub src: String,
+    /// Destination address.
+    pub dst: String,
+    /// Payload bytes per packet.
+    pub payload_bytes: usize,
+    /// IP precedence 0–7 (default 0).
+    #[serde(default)]
+    pub precedence: u8,
+    /// Traffic pattern.
+    pub pattern: PatternDecl,
+    /// Start time, ms (default 0).
+    #[serde(default)]
+    pub start_ms: u64,
+    /// Stop time, ms.
+    pub stop_ms: u64,
+    /// Optional edge policer.
+    #[serde(default)]
+    pub police: Option<PoliceDecl>,
+}
+
+/// Traffic pattern declaration.
+#[derive(Debug, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum PatternDecl {
+    /// Constant bit rate.
+    Cbr {
+        /// Inter-packet gap in microseconds.
+        interval_us: u64,
+    },
+    /// Poisson arrivals.
+    Poisson {
+        /// Mean inter-packet gap in microseconds.
+        mean_interval_us: u64,
+    },
+    /// Bursty on/off.
+    OnOff {
+        /// Burst length (µs).
+        on_us: u64,
+        /// Silence length (µs).
+        off_us: u64,
+        /// In-burst gap (µs).
+        interval_us: u64,
+    },
+}
+
+/// Edge policer declaration.
+#[derive(Debug, Deserialize)]
+pub struct PoliceDecl {
+    /// Committed rate in Mb/s.
+    pub rate_mbps: u64,
+    /// Burst tolerance in bytes.
+    pub burst_bytes: u64,
+}
+
+/// Router implementation declaration.
+#[derive(Debug, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum RouterDecl {
+    /// The cycle-accurate embedded router.
+    Embedded {
+        /// FPGA clock in MHz (default 50).
+        #[serde(default = "fifty")]
+        clock_mhz: f64,
+    },
+    /// Software router with hash lookups.
+    SoftwareHash,
+    /// Software router with linear lookups.
+    SoftwareLinear,
+}
+
+fn fifty() -> f64 {
+    50.0
+}
+
+impl Default for RouterDecl {
+    fn default() -> Self {
+        RouterDecl::Embedded { clock_mhz: 50.0 }
+    }
+}
+
+/// Queue discipline declaration.
+#[derive(Debug, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum QueueDecl {
+    /// Tail-drop FIFO.
+    Fifo {
+        /// Capacity in packets.
+        capacity: usize,
+    },
+    /// Strict priority by CoS.
+    CosPriority {
+        /// Capacity per class.
+        per_class: usize,
+    },
+    /// Random early detection.
+    Red {
+        /// Hard capacity.
+        capacity: usize,
+        /// Early-drop onset.
+        min_th: usize,
+        /// Full-drop threshold.
+        max_th: usize,
+        /// Max drop probability in percent.
+        max_p_percent: u8,
+    },
+}
+
+impl Default for QueueDecl {
+    fn default() -> Self {
+        QueueDecl::Fifo { capacity: 64 }
+    }
+}
+
+impl Scenario {
+    /// Parses a scenario from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, ScenarioError> {
+        serde_json::from_str(text).map_err(ScenarioError::Parse)
+    }
+
+    /// Loads a scenario from a file.
+    pub fn load(path: &std::path::Path) -> Result<Self, ScenarioError> {
+        let text = std::fs::read_to_string(path).map_err(ScenarioError::Io)?;
+        Self::from_json(&text)
+    }
+
+    /// Builds the control plane: topology, attachments, LSPs.
+    pub fn build_control_plane(&self) -> Result<ControlPlane, ScenarioError> {
+        let mut topo = Topology::new();
+        for n in &self.nodes {
+            let role = match n.role.to_ascii_lowercase().as_str() {
+                "ler" => RouterRole::Ler,
+                "lsr" => RouterRole::Lsr,
+                other => {
+                    return Err(ScenarioError::Invalid(format!(
+                        "node {}: unknown role {other:?} (use \"ler\" or \"lsr\")",
+                        n.id
+                    )))
+                }
+            };
+            let name = n.name.clone().unwrap_or_else(|| format!("node-{}", n.id));
+            topo.add_node(n.id, role, name);
+        }
+        for l in &self.links {
+            topo.add_link(LinkSpec {
+                a: l.a,
+                b: l.b,
+                cost: l.cost,
+                bandwidth_bps: l.bandwidth_mbps * 1_000_000,
+                delay_ns: l.delay_us * 1_000,
+            });
+        }
+        let mut cp = ControlPlane::new(topo);
+        for a in &self.attached {
+            cp.attach_prefix(a.node, parse_prefix(&a.prefix)?);
+        }
+        for (i, l) in self.lsps.iter().enumerate() {
+            let req = LspRequest {
+                ingress: l.ingress,
+                egress: l.egress,
+                fec: parse_prefix(&l.fec)?,
+                cos: CosBits::new(l.cos)
+                    .map_err(|e| ScenarioError::Invalid(format!("lsp #{i}: {e}")))?,
+                bandwidth_bps: l.bandwidth_mbps * 1_000_000,
+                explicit_route: l.explicit_route.clone(),
+                php: l.php,
+            };
+            cp.establish_lsp(req)
+                .map_err(|e| ScenarioError::Signal(format!("lsp #{i}: {e:?}")))?;
+        }
+        Ok(cp)
+    }
+
+    /// The router kind.
+    pub fn router_kind(&self) -> RouterKind {
+        match self.router {
+            RouterDecl::Embedded { clock_mhz } => RouterKind::Embedded {
+                clock: ClockSpec {
+                    freq_hz: clock_mhz * 1e6,
+                    device: "scenario clock",
+                },
+            },
+            RouterDecl::SoftwareHash => RouterKind::SoftwareHash {
+                timing: SwTimingModel::default(),
+            },
+            RouterDecl::SoftwareLinear => RouterKind::SoftwareLinear {
+                timing: SwTimingModel::default(),
+            },
+        }
+    }
+
+    /// The queue discipline.
+    pub fn queue_discipline(&self) -> QueueDiscipline {
+        match self.queue {
+            QueueDecl::Fifo { capacity } => QueueDiscipline::Fifo { capacity },
+            QueueDecl::CosPriority { per_class } => QueueDiscipline::CosPriority { per_class },
+            QueueDecl::Red {
+                capacity,
+                min_th,
+                max_th,
+                max_p_percent,
+            } => QueueDiscipline::Red {
+                capacity,
+                min_th,
+                max_th,
+                max_p_percent,
+            },
+        }
+    }
+
+    /// Converts the flow declarations.
+    pub fn flow_specs(&self) -> Result<Vec<FlowSpec>, ScenarioError> {
+        self.flows
+            .iter()
+            .map(|f| {
+                Ok(FlowSpec {
+                    name: f.name.clone(),
+                    ingress: f.ingress,
+                    src_addr: parse_ip(&f.src)?,
+                    dst_addr: parse_ip(&f.dst)?,
+                    payload_bytes: f.payload_bytes,
+                    precedence: f.precedence & 0x7,
+                    pattern: match f.pattern {
+                        PatternDecl::Cbr { interval_us } => TrafficPattern::Cbr {
+                            interval_ns: interval_us * 1_000,
+                        },
+                        PatternDecl::Poisson { mean_interval_us } => TrafficPattern::Poisson {
+                            mean_interval_ns: mean_interval_us * 1_000,
+                        },
+                        PatternDecl::OnOff {
+                            on_us,
+                            off_us,
+                            interval_us,
+                        } => TrafficPattern::OnOff {
+                            on_ns: on_us * 1_000,
+                            off_ns: off_us * 1_000,
+                            interval_ns: interval_us * 1_000,
+                        },
+                    },
+                    start_ns: f.start_ms * 1_000_000,
+                    stop_ns: f.stop_ms * 1_000_000,
+                    police: f.police.as_ref().map(|p| PolicerSpec {
+                        rate_bps: p.rate_mbps * 1_000_000,
+                        burst_bytes: p.burst_bytes,
+                    }),
+                })
+            })
+            .collect()
+    }
+
+    /// Builds and runs the whole scenario.
+    pub fn run(&self) -> Result<mpls_net::SimReport, ScenarioError> {
+        let cp = self.build_control_plane()?;
+        let mut sim = Simulation::build(
+            &cp,
+            self.router_kind(),
+            self.queue_discipline(),
+            self.seed,
+        );
+        for f in self.flow_specs()? {
+            sim.add_flow(f);
+        }
+        // Generous drain margin past the horizon.
+        Ok(sim.run(self.horizon_ms * 1_000_000 + 500_000_000))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE: &str = include_str!("../scenarios/example.json");
+
+    #[test]
+    fn example_scenario_parses_and_runs() {
+        let sc = Scenario::from_json(EXAMPLE).expect("example parses");
+        let report = sc.run().expect("example runs");
+        let voip = report.flow("voip").expect("voip flow present");
+        assert!(voip.sent > 0);
+        assert_eq!(voip.sent, voip.delivered + voip.router_dropped + voip.queue_dropped + voip.policer_dropped);
+    }
+
+    #[test]
+    fn bad_role_is_rejected() {
+        let mut sc = Scenario::from_json(EXAMPLE).unwrap();
+        sc.nodes[0].role = "switch".into();
+        assert!(matches!(
+            sc.build_control_plane(),
+            Err(ScenarioError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn bad_prefix_is_rejected() {
+        assert!(parse_prefix("10.0.0.0").is_err());
+        assert!(parse_prefix("10.0.0.0/33").is_err());
+        assert!(parse_prefix("10.0.0/8").is_err());
+        assert!(parse_prefix("10.0.0.0/8").is_ok());
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected() {
+        let bad = r#"{"nodes": [], "links": [], "warp_drive": true}"#;
+        assert!(matches!(
+            Scenario::from_json(bad),
+            Err(ScenarioError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let minimal = r#"{
+            "nodes": [{"id": 0, "role": "ler"}, {"id": 1, "role": "ler"}],
+            "links": [{"a": 0, "b": 1, "bandwidth_mbps": 100, "delay_us": 100}]
+        }"#;
+        let sc = Scenario::from_json(minimal).unwrap();
+        assert_eq!(sc.horizon_ms, 1000);
+        assert!(matches!(sc.router, RouterDecl::Embedded { .. }));
+        assert!(matches!(sc.queue, QueueDecl::Fifo { capacity: 64 }));
+        let report = sc.run().unwrap();
+        assert!(report.flows.is_empty());
+    }
+}

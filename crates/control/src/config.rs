@@ -1,0 +1,174 @@
+//! The per-node forwarding configuration the control plane downloads into
+//! the data planes.
+//!
+//! This is the boundary of the paper's Fig. 6: "Routing functionality
+//! interacts with the MPLS \[architecture\] by reading and storing
+//! information in the label stack modifier." A [`BindingEntry`] becomes a
+//! `write_pair` into the hardware information base or a `bind` into the
+//! software FIB; [`NextHopEntry`] and [`FecEntry`] configure the
+//! ingress/egress packet processing around the modifier.
+
+use crate::topology::NodeId;
+use mpls_dataplane::ftn::Prefix;
+use mpls_dataplane::LabelOp;
+use mpls_packet::{CosBits, Label};
+use serde::{Deserialize, Serialize};
+
+/// One information-base label pair at one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BindingEntry {
+    /// The node to program.
+    pub node: NodeId,
+    /// Information-base level (1–3).
+    pub level: u8,
+    /// Packet identifier (level 1) or incoming label (levels 2–3).
+    pub key: u64,
+    /// Replacement/pushed label (ignored for pop).
+    pub new_label: Label,
+    /// The prescribed operation.
+    pub op: LabelOp,
+}
+
+/// Where a processed packet goes next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Hop {
+    /// Forward to an adjacent node.
+    Node(NodeId),
+    /// Deliver to the attached layer-2 network (egress LER).
+    Local,
+}
+
+/// Maps the *outgoing* top label to the next hop at one node. The egress
+/// packet processing module consults this after the stack update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NextHopEntry {
+    /// The node to program.
+    pub node: NodeId,
+    /// The label on top of the stack after the update; `None` keys the
+    /// unlabeled case (stack popped empty, or IP fallthrough).
+    pub label: Option<Label>,
+    /// Where to send the packet.
+    pub next: Hop,
+}
+
+/// Ingress FEC classification at an LER: packets matching `prefix` enter
+/// the LSP whose first label is `push_label`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FecEntry {
+    /// The ingress LER.
+    pub node: NodeId,
+    /// Destination prefix defining the FEC.
+    pub prefix: Prefix,
+    /// First-hop label of the LSP.
+    pub push_label: Label,
+    /// CoS assigned to packets of this FEC.
+    pub cos: CosBits,
+}
+
+/// An IP route consulted when a packet has no label: local delivery of
+/// attached prefixes, or plain IP forwarding after penultimate-hop
+/// popping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IpRoute {
+    /// The node holding the route.
+    pub node: NodeId,
+    /// Destination prefix.
+    pub prefix: Prefix,
+    /// Where matching unlabeled packets go.
+    pub next: Hop,
+}
+
+/// Everything one node needs: produced by
+/// [`crate::ControlPlane::config_for`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NodeConfig {
+    /// Information-base label pairs.
+    pub bindings: Vec<BindingEntry>,
+    /// Post-update next-hop table.
+    pub next_hops: Vec<NextHopEntry>,
+    /// Ingress FEC classification (LERs only).
+    pub fecs: Vec<FecEntry>,
+    /// Unlabeled-packet routes (longest prefix wins).
+    pub ip_routes: Vec<IpRoute>,
+}
+
+impl NodeConfig {
+    /// True when nothing is programmed.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+            && self.next_hops.is_empty()
+            && self.fecs.is_empty()
+            && self.ip_routes.is_empty()
+    }
+
+    /// Longest-prefix-match over the IP routes.
+    pub fn ip_route_for(&self, addr: u32) -> Option<Hop> {
+        self.ip_routes
+            .iter()
+            .filter(|r| r.prefix.contains(addr))
+            .max_by_key(|r| r.prefix.len)
+            .map(|r| r.next)
+    }
+
+    /// Finds the next hop for an outgoing top label.
+    pub fn next_hop_for(&self, label: Option<Label>) -> Option<Hop> {
+        self.next_hops
+            .iter()
+            .find(|e| e.label == label)
+            .map(|e| e.next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_hop_lookup() {
+        let l = Label::new(42).unwrap();
+        let cfg = NodeConfig {
+            bindings: vec![],
+            next_hops: vec![
+                NextHopEntry {
+                    node: 1,
+                    label: Some(l),
+                    next: Hop::Node(2),
+                },
+                NextHopEntry {
+                    node: 1,
+                    label: None,
+                    next: Hop::Local,
+                },
+            ],
+            fecs: vec![],
+            ip_routes: vec![],
+        };
+        assert_eq!(cfg.next_hop_for(Some(l)), Some(Hop::Node(2)));
+        assert_eq!(cfg.next_hop_for(None), Some(Hop::Local));
+        assert_eq!(cfg.next_hop_for(Some(Label::new(1).unwrap())), None);
+        assert!(!cfg.is_empty());
+        assert!(NodeConfig::default().is_empty());
+    }
+
+    #[test]
+    fn ip_route_longest_prefix_wins() {
+        let cfg = NodeConfig {
+            ip_routes: vec![
+                IpRoute {
+                    node: 1,
+                    prefix: Prefix::new(0x0a00_0000, 8),
+                    next: Hop::Node(9),
+                },
+                IpRoute {
+                    node: 1,
+                    prefix: Prefix::new(0x0a01_0000, 16),
+                    next: Hop::Local,
+                },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(cfg.ip_route_for(0x0a01_0203), Some(Hop::Local));
+        assert_eq!(cfg.ip_route_for(0x0a02_0203), Some(Hop::Node(9)));
+        assert_eq!(cfg.ip_route_for(0x0b00_0001), None);
+    }
+}

@@ -1,0 +1,186 @@
+//! Constrained shortest-path-first computation.
+//!
+//! "TE is best facilitated by explicit path specification" (paper §1);
+//! CSPF is how RSVP-TE/CR-LDP heads compute those explicit paths: plain
+//! Dijkstra over the routing metric, pruning links that violate the
+//! constraints (insufficient unreserved bandwidth, administratively
+//! excluded nodes/links).
+
+use crate::topology::{LinkId, NodeId, Topology};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Path-computation constraints.
+#[derive(Debug, Clone, Default)]
+pub struct Constraint {
+    /// Minimum unreserved bandwidth each traversed link must offer.
+    pub min_bandwidth_bps: u64,
+    /// Links that must not be used.
+    pub exclude_links: HashSet<LinkId>,
+    /// Nodes that must not be traversed (endpoints exempt).
+    pub exclude_nodes: HashSet<NodeId>,
+}
+
+/// Why no path was found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathError {
+    /// Source or destination does not exist.
+    UnknownNode(NodeId),
+    /// The constraint set disconnects the endpoints.
+    NoPath,
+}
+
+/// Computes the minimum-cost path from `from` to `to` subject to
+/// `constraint`, where a link's unreserved bandwidth is supplied by
+/// `available` (the signaling layer's reservation ledger). Returns the
+/// node sequence including both endpoints.
+pub fn shortest_path(
+    topo: &Topology,
+    from: NodeId,
+    to: NodeId,
+    constraint: &Constraint,
+    available: &dyn Fn(LinkId) -> u64,
+) -> Result<Vec<NodeId>, PathError> {
+    if topo.node(from).is_none() {
+        return Err(PathError::UnknownNode(from));
+    }
+    if topo.node(to).is_none() {
+        return Err(PathError::UnknownNode(to));
+    }
+    if from == to {
+        return Ok(vec![from]);
+    }
+
+    let mut dist: HashMap<NodeId, u64> = HashMap::new();
+    let mut prev: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut heap = BinaryHeap::new();
+    dist.insert(from, 0);
+    heap.push(Reverse((0u64, from)));
+
+    while let Some(Reverse((d, node))) = heap.pop() {
+        if node == to {
+            break;
+        }
+        if d > dist.get(&node).copied().unwrap_or(u64::MAX) {
+            continue;
+        }
+        for &(next, link) in topo.neighbors(node) {
+            if constraint.exclude_links.contains(&link) {
+                continue;
+            }
+            if next != to && next != from && constraint.exclude_nodes.contains(&next) {
+                continue;
+            }
+            let spec = topo.link(link).expect("adjacency references valid link");
+            if available(link) < constraint.min_bandwidth_bps {
+                continue;
+            }
+            let nd = d + spec.cost as u64;
+            if nd < dist.get(&next).copied().unwrap_or(u64::MAX) {
+                dist.insert(next, nd);
+                prev.insert(next, node);
+                heap.push(Reverse((nd, next)));
+            }
+        }
+    }
+
+    if !prev.contains_key(&to) {
+        return Err(PathError::NoPath);
+    }
+    let mut path = vec![to];
+    let mut cur = to;
+    while cur != from {
+        cur = prev[&cur];
+        path.push(cur);
+    }
+    path.reverse();
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    fn full_bw(topo: &Topology) -> impl Fn(LinkId) -> u64 + '_ {
+        |l| topo.link(l).map(|s| s.bandwidth_bps).unwrap_or(0)
+    }
+
+    #[test]
+    fn picks_cheapest_path() {
+        let t = Topology::figure1_example();
+        let p = shortest_path(&t, 0, 1, &Constraint::default(), &full_bw(&t)).unwrap();
+        assert_eq!(p, vec![0, 2, 3, 1], "north path has cost 3 vs south 9");
+    }
+
+    #[test]
+    fn trivial_path_to_self() {
+        let t = Topology::figure1_example();
+        let p = shortest_path(&t, 3, 3, &Constraint::default(), &full_bw(&t)).unwrap();
+        assert_eq!(p, vec![3]);
+    }
+
+    #[test]
+    fn bandwidth_constraint_diverts_to_south() {
+        let t = Topology::figure1_example();
+        // Ask for more than the north path offers once 950 Mb/s is gone.
+        let c = Constraint {
+            min_bandwidth_bps: 200_000_000,
+            ..Default::default()
+        };
+        // Pretend the north links have only 10 Mb/s unreserved.
+        let avail = |l: LinkId| {
+            let s = t.link(l).unwrap();
+            if s.cost == 1 {
+                10_000_000
+            } else {
+                s.bandwidth_bps
+            }
+        };
+        // South links offer only 100 Mb/s capacity, so a 200 Mb/s request
+        // fits nowhere.
+        assert_eq!(
+            shortest_path(&t, 0, 1, &c, &avail),
+            Err(PathError::NoPath)
+        );
+        // A 50 Mb/s request fits the south path.
+        let c = Constraint {
+            min_bandwidth_bps: 50_000_000,
+            ..Default::default()
+        };
+        let p = shortest_path(&t, 0, 1, &c, &avail).unwrap();
+        assert_eq!(p, vec![0, 4, 5, 1]);
+    }
+
+    #[test]
+    fn node_exclusion_reroutes() {
+        let t = Topology::figure1_example();
+        let mut c = Constraint::default();
+        c.exclude_nodes.insert(2);
+        let p = shortest_path(&t, 0, 1, &c, &full_bw(&t)).unwrap();
+        assert_eq!(p, vec![0, 4, 5, 1]);
+    }
+
+    #[test]
+    fn link_exclusion_reroutes() {
+        let t = Topology::figure1_example();
+        let mut c = Constraint::default();
+        c.exclude_links.insert(t.link_between(2, 3).unwrap());
+        let p = shortest_path(&t, 0, 1, &c, &full_bw(&t)).unwrap();
+        assert_eq!(p, vec![0, 4, 5, 1]);
+    }
+
+    #[test]
+    fn disconnected_is_no_path() {
+        let mut t = Topology::figure1_example();
+        t.add_node(99, crate::topology::RouterRole::Lsr, "island");
+        assert_eq!(
+            shortest_path(&t, 0, 99, &Constraint::default(), &full_bw(&t)),
+            Err(PathError::NoPath)
+        );
+        assert_eq!(
+            shortest_path(&t, 0, 100, &Constraint::default(), &full_bw(&t)),
+            Err(PathError::UnknownNode(100))
+        );
+    }
+}

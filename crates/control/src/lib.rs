@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! The MPLS control plane — the "routing functionality" the paper assigns
+//! to software (§3: "The routing functionality is assumed to be software
+//! based"; §2 lists label path creation and label distribution as its
+//! jobs).
+//!
+//! The paper declares the protocols themselves (LDP, RSVP-TE, CR-LDP)
+//! out of scope, so this crate models their *outcome*, not their wire
+//! encodings:
+//!
+//! * [`topology`] — the network graph of Fig. 1: LERs at the edge, LSRs in
+//!   the core, links with cost, capacity and propagation delay.
+//! * [`cspf`] — constrained shortest-path computation (the traffic-
+//!   engineering ingredient: explicit paths avoiding congested links).
+//! * [`label_alloc`] — per-node downstream label allocation.
+//! * [`signaling`] — ordered LSP establishment with bandwidth admission
+//!   control (the CR-LDP/RSVP-TE role), hierarchical tunnels (Fig. 3) and
+//!   generation of the per-node forwarding configuration that programs
+//!   either the hardware information base or the software FIB.
+
+pub mod config;
+pub mod cspf;
+pub mod label_alloc;
+pub mod signaling;
+pub mod topology;
+
+pub use config::{BindingEntry, FecEntry, Hop, IpRoute, NextHopEntry, NodeConfig};
+pub use cspf::{Constraint, PathError};
+pub use label_alloc::LabelAllocator;
+pub use signaling::{ControlPlane, LspId, LspRequest, SignalError, TunnelId};
+pub use topology::{LinkId, LinkSpec, NodeId, NodeSpec, RouterRole, Topology};

@@ -1,0 +1,987 @@
+//! LSP establishment, bandwidth admission control and hierarchical
+//! tunnels.
+//!
+//! Models the outcome of ordered downstream-on-demand label distribution
+//! (LDP/CR-LDP): the egress end of a path allocates the label it wants to
+//! receive, labels propagate upstream, and every node on the path gets
+//! forwarding state. Bandwidth reservations implement the admission-
+//! control half of the integrated-services QoS story (§1, §2).
+//!
+//! # Tunnels and the hardware push operation
+//!
+//! The hardware push re-pushes the removed top entry *unchanged* beneath
+//! the new label (paper Fig. 9: `PUSH OLD`, `PUSH NEW`), so a label that
+//! enters a tunnel emerges from it with the same value. Two consequences,
+//! both encoded here:
+//!
+//! * tunnels run penultimate-hop popping internally, so the tunnel tail
+//!   receives the inner label on top and handles it as an ordinary
+//!   transit hop;
+//! * label values must be unique network-wide (not merely per node) for
+//!   nested LSPs, so the control plane allocates from one shared space by
+//!   default — strictly more conservative than per-platform spaces, never
+//!   incorrect.
+
+use crate::config::{BindingEntry, FecEntry, Hop, IpRoute, NextHopEntry, NodeConfig};
+use crate::cspf::{shortest_path, Constraint, PathError};
+use crate::label_alloc::LabelAllocator;
+use crate::topology::{LinkId, NodeId, RouterRole, Topology};
+use mpls_dataplane::ftn::Prefix;
+use mpls_dataplane::LabelOp;
+use mpls_packet::{CosBits, Label};
+use std::collections::HashMap;
+
+/// LSP identifier.
+pub type LspId = u32;
+/// Tunnel identifier.
+pub type TunnelId = u32;
+
+/// Virtual node id used as the shared label space (see the module docs).
+const GLOBAL_SPACE: NodeId = NodeId::MAX;
+
+/// A request to establish an LSP between two LERs.
+#[derive(Debug, Clone)]
+pub struct LspRequest {
+    /// Ingress LER.
+    pub ingress: NodeId,
+    /// Egress LER.
+    pub egress: NodeId,
+    /// The FEC: packets to this prefix ride the LSP.
+    pub fec: Prefix,
+    /// CoS stamped on the pushed label.
+    pub cos: CosBits,
+    /// Bandwidth to reserve on every traversed link (0 = best effort).
+    pub bandwidth_bps: u64,
+    /// Pin the path explicitly (CR-LDP/RSVP-TE explicit route); `None`
+    /// lets CSPF choose.
+    pub explicit_route: Option<Vec<NodeId>>,
+    /// Penultimate-hop popping: the last LSR pops and the egress receives
+    /// plain IP.
+    pub php: bool,
+}
+
+impl LspRequest {
+    /// A best-effort request with CSPF routing and no PHP.
+    pub fn best_effort(ingress: NodeId, egress: NodeId, fec: Prefix) -> Self {
+        Self {
+            ingress,
+            egress,
+            fec,
+            cos: CosBits::BEST_EFFORT,
+            bandwidth_bps: 0,
+            explicit_route: None,
+            php: false,
+        }
+    }
+}
+
+/// Why signaling failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SignalError {
+    /// Path computation failed.
+    Path(PathError),
+    /// A link on the requested route lacks unreserved bandwidth.
+    InsufficientBandwidth {
+        /// The saturated link.
+        link: LinkId,
+    },
+    /// Ingress/egress of an LSP must be LERs.
+    NotALer(NodeId),
+    /// The explicit route is not a connected path with the right
+    /// endpoints.
+    BadExplicitRoute,
+    /// No such tunnel.
+    UnknownTunnel(TunnelId),
+    /// A tunnel needs at least one interior LSR.
+    TunnelTooShort,
+    /// The label space ran out.
+    LabelSpaceExhausted,
+    /// No such LSP.
+    UnknownLsp(LspId),
+    /// An explicit route traverses a failed link.
+    LinkFailed(LinkId),
+}
+
+/// A fully signaled LSP: its logical path, per-hop labels, and the
+/// forwarding state it contributed.
+#[derive(Debug, Clone)]
+pub struct SignaledLsp {
+    /// Identifier.
+    pub id: LspId,
+    /// The request that created it.
+    pub request: LspRequest,
+    /// Logical node path (a tunnel collapses to the head–tail adjacency).
+    pub path: Vec<NodeId>,
+    /// `hop_labels[i]` travels on the logical hop `path[i] -> path[i+1]`.
+    pub hop_labels: Vec<Label>,
+    /// Physical links reserved.
+    pub reserved_links: Vec<LinkId>,
+    bindings: Vec<BindingEntry>,
+    next_hops: Vec<NextHopEntry>,
+    fecs: Vec<FecEntry>,
+    ip_routes: Vec<IpRoute>,
+}
+
+/// A signaled hierarchical tunnel (an LSP between two core nodes carrying
+/// other LSPs — paper Fig. 3).
+#[derive(Debug, Clone)]
+pub struct Tunnel {
+    /// Identifier.
+    pub id: TunnelId,
+    /// Tunnel head (performs the push).
+    pub head: NodeId,
+    /// Tunnel tail (receives the inner label after interior PHP).
+    pub tail: NodeId,
+    /// Physical path including head and tail.
+    pub path: Vec<NodeId>,
+    /// Label pushed at the head (the first interior hop's label).
+    pub entry_label: Label,
+    /// Per-hop labels along the interior.
+    pub hop_labels: Vec<Label>,
+    /// Physical links reserved.
+    pub reserved_links: Vec<LinkId>,
+    bindings: Vec<BindingEntry>,
+    next_hops: Vec<NextHopEntry>,
+}
+
+/// The control plane: owns the topology, the label space, the bandwidth
+/// ledger and all signaled state.
+#[derive(Debug, Clone)]
+pub struct ControlPlane {
+    topo: Topology,
+    alloc: LabelAllocator,
+    reserved: HashMap<LinkId, u64>,
+    lsps: HashMap<LspId, SignaledLsp>,
+    tunnels: HashMap<TunnelId, Tunnel>,
+    attached: Vec<IpRoute>,
+    failed_links: std::collections::HashSet<LinkId>,
+    next_lsp: LspId,
+    next_tunnel: TunnelId,
+}
+
+impl ControlPlane {
+    /// Creates a control plane over `topo`.
+    pub fn new(topo: Topology) -> Self {
+        Self {
+            topo,
+            alloc: LabelAllocator::new(),
+            reserved: HashMap::new(),
+            lsps: HashMap::new(),
+            tunnels: HashMap::new(),
+            attached: Vec::new(),
+            failed_links: std::collections::HashSet::new(),
+            next_lsp: 1,
+            next_tunnel: 1,
+        }
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Declares `prefix` as locally attached at `node` (a layer-2 network
+    /// behind an LER): unlabeled packets for it are delivered locally.
+    pub fn attach_prefix(&mut self, node: NodeId, prefix: Prefix) {
+        self.attached.push(IpRoute {
+            node,
+            prefix,
+            next: Hop::Local,
+        });
+    }
+
+    /// Unreserved bandwidth on `link` (zero while the link is failed).
+    pub fn available_bandwidth(&self, link: LinkId) -> u64 {
+        if self.failed_links.contains(&link) {
+            return 0;
+        }
+        let cap = self.topo.link(link).map(|l| l.bandwidth_bps).unwrap_or(0);
+        cap.saturating_sub(self.reserved.get(&link).copied().unwrap_or(0))
+    }
+
+    // ---- restoration -----------------------------------------------------
+
+    /// Marks `link` failed and returns the ids of LSPs whose paths
+    /// traverse it, in id order. The LSPs keep their (now broken) state
+    /// until [`Self::reroute_lsp`] or [`Self::teardown_lsp`] is called —
+    /// mirroring how a head end learns of a failure and re-signals.
+    pub fn fail_link(&mut self, link: LinkId) -> Vec<LspId> {
+        self.failed_links.insert(link);
+        let mut affected: Vec<LspId> = self
+            .lsps
+            .values()
+            .filter(|l| l.reserved_links.contains(&link))
+            .map(|l| l.id)
+            .collect();
+        affected.sort_unstable();
+        affected
+    }
+
+    /// Clears a link failure.
+    pub fn restore_link(&mut self, link: LinkId) {
+        self.failed_links.remove(&link);
+    }
+
+    /// True while `link` is marked failed.
+    pub fn link_is_failed(&self, link: LinkId) -> bool {
+        self.failed_links.contains(&link)
+    }
+
+    /// Re-signals an LSP around the current failures: tears the old path
+    /// down and recomputes with CSPF (an explicit route on the original
+    /// request is abandoned — restoration outranks pinning). Returns the
+    /// replacement LSP's id.
+    pub fn reroute_lsp(&mut self, id: LspId) -> Result<LspId, SignalError> {
+        let mut request = self
+            .lsps
+            .get(&id)
+            .ok_or(SignalError::UnknownLsp(id))?
+            .request
+            .clone();
+        self.teardown_lsp(id)?;
+        request.explicit_route = None;
+        self.establish_lsp(request)
+    }
+
+    /// A signaled LSP.
+    pub fn lsp(&self, id: LspId) -> Option<&SignaledLsp> {
+        self.lsps.get(&id)
+    }
+
+    /// A signaled tunnel.
+    pub fn tunnel(&self, id: TunnelId) -> Option<&Tunnel> {
+        self.tunnels.get(&id)
+    }
+
+    /// Ids of all live LSPs.
+    pub fn lsp_ids(&self) -> Vec<LspId> {
+        let mut v: Vec<_> = self.lsps.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Aggregates the forwarding configuration for one node across every
+    /// signaled LSP, tunnel and attachment.
+    pub fn config_for(&self, node: NodeId) -> NodeConfig {
+        let mut cfg = NodeConfig::default();
+        let mut lsp_ids: Vec<_> = self.lsps.keys().copied().collect();
+        lsp_ids.sort_unstable();
+        for id in lsp_ids {
+            let lsp = &self.lsps[&id];
+            cfg.bindings
+                .extend(lsp.bindings.iter().filter(|b| b.node == node));
+            cfg.next_hops
+                .extend(lsp.next_hops.iter().filter(|n| n.node == node));
+            cfg.fecs.extend(lsp.fecs.iter().filter(|f| f.node == node));
+            cfg.ip_routes
+                .extend(lsp.ip_routes.iter().filter(|r| r.node == node));
+        }
+        let mut tunnel_ids: Vec<_> = self.tunnels.keys().copied().collect();
+        tunnel_ids.sort_unstable();
+        for id in tunnel_ids {
+            let t = &self.tunnels[&id];
+            cfg.bindings
+                .extend(t.bindings.iter().filter(|b| b.node == node));
+            cfg.next_hops
+                .extend(t.next_hops.iter().filter(|n| n.node == node));
+        }
+        cfg.ip_routes
+            .extend(self.attached.iter().filter(|r| r.node == node));
+        cfg
+    }
+
+    // ---- establishment ---------------------------------------------------
+
+    /// Establishes an LSP over physical links.
+    pub fn establish_lsp(&mut self, request: LspRequest) -> Result<LspId, SignalError> {
+        self.check_ler(request.ingress)?;
+        self.check_ler(request.egress)?;
+        let path = self.resolve_route(&request)?;
+        let links = self.reserve_path(&path, request.bandwidth_bps)?;
+        match self.build_lsp_state(&request, &path, None) {
+            Ok(lsp_state) => Ok(self.install_lsp(request, path, links, lsp_state)),
+            Err(e) => {
+                self.release_links(&links, request.bandwidth_bps);
+                Err(e)
+            }
+        }
+    }
+
+    /// Establishes an LSP whose route traverses `tunnel` between the
+    /// tunnel's head and tail.
+    pub fn establish_lsp_via_tunnel(
+        &mut self,
+        request: LspRequest,
+        tunnel: TunnelId,
+    ) -> Result<LspId, SignalError> {
+        self.check_ler(request.ingress)?;
+        self.check_ler(request.egress)?;
+        let t = self
+            .tunnels
+            .get(&tunnel)
+            .ok_or(SignalError::UnknownTunnel(tunnel))?;
+        let (head, tail) = (t.head, t.tail);
+        let entry_label = t.entry_label;
+
+        // Route the two physical segments; the tunnel is one logical hop.
+        let seg1 = self.cspf(request.ingress, head, request.bandwidth_bps)?;
+        let seg2 = self.cspf(tail, request.egress, request.bandwidth_bps)?;
+        let mut path = seg1.clone();
+        path.extend_from_slice(&seg2);
+
+        let mut links = self.reserve_path(&seg1, request.bandwidth_bps)?;
+        match self.reserve_path(&seg2, request.bandwidth_bps) {
+            Ok(more) => links.extend(more),
+            Err(e) => {
+                self.release_links(&links, request.bandwidth_bps);
+                return Err(e);
+            }
+        }
+        match self.build_lsp_state(&request, &path, Some((head, entry_label))) {
+            Ok(state) => Ok(self.install_lsp(request, path, links, state)),
+            Err(e) => {
+                self.release_links(&links, request.bandwidth_bps);
+                Err(e)
+            }
+        }
+    }
+
+    /// Establishes a hierarchical tunnel between two core nodes. The
+    /// interior runs PHP so the tail receives inner labels directly.
+    pub fn establish_tunnel(
+        &mut self,
+        head: NodeId,
+        tail: NodeId,
+        bandwidth_bps: u64,
+        explicit_route: Option<Vec<NodeId>>,
+    ) -> Result<TunnelId, SignalError> {
+        let path = match explicit_route {
+            Some(p) => {
+                if p.first() != Some(&head) || p.last() != Some(&tail) {
+                    return Err(SignalError::BadExplicitRoute);
+                }
+                if self.topo.path_links(&p).is_none() {
+                    return Err(SignalError::BadExplicitRoute);
+                }
+                p
+            }
+            None => self.cspf(head, tail, bandwidth_bps)?,
+        };
+        if path.len() < 3 {
+            // Push at head, PHP-pop at the penultimate: needs ≥1 interior.
+            return Err(SignalError::TunnelTooShort);
+        }
+        let links = self.reserve_path(&path, bandwidth_bps)?;
+
+        // Downstream allocation along the interior.
+        let mut hop_labels = Vec::with_capacity(path.len() - 1);
+        for _ in 1..path.len() {
+            match self.alloc.allocate(GLOBAL_SPACE) {
+                Ok(l) => hop_labels.push(l),
+                Err(_) => {
+                    self.release_links(&links, bandwidth_bps);
+                    return Err(SignalError::LabelSpaceExhausted);
+                }
+            }
+        }
+
+        let mut bindings = Vec::new();
+        let mut next_hops = Vec::new();
+        // Head: next hop for the entry label (the push binding itself is
+        // installed per inner LSP).
+        next_hops.push(NextHopEntry {
+            node: head,
+            label: Some(hop_labels[0]),
+            next: Hop::Node(path[1]),
+        });
+        // Interior nodes: depth-2 arrivals -> level 3. The last interior
+        // node pops (PHP); the rest swap.
+        for i in 1..path.len() - 1 {
+            let node = path[i];
+            let in_label = hop_labels[i - 1];
+            let penultimate = i == path.len() - 2;
+            if penultimate {
+                bindings.push(BindingEntry {
+                    node,
+                    level: 3,
+                    key: in_label.value() as u64,
+                    new_label: Label::IPV4_EXPLICIT_NULL,
+                    op: LabelOp::Pop,
+                });
+                // After the pop the inner label leads; the inner LSPs
+                // install no next hop here, so route the *inner* label via
+                // the tail. We cannot know inner labels in advance, so the
+                // penultimate forwards by its per-inner-label next-hop
+                // entries installed at inner-LSP setup time (see
+                // build_lsp_state's tunnel handling).
+            } else {
+                bindings.push(BindingEntry {
+                    node,
+                    level: 3,
+                    key: in_label.value() as u64,
+                    new_label: hop_labels[i],
+                    op: LabelOp::Swap,
+                });
+                next_hops.push(NextHopEntry {
+                    node,
+                    label: Some(hop_labels[i]),
+                    next: Hop::Node(path[i + 1]),
+                });
+            }
+        }
+
+        let id = self.next_tunnel;
+        self.next_tunnel += 1;
+        self.tunnels.insert(
+            id,
+            Tunnel {
+                id,
+                head,
+                tail,
+                path,
+                entry_label: hop_labels[0],
+                hop_labels,
+                reserved_links: links,
+                bindings,
+                next_hops,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Tears an LSP down, releasing its bandwidth and labels.
+    pub fn teardown_lsp(&mut self, id: LspId) -> Result<(), SignalError> {
+        let lsp = self.lsps.remove(&id).ok_or(SignalError::UnknownLsp(id))?;
+        self.release_links(&lsp.reserved_links, lsp.request.bandwidth_bps);
+        for l in lsp.hop_labels {
+            self.alloc.release(GLOBAL_SPACE, l);
+        }
+        Ok(())
+    }
+
+    // ---- internals ---------------------------------------------------------
+
+    fn check_ler(&self, node: NodeId) -> Result<(), SignalError> {
+        match self.topo.node(node) {
+            Some(spec) if spec.role == RouterRole::Ler => Ok(()),
+            Some(_) => Err(SignalError::NotALer(node)),
+            None => Err(SignalError::Path(PathError::UnknownNode(node))),
+        }
+    }
+
+    fn cspf(&self, from: NodeId, to: NodeId, bw: u64) -> Result<Vec<NodeId>, SignalError> {
+        let constraint = Constraint {
+            min_bandwidth_bps: bw,
+            // Failed links are excluded outright — a zero-bandwidth
+            // (best-effort) request must still avoid them.
+            exclude_links: self.failed_links.clone(),
+            ..Default::default()
+        };
+        shortest_path(&self.topo, from, to, &constraint, &|l| {
+            self.available_bandwidth(l)
+        })
+        .map_err(SignalError::Path)
+    }
+
+    fn resolve_route(&self, request: &LspRequest) -> Result<Vec<NodeId>, SignalError> {
+        match &request.explicit_route {
+            Some(p) => {
+                if p.first() != Some(&request.ingress) || p.last() != Some(&request.egress) {
+                    return Err(SignalError::BadExplicitRoute);
+                }
+                let Some(links) = self.topo.path_links(p) else {
+                    return Err(SignalError::BadExplicitRoute);
+                };
+                if let Some(&dead) = links.iter().find(|l| self.failed_links.contains(l)) {
+                    return Err(SignalError::LinkFailed(dead));
+                }
+                Ok(p.clone())
+            }
+            None => self.cspf(request.ingress, request.egress, request.bandwidth_bps),
+        }
+    }
+
+    /// Reserves `bw` on every link of `path`, rolling back on failure.
+    fn reserve_path(&mut self, path: &[NodeId], bw: u64) -> Result<Vec<LinkId>, SignalError> {
+        let links = self
+            .topo
+            .path_links(path)
+            .expect("routes are validated before reservation");
+        for (i, &link) in links.iter().enumerate() {
+            if self.available_bandwidth(link) < bw {
+                // Roll back what we already took.
+                for &l in &links[..i] {
+                    *self.reserved.get_mut(&l).expect("reserved above") -= bw;
+                }
+                return Err(SignalError::InsufficientBandwidth { link });
+            }
+            *self.reserved.entry(link).or_insert(0) += bw;
+        }
+        Ok(links)
+    }
+
+    fn release_links(&mut self, links: &[LinkId], bw: u64) {
+        for &l in links {
+            if let Some(r) = self.reserved.get_mut(&l) {
+                *r = r.saturating_sub(bw);
+            }
+        }
+    }
+
+    /// Allocates labels and generates forwarding state for a (logical)
+    /// path. `tunnel` marks the node that is a tunnel head on this path,
+    /// with the tunnel's entry label: at that node the LSP *pushes* into
+    /// the tunnel, and the label is preserved across the head–tail hop.
+    #[allow(clippy::type_complexity)]
+    fn build_lsp_state(
+        &mut self,
+        request: &LspRequest,
+        path: &[NodeId],
+        tunnel: Option<(NodeId, Label)>,
+    ) -> Result<
+        (
+            Vec<Label>,
+            Vec<BindingEntry>,
+            Vec<NextHopEntry>,
+            Vec<FecEntry>,
+            Vec<IpRoute>,
+        ),
+        SignalError,
+    > {
+        let hops = path.len() - 1;
+        let mut hop_labels: Vec<Label> = Vec::with_capacity(hops);
+        for i in 0..hops {
+            let from = path[i];
+            // Across a tunnel the hardware push preserves the inner label:
+            // hop label (head -> tail) equals the label into the head.
+            if let Some((head, _)) = tunnel {
+                if from == head && i > 0 {
+                    hop_labels.push(hop_labels[i - 1]);
+                    continue;
+                }
+            }
+            let l = self
+                .alloc
+                .allocate(GLOBAL_SPACE)
+                .map_err(|_| SignalError::LabelSpaceExhausted)?;
+            hop_labels.push(l);
+        }
+
+        let mut bindings = Vec::new();
+        let mut next_hops = Vec::new();
+        let mut fecs = Vec::new();
+        let mut ip_routes = Vec::new();
+        let last = path.len() - 1;
+
+        // Ingress LER.
+        fecs.push(FecEntry {
+            node: path[0],
+            prefix: request.fec,
+            push_label: hop_labels[0],
+            cos: request.cos,
+        });
+        if request.fec.len == 32 {
+            // Host FEC: the exact level-1 pair can be preinstalled.
+            bindings.push(BindingEntry {
+                node: path[0],
+                level: 1,
+                key: request.fec.addr as u64,
+                new_label: hop_labels[0],
+                op: LabelOp::Push,
+            });
+        }
+        next_hops.push(NextHopEntry {
+            node: path[0],
+            label: Some(hop_labels[0]),
+            next: Hop::Node(path[1]),
+        });
+
+        // Transit nodes.
+        for i in 1..last {
+            let node = path[i];
+            let in_label = hop_labels[i - 1];
+            let out_label = hop_labels[i];
+            let is_tunnel_head = tunnel.map(|(h, _)| h == node).unwrap_or(false);
+
+            if is_tunnel_head {
+                // Push into the tunnel; the inner label is preserved.
+                let (_, entry_label) = tunnel.expect("checked above");
+                bindings.push(BindingEntry {
+                    node,
+                    level: 2,
+                    key: in_label.value() as u64,
+                    new_label: entry_label,
+                    op: LabelOp::Push,
+                });
+                // Next hop for the tunnel entry label exists from tunnel
+                // establishment. Additionally, the tunnel's penultimate
+                // node needs to route this inner label to the tail after
+                // its PHP pop.
+                let t = self
+                    .tunnels
+                    .values()
+                    .find(|t| t.head == node && t.entry_label == entry_label)
+                    .expect("tunnel exists");
+                let penult = t.path[t.path.len() - 2];
+                next_hops.push(NextHopEntry {
+                    node: penult,
+                    label: Some(in_label),
+                    next: Hop::Node(t.tail),
+                });
+                continue;
+            }
+
+            let php_pop = request.php && i == last - 1;
+            if php_pop {
+                bindings.push(BindingEntry {
+                    node,
+                    level: 2,
+                    key: in_label.value() as u64,
+                    new_label: Label::IPV4_EXPLICIT_NULL,
+                    op: LabelOp::Pop,
+                });
+                // After the pop the packet is unlabeled: IP-route it to the
+                // egress.
+                ip_routes.push(IpRoute {
+                    node,
+                    prefix: request.fec,
+                    next: Hop::Node(path[last]),
+                });
+            } else {
+                bindings.push(BindingEntry {
+                    node,
+                    level: 2,
+                    key: in_label.value() as u64,
+                    new_label: out_label,
+                    op: LabelOp::Swap,
+                });
+                next_hops.push(NextHopEntry {
+                    node,
+                    label: Some(out_label),
+                    next: Hop::Node(path[i + 1]),
+                });
+            }
+        }
+
+        // Egress LER.
+        if !request.php {
+            bindings.push(BindingEntry {
+                node: path[last],
+                level: 2,
+                key: hop_labels[last - 1].value() as u64,
+                new_label: Label::IPV4_EXPLICIT_NULL,
+                op: LabelOp::Pop,
+            });
+        }
+        // The FEC is attached behind the egress: deliver locally once
+        // unlabeled.
+        ip_routes.push(IpRoute {
+            node: path[last],
+            prefix: request.fec,
+            next: Hop::Local,
+        });
+
+        Ok((hop_labels, bindings, next_hops, fecs, ip_routes))
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn install_lsp(
+        &mut self,
+        request: LspRequest,
+        path: Vec<NodeId>,
+        reserved_links: Vec<LinkId>,
+        state: (
+            Vec<Label>,
+            Vec<BindingEntry>,
+            Vec<NextHopEntry>,
+            Vec<FecEntry>,
+            Vec<IpRoute>,
+        ),
+    ) -> LspId {
+        let (hop_labels, bindings, next_hops, fecs, ip_routes) = state;
+        let id = self.next_lsp;
+        self.next_lsp += 1;
+        self.lsps.insert(
+            id,
+            SignaledLsp {
+                id,
+                request,
+                path,
+                hop_labels,
+                reserved_links,
+                bindings,
+                next_hops,
+                fecs,
+                ip_routes,
+            },
+        );
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    fn prefix(s: &str, len: u8) -> Prefix {
+        Prefix::new(mpls_packet::ipv4::parse_addr(s).unwrap(), len)
+    }
+
+    fn plane() -> ControlPlane {
+        ControlPlane::new(Topology::figure1_example())
+    }
+
+    #[test]
+    fn basic_lsp_generates_push_swap_pop() {
+        let mut cp = plane();
+        let id = cp
+            .establish_lsp(LspRequest::best_effort(0, 1, prefix("192.168.1.0", 24)))
+            .unwrap();
+        let lsp = cp.lsp(id).unwrap().clone();
+        assert_eq!(lsp.path, vec![0, 2, 3, 1]);
+        assert_eq!(lsp.hop_labels.len(), 3);
+
+        let ingress = cp.config_for(0);
+        assert_eq!(ingress.fecs.len(), 1);
+        assert_eq!(ingress.fecs[0].push_label, lsp.hop_labels[0]);
+        assert_eq!(ingress.next_hop_for(Some(lsp.hop_labels[0])), Some(Hop::Node(2)));
+
+        let transit = cp.config_for(2);
+        assert_eq!(transit.bindings.len(), 1);
+        let b = transit.bindings[0];
+        assert_eq!(b.level, 2);
+        assert_eq!(b.key, lsp.hop_labels[0].value() as u64);
+        assert_eq!(b.new_label, lsp.hop_labels[1]);
+        assert_eq!(b.op, LabelOp::Swap);
+
+        let egress = cp.config_for(1);
+        assert_eq!(egress.bindings.len(), 1);
+        assert_eq!(egress.bindings[0].op, LabelOp::Pop);
+        assert_eq!(egress.ip_route_for(0xc0a80105), Some(Hop::Local));
+    }
+
+    #[test]
+    fn host_fec_preinstalls_level1_binding() {
+        let mut cp = plane();
+        cp.establish_lsp(LspRequest::best_effort(0, 1, prefix("192.168.1.7", 32)))
+            .unwrap();
+        let ingress = cp.config_for(0);
+        assert_eq!(ingress.bindings.len(), 1);
+        assert_eq!(ingress.bindings[0].level, 1);
+        assert_eq!(ingress.bindings[0].key, 0xc0a80107);
+        assert_eq!(ingress.bindings[0].op, LabelOp::Push);
+    }
+
+    #[test]
+    fn explicit_route_is_honored_and_validated() {
+        let mut cp = plane();
+        let mut req = LspRequest::best_effort(0, 1, prefix("10.0.0.0", 8));
+        req.explicit_route = Some(vec![0, 4, 5, 1]);
+        let id = cp.establish_lsp(req).unwrap();
+        assert_eq!(cp.lsp(id).unwrap().path, vec![0, 4, 5, 1]);
+
+        let mut bad = LspRequest::best_effort(0, 1, prefix("10.0.0.0", 8));
+        bad.explicit_route = Some(vec![0, 3, 1]); // 0-3 not adjacent
+        assert_eq!(cp.establish_lsp(bad), Err(SignalError::BadExplicitRoute));
+    }
+
+    #[test]
+    fn admission_control_rejects_oversubscription() {
+        let mut cp = plane();
+        let mut req = LspRequest::best_effort(0, 1, prefix("10.0.0.0", 8));
+        req.bandwidth_bps = 600_000_000;
+        cp.establish_lsp(req.clone()).unwrap();
+        // Second 600 Mb/s LSP cannot fit the 1 Gb/s north path; CSPF tries
+        // the south path, whose links only carry 100 Mb/s.
+        assert!(matches!(
+            cp.establish_lsp(req.clone()),
+            Err(SignalError::Path(PathError::NoPath))
+        ));
+        // With a pinned route the error is the saturated link.
+        req.explicit_route = Some(vec![0, 2, 3, 1]);
+        assert!(matches!(
+            cp.establish_lsp(req),
+            Err(SignalError::InsufficientBandwidth { .. })
+        ));
+    }
+
+    #[test]
+    fn teardown_releases_bandwidth() {
+        let mut cp = plane();
+        let link = cp.topology().link_between(0, 2).unwrap();
+        let before = cp.available_bandwidth(link);
+        let mut req = LspRequest::best_effort(0, 1, prefix("10.0.0.0", 8));
+        req.bandwidth_bps = 400_000_000;
+        let id = cp.establish_lsp(req).unwrap();
+        assert_eq!(cp.available_bandwidth(link), before - 400_000_000);
+        cp.teardown_lsp(id).unwrap();
+        assert_eq!(cp.available_bandwidth(link), before);
+        assert_eq!(cp.teardown_lsp(id), Err(SignalError::UnknownLsp(id)));
+    }
+
+    #[test]
+    fn lsp_endpoints_must_be_lers() {
+        let mut cp = plane();
+        assert_eq!(
+            cp.establish_lsp(LspRequest::best_effort(2, 1, prefix("10.0.0.0", 8))),
+            Err(SignalError::NotALer(2))
+        );
+    }
+
+    #[test]
+    fn php_moves_pop_to_penultimate() {
+        let mut cp = plane();
+        let mut req = LspRequest::best_effort(0, 1, prefix("192.168.1.0", 24));
+        req.php = true;
+        let id = cp.establish_lsp(req).unwrap();
+        let lsp = cp.lsp(id).unwrap().clone();
+        // Penultimate LSR (node 3) pops and IP-routes to the egress.
+        let penult = cp.config_for(3);
+        assert_eq!(penult.bindings[0].op, LabelOp::Pop);
+        assert_eq!(penult.ip_route_for(0xc0a80101), Some(Hop::Node(1)));
+        // Egress has no binding for this LSP, only the local route.
+        let egress = cp.config_for(1);
+        assert!(egress.bindings.is_empty());
+        assert_eq!(egress.ip_route_for(0xc0a80101), Some(Hop::Local));
+        let _ = lsp;
+    }
+
+    #[test]
+    fn tunnel_generates_level3_interior_with_php() {
+        let mut cp = plane();
+        let tid = cp.establish_tunnel(2, 1, 0, Some(vec![2, 3, 1])).unwrap();
+        let t = cp.tunnel(tid).unwrap().clone();
+        assert_eq!(t.head, 2);
+        assert_eq!(t.tail, 1);
+        // Single interior node (3) is penultimate: level-3 pop.
+        let interior = cp.config_for(3);
+        assert_eq!(interior.bindings.len(), 1);
+        assert_eq!(interior.bindings[0].level, 3);
+        assert_eq!(interior.bindings[0].op, LabelOp::Pop);
+        // Head routes the entry label toward the interior.
+        let head = cp.config_for(2);
+        assert_eq!(head.next_hop_for(Some(t.entry_label)), Some(Hop::Node(3)));
+    }
+
+    #[test]
+    fn tunnel_too_short_is_rejected() {
+        let mut cp = plane();
+        assert_eq!(
+            cp.establish_tunnel(2, 3, 0, Some(vec![2, 3])),
+            Err(SignalError::TunnelTooShort)
+        );
+    }
+
+    #[test]
+    fn lsp_via_tunnel_preserves_inner_label() {
+        let mut cp = plane();
+        // Tunnel across the north core.
+        let tid = cp.establish_tunnel(2, 1, 0, Some(vec![2, 3, 1])).unwrap();
+        // This topology's tail is the egress LER itself; an LSP 0->1 via
+        // the tunnel: ingress 0, head 2, tail=egress 1.
+        let req = LspRequest::best_effort(0, 1, prefix("192.168.9.0", 24));
+        let id = cp.establish_lsp_via_tunnel(req, tid).unwrap();
+        let lsp = cp.lsp(id).unwrap().clone();
+        // Logical path collapses the tunnel to head–tail adjacency.
+        assert_eq!(lsp.path, vec![0, 2, 1]);
+        // The label into the head equals the label out of the tunnel.
+        assert_eq!(lsp.hop_labels[0], lsp.hop_labels[1]);
+        // Head pushes the tunnel entry label at level 2.
+        let head = cp.config_for(2);
+        let push = head
+            .bindings
+            .iter()
+            .find(|b| b.op == LabelOp::Push)
+            .expect("push binding at head");
+        assert_eq!(push.level, 2);
+        assert_eq!(push.key, lsp.hop_labels[0].value() as u64);
+        assert_eq!(push.new_label, cp.tunnel(tid).unwrap().entry_label);
+        // The tunnel's penultimate (3) routes the inner label to the tail.
+        let penult = cp.config_for(3);
+        assert_eq!(
+            penult.next_hop_for(Some(lsp.hop_labels[0])),
+            Some(Hop::Node(1))
+        );
+        // Egress (the tail) pops the inner label.
+        let egress = cp.config_for(1);
+        assert!(egress
+            .bindings
+            .iter()
+            .any(|b| b.op == LabelOp::Pop && b.key == lsp.hop_labels[1].value() as u64));
+    }
+
+    #[test]
+    fn link_failure_reports_affected_lsps_and_reroute_avoids_it() {
+        let mut cp = plane();
+        let id = cp
+            .establish_lsp(LspRequest::best_effort(0, 1, prefix("192.168.1.0", 24)))
+            .unwrap();
+        assert_eq!(cp.lsp(id).unwrap().path, vec![0, 2, 3, 1]);
+
+        let north_link = cp.topology().link_between(2, 3).unwrap();
+        let affected = cp.fail_link(north_link);
+        assert_eq!(affected, vec![id]);
+        assert!(cp.link_is_failed(north_link));
+        assert_eq!(cp.available_bandwidth(north_link), 0);
+
+        let new_id = cp.reroute_lsp(id).unwrap();
+        assert_ne!(new_id, id);
+        assert!(cp.lsp(id).is_none(), "old LSP torn down");
+        assert_eq!(cp.lsp(new_id).unwrap().path, vec![0, 4, 5, 1]);
+
+        // Restoration: the link comes back and new LSPs may use it again.
+        cp.restore_link(north_link);
+        assert!(cp.available_bandwidth(north_link) > 0);
+        let back = cp
+            .establish_lsp(LspRequest::best_effort(0, 1, prefix("192.168.7.0", 24)))
+            .unwrap();
+        assert_eq!(cp.lsp(back).unwrap().path, vec![0, 2, 3, 1]);
+    }
+
+    #[test]
+    fn failure_of_unused_link_affects_nothing() {
+        let mut cp = plane();
+        let id = cp
+            .establish_lsp(LspRequest::best_effort(0, 1, prefix("192.168.1.0", 24)))
+            .unwrap();
+        let south_link = cp.topology().link_between(4, 5).unwrap();
+        assert!(cp.fail_link(south_link).is_empty());
+        assert!(cp.lsp(id).is_some());
+    }
+
+    #[test]
+    fn reroute_fails_when_disconnected() {
+        let mut cp = plane();
+        let id = cp
+            .establish_lsp(LspRequest::best_effort(0, 1, prefix("192.168.1.0", 24)))
+            .unwrap();
+        // Sever both exits from node 0.
+        cp.fail_link(cp.topology().link_between(0, 2).unwrap());
+        cp.fail_link(cp.topology().link_between(0, 4).unwrap());
+        assert!(matches!(
+            cp.reroute_lsp(id),
+            Err(SignalError::Path(PathError::NoPath))
+        ));
+        // The LSP is gone (teardown happened) — consistent with a head end
+        // that withdrew state and failed to re-signal.
+        assert!(cp.lsp(id).is_none());
+    }
+
+    #[test]
+    fn labels_are_globally_unique() {
+        let mut cp = plane();
+        let a = cp
+            .establish_lsp(LspRequest::best_effort(0, 1, prefix("10.1.0.0", 16)))
+            .unwrap();
+        let b = cp
+            .establish_lsp(LspRequest::best_effort(1, 0, prefix("10.2.0.0", 16)))
+            .unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for id in [a, b] {
+            for l in &cp.lsp(id).unwrap().hop_labels {
+                assert!(seen.insert(l.value()), "label {l} reused");
+            }
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! The label stack modifier's data path (paper Fig. 12).
+//!
+//! "External data enters the data path and is interpreted as a label stack
+//! entry (from a packet), a label pair (old label/new label) for the
+//! \[information base\] or a search index... Modifications to the top level
+//! entry in the stack happen by modifying the TTL with a counter and the
+//! label entry with the \[new label register\]. The CoS remains unchanged."
+
+pub mod info_base;
+pub mod stack;
+
+pub use info_base::{InfoBase, InfoBaseLevel, LEVEL_CAPACITY};
+pub use stack::HwStack;
+
+use mpls_rtl::{Clocked, Comparator, Register, UpDownCounter};
+
+/// All sequential elements of the data path besides the information base
+/// and the stack: the TTL counter, the new-label and operation output
+/// registers, the modification register holding the removed top entry, the
+/// packet-discard flag, and the three comparators.
+#[derive(Debug, Clone)]
+pub struct DataPath {
+    /// Three-level information base.
+    pub info_base: InfoBase,
+    /// The hardware label stack.
+    pub stack: HwStack,
+    /// 8-bit TTL counter ("modifying the TTL with a counter").
+    pub ttl_ctr: UpDownCounter,
+    /// 20-bit `label_out` register loaded from the label memory component.
+    pub new_label_reg: Register,
+    /// 2-bit `operation_out` register loaded from the operation component.
+    pub op_reg: Register,
+    /// 32-bit register holding the entry removed in `REMOVE TOP`.
+    pub mod_reg: Register,
+    /// 32-bit register holding the assembled new/modified entry between
+    /// `PUSH NEW` and the stack write.
+    pub entry_reg: Register,
+    /// 1-bit `pktdcrd` flag register.
+    pub discard_reg: Register,
+    /// 32-bit comparator: packet identifier vs level-1 index output.
+    pub cmp32: Comparator,
+    /// 20-bit comparator: label vs level-2/3 index output.
+    pub cmp20: Comparator,
+    /// 10-bit comparator: read address vs write address (search
+    /// exhaustion).
+    pub cmp10: Comparator,
+}
+
+impl Default for DataPath {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DataPath {
+    /// Creates a cleared data path.
+    pub fn new() -> Self {
+        Self {
+            info_base: InfoBase::new(),
+            stack: HwStack::new(),
+            ttl_ctr: UpDownCounter::new(8),
+            new_label_reg: Register::new(20, 0),
+            op_reg: Register::new(2, 0),
+            mod_reg: Register::new(32, 0),
+            entry_reg: Register::new(32, 0),
+            discard_reg: Register::new(1, 0),
+            cmp32: Comparator::new(32),
+            cmp20: Comparator::new(20),
+            cmp10: Comparator::new(10),
+        }
+    }
+
+    /// The `pktdcrd` output.
+    pub fn packet_discard(&self) -> bool {
+        self.discard_reg.q() != 0
+    }
+}
+
+impl Clocked for DataPath {
+    fn tick(&mut self) {
+        self.info_base.tick();
+        self.stack.tick();
+        self.ttl_ctr.tick();
+        self.new_label_reg.tick();
+        self.op_reg.tick();
+        self.mod_reg.tick();
+        self.entry_reg.tick();
+        self.discard_reg.tick();
+    }
+
+    fn reset(&mut self) {
+        self.info_base.reset();
+        self.stack.reset();
+        self.ttl_ctr.reset();
+        self.new_label_reg.reset();
+        self.op_reg.reset();
+        self.mod_reg.reset();
+        self.entry_reg.reset();
+        self.discard_reg.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{IbOperation, Level};
+
+    #[test]
+    fn tick_propagates_to_all_components() {
+        let mut dp = DataPath::new();
+        dp.new_label_reg.set(500);
+        dp.op_reg.set(IbOperation::Swap.to_bits());
+        dp.discard_reg.set(1);
+        dp.info_base
+            .level_mut(Level::L1)
+            .stage_write_pair(600, 500, IbOperation::Swap);
+        dp.tick();
+        assert_eq!(dp.new_label_reg.q(), 500);
+        assert_eq!(dp.op_reg.q(), 3);
+        assert!(dp.packet_discard());
+        assert_eq!(dp.info_base.level(Level::L1).occupancy(), 1);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut dp = DataPath::new();
+        dp.new_label_reg.set(500);
+        dp.discard_reg.set(1);
+        dp.tick();
+        dp.reset();
+        assert_eq!(dp.new_label_reg.q(), 0);
+        assert!(!dp.packet_discard());
+    }
+}

@@ -1,0 +1,169 @@
+//! Scripted stimuli reproducing the paper's §4 simulations (Figs. 14–16).
+//!
+//! Each function drives a traced [`LabelStackModifier`] with exactly the
+//! stimulus described in the paper and returns the recorded waveform plus
+//! the observed outcome, so that the `mpls-bench` figure binaries, the
+//! examples and the test suite all replay one canonical script.
+//!
+//! Paper §4, common to all three figures:
+//!
+//! * "Ten label pairs are written ... The operation is arbitrarily chosen
+//!   for each label pair but no two consecutive entries are given the same
+//!   operation for illustration purposes."
+//! * Fig. 14: level 1, packet identifiers 600–609 → new labels 500–509;
+//!   lookup of packet identifier 604 returns label 504, operation 3
+//!   (swap), `lookup_done` pulses, `packetdiscard` stays low.
+//! * Fig. 15: level 2, old labels 1–10 → new labels 500–509; analogous
+//!   lookup by label.
+//! * Fig. 16: same level-2 program, lookup of label 27 which is not
+//!   stored: `r_index` sweeps all ten entries, then `lookup_done` *and*
+//!   `packetdiscard` go high while `label_out`/`operation_out` hold their
+//!   previous values.
+
+use crate::modifier::{LabelStackModifier, OpResult};
+use crate::ops::{IbOperation, Level, RouterType};
+use mpls_packet::Label;
+use mpls_rtl::Trace;
+
+/// Number of label pairs written in each figure's stimulus.
+pub const PAIRS: u64 = 10;
+
+/// The alternating operation pattern: "no two consecutive entries are
+/// given the same operation". Chosen so that slot 4 (packet id 604 /
+/// label 5) holds operation 3 = swap, matching the values reported under
+/// Fig. 14.
+pub fn figure_op(slot: u64) -> IbOperation {
+    if slot % 2 == 0 {
+        IbOperation::Swap // encoding 3
+    } else {
+        IbOperation::Push // encoding 1
+    }
+}
+
+/// A replayed figure: the waveform, the lookup result and bookkeeping the
+/// binaries print alongside the trace.
+#[derive(Debug)]
+pub struct FigureRun {
+    /// The recorded waveform.
+    pub trace: Trace,
+    /// Result of the final lookup operation.
+    pub lookup: OpResult,
+    /// Cycles consumed writing the ten pairs.
+    pub write_cycles: u64,
+}
+
+fn write_ten_pairs(m: &mut LabelStackModifier, level: Level, first_index: u64) -> u64 {
+    let mut cycles = 0;
+    for i in 0..PAIRS {
+        cycles += m
+            .write_pair(
+                level,
+                first_index + i,
+                Label::new(500 + i as u32).unwrap(),
+                figure_op(i),
+            )
+            .cycles;
+    }
+    cycles
+}
+
+/// Fig. 14: write packet identifiers 600–609 → labels 500–509 into level
+/// 1, then look up packet identifier 604.
+pub fn figure14_level1() -> FigureRun {
+    let mut m = LabelStackModifier::new(RouterType::Ler);
+    m.enable_trace();
+    m.idle(2);
+    let write_cycles = write_ten_pairs(&mut m, Level::L1, 600);
+    m.idle(2);
+    let lookup = m.lookup(Level::L1, 604);
+    m.idle(3);
+    FigureRun {
+        trace: m.take_trace().expect("trace enabled"),
+        lookup,
+        write_cycles,
+    }
+}
+
+/// Fig. 15: write old labels 1–10 → new labels 500–509 into level 2, then
+/// look up label 5 (stored at slot 4, mirroring Fig. 14's position).
+pub fn figure15_level2() -> FigureRun {
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    m.enable_trace();
+    m.idle(2);
+    let write_cycles = write_ten_pairs(&mut m, Level::L2, 1);
+    m.idle(2);
+    let lookup = m.lookup(Level::L2, 5);
+    m.idle(3);
+    FigureRun {
+        trace: m.take_trace().expect("trace enabled"),
+        lookup,
+        write_cycles,
+    }
+}
+
+/// Fig. 16: same level-2 program, but look up label 27, which does not
+/// exist — the search exhausts all ten pairs and discards.
+pub fn figure16_discard() -> FigureRun {
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    m.enable_trace();
+    m.idle(2);
+    let write_cycles = write_ten_pairs(&mut m, Level::L2, 1);
+    m.idle(2);
+    let lookup = m.lookup(Level::L2, 27);
+    m.idle(3);
+    FigureRun {
+        trace: m.take_trace().expect("trace enabled"),
+        lookup,
+        write_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modifier::Outcome;
+
+    #[test]
+    fn ops_alternate() {
+        for i in 1..PAIRS {
+            assert_ne!(figure_op(i), figure_op(i - 1));
+        }
+        // Slot 4 must be swap (encoding 3) so Fig. 14 reads "operation 3".
+        assert_eq!(figure_op(4), IbOperation::Swap);
+    }
+
+    #[test]
+    fn figure14_outcome() {
+        let run = figure14_level1();
+        assert_eq!(run.write_cycles, 30, "ten writes at 3 cycles each");
+        assert_eq!(
+            run.lookup.outcome,
+            Outcome::LookupHit {
+                label: Label::new(504).unwrap(),
+                op: IbOperation::Swap
+            }
+        );
+        // Hit at 1-based position 5: 3·5 + 5 = 20 cycles.
+        assert_eq!(run.lookup.cycles, 20);
+    }
+
+    #[test]
+    fn figure15_outcome() {
+        let run = figure15_level2();
+        assert_eq!(
+            run.lookup.outcome,
+            Outcome::LookupHit {
+                label: Label::new(504).unwrap(),
+                op: IbOperation::Swap
+            }
+        );
+    }
+
+    #[test]
+    fn figure16_outcome() {
+        let run = figure16_discard();
+        assert_eq!(run.lookup.outcome, Outcome::LookupMiss);
+        // Miss over ten pairs: 3·10 + 5.
+        assert_eq!(run.lookup.cycles, 35);
+    }
+}

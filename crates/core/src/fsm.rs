@@ -1,0 +1,151 @@
+//! The four state machines of the control unit (paper §3.1, Figs. 8–11).
+//!
+//! "The control unit of the label stack modifier is composed of four state
+//! machines. Those state machines are the label stack \[interface\], \[the
+//! information base interface], search and main."
+//!
+//! All four are Moore machines: every control output is a function of the
+//! current state, and every transition commits on the common clock edge.
+//! The one Mealy shortcut (noted inline) is the information-base
+//! interface's ready line, which combines its state with the search
+//! machine's done output so that an operation retires in the cycle counts
+//! of Table 6.
+
+use serde::{Deserialize, Serialize};
+
+/// Main interface FSM (Fig. 8). "It is used to ensure that the remaining
+/// state machines are not working at the same time and possibly generate
+/// inconsistent results."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum MainState {
+    /// Waiting for an external operation.
+    #[default]
+    Idle,
+    /// `LABEL INTERFACE ACTIVE`: the label stack interface is enabled.
+    LblInterfaceActive,
+    /// `INFO BASE INTERFACE ACTIVE`: the info base interface is enabled.
+    IbInterfaceActive,
+}
+
+/// Label stack interface FSM (Fig. 9). Executes user pushes/pops directly
+/// and drives the search + modify sequence for stack updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum LblState {
+    /// Waiting to be enabled by the main interface.
+    #[default]
+    Idle,
+    /// `USER PUSH`: push external data onto the stack.
+    UserPush,
+    /// `USER POP`: pop the top entry for the user.
+    UserPop,
+    /// `SEARCH ENABLE`: the search FSM is running on our behalf.
+    SearchEnable,
+    /// `REMOVE TOP`: pop the top entry into the modification register.
+    RemoveTop,
+    /// `UPDATE TTL`: load the TTL counter with the decremented TTL.
+    UpdateTtl,
+    /// `VERIFY INFO`: check operation consistency and TTL expiry.
+    VerifyInfo,
+    /// `UPDATE TOP`: pop path — write the propagated TTL into the newly
+    /// exposed top entry.
+    UpdateTop,
+    /// `PUSH OLD`: push path — re-push the removed entry first.
+    PushOld,
+    /// `PUSH NEW`: load the new/modified entry register.
+    PushNew,
+    /// Drive `svstkval`/`stckctrl` to commit the entry register into the
+    /// stack.
+    SaveEntry,
+    /// `DISCARD PACKET`: reset the label stack and raise `pktdcrd`.
+    DiscardPacket,
+    /// Signal `donelblupdt` to the main interface for one cycle.
+    Done,
+}
+
+impl LblState {
+    /// Moore output `donelblupdt` / label-stack-ready: high in the states
+    /// whose completion retires the operation.
+    pub fn done(self) -> bool {
+        matches!(self, Self::UserPush | Self::UserPop | Self::Done)
+    }
+}
+
+/// Information base interface FSM (Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum IbState {
+    /// Waiting to be enabled by the main interface.
+    #[default]
+    Idle,
+    /// `WRITE LABEL PAIR`: direct write of index/label/operation.
+    WritePair,
+    /// `SEARCH ENABLE`: the search FSM is running on our behalf.
+    SearchEnable,
+}
+
+/// Search FSM (Fig. 11). "Once it has been enabled, the search \[FSM\]
+/// iterates through the label pair entries of a specified level."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SearchState {
+    /// Waiting for `srchenbl`.
+    #[default]
+    Idle,
+    /// `READ INFO BASE`: drive the read address counters into the level's
+    /// memory components.
+    Read,
+    /// `WAIT FOR INFO`: absorb the synchronous RAM's one-cycle read
+    /// latency.
+    WaitInfo,
+    /// `COMPARE VALUES`: drive the 32/20-bit comparator with the index
+    /// output and the search key; the 10-bit comparator checks for
+    /// exhaustion.
+    Compare,
+    /// `WAIT FOR READ VALUE`: "a delay occurs so the values can appear" —
+    /// register the label/operation outputs.
+    FoundWait,
+    /// Assert `srchdone` with `item_found` for one cycle.
+    DoneHit,
+    /// Value does not exist: one delay cycle, mirroring [`Self::FoundWait`].
+    MissWait,
+    /// Assert `srchdone` without `item_found`; `pktdcrd` accompanies it.
+    DoneMiss,
+}
+
+impl SearchState {
+    /// Moore output `srchdone`.
+    pub fn done(self) -> bool {
+        matches!(self, Self::DoneHit | Self::DoneMiss)
+    }
+
+    /// Moore output `item_found` (only meaningful while `done`).
+    pub fn found(self) -> bool {
+        matches!(self, Self::DoneHit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_idle() {
+        assert_eq!(MainState::default(), MainState::Idle);
+        assert_eq!(LblState::default(), LblState::Idle);
+        assert_eq!(IbState::default(), IbState::Idle);
+        assert_eq!(SearchState::default(), SearchState::Idle);
+    }
+
+    #[test]
+    fn done_outputs() {
+        assert!(LblState::UserPush.done());
+        assert!(LblState::UserPop.done());
+        assert!(LblState::Done.done());
+        assert!(!LblState::SearchEnable.done());
+        assert!(!LblState::VerifyInfo.done());
+
+        assert!(SearchState::DoneHit.done());
+        assert!(SearchState::DoneMiss.done());
+        assert!(SearchState::DoneHit.found());
+        assert!(!SearchState::DoneMiss.found());
+        assert!(!SearchState::Compare.done());
+    }
+}

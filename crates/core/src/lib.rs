@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+//! The embedded MPLS label stack modifier — a cycle-accurate model of the
+//! hardware architecture of *Embedded MPLS Architecture* (Peterkin &
+//! Ionescu, 2005).
+//!
+//! The paper proposes performing MPLS label lookups and label stack
+//! manipulation in FPGA hardware, leaving routing functionality in
+//! software. Its hardware core is the **label stack modifier** (Fig. 7):
+//!
+//! * a control unit of four state machines — main, label stack interface,
+//!   information base interface and search ([`fsm`]);
+//! * a data path ([`datapath`]) holding the label stack, a three-level
+//!   **information base** of index/label/operation memories, a TTL counter,
+//!   a new-label register and three comparators.
+//!
+//! [`LabelStackModifier`] integrates the two and executes operations with
+//! the exact clock-cycle costs of the paper's Table 6 (see [`timing`]).
+//! Waveforms equivalent to the paper's Figs. 14–16 can be recorded with
+//! [`LabelStackModifier::enable_trace`].
+//!
+//! # Example
+//!
+//! ```
+//! use mpls_core::{LabelStackModifier, RouterType, Level, IbOperation};
+//! use mpls_core::modifier::Outcome;
+//! use mpls_packet::{CosBits, Label};
+//!
+//! // An ingress LER: program the information base so packets for
+//! // 10.1.0.0 get label 500 pushed, then run a packet through.
+//! let mut m = LabelStackModifier::new(RouterType::Ler);
+//! m.write_pair(Level::L1, 0x0a010000, Label::new(500).unwrap(), IbOperation::Push);
+//! let r = m.update_stack(0x0a010000, CosBits::EXPEDITED, 64);
+//! assert_eq!(r.outcome, Outcome::Updated { op: IbOperation::Push });
+//! assert_eq!(m.stack_snapshot().top().unwrap().label.value(), 500);
+//! // One stored pair: the search alone costs 3·1 + 5 = 8 cycles.
+//! assert_eq!(r.cycles, 8 + 6);
+//! ```
+
+pub mod datapath;
+pub mod figures;
+pub mod fsm;
+pub mod modifier;
+pub mod ops;
+pub mod signals;
+pub mod timing;
+
+pub use datapath::{DataPath, HwStack, InfoBase, InfoBaseLevel, LEVEL_CAPACITY};
+pub use modifier::{Command, LabelStackModifier, OpResult, Outcome};
+pub use ops::{DiscardReason, IbOperation, Level, RouterType};
+pub use timing::{table6, ClockSpec};

@@ -1,0 +1,218 @@
+//! Operation encodings and small vocabulary types of the label stack
+//! modifier.
+
+use serde::{Deserialize, Serialize};
+
+/// The 2-bit operation stored in each information-base entry's operation
+//  component ("2 bits wide, 1 KB long", paper Fig. 13): "the label, index,
+/// operation (push, pop, swap, or no operation)" (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum IbOperation {
+    /// No operation — an unprogrammed or invalidated entry. Finding one
+    /// during a stack update is an inconsistency and discards the packet.
+    Nop = 0,
+    /// Push a new label on top of the stack (tunnel entry / LER ingress).
+    Push = 1,
+    /// Pop the top label (tunnel exit / LER egress).
+    Pop = 2,
+    /// Replace the top label (LSR transit).
+    Swap = 3,
+}
+
+impl IbOperation {
+    /// Decodes the 2-bit memory word. Total over 2-bit values.
+    pub const fn from_bits(bits: u64) -> Self {
+        match bits & 0b11 {
+            1 => Self::Push,
+            2 => Self::Pop,
+            3 => Self::Swap,
+            _ => Self::Nop,
+        }
+    }
+
+    /// Encodes into the 2-bit memory word.
+    pub const fn to_bits(self) -> u64 {
+        self as u64
+    }
+}
+
+impl core::fmt::Display for IbOperation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Self::Nop => "nop",
+            Self::Push => "push",
+            Self::Pop => "pop",
+            Self::Swap => "swap",
+        })
+    }
+}
+
+/// The `rtrtype` input: "Logic low is interpreted as LER while logic high
+/// is interpreted as LSR" (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RouterType {
+    /// Label Edge Router: attaches to layer-2 networks, may push onto an
+    /// empty stack keyed by the packet identifier.
+    Ler,
+    /// Label Switch Router: core router, operates on labeled packets only.
+    Lsr,
+}
+
+impl RouterType {
+    /// The logic level on the `rtrtype` pin.
+    pub const fn to_bit(self) -> bool {
+        matches!(self, Self::Lsr)
+    }
+
+    /// From the logic level.
+    pub const fn from_bit(bit: bool) -> Self {
+        if bit {
+            Self::Lsr
+        } else {
+            Self::Ler
+        }
+    }
+}
+
+/// One of the three information-base levels (paper Fig. 12).
+///
+/// Level 1 is indexed by the 32-bit packet identifier (it serves pushes
+/// onto an *empty* stack at an ingress LER); levels 2 and 3 are indexed by
+/// 20-bit labels and serve stacks of depth 1 and 2–3 respectively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Level {
+    /// Packet-identifier-keyed level.
+    L1 = 1,
+    /// Label-keyed level for depth-1 stacks.
+    L2 = 2,
+    /// Label-keyed level for depth-2 and depth-3 stacks.
+    L3 = 3,
+}
+
+impl Level {
+    /// All levels in order.
+    pub const ALL: [Level; 3] = [Level::L1, Level::L2, Level::L3];
+
+    /// Zero-based array index.
+    pub const fn index(self) -> usize {
+        self as usize - 1
+    }
+
+    /// Width of this level's index memory in bits: "the packet identifier
+    /// is 32 bits while a label is 20 bits so the memory for level 1 must
+    /// have different index memory than levels 2 and 3" (§3.2).
+    pub const fn index_width(self) -> u32 {
+        match self {
+            Level::L1 => 32,
+            Level::L2 | Level::L3 => 20,
+        }
+    }
+
+    /// The level consulted for a stack of `depth` labels: empty stacks use
+    /// the packet identifier (L1); deeper stacks use the label-keyed level
+    /// matching their nesting depth, clamped at L3.
+    pub const fn for_stack_depth(depth: usize) -> Self {
+        match depth {
+            0 => Level::L1,
+            1 => Level::L2,
+            _ => Level::L3,
+        }
+    }
+
+    /// Encodes the 2-bit `level` signal.
+    pub const fn to_bits(self) -> u64 {
+        self as u64
+    }
+
+    /// Decodes the 2-bit `level` signal; values 0 and 1 map to L1.
+    pub const fn from_bits(bits: u64) -> Self {
+        match bits & 0b11 {
+            2 => Level::L2,
+            3 => Level::L3,
+            _ => Level::L1,
+        }
+    }
+}
+
+impl core::fmt::Display for Level {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "level {}", *self as u8)
+    }
+}
+
+/// Why a packet was discarded ("the packet is discarded (i.e. the label
+/// stack is reset)", §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DiscardReason {
+    /// "The packet is immediately discarded if no information is found."
+    NoEntryFound,
+    /// "...or if the TTL has expired."
+    TtlExpired,
+    /// "If there are any inconsistencies in the information" — a Nop entry,
+    /// an operation impossible for the current stack (push overflow, or any
+    /// non-push on an empty stack).
+    InconsistentOperation,
+}
+
+impl core::fmt::Display for DiscardReason {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Self::NoEntryFound => "no information-base entry found",
+            Self::TtlExpired => "TTL expired",
+            Self::InconsistentOperation => "inconsistent operation",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operation_encoding_round_trips() {
+        for op in [
+            IbOperation::Nop,
+            IbOperation::Push,
+            IbOperation::Pop,
+            IbOperation::Swap,
+        ] {
+            assert_eq!(IbOperation::from_bits(op.to_bits()), op);
+        }
+        // Upper bits ignored like a 2-bit memory word.
+        assert_eq!(IbOperation::from_bits(0b111), IbOperation::Swap);
+        assert_eq!(IbOperation::from_bits(4), IbOperation::Nop);
+    }
+
+    #[test]
+    fn router_type_bit() {
+        assert!(!RouterType::Ler.to_bit());
+        assert!(RouterType::Lsr.to_bit());
+        assert_eq!(RouterType::from_bit(false), RouterType::Ler);
+        assert_eq!(RouterType::from_bit(true), RouterType::Lsr);
+    }
+
+    #[test]
+    fn level_widths() {
+        assert_eq!(Level::L1.index_width(), 32);
+        assert_eq!(Level::L2.index_width(), 20);
+        assert_eq!(Level::L3.index_width(), 20);
+    }
+
+    #[test]
+    fn level_for_depth() {
+        assert_eq!(Level::for_stack_depth(0), Level::L1);
+        assert_eq!(Level::for_stack_depth(1), Level::L2);
+        assert_eq!(Level::for_stack_depth(2), Level::L3);
+        assert_eq!(Level::for_stack_depth(3), Level::L3);
+    }
+
+    #[test]
+    fn level_bits_round_trip() {
+        for l in Level::ALL {
+            assert_eq!(Level::from_bits(l.to_bits()), l);
+        }
+        assert_eq!(Level::from_bits(0), Level::L1);
+    }
+}

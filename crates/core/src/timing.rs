@@ -1,0 +1,124 @@
+//! The closed-form cycle cost model (paper Table 6) and wall-clock
+//! conversion.
+//!
+//! These formulas are the paper's *claims*; the cycle-accurate model in
+//! [`crate::modifier`] is the *measurement*. The test suite and the Table 6
+//! bench assert that measurement equals claim for every row.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Worst-case cycle counts per operation (Table 6).
+pub mod table6 {
+    /// Reset.
+    pub const RESET: u64 = 3;
+    /// Push from the user.
+    pub const USER_PUSH: u64 = 3;
+    /// Pop from the user.
+    pub const USER_POP: u64 = 3;
+    /// Write label pair.
+    pub const WRITE_PAIR: u64 = 3;
+    /// Search the information base among `n` stored pairs: `3n + 5`.
+    pub const fn search(n: u64) -> u64 {
+        3 * n + 5
+    }
+    /// Search cost when the hit is at 1-based position `k`: the loop exits
+    /// as soon as the comparator matches.
+    pub const fn search_hit_at(k: u64) -> u64 {
+        3 * k + 5
+    }
+    /// Swap from the information base (after the search retires).
+    pub const SWAP_FROM_IB: u64 = 6;
+    /// Pop from the information base — model choice, documented in
+    /// DESIGN.md (the paper leaves it unspecified).
+    pub const POP_FROM_IB: u64 = 6;
+    /// Push from the information base onto a non-empty stack (the extra
+    /// `PUSH OLD` state costs one cycle).
+    pub const PUSH_FROM_IB: u64 = 7;
+    /// Push from the information base onto an empty stack (ingress LER).
+    pub const PUSH_FROM_IB_EMPTY: u64 = 6;
+    /// Update discarding on a miss: search plus the discard/done pair.
+    pub const fn update_miss(n: u64) -> u64 {
+        search(n) + 2
+    }
+    /// Update discarding at verification (expired TTL / inconsistent op).
+    pub const fn update_verify_discard(k: u64) -> u64 {
+        search_hit_at(k) + 5
+    }
+
+    /// The paper's §4 worst case: "the worst case number of cycles required
+    /// to reset the architecture, push three stack entries, fill an entire
+    /// level with 1024 label pairs and perform a swap would be 6167
+    /// cycles."
+    pub const fn worst_case_scenario() -> u64 {
+        RESET + 3 * USER_PUSH + 1024 * WRITE_PAIR + search(1024) + SWAP_FROM_IB
+    }
+}
+
+/// A clock specification for converting cycle counts into time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClockSpec {
+    /// Clock frequency in hertz.
+    pub freq_hz: f64,
+    /// Human-readable device name.
+    pub device: &'static str,
+}
+
+impl ClockSpec {
+    /// "an FPGA like the Altera Stratix EP1S40F780C5 with a 50MHz clock"
+    /// (§4).
+    pub const STRATIX_50MHZ: ClockSpec = ClockSpec {
+        freq_hz: 50.0e6,
+        device: "Altera Stratix EP1S40F780C5 @ 50 MHz",
+    };
+
+    /// Clock period.
+    pub fn period(&self) -> Duration {
+        Duration::from_secs_f64(1.0 / self.freq_hz)
+    }
+
+    /// Wall-clock duration of `cycles` clock cycles.
+    pub fn cycles_to_duration(&self, cycles: u64) -> Duration {
+        Duration::from_secs_f64(cycles as f64 / self.freq_hz)
+    }
+
+    /// Duration in microseconds, convenient for report tables.
+    pub fn cycles_to_us(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.freq_hz * 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worst_case_is_6167() {
+        // 3 + 9 + 3072 + 3077 + 6
+        assert_eq!(table6::worst_case_scenario(), 6167);
+    }
+
+    #[test]
+    fn search_formula() {
+        assert_eq!(table6::search(0), 5);
+        assert_eq!(table6::search(1), 8);
+        assert_eq!(table6::search(10), 35);
+        assert_eq!(table6::search(1024), 3077);
+    }
+
+    #[test]
+    fn worst_case_time_at_50mhz_is_about_123_microseconds() {
+        let us = ClockSpec::STRATIX_50MHZ.cycles_to_us(table6::worst_case_scenario());
+        // 6167 / 50e6 s = 123.34 µs ≈ the paper's "approximately 0.123 ms".
+        assert!((us - 123.34).abs() < 0.01, "got {us} µs");
+    }
+
+    #[test]
+    fn period_of_50mhz_clock() {
+        assert_eq!(ClockSpec::STRATIX_50MHZ.period(), Duration::from_nanos(20));
+        assert_eq!(
+            ClockSpec::STRATIX_50MHZ.cycles_to_duration(5),
+            Duration::from_nanos(100)
+        );
+    }
+}

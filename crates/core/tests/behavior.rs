@@ -1,0 +1,336 @@
+//! Behavioral tests for the label stack modifier: correct stack contents
+//! after each operation class, discard paths, router-type gating, and
+//! property tests over random information-base programs.
+
+use mpls_core::modifier::Outcome;
+use mpls_core::{DiscardReason, IbOperation, LabelStackModifier, Level, RouterType};
+use mpls_packet::{label::LabelStackEntry, CosBits, Label};
+use proptest::prelude::*;
+
+fn entry(label: u32, cos: u8, ttl: u8) -> LabelStackEntry {
+    LabelStackEntry::new(
+        Label::new(label).unwrap(),
+        CosBits::new(cos).unwrap(),
+        false,
+        ttl,
+    )
+}
+
+fn lbl(v: u32) -> Label {
+    Label::new(v).unwrap()
+}
+
+#[test]
+fn swap_replaces_label_decrements_ttl_keeps_cos() {
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    m.write_pair(Level::L2, 100, lbl(200), IbOperation::Swap);
+    m.user_push(entry(100, 5, 64));
+    let r = m.update_stack(0, CosBits::BEST_EFFORT, 0);
+    assert_eq!(r.outcome, Outcome::Updated { op: IbOperation::Swap });
+    let s = m.stack_snapshot();
+    s.validate().unwrap();
+    let top = s.top().unwrap();
+    assert_eq!(top.label.value(), 200);
+    assert_eq!(top.cos.value(), 5, "CoS unchanged by the embedded MPLS");
+    assert_eq!(top.ttl, 63, "TTL decremented once");
+    assert!(top.bottom);
+}
+
+#[test]
+fn push_adds_level_and_preserves_inner_entry() {
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    m.write_pair(Level::L2, 100, lbl(300), IbOperation::Push);
+    m.user_push(entry(100, 3, 64));
+    let r = m.update_stack(0, CosBits::BEST_EFFORT, 0);
+    assert_eq!(r.outcome, Outcome::Updated { op: IbOperation::Push });
+    let s = m.stack_snapshot();
+    s.validate().unwrap();
+    assert_eq!(s.depth(), 2);
+    assert_eq!(s.entries()[0].label.value(), 300, "new label on top");
+    assert_eq!(s.entries()[0].ttl, 63);
+    assert_eq!(s.entries()[0].cos.value(), 3, "tunnel entry inherits CoS");
+    assert_eq!(s.entries()[1].label.value(), 100, "old label below");
+    assert_eq!(s.entries()[1].ttl, 63, "old entry carries decremented TTL");
+}
+
+#[test]
+fn pop_removes_level_and_propagates_ttl() {
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    // Two-level stack; the top (inner tunnel) label pops at tunnel exit.
+    m.user_push(entry(10, 0, 40)); // becomes bottom
+    m.user_push(entry(20, 0, 30)); // top
+    m.write_pair(Level::L3, 20, lbl(0), IbOperation::Pop);
+    let r = m.update_stack(0, CosBits::BEST_EFFORT, 0);
+    assert_eq!(r.outcome, Outcome::Updated { op: IbOperation::Pop });
+    let s = m.stack_snapshot();
+    s.validate().unwrap();
+    assert_eq!(s.depth(), 1);
+    assert_eq!(s.entries()[0].label.value(), 10);
+    assert_eq!(s.entries()[0].ttl, 29, "outer TTL propagated inward");
+}
+
+#[test]
+fn pop_to_empty_at_egress_ler() {
+    let mut m = LabelStackModifier::new(RouterType::Ler);
+    m.user_push(entry(55, 0, 8));
+    m.write_pair(Level::L2, 55, lbl(0), IbOperation::Pop);
+    let r = m.update_stack(0, CosBits::BEST_EFFORT, 0);
+    assert_eq!(r.outcome, Outcome::Updated { op: IbOperation::Pop });
+    assert_eq!(m.stack_depth(), 0);
+}
+
+#[test]
+fn ingress_ler_push_uses_packet_identifier_and_control_path_values() {
+    let mut m = LabelStackModifier::new(RouterType::Ler);
+    m.write_pair(Level::L1, 0x0a000001, lbl(777), IbOperation::Push);
+    let r = m.update_stack(0x0a000001, CosBits::EXPEDITED, 63);
+    assert_eq!(r.outcome, Outcome::Updated { op: IbOperation::Push });
+    let s = m.stack_snapshot();
+    let top = s.top().unwrap();
+    assert_eq!(top.label.value(), 777);
+    assert_eq!(top.cos, CosBits::EXPEDITED, "CoS from control path");
+    assert_eq!(top.ttl, 63, "TTL from control path, not decremented");
+    assert!(top.bottom);
+}
+
+#[test]
+fn lsr_discards_unlabeled_packets() {
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    m.write_pair(Level::L1, 0x0a000001, lbl(777), IbOperation::Push);
+    let r = m.update_stack(0x0a000001, CosBits::BEST_EFFORT, 64);
+    assert_eq!(
+        r.outcome,
+        Outcome::Discarded(DiscardReason::InconsistentOperation),
+        "rtrtype high forbids the LER empty-stack path"
+    );
+}
+
+#[test]
+fn miss_discards_and_resets_stack() {
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    m.user_push(entry(123, 0, 64));
+    let r = m.update_stack(0, CosBits::BEST_EFFORT, 0);
+    assert_eq!(r.outcome, Outcome::Discarded(DiscardReason::NoEntryFound));
+    assert_eq!(m.stack_depth(), 0, "label stack is reset on discard");
+}
+
+#[test]
+fn expired_ttl_discards() {
+    for ttl in [0u8, 1] {
+        let mut m = LabelStackModifier::new(RouterType::Lsr);
+        m.write_pair(Level::L2, 9, lbl(10), IbOperation::Swap);
+        m.user_push(entry(9, 0, ttl));
+        let r = m.update_stack(0, CosBits::BEST_EFFORT, 0);
+        assert_eq!(
+            r.outcome,
+            Outcome::Discarded(DiscardReason::TtlExpired),
+            "ttl={ttl}"
+        );
+        assert_eq!(m.stack_depth(), 0);
+    }
+}
+
+#[test]
+fn nop_entry_is_inconsistent() {
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    m.write_pair(Level::L2, 9, lbl(10), IbOperation::Nop);
+    m.user_push(entry(9, 0, 64));
+    let r = m.update_stack(0, CosBits::BEST_EFFORT, 0);
+    assert_eq!(
+        r.outcome,
+        Outcome::Discarded(DiscardReason::InconsistentOperation)
+    );
+}
+
+#[test]
+fn push_onto_full_stack_is_inconsistent() {
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    for l in [1u32, 2, 3] {
+        m.user_push(entry(l, 0, 64));
+    }
+    m.write_pair(Level::L3, 3, lbl(4), IbOperation::Push);
+    let r = m.update_stack(0, CosBits::BEST_EFFORT, 0);
+    assert_eq!(
+        r.outcome,
+        Outcome::Discarded(DiscardReason::InconsistentOperation)
+    );
+}
+
+#[test]
+fn swap_on_full_stack_is_fine() {
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    for l in [1u32, 2, 3] {
+        m.user_push(entry(l, 0, 64));
+    }
+    m.write_pair(Level::L3, 3, lbl(4), IbOperation::Swap);
+    let r = m.update_stack(0, CosBits::BEST_EFFORT, 0);
+    assert_eq!(r.outcome, Outcome::Updated { op: IbOperation::Swap });
+    assert_eq!(m.stack_depth(), 3);
+    assert_eq!(m.stack_snapshot().top().unwrap().label.value(), 4);
+}
+
+#[test]
+fn user_pop_empty_is_fault() {
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    assert_eq!(m.user_pop().outcome, Outcome::StackFault);
+}
+
+#[test]
+fn user_push_overflow_is_fault() {
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    for l in [1u32, 2, 3] {
+        assert_eq!(m.user_push(entry(l, 0, 64)).outcome, Outcome::Done);
+    }
+    assert_eq!(m.user_push(entry(4, 0, 64)).outcome, Outcome::StackFault);
+    assert_eq!(m.stack_depth(), 3);
+}
+
+#[test]
+fn write_to_full_level_rejected() {
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    for i in 0..1024u64 {
+        assert_eq!(
+            m.write_pair(Level::L1, i, lbl(1), IbOperation::Push).outcome,
+            Outcome::Done
+        );
+    }
+    assert_eq!(
+        m.write_pair(Level::L1, 5000, lbl(1), IbOperation::Push)
+            .outcome,
+        Outcome::WriteRejected
+    );
+}
+
+#[test]
+fn first_written_pair_wins_on_duplicate_indices() {
+    // The search scans from slot 0 upward and stops at the first match, so
+    // re-binding a label requires rewriting the level (documented control-
+    // plane contract).
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    m.write_pair(Level::L2, 5, lbl(100), IbOperation::Swap);
+    m.write_pair(Level::L2, 5, lbl(200), IbOperation::Swap);
+    let r = m.lookup(Level::L2, 5);
+    assert_eq!(
+        r.outcome,
+        Outcome::LookupHit {
+            label: lbl(100),
+            op: IbOperation::Swap
+        }
+    );
+}
+
+#[test]
+fn levels_are_independent() {
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    m.write_pair(Level::L2, 5, lbl(100), IbOperation::Swap);
+    assert_eq!(m.lookup(Level::L3, 5).outcome, Outcome::LookupMiss);
+    assert_eq!(m.lookup(Level::L1, 5).outcome, Outcome::LookupMiss);
+    assert!(matches!(
+        m.lookup(Level::L2, 5).outcome,
+        Outcome::LookupHit { .. }
+    ));
+}
+
+#[test]
+fn reset_clears_stack_and_info_base() {
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    m.write_pair(Level::L2, 5, lbl(100), IbOperation::Swap);
+    m.user_push(entry(9, 0, 64));
+    m.reset();
+    assert_eq!(m.stack_depth(), 0);
+    assert_eq!(m.info_base().total_occupancy(), 0);
+    assert_eq!(m.lookup(Level::L2, 5).outcome, Outcome::LookupMiss);
+}
+
+#[test]
+fn back_to_back_operations_are_isolated() {
+    // The main FSM serializes sub-machines; results of one operation must
+    // not leak into the next.
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    m.write_pair(Level::L2, 1, lbl(10), IbOperation::Swap);
+    m.user_push(entry(1, 0, 64));
+    assert!(matches!(
+        m.update_stack(0, CosBits::BEST_EFFORT, 0).outcome,
+        Outcome::Updated { .. }
+    ));
+    // Immediately run a miss; previous hit state must not linger.
+    m.user_push(entry(999, 0, 64)); // depth 2 -> L3 (empty) -> miss
+    assert_eq!(
+        m.update_stack(0, CosBits::BEST_EFFORT, 0).outcome,
+        Outcome::Discarded(DiscardReason::NoEntryFound)
+    );
+    // And a fresh hit works again after the discard reset the stack.
+    m.user_push(entry(1, 0, 64));
+    assert!(matches!(
+        m.update_stack(0, CosBits::BEST_EFFORT, 0).outcome,
+        Outcome::Updated { .. }
+    ));
+}
+
+proptest! {
+    /// For random level-2 programs and a random labeled packet, the
+    /// modifier either applies the first matching pair's operation with
+    /// correct stack contents, or discards for the documented reason.
+    #[test]
+    fn random_swap_program_behaves(
+        pairs in proptest::collection::vec((1u64..64, 16u32..1000), 1..32),
+        top_label in 1u64..64,
+        ttl in 2u8..,
+        cos in 0u8..=7,
+    ) {
+        let mut m = LabelStackModifier::new(RouterType::Lsr);
+        for (idx, new_label) in &pairs {
+            m.write_pair(Level::L2, *idx, lbl(*new_label), IbOperation::Swap);
+        }
+        m.user_push(entry(top_label as u32, cos, ttl));
+        let r = m.update_stack(0, CosBits::BEST_EFFORT, 0);
+        let expected = pairs.iter().find(|(idx, _)| *idx == top_label);
+        match expected {
+            Some((_, new_label)) => {
+                prop_assert_eq!(r.outcome, Outcome::Updated { op: IbOperation::Swap });
+                let s = m.stack_snapshot();
+                prop_assert_eq!(s.top().unwrap().label.value(), *new_label);
+                prop_assert_eq!(s.top().unwrap().ttl, ttl - 1);
+                prop_assert_eq!(s.top().unwrap().cos.value(), cos);
+            }
+            None => {
+                prop_assert_eq!(r.outcome, Outcome::Discarded(DiscardReason::NoEntryFound));
+                prop_assert_eq!(m.stack_depth(), 0);
+            }
+        }
+    }
+
+    /// Search cost is exactly 3k+5 / 3n+5 for arbitrary programs.
+    #[test]
+    fn search_cost_formula_holds(
+        n in 1u64..48,
+        key_pos in 0u64..48,
+    ) {
+        let mut m = LabelStackModifier::new(RouterType::Lsr);
+        for i in 0..n {
+            m.write_pair(Level::L2, i + 1, lbl(700), IbOperation::Swap);
+        }
+        let r = m.lookup(Level::L2, key_pos + 1);
+        if key_pos < n {
+            prop_assert_eq!(r.cycles, 3 * (key_pos + 1) + 5);
+        } else {
+            prop_assert_eq!(r.cycles, 3 * n + 5);
+            prop_assert_eq!(r.outcome, Outcome::LookupMiss);
+        }
+    }
+
+    /// The hardware stack's S-bit invariant survives arbitrary user
+    /// push/pop interleavings.
+    #[test]
+    fn stack_invariant_over_user_ops(ops in proptest::collection::vec(any::<bool>(), 1..40)) {
+        let mut m = LabelStackModifier::new(RouterType::Lsr);
+        for (i, push) in ops.into_iter().enumerate() {
+            if push {
+                m.user_push(entry((i as u32 % 1000) + 1, 0, 64));
+            } else {
+                m.user_pop();
+            }
+            m.stack_snapshot().validate().unwrap();
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Table 6 cycle-accuracy tests: every row of the paper's timing table is
+//! asserted against the cycle-accurate model, including the 6167-cycle
+//! composite worst case of §4.
+
+use mpls_core::modifier::Outcome;
+use mpls_core::{table6, IbOperation, LabelStackModifier, Level, RouterType};
+use mpls_packet::{label::LabelStackEntry, CosBits, Label};
+
+fn entry(label: u32, ttl: u8) -> LabelStackEntry {
+    LabelStackEntry::new(Label::new(label).unwrap(), CosBits::BEST_EFFORT, false, ttl)
+}
+
+fn lbl(v: u32) -> Label {
+    Label::new(v).unwrap()
+}
+
+#[test]
+fn reset_takes_3_cycles() {
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    let r = m.reset();
+    assert_eq!(r.cycles, table6::RESET);
+    assert_eq!(r.outcome, Outcome::Done);
+}
+
+#[test]
+fn user_push_takes_3_cycles() {
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    let r = m.user_push(entry(100, 64));
+    assert_eq!(r.cycles, table6::USER_PUSH);
+    assert_eq!(r.outcome, Outcome::Done);
+    assert_eq!(m.stack_depth(), 1);
+}
+
+#[test]
+fn user_pop_takes_3_cycles() {
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    m.user_push(entry(100, 64));
+    let r = m.user_pop();
+    assert_eq!(r.cycles, table6::USER_POP);
+    assert!(matches!(r.outcome, Outcome::Popped(e) if e.label.value() == 100));
+}
+
+#[test]
+fn write_pair_takes_3_cycles() {
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    let r = m.write_pair(Level::L2, 7, lbl(700), IbOperation::Swap);
+    assert_eq!(r.cycles, table6::WRITE_PAIR);
+    assert_eq!(r.outcome, Outcome::Done);
+}
+
+#[test]
+fn search_miss_costs_3n_plus_5_for_all_small_n() {
+    for n in 0u64..=20 {
+        let mut m = LabelStackModifier::new(RouterType::Lsr);
+        for i in 0..n {
+            m.write_pair(Level::L2, i + 1, lbl(500 + i as u32), IbOperation::Swap);
+        }
+        // Key 999 999 is stored nowhere.
+        let r = m.lookup(Level::L2, 99_9999 & 0xF_FFFF);
+        assert_eq!(r.cycles, table6::search(n), "miss among n={n}");
+        assert_eq!(r.outcome, Outcome::LookupMiss);
+    }
+}
+
+#[test]
+fn search_hit_costs_3k_plus_5() {
+    let n = 16u64;
+    for k in 1..=n {
+        let mut m = LabelStackModifier::new(RouterType::Lsr);
+        for i in 0..n {
+            m.write_pair(Level::L3, i + 1, lbl(500 + i as u32), IbOperation::Pop);
+        }
+        // The pair with index k sits at 1-based position k.
+        let r = m.lookup(Level::L3, k);
+        assert_eq!(r.cycles, table6::search_hit_at(k), "hit at k={k}");
+        assert_eq!(
+            r.outcome,
+            Outcome::LookupHit {
+                label: lbl(500 + k as u32 - 1),
+                op: IbOperation::Pop
+            }
+        );
+    }
+}
+
+#[test]
+fn search_over_full_level_costs_3077() {
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    for i in 0..1024u64 {
+        let r = m.write_pair(Level::L2, i + 1, lbl(i as u32), IbOperation::Swap);
+        assert_eq!(r.outcome, Outcome::Done);
+    }
+    let r = m.lookup(Level::L2, 0xF_FFFF); // miss
+    assert_eq!(r.cycles, table6::search(1024));
+    assert_eq!(r.cycles, 3077);
+}
+
+#[test]
+fn swap_from_info_base_costs_search_plus_6() {
+    for (n, k) in [(1u64, 1u64), (10, 4), (10, 10), (64, 33)] {
+        let mut m = LabelStackModifier::new(RouterType::Lsr);
+        for i in 0..n {
+            m.write_pair(Level::L2, i + 1, lbl(500 + i as u32), IbOperation::Swap);
+        }
+        m.user_push(entry(k as u32, 64));
+        let r = m.update_stack(0, CosBits::BEST_EFFORT, 0);
+        assert_eq!(
+            r.cycles,
+            table6::search_hit_at(k) + table6::SWAP_FROM_IB,
+            "swap with n={n} hit at k={k}"
+        );
+        assert_eq!(r.outcome, Outcome::Updated { op: IbOperation::Swap });
+    }
+}
+
+#[test]
+fn pop_from_info_base_costs_search_plus_6() {
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    m.write_pair(Level::L2, 42, lbl(0), IbOperation::Pop);
+    m.user_push(entry(42, 64));
+    let r = m.update_stack(0, CosBits::BEST_EFFORT, 0);
+    assert_eq!(r.cycles, table6::search_hit_at(1) + table6::POP_FROM_IB);
+    assert_eq!(r.outcome, Outcome::Updated { op: IbOperation::Pop });
+    assert_eq!(m.stack_depth(), 0);
+}
+
+#[test]
+fn push_from_info_base_costs_search_plus_7_on_nonempty_stack() {
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    m.write_pair(Level::L2, 42, lbl(900), IbOperation::Push);
+    m.user_push(entry(42, 64));
+    let r = m.update_stack(0, CosBits::BEST_EFFORT, 0);
+    assert_eq!(r.cycles, table6::search_hit_at(1) + table6::PUSH_FROM_IB);
+    assert_eq!(r.outcome, Outcome::Updated { op: IbOperation::Push });
+    assert_eq!(m.stack_depth(), 2);
+}
+
+#[test]
+fn push_from_info_base_costs_search_plus_6_on_empty_stack() {
+    let mut m = LabelStackModifier::new(RouterType::Ler);
+    m.write_pair(Level::L1, 0xc0a80101, lbl(900), IbOperation::Push);
+    let r = m.update_stack(0xc0a80101, CosBits::EXPEDITED, 64);
+    assert_eq!(
+        r.cycles,
+        table6::search_hit_at(1) + table6::PUSH_FROM_IB_EMPTY
+    );
+    assert_eq!(r.outcome, Outcome::Updated { op: IbOperation::Push });
+}
+
+#[test]
+fn update_miss_costs_search_plus_2() {
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    for i in 0..5u64 {
+        m.write_pair(Level::L2, i + 1, lbl(500), IbOperation::Swap);
+    }
+    m.user_push(entry(999, 64));
+    let r = m.update_stack(0, CosBits::BEST_EFFORT, 0);
+    assert_eq!(r.cycles, table6::update_miss(5));
+    assert_eq!(
+        r.outcome,
+        Outcome::Discarded(mpls_core::DiscardReason::NoEntryFound)
+    );
+}
+
+#[test]
+fn verify_discard_costs_search_plus_5() {
+    // TTL of 1 decrements to zero: discarded in VERIFY INFO.
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    m.write_pair(Level::L2, 8, lbl(700), IbOperation::Swap);
+    m.user_push(entry(8, 1));
+    let r = m.update_stack(0, CosBits::BEST_EFFORT, 0);
+    assert_eq!(r.cycles, table6::update_verify_discard(1));
+    assert_eq!(
+        r.outcome,
+        Outcome::Discarded(mpls_core::DiscardReason::TtlExpired)
+    );
+}
+
+/// The paper's §4 composite: reset + 3 user pushes + 1024 writes + a swap
+/// whose search scans a full level = 6167 cycles ⇒ ~123.34 µs at 50 MHz.
+#[test]
+fn worst_case_scenario_totals_6167_cycles() {
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    let mut total = 0u64;
+
+    total += m.reset().cycles;
+    // Three pushes; top label 1024 will match the last-written pair.
+    for l in [1u32, 2, 1024] {
+        total += m.user_push(entry(l, 64)).cycles;
+    }
+    // Fill level 3 (the level a depth-3 stack consults) completely.
+    // Pair i: index i+1 -> label i.
+    for i in 0..1024u64 {
+        total += m
+            .write_pair(Level::L3, i + 1, lbl(i as u32), IbOperation::Swap)
+            .cycles;
+    }
+    // Swap: top label is 1024, stored at position 1024 (worst case).
+    let r = m.update_stack(0, CosBits::BEST_EFFORT, 0);
+    assert_eq!(r.outcome, Outcome::Updated { op: IbOperation::Swap });
+    total += r.cycles;
+
+    assert_eq!(total, 6167);
+    assert_eq!(total, table6::worst_case_scenario());
+
+    let us = mpls_core::ClockSpec::STRATIX_50MHZ.cycles_to_us(total);
+    assert!((us - 123.34).abs() < 0.01, "{us} µs");
+}
+
+#[test]
+fn total_cycles_counter_accumulates() {
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    let a = m.user_push(entry(1, 9)).cycles;
+    let b = m.user_pop().cycles;
+    m.idle(4);
+    assert_eq!(m.total_cycles(), a + b + 4);
+}

@@ -1,0 +1,208 @@
+//! Cycle-by-cycle verification of the control-unit schedules against the
+//! state diagrams of Figs. 8–11: which FSM is in which state on every
+//! clock of each operation class.
+
+use mpls_core::fsm::{IbState, LblState, MainState, SearchState};
+use mpls_core::modifier::Command;
+use mpls_core::{IbOperation, LabelStackModifier, Level, RouterType};
+use mpls_packet::{label::LabelStackEntry, CosBits, Label};
+
+fn entry(label: u32, ttl: u8) -> LabelStackEntry {
+    LabelStackEntry::new(Label::new(label).unwrap(), CosBits::BEST_EFFORT, false, ttl)
+}
+
+/// Steps a begun command to completion, recording the state tuple seen
+/// *during* each clock period (i.e., before each edge).
+fn record(m: &mut LabelStackModifier) -> Vec<(MainState, LblState, IbState, SearchState)> {
+    let mut states = Vec::new();
+    loop {
+        states.push(m.fsm_states());
+        m.step();
+        if states.len() > 1 && !m.busy() {
+            break;
+        }
+        assert!(states.len() < 10_000, "runaway schedule");
+    }
+    m.finish_command();
+    states
+}
+
+#[test]
+fn user_push_schedule() {
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    m.begin(Command::UserPush(entry(5, 64)));
+    let states = record(&mut m);
+    // Cycle 1: dispatch; cycle 2: label interface enters; cycle 3: the
+    // USER PUSH state acts and signals done.
+    assert_eq!(
+        states,
+        vec![
+            (MainState::Idle, LblState::Idle, IbState::Idle, SearchState::Idle),
+            (MainState::LblInterfaceActive, LblState::Idle, IbState::Idle, SearchState::Idle),
+            (MainState::LblInterfaceActive, LblState::UserPush, IbState::Idle, SearchState::Idle),
+        ]
+    );
+    assert_eq!(m.stack_depth(), 1);
+}
+
+#[test]
+fn write_pair_schedule() {
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    m.begin(Command::WritePair {
+        level: Level::L2,
+        index: 9,
+        new_label: Label::new(900).unwrap(),
+        op: IbOperation::Swap,
+    });
+    let states = record(&mut m);
+    assert_eq!(
+        states.iter().map(|s| s.2).collect::<Vec<_>>(),
+        vec![IbState::Idle, IbState::Idle, IbState::WritePair]
+    );
+    assert_eq!(states.len() as u64, mpls_core::table6::WRITE_PAIR);
+}
+
+#[test]
+fn lookup_schedule_hit_at_first_slot() {
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    m.write_pair(Level::L2, 1, Label::new(500).unwrap(), IbOperation::Swap);
+    m.begin(Command::Lookup {
+        level: Level::L2,
+        key: 1,
+    });
+    let states = record(&mut m);
+    let search: Vec<SearchState> = states.iter().map(|s| s.3).collect();
+    assert_eq!(
+        search,
+        vec![
+            SearchState::Idle,     // dispatch
+            SearchState::Idle,     // ib enters SEARCH ENABLE
+            SearchState::Idle,     // search sees enable, leaves idle
+            SearchState::Read,     // read address driven
+            SearchState::WaitInfo, // RAM latency
+            SearchState::Compare,  // comparator fires: hit
+            SearchState::FoundWait,
+            SearchState::DoneHit,
+        ],
+        "search FSM must follow Fig. 11 exactly"
+    );
+    assert_eq!(states.len() as u64, mpls_core::table6::search_hit_at(1));
+}
+
+#[test]
+fn lookup_miss_schedule_loops_per_entry() {
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    for i in 0..3u64 {
+        m.write_pair(Level::L2, i + 1, Label::new(500).unwrap(), IbOperation::Swap);
+    }
+    m.begin(Command::Lookup {
+        level: Level::L2,
+        key: 999,
+    });
+    let states = record(&mut m);
+    let search: Vec<SearchState> = states.iter().map(|s| s.3).collect();
+    // Three read/wait/compare triples, then the miss pair.
+    let mut expected = vec![SearchState::Idle; 3];
+    for _ in 0..3 {
+        expected.extend([SearchState::Read, SearchState::WaitInfo, SearchState::Compare]);
+    }
+    expected.extend([SearchState::MissWait, SearchState::DoneMiss]);
+    assert_eq!(search, expected);
+    assert_eq!(states.len() as u64, mpls_core::table6::search(3));
+}
+
+#[test]
+fn swap_schedule_appends_the_six_modify_states() {
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    m.write_pair(Level::L2, 7, Label::new(70).unwrap(), IbOperation::Swap);
+    m.user_push(entry(7, 64));
+    m.begin(Command::UpdateStack {
+        packet_id: 0,
+        push_cos: CosBits::BEST_EFFORT,
+        push_ttl: 0,
+        level_override: None,
+    });
+    let states = record(&mut m);
+    let lbl: Vec<LblState> = states.iter().map(|s| s.1).collect();
+    let tail: Vec<LblState> = lbl[lbl.len() - 6..].to_vec();
+    assert_eq!(
+        tail,
+        vec![
+            LblState::RemoveTop,
+            LblState::UpdateTtl,
+            LblState::VerifyInfo,
+            LblState::PushNew,
+            LblState::SaveEntry,
+            LblState::Done,
+        ],
+        "the swap path of Fig. 9"
+    );
+    // Everything before the modify tail is search time.
+    assert_eq!(
+        states.len() as u64,
+        mpls_core::table6::search_hit_at(1) + mpls_core::table6::SWAP_FROM_IB
+    );
+}
+
+#[test]
+fn push_schedule_includes_push_old() {
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    m.write_pair(Level::L2, 7, Label::new(70).unwrap(), IbOperation::Push);
+    m.user_push(entry(7, 64));
+    m.begin(Command::UpdateStack {
+        packet_id: 0,
+        push_cos: CosBits::BEST_EFFORT,
+        push_ttl: 0,
+        level_override: None,
+    });
+    let states = record(&mut m);
+    let lbl: Vec<LblState> = states.iter().map(|s| s.1).collect();
+    assert!(
+        lbl.windows(2)
+            .any(|w| w == [LblState::PushOld, LblState::PushNew]),
+        "push path must pass PUSH OLD then PUSH NEW: {lbl:?}"
+    );
+}
+
+#[test]
+fn main_serializes_the_interfaces() {
+    // "It is used to ensure that the remaining state machines are not
+    // working at the same time": whenever the label interface is out of
+    // idle, the info-base interface must not be mid-write, and vice versa
+    // (the shared search machine is exempt by design).
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    m.write_pair(Level::L2, 7, Label::new(70).unwrap(), IbOperation::Swap);
+    m.user_push(entry(7, 64));
+    m.begin(Command::UpdateStack {
+        packet_id: 0,
+        push_cos: CosBits::BEST_EFFORT,
+        push_ttl: 0,
+        level_override: None,
+    });
+    for s in record(&mut m) {
+        let lbl_busy = s.1 != LblState::Idle;
+        let ib_busy = s.2 != IbState::Idle;
+        assert!(!(lbl_busy && ib_busy), "interfaces overlapped: {s:?}");
+    }
+}
+
+#[test]
+fn level_override_searches_the_requested_level() {
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    // Pair lives in L3; the depth-1 stack would normally consult L2.
+    m.write_pair(Level::L3, 7, Label::new(70).unwrap(), IbOperation::Swap);
+    m.user_push(entry(7, 64));
+    let r = m.execute(Command::UpdateStack {
+        packet_id: 0,
+        push_cos: CosBits::BEST_EFFORT,
+        push_ttl: 0,
+        level_override: Some(Level::L3),
+    });
+    assert_eq!(
+        r.outcome,
+        mpls_core::Outcome::Updated {
+            op: IbOperation::Swap
+        }
+    );
+    assert_eq!(m.stack_snapshot().top().unwrap().label.value(), 70);
+}

@@ -1,0 +1,340 @@
+//! The software label stack processor — the pure-software twin of the
+//! hardware label stack modifier.
+//!
+//! [`SoftwareForwarder::process`] implements exactly the per-packet update
+//! the hardware performs (search the depth-selected level, then
+//! push/pop/swap with TTL handling and discard rules), so the two planes
+//! are interchangeable behind the router crate's forwarding trait and
+//! differentially testable.
+
+use crate::fib::{Fib, FibLevel};
+use crate::lookup::LookupStrategy;
+use crate::types::{Discard, LabelBinding, LabelOp, SwRouterType};
+use mpls_packet::{label::LabelStackEntry, CosBits, Label, LabelStack, Ttl, MAX_STACK_DEPTH};
+
+/// Result of processing one packet's label stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcessResult {
+    /// The stack was updated by this operation.
+    Updated {
+        /// The applied operation.
+        op: LabelOp,
+    },
+    /// The packet must be discarded; the stack has been cleared.
+    Discarded(Discard),
+}
+
+/// A software MPLS forwarder over a pluggable lookup strategy.
+#[derive(Debug, Clone, Default)]
+pub struct SoftwareForwarder<S: LookupStrategy> {
+    router_type_is_lsr: bool,
+    fib: Fib<S>,
+    /// Cumulative probe count, for the scaling experiments.
+    probes: u64,
+    /// Packets processed.
+    processed: u64,
+    /// Packets discarded.
+    discarded: u64,
+}
+
+impl<S: LookupStrategy> SoftwareForwarder<S> {
+    /// Creates a forwarder of the given role.
+    pub fn new(router_type: SwRouterType) -> Self {
+        Self {
+            router_type_is_lsr: matches!(router_type, SwRouterType::Lsr),
+            fib: Fib::new(),
+            probes: 0,
+            processed: 0,
+            discarded: 0,
+        }
+    }
+
+    /// The configured role.
+    pub fn router_type(&self) -> SwRouterType {
+        if self.router_type_is_lsr {
+            SwRouterType::Lsr
+        } else {
+            SwRouterType::Ler
+        }
+    }
+
+    /// The forwarding tables.
+    pub fn fib(&self) -> &Fib<S> {
+        &self.fib
+    }
+
+    /// Mutable access for the control plane.
+    pub fn fib_mut(&mut self) -> &mut Fib<S> {
+        &mut self.fib
+    }
+
+    /// Convenience: bind `key -> (new_label, op)` at `level`.
+    pub fn bind(&mut self, level: FibLevel, key: u64, new_label: Label, op: LabelOp) {
+        self.fib.bind(level, key, LabelBinding::new(new_label, op));
+    }
+
+    /// Cumulative key comparisons performed by lookups.
+    pub fn total_probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// `(processed, discarded)` packet counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.processed, self.discarded)
+    }
+
+    /// Processes one packet: `stack` is updated in place (cleared on
+    /// discard). `packet_id` keys the level-1 lookup for unlabeled
+    /// packets; `push_cos`/`push_ttl` seed a fresh ingress push.
+    pub fn process(
+        &mut self,
+        stack: &mut LabelStack,
+        packet_id: u32,
+        push_cos: CosBits,
+        push_ttl: Ttl,
+    ) -> ProcessResult {
+        self.processed += 1;
+        let depth = stack.depth();
+        let level = FibLevel::for_stack_depth(depth);
+        let key = if depth == 0 {
+            packet_id as u64
+        } else {
+            stack.top().expect("depth > 0").label.value() as u64
+        };
+
+        let (binding, probes) = self.fib.lookup(level, key);
+        self.probes += probes as u64;
+        let Some(binding) = binding else {
+            return self.discard(stack, Discard::NoEntryFound);
+        };
+
+        if depth == 0 {
+            return self.ingress_push(stack, binding, push_cos, push_ttl);
+        }
+
+        // Labeled path: remove the top, decrement its TTL, verify, apply.
+        let top = *stack.top().expect("depth > 0");
+        if top.ttl <= 1 {
+            return self.discard(stack, Discard::TtlExpired);
+        }
+        let new_ttl = top.ttl - 1;
+
+        match binding.op {
+            LabelOp::Nop => self.discard(stack, Discard::InconsistentOperation),
+            LabelOp::Swap => {
+                stack.swap(binding.new_label).expect("non-empty");
+                // swap keeps CoS; propagate the decremented TTL.
+                let mut e = *stack.top().expect("non-empty");
+                e.ttl = new_ttl;
+                stack.pop().expect("non-empty");
+                stack.push(e).expect("same depth");
+                ProcessResult::Updated { op: LabelOp::Swap }
+            }
+            LabelOp::Pop => {
+                stack.pop().expect("non-empty");
+                // Uniform TTL model: write the decremented TTL into the
+                // newly exposed entry, if any.
+                if let Some(inner) = stack.top().copied() {
+                    let mut e = inner;
+                    e.ttl = new_ttl;
+                    stack.pop().expect("non-empty");
+                    stack.push(e).expect("same depth");
+                }
+                ProcessResult::Updated { op: LabelOp::Pop }
+            }
+            LabelOp::Push => {
+                if depth + 1 > MAX_STACK_DEPTH {
+                    return self.discard(stack, Discard::InconsistentOperation);
+                }
+                // Old entry keeps its label/CoS with the decremented TTL;
+                // the new entry inherits CoS and TTL from it.
+                let mut old = top;
+                old.ttl = new_ttl;
+                stack.pop().expect("non-empty");
+                stack.push(old).expect("capacity checked");
+                stack
+                    .push(LabelStackEntry::new(
+                        binding.new_label,
+                        top.cos,
+                        false,
+                        new_ttl,
+                    ))
+                    .expect("capacity checked");
+                ProcessResult::Updated { op: LabelOp::Push }
+            }
+        }
+    }
+
+    fn ingress_push(
+        &mut self,
+        stack: &mut LabelStack,
+        binding: LabelBinding,
+        push_cos: CosBits,
+        push_ttl: Ttl,
+    ) -> ProcessResult {
+        // Only an LER may label an unlabeled packet, and only via push.
+        if self.router_type_is_lsr || binding.op != LabelOp::Push {
+            return self.discard(stack, Discard::InconsistentOperation);
+        }
+        if push_ttl == 0 {
+            return self.discard(stack, Discard::TtlExpired);
+        }
+        stack
+            .push(LabelStackEntry::new(
+                binding.new_label,
+                push_cos,
+                false,
+                push_ttl,
+            ))
+            .expect("empty stack");
+        ProcessResult::Updated { op: LabelOp::Push }
+    }
+
+    fn discard(&mut self, stack: &mut LabelStack, reason: Discard) -> ProcessResult {
+        self.discarded += 1;
+        stack.clear();
+        ProcessResult::Discarded(reason)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lookup::{HashTable, LinearTable};
+
+    fn lbl(v: u32) -> Label {
+        Label::new(v).unwrap()
+    }
+
+    fn labeled_stack(labels: &[(u32, u8, u8)]) -> LabelStack {
+        // (label, cos, ttl) bottom-first.
+        let mut s = LabelStack::new();
+        for (l, c, t) in labels {
+            s.push_parts(lbl(*l), CosBits::new(*c).unwrap(), *t).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn swap_semantics() {
+        let mut f: SoftwareForwarder<HashTable> = SoftwareForwarder::new(SwRouterType::Lsr);
+        f.bind(FibLevel::L2, 100, lbl(200), LabelOp::Swap);
+        let mut s = labeled_stack(&[(100, 5, 64)]);
+        let r = f.process(&mut s, 0, CosBits::BEST_EFFORT, 0);
+        assert_eq!(r, ProcessResult::Updated { op: LabelOp::Swap });
+        let top = s.top().unwrap();
+        assert_eq!(top.label.value(), 200);
+        assert_eq!(top.ttl, 63);
+        assert_eq!(top.cos.value(), 5);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn pop_propagates_ttl() {
+        let mut f: SoftwareForwarder<LinearTable> = SoftwareForwarder::new(SwRouterType::Lsr);
+        f.bind(FibLevel::L3, 20, lbl(0), LabelOp::Pop);
+        let mut s = labeled_stack(&[(10, 0, 40), (20, 0, 30)]);
+        let r = f.process(&mut s, 0, CosBits::BEST_EFFORT, 0);
+        assert_eq!(r, ProcessResult::Updated { op: LabelOp::Pop });
+        assert_eq!(s.depth(), 1);
+        assert_eq!(s.top().unwrap().label.value(), 10);
+        assert_eq!(s.top().unwrap().ttl, 29);
+    }
+
+    #[test]
+    fn push_adds_level() {
+        let mut f: SoftwareForwarder<HashTable> = SoftwareForwarder::new(SwRouterType::Lsr);
+        f.bind(FibLevel::L2, 100, lbl(300), LabelOp::Push);
+        let mut s = labeled_stack(&[(100, 3, 64)]);
+        let r = f.process(&mut s, 0, CosBits::BEST_EFFORT, 0);
+        assert_eq!(r, ProcessResult::Updated { op: LabelOp::Push });
+        assert_eq!(s.depth(), 2);
+        assert_eq!(s.entries()[0].label.value(), 300);
+        assert_eq!(s.entries()[0].ttl, 63);
+        assert_eq!(s.entries()[1].label.value(), 100);
+        assert_eq!(s.entries()[1].ttl, 63);
+    }
+
+    #[test]
+    fn ingress_push_on_ler() {
+        let mut f: SoftwareForwarder<HashTable> = SoftwareForwarder::new(SwRouterType::Ler);
+        f.bind(FibLevel::L1, 0x0a000001, lbl(777), LabelOp::Push);
+        let mut s = LabelStack::new();
+        let r = f.process(&mut s, 0x0a000001, CosBits::EXPEDITED, 63);
+        assert_eq!(r, ProcessResult::Updated { op: LabelOp::Push });
+        let top = s.top().unwrap();
+        assert_eq!(top.label.value(), 777);
+        assert_eq!(top.cos, CosBits::EXPEDITED);
+        assert_eq!(top.ttl, 63);
+    }
+
+    #[test]
+    fn lsr_rejects_unlabeled() {
+        let mut f: SoftwareForwarder<HashTable> = SoftwareForwarder::new(SwRouterType::Lsr);
+        f.bind(FibLevel::L1, 1, lbl(777), LabelOp::Push);
+        let mut s = LabelStack::new();
+        assert_eq!(
+            f.process(&mut s, 1, CosBits::BEST_EFFORT, 64),
+            ProcessResult::Discarded(Discard::InconsistentOperation)
+        );
+    }
+
+    #[test]
+    fn ttl_expiry_clears_stack() {
+        let mut f: SoftwareForwarder<HashTable> = SoftwareForwarder::new(SwRouterType::Lsr);
+        f.bind(FibLevel::L2, 9, lbl(10), LabelOp::Swap);
+        for ttl in [0u8, 1] {
+            let mut s = labeled_stack(&[(9, 0, ttl)]);
+            assert_eq!(
+                f.process(&mut s, 0, CosBits::BEST_EFFORT, 0),
+                ProcessResult::Discarded(Discard::TtlExpired)
+            );
+            assert!(s.is_empty());
+        }
+    }
+
+    #[test]
+    fn miss_discards() {
+        let mut f: SoftwareForwarder<LinearTable> = SoftwareForwarder::new(SwRouterType::Lsr);
+        let mut s = labeled_stack(&[(9, 0, 64)]);
+        assert_eq!(
+            f.process(&mut s, 0, CosBits::BEST_EFFORT, 0),
+            ProcessResult::Discarded(Discard::NoEntryFound)
+        );
+        assert!(s.is_empty());
+        assert_eq!(f.counters(), (1, 1));
+    }
+
+    #[test]
+    fn nop_binding_discards() {
+        let mut f: SoftwareForwarder<HashTable> = SoftwareForwarder::new(SwRouterType::Lsr);
+        f.bind(FibLevel::L2, 9, lbl(10), LabelOp::Nop);
+        let mut s = labeled_stack(&[(9, 0, 64)]);
+        assert_eq!(
+            f.process(&mut s, 0, CosBits::BEST_EFFORT, 0),
+            ProcessResult::Discarded(Discard::InconsistentOperation)
+        );
+    }
+
+    #[test]
+    fn push_overflow_discards() {
+        let mut f: SoftwareForwarder<HashTable> = SoftwareForwarder::new(SwRouterType::Lsr);
+        f.bind(FibLevel::L3, 3, lbl(4), LabelOp::Push);
+        let mut s = labeled_stack(&[(1, 0, 64), (2, 0, 64), (3, 0, 64)]);
+        assert_eq!(
+            f.process(&mut s, 0, CosBits::BEST_EFFORT, 0),
+            ProcessResult::Discarded(Discard::InconsistentOperation)
+        );
+    }
+
+    #[test]
+    fn probe_accounting_accumulates() {
+        let mut f: SoftwareForwarder<LinearTable> = SoftwareForwarder::new(SwRouterType::Lsr);
+        for i in 1..=8u64 {
+            f.bind(FibLevel::L2, i, lbl(500), LabelOp::Swap);
+        }
+        let mut s = labeled_stack(&[(8, 0, 64)]);
+        f.process(&mut s, 0, CosBits::BEST_EFFORT, 0);
+        assert_eq!(f.total_probes(), 8);
+    }
+}

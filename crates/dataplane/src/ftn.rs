@@ -1,0 +1,187 @@
+//! Prefix-based FEC-to-NHLFE (FTN) classification.
+//!
+//! The hardware architecture keys its level-1 lookups on the exact 32-bit
+//! packet identifier. A production ingress LER instead classifies packets
+//! into Forwarding Equivalence Classes by longest-prefix match on the
+//! destination address (RFC 3031 §3.1) and then expands each covered host
+//! route into the exact-match table the hardware can search. This module
+//! provides that classification step for the control plane and the
+//! network simulator.
+
+use crate::types::LabelBinding;
+use serde::{Deserialize, Serialize};
+
+/// An IPv4 prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Prefix {
+    /// Network address (host bits zeroed at construction).
+    pub addr: u32,
+    /// Prefix length, 0–32.
+    pub len: u8,
+}
+
+impl Prefix {
+    /// Creates a prefix, zeroing host bits.
+    pub fn new(addr: u32, len: u8) -> Self {
+        assert!(len <= 32, "prefix length {len} > 32");
+        Self {
+            addr: addr & Self::mask(len),
+            len,
+        }
+    }
+
+    /// The netmask for a prefix length.
+    pub fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len as u32)
+        }
+    }
+
+    /// True when `addr` falls inside this prefix.
+    pub fn contains(&self, addr: u32) -> bool {
+        addr & Self::mask(self.len) == self.addr
+    }
+}
+
+impl core::fmt::Display for Prefix {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let b = self.addr.to_be_bytes();
+        write!(f, "{}.{}.{}.{}/{}", b[0], b[1], b[2], b[3], self.len)
+    }
+}
+
+/// A longest-prefix-match FTN table.
+///
+/// Entries are kept sorted by descending prefix length so a lookup scans
+/// most-specific first — adequate for the table sizes of the experiments
+/// (a trie would be overkill and is documented as a non-goal).
+#[derive(Debug, Clone, Default)]
+pub struct PrefixFtn {
+    /// `(prefix, binding)` sorted by descending `prefix.len`.
+    entries: Vec<(Prefix, LabelBinding)>,
+}
+
+impl PrefixFtn {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a prefix binding, replacing an existing identical prefix.
+    pub fn insert(&mut self, prefix: Prefix, binding: LabelBinding) {
+        if let Some(e) = self.entries.iter_mut().find(|(p, _)| *p == prefix) {
+            e.1 = binding;
+            return;
+        }
+        let pos = self
+            .entries
+            .partition_point(|(p, _)| p.len >= prefix.len);
+        self.entries.insert(pos, (prefix, binding));
+    }
+
+    /// Longest-prefix-match lookup.
+    pub fn lookup(&self, addr: u32) -> Option<(Prefix, LabelBinding)> {
+        self.entries
+            .iter()
+            .find(|(p, _)| p.contains(addr))
+            .copied()
+    }
+
+    /// Number of prefixes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries most-specific first.
+    pub fn iter(&self) -> impl Iterator<Item = &(Prefix, LabelBinding)> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::LabelOp;
+    use mpls_packet::ipv4::parse_addr;
+    use mpls_packet::Label;
+    use proptest::prelude::*;
+
+    fn b(l: u32) -> LabelBinding {
+        LabelBinding::new(Label::new(l).unwrap(), LabelOp::Push)
+    }
+
+    #[test]
+    fn prefix_normalizes_host_bits() {
+        let p = Prefix::new(parse_addr("10.1.2.3").unwrap(), 16);
+        assert_eq!(p.to_string(), "10.1.0.0/16");
+        assert!(p.contains(parse_addr("10.1.200.7").unwrap()));
+        assert!(!p.contains(parse_addr("10.2.0.1").unwrap()));
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let mut t = PrefixFtn::new();
+        t.insert(Prefix::new(0, 0), b(1));
+        assert!(t.lookup(0xdead_beef).is_some());
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut t = PrefixFtn::new();
+        t.insert(Prefix::new(parse_addr("10.0.0.0").unwrap(), 8), b(100));
+        t.insert(Prefix::new(parse_addr("10.1.0.0").unwrap(), 16), b(200));
+        t.insert(Prefix::new(parse_addr("10.1.5.0").unwrap(), 24), b(300));
+        let hit = |a: &str| t.lookup(parse_addr(a).unwrap()).unwrap().1.new_label.value();
+        assert_eq!(hit("10.1.5.9"), 300);
+        assert_eq!(hit("10.1.9.9"), 200);
+        assert_eq!(hit("10.9.9.9"), 100);
+        assert!(t.lookup(parse_addr("11.0.0.1").unwrap()).is_none());
+    }
+
+    #[test]
+    fn insert_replaces_same_prefix() {
+        let mut t = PrefixFtn::new();
+        let p = Prefix::new(parse_addr("10.0.0.0").unwrap(), 8);
+        t.insert(p, b(1));
+        t.insert(p, b(2));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(parse_addr("10.0.0.1").unwrap()).unwrap().1, b(2));
+    }
+
+    #[test]
+    fn mask_edges() {
+        assert_eq!(Prefix::mask(0), 0);
+        assert_eq!(Prefix::mask(32), u32::MAX);
+        assert_eq!(Prefix::mask(8), 0xFF00_0000);
+    }
+
+    proptest! {
+        #[test]
+        fn lookup_agrees_with_brute_force(
+            prefixes in proptest::collection::vec((any::<u32>(), 0u8..=32, 16u32..1000), 1..24),
+            addr: u32,
+        ) {
+            let mut t = PrefixFtn::new();
+            let mut raw = Vec::new();
+            for (a, l, label) in prefixes {
+                let p = Prefix::new(a, l);
+                t.insert(p, b(label));
+                raw.retain(|(q, _): &(Prefix, LabelBinding)| *q != p);
+                raw.push((p, b(label)));
+            }
+            let expected = raw
+                .iter()
+                .filter(|(p, _)| p.contains(addr))
+                .max_by_key(|(p, _)| p.len)
+                .map(|(p, _)| p.len);
+            prop_assert_eq!(t.lookup(addr).map(|(p, _)| p.len), expected);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! Software MPLS data plane.
+//!
+//! "Most existing MPLS solutions are entirely software based" (paper §1,
+//! abstract) — this crate is that baseline: a pure-software label
+//! forwarder with the same observable semantics as the hardware label
+//! stack modifier in `mpls-core`, plus the classic RFC 3031 table
+//! structure (FTN / ILM / NHLFE) a real router stack would expose.
+//!
+//! Two lookup strategies are provided so the benchmarks can separate the
+//! *architecture* comparison from the *algorithm* comparison:
+//!
+//! * [`lookup::LinearTable`] — first-match linear scan, the same algorithm
+//!   the hardware search FSM implements (`3n + 5` cycles there, `O(n)`
+//!   probes here);
+//! * [`lookup::HashTable`] — the hash map an optimized software forwarder
+//!   would use (`O(1)` probes).
+//!
+//! The differential test suite in the workspace root drives random
+//! programs through both this forwarder and the cycle-accurate hardware
+//! model and asserts identical outcomes.
+
+pub mod fib;
+pub mod forwarder;
+pub mod ftn;
+pub mod lookup;
+pub mod rfc;
+pub mod types;
+
+pub use fib::{Fib, FibLevel};
+pub use forwarder::{ProcessResult, SoftwareForwarder};
+pub use ftn::PrefixFtn;
+pub use lookup::{HashTable, LinearTable, LookupStrategy};
+pub use rfc::{Nhlfe, NextHop, RfcTables};
+pub use types::{Discard, LabelBinding, LabelOp, SwRouterType};

@@ -1,0 +1,268 @@
+//! RFC 3031-style table facade: NHLFE / ILM / FTN.
+//!
+//! The crate's native [`crate::Fib`] mirrors the paper's three-level
+//! information base. Production MPLS stacks are instead organized around
+//! RFC 3031's vocabulary:
+//!
+//! * **NHLFE** (Next Hop Label Forwarding Entry): operation + out-label +
+//!   next hop;
+//! * **ILM** (Incoming Label Map): incoming label → NHLFE;
+//! * **FTN** (FEC-to-NHLFE): FEC (destination prefix) → NHLFE.
+//!
+//! This module provides that organization as a thin layer that *compiles
+//! down* to the level-based FIB plus a next-hop table, so a configuration
+//! written in RFC terms can drive either data plane (and, through the
+//! control-plane `BindingEntry` format, the hardware information base).
+
+use crate::fib::{Fib, FibLevel};
+use crate::ftn::Prefix;
+use crate::lookup::LookupStrategy;
+use crate::types::{LabelBinding, LabelOp};
+use mpls_packet::Label;
+use serde::{Deserialize, Serialize};
+
+/// Where an NHLFE sends the packet after the label operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NextHop {
+    /// An adjacent node id.
+    Node(u32),
+    /// Local delivery (egress).
+    Local,
+}
+
+/// A Next Hop Label Forwarding Entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Nhlfe {
+    /// The label operation to perform.
+    pub op: LabelOp,
+    /// The outgoing label for push/swap (ignored for pop).
+    pub out_label: Label,
+    /// Where the packet goes next.
+    pub next_hop: NextHop,
+}
+
+impl Nhlfe {
+    /// A swap entry.
+    pub fn swap(out_label: Label, next_hop: NextHop) -> Self {
+        Self {
+            op: LabelOp::Swap,
+            out_label,
+            next_hop,
+        }
+    }
+
+    /// A push entry.
+    pub fn push(out_label: Label, next_hop: NextHop) -> Self {
+        Self {
+            op: LabelOp::Push,
+            out_label,
+            next_hop,
+        }
+    }
+
+    /// A pop entry.
+    pub fn pop(next_hop: NextHop) -> Self {
+        Self {
+            op: LabelOp::Pop,
+            out_label: Label::IPV4_EXPLICIT_NULL,
+            next_hop,
+        }
+    }
+}
+
+/// An RFC-shaped MPLS forwarding configuration for one router.
+///
+/// ILM entries are keyed by `(incoming label, nesting depth)` because the
+/// paper's architecture stores depth-1 and depth-2/3 bindings in separate
+/// memories; `depth = 1` covers ordinary transit, deeper values cover
+/// tunnel interiors.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RfcTables {
+    ilm: Vec<(Label, u8, Nhlfe)>,
+    ftn: Vec<(Prefix, Nhlfe)>,
+}
+
+impl RfcTables {
+    /// Creates empty tables.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Maps an incoming label at `depth` (1–3) to an NHLFE.
+    pub fn map_label(&mut self, label: Label, depth: u8, nhlfe: Nhlfe) -> &mut Self {
+        assert!((1..=3).contains(&depth), "depth {depth} out of range");
+        self.ilm.push((label, depth, nhlfe));
+        self
+    }
+
+    /// Maps a FEC to an NHLFE (must be a push — RFC 3031 §3.10 binds FECs
+    /// to label *impositions*).
+    pub fn map_fec(&mut self, fec: Prefix, nhlfe: Nhlfe) -> &mut Self {
+        assert_eq!(nhlfe.op, LabelOp::Push, "FTN entries impose labels");
+        self.ftn.push((fec, nhlfe));
+        self
+    }
+
+    /// ILM entries.
+    pub fn ilm(&self) -> &[(Label, u8, Nhlfe)] {
+        &self.ilm
+    }
+
+    /// FTN entries.
+    pub fn ftn(&self) -> &[(Prefix, Nhlfe)] {
+        &self.ftn
+    }
+
+    /// Compiles into the level-keyed FIB the forwarders consume, plus the
+    /// `(key, next hop)` pairs the egress stage needs. Host-route (/32)
+    /// FECs are installed into level 1 directly; wider FECs are returned
+    /// for the caller's prefix classifier.
+    pub fn compile<S: LookupStrategy>(&self) -> CompiledTables<S> {
+        let mut fib = Fib::new();
+        let mut next_hops = Vec::new();
+        let mut wide_fecs = Vec::new();
+
+        for &(label, depth, nhlfe) in &self.ilm {
+            let level = match depth {
+                1 => FibLevel::L2,
+                _ => FibLevel::L3,
+            };
+            fib.bind(
+                level,
+                label.value() as u64,
+                LabelBinding::new(nhlfe.out_label, nhlfe.op),
+            );
+            let key = match nhlfe.op {
+                // After a swap or (re)push the packet leaves under the
+                // new label; after a pop the next hop is keyed by what is
+                // underneath, which the caller wires per LSP.
+                LabelOp::Swap | LabelOp::Push => Some(nhlfe.out_label),
+                LabelOp::Pop | LabelOp::Nop => None,
+            };
+            next_hops.push((key, nhlfe.next_hop));
+        }
+        for &(fec, nhlfe) in &self.ftn {
+            if fec.len == 32 {
+                fib.bind(
+                    FibLevel::L1,
+                    fec.addr as u64,
+                    LabelBinding::new(nhlfe.out_label, LabelOp::Push),
+                );
+            } else {
+                wide_fecs.push((fec, nhlfe));
+            }
+            next_hops.push((Some(nhlfe.out_label), nhlfe.next_hop));
+        }
+
+        CompiledTables {
+            fib,
+            next_hops,
+            wide_fecs,
+        }
+    }
+}
+
+/// The result of compiling [`RfcTables`].
+#[derive(Debug, Clone)]
+pub struct CompiledTables<S: LookupStrategy> {
+    /// The level-keyed FIB.
+    pub fib: Fib<S>,
+    /// `(outgoing top label, next hop)` pairs; `None` keys the unlabeled
+    /// case.
+    pub next_hops: Vec<(Option<Label>, NextHop)>,
+    /// FECs wider than /32, for the prefix classifier.
+    pub wide_fecs: Vec<(Prefix, Nhlfe)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lookup::HashTable;
+
+    fn lbl(v: u32) -> Label {
+        Label::new(v).unwrap()
+    }
+
+    #[test]
+    fn transit_ilm_compiles_to_level2() {
+        let mut t = RfcTables::new();
+        t.map_label(lbl(100), 1, Nhlfe::swap(lbl(200), NextHop::Node(3)));
+        let c = t.compile::<HashTable>();
+        let (b, _) = c.fib.lookup(FibLevel::L2, 100);
+        let b = b.unwrap();
+        assert_eq!(b.new_label, lbl(200));
+        assert_eq!(b.op, LabelOp::Swap);
+        assert!(c
+            .next_hops
+            .contains(&(Some(lbl(200)), NextHop::Node(3))));
+    }
+
+    #[test]
+    fn tunnel_interior_compiles_to_level3() {
+        let mut t = RfcTables::new();
+        t.map_label(lbl(40), 2, Nhlfe::pop(NextHop::Node(9)));
+        let c = t.compile::<HashTable>();
+        assert!(c.fib.lookup(FibLevel::L3, 40).0.is_some());
+        assert!(c.fib.lookup(FibLevel::L2, 40).0.is_none());
+    }
+
+    #[test]
+    fn host_fec_lands_in_level1() {
+        let mut t = RfcTables::new();
+        t.map_fec(
+            Prefix::new(0xc0a80107, 32),
+            Nhlfe::push(lbl(55), NextHop::Node(2)),
+        );
+        let c = t.compile::<HashTable>();
+        let (b, _) = c.fib.lookup(FibLevel::L1, 0xc0a80107);
+        assert_eq!(b.unwrap().new_label, lbl(55));
+        assert!(c.wide_fecs.is_empty());
+    }
+
+    #[test]
+    fn wide_fec_is_deferred_to_the_classifier() {
+        let mut t = RfcTables::new();
+        t.map_fec(
+            Prefix::new(0xc0a80100, 24),
+            Nhlfe::push(lbl(55), NextHop::Node(2)),
+        );
+        let c = t.compile::<HashTable>();
+        assert_eq!(c.fib.total_occupancy(), 0);
+        assert_eq!(c.wide_fecs.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "FTN entries impose labels")]
+    fn ftn_rejects_non_push() {
+        RfcTables::new().map_fec(
+            Prefix::new(0, 0),
+            Nhlfe::swap(lbl(1), NextHop::Local),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "depth 4 out of range")]
+    fn ilm_rejects_bad_depth() {
+        RfcTables::new().map_label(lbl(1), 4, Nhlfe::pop(NextHop::Local));
+    }
+
+    #[test]
+    fn compiled_tables_drive_a_forwarder() {
+        use crate::forwarder::{ProcessResult, SoftwareForwarder};
+        use crate::types::SwRouterType;
+        use mpls_packet::{CosBits, LabelStack};
+
+        let mut t = RfcTables::new();
+        t.map_label(lbl(100), 1, Nhlfe::swap(lbl(200), NextHop::Node(3)));
+        let c = t.compile::<HashTable>();
+
+        let mut f: SoftwareForwarder<HashTable> = SoftwareForwarder::new(SwRouterType::Lsr);
+        *f.fib_mut() = c.fib;
+
+        let mut stack = LabelStack::new();
+        stack.push_parts(lbl(100), CosBits::BEST_EFFORT, 9).unwrap();
+        let r = f.process(&mut stack, 0, CosBits::BEST_EFFORT, 0);
+        assert_eq!(r, ProcessResult::Updated { op: LabelOp::Swap });
+        assert_eq!(stack.top().unwrap().label, lbl(200));
+    }
+}

@@ -1,0 +1,100 @@
+//! Vocabulary types of the software data plane.
+//!
+//! These deliberately mirror the hardware model's operation set so that
+//! the two planes can be configured identically and compared
+//! differentially, but the crate stays independent of `mpls-core` — a
+//! software baseline must not depend on the thing it is a baseline for.
+
+use mpls_packet::Label;
+use serde::{Deserialize, Serialize};
+
+/// A label operation prescribed by a forwarding table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LabelOp {
+    /// Invalidated entry; matching it discards the packet.
+    Nop,
+    /// Push the entry's new label (tunnel entry / ingress).
+    Push,
+    /// Pop the top label (tunnel exit / egress).
+    Pop,
+    /// Replace the top label (transit).
+    Swap,
+}
+
+impl core::fmt::Display for LabelOp {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Self::Nop => "nop",
+            Self::Push => "push",
+            Self::Pop => "pop",
+            Self::Swap => "swap",
+        })
+    }
+}
+
+/// A stored binding: the lookup key maps to a replacement label and an
+/// operation (the "label pair" of the paper's information base).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabelBinding {
+    /// The new/pushed label.
+    pub new_label: Label,
+    /// What to do with the stack.
+    pub op: LabelOp,
+}
+
+impl LabelBinding {
+    /// Convenience constructor.
+    pub const fn new(new_label: Label, op: LabelOp) -> Self {
+        Self { new_label, op }
+    }
+}
+
+/// Why the software plane discarded a packet. Field-for-field equivalent
+/// to the hardware model's reasons, enabling differential assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Discard {
+    /// No binding matched the key.
+    NoEntryFound,
+    /// TTL was zero or decremented to zero.
+    TtlExpired,
+    /// Nop entry, overflowing push, or a labeling operation this router
+    /// type cannot perform.
+    InconsistentOperation,
+}
+
+impl core::fmt::Display for Discard {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Self::NoEntryFound => "no entry found",
+            Self::TtlExpired => "TTL expired",
+            Self::InconsistentOperation => "inconsistent operation",
+        })
+    }
+}
+
+/// Router role, mirroring the hardware `rtrtype` pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SwRouterType {
+    /// Label Edge Router.
+    Ler,
+    /// Label Switch Router.
+    Lsr,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(LabelOp::Swap.to_string(), "swap");
+        assert_eq!(Discard::TtlExpired.to_string(), "TTL expired");
+    }
+
+    #[test]
+    fn binding_construction() {
+        let b = LabelBinding::new(Label::new(77).unwrap(), LabelOp::Push);
+        assert_eq!(b.new_label.value(), 77);
+        assert_eq!(b.op, LabelOp::Push);
+    }
+}

@@ -1,0 +1,135 @@
+//! The simulator's time-ordered event queue.
+//!
+//! Events at equal timestamps pop in insertion order (a monotone sequence
+//! number breaks ties), which keeps runs deterministic for a fixed seed.
+
+use crate::sim::SimPacket;
+use mpls_control::NodeId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulation time in nanoseconds.
+pub type SimTime = u64;
+
+/// What happens when an event fires.
+#[derive(Debug)]
+pub enum EventKind {
+    /// A packet reaches a node's input and is handed to its router.
+    Arrive {
+        /// Receiving node.
+        node: NodeId,
+        /// The packet.
+        packet: SimPacket,
+    },
+    /// A channel finished serializing its current packet.
+    TransmitDone {
+        /// Index into the simulator's channel table.
+        channel: usize,
+    },
+    /// A traffic source emits its next packet.
+    SourceEmit {
+        /// Index into the simulator's flow table.
+        flow: usize,
+    },
+}
+
+struct Entry {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Earliest-first event queue with deterministic tie-breaking.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` at absolute time `time`.
+    pub fn schedule(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, kind });
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, EventKind)> {
+        self.heap.pop().map(|e| (e.time, e.kind))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, EventKind::SourceEmit { flow: 3 });
+        q.schedule(10, EventKind::SourceEmit { flow: 1 });
+        q.schedule(20, EventKind::SourceEmit { flow: 2 });
+        let order: Vec<SimTime> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for flow in 0..5 {
+            q.schedule(7, EventKind::SourceEmit { flow });
+        }
+        let mut flows = Vec::new();
+        while let Some((_, EventKind::SourceEmit { flow })) = q.pop() {
+            flows.push(flow);
+        }
+        assert_eq!(flows, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1, EventKind::TransmitDone { channel: 0 });
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

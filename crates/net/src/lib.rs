@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! Discrete-event network simulator for MPLS experiments.
+//!
+//! Models the surrounding network of the paper's Fig. 1 so the embedded
+//! router can be exercised end to end: LERs bridging layer-2 traffic into
+//! an LSR core, links with finite capacity and propagation delay, CoS-
+//! aware queueing (the QoS motivation of §1), and traffic generators for
+//! the workloads the paper's introduction names — VoIP and streaming
+//! video against background bulk transfer.
+//!
+//! * [`event`] — the time-ordered event queue.
+//! * [`queue`] — FIFO and CoS-priority link queues with tail drop.
+//! * [`link`] — directed channels with serialization + propagation delay.
+//! * [`traffic`] — CBR, Poisson and on/off generators.
+//! * [`stats`] — per-flow delay/jitter/loss/throughput accounting.
+//! * [`sim`] — the engine tying routers (`mpls-router`) to the network.
+
+pub mod event;
+pub mod histogram;
+pub mod link;
+pub mod policer;
+pub mod queue;
+pub mod sim;
+pub mod stats;
+pub mod traffic;
+
+pub use event::{EventKind, EventQueue};
+pub use histogram::LatencyHistogram;
+pub use link::Channel;
+pub use policer::{PolicerSpec, TokenBucket};
+pub use queue::{LinkQueue, QueueDiscipline};
+pub use sim::{RouterKind, SimReport, Simulation};
+pub use stats::{FlowId, FlowStats};
+pub use traffic::{FlowSpec, TrafficPattern};

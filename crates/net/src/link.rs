@@ -1,0 +1,123 @@
+//! Directed transmission channels.
+//!
+//! Each physical link of the topology becomes two [`Channel`]s. A channel
+//! serializes one packet at a time at its bandwidth, then the packet
+//! propagates for the link's delay; further packets wait in the output
+//! queue.
+
+use crate::queue::{LinkQueue, QueueDiscipline};
+use crate::sim::SimPacket;
+use mpls_control::NodeId;
+
+/// One direction of a link.
+#[derive(Debug)]
+pub struct Channel {
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Bandwidth in bits per second.
+    pub bandwidth_bps: u64,
+    /// Propagation delay in nanoseconds.
+    pub delay_ns: u64,
+    /// Output queue.
+    pub queue: LinkQueue,
+    /// Whether a packet is currently being serialized.
+    pub busy: bool,
+    /// The packet on the wire, set while `busy`.
+    pub in_flight: Option<SimPacket>,
+    /// Queue-drop counter.
+    pub drops: u64,
+    /// Packets fully transmitted.
+    pub transmitted: u64,
+    /// Cumulative serialization time (ns): busy-time for utilization.
+    pub busy_ns: u64,
+}
+
+impl Channel {
+    /// Creates an idle channel.
+    pub fn new(
+        from: NodeId,
+        to: NodeId,
+        bandwidth_bps: u64,
+        delay_ns: u64,
+        discipline: QueueDiscipline,
+    ) -> Self {
+        Self {
+            from,
+            to,
+            bandwidth_bps,
+            delay_ns,
+            queue: LinkQueue::new(discipline),
+            busy: false,
+            in_flight: None,
+            drops: 0,
+            transmitted: 0,
+            busy_ns: 0,
+        }
+    }
+
+    /// Serialization time for `bytes` at this channel's bandwidth.
+    pub fn serialization_ns(&self, bytes: usize) -> u64 {
+        // bits * 1e9 / bps, rounded up so zero-cost transmission never
+        // occurs on finite links.
+        let bits = bytes as u128 * 8;
+        ((bits * 1_000_000_000).div_ceil(self.bandwidth_bps as u128)) as u64
+    }
+
+    /// Offers a packet: queues it (or drops it when the queue is full).
+    /// Returns whether the caller should start a transmission (channel was
+    /// idle and the packet was accepted).
+    pub fn offer(&mut self, p: SimPacket) -> OfferResult {
+        if !self.queue.push(p) {
+            self.drops += 1;
+            return OfferResult::Dropped;
+        }
+        if self.busy {
+            OfferResult::Queued
+        } else {
+            OfferResult::StartTransmit
+        }
+    }
+}
+
+/// Result of offering a packet to a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OfferResult {
+    /// Queue full; the packet was dropped.
+    Dropped,
+    /// Queued behind an ongoing transmission.
+    Queued,
+    /// The channel was idle: begin serializing now.
+    StartTransmit,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::tests_support::packet_with_cos;
+
+    fn chan() -> Channel {
+        Channel::new(0, 1, 1_000_000_000, 500_000, QueueDiscipline::Fifo { capacity: 2 })
+    }
+
+    #[test]
+    fn serialization_time() {
+        let c = chan();
+        // 1500 bytes at 1 Gb/s = 12 µs.
+        assert_eq!(c.serialization_ns(1500), 12_000);
+        // Rounds up.
+        let c2 = Channel::new(0, 1, 3, 0, QueueDiscipline::Fifo { capacity: 1 });
+        assert_eq!(c2.serialization_ns(1), 2_666_666_667);
+    }
+
+    #[test]
+    fn offer_states() {
+        let mut c = chan();
+        assert_eq!(c.offer(packet_with_cos(0, 1)), OfferResult::StartTransmit);
+        c.busy = true;
+        assert_eq!(c.offer(packet_with_cos(0, 2)), OfferResult::Queued);
+        assert_eq!(c.offer(packet_with_cos(0, 3)), OfferResult::Dropped);
+        assert_eq!(c.drops, 1);
+    }
+}

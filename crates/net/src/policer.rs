@@ -1,0 +1,131 @@
+//! Token-bucket traffic policing.
+//!
+//! "QoS functions include packet classification, admission control,
+//! configuration management and congestion avoidance" (paper §1). The
+//! signaling layer's bandwidth reservations implement admission control
+//! for *LSPs*; this policer enforces the contract per *packet* at the
+//! ingress: flows that exceed their committed rate have the excess
+//! dropped at the edge instead of congesting the core.
+
+use serde::{Deserialize, Serialize};
+
+/// Declarative policer configuration attached to a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolicerSpec {
+    /// Committed information rate in bits per second.
+    pub rate_bps: u64,
+    /// Burst tolerance in bytes.
+    pub burst_bytes: u64,
+}
+
+/// A token bucket: fills at `rate_bps`, holds at most `burst_bytes`
+/// worth of tokens; a packet conforms when the bucket holds its size.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    spec: PolicerSpec,
+    /// Token level in *bytes* (fractional to avoid rounding drift).
+    tokens: f64,
+    last_ns: u64,
+}
+
+impl TokenBucket {
+    /// Creates a full bucket.
+    pub fn new(spec: PolicerSpec) -> Self {
+        Self {
+            spec,
+            tokens: spec.burst_bytes as f64,
+            last_ns: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn spec(&self) -> PolicerSpec {
+        self.spec
+    }
+
+    /// Current token level in bytes.
+    pub fn tokens(&self) -> f64 {
+        self.tokens
+    }
+
+    /// Offers a `bytes`-sized packet at absolute time `now_ns`. Returns
+    /// `true` (and debits the bucket) when the packet conforms. Time must
+    /// be non-decreasing across calls.
+    pub fn conform(&mut self, now_ns: u64, bytes: usize) -> bool {
+        debug_assert!(now_ns >= self.last_ns, "time ran backwards");
+        let elapsed = now_ns.saturating_sub(self.last_ns);
+        self.last_ns = now_ns;
+        let refill = self.spec.rate_bps as f64 / 8.0 * elapsed as f64 / 1e9;
+        self.tokens = (self.tokens + refill).min(self.spec.burst_bytes as f64);
+        if self.tokens >= bytes as f64 {
+            self.tokens -= bytes as f64;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bucket(rate_bps: u64, burst: u64) -> TokenBucket {
+        TokenBucket::new(PolicerSpec {
+            rate_bps,
+            burst_bytes: burst,
+        })
+    }
+
+    #[test]
+    fn burst_conforms_until_empty() {
+        let mut b = bucket(8_000, 300); // 1 kB/s, 300 B burst
+        assert!(b.conform(0, 100));
+        assert!(b.conform(0, 100));
+        assert!(b.conform(0, 100));
+        assert!(!b.conform(0, 100), "bucket exhausted");
+    }
+
+    #[test]
+    fn refills_at_rate() {
+        let mut b = bucket(8_000, 300); // refills 1000 bytes per second
+        for _ in 0..3 {
+            assert!(b.conform(0, 100));
+        }
+        assert!(!b.conform(0, 100));
+        // 100 ms later: 100 bytes refilled.
+        assert!(b.conform(100_000_000, 100));
+        assert!(!b.conform(100_000_000, 1));
+    }
+
+    #[test]
+    fn never_exceeds_burst() {
+        let mut b = bucket(8_000_000, 500);
+        // A long idle period cannot bank more than the burst.
+        assert!(!b.conform(10_000_000_000, 501));
+        assert!(b.conform(10_000_000_000, 500));
+    }
+
+    #[test]
+    fn steady_rate_conforms_overage_drops() {
+        // 80 kb/s = 10 kB/s; 200-byte packets every 20 ms = exactly rate.
+        let mut b = bucket(80_000, 400);
+        let mut drops = 0;
+        for i in 0..100u64 {
+            if !b.conform(i * 20_000_000, 200) {
+                drops += 1;
+            }
+        }
+        assert_eq!(drops, 0, "conforming CBR must pass untouched");
+
+        // Double the packet rate: steady state drops ~half.
+        let mut b = bucket(80_000, 400);
+        let mut drops = 0;
+        for i in 0..200u64 {
+            if !b.conform(i * 10_000_000, 200) {
+                drops += 1;
+            }
+        }
+        assert!((90..=110).contains(&drops), "drops {drops}");
+    }
+}

@@ -1,0 +1,235 @@
+//! Link output queues.
+//!
+//! "The CoS bits affect the scheduling and or discard algorithms applied
+//! to the packet as it is transmitted through the network" (paper §2) —
+//! this module is where that happens. Two disciplines:
+//!
+//! * [`QueueDiscipline::Fifo`] — one tail-drop queue, CoS ignored (the
+//!   plain-IP baseline);
+//! * [`QueueDiscipline::CosPriority`] — strict priority by the packet's
+//!   CoS (top label's CoS bits, or the IP precedence for unlabeled
+//!   packets), each class with its own tail-drop capacity.
+
+use crate::sim::SimPacket;
+use std::collections::VecDeque;
+
+/// Queue discipline selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueDiscipline {
+    /// Single FIFO holding at most `capacity` packets.
+    Fifo {
+        /// Maximum queued packets.
+        capacity: usize,
+    },
+    /// Eight strict-priority classes (CoS 7 first), each holding at most
+    /// `per_class` packets.
+    CosPriority {
+        /// Maximum queued packets per class.
+        per_class: usize,
+    },
+    /// Random Early Detection over a single queue ("congestion
+    /// avoidance", paper §1): below `min_th` every packet is accepted,
+    /// above `max_th` every packet is dropped, in between packets are
+    /// dropped with probability rising linearly to `max_p_percent`.
+    /// Uses the instantaneous queue length (the EWMA of classic RED is
+    /// omitted as a documented simplification).
+    Red {
+        /// Hard capacity.
+        capacity: usize,
+        /// Early-drop onset.
+        min_th: usize,
+        /// Full-drop threshold.
+        max_th: usize,
+        /// Drop probability at `max_th`, in percent (1–100).
+        max_p_percent: u8,
+    },
+}
+
+/// A link's output queue.
+#[derive(Debug)]
+pub struct LinkQueue {
+    discipline: QueueDiscipline,
+    classes: Vec<VecDeque<SimPacket>>,
+    /// xorshift64 state for RED's probabilistic drops; seeded from the
+    /// discipline so runs stay deterministic.
+    rng: u64,
+}
+
+impl LinkQueue {
+    /// Creates a queue with the given discipline.
+    pub fn new(discipline: QueueDiscipline) -> Self {
+        let classes = match discipline {
+            QueueDiscipline::Fifo { .. } | QueueDiscipline::Red { .. } => 1,
+            QueueDiscipline::CosPriority { .. } => 8,
+        };
+        Self {
+            discipline,
+            classes: (0..classes).map(|_| VecDeque::new()).collect(),
+            rng: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    fn class_of(&self, p: &SimPacket) -> usize {
+        match self.discipline {
+            QueueDiscipline::Fifo { .. } | QueueDiscipline::Red { .. } => 0,
+            QueueDiscipline::CosPriority { .. } => p.cos_class() as usize,
+        }
+    }
+
+    /// Next uniform value in [0, 1) from the internal xorshift64.
+    fn uniform(&mut self) -> f64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Enqueues a packet; returns `false` when it is dropped (tail drop
+    /// at capacity, or RED early drop).
+    pub fn push(&mut self, p: SimPacket) -> bool {
+        if let QueueDiscipline::Red {
+            capacity,
+            min_th,
+            max_th,
+            max_p_percent,
+        } = self.discipline
+        {
+            let len = self.classes[0].len();
+            if len >= capacity || len >= max_th {
+                return false;
+            }
+            if len >= min_th {
+                let span = (max_th - min_th).max(1) as f64;
+                let p_drop = max_p_percent as f64 / 100.0 * (len - min_th) as f64 / span;
+                if self.uniform() < p_drop {
+                    return false;
+                }
+            }
+            self.classes[0].push_back(p);
+            return true;
+        }
+        let cap = match self.discipline {
+            QueueDiscipline::Fifo { capacity } => capacity,
+            QueueDiscipline::CosPriority { per_class } => per_class,
+            QueueDiscipline::Red { .. } => unreachable!("handled above"),
+        };
+        let class = self.class_of(&p);
+        if self.classes[class].len() >= cap {
+            return false;
+        }
+        self.classes[class].push_back(p);
+        true
+    }
+
+    /// Dequeues the next packet to transmit: highest CoS class first, FIFO
+    /// within a class.
+    pub fn pop(&mut self) -> Option<SimPacket> {
+        for class in self.classes.iter_mut().rev() {
+            if let Some(p) = class.pop_front() {
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    /// Total queued packets.
+    pub fn len(&self) -> usize {
+        self.classes.iter().map(VecDeque::len).sum()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::tests_support::packet_with_cos;
+
+    #[test]
+    fn fifo_preserves_order_and_drops_at_capacity() {
+        let mut q = LinkQueue::new(QueueDiscipline::Fifo { capacity: 2 });
+        assert!(q.push(packet_with_cos(0, 1)));
+        assert!(q.push(packet_with_cos(5, 2)));
+        assert!(!q.push(packet_with_cos(7, 3)), "tail drop at capacity");
+        assert_eq!(q.pop().unwrap().seq, 1);
+        assert_eq!(q.pop().unwrap().seq, 2);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn priority_pops_high_cos_first() {
+        let mut q = LinkQueue::new(QueueDiscipline::CosPriority { per_class: 8 });
+        q.push(packet_with_cos(0, 1));
+        q.push(packet_with_cos(5, 2));
+        q.push(packet_with_cos(0, 3));
+        q.push(packet_with_cos(7, 4));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|p| p.seq)).collect();
+        assert_eq!(order, vec![4, 2, 1, 3]);
+    }
+
+    #[test]
+    fn red_accepts_below_min_threshold() {
+        let mut q = LinkQueue::new(QueueDiscipline::Red {
+            capacity: 32,
+            min_th: 8,
+            max_th: 24,
+            max_p_percent: 50,
+        });
+        for i in 0..8 {
+            assert!(q.push(packet_with_cos(0, i)), "below min_th never drops");
+        }
+    }
+
+    #[test]
+    fn red_always_drops_at_max_threshold() {
+        let mut q = LinkQueue::new(QueueDiscipline::Red {
+            capacity: 32,
+            min_th: 2,
+            max_th: 6,
+            max_p_percent: 100,
+        });
+        // Fill to max_th (early drops possible between 2 and 6, so keep
+        // offering until the length reaches 6).
+        let mut seq = 0;
+        while q.len() < 6 {
+            q.push(packet_with_cos(0, seq));
+            seq += 1;
+            assert!(seq < 1000, "queue never filled");
+        }
+        assert!(!q.push(packet_with_cos(0, 999)), "at max_th always drops");
+    }
+
+    #[test]
+    fn red_drops_probabilistically_in_between() {
+        let mut q = LinkQueue::new(QueueDiscipline::Red {
+            capacity: 1000,
+            min_th: 10,
+            max_th: 900,
+            max_p_percent: 50,
+        });
+        let mut accepted = 0u32;
+        let mut offered = 0u32;
+        for i in 0..800u64 {
+            offered += 1;
+            if q.push(packet_with_cos(0, i)) {
+                accepted += 1;
+            }
+        }
+        assert!(accepted < offered, "some early drops must occur");
+        assert!(accepted > offered / 2, "but not a total drop");
+    }
+
+    #[test]
+    fn priority_drops_per_class() {
+        let mut q = LinkQueue::new(QueueDiscipline::CosPriority { per_class: 1 });
+        assert!(q.push(packet_with_cos(0, 1)));
+        assert!(!q.push(packet_with_cos(0, 2)), "class 0 full");
+        assert!(q.push(packet_with_cos(5, 3)), "class 5 still open");
+        assert_eq!(q.len(), 2);
+    }
+}

@@ -1,0 +1,643 @@
+//! The simulation engine: routers wired to channels, driven by an event
+//! queue.
+
+use crate::event::{EventKind, EventQueue, SimTime};
+use crate::link::{Channel, OfferResult};
+use crate::queue::QueueDiscipline;
+use crate::stats::{FlowId, FlowStats};
+use crate::traffic::FlowSpec;
+use mpls_control::{ControlPlane, NodeId};
+use mpls_core::ClockSpec;
+use mpls_packet::{
+    EtherType, EthernetFrame, Ipv4Header, MacAddr, MplsPacket,
+};
+use mpls_router::{
+    Action, EmbeddedRouter, MplsForwarder, RouterStats, SoftwareRouter, SwTimingModel,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// A packet in flight through the simulation.
+#[derive(Debug, Clone)]
+pub struct SimPacket {
+    /// The wire packet.
+    pub inner: MplsPacket,
+    /// Owning flow.
+    pub flow: FlowId,
+    /// Per-flow sequence number.
+    pub seq: u64,
+    /// Emission timestamp.
+    pub sent_ns: SimTime,
+}
+
+impl SimPacket {
+    /// The CoS class used by priority queues: the top label's CoS bits, or
+    /// the IP precedence for unlabeled packets.
+    pub fn cos_class(&self) -> u8 {
+        match self.inner.stack.top() {
+            Some(e) => e.cos.value(),
+            None => self.inner.ip.precedence(),
+        }
+    }
+
+    /// Bytes on the wire.
+    pub fn wire_len(&self) -> usize {
+        self.inner.wire_len()
+    }
+}
+
+/// Which router implementation populates the nodes.
+#[derive(Debug, Clone, Copy)]
+pub enum RouterKind {
+    /// The embedded (hardware-model) router at a given clock.
+    Embedded {
+        /// FPGA clock.
+        clock: ClockSpec,
+    },
+    /// Software router with hash-map lookups.
+    SoftwareHash {
+        /// Latency model.
+        timing: SwTimingModel,
+    },
+    /// Software router with linear-scan lookups.
+    SoftwareLinear {
+        /// Latency model.
+        timing: SwTimingModel,
+    },
+}
+
+/// Per-channel usage in a report.
+#[derive(Debug, Clone, Copy, serde::Serialize)]
+pub struct LinkUsage {
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Packets fully transmitted.
+    pub transmitted: u64,
+    /// Packets tail-dropped at this channel's queue.
+    pub drops: u64,
+    /// Fraction of the run the channel spent serializing (0.0-1.0).
+    pub utilization: f64,
+}
+
+/// The outcome of a run.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SimReport {
+    /// Per-flow specs and stats, index-aligned with flow ids.
+    pub flows: Vec<(FlowSpec, FlowStats)>,
+    /// Per-router data-plane statistics.
+    pub routers: HashMap<NodeId, RouterStats>,
+    /// Total packets dropped at link queues.
+    pub queue_drops: u64,
+    /// Per-channel usage.
+    pub links: Vec<LinkUsage>,
+    /// Simulated duration actually executed.
+    pub elapsed_ns: SimTime,
+}
+
+impl SimReport {
+    /// Finds a flow's stats by name.
+    pub fn flow(&self, name: &str) -> Option<&FlowStats> {
+        self.flows
+            .iter()
+            .find(|(spec, _)| spec.name == name)
+            .map(|(_, s)| s)
+    }
+}
+
+/// The discrete-event simulation.
+pub struct Simulation {
+    channels: Vec<Channel>,
+    chan_index: HashMap<(NodeId, NodeId), usize>,
+    routers: HashMap<NodeId, Box<dyn MplsForwarder + Send>>,
+    flows: Vec<FlowSpec>,
+    stats: Vec<FlowStats>,
+    policers: Vec<Option<crate::policer::TokenBucket>>,
+    events: EventQueue,
+    rng: StdRng,
+    now: SimTime,
+}
+
+impl Simulation {
+    /// Builds a simulation over the control plane's topology: every node
+    /// gets a router of `kind` programmed with its configuration, every
+    /// link two channels with `discipline` queues.
+    pub fn build(
+        cp: &ControlPlane,
+        kind: RouterKind,
+        discipline: QueueDiscipline,
+        seed: u64,
+    ) -> Self {
+        let topo = cp.topology();
+        let mut channels = Vec::new();
+        let mut chan_index = HashMap::new();
+        for (link_id, spec) in topo.links().iter().enumerate() {
+            // Failed links get no channels: packets steered onto them
+            // blackhole at the sending router (counted as router drops),
+            // exactly what a down interface does.
+            if cp.link_is_failed(link_id as u32) {
+                continue;
+            }
+            for (from, to) in [(spec.a, spec.b), (spec.b, spec.a)] {
+                chan_index.insert((from, to), channels.len());
+                channels.push(Channel::new(
+                    from,
+                    to,
+                    spec.bandwidth_bps,
+                    spec.delay_ns,
+                    discipline,
+                ));
+            }
+        }
+        let mut routers: HashMap<NodeId, Box<dyn MplsForwarder + Send>> = HashMap::new();
+        for node in topo.nodes() {
+            let cfg = cp.config_for(node.id);
+            let boxed: Box<dyn MplsForwarder + Send> = match kind {
+                RouterKind::Embedded { clock } => {
+                    Box::new(EmbeddedRouter::new(node.id, node.role, &cfg, clock))
+                }
+                RouterKind::SoftwareHash { timing } => {
+                    Box::new(SoftwareRouter::<mpls_dataplane::HashTable>::new(
+                        node.id, node.role, &cfg, timing,
+                    ))
+                }
+                RouterKind::SoftwareLinear { timing } => {
+                    Box::new(SoftwareRouter::<mpls_dataplane::LinearTable>::new(
+                        node.id, node.role, &cfg, timing,
+                    ))
+                }
+            };
+            routers.insert(node.id, boxed);
+        }
+        Self {
+            channels,
+            chan_index,
+            routers,
+            flows: Vec::new(),
+            stats: Vec::new(),
+            policers: Vec::new(),
+            events: EventQueue::new(),
+            rng: StdRng::seed_from_u64(seed),
+            now: 0,
+        }
+    }
+
+    /// Registers a flow; its first packet is scheduled at `spec.start_ns`.
+    pub fn add_flow(&mut self, spec: FlowSpec) -> FlowId {
+        let id = self.flows.len();
+        self.events
+            .schedule(spec.start_ns, EventKind::SourceEmit { flow: id });
+        self.policers
+            .push(spec.police.map(crate::policer::TokenBucket::new));
+        self.flows.push(spec);
+        self.stats.push(FlowStats::default());
+        id
+    }
+
+    /// Runs until the event queue drains or `horizon_ns` passes, then
+    /// reports.
+    pub fn run(mut self, horizon_ns: SimTime) -> SimReport {
+        while let Some((time, kind)) = self.events.pop() {
+            if time > horizon_ns {
+                break;
+            }
+            self.now = time;
+            match kind {
+                EventKind::SourceEmit { flow } => self.on_source_emit(flow),
+                EventKind::Arrive { node, packet } => self.on_arrive(node, packet),
+                EventKind::TransmitDone { channel } => self.on_transmit_done(channel),
+            }
+        }
+        let queue_drops = self.channels.iter().map(|c| c.drops).sum();
+        let elapsed = self.now.max(1);
+        let links = self
+            .channels
+            .iter()
+            .map(|c| LinkUsage {
+                from: c.from,
+                to: c.to,
+                transmitted: c.transmitted,
+                drops: c.drops,
+                utilization: c.busy_ns as f64 / elapsed as f64,
+            })
+            .collect();
+        SimReport {
+            flows: self.flows.into_iter().zip(self.stats).collect(),
+            routers: self
+                .routers
+                .iter()
+                .map(|(&id, r)| (id, r.stats()))
+                .collect(),
+            queue_drops,
+            links,
+            elapsed_ns: self.now,
+        }
+    }
+
+    fn on_source_emit(&mut self, flow: FlowId) {
+        let spec = self.flows[flow].clone();
+        if self.now >= spec.stop_ns {
+            return;
+        }
+        let seq = self.stats[flow].sent;
+        self.stats[flow].on_sent();
+        let packet = SimPacket {
+            inner: make_packet(&spec, seq),
+            flow,
+            seq,
+            sent_ns: self.now,
+        };
+        // Edge policing: non-conforming packets never enter the network.
+        let conforms = match &mut self.policers[flow] {
+            Some(bucket) => bucket.conform(self.now, packet.wire_len()),
+            None => true,
+        };
+        if conforms {
+            self.events.schedule(
+                self.now,
+                EventKind::Arrive {
+                    node: spec.ingress,
+                    packet,
+                },
+            );
+        } else {
+            self.stats[flow].policer_dropped += 1;
+        }
+        let elapsed = self.now - spec.start_ns;
+        let gap = spec.pattern.next_gap(elapsed, &mut self.rng);
+        let next = self.now + gap;
+        if next < spec.stop_ns {
+            self.events.schedule(next, EventKind::SourceEmit { flow });
+        }
+    }
+
+    fn on_arrive(&mut self, node: NodeId, packet: SimPacket) {
+        let SimPacket {
+            inner, flow, seq, sent_ns,
+        } = packet;
+        let router = self
+            .routers
+            .get_mut(&node)
+            .expect("packets only travel between known nodes");
+        let out = router.handle(inner);
+        let done = self.now + out.latency_ns;
+        match out.action {
+            Action::Forward { next, packet: inner } => {
+                let Some(&chan) = self.chan_index.get(&(node, next)) else {
+                    // Misconfigured next hop onto a non-adjacent node.
+                    self.stats[flow].router_dropped += 1;
+                    return;
+                };
+                let sp = SimPacket {
+                    inner,
+                    flow,
+                    seq,
+                    sent_ns,
+                };
+                self.offer_to_channel(chan, sp, done);
+            }
+            Action::Deliver(inner) => {
+                let wire = inner.wire_len();
+                self.stats[flow].on_delivered(done, done - sent_ns, wire);
+            }
+            Action::Discard(_) => {
+                self.stats[flow].router_dropped += 1;
+            }
+        }
+    }
+
+    fn offer_to_channel(&mut self, chan: usize, packet: SimPacket, at: SimTime) {
+        let flow = packet.flow;
+        let c = &mut self.channels[chan];
+        match c.offer(packet) {
+            OfferResult::Dropped => {
+                self.stats[flow].queue_dropped += 1;
+            }
+            OfferResult::Queued => {}
+            OfferResult::StartTransmit => {
+                let p = c.queue.pop().expect("just offered");
+                let ser = c.serialization_ns(p.wire_len());
+                c.busy = true;
+                c.busy_ns += ser;
+                c.in_flight = Some(p);
+                self.events
+                    .schedule(at + ser, EventKind::TransmitDone { channel: chan });
+            }
+        }
+    }
+
+    fn on_transmit_done(&mut self, chan: usize) {
+        let c = &mut self.channels[chan];
+        let p = c.in_flight.take().expect("transmit completed with cargo");
+        c.transmitted += 1;
+        let to = c.to;
+        let delay = c.delay_ns;
+        // Start the next queued packet, if any.
+        if let Some(next) = c.queue.pop() {
+            let ser = c.serialization_ns(next.wire_len());
+            c.busy_ns += ser;
+            c.in_flight = Some(next);
+            self.events
+                .schedule(self.now + ser, EventKind::TransmitDone { channel: chan });
+        } else {
+            c.busy = false;
+        }
+        self.events.schedule(
+            self.now + delay,
+            EventKind::Arrive { node: to, packet: p },
+        );
+    }
+}
+
+/// Runs the same scenario across many seeds in parallel (rayon) and
+/// returns one report per seed, in seed order. Simulations are
+/// independent, so this is an embarrassingly parallel ensemble — the
+/// standard way to put confidence intervals on stochastic workloads.
+pub fn run_ensemble(
+    cp: &ControlPlane,
+    kind: RouterKind,
+    discipline: QueueDiscipline,
+    flows: &[FlowSpec],
+    horizon_ns: SimTime,
+    seeds: &[u64],
+) -> Vec<SimReport> {
+    use rayon::prelude::*;
+    seeds
+        .par_iter()
+        .map(|&seed| {
+            let mut sim = Simulation::build(cp, kind, discipline, seed);
+            for f in flows {
+                sim.add_flow(f.clone());
+            }
+            sim.run(horizon_ns)
+        })
+        .collect()
+}
+
+/// Mean and sample standard deviation of a metric across ensemble
+/// reports.
+pub fn ensemble_stat<F: Fn(&SimReport) -> f64>(reports: &[SimReport], metric: F) -> (f64, f64) {
+    let n = reports.len() as f64;
+    if reports.is_empty() {
+        return (0.0, 0.0);
+    }
+    let values: Vec<f64> = reports.iter().map(metric).collect();
+    let mean = values.iter().sum::<f64>() / n;
+    if reports.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, var.sqrt())
+}
+
+/// Builds the unlabeled wire packet for one emission.
+fn make_packet(spec: &FlowSpec, seq: u64) -> MplsPacket {
+    let mut ip = Ipv4Header::new(
+        spec.src_addr,
+        spec.dst_addr,
+        Ipv4Header::PROTO_UDP,
+        64,
+        spec.payload_bytes,
+    );
+    ip.tos = spec.precedence << 5;
+    ip.ident = (seq & 0xffff) as u16;
+    MplsPacket::ipv4(
+        EthernetFrame {
+            dst: MacAddr::from_node(spec.ingress, 0),
+            src: MacAddr::from_node(u32::MAX, 0),
+            ethertype: EtherType::Ipv4,
+        },
+        ip,
+        bytes::Bytes::from(vec![0u8; spec.payload_bytes]),
+    )
+}
+
+/// Helpers shared by this crate's unit tests.
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use super::*;
+
+    /// A minimal unlabeled packet with the given IP precedence.
+    pub fn packet_with_cos(precedence: u8, seq: u64) -> SimPacket {
+        let spec = FlowSpec {
+            name: "t".into(),
+            ingress: 0,
+            src_addr: 1,
+            dst_addr: 2,
+            payload_bytes: 64,
+            precedence,
+            pattern: crate::traffic::TrafficPattern::Cbr { interval_ns: 1 },
+            start_ns: 0,
+            stop_ns: 1,
+            police: None,
+        };
+        SimPacket {
+            inner: make_packet(&spec, seq),
+            flow: 0,
+            seq,
+            sent_ns: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpls_control::{LspRequest, Topology};
+    use mpls_dataplane::ftn::Prefix;
+    use mpls_packet::ipv4::parse_addr;
+
+    fn plane_with_lsp() -> ControlPlane {
+        let mut cp = ControlPlane::new(Topology::figure1_example());
+        cp.establish_lsp(LspRequest::best_effort(
+            0,
+            1,
+            Prefix::new(parse_addr("192.168.1.0").unwrap(), 24),
+        ))
+        .unwrap();
+        cp
+    }
+
+    fn cbr_flow(name: &str, interval_ns: u64) -> FlowSpec {
+        FlowSpec {
+            name: name.into(),
+            ingress: 0,
+            src_addr: parse_addr("10.0.0.1").unwrap(),
+            dst_addr: parse_addr("192.168.1.5").unwrap(),
+            payload_bytes: 146,
+            precedence: 5,
+            pattern: crate::traffic::TrafficPattern::Cbr { interval_ns },
+            start_ns: 0,
+            stop_ns: 10_000_000, // 10 ms
+            police: None,
+        }
+    }
+
+    #[test]
+    fn end_to_end_delivery_over_embedded_routers() {
+        let cp = plane_with_lsp();
+        let mut sim = Simulation::build(
+            &cp,
+            RouterKind::Embedded {
+                clock: ClockSpec::STRATIX_50MHZ,
+            },
+            QueueDiscipline::Fifo { capacity: 64 },
+            1,
+        );
+        sim.add_flow(cbr_flow("cbr", 1_000_000)); // 1 packet/ms
+        let report = sim.run(1_000_000_000);
+        let s = report.flow("cbr").unwrap();
+        assert_eq!(s.sent, 10);
+        assert_eq!(s.delivered, 10, "all packets arrive");
+        assert_eq!(s.router_dropped, 0);
+        assert_eq!(s.queue_dropped, 0);
+        // Three links at 0.5 ms propagation each dominate the delay.
+        assert!(s.mean_delay_ns() > 1_500_000.0);
+        assert!(s.mean_delay_ns() < 1_700_000.0, "{}", s.mean_delay_ns());
+        // Routers saw traffic.
+        assert!(report.routers[&0].packets_in >= 10);
+        assert_eq!(report.routers[&1].delivered, 10);
+    }
+
+    #[test]
+    fn software_routers_deliver_identically() {
+        let cp = plane_with_lsp();
+        let run = |kind| {
+            let mut sim = Simulation::build(
+                &cp,
+                kind,
+                QueueDiscipline::Fifo { capacity: 64 },
+                1,
+            );
+            sim.add_flow(cbr_flow("cbr", 1_000_000));
+            sim.run(1_000_000_000)
+        };
+        let hw = run(RouterKind::Embedded {
+            clock: ClockSpec::STRATIX_50MHZ,
+        });
+        let sw = run(RouterKind::SoftwareHash {
+            timing: SwTimingModel::default(),
+        });
+        assert_eq!(
+            hw.flow("cbr").unwrap().delivered,
+            sw.flow("cbr").unwrap().delivered
+        );
+    }
+
+    #[test]
+    fn congestion_drops_in_fifo_queue() {
+        let cp = plane_with_lsp();
+        let mut sim = Simulation::build(
+            &cp,
+            RouterKind::Embedded {
+                clock: ClockSpec::STRATIX_50MHZ,
+            },
+            QueueDiscipline::Fifo { capacity: 4 },
+            7,
+        );
+        // 1500-byte payloads every 10 µs ≈ 1.2 Gb/s offered onto 1 Gb/s
+        // links: the first-hop queue must overflow.
+        let mut f = cbr_flow("hot", 10_000);
+        f.payload_bytes = 1500;
+        sim.add_flow(f);
+        let report = sim.run(50_000_000);
+        let s = report.flow("hot").unwrap();
+        assert!(s.queue_dropped > 0, "expected tail drops");
+        assert!(s.delivered > 0);
+    }
+
+    #[test]
+    fn unroutable_flow_is_router_dropped() {
+        let cp = plane_with_lsp();
+        let mut sim = Simulation::build(
+            &cp,
+            RouterKind::Embedded {
+                clock: ClockSpec::STRATIX_50MHZ,
+            },
+            QueueDiscipline::Fifo { capacity: 4 },
+            7,
+        );
+        let mut f = cbr_flow("lost", 1_000_000);
+        f.dst_addr = parse_addr("172.31.0.1").unwrap(); // no LSP, no route
+        sim.add_flow(f);
+        let report = sim.run(1_000_000_000);
+        let s = report.flow("lost").unwrap();
+        assert_eq!(s.delivered, 0);
+        assert_eq!(s.router_dropped, s.sent);
+    }
+
+    #[test]
+    fn ensemble_matches_sequential_runs() {
+        let cp = plane_with_lsp();
+        let flows = vec![cbr_flow("cbr", 1_000_000)];
+        let seeds = [1u64, 2, 3, 4];
+        let reports = run_ensemble(
+            &cp,
+            RouterKind::Embedded {
+                clock: ClockSpec::STRATIX_50MHZ,
+            },
+            QueueDiscipline::Fifo { capacity: 64 },
+            &flows,
+            1_000_000_000,
+            &seeds,
+        );
+        assert_eq!(reports.len(), 4);
+        for (i, &seed) in seeds.iter().enumerate() {
+            let mut sim = Simulation::build(
+                &cp,
+                RouterKind::Embedded {
+                    clock: ClockSpec::STRATIX_50MHZ,
+                },
+                QueueDiscipline::Fifo { capacity: 64 },
+                seed,
+            );
+            sim.add_flow(flows[0].clone());
+            let seq = sim.run(1_000_000_000);
+            assert_eq!(
+                reports[i].flow("cbr").unwrap().delay_sum_ns,
+                seq.flow("cbr").unwrap().delay_sum_ns,
+                "seed {seed} diverged between parallel and sequential runs"
+            );
+        }
+        let (mean, std) = ensemble_stat(&reports, |r| r.flow("cbr").unwrap().mean_delay_ns());
+        assert!(mean > 0.0);
+        assert!(std >= 0.0);
+    }
+
+    #[test]
+    fn ensemble_stat_math() {
+        // Degenerate cases.
+        let empty: Vec<SimReport> = vec![];
+        assert_eq!(ensemble_stat(&empty, |_| 1.0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cp = plane_with_lsp();
+        let run = |seed| {
+            let mut sim = Simulation::build(
+                &cp,
+                RouterKind::Embedded {
+                    clock: ClockSpec::STRATIX_50MHZ,
+                },
+                QueueDiscipline::Fifo { capacity: 16 },
+                seed,
+            );
+            let mut f = cbr_flow("p", 0);
+            f.pattern = crate::traffic::TrafficPattern::Poisson {
+                mean_interval_ns: 500_000,
+            };
+            sim.add_flow(f);
+            let r = sim.run(20_000_000);
+            let s = r.flow("p").unwrap();
+            (s.sent, s.delivered, s.delay_sum_ns)
+        };
+        assert_eq!(run(3), run(3));
+        // Different seeds explore different arrival processes. Any two
+        // particular seeds can tie by chance, so check across a range.
+        let outcomes: std::collections::HashSet<_> = (0..8).map(run).collect();
+        assert!(outcomes.len() > 1, "all seeds produced identical runs");
+    }
+}

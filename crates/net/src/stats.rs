@@ -1,0 +1,144 @@
+//! Per-flow delivery statistics.
+
+use crate::histogram::LatencyHistogram;
+use serde::{Deserialize, Serialize};
+
+/// Index of a flow within a simulation.
+pub type FlowId = usize;
+
+/// Counters and delay accounting for one flow.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FlowStats {
+    /// Packets emitted by the source.
+    pub sent: u64,
+    /// Packets delivered at the egress.
+    pub delivered: u64,
+    /// Packets discarded by a router's data plane.
+    pub router_dropped: u64,
+    /// Packets tail-dropped at a link queue.
+    pub queue_dropped: u64,
+    /// Packets dropped by the flow's edge policer before entering the
+    /// network.
+    pub policer_dropped: u64,
+    /// Bytes delivered (wire size).
+    pub bytes_delivered: u64,
+    /// Sum of end-to-end delays (ns).
+    pub delay_sum_ns: u64,
+    /// Smallest delay seen.
+    pub delay_min_ns: u64,
+    /// Largest delay seen.
+    pub delay_max_ns: u64,
+    /// Sum of |delay_i - delay_{i-1}| for jitter.
+    pub jitter_sum_ns: u64,
+    /// Count of jitter samples.
+    pub jitter_samples: u64,
+    /// Timestamp of the first delivery.
+    pub first_delivery_ns: u64,
+    /// Timestamp of the last delivery.
+    pub last_delivery_ns: u64,
+    /// Full delay distribution (log-bucketed).
+    pub delay_hist: LatencyHistogram,
+    #[serde(skip)]
+    last_delay_ns: Option<u64>,
+}
+
+impl FlowStats {
+    /// Records an emission.
+    pub fn on_sent(&mut self) {
+        self.sent += 1;
+    }
+
+    /// Records a delivery at `now` with end-to-end `delay`.
+    pub fn on_delivered(&mut self, now: u64, delay_ns: u64, wire_bytes: usize) {
+        if self.delivered == 0 {
+            self.first_delivery_ns = now;
+            self.delay_min_ns = delay_ns;
+            self.delay_max_ns = delay_ns;
+        }
+        self.delivered += 1;
+        self.bytes_delivered += wire_bytes as u64;
+        self.delay_sum_ns += delay_ns;
+        self.delay_min_ns = self.delay_min_ns.min(delay_ns);
+        self.delay_max_ns = self.delay_max_ns.max(delay_ns);
+        self.last_delivery_ns = now;
+        self.delay_hist.record(delay_ns);
+        if let Some(prev) = self.last_delay_ns {
+            self.jitter_sum_ns += prev.abs_diff(delay_ns);
+            self.jitter_samples += 1;
+        }
+        self.last_delay_ns = Some(delay_ns);
+    }
+
+    /// Mean end-to-end delay (ns).
+    pub fn mean_delay_ns(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.delay_sum_ns as f64 / self.delivered as f64
+        }
+    }
+
+    /// Mean inter-packet delay variation (ns).
+    pub fn mean_jitter_ns(&self) -> f64 {
+        if self.jitter_samples == 0 {
+            0.0
+        } else {
+            self.jitter_sum_ns as f64 / self.jitter_samples as f64
+        }
+    }
+
+    /// Fraction of emitted packets that never arrived.
+    pub fn loss_rate(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            1.0 - self.delivered as f64 / self.sent as f64
+        }
+    }
+
+    /// Goodput over the delivery window, in bits per second.
+    pub fn throughput_bps(&self) -> f64 {
+        if self.delivered < 2 {
+            return 0.0;
+        }
+        let window = (self.last_delivery_ns - self.first_delivery_ns) as f64;
+        if window == 0.0 {
+            return 0.0;
+        }
+        self.bytes_delivered as f64 * 8.0 * 1e9 / window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_accounting() {
+        let mut s = FlowStats::default();
+        for _ in 0..4 {
+            s.on_sent();
+        }
+        s.on_delivered(1_000, 100, 200);
+        s.on_delivered(2_000, 300, 200);
+        s.on_delivered(3_000, 200, 200);
+        assert_eq!(s.delivered, 3);
+        assert_eq!(s.mean_delay_ns(), 200.0);
+        assert_eq!(s.delay_min_ns, 100);
+        assert_eq!(s.delay_max_ns, 300);
+        // jitter: |300-100| + |200-300| = 300 over 2 samples
+        assert_eq!(s.mean_jitter_ns(), 150.0);
+        assert!((s.loss_rate() - 0.25).abs() < 1e-9);
+        // 600 bytes over 2 µs = 2.4 Gb/s
+        assert!((s.throughput_bps() - 2.4e9).abs() < 1e3);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = FlowStats::default();
+        assert_eq!(s.mean_delay_ns(), 0.0);
+        assert_eq!(s.mean_jitter_ns(), 0.0);
+        assert_eq!(s.loss_rate(), 0.0);
+        assert_eq!(s.throughput_bps(), 0.0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Traffic generation.
+//!
+//! The paper motivates MPLS with "resource intensive Internet applications
+//! like voice over Internet Protocol (VoIP) and real-time streaming video"
+//! competing with bulk traffic (§1). The generators here model those
+//! classes:
+//!
+//! * [`TrafficPattern::Cbr`] — constant bit rate (VoIP: small packets at a
+//!   fixed cadence);
+//! * [`TrafficPattern::Poisson`] — memoryless arrivals (aggregate web
+//!   traffic);
+//! * [`TrafficPattern::OnOff`] — bursty on/off (video / bulk transfer).
+
+use mpls_packet::ipv4::Ipv4Addr;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Inter-arrival behaviour of a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TrafficPattern {
+    /// Fixed inter-packet gap.
+    Cbr {
+        /// Nanoseconds between packets.
+        interval_ns: u64,
+    },
+    /// Exponential inter-arrival times.
+    Poisson {
+        /// Mean nanoseconds between packets.
+        mean_interval_ns: u64,
+    },
+    /// Alternating bursts and silences; CBR within a burst.
+    OnOff {
+        /// Burst duration.
+        on_ns: u64,
+        /// Silence duration.
+        off_ns: u64,
+        /// Inter-packet gap inside a burst.
+        interval_ns: u64,
+    },
+}
+
+impl TrafficPattern {
+    /// Convenience: a G.711-like VoIP stream — 200-byte packets every
+    /// 20 ms is 80 kb/s; we scale the cadence for simulation speed.
+    pub fn voip() -> Self {
+        TrafficPattern::Cbr {
+            interval_ns: 20_000_000,
+        }
+    }
+
+    /// The next inter-arrival gap from `now_in_cycle` (time since the
+    /// flow started, used by the on/off pattern), given a random source.
+    pub fn next_gap<R: Rng>(&self, elapsed_ns: u64, rng: &mut R) -> u64 {
+        match *self {
+            TrafficPattern::Cbr { interval_ns } => interval_ns.max(1),
+            TrafficPattern::Poisson { mean_interval_ns } => {
+                // Inverse-CDF sample; clamp the uniform away from 0.
+                let u: f64 = rng.random_range(1e-12..1.0);
+                let gap = -(u.ln()) * mean_interval_ns as f64;
+                (gap as u64).max(1)
+            }
+            TrafficPattern::OnOff {
+                on_ns,
+                off_ns,
+                interval_ns,
+            } => {
+                let period = on_ns + off_ns;
+                let pos = elapsed_ns % period;
+                if pos + interval_ns < on_ns {
+                    interval_ns.max(1)
+                } else {
+                    // Jump to the start of the next burst.
+                    (period - pos).max(1)
+                }
+            }
+        }
+    }
+}
+
+/// A unidirectional application flow.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlowSpec {
+    /// Human-readable name ("voip-1").
+    pub name: String,
+    /// Node the traffic enters at (an ingress LER).
+    pub ingress: mpls_control::NodeId,
+    /// Source IPv4 address stamped on packets.
+    pub src_addr: Ipv4Addr,
+    /// Destination IPv4 address (selects the FEC/LSP).
+    pub dst_addr: Ipv4Addr,
+    /// Payload bytes per packet (excluding headers).
+    pub payload_bytes: usize,
+    /// IP precedence (0–7) stamped into the TOS byte; drives CoS-aware
+    /// queueing for unlabeled hops.
+    pub precedence: u8,
+    /// Arrival pattern.
+    pub pattern: TrafficPattern,
+    /// First emission time.
+    pub start_ns: u64,
+    /// No emissions at or after this time.
+    pub stop_ns: u64,
+    /// Optional edge policer: non-conforming packets are dropped before
+    /// they enter the network.
+    #[serde(default)]
+    pub police: Option<crate::policer::PolicerSpec>,
+}
+
+impl FlowSpec {
+    /// Average offered load in bits per second (approximate for
+    /// Poisson/on-off).
+    pub fn offered_bps(&self) -> f64 {
+        let pkt_bits = (self.payload_bytes + 34 + 20) as f64 * 8.0;
+        match self.pattern {
+            TrafficPattern::Cbr { interval_ns } => pkt_bits * 1e9 / interval_ns as f64,
+            TrafficPattern::Poisson { mean_interval_ns } => {
+                pkt_bits * 1e9 / mean_interval_ns as f64
+            }
+            TrafficPattern::OnOff {
+                on_ns,
+                off_ns,
+                interval_ns,
+            } => {
+                let duty = on_ns as f64 / (on_ns + off_ns) as f64;
+                pkt_bits * 1e9 / interval_ns as f64 * duty
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cbr_gap_is_constant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = TrafficPattern::Cbr { interval_ns: 100 };
+        for t in [0u64, 50, 1000] {
+            assert_eq!(p.next_gap(t, &mut rng), 100);
+        }
+    }
+
+    #[test]
+    fn poisson_gap_has_right_mean() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let p = TrafficPattern::Poisson {
+            mean_interval_ns: 1000,
+        };
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| p.next_gap(0, &mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 1000.0).abs() < 50.0, "mean {mean}");
+    }
+
+    #[test]
+    fn onoff_respects_silence() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = TrafficPattern::OnOff {
+            on_ns: 1000,
+            off_ns: 9000,
+            interval_ns: 100,
+        };
+        // In-burst: regular cadence.
+        assert_eq!(p.next_gap(0, &mut rng), 100);
+        assert_eq!(p.next_gap(500, &mut rng), 100);
+        // Near the burst end: jump over the silence.
+        assert_eq!(p.next_gap(950, &mut rng), 10_000 - 950);
+        // During silence: jump to next burst start.
+        assert_eq!(p.next_gap(5000, &mut rng), 5000);
+    }
+
+    #[test]
+    fn offered_load_math() {
+        let f = FlowSpec {
+            name: "t".into(),
+            ingress: 0,
+            src_addr: 1,
+            dst_addr: 2,
+            payload_bytes: 146, // 146+54 = 200 bytes on wire
+            precedence: 5,
+            pattern: TrafficPattern::Cbr {
+                interval_ns: 20_000_000,
+            },
+            start_ns: 0,
+            stop_ns: 1,
+            police: None,
+        };
+        // 200 B / 20 ms = 80 kb/s.
+        assert!((f.offered_bps() - 80_000.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type shared by the packet parsers and builders.
+
+use core::fmt;
+
+/// Errors raised while parsing or constructing packets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketError {
+    /// The label value does not fit in 20 bits.
+    LabelOutOfRange(u32),
+    /// The CoS value does not fit in 3 bits.
+    CosOutOfRange(u8),
+    /// Attempted to push onto a stack already holding [`crate::MAX_STACK_DEPTH`] entries.
+    StackOverflow,
+    /// Attempted to pop or swap on an empty label stack.
+    StackUnderflow,
+    /// The buffer is too short to contain the expected structure.
+    Truncated {
+        /// What was being parsed.
+        what: &'static str,
+        /// Bytes required.
+        need: usize,
+        /// Bytes available.
+        have: usize,
+    },
+    /// An Ethernet frame whose EtherType is not one we understand.
+    UnexpectedEtherType(u16),
+    /// An IPv4 header with a version nibble other than 4.
+    BadIpVersion(u8),
+    /// An IPv4 header whose IHL field is below the minimum of 5 words.
+    BadIhl(u8),
+    /// A label stack that never terminates with the bottom-of-stack bit.
+    UnterminatedStack,
+    /// A label stack entry with the S bit set before the bottom entry.
+    EarlyBottomOfStack {
+        /// Zero-based depth at which the stray S bit was found.
+        depth: usize,
+    },
+}
+
+impl fmt::Display for PacketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::LabelOutOfRange(v) => write!(f, "label value {v:#x} exceeds 20 bits"),
+            Self::CosOutOfRange(v) => write!(f, "CoS value {v} exceeds 3 bits"),
+            Self::StackOverflow => write!(
+                f,
+                "label stack is full ({} entries)",
+                crate::MAX_STACK_DEPTH
+            ),
+            Self::StackUnderflow => write!(f, "operation on empty label stack"),
+            Self::Truncated { what, need, have } => {
+                write!(f, "truncated {what}: need {need} bytes, have {have}")
+            }
+            Self::UnexpectedEtherType(t) => write!(f, "unexpected EtherType {t:#06x}"),
+            Self::BadIpVersion(v) => write!(f, "IP version {v} is not 4"),
+            Self::BadIhl(v) => write!(f, "IPv4 IHL {v} is below the minimum of 5"),
+            Self::UnterminatedStack => write!(f, "label stack missing bottom-of-stack bit"),
+            Self::EarlyBottomOfStack { depth } => {
+                write!(f, "bottom-of-stack bit set at depth {depth} before the bottom")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PacketError::Truncated {
+            what: "IPv4 header",
+            need: 20,
+            have: 7,
+        };
+        let s = e.to_string();
+        assert!(s.contains("IPv4 header"));
+        assert!(s.contains("20"));
+        assert!(s.contains('7'));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            PacketError::LabelOutOfRange(1 << 20),
+            PacketError::LabelOutOfRange(1 << 20)
+        );
+        assert_ne!(PacketError::StackOverflow, PacketError::StackUnderflow);
+    }
+}

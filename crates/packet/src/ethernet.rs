@@ -1,0 +1,177 @@
+//! Minimal Ethernet II framing.
+//!
+//! LERs sit "between layer 2 networks (ATM, Frame Relay or Ethernet) and an
+//! MPLS core network" (§2). We model the Ethernet case: the MPLS shim sits
+//! between the Ethernet header (EtherType `0x8847`) and the IP payload. The
+//! ATM / Frame Relay attachment circuits of Fig. 1 are modeled at the
+//! network-simulator level as link types rather than distinct encodings.
+
+use crate::PacketError;
+use serde::{Deserialize, Serialize};
+
+/// A 48-bit MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// A deterministic locally-administered address derived from a node id;
+    /// used by the simulator to give every port a distinct MAC.
+    pub fn from_node(node: u32, port: u8) -> Self {
+        let n = node.to_be_bytes();
+        MacAddr([0x02, n[0], n[1], n[2], n[3], port])
+    }
+}
+
+impl core::fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+/// EtherType values the MPLS data plane cares about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EtherType {
+    /// Plain IPv4 (`0x0800`) — an unlabeled packet arriving at an LER.
+    Ipv4,
+    /// MPLS unicast (`0x8847`) — a labeled packet inside the core.
+    MplsUnicast,
+    /// Anything else, preserved verbatim.
+    Other(u16),
+}
+
+impl EtherType {
+    /// Wire value.
+    pub const fn value(self) -> u16 {
+        match self {
+            Self::Ipv4 => 0x0800,
+            Self::MplsUnicast => 0x8847,
+            Self::Other(v) => v,
+        }
+    }
+
+    /// From wire value.
+    pub const fn from_value(v: u16) -> Self {
+        match v {
+            0x0800 => Self::Ipv4,
+            0x8847 => Self::MplsUnicast,
+            other => Self::Other(other),
+        }
+    }
+}
+
+/// An Ethernet II header (no VLAN tags, no FCS — the simulator's links are
+/// error-free, so the 4-byte CRC is omitted as pure overhead accounting,
+/// which the byte-length helpers include instead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EthernetFrame {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// Payload type.
+    pub ethertype: EtherType,
+}
+
+impl EthernetFrame {
+    /// Header length on the wire.
+    pub const WIRE_LEN: usize = 14;
+
+    /// Serializes the header.
+    pub fn write_to(&self, buf: &mut [u8]) -> Result<(), PacketError> {
+        if buf.len() < Self::WIRE_LEN {
+            return Err(PacketError::Truncated {
+                what: "Ethernet header",
+                need: Self::WIRE_LEN,
+                have: buf.len(),
+            });
+        }
+        buf[0..6].copy_from_slice(&self.dst.0);
+        buf[6..12].copy_from_slice(&self.src.0);
+        buf[12..14].copy_from_slice(&self.ethertype.value().to_be_bytes());
+        Ok(())
+    }
+
+    /// Parses the header, returning it and the fixed header length.
+    pub fn read_from(buf: &[u8]) -> Result<(Self, usize), PacketError> {
+        if buf.len() < Self::WIRE_LEN {
+            return Err(PacketError::Truncated {
+                what: "Ethernet header",
+                need: Self::WIRE_LEN,
+                have: buf.len(),
+            });
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&buf[0..6]);
+        src.copy_from_slice(&buf[6..12]);
+        Ok((
+            Self {
+                dst: MacAddr(dst),
+                src: MacAddr(src),
+                ethertype: EtherType::from_value(u16::from_be_bytes([buf[12], buf[13]])),
+            },
+            Self::WIRE_LEN,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ethertype_round_trip() {
+        for t in [EtherType::Ipv4, EtherType::MplsUnicast, EtherType::Other(0x86dd)] {
+            assert_eq!(EtherType::from_value(t.value()), t);
+        }
+        assert_eq!(EtherType::from_value(0x0800), EtherType::Ipv4);
+        assert_eq!(EtherType::from_value(0x8847), EtherType::MplsUnicast);
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let f = EthernetFrame {
+            dst: MacAddr::from_node(7, 1),
+            src: MacAddr::from_node(3, 0),
+            ethertype: EtherType::MplsUnicast,
+        };
+        let mut buf = [0u8; 14];
+        f.write_to(&mut buf).unwrap();
+        let (parsed, len) = EthernetFrame::read_from(&buf).unwrap();
+        assert_eq!(len, 14);
+        assert_eq!(parsed, f);
+    }
+
+    #[test]
+    fn node_macs_are_distinct_and_local() {
+        let a = MacAddr::from_node(1, 0);
+        let b = MacAddr::from_node(1, 1);
+        let c = MacAddr::from_node(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // locally administered, unicast
+        assert_eq!(a.0[0] & 0x03, 0x02);
+    }
+
+    #[test]
+    fn truncated_frame() {
+        let buf = [0u8; 13];
+        assert!(matches!(
+            EthernetFrame::read_from(&buf),
+            Err(PacketError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn mac_display() {
+        assert_eq!(MacAddr([0xde, 0xad, 0xbe, 0xef, 0, 1]).to_string(), "de:ad:be:ef:00:01");
+    }
+}

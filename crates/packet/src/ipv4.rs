@@ -1,0 +1,267 @@
+//! Minimal IPv4 header handling.
+//!
+//! The Label Edge Router needs just enough layer-3 awareness to extract the
+//! *packet identifier* — "for IP packets, the packet identifier is typically
+//! the destination address" (§3) — and to keep the IP TTL coherent when a
+//! stack is pushed or fully popped. This module implements RFC 791 header
+//! parse/serialize with checksum, without options reassembly or
+//! fragmentation logic.
+
+use crate::PacketError;
+use serde::{Deserialize, Serialize};
+
+/// An IPv4 address.
+pub type Ipv4Addr = u32;
+
+/// A parsed IPv4 header (fixed 20-byte form; options preserved as raw bytes
+/// are out of scope — IHL > 5 headers are accepted and their options carried
+/// opaquely by [`crate::MplsPacket`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ipv4Header {
+    /// Differentiated services / TOS byte; its top 3 bits (IP precedence)
+    /// seed the MPLS CoS at the ingress LER.
+    pub tos: u8,
+    /// Total length of header + payload in bytes.
+    pub total_len: u16,
+    /// Identification field.
+    pub ident: u16,
+    /// Flags (3 bits) and fragment offset (13 bits), packed.
+    pub flags_frag: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Payload protocol (6 = TCP, 17 = UDP, ...).
+    pub protocol: u8,
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address — the MPLS packet identifier.
+    pub dst: Ipv4Addr,
+}
+
+impl Ipv4Header {
+    /// Length of the option-free header on the wire.
+    pub const WIRE_LEN: usize = 20;
+
+    /// UDP protocol number.
+    pub const PROTO_UDP: u8 = 17;
+    /// TCP protocol number.
+    pub const PROTO_TCP: u8 = 6;
+
+    /// Builds a header for a payload of `payload_len` bytes.
+    pub fn new(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, ttl: u8, payload_len: usize) -> Self {
+        Self {
+            tos: 0,
+            total_len: (Self::WIRE_LEN + payload_len) as u16,
+            ident: 0,
+            flags_frag: 0,
+            ttl,
+            protocol,
+            src,
+            dst,
+        }
+    }
+
+    /// The IP precedence bits (top 3 of TOS), used to derive the MPLS CoS.
+    pub fn precedence(&self) -> u8 {
+        self.tos >> 5
+    }
+
+    /// Serializes the header (IHL = 5) with a correct checksum.
+    pub fn write_to(&self, buf: &mut [u8]) -> Result<(), PacketError> {
+        if buf.len() < Self::WIRE_LEN {
+            return Err(PacketError::Truncated {
+                what: "IPv4 header",
+                need: Self::WIRE_LEN,
+                have: buf.len(),
+            });
+        }
+        buf[0] = 0x45; // version 4, IHL 5
+        buf[1] = self.tos;
+        buf[2..4].copy_from_slice(&self.total_len.to_be_bytes());
+        buf[4..6].copy_from_slice(&self.ident.to_be_bytes());
+        buf[6..8].copy_from_slice(&self.flags_frag.to_be_bytes());
+        buf[8] = self.ttl;
+        buf[9] = self.protocol;
+        buf[10..12].copy_from_slice(&[0, 0]);
+        buf[12..16].copy_from_slice(&self.src.to_be_bytes());
+        buf[16..20].copy_from_slice(&self.dst.to_be_bytes());
+        let csum = checksum(&buf[..Self::WIRE_LEN]);
+        buf[10..12].copy_from_slice(&csum.to_be_bytes());
+        Ok(())
+    }
+
+    /// Parses a header, verifying version and IHL. Returns the header and
+    /// the header length in bytes (IHL * 4, to let callers skip options).
+    pub fn read_from(buf: &[u8]) -> Result<(Self, usize), PacketError> {
+        if buf.len() < Self::WIRE_LEN {
+            return Err(PacketError::Truncated {
+                what: "IPv4 header",
+                need: Self::WIRE_LEN,
+                have: buf.len(),
+            });
+        }
+        let version = buf[0] >> 4;
+        if version != 4 {
+            return Err(PacketError::BadIpVersion(version));
+        }
+        let ihl = buf[0] & 0x0f;
+        if ihl < 5 {
+            return Err(PacketError::BadIhl(ihl));
+        }
+        let hdr_len = ihl as usize * 4;
+        if buf.len() < hdr_len {
+            return Err(PacketError::Truncated {
+                what: "IPv4 options",
+                need: hdr_len,
+                have: buf.len(),
+            });
+        }
+        Ok((
+            Self {
+                tos: buf[1],
+                total_len: u16::from_be_bytes([buf[2], buf[3]]),
+                ident: u16::from_be_bytes([buf[4], buf[5]]),
+                flags_frag: u16::from_be_bytes([buf[6], buf[7]]),
+                ttl: buf[8],
+                protocol: buf[9],
+                src: u32::from_be_bytes([buf[12], buf[13], buf[14], buf[15]]),
+                dst: u32::from_be_bytes([buf[16], buf[17], buf[18], buf[19]]),
+            },
+            hdr_len,
+        ))
+    }
+}
+
+/// The RFC 1071 Internet checksum over `data` (checksum field assumed zero
+/// or included — callers zero it before computing).
+pub fn checksum(data: &[u8]) -> u16 {
+    let mut sum = 0u32;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(*last) << 8;
+    }
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Formats an [`Ipv4Addr`] in dotted-quad notation.
+pub fn fmt_addr(a: Ipv4Addr) -> String {
+    let b = a.to_be_bytes();
+    format!("{}.{}.{}.{}", b[0], b[1], b[2], b[3])
+}
+
+/// Parses a dotted-quad address; helper for examples and tests.
+pub fn parse_addr(s: &str) -> Option<Ipv4Addr> {
+    let mut parts = s.split('.');
+    let mut bytes = [0u8; 4];
+    for b in &mut bytes {
+        *b = parts.next()?.parse().ok()?;
+    }
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(u32::from_be_bytes(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip() {
+        let h = Ipv4Header::new(
+            parse_addr("10.0.0.1").unwrap(),
+            parse_addr("192.168.1.7").unwrap(),
+            Ipv4Header::PROTO_UDP,
+            64,
+            100,
+        );
+        let mut buf = [0u8; 20];
+        h.write_to(&mut buf).unwrap();
+        let (parsed, len) = Ipv4Header::read_from(&buf).unwrap();
+        assert_eq!(len, 20);
+        assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn checksum_verifies() {
+        let h = Ipv4Header::new(1, 2, 6, 64, 0);
+        let mut buf = [0u8; 20];
+        h.write_to(&mut buf).unwrap();
+        // Checksum over a header including its checksum field is zero.
+        assert_eq!(checksum(&buf), 0);
+    }
+
+    #[test]
+    fn checksum_odd_length() {
+        // RFC 1071 example-style sanity: padding with a virtual zero byte.
+        assert_eq!(checksum(&[0x00, 0x01, 0xf2]), !(0x0001u16 + 0xf200));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut buf = [0u8; 20];
+        buf[0] = 0x65; // version 6
+        assert_eq!(
+            Ipv4Header::read_from(&buf).unwrap_err(),
+            PacketError::BadIpVersion(6)
+        );
+    }
+
+    #[test]
+    fn rejects_short_ihl() {
+        let mut buf = [0u8; 20];
+        buf[0] = 0x44;
+        assert_eq!(Ipv4Header::read_from(&buf).unwrap_err(), PacketError::BadIhl(4));
+    }
+
+    #[test]
+    fn accepts_options_by_skipping() {
+        let h = Ipv4Header::new(1, 2, 6, 64, 0);
+        let mut buf = [0u8; 24];
+        h.write_to(&mut buf).unwrap();
+        buf[0] = 0x46; // IHL 6: one option word
+        let (_, len) = Ipv4Header::read_from(&buf).unwrap();
+        assert_eq!(len, 24);
+    }
+
+    #[test]
+    fn addr_formatting() {
+        let a = parse_addr("172.16.254.3").unwrap();
+        assert_eq!(fmt_addr(a), "172.16.254.3");
+        assert!(parse_addr("1.2.3").is_none());
+        assert!(parse_addr("1.2.3.4.5").is_none());
+        assert!(parse_addr("1.2.3.999").is_none());
+    }
+
+    #[test]
+    fn precedence_from_tos() {
+        let mut h = Ipv4Header::new(1, 2, 6, 64, 0);
+        h.tos = 0b101_00000;
+        assert_eq!(h.precedence(), 5);
+    }
+
+    proptest! {
+        #[test]
+        fn header_round_trip(src: u32, dst: u32, tos: u8, ttl: u8, proto: u8, ident: u16, plen in 0usize..1400) {
+            let mut h = Ipv4Header::new(src, dst, proto, ttl, plen);
+            h.tos = tos;
+            h.ident = ident;
+            let mut buf = [0u8; 20];
+            h.write_to(&mut buf).unwrap();
+            let (parsed, _) = Ipv4Header::read_from(&buf).unwrap();
+            prop_assert_eq!(parsed, h);
+            prop_assert_eq!(checksum(&buf), 0);
+        }
+
+        #[test]
+        fn addr_round_trip(a: u32) {
+            prop_assert_eq!(parse_addr(&fmt_addr(a)), Some(a));
+        }
+    }
+}

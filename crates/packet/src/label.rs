@@ -1,0 +1,357 @@
+//! The 20-bit MPLS label and the 32-bit label stack entry (paper Fig. 5,
+//! RFC 3032 §2.1).
+//!
+//! Bit layout of an entry, most significant bit first:
+//!
+//! ```text
+//!  31                 12 11    9   8  7        0
+//! +---------------------+-------+---+-----------+
+//! |        label        |  CoS  | S |    TTL    |
+//! +---------------------+-------+---+-----------+
+//!        20 bits          3 bits  1     8 bits
+//! ```
+
+use crate::PacketError;
+use serde::{Deserialize, Serialize};
+
+/// A 20-bit MPLS label value.
+///
+/// The embedded architecture compares labels with a dedicated 20-bit
+/// comparator, so the type guarantees the invariant `value < 2^20` at
+/// construction time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Label(u32);
+
+impl Label {
+    /// Number of value bits in a label.
+    pub const BITS: u32 = 20;
+    /// Largest representable label, `2^20 - 1`.
+    pub const MAX: u32 = (1 << Self::BITS) - 1;
+
+    /// "IPv4 Explicit NULL": pop and deliver to IPv4 (RFC 3032 §2.1).
+    pub const IPV4_EXPLICIT_NULL: Label = Label(0);
+    /// "Router Alert" reserved label.
+    pub const ROUTER_ALERT: Label = Label(1);
+    /// "IPv6 Explicit NULL" reserved label.
+    pub const IPV6_EXPLICIT_NULL: Label = Label(2);
+    /// "Implicit NULL": signalled but never on the wire; requests
+    /// penultimate hop popping.
+    pub const IMPLICIT_NULL: Label = Label(3);
+    /// First label outside the IETF reserved range `0..=15`.
+    pub const FIRST_UNRESERVED: Label = Label(16);
+
+    /// Creates a label, rejecting values that do not fit in 20 bits.
+    pub const fn new(value: u32) -> Result<Self, PacketError> {
+        if value > Self::MAX {
+            Err(PacketError::LabelOutOfRange(value))
+        } else {
+            Ok(Self(value))
+        }
+    }
+
+    /// Creates a label, masking the value to 20 bits.
+    ///
+    /// Used where the hardware model reads a label bus whose upper bits are
+    /// "ignored" (§3.2: "the appropriate number of most significant bits is
+    /// ignored").
+    pub const fn from_masked(value: u32) -> Self {
+        Self(value & Self::MAX)
+    }
+
+    /// The raw 20-bit value.
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+
+    /// True for the IETF reserved range `0..=15`.
+    pub const fn is_reserved(self) -> bool {
+        self.0 < 16
+    }
+}
+
+impl TryFrom<u32> for Label {
+    type Error = PacketError;
+    fn try_from(value: u32) -> Result<Self, Self::Error> {
+        Self::new(value)
+    }
+}
+
+impl From<Label> for u32 {
+    fn from(l: Label) -> Self {
+        l.0
+    }
+}
+
+impl core::fmt::Display for Label {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The 3-bit Class of Service field (the EXP bits of RFC 3032).
+///
+/// "The CoS bits affect the scheduling and or discard algorithms applied to
+/// the packet ... These bits are not modified by the embedded implementation
+/// of MPLS" (§2). The network simulator maps CoS to queue priority.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct CosBits(u8);
+
+impl CosBits {
+    /// Number of bits in the field.
+    pub const BITS: u32 = 3;
+    /// Largest representable CoS, 7.
+    pub const MAX: u8 = (1 << Self::BITS) - 1;
+
+    /// Best-effort traffic.
+    pub const BEST_EFFORT: CosBits = CosBits(0);
+    /// Highest priority (used for VoIP in the QoS experiments).
+    pub const EXPEDITED: CosBits = CosBits(5);
+    /// Network control traffic.
+    pub const NETWORK_CONTROL: CosBits = CosBits(7);
+
+    /// Creates a CoS value, rejecting values above 7.
+    pub const fn new(value: u8) -> Result<Self, PacketError> {
+        if value > Self::MAX {
+            Err(PacketError::CosOutOfRange(value))
+        } else {
+            Ok(Self(value))
+        }
+    }
+
+    /// Creates a CoS value, masking to 3 bits.
+    pub const fn from_masked(value: u8) -> Self {
+        Self(value & Self::MAX)
+    }
+
+    /// The raw 3-bit value.
+    pub const fn value(self) -> u8 {
+        self.0
+    }
+}
+
+/// Time-to-live, decremented at every hop; the packet is discarded when it
+/// reaches zero (§2, RFC 3443 semantics simplified per the paper).
+pub type Ttl = u8;
+
+/// One 32-bit entry of an MPLS label stack (paper Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LabelStackEntry {
+    /// The 20-bit label.
+    pub label: Label,
+    /// The 3-bit class of service.
+    pub cos: CosBits,
+    /// Bottom-of-stack bit: set iff this is the last (deepest) entry.
+    pub bottom: bool,
+    /// Time to live.
+    pub ttl: Ttl,
+}
+
+impl LabelStackEntry {
+    /// Size of an encoded entry in bytes.
+    pub const WIRE_LEN: usize = 4;
+
+    /// Convenience constructor for a non-bottom entry.
+    pub const fn new(label: Label, cos: CosBits, bottom: bool, ttl: Ttl) -> Self {
+        Self {
+            label,
+            cos,
+            bottom,
+            ttl,
+        }
+    }
+
+    /// Encodes the entry into its 32-bit wire representation.
+    pub const fn to_bits(self) -> u32 {
+        (self.label.value() << 12)
+            | ((self.cos.value() as u32) << 9)
+            | ((self.bottom as u32) << 8)
+            | self.ttl as u32
+    }
+
+    /// Decodes an entry from its 32-bit wire representation. Total — every
+    /// bit pattern is a valid entry.
+    pub const fn from_bits(bits: u32) -> Self {
+        Self {
+            label: Label::from_masked(bits >> 12),
+            cos: CosBits::from_masked(((bits >> 9) & 0x7) as u8),
+            bottom: (bits >> 8) & 1 == 1,
+            ttl: (bits & 0xff) as u8,
+        }
+    }
+
+    /// Serializes to 4 big-endian bytes.
+    pub fn write_to(self, buf: &mut [u8]) -> Result<(), PacketError> {
+        if buf.len() < Self::WIRE_LEN {
+            return Err(PacketError::Truncated {
+                what: "label stack entry",
+                need: Self::WIRE_LEN,
+                have: buf.len(),
+            });
+        }
+        buf[..4].copy_from_slice(&self.to_bits().to_be_bytes());
+        Ok(())
+    }
+
+    /// Parses 4 big-endian bytes.
+    pub fn read_from(buf: &[u8]) -> Result<Self, PacketError> {
+        if buf.len() < Self::WIRE_LEN {
+            return Err(PacketError::Truncated {
+                what: "label stack entry",
+                need: Self::WIRE_LEN,
+                have: buf.len(),
+            });
+        }
+        let bits = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]);
+        Ok(Self::from_bits(bits))
+    }
+
+    /// Returns a copy with the TTL decremented, or `None` when the TTL has
+    /// expired (is zero before or after decrement), in which case the packet
+    /// must be discarded (§2: "The packet is discarded when the TTL reaches
+    /// zero").
+    pub fn decrement_ttl(self) -> Option<Self> {
+        match self.ttl {
+            0 | 1 => None,
+            t => Some(Self { ttl: t - 1, ..self }),
+        }
+    }
+}
+
+impl core::fmt::Display for LabelStackEntry {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "label={} cos={} s={} ttl={}",
+            self.label,
+            self.cos.value(),
+            self.bottom as u8,
+            self.ttl
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn label_bounds() {
+        assert!(Label::new(Label::MAX).is_ok());
+        assert_eq!(
+            Label::new(Label::MAX + 1),
+            Err(PacketError::LabelOutOfRange(Label::MAX + 1))
+        );
+        assert_eq!(Label::from_masked(Label::MAX + 1).value(), 0);
+    }
+
+    #[test]
+    fn reserved_labels() {
+        assert!(Label::IPV4_EXPLICIT_NULL.is_reserved());
+        assert!(Label::IMPLICIT_NULL.is_reserved());
+        assert!(!Label::FIRST_UNRESERVED.is_reserved());
+    }
+
+    #[test]
+    fn cos_bounds() {
+        assert!(CosBits::new(7).is_ok());
+        assert_eq!(CosBits::new(8), Err(PacketError::CosOutOfRange(8)));
+        assert_eq!(CosBits::from_masked(9).value(), 1);
+    }
+
+    #[test]
+    fn known_encoding() {
+        // label 500, cos 5, bottom, ttl 64:
+        // 500 << 12 | 5 << 9 | 1 << 8 | 64
+        let e = LabelStackEntry::new(
+            Label::new(500).unwrap(),
+            CosBits::new(5).unwrap(),
+            true,
+            64,
+        );
+        assert_eq!(e.to_bits(), (500 << 12) | (5 << 9) | (1 << 8) | 64);
+        assert_eq!(LabelStackEntry::from_bits(e.to_bits()), e);
+    }
+
+    #[test]
+    fn field_packing_does_not_overlap() {
+        let e = LabelStackEntry::new(Label::new(Label::MAX).unwrap(), CosBits::new(0).unwrap(), false, 0);
+        assert_eq!(e.to_bits(), 0xFFFF_F000);
+        let e = LabelStackEntry::new(Label::new(0).unwrap(), CosBits::new(7).unwrap(), false, 0);
+        assert_eq!(e.to_bits(), 0x0000_0E00);
+        let e = LabelStackEntry::new(Label::new(0).unwrap(), CosBits::new(0).unwrap(), true, 0);
+        assert_eq!(e.to_bits(), 0x0000_0100);
+        let e = LabelStackEntry::new(Label::new(0).unwrap(), CosBits::new(0).unwrap(), false, 255);
+        assert_eq!(e.to_bits(), 0x0000_00FF);
+    }
+
+    #[test]
+    fn ttl_decrement() {
+        let mk = |ttl| LabelStackEntry::new(Label::new(9).unwrap(), CosBits::BEST_EFFORT, true, ttl);
+        assert_eq!(mk(0).decrement_ttl(), None);
+        assert_eq!(mk(1).decrement_ttl(), None);
+        assert_eq!(mk(2).decrement_ttl().unwrap().ttl, 1);
+        assert_eq!(mk(255).decrement_ttl().unwrap().ttl, 254);
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let e = LabelStackEntry::new(
+            Label::new(0xABCDE).unwrap(),
+            CosBits::new(3).unwrap(),
+            true,
+            17,
+        );
+        let mut buf = [0u8; 4];
+        e.write_to(&mut buf).unwrap();
+        assert_eq!(LabelStackEntry::read_from(&buf).unwrap(), e);
+    }
+
+    #[test]
+    fn truncated_buffers_error() {
+        let e = LabelStackEntry::from_bits(0);
+        let mut small = [0u8; 3];
+        assert!(matches!(
+            e.write_to(&mut small),
+            Err(PacketError::Truncated { need: 4, have: 3, .. })
+        ));
+        assert!(LabelStackEntry::read_from(&small).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn bits_round_trip(bits: u32) {
+            let e = LabelStackEntry::from_bits(bits);
+            prop_assert_eq!(e.to_bits(), bits);
+        }
+
+        #[test]
+        fn entry_round_trip(label in 0u32..=Label::MAX, cos in 0u8..=7, bottom: bool, ttl: u8) {
+            let e = LabelStackEntry::new(
+                Label::new(label).unwrap(),
+                CosBits::new(cos).unwrap(),
+                bottom,
+                ttl,
+            );
+            prop_assert_eq!(LabelStackEntry::from_bits(e.to_bits()), e);
+            let mut buf = [0u8; 4];
+            e.write_to(&mut buf).unwrap();
+            prop_assert_eq!(LabelStackEntry::read_from(&buf).unwrap(), e);
+        }
+
+        #[test]
+        fn decrement_never_underflows(bits: u32) {
+            let e = LabelStackEntry::from_bits(bits);
+            if let Some(d) = e.decrement_ttl() {
+                prop_assert_eq!(d.ttl as u16 + 1, e.ttl as u16);
+                prop_assert!(d.ttl >= 1);
+            } else {
+                prop_assert!(e.ttl <= 1);
+            }
+        }
+    }
+}

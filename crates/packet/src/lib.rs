@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+//! MPLS wire formats.
+//!
+//! This crate defines the data-plane vocabulary shared by every other crate
+//! in the workspace:
+//!
+//! * [`Label`] — a 20-bit MPLS label with the reserved values of RFC 3032.
+//! * [`LabelStackEntry`] — the 32-bit generic label format of the paper's
+//!   Fig. 5 (label, CoS, bottom-of-stack bit, TTL).
+//! * [`LabelStack`] — an ordered stack of entries (Fig. 4) with push/pop/
+//!   swap semantics and the invariant that exactly the bottom entry carries
+//!   the S bit.
+//! * [`Ipv4Header`] / [`EthernetFrame`] — the minimal layer-3/layer-2
+//!   framing needed to exercise a Label Edge Router: enough to extract the
+//!   *packet identifier* (the IPv4 destination address, §3 of the paper)
+//!   and to splice a label stack between the L2 header and the IP payload.
+//! * [`MplsPacket`] — a parsed view of an Ethernet frame carrying an MPLS
+//!   label stack and an IPv4 payload.
+//!
+//! All encodings are big-endian network byte order and round-trip exactly;
+//! see the property tests in each module.
+
+pub mod error;
+pub mod ethernet;
+pub mod ipv4;
+pub mod label;
+pub mod packet;
+pub mod stack;
+
+pub use error::PacketError;
+pub use ethernet::{EtherType, EthernetFrame, MacAddr};
+pub use ipv4::Ipv4Header;
+pub use label::{CosBits, Label, LabelStackEntry, Ttl};
+pub use packet::MplsPacket;
+pub use stack::LabelStack;
+
+/// Number of nesting levels the embedded architecture supports.
+///
+/// "A typical MPLS network does not use more than two or three levels of
+/// nested paths and consequently, label stacks do not normally exceed two
+/// or three labels" (§2). The hardware data path provisions exactly three
+/// levels of information-base memory, so the whole workspace shares this
+/// constant.
+pub const MAX_STACK_DEPTH: usize = 3;

@@ -1,0 +1,422 @@
+//! The label stack (paper Fig. 4).
+//!
+//! "The collection of labels for a given packet is called a label stack
+//! since labels are added (or 'pushed') and removed (or 'popped') like
+//! elements in a stack data structure. The most recent (or top most) label
+//! is processed at any given router." (§2)
+//!
+//! The stack owns the bottom-of-stack invariant: exactly the deepest entry
+//! carries `S = 1`, and the stack never exceeds [`MAX_STACK_DEPTH`] entries
+//! (mirroring the three levels of information-base memory in the hardware).
+
+use crate::{label::LabelStackEntry, CosBits, Label, PacketError, Ttl, MAX_STACK_DEPTH};
+use serde::{Deserialize, Serialize};
+
+/// An MPLS label stack holding zero to [`MAX_STACK_DEPTH`] entries.
+///
+/// Entries are stored top-first: `entries()[0]` is the top of the stack —
+/// the entry a router examines — and the last element is the bottom. The
+/// S bits are maintained internally; callers never set them directly.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LabelStack {
+    /// Top-first entries. Kept as a fixed-capacity inline array plus length
+    /// so stack manipulation in the forwarding hot path never allocates.
+    entries: [LabelStackEntry; MAX_STACK_DEPTH],
+    len: u8,
+}
+
+// Equality and hashing consider only the live entries; slots beyond `len`
+// are scratch space left behind by pops.
+impl PartialEq for LabelStack {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries() == other.entries()
+    }
+}
+
+impl Eq for LabelStack {}
+
+impl core::hash::Hash for LabelStack {
+    fn hash<H: core::hash::Hasher>(&self, state: &mut H) {
+        self.entries().hash(state);
+    }
+}
+
+impl Default for LabelStack {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LabelStack {
+    /// An empty stack.
+    pub const fn new() -> Self {
+        const ZERO: LabelStackEntry = LabelStackEntry {
+            label: Label::IPV4_EXPLICIT_NULL,
+            cos: CosBits::BEST_EFFORT,
+            bottom: false,
+            ttl: 0,
+        };
+        Self {
+            entries: [ZERO; MAX_STACK_DEPTH],
+            len: 0,
+        }
+    }
+
+    /// Builds a stack from top-first entries. The S bits of the input are
+    /// ignored and recomputed.
+    pub fn from_entries(top_first: &[LabelStackEntry]) -> Result<Self, PacketError> {
+        if top_first.len() > MAX_STACK_DEPTH {
+            return Err(PacketError::StackOverflow);
+        }
+        let mut s = Self::new();
+        for e in top_first.iter().rev() {
+            s.push(*e)?;
+        }
+        Ok(s)
+    }
+
+    /// Number of entries on the stack.
+    pub fn depth(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when no labels are present (an unlabeled layer-2/3 packet).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Top-first view of the entries.
+    pub fn entries(&self) -> &[LabelStackEntry] {
+        &self.entries[..self.len as usize]
+    }
+
+    /// The top entry, if any.
+    pub fn top(&self) -> Option<&LabelStackEntry> {
+        self.entries().first()
+    }
+
+    /// Pushes a new top entry. The pushed entry's S bit is forced to the
+    /// correct value (set iff the stack was empty).
+    pub fn push(&mut self, mut entry: LabelStackEntry) -> Result<(), PacketError> {
+        if self.depth() == MAX_STACK_DEPTH {
+            return Err(PacketError::StackOverflow);
+        }
+        entry.bottom = self.is_empty();
+        // Shift existing entries one slot deeper.
+        let len = self.len as usize;
+        for i in (0..len).rev() {
+            self.entries[i + 1] = self.entries[i];
+        }
+        self.entries[0] = entry;
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Convenience push from parts.
+    pub fn push_parts(&mut self, label: Label, cos: CosBits, ttl: Ttl) -> Result<(), PacketError> {
+        self.push(LabelStackEntry::new(label, cos, false, ttl))
+    }
+
+    /// Pops the top entry.
+    pub fn pop(&mut self) -> Result<LabelStackEntry, PacketError> {
+        if self.is_empty() {
+            return Err(PacketError::StackUnderflow);
+        }
+        let top = self.entries[0];
+        let len = self.len as usize;
+        for i in 1..len {
+            self.entries[i - 1] = self.entries[i];
+        }
+        self.len -= 1;
+        Ok(top)
+    }
+
+    /// Replaces the label of the top entry, keeping CoS ("not modified by
+    /// the embedded implementation", §2) and TTL.
+    pub fn swap(&mut self, new_label: Label) -> Result<LabelStackEntry, PacketError> {
+        if self.is_empty() {
+            return Err(PacketError::StackUnderflow);
+        }
+        let old = self.entries[0];
+        self.entries[0].label = new_label;
+        Ok(old)
+    }
+
+    /// Decrements the top entry's TTL in place. Returns `false` when the TTL
+    /// expired, in which case the caller must discard the packet. The stack
+    /// is left unmodified on expiry.
+    pub fn decrement_ttl(&mut self) -> Result<bool, PacketError> {
+        if self.is_empty() {
+            return Err(PacketError::StackUnderflow);
+        }
+        match self.entries[0].decrement_ttl() {
+            Some(e) => {
+                self.entries[0] = e;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Removes every entry ("the label stack is reset" on discard, §3.1).
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Bytes required to encode the stack.
+    pub fn wire_len(&self) -> usize {
+        self.depth() * LabelStackEntry::WIRE_LEN
+    }
+
+    /// Encodes the stack top-first into `buf`, returning the bytes written.
+    pub fn write_to(&self, buf: &mut [u8]) -> Result<usize, PacketError> {
+        let need = self.wire_len();
+        if buf.len() < need {
+            return Err(PacketError::Truncated {
+                what: "label stack",
+                need,
+                have: buf.len(),
+            });
+        }
+        for (i, e) in self.entries().iter().enumerate() {
+            e.write_to(&mut buf[i * 4..])?;
+        }
+        Ok(need)
+    }
+
+    /// Parses a label stack from the front of `buf`, consuming entries until
+    /// one with the S bit set. Returns the stack and the bytes consumed.
+    pub fn read_from(buf: &[u8]) -> Result<(Self, usize), PacketError> {
+        let mut s = Self::new();
+        let mut off = 0;
+        loop {
+            let e = LabelStackEntry::read_from(&buf[off..])?;
+            off += LabelStackEntry::WIRE_LEN;
+            let depth = s.depth();
+            if depth == MAX_STACK_DEPTH {
+                return Err(PacketError::StackOverflow);
+            }
+            s.entries[depth] = e;
+            s.len += 1;
+            if e.bottom {
+                return Ok((s, off));
+            }
+        }
+    }
+
+    /// Checks the S-bit invariant; used by tests and by the differential
+    /// harness to validate hardware-model output.
+    pub fn validate(&self) -> Result<(), PacketError> {
+        let n = self.depth();
+        for (i, e) in self.entries().iter().enumerate() {
+            let should_be_bottom = i + 1 == n;
+            if e.bottom != should_be_bottom {
+                if e.bottom {
+                    return Err(PacketError::EarlyBottomOfStack { depth: i });
+                }
+                return Err(PacketError::UnterminatedStack);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl core::fmt::Display for LabelStack {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "[")?;
+        for (i, e) in self.entries().iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn entry(label: u32, ttl: Ttl) -> LabelStackEntry {
+        LabelStackEntry::new(Label::new(label).unwrap(), CosBits::BEST_EFFORT, false, ttl)
+    }
+
+    #[test]
+    fn push_sets_bottom_bit_only_on_first() {
+        let mut s = LabelStack::new();
+        s.push(entry(10, 64)).unwrap();
+        assert!(s.entries()[0].bottom);
+        s.push(entry(20, 64)).unwrap();
+        assert!(!s.entries()[0].bottom);
+        assert!(s.entries()[1].bottom);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn push_overflow_at_max_depth() {
+        let mut s = LabelStack::new();
+        for l in 0..MAX_STACK_DEPTH as u32 {
+            s.push(entry(l, 64)).unwrap();
+        }
+        assert_eq!(s.push(entry(99, 64)), Err(PacketError::StackOverflow));
+        assert_eq!(s.depth(), MAX_STACK_DEPTH);
+    }
+
+    #[test]
+    fn pop_returns_lifo_order() {
+        let mut s = LabelStack::new();
+        s.push(entry(1, 64)).unwrap();
+        s.push(entry(2, 64)).unwrap();
+        s.push(entry(3, 64)).unwrap();
+        assert_eq!(s.pop().unwrap().label.value(), 3);
+        assert_eq!(s.pop().unwrap().label.value(), 2);
+        assert_eq!(s.pop().unwrap().label.value(), 1);
+        assert_eq!(s.pop(), Err(PacketError::StackUnderflow));
+    }
+
+    #[test]
+    fn swap_preserves_cos_and_ttl() {
+        let mut s = LabelStack::new();
+        s.push(LabelStackEntry::new(
+            Label::new(7).unwrap(),
+            CosBits::EXPEDITED,
+            false,
+            33,
+        ))
+        .unwrap();
+        let old = s.swap(Label::new(42).unwrap()).unwrap();
+        assert_eq!(old.label.value(), 7);
+        let top = s.top().unwrap();
+        assert_eq!(top.label.value(), 42);
+        assert_eq!(top.cos, CosBits::EXPEDITED);
+        assert_eq!(top.ttl, 33);
+        assert!(top.bottom);
+    }
+
+    #[test]
+    fn swap_empty_underflows() {
+        let mut s = LabelStack::new();
+        assert_eq!(s.swap(Label::new(1).unwrap()), Err(PacketError::StackUnderflow));
+    }
+
+    #[test]
+    fn ttl_expiry_signals_discard() {
+        let mut s = LabelStack::new();
+        s.push(entry(5, 1)).unwrap();
+        assert_eq!(s.decrement_ttl().unwrap(), false);
+        // stack untouched; caller resets it
+        assert_eq!(s.depth(), 1);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn wire_round_trip_multi_entry() {
+        let mut s = LabelStack::new();
+        s.push(entry(100, 10)).unwrap();
+        s.push(entry(200, 20)).unwrap();
+        s.push(entry(300, 30)).unwrap();
+        let mut buf = [0u8; 12];
+        assert_eq!(s.write_to(&mut buf).unwrap(), 12);
+        let (parsed, used) = LabelStack::read_from(&buf).unwrap();
+        assert_eq!(used, 12);
+        assert_eq!(parsed, s);
+        parsed.validate().unwrap();
+    }
+
+    #[test]
+    fn read_stops_at_bottom_bit() {
+        // Encode 1 bottom entry followed by garbage.
+        let e = LabelStackEntry::new(Label::new(55).unwrap(), CosBits::BEST_EFFORT, true, 9);
+        let mut buf = [0xAAu8; 8];
+        e.write_to(&mut buf).unwrap();
+        let (s, used) = LabelStack::read_from(&buf).unwrap();
+        assert_eq!(used, 4);
+        assert_eq!(s.depth(), 1);
+        assert_eq!(s.top().unwrap().label.value(), 55);
+    }
+
+    #[test]
+    fn read_unterminated_overflows() {
+        // Four entries none of which is bottom: overflow before termination.
+        let e = LabelStackEntry::new(Label::new(1).unwrap(), CosBits::BEST_EFFORT, false, 9);
+        let mut buf = [0u8; 16];
+        for i in 0..4 {
+            e.write_to(&mut buf[i * 4..]).unwrap();
+        }
+        assert_eq!(
+            LabelStack::read_from(&buf).unwrap_err(),
+            PacketError::StackOverflow
+        );
+    }
+
+    #[test]
+    fn read_truncated_mid_entry() {
+        let e = LabelStackEntry::new(Label::new(1).unwrap(), CosBits::BEST_EFFORT, false, 9);
+        let mut buf = [0u8; 6];
+        e.write_to(&mut buf).unwrap();
+        assert!(matches!(
+            LabelStack::read_from(&buf),
+            Err(PacketError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn from_entries_recomputes_s_bits() {
+        let tainted = [
+            LabelStackEntry::new(Label::new(3).unwrap(), CosBits::BEST_EFFORT, true, 1),
+            LabelStackEntry::new(Label::new(2).unwrap(), CosBits::BEST_EFFORT, false, 1),
+        ];
+        let s = LabelStack::from_entries(&tainted).unwrap();
+        s.validate().unwrap();
+        assert!(!s.entries()[0].bottom);
+        assert!(s.entries()[1].bottom);
+    }
+
+    fn arb_entry() -> impl Strategy<Value = LabelStackEntry> {
+        (0u32..=Label::MAX, 0u8..=7, any::<u8>()).prop_map(|(l, c, t)| {
+            LabelStackEntry::new(Label::new(l).unwrap(), CosBits::new(c).unwrap(), false, t)
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn stack_round_trip(entries in proptest::collection::vec(arb_entry(), 1..=MAX_STACK_DEPTH)) {
+            let s = LabelStack::from_entries(&entries).unwrap();
+            s.validate().unwrap();
+            let mut buf = vec![0u8; s.wire_len()];
+            s.write_to(&mut buf).unwrap();
+            let (parsed, used) = LabelStack::read_from(&buf).unwrap();
+            prop_assert_eq!(used, buf.len());
+            prop_assert_eq!(parsed, s);
+        }
+
+        #[test]
+        fn push_pop_is_identity(entries in proptest::collection::vec(arb_entry(), 0..MAX_STACK_DEPTH), extra in arb_entry()) {
+            let mut s = LabelStack::from_entries(&entries).unwrap();
+            let before = s.clone();
+            s.push(extra).unwrap();
+            s.validate().unwrap();
+            let popped = s.pop().unwrap();
+            prop_assert_eq!(popped.label, extra.label);
+            prop_assert_eq!(popped.ttl, extra.ttl);
+            prop_assert_eq!(s, before);
+        }
+
+        #[test]
+        fn depth_never_exceeds_max(ops in proptest::collection::vec(any::<bool>(), 0..64)) {
+            let mut s = LabelStack::new();
+            for (i, push) in ops.into_iter().enumerate() {
+                if push {
+                    let _ = s.push(entry((i as u32) & Label::MAX, 64));
+                } else {
+                    let _ = s.pop();
+                }
+                prop_assert!(s.depth() <= MAX_STACK_DEPTH);
+                s.validate().unwrap();
+            }
+        }
+    }
+}

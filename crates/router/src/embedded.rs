@@ -1,0 +1,388 @@
+//! The embedded MPLS router: the Fig. 6 pipeline around the cycle-accurate
+//! hardware label stack modifier.
+//!
+//! Per-packet cost in clock cycles, all charged at the configured clock:
+//!
+//! * load: one `user push` (3 cycles) per arriving label-stack entry —
+//!   "the ingress packet processing \[module\] is used to deliver the label
+//!   stack and a packet identifier to the label stack modifier";
+//! * update: the measured `update stack` cost (search + operation);
+//! * unload: one `user pop` (3 cycles) per resulting entry, which also
+//!   leaves the modifier's stack empty for the next packet;
+//! * slow path: a `write label pair` (3 cycles) the first time a FEC-
+//!   classified flow is seen, installing its exact level-1 pair (the
+//!   hardware cannot longest-prefix match, so the ingress runs the
+//!   level-1 memory as a flow cache).
+
+use crate::forwarding::{Action, DiscardCause, Forwarding, MplsForwarder, RouterStats};
+use crate::pipeline::RouterTables;
+use mpls_control::{Hop, NodeConfig, NodeId, RouterRole};
+use mpls_core::modifier::Outcome;
+use mpls_core::{ClockSpec, DiscardReason, IbOperation, LabelStackModifier, Level, RouterType};
+use mpls_dataplane::LabelOp;
+use mpls_packet::{CosBits, LabelStack, MplsPacket};
+use std::collections::HashSet;
+
+/// Maps control-plane operations onto the hardware encoding.
+fn to_ib_op(op: LabelOp) -> IbOperation {
+    match op {
+        LabelOp::Nop => IbOperation::Nop,
+        LabelOp::Push => IbOperation::Push,
+        LabelOp::Pop => IbOperation::Pop,
+        LabelOp::Swap => IbOperation::Swap,
+    }
+}
+
+/// Maps hardware discard reasons onto router-level causes.
+fn to_cause(r: DiscardReason) -> DiscardCause {
+    match r {
+        DiscardReason::NoEntryFound => DiscardCause::NoEntryFound,
+        DiscardReason::TtlExpired => DiscardCause::TtlExpired,
+        DiscardReason::InconsistentOperation => DiscardCause::InconsistentOperation,
+    }
+}
+
+/// An MPLS router whose label operations run on the embedded hardware
+/// model.
+#[derive(Debug, Clone)]
+pub struct EmbeddedRouter {
+    node: NodeId,
+    modifier: LabelStackModifier,
+    tables: RouterTables,
+    clock: ClockSpec,
+    /// Exact packet identifiers already present in level 1.
+    installed_flows: HashSet<u32>,
+    stats: RouterStats,
+}
+
+impl EmbeddedRouter {
+    /// Builds a router for `node` with `role`, programming the information
+    /// base from the control plane's `config`.
+    pub fn new(node: NodeId, role: RouterRole, config: &NodeConfig, clock: ClockSpec) -> Self {
+        let rtype = match role {
+            RouterRole::Ler => RouterType::Ler,
+            RouterRole::Lsr => RouterType::Lsr,
+        };
+        let mut modifier = LabelStackModifier::new(rtype);
+        modifier.reset();
+        let mut installed_flows = HashSet::new();
+        for b in &config.bindings {
+            let level = match b.level {
+                1 => Level::L1,
+                2 => Level::L2,
+                _ => Level::L3,
+            };
+            let r = modifier.write_pair(level, b.key, b.new_label, to_ib_op(b.op));
+            debug_assert_eq!(r.outcome, Outcome::Done, "info base overflow at setup");
+            if level == Level::L1 {
+                installed_flows.insert(b.key as u32);
+            }
+        }
+        Self {
+            node,
+            modifier,
+            tables: RouterTables::from_config(config),
+            clock,
+            installed_flows,
+            stats: RouterStats::default(),
+        }
+    }
+
+    /// The hardware modifier, for inspection.
+    pub fn modifier(&self) -> &LabelStackModifier {
+        &self.modifier
+    }
+
+    /// The configured clock.
+    pub fn clock(&self) -> ClockSpec {
+        self.clock
+    }
+
+    fn finish(&mut self, cycles: u64, action: Action) -> Forwarding {
+        let latency_ns = self.clock.cycles_to_duration(cycles).as_nanos() as u64;
+        self.stats.total_cycles += cycles;
+        self.stats.total_latency_ns += latency_ns;
+        match &action {
+            Action::Forward { .. } => self.stats.forwarded += 1,
+            Action::Deliver(_) => self.stats.delivered += 1,
+            Action::Discard(_) => self.stats.discarded += 1,
+        }
+        Forwarding { action, latency_ns }
+    }
+
+    /// The MPLS fast/slow path for a packet that must traverse the
+    /// modifier.
+    fn mpls_path(
+        &mut self,
+        mut packet: MplsPacket,
+        push_cos: CosBits,
+        cycles_in: u64,
+    ) -> Forwarding {
+        let mut cycles = cycles_in;
+        let dst = packet.ip.dst;
+
+        // Ingress packet processing: deliver the label stack to the
+        // modifier, bottom entry first so the hardware stack ends up in
+        // packet order.
+        debug_assert_eq!(self.modifier.stack_depth(), 0, "modifier not drained");
+        for e in packet.stack.entries().iter().rev() {
+            let r = self.modifier.user_push(*e);
+            debug_assert_eq!(r.outcome, Outcome::Done);
+            cycles += r.cycles;
+        }
+
+        // The stack update itself.
+        let r = self.modifier.update_stack(dst, push_cos, packet.ip.ttl);
+        cycles += r.cycles;
+        let outcome = r.outcome;
+        if let Outcome::Discarded(reason) = outcome {
+            return self.finish(cycles, Action::Discard(to_cause(reason)));
+        }
+
+        // Egress packet processing: drain the modifier and splice the new
+        // stack into the packet.
+        let mut top_first = Vec::with_capacity(self.modifier.stack_depth());
+        while self.modifier.stack_depth() > 0 {
+            let r = self.modifier.user_pop();
+            cycles += r.cycles;
+            match r.outcome {
+                Outcome::Popped(e) => top_first.push(e),
+                other => unreachable!("pop of non-empty stack returned {other:?}"),
+            }
+        }
+        let new_stack =
+            LabelStack::from_entries(&top_first).expect("hardware stack within depth bounds");
+        packet.splice_stack(new_stack);
+
+        let top = packet.stack.top().map(|e| e.label);
+        match self.tables.resolve_egress(top, dst) {
+            Ok(Hop::Node(next)) => self.finish(cycles, Action::Forward { next, packet }),
+            Ok(Hop::Local) => self.finish(cycles, Action::Deliver(packet)),
+            Err(cause) => self.finish(cycles, Action::Discard(cause)),
+        }
+    }
+}
+
+impl MplsForwarder for EmbeddedRouter {
+    fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    fn handle(&mut self, packet: MplsPacket) -> Forwarding {
+        self.stats.packets_in += 1;
+        let dst = packet.ip.dst;
+
+        if packet.stack.is_empty() {
+            // Unlabeled arrival: local delivery and plain IP transit skip
+            // the modifier entirely.
+            match self.tables.ip_route(dst) {
+                Some(Hop::Local) => return self.finish(0, Action::Deliver(packet)),
+                Some(Hop::Node(next)) => {
+                    return self.finish(0, Action::Forward { next, packet })
+                }
+                None => {}
+            }
+            // Ingress classification: find the FEC, install the exact
+            // level-1 pair on first sight (slow path), then run the
+            // hardware push.
+            let Some((push_label, cos)) = self.tables.classify(dst) else {
+                return self.finish(0, Action::Discard(DiscardCause::NoRoute));
+            };
+            let mut cycles = 0;
+            if !self.installed_flows.contains(&dst) {
+                let r = self
+                    .modifier
+                    .write_pair(Level::L1, dst as u64, push_label, IbOperation::Push);
+                cycles += r.cycles;
+                if r.outcome == Outcome::WriteRejected {
+                    return self.finish(cycles, Action::Discard(DiscardCause::FlowTableFull));
+                }
+                self.installed_flows.insert(dst);
+                self.stats.flow_installs += 1;
+            }
+            return self.mpls_path(packet, cos, cycles);
+        }
+
+        self.mpls_path(packet, CosBits::BEST_EFFORT, 0)
+    }
+
+    fn stats(&self) -> RouterStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpls_control::{ControlPlane, LspRequest, Topology};
+    use mpls_dataplane::ftn::Prefix;
+    use mpls_packet::ipv4::parse_addr;
+    use mpls_packet::{EtherType, EthernetFrame, Ipv4Header, Label, MacAddr};
+
+    fn packet_to(dst: &str) -> MplsPacket {
+        MplsPacket::ipv4(
+            EthernetFrame {
+                dst: MacAddr::from_node(0, 0),
+                src: MacAddr::from_node(9, 0),
+                ethertype: EtherType::Ipv4,
+            },
+            Ipv4Header::new(
+                parse_addr("10.9.0.1").unwrap(),
+                parse_addr(dst).unwrap(),
+                Ipv4Header::PROTO_UDP,
+                64,
+                16,
+            ),
+            bytes::Bytes::from_static(&[0u8; 16]),
+        )
+    }
+
+    fn lsp_setup() -> (ControlPlane, u32) {
+        let mut cp = ControlPlane::new(Topology::figure1_example());
+        let id = cp
+            .establish_lsp(LspRequest::best_effort(
+                0,
+                1,
+                Prefix::new(parse_addr("192.168.1.0").unwrap(), 24),
+            ))
+            .unwrap();
+        (cp, id)
+    }
+
+    #[test]
+    fn ingress_labels_a_packet_with_flow_install() {
+        let (cp, id) = lsp_setup();
+        let lsp = cp.lsp(id).unwrap().clone();
+        let mut r = EmbeddedRouter::new(
+            0,
+            RouterRole::Ler,
+            &cp.config_for(0),
+            ClockSpec::STRATIX_50MHZ,
+        );
+        let out = r.handle(packet_to("192.168.1.5"));
+        match out.action {
+            Action::Forward { next, packet } => {
+                assert_eq!(next, 2);
+                assert_eq!(packet.stack.depth(), 1);
+                assert_eq!(packet.stack.top().unwrap().label, lsp.hop_labels[0]);
+                assert_eq!(packet.eth.ethertype, EtherType::MplsUnicast);
+            }
+            other => panic!("expected forward, got {other:?}"),
+        }
+        assert_eq!(r.stats().flow_installs, 1);
+        // First packet: write pair (3) + update (search hit k=1: 8, +6
+        // push-on-empty) + unload one entry (3) = 20 cycles.
+        assert_eq!(r.stats().total_cycles, 3 + 8 + 6 + 3);
+        assert_eq!(out.latency_ns, 20 * 20);
+
+        // Second packet of the flow skips the slow path.
+        let out2 = r.handle(packet_to("192.168.1.5"));
+        assert!(matches!(out2.action, Action::Forward { .. }));
+        assert_eq!(r.stats().flow_installs, 1);
+        assert_eq!(out2.latency_ns, 17 * 20);
+    }
+
+    #[test]
+    fn transit_swaps() {
+        let (cp, id) = lsp_setup();
+        let lsp = cp.lsp(id).unwrap().clone();
+        let mut r = EmbeddedRouter::new(
+            2,
+            RouterRole::Lsr,
+            &cp.config_for(2),
+            ClockSpec::STRATIX_50MHZ,
+        );
+        let mut p = packet_to("192.168.1.5");
+        let mut s = LabelStack::new();
+        s.push_parts(lsp.hop_labels[0], CosBits::BEST_EFFORT, 63).unwrap();
+        p.splice_stack(s);
+        let out = r.handle(p);
+        match out.action {
+            Action::Forward { next, packet } => {
+                assert_eq!(next, 3);
+                assert_eq!(packet.stack.top().unwrap().label, lsp.hop_labels[1]);
+                assert_eq!(packet.stack.top().unwrap().ttl, 62);
+            }
+            other => panic!("expected forward, got {other:?}"),
+        }
+        // load 3 + update (8 + 6) + unload 3
+        assert_eq!(r.stats().total_cycles, 3 + 8 + 6 + 3);
+    }
+
+    #[test]
+    fn egress_pops_and_delivers() {
+        let (cp, id) = lsp_setup();
+        let lsp = cp.lsp(id).unwrap().clone();
+        let mut r = EmbeddedRouter::new(
+            1,
+            RouterRole::Ler,
+            &cp.config_for(1),
+            ClockSpec::STRATIX_50MHZ,
+        );
+        let mut p = packet_to("192.168.1.5");
+        let mut s = LabelStack::new();
+        s.push_parts(lsp.hop_labels[2], CosBits::BEST_EFFORT, 61).unwrap();
+        p.splice_stack(s);
+        let out = r.handle(p);
+        match out.action {
+            Action::Deliver(packet) => {
+                assert!(packet.stack.is_empty());
+                assert_eq!(packet.eth.ethertype, EtherType::Ipv4);
+            }
+            other => panic!("expected deliver, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unroutable_unlabeled_packet_discards() {
+        let (cp, _) = lsp_setup();
+        let mut r = EmbeddedRouter::new(
+            0,
+            RouterRole::Ler,
+            &cp.config_for(0),
+            ClockSpec::STRATIX_50MHZ,
+        );
+        let out = r.handle(packet_to("172.16.0.1"));
+        assert_eq!(out.action, Action::Discard(DiscardCause::NoRoute));
+        assert_eq!(out.latency_ns, 0);
+    }
+
+    #[test]
+    fn unknown_label_discards_via_hardware_miss() {
+        let (cp, _) = lsp_setup();
+        let mut r = EmbeddedRouter::new(
+            2,
+            RouterRole::Lsr,
+            &cp.config_for(2),
+            ClockSpec::STRATIX_50MHZ,
+        );
+        let mut p = packet_to("192.168.1.5");
+        let mut s = LabelStack::new();
+        s.push_parts(Label::new(99_999).unwrap(), CosBits::BEST_EFFORT, 63)
+            .unwrap();
+        p.splice_stack(s);
+        let out = r.handle(p);
+        assert_eq!(out.action, Action::Discard(DiscardCause::NoEntryFound));
+        // The modifier must be drained for the next packet even after a
+        // discard (the discard path resets the stack).
+        assert_eq!(r.modifier().stack_depth(), 0);
+    }
+
+    #[test]
+    fn ttl_expiry_discards_at_transit() {
+        let (cp, id) = lsp_setup();
+        let lsp = cp.lsp(id).unwrap().clone();
+        let mut r = EmbeddedRouter::new(
+            2,
+            RouterRole::Lsr,
+            &cp.config_for(2),
+            ClockSpec::STRATIX_50MHZ,
+        );
+        let mut p = packet_to("192.168.1.5");
+        let mut s = LabelStack::new();
+        s.push_parts(lsp.hop_labels[0], CosBits::BEST_EFFORT, 1).unwrap();
+        p.splice_stack(s);
+        let out = r.handle(p);
+        assert_eq!(out.action, Action::Discard(DiscardCause::TtlExpired));
+    }
+}

@@ -1,0 +1,127 @@
+//! The forwarding interface both router models implement, and the
+//! per-router statistics the experiments report.
+
+use mpls_control::NodeId;
+use mpls_packet::MplsPacket;
+use serde::{Deserialize, Serialize};
+
+/// Why a router dropped a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DiscardCause {
+    /// The data plane found no matching table entry.
+    NoEntryFound,
+    /// TTL expired in the data plane.
+    TtlExpired,
+    /// Inconsistent operation (nop entry, overflowing push, role
+    /// violation).
+    InconsistentOperation,
+    /// The stack update succeeded but no next hop is programmed for the
+    /// resulting top label.
+    NoNextHop,
+    /// An unlabeled packet matched neither a local route nor a FEC.
+    NoRoute,
+    /// The hardware level-1 flow table is full and the flow cannot be
+    /// installed.
+    FlowTableFull,
+}
+
+impl core::fmt::Display for DiscardCause {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Self::NoEntryFound => "no entry found",
+            Self::TtlExpired => "TTL expired",
+            Self::InconsistentOperation => "inconsistent operation",
+            Self::NoNextHop => "no next hop for outgoing label",
+            Self::NoRoute => "no route for unlabeled packet",
+            Self::FlowTableFull => "hardware flow table full",
+        })
+    }
+}
+
+/// What the router decided to do with a packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Send the (rewritten) packet to an adjacent node.
+    Forward {
+        /// The next hop.
+        next: NodeId,
+        /// The packet with its new label stack spliced in.
+        packet: MplsPacket,
+    },
+    /// Deliver to the locally attached layer-2 network (egress).
+    Deliver(MplsPacket),
+    /// Drop.
+    Discard(DiscardCause),
+}
+
+/// A forwarding decision with its data-plane cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Forwarding {
+    /// The decision.
+    pub action: Action,
+    /// Time the packet spent in the data plane, in nanoseconds. For the
+    /// embedded router this is exact (cycles x clock period); for the
+    /// software router it comes from the calibrated timing model.
+    pub latency_ns: u64,
+}
+
+/// Counters every router keeps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouterStats {
+    /// Packets handed to the router.
+    pub packets_in: u64,
+    /// Packets forwarded to a next hop.
+    pub forwarded: u64,
+    /// Packets delivered locally.
+    pub delivered: u64,
+    /// Packets discarded.
+    pub discarded: u64,
+    /// Total data-plane latency accumulated (ns).
+    pub total_latency_ns: u64,
+    /// Hardware only: total clock cycles spent.
+    pub total_cycles: u64,
+    /// Hardware only: slow-path flow installations performed.
+    pub flow_installs: u64,
+}
+
+impl RouterStats {
+    /// Mean per-packet latency in nanoseconds.
+    pub fn mean_latency_ns(&self) -> f64 {
+        if self.packets_in == 0 {
+            0.0
+        } else {
+            self.total_latency_ns as f64 / self.packets_in as f64
+        }
+    }
+}
+
+/// A packet-at-a-time MPLS router.
+pub trait MplsForwarder {
+    /// The node this router instantiates.
+    fn node_id(&self) -> NodeId;
+
+    /// Processes one packet.
+    fn handle(&mut self, packet: MplsPacket) -> Forwarding;
+
+    /// Statistics so far.
+    fn stats(&self) -> RouterStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_mean_latency() {
+        let mut s = RouterStats::default();
+        assert_eq!(s.mean_latency_ns(), 0.0);
+        s.packets_in = 4;
+        s.total_latency_ns = 1000;
+        assert_eq!(s.mean_latency_ns(), 250.0);
+    }
+
+    #[test]
+    fn discard_cause_display() {
+        assert_eq!(DiscardCause::NoNextHop.to_string(), "no next hop for outgoing label");
+    }
+}

@@ -1,0 +1,302 @@
+//! The all-software MPLS router — the baseline architecture the paper's
+//! hardware offload is motivated against.
+//!
+//! Label processing runs on `mpls-dataplane`'s forwarder; latency comes
+//! from a calibrated cost model (a fixed per-packet overhead plus a
+//! per-table-probe cost) rather than host wall-clock time, so network
+//! simulations are deterministic and machine-independent. The defaults
+//! approximate a mid-2000s software router to match the paper's era; the
+//! benchmarks also measure real host time separately.
+
+use crate::forwarding::{Action, DiscardCause, Forwarding, MplsForwarder, RouterStats};
+use crate::pipeline::RouterTables;
+use mpls_control::{Hop, NodeConfig, NodeId, RouterRole};
+use mpls_dataplane::fib::FibLevel;
+use mpls_dataplane::{
+    Discard, LookupStrategy, ProcessResult, SoftwareForwarder, SwRouterType,
+};
+use mpls_packet::{label::LabelStackEntry, CosBits, MplsPacket};
+use serde::{Deserialize, Serialize};
+
+/// The software data plane's latency model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwTimingModel {
+    /// Fixed cost per packet (parse, classify, splice), in nanoseconds.
+    pub per_packet_ns: u64,
+    /// Cost per lookup probe (one key comparison), in nanoseconds.
+    pub per_probe_ns: u64,
+}
+
+impl Default for SwTimingModel {
+    fn default() -> Self {
+        // Roughly a 1 GHz era CPU spending ~500 instructions of fixed
+        // work per packet and ~35 ns per probe including cache effects.
+        Self {
+            per_packet_ns: 500,
+            per_probe_ns: 35,
+        }
+    }
+}
+
+fn to_cause(d: Discard) -> DiscardCause {
+    match d {
+        Discard::NoEntryFound => DiscardCause::NoEntryFound,
+        Discard::TtlExpired => DiscardCause::TtlExpired,
+        Discard::InconsistentOperation => DiscardCause::InconsistentOperation,
+    }
+}
+
+/// A software MPLS router over a pluggable lookup strategy.
+#[derive(Debug, Clone)]
+pub struct SoftwareRouter<S: LookupStrategy> {
+    node: NodeId,
+    forwarder: SoftwareForwarder<S>,
+    tables: RouterTables,
+    timing: SwTimingModel,
+    stats: RouterStats,
+    last_probes: u64,
+}
+
+impl<S: LookupStrategy> SoftwareRouter<S> {
+    /// Builds a router for `node` with `role`, loading the FIB from the
+    /// control plane's `config`.
+    pub fn new(node: NodeId, role: RouterRole, config: &NodeConfig, timing: SwTimingModel) -> Self {
+        let rtype = match role {
+            RouterRole::Ler => SwRouterType::Ler,
+            RouterRole::Lsr => SwRouterType::Lsr,
+        };
+        let mut forwarder = SoftwareForwarder::new(rtype);
+        for b in &config.bindings {
+            let level = match b.level {
+                1 => FibLevel::L1,
+                2 => FibLevel::L2,
+                _ => FibLevel::L3,
+            };
+            let op = b.op;
+            forwarder.bind(level, b.key, b.new_label, op);
+        }
+        Self {
+            node,
+            forwarder,
+            tables: RouterTables::from_config(config),
+            timing,
+            stats: RouterStats::default(),
+            last_probes: 0,
+        }
+    }
+
+    /// The underlying forwarder.
+    pub fn forwarder(&self) -> &SoftwareForwarder<S> {
+        &self.forwarder
+    }
+
+    fn finish(&mut self, probes: u64, action: Action) -> Forwarding {
+        let latency_ns = self.timing.per_packet_ns + probes * self.timing.per_probe_ns;
+        self.stats.total_latency_ns += latency_ns;
+        match &action {
+            Action::Forward { .. } => self.stats.forwarded += 1,
+            Action::Deliver(_) => self.stats.delivered += 1,
+            Action::Discard(_) => self.stats.discarded += 1,
+        }
+        Forwarding { action, latency_ns }
+    }
+}
+
+impl<S: LookupStrategy> MplsForwarder for SoftwareRouter<S> {
+    fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    fn handle(&mut self, mut packet: MplsPacket) -> Forwarding {
+        self.stats.packets_in += 1;
+        let dst = packet.ip.dst;
+
+        if packet.stack.is_empty() {
+            match self.tables.ip_route(dst) {
+                Some(Hop::Local) => return self.finish(1, Action::Deliver(packet)),
+                Some(Hop::Node(next)) => {
+                    return self.finish(1, Action::Forward { next, packet })
+                }
+                None => {}
+            }
+            // Software ingress classifies by longest-prefix match
+            // directly — no exact-match flow cache needed.
+            let Some((push_label, cos)) = self.tables.classify(dst) else {
+                return self.finish(1, Action::Discard(DiscardCause::NoRoute));
+            };
+            if packet.ip.ttl == 0 {
+                return self.finish(1, Action::Discard(DiscardCause::TtlExpired));
+            }
+            let mut stack = packet.stack.clone();
+            stack
+                .push(LabelStackEntry::new(push_label, cos, false, packet.ip.ttl))
+                .expect("empty stack");
+            packet.splice_stack(stack);
+            let top = packet.stack.top().map(|e| e.label);
+            return match self.tables.resolve_egress(top, dst) {
+                Ok(Hop::Node(next)) => self.finish(2, Action::Forward { next, packet }),
+                Ok(Hop::Local) => self.finish(2, Action::Deliver(packet)),
+                Err(cause) => self.finish(2, Action::Discard(cause)),
+            };
+        }
+
+        // Labeled path: run the forwarder and charge its probes.
+        let mut stack = packet.stack.clone();
+        let before = self.forwarder.total_probes();
+        let result = self
+            .forwarder
+            .process(&mut stack, dst, CosBits::BEST_EFFORT, packet.ip.ttl);
+        self.last_probes = self.forwarder.total_probes() - before;
+        let probes = self.last_probes;
+        match result {
+            ProcessResult::Discarded(d) => self.finish(probes, Action::Discard(to_cause(d))),
+            ProcessResult::Updated { .. } => {
+                packet.splice_stack(stack);
+                let top = packet.stack.top().map(|e| e.label);
+                match self.tables.resolve_egress(top, dst) {
+                    Ok(Hop::Node(next)) => {
+                        self.finish(probes + 1, Action::Forward { next, packet })
+                    }
+                    Ok(Hop::Local) => self.finish(probes + 1, Action::Deliver(packet)),
+                    Err(cause) => self.finish(probes + 1, Action::Discard(cause)),
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> RouterStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpls_control::{ControlPlane, LspRequest, Topology};
+    use mpls_dataplane::ftn::Prefix;
+    use mpls_dataplane::HashTable;
+    use mpls_packet::ipv4::parse_addr;
+    use mpls_packet::{EtherType, EthernetFrame, Ipv4Header, LabelStack, MacAddr};
+
+    fn packet_to(dst: &str) -> MplsPacket {
+        MplsPacket::ipv4(
+            EthernetFrame {
+                dst: MacAddr::from_node(0, 0),
+                src: MacAddr::from_node(9, 0),
+                ethertype: EtherType::Ipv4,
+            },
+            Ipv4Header::new(
+                parse_addr("10.9.0.1").unwrap(),
+                parse_addr(dst).unwrap(),
+                Ipv4Header::PROTO_UDP,
+                64,
+                16,
+            ),
+            bytes::Bytes::from_static(&[0u8; 16]),
+        )
+    }
+
+    fn setup() -> (ControlPlane, u32) {
+        let mut cp = ControlPlane::new(Topology::figure1_example());
+        let id = cp
+            .establish_lsp(LspRequest::best_effort(
+                0,
+                1,
+                Prefix::new(parse_addr("192.168.1.0").unwrap(), 24),
+            ))
+            .unwrap();
+        (cp, id)
+    }
+
+    #[test]
+    fn full_path_ingress_transit_egress() {
+        let (cp, id) = setup();
+        let lsp = cp.lsp(id).unwrap().clone();
+        let mut ingress: SoftwareRouter<HashTable> = SoftwareRouter::new(
+            0,
+            RouterRole::Ler,
+            &cp.config_for(0),
+            SwTimingModel::default(),
+        );
+        let out = ingress.handle(packet_to("192.168.1.5"));
+        let Action::Forward { next, packet } = out.action else {
+            panic!("expected forward");
+        };
+        assert_eq!(next, 2);
+        assert_eq!(packet.stack.top().unwrap().label, lsp.hop_labels[0]);
+
+        let mut transit: SoftwareRouter<HashTable> = SoftwareRouter::new(
+            2,
+            RouterRole::Lsr,
+            &cp.config_for(2),
+            SwTimingModel::default(),
+        );
+        let out = transit.handle(packet);
+        let Action::Forward { next, packet } = out.action else {
+            panic!("expected forward");
+        };
+        assert_eq!(next, 3);
+        assert_eq!(packet.stack.top().unwrap().label, lsp.hop_labels[1]);
+        assert_eq!(packet.stack.top().unwrap().ttl, 63);
+    }
+
+    #[test]
+    fn latency_model_charges_probes() {
+        let (cp, id) = setup();
+        let lsp = cp.lsp(id).unwrap().clone();
+        let timing = SwTimingModel {
+            per_packet_ns: 100,
+            per_probe_ns: 10,
+        };
+        let mut transit: SoftwareRouter<HashTable> =
+            SoftwareRouter::new(2, RouterRole::Lsr, &cp.config_for(2), timing);
+        let mut p = packet_to("192.168.1.5");
+        let mut s = LabelStack::new();
+        s.push_parts(lsp.hop_labels[0], CosBits::BEST_EFFORT, 63).unwrap();
+        p.splice_stack(s);
+        let out = transit.handle(p);
+        // 1 hash probe + 1 next-hop resolution = 2 probes on top of fixed.
+        assert_eq!(out.latency_ns, 100 + 2 * 10);
+    }
+
+    #[test]
+    fn discards_match_hardware_reasons() {
+        let (cp, _) = setup();
+        let mut transit: SoftwareRouter<HashTable> = SoftwareRouter::new(
+            2,
+            RouterRole::Lsr,
+            &cp.config_for(2),
+            SwTimingModel::default(),
+        );
+        let mut p = packet_to("192.168.1.5");
+        let mut s = LabelStack::new();
+        s.push_parts(mpls_packet::Label::new(4242).unwrap(), CosBits::BEST_EFFORT, 63)
+            .unwrap();
+        p.splice_stack(s);
+        assert_eq!(
+            transit.handle(p).action,
+            Action::Discard(DiscardCause::NoEntryFound)
+        );
+
+        let out = transit.handle(packet_to("172.16.0.9"));
+        assert_eq!(out.action, Action::Discard(DiscardCause::NoRoute));
+    }
+
+    #[test]
+    fn egress_delivers_unlabeled() {
+        let (cp, id) = setup();
+        let lsp = cp.lsp(id).unwrap().clone();
+        let mut egress: SoftwareRouter<HashTable> = SoftwareRouter::new(
+            1,
+            RouterRole::Ler,
+            &cp.config_for(1),
+            SwTimingModel::default(),
+        );
+        let mut p = packet_to("192.168.1.5");
+        let mut s = LabelStack::new();
+        s.push_parts(lsp.hop_labels[2], CosBits::BEST_EFFORT, 61).unwrap();
+        p.splice_stack(s);
+        let out = egress.handle(p);
+        assert!(matches!(out.action, Action::Deliver(p) if p.stack.is_empty()));
+    }
+}

@@ -1,0 +1,86 @@
+//! Width-parameterized equality comparators.
+//!
+//! "The data path also contains three comparators of different data widths
+//! (32 bits, 20 bits, and 10 bits) so index and label values can be compared
+//! when performing computations" (paper §3.2): 32 bits compares the packet
+//! identifier against level-1 indices, 20 bits compares labels against
+//! level-2/3 indices, and 10 bits compares the read address counter against
+//! the write address counter to detect the end of a search.
+//!
+//! A comparator is purely combinational; the struct exists so designs can
+//! name their comparators for waveform tracing.
+
+use crate::mask;
+
+/// An equality comparator over `width`-bit operands.
+#[derive(Debug, Clone)]
+pub struct Comparator {
+    width: u32,
+    a: u64,
+    b: u64,
+}
+
+impl Comparator {
+    /// Creates a comparator for `width`-bit operands.
+    pub fn new(width: u32) -> Self {
+        Self { width, a: 0, b: 0 }
+    }
+
+    /// Drives the operand pins. Inputs wider than the comparator are
+    /// truncated, as the physical wiring would.
+    pub fn drive(&mut self, a: u64, b: u64) {
+        self.a = mask(a, self.width);
+        self.b = mask(b, self.width);
+    }
+
+    /// The `A = B` output for the currently driven operands (combinational —
+    /// valid immediately).
+    pub fn aeb(&self) -> bool {
+        self.a == self.b
+    }
+
+    /// Comparator width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// One-shot comparison without holding state.
+    pub fn compare(width: u32, a: u64, b: u64) -> bool {
+        mask(a, width) == mask(b, width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn equal_and_unequal() {
+        let mut c = Comparator::new(20);
+        c.drive(500, 500);
+        assert!(c.aeb());
+        c.drive(500, 501);
+        assert!(!c.aeb());
+    }
+
+    #[test]
+    fn compares_only_low_bits() {
+        // Two values differing only above the comparator width are equal.
+        let mut c = Comparator::new(10);
+        c.drive(0x400 | 5, 5);
+        assert!(c.aeb());
+        assert!(Comparator::compare(10, 0x400 | 5, 5));
+        assert!(!Comparator::compare(11, 0x400 | 5, 5));
+    }
+
+    proptest! {
+        #[test]
+        fn matches_masked_equality(a: u64, b: u64, width in 1u32..=64) {
+            prop_assert_eq!(
+                Comparator::compare(width, a, b),
+                mask(a, width) == mask(b, width)
+            );
+        }
+    }
+}

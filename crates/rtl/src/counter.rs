@@ -1,0 +1,158 @@
+//! The load/clear up-down counter used throughout the data path.
+//!
+//! Paper Fig. 13 shows each information-base memory component addressed by
+//! counters with `Enable`, `Incr/Decr`, `Load` and `Clear` pins; Fig. 12
+//! additionally uses a counter to decrement the TTL of the entry under
+//! modification. One parameterized component covers both.
+
+use crate::{mask, Clocked};
+
+/// The control word staged on a counter's pins for the next clock edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CounterCtl {
+    /// Keep the current value (enable deasserted).
+    #[default]
+    Hold,
+    /// Add one, wrapping at the counter width.
+    Increment,
+    /// Subtract one, wrapping at the counter width.
+    Decrement,
+    /// Load a parallel value.
+    Load(u64),
+    /// Synchronously clear to zero.
+    Clear,
+}
+
+/// A `width`-bit up/down counter.
+#[derive(Debug, Clone)]
+pub struct UpDownCounter {
+    width: u32,
+    value: u64,
+    ctl: CounterCtl,
+}
+
+impl UpDownCounter {
+    /// Creates a counter of `width` bits, initially zero.
+    pub fn new(width: u32) -> Self {
+        Self {
+            width,
+            value: 0,
+            ctl: CounterCtl::Hold,
+        }
+    }
+
+    /// Stages a control word for the next edge. Staging twice in one cycle
+    /// keeps the last word, like re-driving the pins.
+    pub fn control(&mut self, ctl: CounterCtl) {
+        self.ctl = ctl;
+    }
+
+    /// Current count (pre-edge until `tick`).
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Counter width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Largest representable count.
+    pub fn max(&self) -> u64 {
+        mask(u64::MAX, self.width)
+    }
+}
+
+impl Clocked for UpDownCounter {
+    fn tick(&mut self) {
+        self.value = match self.ctl {
+            CounterCtl::Hold => self.value,
+            CounterCtl::Increment => mask(self.value.wrapping_add(1), self.width),
+            CounterCtl::Decrement => mask(self.value.wrapping_sub(1), self.width),
+            CounterCtl::Load(v) => mask(v, self.width),
+            CounterCtl::Clear => 0,
+        };
+        self.ctl = CounterCtl::Hold;
+    }
+
+    fn reset(&mut self) {
+        self.value = 0;
+        self.ctl = CounterCtl::Hold;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn counts_up_and_down() {
+        let mut c = UpDownCounter::new(10);
+        c.control(CounterCtl::Increment);
+        c.tick();
+        c.control(CounterCtl::Increment);
+        c.tick();
+        assert_eq!(c.value(), 2);
+        c.control(CounterCtl::Decrement);
+        c.tick();
+        assert_eq!(c.value(), 1);
+    }
+
+    #[test]
+    fn hold_is_default_after_tick() {
+        let mut c = UpDownCounter::new(10);
+        c.control(CounterCtl::Increment);
+        c.tick();
+        c.tick(); // no staged control: hold
+        assert_eq!(c.value(), 1);
+    }
+
+    #[test]
+    fn wraps_at_width() {
+        let mut c = UpDownCounter::new(2);
+        c.control(CounterCtl::Load(3));
+        c.tick();
+        c.control(CounterCtl::Increment);
+        c.tick();
+        assert_eq!(c.value(), 0);
+        c.control(CounterCtl::Decrement);
+        c.tick();
+        assert_eq!(c.value(), 3);
+    }
+
+    #[test]
+    fn load_and_clear() {
+        let mut c = UpDownCounter::new(8);
+        c.control(CounterCtl::Load(0x1FF)); // truncated to 8 bits
+        c.tick();
+        assert_eq!(c.value(), 0xFF);
+        c.control(CounterCtl::Clear);
+        c.tick();
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn pre_edge_value_visible() {
+        let mut c = UpDownCounter::new(8);
+        c.control(CounterCtl::Load(42));
+        assert_eq!(c.value(), 0);
+        c.tick();
+        assert_eq!(c.value(), 42);
+    }
+
+    proptest! {
+        #[test]
+        fn increment_then_decrement_is_identity(start in 0u64..1024, width in 3u32..16) {
+            let mut c = UpDownCounter::new(width);
+            c.control(CounterCtl::Load(start));
+            c.tick();
+            let loaded = c.value();
+            c.control(CounterCtl::Increment);
+            c.tick();
+            c.control(CounterCtl::Decrement);
+            c.tick();
+            prop_assert_eq!(c.value(), loaded);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+#![warn(missing_docs)]
+//! Cycle-accurate RTL simulation substrate.
+//!
+//! The paper's label stack modifier is an FPGA design evaluated through
+//! waveform simulation. This crate provides the synchronous-hardware
+//! building blocks needed to model it faithfully in Rust:
+//!
+//! * [`Register`] — a D-type register with enable.
+//! * [`UpDownCounter`] — the load/clear/increment/decrement counters used to
+//!   address the information-base memories (paper Fig. 13).
+//! * [`SyncMemory`] — a synchronous-read RAM with one-cycle read latency,
+//!   which is why the search FSM has a `WAIT FOR INFO` state (Fig. 11).
+//! * [`Comparator`] — the width-parameterized equality comparators of the
+//!   data path (32/20/10 bits, Fig. 12).
+//! * [`trace::Trace`] — a waveform recorder that renders ASCII timing
+//!   diagrams and standard VCD files, used to regenerate Figs. 14–16.
+//!
+//! # Clocking discipline
+//!
+//! Every sequential component exposes *input setters* that stage the values
+//! present on its input pins and a [`Clocked::tick`] that commits them, as a
+//! rising clock edge would. Within one cycle, code must (1) compute all
+//! combinational values from current outputs, (2) stage inputs, (3) tick
+//! every component exactly once. Reading an output after staging but before
+//! `tick` still returns the pre-edge value, exactly like real hardware.
+
+pub mod comparator;
+pub mod counter;
+pub mod memory;
+pub mod register;
+pub mod trace;
+pub mod vcd;
+
+pub use comparator::Comparator;
+pub use counter::{CounterCtl, UpDownCounter};
+pub use memory::SyncMemory;
+pub use register::Register;
+pub use trace::{SignalId, Trace};
+
+/// A sequential component driven by a common clock.
+pub trait Clocked {
+    /// Commit staged inputs on the rising clock edge.
+    fn tick(&mut self);
+
+    /// Synchronous reset: return to the power-on state. Components reset
+    /// when the design's reset line is asserted during a tick.
+    fn reset(&mut self);
+}
+
+/// Masks `value` to `width` bits, mirroring a hardware bus truncation
+/// ("the appropriate number of most significant bits is ignored", paper
+/// §3.2). `width` must be 1..=64.
+#[inline]
+pub fn mask(value: u64, width: u32) -> u64 {
+    debug_assert!((1..=64).contains(&width));
+    if width == 64 {
+        value
+    } else {
+        value & ((1u64 << width) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_truncates() {
+        assert_eq!(mask(0xffff_ffff, 20), 0xf_ffff);
+        assert_eq!(mask(0x12345, 8), 0x45);
+        assert_eq!(mask(u64::MAX, 64), u64::MAX);
+        assert_eq!(mask(3, 1), 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! Synchronous-read block RAM.
+//!
+//! Each information-base level holds three of these (index, label and
+//! operation components — paper Fig. 13), each "1 KB long" (1024 words).
+//! FPGA block RAM registers the read address, so the data for an address
+//! presented in cycle *t* appears on the output in cycle *t + 1*; the search
+//! FSM's `WAIT FOR INFO`/`WAIT FOR READ VALUE` states (Fig. 11) exist to
+//! absorb exactly this latency, and the 3-cycles-per-entry term of the
+//! `3n + 5` search cost follows from it.
+
+use crate::{mask, Clocked};
+
+/// A word-addressed RAM with registered (1-cycle) reads and synchronous
+/// writes. One read port and one write port, as in Fig. 13.
+#[derive(Debug, Clone)]
+pub struct SyncMemory {
+    width: u32,
+    words: Vec<u64>,
+    // Staged pins.
+    read_addr: Option<usize>,
+    write: Option<(usize, u64)>,
+    // Registered read output.
+    data_out: u64,
+}
+
+impl SyncMemory {
+    /// Creates a memory of `depth` words, each `width` bits, zero-filled.
+    pub fn new(width: u32, depth: usize) -> Self {
+        Self {
+            width,
+            words: vec![0; depth],
+            read_addr: None,
+            write: None,
+            data_out: 0,
+        }
+    }
+
+    /// Number of words.
+    pub fn depth(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Word width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Stages a read address; the word appears on [`Self::data_out`] after
+    /// the next tick. Addresses wrap modulo the depth, as address buses
+    /// narrower than the decoder would.
+    pub fn set_read_addr(&mut self, addr: u64) {
+        self.read_addr = Some(addr as usize % self.words.len());
+    }
+
+    /// Stages a write of `value` at `addr` for the next edge.
+    pub fn write(&mut self, addr: u64, value: u64) {
+        let addr = addr as usize % self.words.len();
+        self.write = Some((addr, mask(value, self.width)));
+    }
+
+    /// The registered read output: the word addressed on the *previous*
+    /// cycle.
+    pub fn data_out(&self) -> u64 {
+        self.data_out
+    }
+
+    /// Direct combinational peek, bypassing the read register. Not part of
+    /// the hardware interface — used by tests and by the software-visible
+    /// "read the information base directly" debug path.
+    pub fn peek(&self, addr: usize) -> u64 {
+        self.words[addr % self.words.len()]
+    }
+}
+
+impl Clocked for SyncMemory {
+    fn tick(&mut self) {
+        // Write-first semantics: a simultaneous read of the written address
+        // observes the new value, matching Altera M4K write-through mode.
+        if let Some((addr, value)) = self.write.take() {
+            self.words[addr] = value;
+        }
+        if let Some(addr) = self.read_addr.take() {
+            self.data_out = self.words[addr];
+        }
+    }
+
+    fn reset(&mut self) {
+        self.words.fill(0);
+        self.read_addr = None;
+        self.write = None;
+        self.data_out = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn read_has_one_cycle_latency() {
+        let mut m = SyncMemory::new(20, 16);
+        m.write(3, 777);
+        m.tick();
+        m.set_read_addr(3);
+        assert_eq!(m.data_out(), 0, "data must not appear before the edge");
+        m.tick();
+        assert_eq!(m.data_out(), 777);
+    }
+
+    #[test]
+    fn data_out_holds_between_reads() {
+        let mut m = SyncMemory::new(20, 16);
+        m.write(1, 11);
+        m.tick();
+        m.set_read_addr(1);
+        m.tick();
+        m.tick(); // no new read address
+        assert_eq!(m.data_out(), 11);
+    }
+
+    #[test]
+    fn write_through_on_same_cycle() {
+        let mut m = SyncMemory::new(20, 16);
+        m.write(5, 99);
+        m.set_read_addr(5);
+        m.tick();
+        assert_eq!(m.data_out(), 99);
+    }
+
+    #[test]
+    fn values_masked_to_width() {
+        let mut m = SyncMemory::new(2, 8);
+        m.write(0, 0b1111);
+        m.tick();
+        assert_eq!(m.peek(0), 0b11);
+    }
+
+    #[test]
+    fn addresses_wrap() {
+        let mut m = SyncMemory::new(8, 4);
+        m.write(5, 42); // wraps to 1
+        m.tick();
+        assert_eq!(m.peek(1), 42);
+        m.set_read_addr(9); // wraps to 1
+        m.tick();
+        assert_eq!(m.data_out(), 42);
+    }
+
+    #[test]
+    fn reset_clears_contents() {
+        let mut m = SyncMemory::new(8, 4);
+        m.write(2, 9);
+        m.tick();
+        m.reset();
+        assert_eq!(m.peek(2), 0);
+        assert_eq!(m.data_out(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn write_then_read_round_trips(addr in 0u64..1024, value: u64) {
+            let mut m = SyncMemory::new(20, 1024);
+            m.write(addr, value);
+            m.tick();
+            m.set_read_addr(addr);
+            m.tick();
+            prop_assert_eq!(m.data_out(), value & 0xF_FFFF);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! A D-type register with clock enable.
+//!
+//! Models the `NEW <label> REGISTER` of the data path (paper Fig. 12): the
+//! value staged on the D input appears on Q only after the next rising clock
+//! edge, and only when the enable was asserted for that edge.
+
+use crate::{mask, Clocked};
+
+/// A `width`-bit register. Values wider than the register are truncated on
+/// the way in, as a narrower bus would.
+#[derive(Debug, Clone)]
+pub struct Register {
+    width: u32,
+    q: u64,
+    d: u64,
+    enable: bool,
+    reset_value: u64,
+}
+
+impl Register {
+    /// Creates a register of `width` bits that resets to `reset_value`.
+    pub fn new(width: u32, reset_value: u64) -> Self {
+        let reset_value = mask(reset_value, width);
+        Self {
+            width,
+            q: reset_value,
+            d: reset_value,
+            enable: false,
+            reset_value,
+        }
+    }
+
+    /// Stages `value` on the D input and asserts the clock enable for the
+    /// next edge.
+    pub fn set(&mut self, value: u64) {
+        self.d = mask(value, self.width);
+        self.enable = true;
+    }
+
+    /// Current output (pre-edge value until `tick`).
+    pub fn q(&self) -> u64 {
+        self.q
+    }
+
+    /// Register width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+}
+
+impl Clocked for Register {
+    fn tick(&mut self) {
+        if self.enable {
+            self.q = self.d;
+            self.enable = false;
+        }
+    }
+
+    fn reset(&mut self) {
+        self.q = self.reset_value;
+        self.d = self.reset_value;
+        self.enable = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holds_until_edge() {
+        let mut r = Register::new(20, 0);
+        r.set(500);
+        assert_eq!(r.q(), 0, "pre-edge read must see the old value");
+        r.tick();
+        assert_eq!(r.q(), 500);
+    }
+
+    #[test]
+    fn holds_without_enable() {
+        let mut r = Register::new(8, 7);
+        r.tick();
+        assert_eq!(r.q(), 7);
+        r.set(9);
+        r.tick();
+        r.tick(); // second edge with no new set: hold
+        assert_eq!(r.q(), 9);
+    }
+
+    #[test]
+    fn truncates_to_width() {
+        let mut r = Register::new(20, 0);
+        r.set(0xFFFF_FFFF);
+        r.tick();
+        assert_eq!(r.q(), 0xF_FFFF);
+    }
+
+    #[test]
+    fn reset_restores_power_on_value() {
+        let mut r = Register::new(8, 0xAA);
+        r.set(1);
+        r.tick();
+        r.reset();
+        assert_eq!(r.q(), 0xAA);
+        // A pending (staged but not ticked) write is also cancelled.
+        r.set(3);
+        r.reset();
+        r.tick();
+        assert_eq!(r.q(), 0xAA);
+    }
+}

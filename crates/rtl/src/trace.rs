@@ -1,0 +1,280 @@
+//! Waveform recording.
+//!
+//! The paper evaluates its design with simulator waveforms (Figs. 14–16).
+//! [`Trace`] captures named signals cycle by cycle and renders them as an
+//! ASCII timing diagram, a transition log, or a standard VCD file (see
+//! [`crate::vcd`]) that any waveform viewer (GTKWave etc.) can open.
+
+use serde::Serialize;
+
+/// Handle to a probed signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SignalId(pub(crate) usize);
+
+#[derive(Debug, Clone, Serialize)]
+pub(crate) struct SignalDef {
+    pub(crate) name: String,
+    pub(crate) width: u32,
+}
+
+/// A recorded waveform: a set of signals sampled once per clock cycle.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    signals: Vec<SignalDef>,
+    /// `rows[cycle][signal]`.
+    rows: Vec<Vec<u64>>,
+    /// Samples staged for the cycle currently being recorded.
+    staging: Vec<u64>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a signal before recording starts. `width` in bits governs
+    /// rendering (1-bit signals draw as waveforms, buses as values).
+    pub fn probe(&mut self, name: impl Into<String>, width: u32) -> SignalId {
+        assert!(
+            self.rows.is_empty(),
+            "probes must be declared before the first cycle is committed"
+        );
+        self.signals.push(SignalDef {
+            name: name.into(),
+            width,
+        });
+        self.staging.push(0);
+        SignalId(self.signals.len() - 1)
+    }
+
+    /// Stages the value of `signal` for the current cycle. Unsampled signals
+    /// keep their previous value.
+    pub fn sample(&mut self, signal: SignalId, value: u64) {
+        self.staging[signal.0] = crate::mask(value.max(0), self.signals[signal.0].width.max(1));
+    }
+
+    /// Stages a boolean signal.
+    pub fn sample_bool(&mut self, signal: SignalId, value: bool) {
+        self.sample(signal, value as u64);
+    }
+
+    /// Commits the staged samples as one clock cycle.
+    pub fn commit_cycle(&mut self) {
+        self.rows.push(self.staging.clone());
+    }
+
+    /// Number of recorded cycles.
+    pub fn cycles(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of probed signals.
+    pub fn signal_count(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// The value of `signal` at `cycle`.
+    pub fn value_at(&self, signal: SignalId, cycle: usize) -> u64 {
+        self.rows[cycle][signal.0]
+    }
+
+    /// Name of a signal.
+    pub fn name(&self, signal: SignalId) -> &str {
+        &self.signals[signal.0].name
+    }
+
+    /// Looks a signal up by name.
+    pub fn find(&self, name: &str) -> Option<SignalId> {
+        self.signals
+            .iter()
+            .position(|s| s.name == name)
+            .map(SignalId)
+    }
+
+    /// Iterates `(cycle, value)` transitions of a signal: cycle 0 plus every
+    /// cycle where the value differs from the previous one.
+    pub fn transitions(&self, signal: SignalId) -> Vec<(usize, u64)> {
+        let mut out = Vec::new();
+        let mut prev = None;
+        for (cycle, row) in self.rows.iter().enumerate() {
+            let v = row[signal.0];
+            if prev != Some(v) {
+                out.push((cycle, v));
+                prev = Some(v);
+            }
+        }
+        out
+    }
+
+    /// First cycle at which `signal` equals `value`, if any. Handy for
+    /// assertions like "lookup_done goes high at cycle N".
+    pub fn first_cycle_where(&self, signal: SignalId, value: u64) -> Option<usize> {
+        self.rows.iter().position(|row| row[signal.0] == value)
+    }
+
+    /// Renders an ASCII timing diagram of cycles `range` (clamped to the
+    /// recording). 1-bit signals draw as `▁`/`█` waveforms; buses print
+    /// their decimal value at each change and `·` while stable.
+    pub fn render_ascii(&self, range: core::ops::Range<usize>) -> String {
+        let start = range.start.min(self.rows.len());
+        let end = range.end.min(self.rows.len());
+        let name_w = self
+            .signals
+            .iter()
+            .map(|s| s.name.len())
+            .max()
+            .unwrap_or(0)
+            .max(5);
+
+        // Column width: widest decimal value in the window across buses.
+        let mut col_w = 1;
+        for row in &self.rows[start..end] {
+            for (def, v) in self.signals.iter().zip(row) {
+                if def.width > 1 {
+                    col_w = col_w.max(v.to_string().len());
+                }
+            }
+        }
+
+        let mut out = String::new();
+        // Cycle ruler.
+        out.push_str(&format!("{:>name_w$} ", "cycle"));
+        for c in start..end {
+            out.push_str(&format!("{:>col_w$} ", c % 10_usize.pow(col_w as u32)));
+        }
+        out.push('\n');
+
+        for (idx, def) in self.signals.iter().enumerate() {
+            out.push_str(&format!("{:>name_w$} ", def.name));
+            let mut prev: Option<u64> = None;
+            for row in &self.rows[start..end] {
+                let v = row[idx];
+                if def.width == 1 {
+                    let glyph = if v != 0 { '█' } else { '▁' };
+                    for _ in 0..col_w {
+                        out.push(glyph);
+                    }
+                    out.push(' ');
+                } else if prev == Some(v) {
+                    out.push_str(&format!("{:>col_w$} ", "·"));
+                } else {
+                    out.push_str(&format!("{v:>col_w$} "));
+                }
+                prev = Some(v);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders a compact transition log: one line per signal change.
+    pub fn render_transitions(&self) -> String {
+        let mut events: Vec<(usize, String)> = Vec::new();
+        for (idx, def) in self.signals.iter().enumerate() {
+            let id = SignalId(idx);
+            for (cycle, v) in self.transitions(id) {
+                let desc = if def.width == 1 {
+                    format!("{} -> {}", def.name, if v != 0 { "high" } else { "low" })
+                } else {
+                    format!("{} = {}", def.name, v)
+                };
+                events.push((cycle, desc));
+            }
+        }
+        events.sort_by_key(|(c, _)| *c);
+        let mut out = String::new();
+        for (cycle, desc) in events {
+            out.push_str(&format!("@{cycle:>5}  {desc}\n"));
+        }
+        out
+    }
+
+    pub(crate) fn signals(&self) -> &[SignalDef] {
+        &self.signals
+    }
+
+    pub(crate) fn rows(&self) -> &[Vec<u64>] {
+        &self.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_trace() -> (Trace, SignalId, SignalId) {
+        let mut t = Trace::new();
+        let clk_like = t.probe("lookup", 1);
+        let bus = t.probe("label_out", 20);
+        for c in 0..6u64 {
+            t.sample_bool(clk_like, c >= 2 && c < 4);
+            t.sample(bus, if c >= 4 { 504 } else { 0 });
+            t.commit_cycle();
+        }
+        (t, clk_like, bus)
+    }
+
+    #[test]
+    fn records_and_reads_back() {
+        let (t, lookup, bus) = demo_trace();
+        assert_eq!(t.cycles(), 6);
+        assert_eq!(t.value_at(lookup, 2), 1);
+        assert_eq!(t.value_at(lookup, 4), 0);
+        assert_eq!(t.value_at(bus, 5), 504);
+    }
+
+    #[test]
+    fn transitions_capture_changes_only() {
+        let (t, lookup, bus) = demo_trace();
+        assert_eq!(t.transitions(lookup), vec![(0, 0), (2, 1), (4, 0)]);
+        assert_eq!(t.transitions(bus), vec![(0, 0), (4, 504)]);
+    }
+
+    #[test]
+    fn first_cycle_where_finds_rise() {
+        let (t, lookup, bus) = demo_trace();
+        assert_eq!(t.first_cycle_where(lookup, 1), Some(2));
+        assert_eq!(t.first_cycle_where(bus, 504), Some(4));
+        assert_eq!(t.first_cycle_where(bus, 9999), None);
+    }
+
+    #[test]
+    fn ascii_render_contains_names_and_values() {
+        let (t, _, _) = demo_trace();
+        let s = t.render_ascii(0..6);
+        assert!(s.contains("lookup"));
+        assert!(s.contains("label_out"));
+        assert!(s.contains("504"));
+        assert!(s.contains('█'));
+        assert!(s.contains('▁'));
+    }
+
+    #[test]
+    fn transition_log_is_ordered() {
+        let (t, _, _) = demo_trace();
+        let log = t.render_transitions();
+        let pos_high = log.find("lookup -> high").unwrap();
+        let pos_val = log.find("label_out = 504").unwrap();
+        assert!(pos_high < pos_val);
+    }
+
+    #[test]
+    fn unsampled_signal_holds_value() {
+        let mut t = Trace::new();
+        let a = t.probe("a", 8);
+        t.sample(a, 7);
+        t.commit_cycle();
+        t.commit_cycle(); // not re-sampled
+        assert_eq!(t.value_at(a, 1), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "probes must be declared")]
+    fn late_probe_panics() {
+        let mut t = Trace::new();
+        let _ = t.probe("a", 1);
+        t.commit_cycle();
+        let _ = t.probe("b", 1);
+    }
+}

@@ -1,0 +1,200 @@
+//! VCD round-trip: a minimal VCD reader re-parses the writer's output and
+//! must reconstruct the exact per-cycle signal values of the original
+//! trace. Guards the export that makes the Fig. 14–16 waveforms viewable
+//! in GTKWave.
+
+use mpls_rtl::vcd::to_vcd;
+use mpls_rtl::{SignalId, Trace};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A minimal VCD model: variable names and the value timeline.
+struct ParsedVcd {
+    /// id code -> (name, width)
+    vars: HashMap<String, (String, u32)>,
+    /// (timestamp, id code, value)
+    changes: Vec<(usize, String, u64)>,
+}
+
+fn parse_vcd(text: &str) -> ParsedVcd {
+    let mut vars = HashMap::new();
+    let mut changes = Vec::new();
+    let mut now = 0usize;
+    let mut in_defs = true;
+    for line in text.lines() {
+        let line = line.trim();
+        if in_defs {
+            if let Some(rest) = line.strip_prefix("$var wire ") {
+                // "<width> <id> <name> $end"
+                let mut parts = rest.split_whitespace();
+                let width: u32 = parts.next().unwrap().parse().unwrap();
+                let id = parts.next().unwrap().to_string();
+                let name = parts.next().unwrap().to_string();
+                vars.insert(id, (name, width));
+            }
+            if line == "$enddefinitions $end" {
+                in_defs = false;
+            }
+            continue;
+        }
+        if let Some(ts) = line.strip_prefix('#') {
+            now = ts.parse().unwrap();
+        } else if let Some(rest) = line.strip_prefix('b') {
+            // "b<binary> <id>"
+            let (value, id) = rest.split_once(' ').unwrap();
+            changes.push((now, id.to_string(), u64::from_str_radix(value, 2).unwrap()));
+        } else if !line.is_empty() {
+            // "<0|1><id>"
+            let (v, id) = line.split_at(1);
+            changes.push((now, id.to_string(), v.parse().unwrap()));
+        }
+    }
+    ParsedVcd { vars, changes }
+}
+
+/// Replays the parsed changes into a per-cycle value table.
+fn replay(parsed: &ParsedVcd, cycles: usize) -> HashMap<String, Vec<u64>> {
+    let mut current: HashMap<&str, u64> = HashMap::new();
+    let mut out: HashMap<String, Vec<u64>> =
+        parsed.vars.values().map(|(n, _)| (n.clone(), Vec::new())).collect();
+    let mut idx = 0;
+    for cycle in 0..cycles {
+        while idx < parsed.changes.len() && parsed.changes[idx].0 <= cycle {
+            let (_, id, v) = &parsed.changes[idx];
+            current.insert(&parsed.vars[id].0, *v);
+            idx += 1;
+        }
+        // The VCD writer emits changes *at* the cycle they take effect.
+        for (id, (name, _)) in &parsed.vars {
+            let _ = id;
+            out.get_mut(name)
+                .unwrap()
+                .push(current.get(name.as_str()).copied().unwrap_or(0));
+        }
+    }
+    out
+}
+
+fn build_trace(columns: &[(String, u32, Vec<u64>)]) -> (Trace, Vec<SignalId>) {
+    let mut t = Trace::new();
+    let ids: Vec<SignalId> = columns
+        .iter()
+        .map(|(name, width, _)| t.probe(name.clone(), *width))
+        .collect();
+    let cycles = columns[0].2.len();
+    for c in 0..cycles {
+        for (i, (_, _, values)) in columns.iter().enumerate() {
+            t.sample(ids[i], values[c]);
+        }
+        t.commit_cycle();
+    }
+    (t, ids)
+}
+
+#[test]
+fn figure14_vcd_round_trips() {
+    let run = mpls_core_fixture();
+    let vcd = to_vcd(&run, "m", 20);
+    let parsed = parse_vcd(&vcd);
+    assert_eq!(parsed.vars.len(), run.signal_count());
+    let replayed = replay(&parsed, run.cycles());
+    for i in 0..run.signal_count() {
+        let id = run.find(run.name(sig_at(&run, i))).unwrap();
+        let name = run.name(id).to_string();
+        for c in 0..run.cycles() {
+            assert_eq!(
+                replayed[&name][c],
+                run.value_at(id, c),
+                "{name} at cycle {c}"
+            );
+        }
+    }
+}
+
+/// Stand-in helpers: Trace has no public index iterator, so walk by name
+/// through the known Fig. 14 signal list.
+fn sig_at(trace: &Trace, i: usize) -> SignalId {
+    // Reconstruct by probing names in declaration order via find() over
+    // the canonical signal names used by the modifier's trace.
+    const NAMES: [&str; 15] = [
+        "level",
+        "packetid",
+        "label_lookup",
+        "old_label",
+        "new_label",
+        "operation_in",
+        "save",
+        "lookup",
+        "w_index",
+        "r_index",
+        "label_out",
+        "operation_out",
+        "lookup_done",
+        "packetdiscard",
+        "stack_items",
+    ];
+    trace.find(NAMES[i]).expect("known signal")
+}
+
+fn mpls_core_fixture() -> Trace {
+    // A hand-made trace shaped like the modifier's (15 signals) so this
+    // crate does not depend on mpls-core: reuse the same names.
+    let columns: Vec<(String, u32, Vec<u64>)> = vec![
+        ("level".into(), 2, vec![1, 1, 1, 2, 2]),
+        ("packetid".into(), 32, vec![0, 600, 600, 0, 0]),
+        ("label_lookup".into(), 20, vec![0, 0, 0, 5, 5]),
+        ("old_label".into(), 32, vec![0, 600, 600, 0, 0]),
+        ("new_label".into(), 20, vec![0, 500, 500, 0, 0]),
+        ("operation_in".into(), 2, vec![0, 3, 3, 0, 0]),
+        ("save".into(), 1, vec![0, 1, 1, 0, 0]),
+        ("lookup".into(), 1, vec![0, 0, 0, 1, 1]),
+        ("w_index".into(), 11, vec![0, 0, 1, 1, 1]),
+        ("r_index".into(), 10, vec![0, 0, 0, 0, 1]),
+        ("label_out".into(), 20, vec![0, 0, 0, 0, 500]),
+        ("operation_out".into(), 2, vec![0, 0, 0, 0, 3]),
+        ("lookup_done".into(), 1, vec![0, 0, 0, 0, 1]),
+        ("packetdiscard".into(), 1, vec![0, 0, 0, 0, 0]),
+        ("stack_items".into(), 2, vec![0, 0, 0, 1, 1]),
+    ];
+    build_trace(&columns).0
+}
+
+proptest! {
+    /// Arbitrary traces round-trip exactly through the VCD writer.
+    #[test]
+    fn arbitrary_traces_round_trip(
+        raw in proptest::collection::vec(
+            (1u32..24, proptest::collection::vec(any::<u64>(), 1..20)),
+            1..6,
+        )
+    ) {
+        // Equalize column lengths and mask values to each width.
+        let cycles = raw.iter().map(|(_, v)| v.len()).min().unwrap();
+        let columns: Vec<(String, u32, Vec<u64>)> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, (width, values))| {
+                let masked: Vec<u64> = values[..cycles]
+                    .iter()
+                    .map(|v| mpls_rtl::mask(*v, *width))
+                    .collect();
+                (format!("sig{i}"), *width, masked)
+            })
+            .collect();
+        let (trace, ids) = build_trace(&columns);
+        let vcd = to_vcd(&trace, "t", 20);
+        let parsed = parse_vcd(&vcd);
+        prop_assert_eq!(parsed.vars.len(), columns.len());
+        let replayed = replay(&parsed, cycles);
+        for (i, (name, _, values)) in columns.iter().enumerate() {
+            for c in 0..cycles {
+                prop_assert_eq!(
+                    replayed[name][c],
+                    values[c],
+                    "{} cycle {}", name, c
+                );
+            }
+            let _ = ids[i];
+        }
+    }
+}

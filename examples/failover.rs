@@ -1,0 +1,82 @@
+//! Link failure and LSP restoration: the control plane reroutes a
+//! traffic-engineered path around a failed core link, and traffic
+//! resumes on the new path.
+//!
+//! Run: `cargo run --example failover`
+
+use mpls_control::{ControlPlane, LspRequest, Topology};
+use mpls_core::ClockSpec;
+use mpls_dataplane::ftn::Prefix;
+use mpls_net::traffic::{FlowSpec, TrafficPattern};
+use mpls_net::{QueueDiscipline, RouterKind, Simulation};
+use mpls_packet::ipv4::parse_addr;
+
+fn traffic() -> FlowSpec {
+    FlowSpec {
+        name: "app".into(),
+        ingress: 0,
+        src_addr: parse_addr("10.0.0.1").unwrap(),
+        dst_addr: parse_addr("192.168.1.5").unwrap(),
+        payload_bytes: 512,
+        precedence: 0,
+        pattern: TrafficPattern::Cbr {
+            interval_ns: 1_000_000,
+        },
+        start_ns: 0,
+        stop_ns: 50_000_000,
+        police: None,
+    }
+}
+
+fn run_traffic(cp: &ControlPlane, label: &str) {
+    let mut sim = Simulation::build(
+        cp,
+        RouterKind::Embedded {
+            clock: ClockSpec::STRATIX_50MHZ,
+        },
+        QueueDiscipline::Fifo { capacity: 64 },
+        9,
+    );
+    sim.add_flow(traffic());
+    let report = sim.run(1_000_000_000);
+    let s = report.flow("app").unwrap();
+    println!(
+        "{label}: {}/{} delivered, mean delay {:.2} ms",
+        s.delivered,
+        s.sent,
+        s.mean_delay_ns() / 1e6
+    );
+}
+
+fn main() {
+    let mut cp = ControlPlane::new(Topology::figure1_example());
+    let id = cp
+        .establish_lsp(LspRequest::best_effort(
+            0,
+            1,
+            Prefix::new(parse_addr("192.168.1.0").unwrap(), 24),
+        ))
+        .unwrap();
+    println!("LSP {id} established on the fast northern path: {:?}", cp.lsp(id).unwrap().path);
+    run_traffic(&cp, "before failure ");
+
+    // The core link LSR2-LSR3 fails.
+    let link = cp.topology().link_between(2, 3).unwrap();
+    let affected = cp.fail_link(link);
+    println!("\nlink 2-3 failed; affected LSPs: {affected:?}");
+
+    // Routers programmed with the broken path now blackhole the flow.
+    run_traffic(&cp, "after failure  ");
+
+    // The head end re-signals around the failure.
+    let new_id = cp.reroute_lsp(id).expect("southern path available");
+    println!(
+        "\nrerouted as LSP {new_id} via the southern path: {:?}",
+        cp.lsp(new_id).unwrap().path
+    );
+    run_traffic(&cp, "after reroute  ");
+
+    println!("\nNote the delay increase after reroute: the southern links have");
+    println!("2 ms propagation each versus 0.5 ms in the north — restoration");
+    println!("trades latency for connectivity.");
+}

@@ -1,0 +1,101 @@
+//! VoIP under congestion — the paper's §1 motivation as a runnable demo.
+//!
+//! A VoIP trunk and a saturating bulk flow share an MPLS core. Three
+//! configurations are simulated: plain FIFO, CoS priority queueing, and a
+//! traffic-engineered explicit path for the VoIP LSP.
+//!
+//! Run: `cargo run --release --example voip_qos`
+
+use mpls_control::{ControlPlane, LspRequest, Topology};
+use mpls_core::ClockSpec;
+use mpls_dataplane::ftn::Prefix;
+use mpls_net::traffic::{FlowSpec, TrafficPattern};
+use mpls_net::{QueueDiscipline, RouterKind, Simulation};
+use mpls_packet::ipv4::parse_addr;
+use mpls_packet::CosBits;
+
+const RUN_NS: u64 = 100_000_000; // 100 ms
+
+fn scenario(te: bool) -> ControlPlane {
+    let mut cp = ControlPlane::new(Topology::figure1_example());
+    cp.establish_lsp(LspRequest::best_effort(
+        0,
+        1,
+        Prefix::new(parse_addr("192.168.1.0").unwrap(), 24),
+    ))
+    .unwrap();
+    let mut voip = LspRequest::best_effort(
+        0,
+        1,
+        Prefix::new(parse_addr("192.168.1.10").unwrap(), 32),
+    );
+    voip.cos = CosBits::EXPEDITED;
+    if te {
+        voip.explicit_route = Some(vec![0, 4, 5, 1]); // southern detour
+    }
+    cp.establish_lsp(voip).unwrap();
+    cp
+}
+
+fn run(te: bool, discipline: QueueDiscipline) -> (f64, f64, f64) {
+    let cp = scenario(te);
+    let mut sim = Simulation::build(
+        &cp,
+        RouterKind::Embedded {
+            clock: ClockSpec::STRATIX_50MHZ,
+        },
+        discipline,
+        2026,
+    );
+    sim.add_flow(FlowSpec {
+        name: "voip".into(),
+        ingress: 0,
+        src_addr: parse_addr("10.0.0.10").unwrap(),
+        dst_addr: parse_addr("192.168.1.10").unwrap(),
+        payload_bytes: 146,
+        precedence: 5,
+        pattern: TrafficPattern::Cbr {
+            interval_ns: 2_000_000,
+        },
+        start_ns: 0,
+        stop_ns: RUN_NS,
+        police: None,
+    });
+    sim.add_flow(FlowSpec {
+        name: "bulk".into(),
+        ingress: 0,
+        src_addr: parse_addr("10.0.0.20").unwrap(),
+        dst_addr: parse_addr("192.168.1.20").unwrap(),
+        payload_bytes: 1446,
+        precedence: 0,
+        pattern: TrafficPattern::Cbr { interval_ns: 11_000 },
+        start_ns: 0,
+        stop_ns: RUN_NS,
+        police: None,
+    });
+    let report = sim.run(RUN_NS + 50_000_000);
+    let v = report.flow("voip").unwrap();
+    (
+        v.mean_delay_ns() / 1000.0,
+        v.mean_jitter_ns() / 1000.0,
+        v.loss_rate() * 100.0,
+    )
+}
+
+fn main() {
+    println!("VoIP quality while a bulk flow saturates the fast core path");
+    println!("(200-byte VoIP packets every 2 ms vs ~1.1 Gb/s of 1500-byte bulk)\n");
+    println!("{:<16} {:>12} {:>12} {:>9}", "configuration", "delay (µs)", "jitter (µs)", "loss (%)");
+
+    let (d, j, l) = run(false, QueueDiscipline::Fifo { capacity: 64 });
+    println!("{:<16} {d:>12.1} {j:>12.2} {l:>9.1}", "fifo");
+
+    let (d, j, l) = run(false, QueueDiscipline::CosPriority { per_class: 64 });
+    println!("{:<16} {d:>12.1} {j:>12.2} {l:>9.1}", "cos-priority");
+
+    let (d, j, l) = run(true, QueueDiscipline::Fifo { capacity: 64 });
+    println!("{:<16} {d:>12.1} {j:>12.2} {l:>9.1}", "te-explicit-path");
+
+    println!("\nCoS priority rescues VoIP on the shared path; the TE detour trades");
+    println!("propagation delay for freedom from queueing entirely.");
+}

@@ -1,0 +1,9 @@
+#![warn(missing_docs)]
+//! Workspace root crate.
+//!
+//! Exists to host the repository-level `examples/` (quickstart,
+//! lsp_tunnel, voip_qos, waveforms, failover) and the cross-crate
+//! integration tests in `tests/` (hardware/software differential,
+//! end-to-end LSP walks, tunnels, failover, policing, simulation
+//! invariants, grid stress). The actual library surface lives in the
+//! `crates/*` members; see the README for the map.

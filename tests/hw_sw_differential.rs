@@ -1,0 +1,242 @@
+//! Differential testing: the cycle-accurate hardware label stack modifier
+//! and the software forwarder must produce *identical observable
+//! behaviour* for any configuration and any packet — same applied
+//! operation, same resulting stack, same discard reason.
+//!
+//! This is the strongest evidence that the hardware architecture
+//! faithfully implements MPLS semantics: the software plane is the
+//! specification oracle, the hardware model is the implementation under
+//! test (and vice versa).
+
+use mpls_core::modifier::Outcome as HwOutcome;
+use mpls_core::{DiscardReason, IbOperation, LabelStackModifier, Level, RouterType};
+use mpls_dataplane::fib::FibLevel;
+use mpls_dataplane::{
+    Discard, HashTable, LabelOp, LinearTable, LookupStrategy, ProcessResult, SoftwareForwarder,
+    SwRouterType,
+};
+use mpls_packet::{label::LabelStackEntry, CosBits, Label, LabelStack};
+use proptest::prelude::*;
+
+/// One table entry of a random program.
+#[derive(Debug, Clone, Copy)]
+struct Pair {
+    level: u8, // 1..=3
+    key: u64,
+    new_label: u32,
+    op: u8, // 0..=3 maps to Nop/Push/Pop/Swap
+}
+
+fn op_hw(op: u8) -> IbOperation {
+    IbOperation::from_bits(op as u64)
+}
+
+fn op_sw(op: u8) -> LabelOp {
+    match op & 3 {
+        1 => LabelOp::Push,
+        2 => LabelOp::Pop,
+        3 => LabelOp::Swap,
+        _ => LabelOp::Nop,
+    }
+}
+
+fn hw_level(level: u8) -> Level {
+    match level {
+        1 => Level::L1,
+        2 => Level::L2,
+        _ => Level::L3,
+    }
+}
+
+fn sw_level(level: u8) -> FibLevel {
+    match level {
+        1 => FibLevel::L1,
+        2 => FibLevel::L2,
+        _ => FibLevel::L3,
+    }
+}
+
+fn discard_eq(hw: DiscardReason, sw: Discard) -> bool {
+    matches!(
+        (hw, sw),
+        (DiscardReason::NoEntryFound, Discard::NoEntryFound)
+            | (DiscardReason::TtlExpired, Discard::TtlExpired)
+            | (
+                DiscardReason::InconsistentOperation,
+                Discard::InconsistentOperation
+            )
+    )
+}
+
+fn arb_pair() -> impl Strategy<Value = Pair> {
+    (1u8..=3, 0u64..48, 16u32..2000, 0u8..=3).prop_map(|(level, key, new_label, op)| Pair {
+        level,
+        key,
+        new_label,
+        op,
+    })
+}
+
+fn arb_stack_entries() -> impl Strategy<Value = Vec<(u32, u8, u8)>> {
+    proptest::collection::vec((0u32..48, 0u8..=7, any::<u8>()), 0..=3)
+}
+
+/// Runs one random scenario on the hardware model and one software
+/// strategy, asserting identical outcomes.
+fn check_equivalence<S: LookupStrategy>(
+    is_lsr: bool,
+    pairs: &[Pair],
+    stack_entries: &[(u32, u8, u8)],
+    packet_id: u32,
+    push_cos: u8,
+    push_ttl: u8,
+) -> Result<(), TestCaseError> {
+    let rt_hw = if is_lsr { RouterType::Lsr } else { RouterType::Ler };
+    let rt_sw = if is_lsr {
+        SwRouterType::Lsr
+    } else {
+        SwRouterType::Ler
+    };
+
+    // Program both planes identically.
+    let mut hw = LabelStackModifier::new(rt_hw);
+    let mut sw: SoftwareForwarder<S> = SoftwareForwarder::new(rt_sw);
+    for p in pairs {
+        hw.write_pair(
+            hw_level(p.level),
+            p.key,
+            Label::new(p.new_label).unwrap(),
+            op_hw(p.op),
+        );
+        sw.bind(
+            sw_level(p.level),
+            p.key,
+            Label::new(p.new_label).unwrap(),
+            op_sw(p.op),
+        );
+    }
+
+    // Identical input stacks.
+    let mut sw_stack = LabelStack::new();
+    for (l, c, t) in stack_entries {
+        let e = LabelStackEntry::new(
+            Label::new(*l).unwrap(),
+            CosBits::new(*c).unwrap(),
+            false,
+            *t,
+        );
+        sw_stack.push(e).unwrap();
+        hw.user_push(e);
+    }
+    prop_assert_eq!(hw.stack_snapshot(), sw_stack.clone());
+
+    let cos = CosBits::new(push_cos).unwrap();
+    let hw_result = hw.update_stack(packet_id, cos, push_ttl);
+    let sw_result = sw.process(&mut sw_stack, packet_id, cos, push_ttl);
+
+    match (hw_result.outcome, sw_result) {
+        (HwOutcome::Updated { op: hop }, ProcessResult::Updated { op: sop }) => {
+            prop_assert_eq!(hop.to_bits(), op_sw_bits(sop), "applied op differs");
+            let hw_stack = hw.stack_snapshot();
+            prop_assert_eq!(
+                &hw_stack,
+                &sw_stack,
+                "stacks diverged: hw={} sw={}",
+                hw_stack,
+                sw_stack
+            );
+            hw_stack.validate().unwrap();
+        }
+        (HwOutcome::Discarded(hr), ProcessResult::Discarded(sr)) => {
+            prop_assert!(
+                discard_eq(hr, sr),
+                "discard reasons differ: hw={hr:?} sw={sr:?}"
+            );
+            prop_assert_eq!(hw.stack_depth(), 0);
+            prop_assert!(sw_stack.is_empty());
+        }
+        (h, s) => {
+            return Err(TestCaseError::fail(format!(
+                "outcome class differs: hw={h:?} sw={s:?}"
+            )))
+        }
+    }
+    Ok(())
+}
+
+fn op_sw_bits(op: LabelOp) -> u64 {
+    match op {
+        LabelOp::Nop => 0,
+        LabelOp::Push => 1,
+        LabelOp::Pop => 2,
+        LabelOp::Swap => 3,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn hardware_matches_linear_software(
+        is_lsr: bool,
+        pairs in proptest::collection::vec(arb_pair(), 0..24),
+        stack in arb_stack_entries(),
+        packet_id in 0u32..48,
+        push_cos in 0u8..=7,
+        push_ttl: u8,
+    ) {
+        check_equivalence::<LinearTable>(is_lsr, &pairs, &stack, packet_id, push_cos, push_ttl)?;
+    }
+
+    #[test]
+    fn hardware_matches_hash_software(
+        is_lsr: bool,
+        pairs in proptest::collection::vec(arb_pair(), 0..24),
+        stack in arb_stack_entries(),
+        packet_id in 0u32..48,
+        push_cos in 0u8..=7,
+        push_ttl: u8,
+    ) {
+        check_equivalence::<HashTable>(is_lsr, &pairs, &stack, packet_id, push_cos, push_ttl)?;
+    }
+
+    /// Repeated updates through the same pair of planes stay in lockstep
+    /// (state carried across packets).
+    #[test]
+    fn planes_stay_in_lockstep_across_packets(
+        pairs in proptest::collection::vec(arb_pair(), 1..16),
+        packets in proptest::collection::vec((0u32..32, 2u8..), 1..8),
+    ) {
+        let mut hw = LabelStackModifier::new(RouterType::Lsr);
+        let mut sw: SoftwareForwarder<LinearTable> = SoftwareForwarder::new(SwRouterType::Lsr);
+        for p in &pairs {
+            hw.write_pair(hw_level(p.level), p.key, Label::new(p.new_label).unwrap(), op_hw(p.op));
+            sw.bind(sw_level(p.level), p.key, Label::new(p.new_label).unwrap(), op_sw(p.op));
+        }
+        for (label, ttl) in packets {
+            // Fresh single-entry stack per packet, like a transit LSR.
+            while hw.stack_depth() > 0 {
+                hw.user_pop();
+            }
+            let e = LabelStackEntry::new(
+                Label::new(label).unwrap(),
+                CosBits::BEST_EFFORT,
+                false,
+                ttl,
+            );
+            hw.user_push(e);
+            let mut sw_stack = LabelStack::new();
+            sw_stack.push(e).unwrap();
+
+            let h = hw.update_stack(0, CosBits::BEST_EFFORT, 0);
+            let s = sw.process(&mut sw_stack, 0, CosBits::BEST_EFFORT, 0);
+            match (h.outcome, s) {
+                (HwOutcome::Updated { .. }, ProcessResult::Updated { .. }) => {
+                    prop_assert_eq!(hw.stack_snapshot(), sw_stack);
+                }
+                (HwOutcome::Discarded(_), ProcessResult::Discarded(_)) => {}
+                (a, b) => return Err(TestCaseError::fail(format!("diverged: {a:?} vs {b:?}"))),
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Edge policing (the per-packet half of the QoS admission-control story):
+//! a flow exceeding its committed rate loses the excess at the ingress
+//! policer, and the core stays uncongested for everyone else.
+
+use mpls_control::{ControlPlane, LspRequest, Topology};
+use mpls_core::ClockSpec;
+use mpls_dataplane::ftn::Prefix;
+use mpls_net::policer::PolicerSpec;
+use mpls_net::traffic::{FlowSpec, TrafficPattern};
+use mpls_net::{QueueDiscipline, RouterKind, Simulation};
+use mpls_packet::ipv4::parse_addr;
+
+const RUN_NS: u64 = 100_000_000; // 100 ms
+
+fn plane() -> ControlPlane {
+    let mut cp = ControlPlane::new(Topology::figure1_example());
+    cp.establish_lsp(LspRequest::best_effort(
+        0,
+        1,
+        Prefix::new(parse_addr("192.168.1.0").unwrap(), 24),
+    ))
+    .unwrap();
+    cp
+}
+
+fn flow(name: &str, dst: &str, interval_ns: u64, police: Option<PolicerSpec>) -> FlowSpec {
+    FlowSpec {
+        name: name.into(),
+        ingress: 0,
+        src_addr: parse_addr("10.0.0.1").unwrap(),
+        dst_addr: parse_addr(dst).unwrap(),
+        payload_bytes: 1446, // 1500 B on the wire
+        precedence: 0,
+        pattern: TrafficPattern::Cbr { interval_ns },
+        start_ns: 0,
+        stop_ns: RUN_NS,
+        police,
+    }
+}
+
+fn run(police: Option<PolicerSpec>) -> mpls_net::SimReport {
+    let cp = plane();
+    let mut sim = Simulation::build(
+        &cp,
+        RouterKind::Embedded {
+            clock: ClockSpec::STRATIX_50MHZ,
+        },
+        QueueDiscipline::Fifo { capacity: 32 },
+        77,
+    );
+    // The offender: ~2.4 Gb/s offered onto 1 Gb/s links.
+    sim.add_flow(flow("offender", "192.168.1.20", 5_000, police));
+    // The victim: a modest 12 Mb/s flow sharing the path.
+    sim.add_flow(flow("victim", "192.168.1.10", 1_000_000, None));
+    sim.run(RUN_NS + 100_000_000)
+}
+
+#[test]
+fn conforming_traffic_passes_untouched() {
+    let cp = plane();
+    let mut sim = Simulation::build(
+        &cp,
+        RouterKind::Embedded {
+            clock: ClockSpec::STRATIX_50MHZ,
+        },
+        QueueDiscipline::Fifo { capacity: 32 },
+        77,
+    );
+    // 12 Mb/s flow policed at 50 Mb/s: nothing may be dropped.
+    sim.add_flow(flow(
+        "gentle",
+        "192.168.1.10",
+        1_000_000,
+        Some(PolicerSpec {
+            rate_bps: 50_000_000,
+            burst_bytes: 10_000,
+        }),
+    ));
+    let report = sim.run(RUN_NS * 3);
+    let s = report.flow("gentle").unwrap();
+    assert_eq!(s.policer_dropped, 0);
+    assert_eq!(s.delivered, s.sent);
+}
+
+#[test]
+fn policer_caps_the_offender_near_its_cir() {
+    let policed = run(Some(PolicerSpec {
+        rate_bps: 100_000_000, // 100 Mb/s CIR
+        burst_bytes: 15_000,
+    }));
+    let s = policed.flow("offender").unwrap();
+    assert!(s.policer_dropped > 0, "offender must be policed");
+    // Delivered goodput within 10% of the committed rate.
+    let goodput = s.throughput_bps();
+    assert!(
+        (90.0e6..=115.0e6).contains(&goodput),
+        "goodput {goodput} outside CIR band"
+    );
+    // Conservation still holds.
+    assert_eq!(
+        s.sent,
+        s.delivered + s.router_dropped + s.queue_dropped + s.policer_dropped
+    );
+}
+
+#[test]
+fn policing_the_offender_protects_the_victim() {
+    let unpoliced = run(None);
+    let policed = run(Some(PolicerSpec {
+        rate_bps: 100_000_000,
+        burst_bytes: 15_000,
+    }));
+
+    let victim_before = unpoliced.flow("victim").unwrap();
+    let victim_after = policed.flow("victim").unwrap();
+
+    // Without policing the shared queue drops or delays the victim.
+    assert!(
+        victim_before.loss_rate() > 0.0
+            || victim_before.mean_delay_ns() > victim_after.mean_delay_ns(),
+        "congestion should have hurt the victim (loss {} delay {} vs {})",
+        victim_before.loss_rate(),
+        victim_before.mean_delay_ns(),
+        victim_after.mean_delay_ns(),
+    );
+    // With the offender policed, the victim is clean.
+    assert_eq!(victim_after.loss_rate(), 0.0);
+    assert!(victim_after.mean_delay_ns() < victim_before.mean_delay_ns());
+}

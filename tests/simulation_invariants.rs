@@ -1,0 +1,144 @@
+//! Conservation and robustness properties of the network simulator:
+//! every emitted packet is accounted for exactly once (delivered,
+//! router-dropped or queue-dropped) once the network drains, across
+//! random traffic mixes, queue disciplines and router kinds.
+
+use mpls_control::{ControlPlane, LspRequest, Topology};
+use mpls_core::ClockSpec;
+use mpls_dataplane::ftn::Prefix;
+use mpls_net::traffic::{FlowSpec, TrafficPattern};
+use mpls_net::{QueueDiscipline, RouterKind, Simulation};
+use mpls_packet::ipv4::parse_addr;
+use mpls_router::SwTimingModel;
+use proptest::prelude::*;
+
+fn plane() -> ControlPlane {
+    let mut cp = ControlPlane::new(Topology::figure1_example());
+    cp.establish_lsp(LspRequest::best_effort(
+        0,
+        1,
+        Prefix::new(parse_addr("192.168.1.0").unwrap(), 24),
+    ))
+    .unwrap();
+    cp.establish_lsp(LspRequest::best_effort(
+        1,
+        0,
+        Prefix::new(parse_addr("10.1.0.0").unwrap(), 16),
+    ))
+    .unwrap();
+    cp
+}
+
+fn flow(name: String, ingress: u32, dst: &str, interval_ns: u64, payload: usize, prec: u8, stop_ns: u64) -> FlowSpec {
+    FlowSpec {
+        name,
+        ingress,
+        src_addr: parse_addr("10.9.9.9").unwrap(),
+        dst_addr: parse_addr(dst).unwrap(),
+        payload_bytes: payload,
+        precedence: prec,
+        pattern: TrafficPattern::Cbr { interval_ns },
+        start_ns: 0,
+        stop_ns,
+        police: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// sent == delivered + router_dropped + queue_dropped after drain.
+    #[test]
+    fn packet_conservation(
+        seed in 0u64..1000,
+        interval_a in 5_000u64..1_000_000,
+        interval_b in 5_000u64..1_000_000,
+        payload in 16usize..1400,
+        fifo: bool,
+        embedded: bool,
+        cap in 1usize..32,
+    ) {
+        let cp = plane();
+        let kind = if embedded {
+            RouterKind::Embedded { clock: ClockSpec::STRATIX_50MHZ }
+        } else {
+            RouterKind::SoftwareHash { timing: SwTimingModel::default() }
+        };
+        let discipline = if fifo {
+            QueueDiscipline::Fifo { capacity: cap }
+        } else {
+            QueueDiscipline::CosPriority { per_class: cap }
+        };
+        let mut sim = Simulation::build(&cp, kind, discipline, seed);
+        let stop = 20_000_000; // 20 ms of traffic
+        sim.add_flow(flow("east".into(), 0, "192.168.1.5", interval_a, payload, 5, stop));
+        sim.add_flow(flow("west".into(), 1, "10.1.0.5", interval_b, payload, 0, stop));
+        // a flow with no route: everything router-drops
+        sim.add_flow(flow("void".into(), 0, "172.16.0.1", interval_a, payload, 0, stop));
+
+        // Generous horizon so in-flight packets drain.
+        let report = sim.run(10_000_000_000);
+        for (spec, s) in &report.flows {
+            prop_assert_eq!(
+                s.sent,
+                s.delivered + s.router_dropped + s.queue_dropped + s.policer_dropped,
+                "flow {} leaks packets", spec.name
+            );
+            prop_assert!(s.sent > 0);
+        }
+        let void = report.flow("void").unwrap();
+        prop_assert_eq!(void.delivered, 0);
+
+        // Delay sanity: anything delivered took at least the propagation
+        // of the shortest path (3 x 0.5 ms north or 3 x 2 ms south).
+        let east = report.flow("east").unwrap();
+        if east.delivered > 0 {
+            prop_assert!(east.delay_min_ns >= 1_500_000);
+        }
+    }
+
+    /// CoS priority never makes the high class worse than FIFO under the
+    /// same seed and load.
+    #[test]
+    fn priority_never_hurts_the_priority_class(
+        seed in 0u64..200,
+    ) {
+        let cp = plane();
+        let run = |discipline| {
+            let mut sim = Simulation::build(
+                &cp,
+                RouterKind::Embedded { clock: ClockSpec::STRATIX_50MHZ },
+                discipline,
+                seed,
+            );
+            // Saturating bulk plus sparse priority traffic.
+            sim.add_flow(flow("prio".into(), 0, "192.168.1.10", 2_000_000, 146, 5, 50_000_000));
+            sim.add_flow(flow("bulk".into(), 0, "192.168.1.20", 11_000, 1446, 0, 50_000_000));
+            sim.run(10_000_000_000)
+        };
+        let fifo = run(QueueDiscipline::Fifo { capacity: 32 });
+        let prio = run(QueueDiscipline::CosPriority { per_class: 32 });
+        let f = fifo.flow("prio").unwrap();
+        let p = prio.flow("prio").unwrap();
+        prop_assert!(p.loss_rate() <= f.loss_rate() + 1e-9);
+        if f.delivered > 0 && p.delivered > 0 {
+            prop_assert!(p.mean_delay_ns() <= f.mean_delay_ns() + 1.0);
+        }
+    }
+}
+
+#[test]
+fn zero_traffic_runs_clean() {
+    let cp = plane();
+    let sim = Simulation::build(
+        &cp,
+        RouterKind::Embedded {
+            clock: ClockSpec::STRATIX_50MHZ,
+        },
+        QueueDiscipline::Fifo { capacity: 8 },
+        0,
+    );
+    let report = sim.run(1_000_000);
+    assert!(report.flows.is_empty());
+    assert_eq!(report.queue_drops, 0);
+}

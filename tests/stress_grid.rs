@@ -1,0 +1,140 @@
+//! Scale stress: a 5x5 LSR grid with four corner LERs, a full mesh of
+//! LSPs between the LERs, and concurrent traffic on all of them — checks
+//! that signaling, label allocation and the simulator hold up beyond toy
+//! topologies.
+
+use mpls_control::{ControlPlane, LspRequest, Topology};
+use mpls_core::ClockSpec;
+use mpls_dataplane::ftn::Prefix;
+use mpls_net::traffic::{FlowSpec, TrafficPattern};
+use mpls_net::{QueueDiscipline, RouterKind, Simulation};
+use mpls_packet::ipv4::parse_addr;
+
+const K: u32 = 5;
+
+/// LER ids for a k-grid.
+fn lers() -> [u32; 4] {
+    [K * K, K * K + 1, K * K + 2, K * K + 3]
+}
+
+/// The /24 attached behind each LER.
+fn prefix_of(ler_index: usize) -> Prefix {
+    Prefix::new(
+        parse_addr(&format!("192.168.{}.0", ler_index + 1)).unwrap(),
+        24,
+    )
+}
+
+fn full_mesh_plane() -> (ControlPlane, usize) {
+    let topo = Topology::grid(K, 1_000_000_000, 200_000);
+    let mut cp = ControlPlane::new(topo);
+    let mut count = 0;
+    for (i, &ingress) in lers().iter().enumerate() {
+        for (j, &egress) in lers().iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            cp.establish_lsp(LspRequest::best_effort(ingress, egress, prefix_of(j)))
+                .unwrap_or_else(|e| panic!("LSP {ingress}->{egress}: {e:?}"));
+            count += 1;
+        }
+    }
+    (cp, count)
+}
+
+#[test]
+fn full_mesh_signals_cleanly() {
+    let (cp, count) = full_mesh_plane();
+    assert_eq!(count, 12, "4 LERs, full mesh");
+    assert_eq!(cp.lsp_ids().len(), 12);
+
+    // Every LSP has a valid connected path and unique labels.
+    let mut all_labels = std::collections::HashSet::new();
+    for id in cp.lsp_ids() {
+        let lsp = cp.lsp(id).unwrap();
+        assert!(cp.topology().path_links(&lsp.path).is_some());
+        for l in &lsp.hop_labels {
+            assert!(all_labels.insert(l.value()), "label {l} reused");
+        }
+    }
+}
+
+#[test]
+fn mesh_traffic_all_delivers() {
+    let (cp, _) = full_mesh_plane();
+    let mut sim = Simulation::build(
+        &cp,
+        RouterKind::Embedded {
+            clock: ClockSpec::STRATIX_50MHZ,
+        },
+        QueueDiscipline::Fifo { capacity: 128 },
+        21,
+    );
+    // One flow per ordered LER pair.
+    let mut names = Vec::new();
+    for (i, &ingress) in lers().iter().enumerate() {
+        for (j, _) in lers().iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let name = format!("f{i}{j}");
+            sim.add_flow(FlowSpec {
+                name: name.clone(),
+                ingress,
+                src_addr: parse_addr(&format!("10.0.{i}.1")).unwrap(),
+                dst_addr: parse_addr(&format!("192.168.{}.5", j + 1)).unwrap(),
+                payload_bytes: 256,
+                precedence: 0,
+                pattern: TrafficPattern::Cbr {
+                    interval_ns: 500_000,
+                },
+                start_ns: 0,
+                stop_ns: 20_000_000,
+                police: None,
+            });
+            names.push(name);
+        }
+    }
+    let report = sim.run(5_000_000_000);
+    for name in &names {
+        let s = report.flow(name).expect("flow exists");
+        assert_eq!(s.sent, 40, "{name}");
+        assert_eq!(s.delivered, 40, "{name} lost packets");
+    }
+    // All four LER routers delivered and forwarded.
+    for (i, &ler) in lers().iter().enumerate() {
+        let rs = &report.routers[&ler];
+        assert!(rs.delivered > 0, "ler {i} delivered nothing");
+        assert!(rs.forwarded > 0, "ler {i} forwarded nothing");
+    }
+    // No queue pressure at this modest load.
+    assert_eq!(report.queue_drops, 0);
+}
+
+#[test]
+fn grid_reroute_under_multiple_failures() {
+    let (mut cp, _) = full_mesh_plane();
+    // Fail every link on the top edge of the grid.
+    let mut failed = Vec::new();
+    for c in 0..K - 1 {
+        let link = cp.topology().link_between(c, c + 1).unwrap();
+        failed.push(link);
+    }
+    let mut affected = std::collections::HashSet::new();
+    for &l in &failed {
+        for id in cp.fail_link(l) {
+            affected.insert(id);
+        }
+    }
+    assert!(!affected.is_empty(), "top-edge failures must affect LSPs");
+
+    // Every affected LSP reroutes successfully (the grid stays connected).
+    for id in affected {
+        let new_id = cp.reroute_lsp(id).expect("grid remains connected");
+        let lsp = cp.lsp(new_id).unwrap();
+        let links = cp.topology().path_links(&lsp.path).unwrap();
+        for l in links {
+            assert!(!failed.contains(&l), "rerouted path uses a failed link");
+        }
+    }
+}

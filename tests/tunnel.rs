@@ -1,0 +1,248 @@
+//! The paper's Fig. 3 scenario: hierarchical LSPs through a tunnel —
+//! "The ability to support aggregate paths within a tunnel in an MPLS
+//! network is supported through the use of multiple labels for each
+//! packet" — exercised end to end over the cycle-accurate routers.
+//!
+//! Topology for this test (all 1 Gb/s, cost 1):
+//!
+//! ```text
+//! LER10 --- LSR20 --- LSR21 --- LSR22 --- LER11
+//!              \________tunnel________/
+//! ```
+//!
+//! The tunnel runs LSR20 -> LSR22 (PHP inside); two LSPs from LER10 to
+//! LER11 are routed through it, demonstrating aggregation (merge) at the
+//! head and deaggregation (unmerge) at the tail.
+
+use mpls_control::{ControlPlane, LspRequest, RouterRole, Topology};
+use mpls_core::ClockSpec;
+use mpls_dataplane::ftn::Prefix;
+use mpls_packet::ipv4::parse_addr;
+use mpls_packet::{EtherType, EthernetFrame, Ipv4Header, MacAddr, MplsPacket};
+use mpls_router::{Action, EmbeddedRouter, MplsForwarder};
+
+fn line_topology() -> Topology {
+    let mut t = Topology::new();
+    t.add_node(10, RouterRole::Ler, "ler-a");
+    t.add_node(11, RouterRole::Ler, "ler-b");
+    t.add_node(20, RouterRole::Lsr, "lsr-head");
+    t.add_node(21, RouterRole::Lsr, "lsr-mid");
+    t.add_node(22, RouterRole::Lsr, "lsr-tail");
+    for (a, b) in [(10, 20), (20, 21), (21, 22), (22, 11)] {
+        t.add_link(mpls_control::LinkSpec {
+            a,
+            b,
+            cost: 1,
+            bandwidth_bps: 1_000_000_000,
+            delay_ns: 100_000,
+        });
+    }
+    t
+}
+
+fn packet_to(dst: &str) -> MplsPacket {
+    MplsPacket::ipv4(
+        EthernetFrame {
+            dst: MacAddr::from_node(10, 0),
+            src: MacAddr::from_node(99, 0),
+            ethertype: EtherType::Ipv4,
+        },
+        Ipv4Header::new(
+            parse_addr("10.0.0.1").unwrap(),
+            parse_addr(dst).unwrap(),
+            Ipv4Header::PROTO_UDP,
+            64,
+            32,
+        ),
+        bytes::Bytes::from_static(&[0x55; 32]),
+    )
+}
+
+struct TunnelWorld {
+    cp: ControlPlane,
+    routers: Vec<(u32, EmbeddedRouter)>,
+}
+
+fn setup() -> TunnelWorld {
+    let mut cp = ControlPlane::new(line_topology());
+    let tunnel = cp
+        .establish_tunnel(20, 22, 0, Some(vec![20, 21, 22]))
+        .unwrap();
+    // Two FECs share the tunnel.
+    cp.establish_lsp_via_tunnel(
+        LspRequest::best_effort(10, 11, Prefix::new(parse_addr("192.168.1.0").unwrap(), 24)),
+        tunnel,
+    )
+    .unwrap();
+    cp.establish_lsp_via_tunnel(
+        LspRequest::best_effort(10, 11, Prefix::new(parse_addr("192.168.2.0").unwrap(), 24)),
+        tunnel,
+    )
+    .unwrap();
+
+    let routers = [10u32, 20, 21, 22, 11]
+        .iter()
+        .map(|&id| {
+            let role = cp.topology().node(id).unwrap().role;
+            (
+                id,
+                EmbeddedRouter::new(id, role, &cp.config_for(id), ClockSpec::STRATIX_50MHZ),
+            )
+        })
+        .collect();
+    TunnelWorld { cp, routers }
+}
+
+impl TunnelWorld {
+    fn router(&mut self, id: u32) -> &mut EmbeddedRouter {
+        &mut self
+            .routers
+            .iter_mut()
+            .find(|(i, _)| *i == id)
+            .unwrap()
+            .1
+    }
+}
+
+#[test]
+fn stack_depth_profile_through_the_tunnel() {
+    let mut w = setup();
+
+    // LER10: push inner label (depth 1).
+    let Action::Forward { next, packet: p1 } = w.router(10).handle(packet_to("192.168.1.7")).action
+    else {
+        panic!("ingress must forward")
+    };
+    assert_eq!(next, 20);
+    assert_eq!(p1.stack.depth(), 1, "inner label only");
+    let inner_label = p1.stack.top().unwrap().label;
+
+    // LSR20 (tunnel head): push the tunnel label (depth 2 - the merge).
+    let Action::Forward { next, packet: p2 } = w.router(20).handle(p1).action else {
+        panic!("head must forward")
+    };
+    assert_eq!(next, 21);
+    assert_eq!(p2.stack.depth(), 2, "tunnel label above the inner label");
+    assert_eq!(
+        p2.stack.entries()[1].label,
+        inner_label,
+        "inner label preserved beneath the tunnel (the hardware push keeps it)"
+    );
+
+    // LSR21 (interior, penultimate of the tunnel): PHP pop (the unmerge).
+    let Action::Forward { next, packet: p3 } = w.router(21).handle(p2).action else {
+        panic!("interior must forward")
+    };
+    assert_eq!(next, 22);
+    assert_eq!(p3.stack.depth(), 1, "tunnel label popped at the penultimate");
+    assert_eq!(p3.stack.top().unwrap().label, inner_label);
+
+    // LSR22 (tail): ordinary transit swap of the inner label.
+    let Action::Forward { next, packet: p4 } = w.router(22).handle(p3).action else {
+        panic!("tail must forward")
+    };
+    assert_eq!(next, 11);
+    assert_eq!(p4.stack.depth(), 1);
+
+    // LER11: pop and deliver.
+    let Action::Deliver(p5) = w.router(11).handle(p4).action else {
+        panic!("egress must deliver")
+    };
+    assert!(p5.stack.is_empty());
+    assert_eq!(p5.eth.ethertype, EtherType::Ipv4);
+}
+
+#[test]
+fn two_fecs_aggregate_into_one_tunnel_label() {
+    let mut w = setup();
+    let tunnel_entry = w.cp.tunnel(1).unwrap().entry_label;
+
+    let mut tunnel_labels = Vec::new();
+    for dst in ["192.168.1.7", "192.168.2.7"] {
+        let Action::Forward { packet: p1, .. } = w.router(10).handle(packet_to(dst)).action else {
+            panic!()
+        };
+        let Action::Forward { packet: p2, .. } = w.router(20).handle(p1).action else {
+            panic!()
+        };
+        assert_eq!(p2.stack.depth(), 2);
+        tunnel_labels.push(p2.stack.top().unwrap().label);
+    }
+    // Aggregation: both FECs travel under the same outer label.
+    assert_eq!(tunnel_labels[0], tunnel_labels[1]);
+    assert_eq!(tunnel_labels[0], tunnel_entry);
+}
+
+#[test]
+fn deaggregated_flows_reach_distinct_deliveries() {
+    let mut w = setup();
+    for dst in ["192.168.1.7", "192.168.2.7"] {
+        let mut packet = packet_to(dst);
+        let mut at = 10u32;
+        let delivered = loop {
+            match w.router(at).handle(packet).action {
+                Action::Forward { next, packet: p } => {
+                    at = next;
+                    packet = p;
+                }
+                Action::Deliver(p) => break p,
+                Action::Discard(c) => panic!("discarded at {at}: {c}"),
+            }
+        };
+        assert_eq!(delivered.ip.dst, parse_addr(dst).unwrap());
+        assert!(delivered.stack.is_empty());
+    }
+    // The tail deaggregated: it swapped each inner label separately.
+    assert_eq!(w.router(22).stats().forwarded, 2);
+    assert_eq!(w.router(11).stats().delivered, 2);
+}
+
+#[test]
+fn interior_lsr_uses_level3_bindings() {
+    let w = setup();
+    let cfg = w.cp.config_for(21);
+    assert!(!cfg.bindings.is_empty());
+    assert!(
+        cfg.bindings.iter().all(|b| b.level == 3),
+        "depth-2 arrivals consult level 3: {:?}",
+        cfg.bindings
+    );
+}
+
+#[test]
+fn tunnel_traffic_survives_in_simulation() {
+    use mpls_net::traffic::{FlowSpec, TrafficPattern};
+    use mpls_net::{QueueDiscipline, RouterKind, Simulation};
+
+    let w = setup();
+    let mut sim = Simulation::build(
+        &w.cp,
+        RouterKind::Embedded {
+            clock: ClockSpec::STRATIX_50MHZ,
+        },
+        QueueDiscipline::Fifo { capacity: 64 },
+        5,
+    );
+    for (i, dst) in ["192.168.1.7", "192.168.2.7"].iter().enumerate() {
+        sim.add_flow(FlowSpec {
+            name: format!("f{i}"),
+            ingress: 10,
+            src_addr: parse_addr("10.0.0.1").unwrap(),
+            dst_addr: parse_addr(dst).unwrap(),
+            payload_bytes: 256,
+            precedence: 0,
+            pattern: TrafficPattern::Cbr {
+                interval_ns: 500_000,
+            },
+            start_ns: 0,
+            stop_ns: 10_000_000,
+            police: None,
+        });
+    }
+    let report = sim.run(1_000_000_000);
+    for name in ["f0", "f1"] {
+        let s = report.flow(name).unwrap();
+        assert_eq!(s.sent, 20);
+        assert_eq!(s.delivered, 20, "{name} lost packets in the tunnel");
+    }
+}
