@@ -19,7 +19,9 @@ fn flow() -> FlowSpec {
         dst_addr: parse_addr("192.168.1.5").unwrap(),
         payload_bytes: 512,
         precedence: 0,
-        pattern: TrafficPattern::Cbr { interval_ns: 100_000 },
+        pattern: TrafficPattern::Cbr {
+            interval_ns: 100_000,
+        },
         start_ns: 0,
         stop_ns: 10_000_000, // 100 packets over 10 ms
         police: None,
@@ -54,12 +56,8 @@ fn bench_forwarding(c: &mut Criterion) {
     for (name, kind) in kinds {
         g.bench_with_input(BenchmarkId::new(name, 1), &kind, |b, &kind| {
             b.iter(|| {
-                let mut sim = Simulation::build(
-                    &cp,
-                    kind,
-                    QueueDiscipline::Fifo { capacity: 64 },
-                    1,
-                );
+                let mut sim =
+                    Simulation::build(&cp, kind, QueueDiscipline::Fifo { capacity: 64 }, 1);
                 sim.add_flow(flow());
                 let report = sim.run(100_000_000);
                 assert_eq!(report.flow("cbr").unwrap().delivered, 100);

@@ -6,9 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mpls_bench::scenarios::figure1_with_lsp;
 use mpls_core::ClockSpec;
-use mpls_packet::{
-    CosBits, EtherType, EthernetFrame, Ipv4Header, LabelStack, MacAddr, MplsPacket,
-};
+use mpls_packet::{CosBits, EtherType, EthernetFrame, Ipv4Header, LabelStack, MacAddr, MplsPacket};
 use mpls_router::{Action, EmbeddedRouter, MplsForwarder, SoftwareRouter, SwTimingModel};
 use std::hint::black_box;
 
@@ -24,7 +22,8 @@ fn transit_packet(cp: &mpls_control::ControlPlane) -> MplsPacket {
         bytes::Bytes::from(vec![0u8; 256]),
     );
     let mut s = LabelStack::new();
-    s.push_parts(lsp.hop_labels[0], CosBits::BEST_EFFORT, 200).unwrap();
+    s.push_parts(lsp.hop_labels[0], CosBits::BEST_EFFORT, 200)
+        .unwrap();
     p.splice_stack(s);
     p
 }

@@ -20,8 +20,10 @@ fn sample_packet() -> MplsPacket {
         Bytes::from(vec![0u8; 512]),
     );
     let mut s = LabelStack::new();
-    s.push_parts(Label::new(100).unwrap(), CosBits::BEST_EFFORT, 64).unwrap();
-    s.push_parts(Label::new(200).unwrap(), CosBits::EXPEDITED, 64).unwrap();
+    s.push_parts(Label::new(100).unwrap(), CosBits::BEST_EFFORT, 64)
+        .unwrap();
+    s.push_parts(Label::new(200).unwrap(), CosBits::EXPEDITED, 64)
+        .unwrap();
     p.splice_stack(s);
     p
 }
@@ -40,7 +42,8 @@ fn bench_stack_ops(c: &mut Criterion) {
     g.bench_function("stack_push_swap_pop", |b| {
         let mut s = LabelStack::new();
         b.iter(|| {
-            s.push_parts(Label::new(100).unwrap(), CosBits::BEST_EFFORT, 64).unwrap();
+            s.push_parts(Label::new(100).unwrap(), CosBits::BEST_EFFORT, 64)
+                .unwrap();
             s.swap(Label::new(200).unwrap()).unwrap();
             black_box(s.pop().unwrap())
         });

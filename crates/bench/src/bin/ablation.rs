@@ -33,11 +33,8 @@ fn packet_to(addr: u32) -> MplsPacket {
 
 fn plane(php: bool) -> ControlPlane {
     let mut cp = ControlPlane::new(Topology::figure1_example());
-    let mut req = LspRequest::best_effort(
-        0,
-        1,
-        Prefix::new(parse_addr("192.168.1.0").unwrap(), 24),
-    );
+    let mut req =
+        LspRequest::best_effort(0, 1, Prefix::new(parse_addr("192.168.1.0").unwrap(), 24));
     req.php = php;
     cp.establish_lsp(req).unwrap();
     cp
@@ -108,7 +105,12 @@ fn clock_scaling() {
         "swap, n=1024 (µs)",
         "max packets/s @ n=16",
     ]);
-    for (name, mhz) in [("25 MHz", 25.0), ("50 MHz (paper)", 50.0), ("100 MHz", 100.0), ("200 MHz", 200.0)] {
+    for (name, mhz) in [
+        ("25 MHz", 25.0),
+        ("50 MHz (paper)", 50.0),
+        ("100 MHz", 100.0),
+        ("200 MHz", 200.0),
+    ] {
         let clock = ClockSpec {
             freq_hz: mhz * 1e6,
             device: "scaled",
@@ -135,7 +137,11 @@ fn clock_scaling() {
 
 fn php_ablation() {
     println!("--- ablation 3: penultimate-hop popping ---\n");
-    let mut t = MarkdownTable::new(&["variant", "egress cycles/packet", "penultimate cycles/packet"]);
+    let mut t = MarkdownTable::new(&[
+        "variant",
+        "egress cycles/packet",
+        "penultimate cycles/packet",
+    ]);
 
     for (label, php) in [("no PHP", false), ("PHP", true)] {
         let cp = plane(php);
@@ -155,7 +161,8 @@ fn php_ablation() {
         // A labeled packet as it arrives at the penultimate hop.
         let mut p = packet_to(parse_addr("192.168.1.5").unwrap());
         let mut s = LabelStack::new();
-        s.push_parts(lsp.hop_labels[1], CosBits::BEST_EFFORT, 62).unwrap();
+        s.push_parts(lsp.hop_labels[1], CosBits::BEST_EFFORT, 62)
+            .unwrap();
         p.splice_stack(s);
         let out = penult.handle(p);
         let Action::Forward { packet, .. } = out.action else {

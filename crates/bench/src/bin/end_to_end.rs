@@ -89,5 +89,7 @@ fn main() {
     println!("{}", t.render());
 
     assert_eq!(s.delivered, s.sent, "lossless at this load");
-    println!("Fig. 2 exchange reproduced: label pushed, swapped, popped; all packets delivered -- OK");
+    println!(
+        "Fig. 2 exchange reproduced: label pushed, swapped, popped; all packets delivered -- OK"
+    );
 }

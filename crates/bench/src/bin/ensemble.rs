@@ -26,11 +26,8 @@ fn control_plane(te_voip: bool) -> ControlPlane {
         Prefix::new(parse_addr("192.168.1.0").unwrap(), 24),
     ))
     .unwrap();
-    let mut req = LspRequest::best_effort(
-        0,
-        1,
-        Prefix::new(parse_addr("192.168.1.10").unwrap(), 32),
-    );
+    let mut req =
+        LspRequest::best_effort(0, 1, Prefix::new(parse_addr("192.168.1.10").unwrap(), 32));
     req.cos = CosBits::EXPEDITED;
     if te_voip {
         req.explicit_route = Some(vec![0, 4, 5, 1]);
@@ -74,7 +71,10 @@ fn flows() -> Vec<FlowSpec> {
 }
 
 fn main() {
-    println!("=== Ensemble EXT-3: {} seeds in parallel per variant ===\n", SEEDS.len());
+    println!(
+        "=== Ensemble EXT-3: {} seeds in parallel per variant ===\n",
+        SEEDS.len()
+    );
     let mut t = MarkdownTable::new(&[
         "variant",
         "voip delay µs (mean ± sd)",
@@ -104,8 +104,9 @@ fn main() {
             RUN_NS + 50_000_000,
             &SEEDS,
         );
-        let (d_mean, d_sd) =
-            ensemble_stat(&reports, |r| r.flow("voip").unwrap().mean_delay_ns() / 1000.0);
+        let (d_mean, d_sd) = ensemble_stat(&reports, |r| {
+            r.flow("voip").unwrap().mean_delay_ns() / 1000.0
+        });
         let (l_mean, l_sd) =
             ensemble_stat(&reports, |r| r.flow("voip").unwrap().loss_rate() * 100.0);
         t.row(&[

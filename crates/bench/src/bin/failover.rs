@@ -1,0 +1,147 @@
+//! EXT-9: failover economics — how fast must failure detection be, and
+//! what does 1:1 path protection buy over head-end restoration?
+//!
+//! One CBR flow rides the figure-1 fast northern path (0-2-3-1). The
+//! core link 2-3 fails mid-run and is repaired later. The sweep crosses
+//! detection delay {100 µs, 1 ms, 5 ms, 20 ms} with the recovery mode:
+//!
+//! * `protection`  — a link-disjoint backup LSP is pre-signaled at
+//!   setup; on detection the head end switches to it immediately;
+//! * `restoration` — the head end re-signals a replacement LSP after
+//!   detection (one extra signaling round trip of loss).
+//!
+//! Run: `cargo run -p mpls-bench --bin failover`
+
+use mpls_bench::MarkdownTable;
+use mpls_control::{ControlPlane, LspRequest, Topology};
+use mpls_core::ClockSpec;
+use mpls_dataplane::ftn::Prefix;
+use mpls_net::traffic::{FlowSpec, TrafficPattern};
+use mpls_net::{
+    FaultPlan, QueueDiscipline, RecoveryMode, RestorationPolicy, RouterKind, SimReport, Simulation,
+};
+use mpls_packet::ipv4::parse_addr;
+
+const RUN_NS: u64 = 200_000_000; // 200 ms
+const DOWN_NS: u64 = 50_000_000;
+const UP_NS: u64 = 120_000_000;
+const INTERVAL_NS: u64 = 100_000; // 10k pkt/s CBR probe
+
+fn flow() -> FlowSpec {
+    FlowSpec {
+        name: "probe".into(),
+        ingress: 0,
+        src_addr: parse_addr("10.0.0.10").unwrap(),
+        dst_addr: parse_addr("192.168.1.10").unwrap(),
+        payload_bytes: 500,
+        precedence: 0,
+        pattern: TrafficPattern::Cbr {
+            interval_ns: INTERVAL_NS,
+        },
+        start_ns: 0,
+        stop_ns: RUN_NS,
+        police: None,
+    }
+}
+
+fn run(mode: RecoveryMode, detection_delay_ns: u64) -> SimReport {
+    let mut cp = ControlPlane::new(Topology::figure1_example());
+    let lsp = cp
+        .establish_lsp(LspRequest::best_effort(
+            0,
+            1,
+            Prefix::new(parse_addr("192.168.1.0").unwrap(), 24),
+        ))
+        .unwrap();
+    if mode == RecoveryMode::Protection {
+        cp.protect_lsp(lsp).expect("disjoint backup exists");
+    }
+    let core = cp.topology().link_between(2, 3).unwrap();
+
+    let mut sim = Simulation::build(
+        &cp,
+        RouterKind::Embedded {
+            clock: ClockSpec::STRATIX_50MHZ,
+        },
+        QueueDiscipline::Fifo { capacity: 64 },
+        42,
+    );
+    let mut plan = FaultPlan::new(RestorationPolicy {
+        detection_delay_ns,
+        resignal_delay_ns: 1_000_000,
+        mode,
+        ..RestorationPolicy::default()
+    });
+    plan.outage(core, DOWN_NS, UP_NS);
+    sim.set_fault_plan(plan);
+    sim.add_flow(flow());
+    sim.run(RUN_NS + 50_000_000)
+}
+
+fn main() {
+    println!("=== EXT-9: detection delay x protection vs restoration ===\n");
+    println!(
+        "figure-1 topology, CBR probe at {} pkt/s, link 2-3 down {}-{} ms\n",
+        1_000_000_000 / INTERVAL_NS,
+        DOWN_NS / 1_000_000,
+        UP_NS / 1_000_000
+    );
+
+    let detections: [u64; 4] = [100_000, 1_000_000, 5_000_000, 20_000_000];
+    let mut t = MarkdownTable::new(&[
+        "mode",
+        "detection",
+        "pkts lost",
+        "time to restore (ms)",
+        "loss %",
+    ]);
+    let mut losses: Vec<(RecoveryMode, u64, u64)> = Vec::new();
+    for mode in [RecoveryMode::Protection, RecoveryMode::Restoration] {
+        for &d in &detections {
+            let report = run(mode, d);
+            let s = report.flow("probe").unwrap();
+            assert_eq!(
+                s.sent,
+                s.delivered + s.router_dropped + s.queue_dropped + s.link_dropped,
+                "conservation violated at {mode:?}/{d}"
+            );
+            let rec = &report.faults[0];
+            let ttr = rec
+                .time_to_restore_ns()
+                .expect("fast path comes back before horizon");
+            t.row(&[
+                format!("{mode:?}").to_lowercase(),
+                format!("{} µs", d / 1000),
+                format!("{}", rec.packets_lost),
+                format!("{:.2}", ttr as f64 / 1e6),
+                format!("{:.2}", s.loss_rate() * 100.0),
+            ]);
+            losses.push((mode, d, rec.packets_lost));
+        }
+    }
+    println!("{}", t.render());
+
+    for &d in &detections {
+        let p = losses
+            .iter()
+            .find(|(m, dd, _)| *m == RecoveryMode::Protection && *dd == d)
+            .unwrap()
+            .2;
+        let r = losses
+            .iter()
+            .find(|(m, dd, _)| *m == RecoveryMode::Restoration && *dd == d)
+            .unwrap()
+            .2;
+        assert!(
+            p < r,
+            "protection ({p} lost) must beat restoration ({r} lost) at detection {d} ns"
+        );
+    }
+    println!("observations:");
+    println!("  - loss scales with detection delay: packets keep draining into");
+    println!("    the dead link until the control plane notices;");
+    println!("  - protection always beats restoration by one signaling round");
+    println!("    trip of traffic (the re-signal latency);");
+    println!("  - after repair + hold-down the flow is loss-free again.");
+    println!("\nfailover claims hold -- OK");
+}

@@ -11,11 +11,7 @@ use mpls_packet::Label;
 
 fn main() {
     let run = figure14_level1();
-    print_figure_run(
-        "fig14",
-        "simulation for level 1 label pair entries",
-        &run,
-    );
+    print_figure_run("fig14", "simulation for level 1 label pair entries", &run);
 
     // The paper's stated observations, checked live:
     assert_eq!(

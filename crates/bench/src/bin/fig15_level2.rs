@@ -11,11 +11,7 @@ use mpls_packet::Label;
 
 fn main() {
     let run = figure15_level2();
-    print_figure_run(
-        "fig15",
-        "simulation for level 2 label pair entries",
-        &run,
-    );
+    print_figure_run("fig15", "simulation for level 2 label pair entries", &run);
 
     assert_eq!(
         run.lookup.outcome,

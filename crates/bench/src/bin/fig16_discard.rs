@@ -22,5 +22,7 @@ fn main() {
         "lookup_done and packetdiscard must rise together"
     );
     println!();
-    println!("paper check: r_index sweeps all pairs; done + discard raised; outputs unchanged -- OK");
+    println!(
+        "paper check: r_index sweeps all pairs; done + discard raised; outputs unchanged -- OK"
+    );
 }

@@ -58,7 +58,8 @@ fn sw_process_ns<S: LookupStrategy>(n: u64) -> (u64, f64) {
     let start = Instant::now();
     for i in 0..iters {
         let mut s = stack.clone();
-        s.swap(Label::new((n as u32) % Label::MAX.max(1)).unwrap()).ok();
+        s.swap(Label::new((n as u32) % Label::MAX.max(1)).unwrap())
+            .ok();
         let mut s = stack.clone();
         // Re-run the full process; TTL is large enough to survive iters.
         let _ = f.process(&mut s, i, CosBits::BEST_EFFORT, 0);

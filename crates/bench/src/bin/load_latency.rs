@@ -61,7 +61,13 @@ fn main() {
             let (p50, _, p99) = s.delay_hist.percentiles();
             // Queueing component: subtract the fixed 1.5 ms propagation +
             // serialization floor measured at the lightest load.
-            (load, p50 / 1000.0, p99 / 1000.0, s.loss_rate() * 100.0, s.throughput_bps() / 1e6)
+            (
+                load,
+                p50 / 1000.0,
+                p99 / 1000.0,
+                s.loss_rate() * 100.0,
+                s.throughput_bps() / 1e6,
+            )
         })
         .collect();
 
@@ -88,7 +94,10 @@ fn main() {
     // overload must show loss while goodput saturates at capacity.
     let p99_at = |l: f64| rows.iter().find(|r| (r.0 - l).abs() < 1e-9).unwrap().2;
     let loss_at = |l: f64| rows.iter().find(|r| (r.0 - l).abs() < 1e-9).unwrap().3;
-    assert!(p99_at(0.95) > p99_at(0.5), "queueing must grow near capacity");
+    assert!(
+        p99_at(0.95) > p99_at(0.5),
+        "queueing must grow near capacity"
+    );
     assert!(loss_at(0.5) == 0.0, "no loss at half load");
     assert!(loss_at(1.2) > 5.0, "overload must lose packets");
     println!("knee confirmed: p99 grows {:.1}x from 50% to 95% load; overload saturates at capacity with loss.",

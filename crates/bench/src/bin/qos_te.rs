@@ -37,11 +37,8 @@ fn control_plane(te_voip: bool) -> ControlPlane {
     ))
     .unwrap();
     // VoIP host FEC: expedited CoS; optionally pinned to the south.
-    let mut req = LspRequest::best_effort(
-        0,
-        1,
-        Prefix::new(parse_addr("192.168.1.10").unwrap(), 32),
-    );
+    let mut req =
+        LspRequest::best_effort(0, 1, Prefix::new(parse_addr("192.168.1.10").unwrap(), 32));
     req.cos = CosBits::EXPEDITED;
     if te_voip {
         req.explicit_route = Some(vec![0, 4, 5, 1]);

@@ -25,8 +25,7 @@ fn main() {
             let mut m = loaded_modifier(n, n + 1); // miss
             let miss = m.lookup(Level::L2, 0xF_FFFE).cycles;
             let mut m = loaded_modifier(n, n); // hit at the last slot
-            let hit = m.update_stack(0, CosBits::BEST_EFFORT, 0).cycles
-                - table6::SWAP_FROM_IB;
+            let hit = m.update_stack(0, CosBits::BEST_EFFORT, 0).cycles - table6::SWAP_FROM_IB;
             (n, miss, hit)
         })
         .collect();
@@ -60,7 +59,10 @@ fn main() {
     let intercept = (sy - slope * sx) / n;
     println!("least-squares fit: cycles = {slope:.4} * n + {intercept:.4}");
     assert!((slope - 3.0).abs() < 1e-9, "slope must be exactly 3");
-    assert!((intercept - 5.0).abs() < 1e-9, "intercept must be exactly 5");
+    assert!(
+        (intercept - 5.0).abs() < 1e-9,
+        "intercept must be exactly 5"
+    );
 
     // Constant-time operations stay flat regardless of occupancy.
     let mut t = MarkdownTable::new(&["n", "user push", "user pop", "write pair"]);
@@ -78,7 +80,12 @@ fn main() {
                 mpls_core::IbOperation::Swap,
             )
             .cycles;
-        t.row(&[n.to_string(), push.to_string(), pop.to_string(), write.to_string()]);
+        t.row(&[
+            n.to_string(),
+            push.to_string(),
+            pop.to_string(),
+            write.to_string(),
+        ]);
     }
     println!("\n=== Constant-time operations vs occupancy ===\n");
     println!("{}", t.render());

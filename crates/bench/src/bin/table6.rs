@@ -40,7 +40,11 @@ fn main() {
     push_row("reset", table6::RESET, m.reset().cycles);
 
     // User push / pop.
-    push_row("push from the user", table6::USER_PUSH, m.user_push(entry(7, 64)).cycles);
+    push_row(
+        "push from the user",
+        table6::USER_PUSH,
+        m.user_push(entry(7, 64)).cycles,
+    );
     push_row("pop from the user", table6::USER_POP, m.user_pop().cycles);
 
     // Write label pair.
@@ -54,7 +58,12 @@ fn main() {
     // Search over a full level (n = 1024, worst case).
     let mut m = LabelStackModifier::new(RouterType::Lsr);
     for i in 0..1024u64 {
-        m.write_pair(Level::L2, i + 1, Label::new(i as u32).unwrap(), IbOperation::Swap);
+        m.write_pair(
+            Level::L2,
+            i + 1,
+            Label::new(i as u32).unwrap(),
+            IbOperation::Swap,
+        );
     }
     let miss = m.lookup(Level::L2, 0xF_FFFF);
     assert_eq!(miss.outcome, Outcome::LookupMiss);
@@ -69,7 +78,12 @@ fn main() {
     m.write_pair(Level::L2, 42, Label::new(900).unwrap(), IbOperation::Swap);
     m.user_push(entry(42, 64));
     let upd = m.update_stack(0, CosBits::BEST_EFFORT, 0);
-    assert_eq!(upd.outcome, Outcome::Updated { op: IbOperation::Swap });
+    assert_eq!(
+        upd.outcome,
+        Outcome::Updated {
+            op: IbOperation::Swap
+        }
+    );
     push_row(
         "swap from the information base",
         table6::SWAP_FROM_IB,
@@ -87,11 +101,21 @@ fn main() {
     }
     for i in 0..1024u64 {
         total += m
-            .write_pair(Level::L3, i + 1, Label::new(i as u32).unwrap(), IbOperation::Swap)
+            .write_pair(
+                Level::L3,
+                i + 1,
+                Label::new(i as u32).unwrap(),
+                IbOperation::Swap,
+            )
             .cycles;
     }
     let swap = m.update_stack(0, CosBits::BEST_EFFORT, 0);
-    assert_eq!(swap.outcome, Outcome::Updated { op: IbOperation::Swap });
+    assert_eq!(
+        swap.outcome,
+        Outcome::Updated {
+            op: IbOperation::Swap
+        }
+    );
     total += swap.cycles;
 
     println!("worst case (reset + 3 pushes + 1024 writes + swap over full level):");

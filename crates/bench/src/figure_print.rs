@@ -24,8 +24,14 @@ pub fn print_figure_run(figure: &str, description: &str, run: &FigureRun) -> Pat
     // lookup (the last ~45 cycles) plus the first few writes.
     println!("{}", run.trace.render_ascii(0..cycles.min(14)));
     if cycles > 14 {
-        println!("... ({} cycles elided) ...\n", cycles.saturating_sub(14 + 45));
-        println!("{}", run.trace.render_ascii(cycles.saturating_sub(45)..cycles));
+        println!(
+            "... ({} cycles elided) ...\n",
+            cycles.saturating_sub(14 + 45)
+        );
+        println!(
+            "{}",
+            run.trace.render_ascii(cycles.saturating_sub(45)..cycles)
+        );
     }
     println!("--- signal transitions ---");
     println!("{}", run.trace.render_transitions());

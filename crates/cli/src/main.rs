@@ -65,10 +65,7 @@ fn main() -> ExitCode {
                                 }
                             }
                         } else {
-                            println!(
-                                "simulated {:.1} ms\n",
-                                report.elapsed_ns as f64 / 1e6
-                            );
+                            println!("simulated {:.1} ms\n", report.elapsed_ns as f64 / 1e6);
                             print!("{}", format_report(&report));
                         }
                         ExitCode::SUCCESS

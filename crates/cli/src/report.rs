@@ -37,6 +37,24 @@ pub fn format_report(report: &SimReport) -> String {
             ));
         }
     }
+    if !report.faults.is_empty() {
+        out.push('\n');
+        out.push_str("faults:\n");
+        for f in &report.faults {
+            let restored = match f.time_to_restore_ns() {
+                Some(ns) => format!("restored in {:.2} ms", ns as f64 / 1e6),
+                None => "never restored".to_string(),
+            };
+            out.push_str(&format!(
+                "  link {}: down at {:.2} ms, {}, {} pkts lost ({:?})\n",
+                f.link,
+                f.down_ns as f64 / 1e6,
+                restored,
+                f.packets_lost,
+                f.mode,
+            ));
+        }
+    }
     out
 }
 
@@ -54,5 +72,30 @@ mod tests {
         assert!(text.contains("bulk"));
         assert!(text.contains("->"));
         assert!(text.contains("utilized"));
+        assert!(!text.contains("faults:"), "no fault section without faults");
+    }
+
+    #[test]
+    fn report_lists_fault_records() {
+        let mut sc = Scenario::from_json(include_str!("../scenarios/example.json")).unwrap();
+        sc.faults = Some(crate::scenario::FaultsDecl {
+            events: vec![
+                crate::scenario::FaultEventDecl::LinkDown {
+                    at_ms: 5,
+                    a: 2,
+                    b: 3,
+                },
+                crate::scenario::FaultEventDecl::LinkUp {
+                    at_ms: 10,
+                    a: 2,
+                    b: 3,
+                },
+            ],
+            ..Default::default()
+        });
+        let report = sc.run().unwrap();
+        let text = format_report(&report);
+        assert!(text.contains("faults:"));
+        assert!(text.contains("pkts lost"));
     }
 }

@@ -5,12 +5,14 @@
 //! queue discipline, seed and horizon. `mpls-sim run <file>` executes it
 //! and prints the per-flow report.
 
-use mpls_control::{ControlPlane, LinkSpec, LspRequest, RouterRole, Topology};
+use mpls_control::{ControlPlane, LinkId, LinkSpec, LspRequest, RouterRole, Topology};
 use mpls_core::ClockSpec;
 use mpls_dataplane::ftn::Prefix;
 use mpls_net::policer::PolicerSpec;
 use mpls_net::traffic::{FlowSpec, TrafficPattern};
-use mpls_net::{QueueDiscipline, RouterKind, Simulation};
+use mpls_net::{
+    FaultPlan, QueueDiscipline, RecoveryMode, RestorationPolicy, RouterKind, Simulation,
+};
 use mpls_packet::ipv4::parse_addr;
 use mpls_packet::CosBits;
 use mpls_router::SwTimingModel;
@@ -46,8 +48,8 @@ fn parse_prefix(s: &str) -> Result<Prefix, ScenarioError> {
     let (addr, len) = s
         .split_once('/')
         .ok_or_else(|| ScenarioError::Invalid(format!("prefix {s:?} missing /len")))?;
-    let addr = parse_addr(addr)
-        .ok_or_else(|| ScenarioError::Invalid(format!("bad address in {s:?}")))?;
+    let addr =
+        parse_addr(addr).ok_or_else(|| ScenarioError::Invalid(format!("bad address in {s:?}")))?;
     let len: u8 = len
         .parse()
         .map_err(|_| ScenarioError::Invalid(format!("bad length in {s:?}")))?;
@@ -84,6 +86,9 @@ pub struct Scenario {
     /// Queue discipline.
     #[serde(default)]
     pub queue: QueueDecl,
+    /// Runtime fault injection and restoration policy.
+    #[serde(default)]
+    pub faults: Option<FaultsDecl>,
     /// RNG seed.
     #[serde(default)]
     pub seed: u64,
@@ -158,6 +163,108 @@ pub struct LspDecl {
     /// Penultimate-hop popping.
     #[serde(default)]
     pub php: bool,
+    /// Pre-signal a link-disjoint standby backup (1:1 path protection).
+    #[serde(default)]
+    pub protected: bool,
+}
+
+/// Fault injection section: scheduled link events, random loss, and the
+/// detection/recovery timing model.
+#[derive(Debug, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct FaultsDecl {
+    /// Scheduled link state changes.
+    #[serde(default)]
+    pub events: Vec<FaultEventDecl>,
+    /// Per-link random wire loss.
+    #[serde(default)]
+    pub loss: Vec<LinkLossDecl>,
+    /// Failure-detection delay in microseconds (default 1000).
+    #[serde(default = "thousand")]
+    pub detection_delay_us: u64,
+    /// Latency of one signaling attempt in microseconds (default 1000).
+    #[serde(default = "thousand")]
+    pub resignal_delay_us: u64,
+    /// Exponential backoff multiplier between attempts (default 2).
+    #[serde(default = "two")]
+    pub backoff_factor: u32,
+    /// Re-signal attempts after the first (default 8).
+    #[serde(default = "eight")]
+    pub max_retries: u32,
+    /// Hold-down after physical repair, in milliseconds (default 5).
+    #[serde(default = "five")]
+    pub hold_down_ms: u64,
+    /// `"none"`, `"restoration"` or `"protection"` (default
+    /// `"restoration"`).
+    #[serde(default = "default_recovery")]
+    pub recovery: String,
+}
+
+impl Default for FaultsDecl {
+    /// Matches the serde field defaults (an empty `"faults": {}` section).
+    fn default() -> Self {
+        Self {
+            events: Vec::new(),
+            loss: Vec::new(),
+            detection_delay_us: thousand(),
+            resignal_delay_us: thousand(),
+            backoff_factor: two(),
+            max_retries: eight(),
+            hold_down_ms: five(),
+            recovery: default_recovery(),
+        }
+    }
+}
+
+fn thousand() -> u64 {
+    1000
+}
+fn two() -> u32 {
+    2
+}
+fn eight() -> u32 {
+    8
+}
+fn five() -> u64 {
+    5
+}
+fn default_recovery() -> String {
+    "restoration".into()
+}
+
+/// One scheduled link transition.
+#[derive(Debug, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum FaultEventDecl {
+    /// The link between `a` and `b` fails at `at_ms`.
+    LinkDown {
+        /// When, in milliseconds.
+        at_ms: u64,
+        /// Endpoint A.
+        a: u32,
+        /// Endpoint B.
+        b: u32,
+    },
+    /// The link between `a` and `b` is repaired at `at_ms`.
+    LinkUp {
+        /// When, in milliseconds.
+        at_ms: u64,
+        /// Endpoint A.
+        a: u32,
+        /// Endpoint B.
+        b: u32,
+    },
+}
+
+/// Random wire loss on one link.
+#[derive(Debug, Deserialize)]
+pub struct LinkLossDecl {
+    /// Endpoint A.
+    pub a: u32,
+    /// Endpoint B.
+    pub b: u32,
+    /// Per-packet loss probability (0.0–1.0).
+    pub probability: f64,
 }
 
 /// One traffic flow.
@@ -334,10 +441,66 @@ impl Scenario {
                 explicit_route: l.explicit_route.clone(),
                 php: l.php,
             };
-            cp.establish_lsp(req)
+            let id = cp
+                .establish_lsp(req)
                 .map_err(|e| ScenarioError::Signal(format!("lsp #{i}: {e:?}")))?;
+            if l.protected {
+                cp.protect_lsp(id)
+                    .map_err(|e| ScenarioError::Signal(format!("lsp #{i} backup: {e:?}")))?;
+            }
         }
         Ok(cp)
+    }
+
+    /// Translates the `faults` section against the built control plane
+    /// (link endpoints resolve to link ids there).
+    pub fn fault_plan(&self, cp: &ControlPlane) -> Result<Option<FaultPlan>, ScenarioError> {
+        let Some(f) = &self.faults else {
+            return Ok(None);
+        };
+        let mode = match f.recovery.to_ascii_lowercase().as_str() {
+            "none" => RecoveryMode::None,
+            "restoration" => RecoveryMode::Restoration,
+            "protection" => RecoveryMode::Protection,
+            other => {
+                return Err(ScenarioError::Invalid(format!(
+                    "unknown recovery {other:?} (use \"none\", \"restoration\" or \"protection\")"
+                )))
+            }
+        };
+        let link_of = |a: u32, b: u32| -> Result<LinkId, ScenarioError> {
+            cp.topology()
+                .link_between(a, b)
+                .ok_or_else(|| ScenarioError::Invalid(format!("no link between {a} and {b}")))
+        };
+        let mut plan = FaultPlan::new(RestorationPolicy {
+            detection_delay_ns: f.detection_delay_us * 1_000,
+            resignal_delay_ns: f.resignal_delay_us * 1_000,
+            backoff_factor: f.backoff_factor,
+            max_retries: f.max_retries,
+            hold_down_ns: f.hold_down_ms * 1_000_000,
+            mode,
+        });
+        for ev in &f.events {
+            match *ev {
+                FaultEventDecl::LinkDown { at_ms, a, b } => {
+                    plan.link_down(at_ms * 1_000_000, link_of(a, b)?);
+                }
+                FaultEventDecl::LinkUp { at_ms, a, b } => {
+                    plan.link_up(at_ms * 1_000_000, link_of(a, b)?);
+                }
+            }
+        }
+        for l in &f.loss {
+            if !(0.0..=1.0).contains(&l.probability) {
+                return Err(ScenarioError::Invalid(format!(
+                    "loss probability {} out of [0, 1]",
+                    l.probability
+                )));
+            }
+            plan.random_loss(link_of(l.a, l.b)?, l.probability);
+        }
+        Ok(Some(plan))
     }
 
     /// The router kind.
@@ -420,12 +583,11 @@ impl Scenario {
     /// Builds and runs the whole scenario.
     pub fn run(&self) -> Result<mpls_net::SimReport, ScenarioError> {
         let cp = self.build_control_plane()?;
-        let mut sim = Simulation::build(
-            &cp,
-            self.router_kind(),
-            self.queue_discipline(),
-            self.seed,
-        );
+        let mut sim =
+            Simulation::build(&cp, self.router_kind(), self.queue_discipline(), self.seed);
+        if let Some(plan) = self.fault_plan(&cp)? {
+            sim.set_fault_plan(plan);
+        }
         for f in self.flow_specs()? {
             sim.add_flow(f);
         }
@@ -446,7 +608,10 @@ mod tests {
         let report = sc.run().expect("example runs");
         let voip = report.flow("voip").expect("voip flow present");
         assert!(voip.sent > 0);
-        assert_eq!(voip.sent, voip.delivered + voip.router_dropped + voip.queue_dropped + voip.policer_dropped);
+        assert_eq!(
+            voip.sent,
+            voip.delivered + voip.router_dropped + voip.queue_dropped + voip.policer_dropped
+        );
     }
 
     #[test]
@@ -474,6 +639,90 @@ mod tests {
             Scenario::from_json(bad),
             Err(ScenarioError::Parse(_))
         ));
+    }
+
+    /// Figure-1 style two-path topology with a mid-run outage on the fast
+    /// path. Restoration moves the LSP to the slow path; losses are
+    /// confined to the outage and land in the link-drop counters.
+    const FAULTY: &str = r#"{
+        "nodes": [
+            {"id": 0, "role": "ler"}, {"id": 1, "role": "ler"},
+            {"id": 2, "role": "lsr"}, {"id": 3, "role": "lsr"},
+            {"id": 4, "role": "lsr"}, {"id": 5, "role": "lsr"}
+        ],
+        "links": [
+            {"a": 0, "b": 2, "bandwidth_mbps": 1000, "delay_us": 500},
+            {"a": 2, "b": 3, "bandwidth_mbps": 1000, "delay_us": 500},
+            {"a": 3, "b": 1, "bandwidth_mbps": 1000, "delay_us": 500},
+            {"a": 0, "b": 4, "bandwidth_mbps": 100, "delay_us": 2000, "cost": 3},
+            {"a": 4, "b": 5, "bandwidth_mbps": 100, "delay_us": 2000, "cost": 3},
+            {"a": 5, "b": 1, "bandwidth_mbps": 100, "delay_us": 2000, "cost": 3}
+        ],
+        "lsps": [{"ingress": 0, "egress": 1, "fec": "192.168.1.0/24"}],
+        "flows": [{
+            "name": "cbr", "ingress": 0,
+            "src": "10.0.0.10", "dst": "192.168.1.10",
+            "payload_bytes": 500,
+            "pattern": {"kind": "cbr", "interval_us": 100},
+            "stop_ms": 20
+        }],
+        "faults": {
+            "events": [
+                {"kind": "link_down", "at_ms": 5, "a": 2, "b": 3},
+                {"kind": "link_up", "at_ms": 12, "a": 2, "b": 3}
+            ],
+            "detection_delay_us": 500,
+            "resignal_delay_us": 500,
+            "recovery": "restoration"
+        },
+        "seed": 11,
+        "horizon_ms": 40
+    }"#;
+
+    #[test]
+    fn fault_scenario_restores_and_accounts_losses() {
+        let sc = Scenario::from_json(FAULTY).expect("fault scenario parses");
+        let report = sc.run().expect("fault scenario runs");
+        let s = report.flow("cbr").expect("flow present");
+        assert!(s.sent > 0);
+        assert!(s.link_dropped > 0, "outage should drop packets");
+        assert_eq!(
+            s.sent,
+            s.delivered
+                + s.router_dropped
+                + s.queue_dropped
+                + s.policer_dropped
+                + s.link_dropped
+                + s.loss_dropped
+        );
+        assert_eq!(report.faults.len(), 1, "one fault record");
+        let rec = &report.faults[0];
+        assert_eq!(rec.down_ns, 5_000_000);
+        assert_eq!(rec.detected_ns, Some(5_500_000));
+        assert!(rec.restored_ns.is_some(), "LSP re-signaled onto south path");
+        assert_eq!(rec.packets_lost, s.link_dropped);
+    }
+
+    #[test]
+    fn bad_fault_sections_are_rejected() {
+        let mut sc = Scenario::from_json(FAULTY).unwrap();
+        let cp = sc.build_control_plane().unwrap();
+        sc.faults.as_mut().unwrap().recovery = "prayer".into();
+        assert!(matches!(sc.fault_plan(&cp), Err(ScenarioError::Invalid(_))));
+        let mut sc = Scenario::from_json(FAULTY).unwrap();
+        sc.faults.as_mut().unwrap().events[0] = FaultEventDecl::LinkDown {
+            at_ms: 1,
+            a: 0,
+            b: 3,
+        };
+        assert!(matches!(sc.fault_plan(&cp), Err(ScenarioError::Invalid(_))));
+        let mut sc = Scenario::from_json(FAULTY).unwrap();
+        sc.faults.as_mut().unwrap().loss.push(LinkLossDecl {
+            a: 2,
+            b: 3,
+            probability: 1.5,
+        });
+        assert!(matches!(sc.fault_plan(&cp), Err(ScenarioError::Invalid(_))));
     }
 
     #[test]

@@ -139,10 +139,7 @@ mod tests {
         };
         // South links offer only 100 Mb/s capacity, so a 200 Mb/s request
         // fits nowhere.
-        assert_eq!(
-            shortest_path(&t, 0, 1, &c, &avail),
-            Err(PathError::NoPath)
-        );
+        assert_eq!(shortest_path(&t, 0, 1, &c, &avail), Err(PathError::NoPath));
         // A 50 Mb/s request fits the south path.
         let c = Constraint {
             min_bandwidth_bps: 50_000_000,

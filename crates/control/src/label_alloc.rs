@@ -34,7 +34,10 @@ impl LabelAllocator {
                 return Ok(Label::new(v).expect("freed labels were valid"));
             }
         }
-        let next = self.next.entry(node).or_insert(Label::FIRST_UNRESERVED.value());
+        let next = self
+            .next
+            .entry(node)
+            .or_insert(Label::FIRST_UNRESERVED.value());
         if *next > Label::MAX {
             return Err(LabelSpaceExhausted(node));
         }

@@ -120,6 +120,17 @@ pub struct SignaledLsp {
     next_hops: Vec<NextHopEntry>,
     fecs: Vec<FecEntry>,
     ip_routes: Vec<IpRoute>,
+    /// Pre-signaled but not steering traffic: transit state is installed,
+    /// ingress classification is withheld until activation (see
+    /// [`ControlPlane::protect_lsp`]).
+    standby: bool,
+}
+
+impl SignaledLsp {
+    /// True while this LSP is a pre-signaled standby backup.
+    pub fn is_standby(&self) -> bool {
+        self.standby
+    }
 }
 
 /// A signaled hierarchical tunnel (an LSP between two core nodes carrying
@@ -155,6 +166,8 @@ pub struct ControlPlane {
     tunnels: HashMap<TunnelId, Tunnel>,
     attached: Vec<IpRoute>,
     failed_links: std::collections::HashSet<LinkId>,
+    /// Primary LSP -> its pre-signaled standby backup.
+    backups: HashMap<LspId, LspId>,
     next_lsp: LspId,
     next_tunnel: TunnelId,
 }
@@ -170,6 +183,7 @@ impl ControlPlane {
             tunnels: HashMap::new(),
             attached: Vec::new(),
             failed_links: std::collections::HashSet::new(),
+            backups: HashMap::new(),
             next_lsp: 1,
             next_tunnel: 1,
         }
@@ -205,6 +219,13 @@ impl ControlPlane {
     /// traverse it, in id order. The LSPs keep their (now broken) state
     /// until [`Self::reroute_lsp`] or [`Self::teardown_lsp`] is called —
     /// mirroring how a head end learns of a failure and re-signals.
+    ///
+    /// **Scope:** this mutates only the control plane. A
+    /// `mpls_net::Simulation` clones the control plane when it is built,
+    /// so calling `fail_link` on the original afterwards does not affect
+    /// that simulation — schedule runtime failures through the
+    /// simulator's `FaultPlan` instead, which drives this method on its
+    /// own clone at fault-detection time.
     pub fn fail_link(&mut self, link: LinkId) -> Vec<LspId> {
         self.failed_links.insert(link);
         let mut affected: Vec<LspId> = self
@@ -243,6 +264,92 @@ impl ControlPlane {
         self.establish_lsp(request)
     }
 
+    // ---- protection ------------------------------------------------------
+
+    /// Pre-signals a link-disjoint standby backup for `primary`
+    /// (1:1 path protection). The backup reserves bandwidth and installs
+    /// transit forwarding state immediately — failover later only has to
+    /// reprogram the head end — but its ingress classification (FEC and
+    /// level-1 steering entries) is withheld until
+    /// [`Self::activate_backup`]. Returns the backup's id.
+    pub fn protect_lsp(&mut self, primary: LspId) -> Result<LspId, SignalError> {
+        let p = self
+            .lsps
+            .get(&primary)
+            .ok_or(SignalError::UnknownLsp(primary))?;
+        let mut request = p.request.clone();
+        let avoid: std::collections::HashSet<LinkId> = p.reserved_links.iter().copied().collect();
+        // A disjoint path must avoid every link of the primary as well as
+        // anything already failed.
+        let path = self.cspf_excluding(
+            request.ingress,
+            request.egress,
+            request.bandwidth_bps,
+            &avoid,
+        )?;
+        request.explicit_route = Some(path);
+        let id = self.establish_lsp(request)?;
+        self.lsps.get_mut(&id).expect("just established").standby = true;
+        self.backups.insert(primary, id);
+        Ok(id)
+    }
+
+    /// The pre-signaled backup of `primary`, if any.
+    pub fn backup_of(&self, primary: LspId) -> Option<LspId> {
+        self.backups.get(&primary).copied()
+    }
+
+    /// True while `id` is a standby (pre-signaled, not steering traffic).
+    pub fn lsp_is_standby(&self, id: LspId) -> bool {
+        self.lsps.get(&id).map(|l| l.standby).unwrap_or(false)
+    }
+
+    /// True when none of the LSP's reserved links is failed.
+    pub fn lsp_is_intact(&self, id: LspId) -> bool {
+        self.lsps
+            .get(&id)
+            .map(|l| {
+                !l.reserved_links
+                    .iter()
+                    .any(|k| self.failed_links.contains(k))
+            })
+            .unwrap_or(false)
+    }
+
+    /// Fails over `primary` onto its backup: the backup starts steering
+    /// traffic (its ingress classification becomes live) and the broken
+    /// primary stops. Returns the backup's id, or `None` when no backup
+    /// is registered. The caller must re-derive node configurations
+    /// afterwards (the head end reprograms).
+    pub fn activate_backup(&mut self, primary: LspId) -> Option<LspId> {
+        let backup = self.backups.remove(&primary)?;
+        self.lsps.get_mut(&backup)?.standby = false;
+        if let Some(p) = self.lsps.get_mut(&primary) {
+            p.standby = true;
+        }
+        Some(backup)
+    }
+
+    /// Tears down a broken standby backup, releasing its resources and
+    /// leaving its primary unprotected.
+    pub fn teardown_standby(&mut self, standby: LspId) -> Result<(), SignalError> {
+        self.backups.retain(|_, &mut b| b != standby);
+        self.teardown_lsp(standby)
+    }
+
+    /// Retires an LSP to standby: its ingress classification is withdrawn
+    /// (new packets no longer steer onto it) while its transit state
+    /// stays installed so packets already in the pipeline keep their
+    /// forwarding entries. Used for make-before-break switchover — the
+    /// husk is torn down once the pipeline has drained.
+    pub fn retire_lsp(&mut self, id: LspId) -> Result<(), SignalError> {
+        self.lsps
+            .get_mut(&id)
+            .ok_or(SignalError::UnknownLsp(id))?
+            .standby = true;
+        Ok(())
+    }
+
     /// A signaled LSP.
     pub fn lsp(&self, id: LspId) -> Option<&SignaledLsp> {
         self.lsps.get(&id)
@@ -268,11 +375,20 @@ impl ControlPlane {
         lsp_ids.sort_unstable();
         for id in lsp_ids {
             let lsp = &self.lsps[&id];
-            cfg.bindings
-                .extend(lsp.bindings.iter().filter(|b| b.node == node));
+            // A standby backup keeps its transit state (levels 2/3 and
+            // next hops) installed so failover is head-end-only, but its
+            // ingress steering — FEC classification and exact level-1
+            // pairs — stays out until activation.
+            cfg.bindings.extend(
+                lsp.bindings
+                    .iter()
+                    .filter(|b| b.node == node && !(lsp.standby && b.level == 1)),
+            );
             cfg.next_hops
                 .extend(lsp.next_hops.iter().filter(|n| n.node == node));
-            cfg.fecs.extend(lsp.fecs.iter().filter(|f| f.node == node));
+            if !lsp.standby {
+                cfg.fecs.extend(lsp.fecs.iter().filter(|f| f.node == node));
+            }
             cfg.ip_routes
                 .extend(lsp.ip_routes.iter().filter(|r| r.node == node));
         }
@@ -449,9 +565,12 @@ impl ControlPlane {
         Ok(id)
     }
 
-    /// Tears an LSP down, releasing its bandwidth and labels.
+    /// Tears an LSP down, releasing its bandwidth and labels. Any
+    /// protection relationship it participates in is dissolved.
     pub fn teardown_lsp(&mut self, id: LspId) -> Result<(), SignalError> {
         let lsp = self.lsps.remove(&id).ok_or(SignalError::UnknownLsp(id))?;
+        self.backups.remove(&id);
+        self.backups.retain(|_, &mut b| b != id);
         self.release_links(&lsp.reserved_links, lsp.request.bandwidth_bps);
         for l in lsp.hop_labels {
             self.alloc.release(GLOBAL_SPACE, l);
@@ -470,11 +589,23 @@ impl ControlPlane {
     }
 
     fn cspf(&self, from: NodeId, to: NodeId, bw: u64) -> Result<Vec<NodeId>, SignalError> {
+        self.cspf_excluding(from, to, bw, &std::collections::HashSet::new())
+    }
+
+    fn cspf_excluding(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        bw: u64,
+        avoid: &std::collections::HashSet<LinkId>,
+    ) -> Result<Vec<NodeId>, SignalError> {
+        // Failed links are excluded outright — a zero-bandwidth
+        // (best-effort) request must still avoid them.
+        let mut exclude_links = self.failed_links.clone();
+        exclude_links.extend(avoid.iter().copied());
         let constraint = Constraint {
             min_bandwidth_bps: bw,
-            // Failed links are excluded outright — a zero-bandwidth
-            // (best-effort) request must still avoid them.
-            exclude_links: self.failed_links.clone(),
+            exclude_links,
             ..Default::default()
         };
         shortest_path(&self.topo, from, to, &constraint, &|l| {
@@ -713,6 +844,7 @@ impl ControlPlane {
                 next_hops,
                 fecs,
                 ip_routes,
+                standby: false,
             },
         );
         id
@@ -745,7 +877,10 @@ mod tests {
         let ingress = cp.config_for(0);
         assert_eq!(ingress.fecs.len(), 1);
         assert_eq!(ingress.fecs[0].push_label, lsp.hop_labels[0]);
-        assert_eq!(ingress.next_hop_for(Some(lsp.hop_labels[0])), Some(Hop::Node(2)));
+        assert_eq!(
+            ingress.next_hop_for(Some(lsp.hop_labels[0])),
+            Some(Hop::Node(2))
+        );
 
         let transit = cp.config_for(2);
         assert_eq!(transit.bindings.len(), 1);
@@ -966,6 +1101,92 @@ mod tests {
         // The LSP is gone (teardown happened) — consistent with a head end
         // that withdrew state and failed to re-signal.
         assert!(cp.lsp(id).is_none());
+    }
+
+    #[test]
+    fn protection_presignals_disjoint_standby() {
+        let mut cp = plane();
+        let fec = prefix("192.168.1.0", 24);
+        let primary = cp
+            .establish_lsp(LspRequest::best_effort(0, 1, fec))
+            .unwrap();
+        let backup = cp.protect_lsp(primary).unwrap();
+        assert_eq!(cp.backup_of(primary), Some(backup));
+        assert!(cp.lsp_is_standby(backup));
+
+        // Link-disjoint: the only alternative in figure 1 is the south.
+        assert_eq!(cp.lsp(backup).unwrap().path, vec![0, 4, 5, 1]);
+        let plinks = cp.lsp(primary).unwrap().reserved_links.clone();
+        let blinks = cp.lsp(backup).unwrap().reserved_links.clone();
+        assert!(plinks.iter().all(|l| !blinks.contains(l)));
+
+        // Standby: ingress classifies onto the primary only, yet the
+        // backup's transit state is already installed at node 4.
+        let ingress = cp.config_for(0);
+        assert_eq!(ingress.fecs.len(), 1);
+        assert_eq!(
+            ingress.fecs[0].push_label,
+            cp.lsp(primary).unwrap().hop_labels[0]
+        );
+        let south_transit = cp.config_for(4);
+        assert_eq!(south_transit.bindings.len(), 1, "backup swap pre-installed");
+    }
+
+    #[test]
+    fn activation_switches_ingress_steering() {
+        let mut cp = plane();
+        let fec = prefix("192.168.1.0", 24);
+        let primary = cp
+            .establish_lsp(LspRequest::best_effort(0, 1, fec))
+            .unwrap();
+        let backup = cp.protect_lsp(primary).unwrap();
+
+        let link = cp.topology().link_between(2, 3).unwrap();
+        let affected = cp.fail_link(link);
+        assert_eq!(affected, vec![primary]);
+        assert!(cp.lsp_is_intact(backup), "disjoint backup survives");
+
+        assert_eq!(cp.activate_backup(primary), Some(backup));
+        let ingress = cp.config_for(0);
+        assert_eq!(ingress.fecs.len(), 1);
+        assert_eq!(
+            ingress.fecs[0].push_label,
+            cp.lsp(backup).unwrap().hop_labels[0],
+            "ingress now steers onto the backup"
+        );
+        // Second activation is a no-op.
+        assert_eq!(cp.activate_backup(primary), None);
+    }
+
+    #[test]
+    fn broken_standby_tears_down_cleanly() {
+        let mut cp = plane();
+        let primary = cp
+            .establish_lsp(LspRequest::best_effort(0, 1, prefix("192.168.1.0", 24)))
+            .unwrap();
+        let backup = cp.protect_lsp(primary).unwrap();
+        // The south link under the backup dies.
+        let south = cp.topology().link_between(4, 5).unwrap();
+        let affected = cp.fail_link(south);
+        assert_eq!(affected, vec![backup]);
+        assert!(!cp.lsp_is_intact(backup));
+        cp.teardown_standby(backup).unwrap();
+        assert_eq!(cp.backup_of(primary), None);
+        assert!(cp.lsp(backup).is_none());
+    }
+
+    #[test]
+    fn protection_needs_a_disjoint_path() {
+        // Sever the south first: no disjoint alternative remains.
+        let mut cp = plane();
+        let primary = cp
+            .establish_lsp(LspRequest::best_effort(0, 1, prefix("192.168.1.0", 24)))
+            .unwrap();
+        cp.fail_link(cp.topology().link_between(4, 5).unwrap());
+        assert!(matches!(
+            cp.protect_lsp(primary),
+            Err(SignalError::Path(PathError::NoPath))
+        ));
     }
 
     #[test]

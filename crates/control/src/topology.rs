@@ -66,10 +66,7 @@ impl Topology {
     /// Adds a node. Panics on duplicate ids — topology construction errors
     /// are programming errors in experiment setup.
     pub fn add_node(&mut self, id: NodeId, role: RouterRole, name: impl Into<String>) -> NodeId {
-        assert!(
-            !self.node_index.contains_key(&id),
-            "duplicate node id {id}"
-        );
+        assert!(!self.node_index.contains_key(&id), "duplicate node id {id}");
         self.node_index.insert(id, self.nodes.len());
         self.nodes.push(NodeSpec {
             id,
@@ -82,8 +79,16 @@ impl Topology {
 
     /// Adds a bidirectional link and returns its id.
     pub fn add_link(&mut self, spec: LinkSpec) -> LinkId {
-        assert!(self.node_index.contains_key(&spec.a), "unknown node {}", spec.a);
-        assert!(self.node_index.contains_key(&spec.b), "unknown node {}", spec.b);
+        assert!(
+            self.node_index.contains_key(&spec.a),
+            "unknown node {}",
+            spec.a
+        );
+        assert!(
+            self.node_index.contains_key(&spec.b),
+            "unknown node {}",
+            spec.b
+        );
         assert_ne!(spec.a, spec.b, "self-links are not allowed");
         let id = self.links.len() as LinkId;
         self.links.push(spec);

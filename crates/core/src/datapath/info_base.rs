@@ -289,9 +289,11 @@ mod tests {
     #[test]
     fn reset_empties_all_levels() {
         let mut ib = InfoBase::new();
-        ib.level_mut(Level::L1).stage_write_pair(1, 2, IbOperation::Push);
+        ib.level_mut(Level::L1)
+            .stage_write_pair(1, 2, IbOperation::Push);
         ib.tick();
-        ib.level_mut(Level::L2).stage_write_pair(3, 4, IbOperation::Swap);
+        ib.level_mut(Level::L2)
+            .stage_write_pair(3, 4, IbOperation::Swap);
         ib.tick();
         assert_eq!(ib.total_occupancy(), 2);
         ib.reset();

@@ -167,8 +167,13 @@ mod tests {
     use mpls_packet::{CosBits, Label};
 
     fn bits(label: u32, bottom: bool, ttl: u8) -> u32 {
-        LabelStackEntry::new(Label::new(label).unwrap(), CosBits::BEST_EFFORT, bottom, ttl)
-            .to_bits()
+        LabelStackEntry::new(
+            Label::new(label).unwrap(),
+            CosBits::BEST_EFFORT,
+            bottom,
+            ttl,
+        )
+        .to_bits()
     }
 
     #[test]

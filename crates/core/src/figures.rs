@@ -33,7 +33,7 @@ pub const PAIRS: u64 = 10;
 /// label 5) holds operation 3 = swap, matching the values reported under
 /// Fig. 14.
 pub fn figure_op(slot: u64) -> IbOperation {
-    if slot % 2 == 0 {
+    if slot.is_multiple_of(2) {
         IbOperation::Swap // encoding 3
     } else {
         IbOperation::Push // encoding 1

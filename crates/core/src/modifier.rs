@@ -421,8 +421,8 @@ impl LabelStackModifier {
         let srch_done = self.search.done(); // srchdone
         let item_found = self.search.found(); // itemfound
         let lbl_done = self.lbl.done(); // lblstckready / donelblupdt
-        // ibready: Mealy — WritePair retires by itself, a search retires
-        // when the search machine pulses done.
+                                        // ibready: Mealy — WritePair retires by itself, a search retires
+                                        // when the search machine pulses done.
         let ib_ready =
             self.ib == IbState::WritePair || (self.ib == IbState::SearchEnable && srch_done);
 
@@ -490,8 +490,7 @@ impl LabelStackModifier {
                         // key from the packet identifier or the top label.
                         let depth = self.dp.stack.size();
                         self.came_from_empty = depth == 0;
-                        self.active_level =
-                            level_override.unwrap_or(Level::for_stack_depth(depth));
+                        self.active_level = level_override.unwrap_or(Level::for_stack_depth(depth));
                         self.search_key = if depth == 0 {
                             packet_id as u64
                         } else {

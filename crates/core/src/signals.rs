@@ -47,141 +47,317 @@ pub struct SignalDef {
 /// between tables appear once, under their defining table).
 pub const SIGNALS: &[SignalDef] = &[
     // ---- Table 1: main interface ------------------------------------------
-    SignalDef { name: "clk", table: SignalTable::Main, direction: Direction::Input,
+    SignalDef {
+        name: "clk",
+        table: SignalTable::Main,
+        direction: Direction::Input,
         description: "Clock signal",
-        realized_by: "LabelStackModifier::step (one call = one rising edge)" },
-    SignalDef { name: "reset", table: SignalTable::Main, direction: Direction::Input,
+        realized_by: "LabelStackModifier::step (one call = one rising edge)",
+    },
+    SignalDef {
+        name: "reset",
+        table: SignalTable::Main,
+        direction: Direction::Input,
         description: "Reset signal",
-        realized_by: "LabelStackModifier::reset (3-cycle sequence)" },
-    SignalDef { name: "enable", table: SignalTable::Main, direction: Direction::Input,
+        realized_by: "LabelStackModifier::reset (3-cycle sequence)",
+    },
+    SignalDef {
+        name: "enable",
+        table: SignalTable::Main,
+        direction: Direction::Input,
         description: "Enables operations",
-        realized_by: "Command latched in LabelStackModifier::execute" },
-    SignalDef { name: "enableibint", table: SignalTable::Main, direction: Direction::Output,
+        realized_by: "Command latched in LabelStackModifier::execute",
+    },
+    SignalDef {
+        name: "enableibint",
+        table: SignalTable::Main,
+        direction: Direction::Output,
         description: "Used to enable the information base interface",
-        realized_by: "Moore output of MainState::IbInterfaceActive" },
-    SignalDef { name: "enablelblint", table: SignalTable::Main, direction: Direction::Output,
+        realized_by: "Moore output of MainState::IbInterfaceActive",
+    },
+    SignalDef {
+        name: "enablelblint",
+        table: SignalTable::Main,
+        direction: Direction::Output,
         description: "Used to enable the label stack interface",
-        realized_by: "Moore output of MainState::LblInterfaceActive" },
-    SignalDef { name: "extoperation", table: SignalTable::Main, direction: Direction::Input,
+        realized_by: "Moore output of MainState::LblInterfaceActive",
+    },
+    SignalDef {
+        name: "extoperation",
+        table: SignalTable::Main,
+        direction: Direction::Input,
         description: "Indicates the desired operation from the user",
-        realized_by: "modifier::Command" },
-    SignalDef { name: "ibready", table: SignalTable::Main, direction: Direction::Input,
+        realized_by: "modifier::Command",
+    },
+    SignalDef {
+        name: "ibready",
+        table: SignalTable::Main,
+        direction: Direction::Input,
         description: "Indicates that the information base interface has finished an operation",
-        realized_by: "ib_ready in LabelStackModifier::step" },
-    SignalDef { name: "lblstckready", table: SignalTable::Main, direction: Direction::Input,
+        realized_by: "ib_ready in LabelStackModifier::step",
+    },
+    SignalDef {
+        name: "lblstckready",
+        table: SignalTable::Main,
+        direction: Direction::Input,
         description: "Indicates that the label stack interface has finished an operation",
-        realized_by: "LblState::done()" },
-    SignalDef { name: "readdata", table: SignalTable::Main, direction: Direction::Input,
+        realized_by: "LblState::done()",
+    },
+    SignalDef {
+        name: "readdata",
+        table: SignalTable::Main,
+        direction: Direction::Input,
         description: "Indicates that data should be read from the processor",
-        realized_by: "Command::Lookup" },
-    SignalDef { name: "savedata", table: SignalTable::Main, direction: Direction::Input,
+        realized_by: "Command::Lookup",
+    },
+    SignalDef {
+        name: "savedata",
+        table: SignalTable::Main,
+        direction: Direction::Input,
         description: "Indicates that data should be saved in the processor",
-        realized_by: "Command::WritePair" },
-    SignalDef { name: "updatelblstk", table: SignalTable::Main, direction: Direction::Input,
+        realized_by: "Command::WritePair",
+    },
+    SignalDef {
+        name: "updatelblstk",
+        table: SignalTable::Main,
+        direction: Direction::Input,
         description: "Indicates that the label stack should be updated",
-        realized_by: "Command::UpdateStack" },
+        realized_by: "Command::UpdateStack",
+    },
     // ---- Tables 2–3: label stack interface ---------------------------------
-    SignalDef { name: "bttmstckbit", table: SignalTable::LabelStack, direction: Direction::Output,
+    SignalDef {
+        name: "bttmstckbit",
+        table: SignalTable::LabelStack,
+        direction: Direction::Output,
         description: "The bit of a label stack entry used to indicate the bottom of the stack",
-        realized_by: "bottom recomputed on every stack write (HwStack / LblState::PushNew)" },
-    SignalDef { name: "cosbits", table: SignalTable::LabelStack, direction: Direction::Input,
+        realized_by: "bottom recomputed on every stack write (HwStack / LblState::PushNew)",
+    },
+    SignalDef {
+        name: "cosbits",
+        table: SignalTable::LabelStack,
+        direction: Direction::Input,
         description: "The class of service bits that are part of the label stack entry",
-        realized_by: "LabelStackEntry::cos" },
-    SignalDef { name: "cosbitssrc", table: SignalTable::LabelStack, direction: Direction::Output,
+        realized_by: "LabelStackEntry::cos",
+    },
+    SignalDef {
+        name: "cosbitssrc",
+        table: SignalTable::LabelStack,
+        direction: Direction::Output,
         description: "Selects CoS from the stack entry or the control path",
-        realized_by: "came_from_empty branch in LblState::PushNew" },
-    SignalDef { name: "dpoperation", table: SignalTable::LabelStack, direction: Direction::Input,
+        realized_by: "came_from_empty branch in LblState::PushNew",
+    },
+    SignalDef {
+        name: "dpoperation",
+        table: SignalTable::LabelStack,
+        direction: Direction::Input,
         description: "The desired operation as indicated by the data path",
-        realized_by: "DataPath::op_reg (the operation_out register)" },
-    SignalDef { name: "donelblupdt", table: SignalTable::LabelStack, direction: Direction::Output,
+        realized_by: "DataPath::op_reg (the operation_out register)",
+    },
+    SignalDef {
+        name: "donelblupdt",
+        table: SignalTable::LabelStack,
+        direction: Direction::Output,
         description: "Indicates that the operation is complete",
-        realized_by: "Moore output of LblState::Done" },
-    SignalDef { name: "indexsource", table: SignalTable::LabelStack, direction: Direction::Output,
+        realized_by: "Moore output of LblState::Done",
+    },
+    SignalDef {
+        name: "indexsource",
+        table: SignalTable::LabelStack,
+        direction: Direction::Output,
         description: "Selects the index from memory or a label stack entry",
-        realized_by: "search_key latch in LblState::Idle dispatch" },
-    SignalDef { name: "itemfound", table: SignalTable::LabelStack, direction: Direction::Input,
+        realized_by: "search_key latch in LblState::Idle dispatch",
+    },
+    SignalDef {
+        name: "itemfound",
+        table: SignalTable::LabelStack,
+        direction: Direction::Input,
         description: "Indicates if the search found an entry",
-        realized_by: "SearchState::found()" },
-    SignalDef { name: "lblop", table: SignalTable::LabelStack, direction: Direction::Output,
+        realized_by: "SearchState::found()",
+    },
+    SignalDef {
+        name: "lblop",
+        table: SignalTable::LabelStack,
+        direction: Direction::Output,
         description: "The operation to be performed on the stack",
-        realized_by: "HwStack staged StackCtl" },
-    SignalDef { name: "newlblsrc", table: SignalTable::LabelStack, direction: Direction::Output,
+        realized_by: "HwStack staged StackCtl",
+    },
+    SignalDef {
+        name: "newlblsrc",
+        table: SignalTable::LabelStack,
+        direction: Direction::Output,
         description: "Indicates the source of the label for a new entry",
-        realized_by: "new_label_reg mux in LblState::PushNew" },
-    SignalDef { name: "pktdcrd", table: SignalTable::LabelStack, direction: Direction::Output,
+        realized_by: "new_label_reg mux in LblState::PushNew",
+    },
+    SignalDef {
+        name: "pktdcrd",
+        table: SignalTable::LabelStack,
+        direction: Direction::Output,
         description: "Indicates if the packet has been discarded",
-        realized_by: "DataPath::discard_reg (the packetdiscard probe)" },
-    SignalDef { name: "rtrtype", table: SignalTable::LabelStack, direction: Direction::Input,
+        realized_by: "DataPath::discard_reg (the packetdiscard probe)",
+    },
+    SignalDef {
+        name: "rtrtype",
+        table: SignalTable::LabelStack,
+        direction: Direction::Input,
         description: "Router type: low = LER, high = LSR",
-        realized_by: "ops::RouterType" },
-    SignalDef { name: "srchdone", table: SignalTable::LabelStack, direction: Direction::Input,
+        realized_by: "ops::RouterType",
+    },
+    SignalDef {
+        name: "srchdone",
+        table: SignalTable::LabelStack,
+        direction: Direction::Input,
         description: "Indicates if a search of the information base was successful",
-        realized_by: "SearchState::done()" },
-    SignalDef { name: "srchenbl", table: SignalTable::LabelStack, direction: Direction::Output,
+        realized_by: "SearchState::done()",
+    },
+    SignalDef {
+        name: "srchenbl",
+        table: SignalTable::LabelStack,
+        direction: Direction::Output,
         description: "Begins searching the information base",
-        realized_by: "Moore output of LblState::SearchEnable / IbState::SearchEnable" },
-    SignalDef { name: "svstkval", table: SignalTable::LabelStack, direction: Direction::Output,
+        realized_by: "Moore output of LblState::SearchEnable / IbState::SearchEnable",
+    },
+    SignalDef {
+        name: "svstkval",
+        table: SignalTable::LabelStack,
+        direction: Direction::Output,
         description: "Used to save all values of a new stack entry",
-        realized_by: "LblState::SaveEntry committing entry_reg into the stack" },
-    SignalDef { name: "stckctrl", table: SignalTable::LabelStack, direction: Direction::Output,
+        realized_by: "LblState::SaveEntry committing entry_reg into the stack",
+    },
+    SignalDef {
+        name: "stckctrl",
+        table: SignalTable::LabelStack,
+        direction: Direction::Output,
         description: "Used to add or remove entries from the stack",
-        realized_by: "HwStack::stage_push/stage_pop/stage_write_top/stage_clear" },
-    SignalDef { name: "stkentsrc", table: SignalTable::LabelStack, direction: Direction::Output,
+        realized_by: "HwStack::stage_push/stage_pop/stage_write_top/stage_clear",
+    },
+    SignalDef {
+        name: "stkentsrc",
+        table: SignalTable::LabelStack,
+        direction: Direction::Output,
         description: "Stack entry from external data or the updated entry",
-        realized_by: "UserPush (external) vs SaveEntry (entry_reg) paths" },
-    SignalDef { name: "stacksize", table: SignalTable::LabelStack, direction: Direction::Input,
+        realized_by: "UserPush (external) vs SaveEntry (entry_reg) paths",
+    },
+    SignalDef {
+        name: "stacksize",
+        table: SignalTable::LabelStack,
+        direction: Direction::Input,
         description: "The current size of the label stack",
-        realized_by: "HwStack::size (the stack_items probe)" },
-    SignalDef { name: "ttl", table: SignalTable::LabelStack, direction: Direction::Input,
+        realized_by: "HwStack::size (the stack_items probe)",
+    },
+    SignalDef {
+        name: "ttl",
+        table: SignalTable::LabelStack,
+        direction: Direction::Input,
         description: "The current value of the TTL",
-        realized_by: "DataPath::ttl_ctr.value()" },
-    SignalDef { name: "ttlcntctrl", table: SignalTable::LabelStack, direction: Direction::Output,
+        realized_by: "DataPath::ttl_ctr.value()",
+    },
+    SignalDef {
+        name: "ttlcntctrl",
+        table: SignalTable::LabelStack,
+        direction: Direction::Output,
         description: "Control for the counter containing the TTL",
-        realized_by: "CounterCtl staged in LblState::UpdateTtl" },
-    SignalDef { name: "ttlsource", table: SignalTable::LabelStack, direction: Direction::Output,
+        realized_by: "CounterCtl staged in LblState::UpdateTtl",
+    },
+    SignalDef {
+        name: "ttlsource",
+        table: SignalTable::LabelStack,
+        direction: Direction::Output,
         description: "TTL from a counter or the stack",
-        realized_by: "came_from_empty branch in LblState::UpdateTtl" },
-    SignalDef { name: "ttlvalue", table: SignalTable::LabelStack, direction: Direction::Input,
+        realized_by: "came_from_empty branch in LblState::UpdateTtl",
+    },
+    SignalDef {
+        name: "ttlvalue",
+        table: SignalTable::LabelStack,
+        direction: Direction::Input,
         description: "The value of the TTL for a stack entry",
-        realized_by: "LabelStackEntry::ttl" },
+        realized_by: "LabelStackEntry::ttl",
+    },
     // ---- Table 4: information base interface -------------------------------
-    SignalDef { name: "dnibupdate", table: SignalTable::InfoBase, direction: Direction::Output,
+    SignalDef {
+        name: "dnibupdate",
+        table: SignalTable::InfoBase,
+        direction: Direction::Output,
         description: "Indicates that an operation has completed",
-        realized_by: "ib_ready in LabelStackModifier::step" },
-    SignalDef { name: "writecontrol", table: SignalTable::InfoBase, direction: Direction::Output,
+        realized_by: "ib_ready in LabelStackModifier::step",
+    },
+    SignalDef {
+        name: "writecontrol",
+        table: SignalTable::InfoBase,
+        direction: Direction::Output,
         description: "Used to write values to the information base",
-        realized_by: "InfoBaseLevel::stage_write_pair" },
+        realized_by: "InfoBaseLevel::stage_write_pair",
+    },
     // ---- Table 5: search module ---------------------------------------------
-    SignalDef { name: "aeb_10b", table: SignalTable::Search, direction: Direction::Input,
+    SignalDef {
+        name: "aeb_10b",
+        table: SignalTable::Search,
+        direction: Direction::Input,
         description: "10-bit comparator equality (read vs write address)",
-        realized_by: "DataPath::cmp10 driven in SearchState::Compare" },
-    SignalDef { name: "aeb_20b", table: SignalTable::Search, direction: Direction::Input,
+        realized_by: "DataPath::cmp10 driven in SearchState::Compare",
+    },
+    SignalDef {
+        name: "aeb_20b",
+        table: SignalTable::Search,
+        direction: Direction::Input,
         description: "20-bit comparator equality (label vs level-2/3 index)",
-        realized_by: "DataPath::cmp20" },
-    SignalDef { name: "aeb_32b", table: SignalTable::Search, direction: Direction::Input,
+        realized_by: "DataPath::cmp20",
+    },
+    SignalDef {
+        name: "aeb_32b",
+        table: SignalTable::Search,
+        direction: Direction::Input,
         description: "32-bit comparator equality (packet id vs level-1 index)",
-        realized_by: "DataPath::cmp32" },
-    SignalDef { name: "infoenbl", table: SignalTable::Search, direction: Direction::Output,
+        realized_by: "DataPath::cmp32",
+    },
+    SignalDef {
+        name: "infoenbl",
+        table: SignalTable::Search,
+        direction: Direction::Output,
         description: "Indicates that the desired entry was found",
-        realized_by: "SearchState::FoundWait loading the output registers" },
-    SignalDef { name: "item_found", table: SignalTable::Search, direction: Direction::Output,
+        realized_by: "SearchState::FoundWait loading the output registers",
+    },
+    SignalDef {
+        name: "item_found",
+        table: SignalTable::Search,
+        direction: Direction::Output,
         description: "Search output: the entry exists",
-        realized_by: "SearchState::found()" },
-    SignalDef { name: "level", table: SignalTable::Search, direction: Direction::Input,
+        realized_by: "SearchState::found()",
+    },
+    SignalDef {
+        name: "level",
+        table: SignalTable::Search,
+        direction: Direction::Input,
         description: "The level being searched in the information base",
-        realized_by: "active_level latch (the level probe)" },
-    SignalDef { name: "level_source", table: SignalTable::Search, direction: Direction::Input,
+        realized_by: "active_level latch (the level probe)",
+    },
+    SignalDef {
+        name: "level_source",
+        table: SignalTable::Search,
+        direction: Direction::Input,
         description: "Source of the level for the information base",
-        realized_by: "level_override in Command::UpdateStack" },
-    SignalDef { name: "readaddrctrl", table: SignalTable::Search, direction: Direction::Output,
+        realized_by: "level_override in Command::UpdateStack",
+    },
+    SignalDef {
+        name: "readaddrctrl",
+        table: SignalTable::Search,
+        direction: Direction::Output,
         description: "Controls the read address in the information base",
-        realized_by: "InfoBaseLevel::stage_advance_cursor / stage_clear_cursor" },
-    SignalDef { name: "readvals", table: SignalTable::Search, direction: Direction::Output,
+        realized_by: "InfoBaseLevel::stage_advance_cursor / stage_clear_cursor",
+    },
+    SignalDef {
+        name: "readvals",
+        table: SignalTable::Search,
+        direction: Direction::Output,
         description: "Reads the index, label and operation from the information base",
-        realized_by: "InfoBaseLevel::stage_read_at_cursor" },
-    SignalDef { name: "searchdone", table: SignalTable::Search, direction: Direction::Output,
+        realized_by: "InfoBaseLevel::stage_read_at_cursor",
+    },
+    SignalDef {
+        name: "searchdone",
+        table: SignalTable::Search,
+        direction: Direction::Output,
         description: "Indicates that the search is complete",
-        realized_by: "SearchState::done() (the lookup_done probe)" },
+        realized_by: "SearchState::done() (the lookup_done probe)",
+    },
 ];
 
 /// Looks a signal up by its paper name.

@@ -26,7 +26,12 @@ fn swap_replaces_label_decrements_ttl_keeps_cos() {
     m.write_pair(Level::L2, 100, lbl(200), IbOperation::Swap);
     m.user_push(entry(100, 5, 64));
     let r = m.update_stack(0, CosBits::BEST_EFFORT, 0);
-    assert_eq!(r.outcome, Outcome::Updated { op: IbOperation::Swap });
+    assert_eq!(
+        r.outcome,
+        Outcome::Updated {
+            op: IbOperation::Swap
+        }
+    );
     let s = m.stack_snapshot();
     s.validate().unwrap();
     let top = s.top().unwrap();
@@ -42,7 +47,12 @@ fn push_adds_level_and_preserves_inner_entry() {
     m.write_pair(Level::L2, 100, lbl(300), IbOperation::Push);
     m.user_push(entry(100, 3, 64));
     let r = m.update_stack(0, CosBits::BEST_EFFORT, 0);
-    assert_eq!(r.outcome, Outcome::Updated { op: IbOperation::Push });
+    assert_eq!(
+        r.outcome,
+        Outcome::Updated {
+            op: IbOperation::Push
+        }
+    );
     let s = m.stack_snapshot();
     s.validate().unwrap();
     assert_eq!(s.depth(), 2);
@@ -61,7 +71,12 @@ fn pop_removes_level_and_propagates_ttl() {
     m.user_push(entry(20, 0, 30)); // top
     m.write_pair(Level::L3, 20, lbl(0), IbOperation::Pop);
     let r = m.update_stack(0, CosBits::BEST_EFFORT, 0);
-    assert_eq!(r.outcome, Outcome::Updated { op: IbOperation::Pop });
+    assert_eq!(
+        r.outcome,
+        Outcome::Updated {
+            op: IbOperation::Pop
+        }
+    );
     let s = m.stack_snapshot();
     s.validate().unwrap();
     assert_eq!(s.depth(), 1);
@@ -75,7 +90,12 @@ fn pop_to_empty_at_egress_ler() {
     m.user_push(entry(55, 0, 8));
     m.write_pair(Level::L2, 55, lbl(0), IbOperation::Pop);
     let r = m.update_stack(0, CosBits::BEST_EFFORT, 0);
-    assert_eq!(r.outcome, Outcome::Updated { op: IbOperation::Pop });
+    assert_eq!(
+        r.outcome,
+        Outcome::Updated {
+            op: IbOperation::Pop
+        }
+    );
     assert_eq!(m.stack_depth(), 0);
 }
 
@@ -84,7 +104,12 @@ fn ingress_ler_push_uses_packet_identifier_and_control_path_values() {
     let mut m = LabelStackModifier::new(RouterType::Ler);
     m.write_pair(Level::L1, 0x0a000001, lbl(777), IbOperation::Push);
     let r = m.update_stack(0x0a000001, CosBits::EXPEDITED, 63);
-    assert_eq!(r.outcome, Outcome::Updated { op: IbOperation::Push });
+    assert_eq!(
+        r.outcome,
+        Outcome::Updated {
+            op: IbOperation::Push
+        }
+    );
     let s = m.stack_snapshot();
     let top = s.top().unwrap();
     assert_eq!(top.label.value(), 777);
@@ -164,7 +189,12 @@ fn swap_on_full_stack_is_fine() {
     }
     m.write_pair(Level::L3, 3, lbl(4), IbOperation::Swap);
     let r = m.update_stack(0, CosBits::BEST_EFFORT, 0);
-    assert_eq!(r.outcome, Outcome::Updated { op: IbOperation::Swap });
+    assert_eq!(
+        r.outcome,
+        Outcome::Updated {
+            op: IbOperation::Swap
+        }
+    );
     assert_eq!(m.stack_depth(), 3);
     assert_eq!(m.stack_snapshot().top().unwrap().label.value(), 4);
 }
@@ -190,7 +220,8 @@ fn write_to_full_level_rejected() {
     let mut m = LabelStackModifier::new(RouterType::Lsr);
     for i in 0..1024u64 {
         assert_eq!(
-            m.write_pair(Level::L1, i, lbl(1), IbOperation::Push).outcome,
+            m.write_pair(Level::L1, i, lbl(1), IbOperation::Push)
+                .outcome,
             Outcome::Done
         );
     }

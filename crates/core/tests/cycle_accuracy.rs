@@ -109,7 +109,12 @@ fn swap_from_info_base_costs_search_plus_6() {
             table6::search_hit_at(k) + table6::SWAP_FROM_IB,
             "swap with n={n} hit at k={k}"
         );
-        assert_eq!(r.outcome, Outcome::Updated { op: IbOperation::Swap });
+        assert_eq!(
+            r.outcome,
+            Outcome::Updated {
+                op: IbOperation::Swap
+            }
+        );
     }
 }
 
@@ -120,7 +125,12 @@ fn pop_from_info_base_costs_search_plus_6() {
     m.user_push(entry(42, 64));
     let r = m.update_stack(0, CosBits::BEST_EFFORT, 0);
     assert_eq!(r.cycles, table6::search_hit_at(1) + table6::POP_FROM_IB);
-    assert_eq!(r.outcome, Outcome::Updated { op: IbOperation::Pop });
+    assert_eq!(
+        r.outcome,
+        Outcome::Updated {
+            op: IbOperation::Pop
+        }
+    );
     assert_eq!(m.stack_depth(), 0);
 }
 
@@ -131,7 +141,12 @@ fn push_from_info_base_costs_search_plus_7_on_nonempty_stack() {
     m.user_push(entry(42, 64));
     let r = m.update_stack(0, CosBits::BEST_EFFORT, 0);
     assert_eq!(r.cycles, table6::search_hit_at(1) + table6::PUSH_FROM_IB);
-    assert_eq!(r.outcome, Outcome::Updated { op: IbOperation::Push });
+    assert_eq!(
+        r.outcome,
+        Outcome::Updated {
+            op: IbOperation::Push
+        }
+    );
     assert_eq!(m.stack_depth(), 2);
 }
 
@@ -144,7 +159,12 @@ fn push_from_info_base_costs_search_plus_6_on_empty_stack() {
         r.cycles,
         table6::search_hit_at(1) + table6::PUSH_FROM_IB_EMPTY
     );
-    assert_eq!(r.outcome, Outcome::Updated { op: IbOperation::Push });
+    assert_eq!(
+        r.outcome,
+        Outcome::Updated {
+            op: IbOperation::Push
+        }
+    );
 }
 
 #[test]
@@ -197,7 +217,12 @@ fn worst_case_scenario_totals_6167_cycles() {
     }
     // Swap: top label is 1024, stored at position 1024 (worst case).
     let r = m.update_stack(0, CosBits::BEST_EFFORT, 0);
-    assert_eq!(r.outcome, Outcome::Updated { op: IbOperation::Swap });
+    assert_eq!(
+        r.outcome,
+        Outcome::Updated {
+            op: IbOperation::Swap
+        }
+    );
     total += r.cycles;
 
     assert_eq!(total, 6167);

@@ -37,9 +37,24 @@ fn user_push_schedule() {
     assert_eq!(
         states,
         vec![
-            (MainState::Idle, LblState::Idle, IbState::Idle, SearchState::Idle),
-            (MainState::LblInterfaceActive, LblState::Idle, IbState::Idle, SearchState::Idle),
-            (MainState::LblInterfaceActive, LblState::UserPush, IbState::Idle, SearchState::Idle),
+            (
+                MainState::Idle,
+                LblState::Idle,
+                IbState::Idle,
+                SearchState::Idle
+            ),
+            (
+                MainState::LblInterfaceActive,
+                LblState::Idle,
+                IbState::Idle,
+                SearchState::Idle
+            ),
+            (
+                MainState::LblInterfaceActive,
+                LblState::UserPush,
+                IbState::Idle,
+                SearchState::Idle
+            ),
         ]
     );
     assert_eq!(m.stack_depth(), 1);
@@ -93,7 +108,12 @@ fn lookup_schedule_hit_at_first_slot() {
 fn lookup_miss_schedule_loops_per_entry() {
     let mut m = LabelStackModifier::new(RouterType::Lsr);
     for i in 0..3u64 {
-        m.write_pair(Level::L2, i + 1, Label::new(500).unwrap(), IbOperation::Swap);
+        m.write_pair(
+            Level::L2,
+            i + 1,
+            Label::new(500).unwrap(),
+            IbOperation::Swap,
+        );
     }
     m.begin(Command::Lookup {
         level: Level::L2,
@@ -104,7 +124,11 @@ fn lookup_miss_schedule_loops_per_entry() {
     // Three read/wait/compare triples, then the miss pair.
     let mut expected = vec![SearchState::Idle; 3];
     for _ in 0..3 {
-        expected.extend([SearchState::Read, SearchState::WaitInfo, SearchState::Compare]);
+        expected.extend([
+            SearchState::Read,
+            SearchState::WaitInfo,
+            SearchState::Compare,
+        ]);
     }
     expected.extend([SearchState::MissWait, SearchState::DoneMiss]);
     assert_eq!(search, expected);

@@ -210,7 +210,8 @@ mod tests {
         // (label, cos, ttl) bottom-first.
         let mut s = LabelStack::new();
         for (l, c, t) in labels {
-            s.push_parts(lbl(*l), CosBits::new(*c).unwrap(), *t).unwrap();
+            s.push_parts(lbl(*l), CosBits::new(*c).unwrap(), *t)
+                .unwrap();
         }
         s
     }

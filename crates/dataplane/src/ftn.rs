@@ -75,18 +75,13 @@ impl PrefixFtn {
             e.1 = binding;
             return;
         }
-        let pos = self
-            .entries
-            .partition_point(|(p, _)| p.len >= prefix.len);
+        let pos = self.entries.partition_point(|(p, _)| p.len >= prefix.len);
         self.entries.insert(pos, (prefix, binding));
     }
 
     /// Longest-prefix-match lookup.
     pub fn lookup(&self, addr: u32) -> Option<(Prefix, LabelBinding)> {
-        self.entries
-            .iter()
-            .find(|(p, _)| p.contains(addr))
-            .copied()
+        self.entries.iter().find(|(p, _)| p.contains(addr)).copied()
     }
 
     /// Number of prefixes.
@@ -138,7 +133,13 @@ mod tests {
         t.insert(Prefix::new(parse_addr("10.0.0.0").unwrap(), 8), b(100));
         t.insert(Prefix::new(parse_addr("10.1.0.0").unwrap(), 16), b(200));
         t.insert(Prefix::new(parse_addr("10.1.5.0").unwrap(), 24), b(300));
-        let hit = |a: &str| t.lookup(parse_addr(a).unwrap()).unwrap().1.new_label.value();
+        let hit = |a: &str| {
+            t.lookup(parse_addr(a).unwrap())
+                .unwrap()
+                .1
+                .new_label
+                .value()
+        };
         assert_eq!(hit("10.1.5.9"), 300);
         assert_eq!(hit("10.1.9.9"), 200);
         assert_eq!(hit("10.9.9.9"), 100);

@@ -31,5 +31,5 @@ pub use fib::{Fib, FibLevel};
 pub use forwarder::{ProcessResult, SoftwareForwarder};
 pub use ftn::PrefixFtn;
 pub use lookup::{HashTable, LinearTable, LookupStrategy};
-pub use rfc::{Nhlfe, NextHop, RfcTables};
+pub use rfc::{NextHop, Nhlfe, RfcTables};
 pub use types::{Discard, LabelBinding, LabelOp, SwRouterType};

@@ -192,9 +192,7 @@ mod tests {
         let b = b.unwrap();
         assert_eq!(b.new_label, lbl(200));
         assert_eq!(b.op, LabelOp::Swap);
-        assert!(c
-            .next_hops
-            .contains(&(Some(lbl(200)), NextHop::Node(3))));
+        assert!(c.next_hops.contains(&(Some(lbl(200)), NextHop::Node(3))));
     }
 
     #[test]
@@ -234,10 +232,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "FTN entries impose labels")]
     fn ftn_rejects_non_push() {
-        RfcTables::new().map_fec(
-            Prefix::new(0, 0),
-            Nhlfe::swap(lbl(1), NextHop::Local),
-        );
+        RfcTables::new().map_fec(Prefix::new(0, 0), Nhlfe::swap(lbl(1), NextHop::Local));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! number breaks ties), which keeps runs deterministic for a fixed seed.
 
 use crate::sim::SimPacket;
-use mpls_control::NodeId;
+use mpls_control::{LinkId, NodeId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -20,16 +20,56 @@ pub enum EventKind {
         node: NodeId,
         /// The packet.
         packet: SimPacket,
+        /// The channel (index, incarnation) the packet traveled, when it
+        /// came over a wire rather than from a local source. If the
+        /// channel's incarnation has moved on by delivery time, the link
+        /// was cut while the packet was propagating and it is lost.
+        via: Option<(usize, u64)>,
     },
     /// A channel finished serializing its current packet.
     TransmitDone {
         /// Index into the simulator's channel table.
         channel: usize,
+        /// Channel incarnation at scheduling time; stale if it moved on.
+        gen: u64,
     },
     /// A traffic source emits its next packet.
     SourceEmit {
         /// Index into the simulator's flow table.
         flow: usize,
+    },
+    /// A scheduled fault: the link's channels go dark.
+    LinkDown {
+        /// The failing link.
+        link: LinkId,
+    },
+    /// A scheduled repair: the link's channels come back.
+    LinkUp {
+        /// The repaired link.
+        link: LinkId,
+    },
+    /// The control plane learns of a failure (one detection delay after
+    /// `LinkDown`) and starts recovery.
+    FaultDetected {
+        /// The detected link.
+        link: LinkId,
+    },
+    /// A head-end re-signaling attempt completes.
+    Resignal {
+        /// Index into the simulator's pending-resignal table.
+        pending: usize,
+    },
+    /// A repaired link's hold-down timer expires; the control plane may
+    /// route over it again.
+    HoldDownExpired {
+        /// The repaired link.
+        link: LinkId,
+    },
+    /// A retired make-before-break husk's drain grace expires; its
+    /// remaining state is released.
+    TeardownLsp {
+        /// The husk to tear down.
+        lsp: mpls_control::LspId,
     },
 }
 
@@ -127,7 +167,7 @@ mod tests {
     fn len_and_empty() {
         let mut q = EventQueue::new();
         assert!(q.is_empty());
-        q.schedule(1, EventKind::TransmitDone { channel: 0 });
+        q.schedule(1, EventKind::TransmitDone { channel: 0, gen: 0 });
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());

@@ -1,0 +1,265 @@
+//! Runtime fault injection and timed restoration.
+//!
+//! A [`FaultPlan`] schedules link failures and repairs at simulation
+//! times (plus optional per-link random wire loss), and a
+//! [`RestorationPolicy`] describes how the control plane reacts: how long
+//! failure *detection* takes, whether recovery is head-end **protection**
+//! (fail over onto a pre-signaled link-disjoint backup LSP in one
+//! detection delay) or **restoration** (re-signal with CSPF, retrying
+//! with exponential backoff while no path exists), and how long a
+//! repaired link is held down before it may carry new LSPs again.
+//!
+//! The simulator executes the plan through its event queue and emits one
+//! [`FaultRecord`] per outage with the availability metrics of interest:
+//! time-to-restore and packets lost during the outage.
+
+use crate::event::SimTime;
+use mpls_control::LinkId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How the control plane recovers LSPs broken by a link failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveryMode {
+    /// No reaction: stale forwarding state blackholes until the link
+    /// physically returns.
+    None,
+    /// Head-end re-signaling: broken LSPs are torn down and re-signaled
+    /// around the failure (one signaling latency after detection, with
+    /// exponential backoff while CSPF finds no path).
+    Restoration,
+    /// Pre-signaled 1:1 path protection: failover onto a link-disjoint
+    /// standby backup in one detection delay. LSPs without a viable
+    /// backup fall back to restoration.
+    Protection,
+}
+
+/// Timing model for failure detection and recovery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RestorationPolicy {
+    /// Time from a physical failure to the head end learning of it
+    /// (liveness-probe / IGP flooding delay).
+    pub detection_delay_ns: u64,
+    /// Latency of one signaling attempt, and the base of the exponential
+    /// backoff between failed attempts.
+    pub resignal_delay_ns: u64,
+    /// Backoff multiplier applied per failed attempt.
+    pub backoff_factor: u32,
+    /// Re-signal attempts after the first before giving up.
+    pub max_retries: u32,
+    /// After a link physically returns, how long the control plane waits
+    /// before admitting new LSPs onto it (flap damping).
+    pub hold_down_ns: u64,
+    /// Recovery strategy.
+    pub mode: RecoveryMode,
+}
+
+impl Default for RestorationPolicy {
+    fn default() -> Self {
+        Self {
+            detection_delay_ns: 1_000_000, // 1 ms
+            resignal_delay_ns: 1_000_000,  // 1 ms per signaling round trip
+            backoff_factor: 2,
+            max_retries: 8,
+            hold_down_ns: 5_000_000, // 5 ms
+            mode: RecoveryMode::Restoration,
+        }
+    }
+}
+
+/// A scheduled change of a link's physical state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// When it happens.
+    pub at_ns: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// The two physical transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The link goes dark: queued and in-flight packets are lost, and
+    /// anything steered onto it drops until it returns.
+    LinkDown(LinkId),
+    /// The link comes back.
+    LinkUp(LinkId),
+}
+
+/// Independent per-packet loss on a link's channels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkLoss {
+    /// The lossy link.
+    pub link: LinkId,
+    /// Probability each transmitted packet is lost on the wire.
+    pub probability: f64,
+}
+
+/// A schedule of faults plus the policy for reacting to them.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Scheduled link state changes.
+    pub events: Vec<FaultEvent>,
+    /// Per-link random loss.
+    pub losses: Vec<LinkLoss>,
+    /// Detection/recovery timing.
+    pub policy: RestorationPolicy,
+}
+
+impl FaultPlan {
+    /// An empty plan under `policy`.
+    pub fn new(policy: RestorationPolicy) -> Self {
+        Self {
+            events: Vec::new(),
+            losses: Vec::new(),
+            policy,
+        }
+    }
+
+    /// Schedules a link failure at `at_ns`.
+    pub fn link_down(&mut self, at_ns: SimTime, link: LinkId) -> &mut Self {
+        self.events.push(FaultEvent {
+            at_ns,
+            kind: FaultKind::LinkDown(link),
+        });
+        self
+    }
+
+    /// Schedules a link repair at `at_ns`.
+    pub fn link_up(&mut self, at_ns: SimTime, link: LinkId) -> &mut Self {
+        self.events.push(FaultEvent {
+            at_ns,
+            kind: FaultKind::LinkUp(link),
+        });
+        self
+    }
+
+    /// Schedules one outage window `[down_ns, up_ns)` on `link`.
+    pub fn outage(&mut self, link: LinkId, down_ns: SimTime, up_ns: SimTime) -> &mut Self {
+        assert!(down_ns < up_ns, "outage must end after it starts");
+        self.link_down(down_ns, link).link_up(up_ns, link)
+    }
+
+    /// Adds independent random wire loss on `link`.
+    pub fn random_loss(&mut self, link: LinkId, probability: f64) -> &mut Self {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "loss probability out of range"
+        );
+        self.losses.push(LinkLoss { link, probability });
+        self
+    }
+
+    /// Generates random link flaps over `[0, horizon_ns)`: exponentially
+    /// distributed up-times (mean `mean_up_ns`) alternate with
+    /// exponentially distributed outages (mean `mean_down_ns`), from a
+    /// dedicated seeded RNG so the schedule is reproducible.
+    pub fn random_flaps(
+        &mut self,
+        link: LinkId,
+        seed: u64,
+        horizon_ns: SimTime,
+        mean_up_ns: u64,
+        mean_down_ns: u64,
+    ) -> &mut Self {
+        assert!(mean_up_ns > 0 && mean_down_ns > 0, "means must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut exp = |mean: u64| -> u64 {
+            // Inverse-CDF sampling; clamp the uniform away from 0 so ln
+            // stays finite, and floor at 1 ns to keep time advancing.
+            let u: f64 = rng.random::<f64>().max(1e-12);
+            ((-u.ln()) * mean as f64).max(1.0) as u64
+        };
+        let mut t = exp(mean_up_ns);
+        while t < horizon_ns {
+            let down_at = t;
+            let up_at = (down_at + exp(mean_down_ns)).min(horizon_ns);
+            self.outage(link, down_at, up_at);
+            t = up_at + exp(mean_up_ns);
+        }
+        self
+    }
+}
+
+/// Availability accounting for one outage, reported per fault.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultRecord {
+    /// The failed link.
+    pub link: LinkId,
+    /// When it physically went down.
+    pub down_ns: SimTime,
+    /// When the control plane detected the failure (`None` if the link
+    /// returned before detection fired, or no recovery was configured).
+    pub detected_ns: Option<SimTime>,
+    /// When service was restored for every LSP the failure broke:
+    /// failover or successful re-signal, or the physical repair when the
+    /// stale state simply started working again. `None` while any broken
+    /// LSP remains unrecovered at the end of the run.
+    pub restored_ns: Option<SimTime>,
+    /// When the link physically came back (`None` if it stayed down).
+    pub link_up_ns: Option<SimTime>,
+    /// Packets lost to this outage: flushed from the link's queues,
+    /// caught in flight, or steered onto the dead link before recovery.
+    pub packets_lost: u64,
+    /// The recovery mode in force.
+    pub mode: RecoveryMode,
+}
+
+impl FaultRecord {
+    /// Service interruption: failure to restoration, when restored.
+    pub fn time_to_restore_ns(&self) -> Option<u64> {
+        self.restored_ns.map(|r| r - self.down_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outage_expands_to_two_events() {
+        let mut plan = FaultPlan::default();
+        plan.outage(3, 1_000, 9_000);
+        assert_eq!(plan.events.len(), 2);
+        assert_eq!(plan.events[0].kind, FaultKind::LinkDown(3));
+        assert_eq!(plan.events[1].kind, FaultKind::LinkUp(3));
+    }
+
+    #[test]
+    fn random_flaps_are_reproducible_and_ordered() {
+        let build = |seed| {
+            let mut plan = FaultPlan::default();
+            plan.random_flaps(1, seed, 1_000_000_000, 50_000_000, 5_000_000);
+            plan.events
+        };
+        let a = build(7);
+        let b = build(7);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert!(!a.is_empty(), "a 1 s horizon at 50 ms mean up-time flaps");
+        // Downs and ups alternate and never run backwards in time.
+        for pair in a.chunks(2) {
+            assert!(matches!(pair[0].kind, FaultKind::LinkDown(1)));
+            if let [down, up] = pair {
+                assert!(down.at_ns < up.at_ns);
+            }
+        }
+        assert_ne!(build(8), a, "different seed, different schedule");
+    }
+
+    #[test]
+    fn time_to_restore() {
+        let mut r = FaultRecord {
+            link: 0,
+            down_ns: 5_000,
+            detected_ns: Some(6_000),
+            restored_ns: None,
+            link_up_ns: None,
+            packets_lost: 3,
+            mode: RecoveryMode::Restoration,
+        };
+        assert_eq!(r.time_to_restore_ns(), None);
+        r.restored_ns = Some(8_500);
+        assert_eq!(r.time_to_restore_ns(), Some(3_500));
+    }
+}

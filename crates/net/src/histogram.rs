@@ -80,7 +80,11 @@ impl LatencyHistogram {
 
     /// Convenience: p50/p95/p99 in nanoseconds.
     pub fn percentiles(&self) -> (f64, f64, f64) {
-        (self.quantile(0.50), self.quantile(0.95), self.quantile(0.99))
+        (
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        )
     }
 
     /// Merges another histogram into this one (ensemble aggregation).
@@ -110,10 +114,7 @@ mod tests {
         h.record(1_000_000); // 1 ms
         for q in [0.01, 0.5, 0.99] {
             let v = h.quantile(q);
-            assert!(
-                (0.93..=1.0).contains(&(v / 1_000_000.0)),
-                "q={q} gave {v}"
-            );
+            assert!((0.93..=1.0).contains(&(v / 1_000_000.0)), "q={q} gave {v}");
         }
     }
 

@@ -13,9 +13,11 @@
 //! * [`link`] — directed channels with serialization + propagation delay.
 //! * [`traffic`] — CBR, Poisson and on/off generators.
 //! * [`stats`] — per-flow delay/jitter/loss/throughput accounting.
+//! * [`fault`] — scheduled link failures and the timed-restoration model.
 //! * [`sim`] — the engine tying routers (`mpls-router`) to the network.
 
 pub mod event;
+pub mod fault;
 pub mod histogram;
 pub mod link;
 pub mod policer;
@@ -25,6 +27,7 @@ pub mod stats;
 pub mod traffic;
 
 pub use event::{EventKind, EventQueue};
+pub use fault::{FaultPlan, FaultRecord, RecoveryMode, RestorationPolicy};
 pub use histogram::LatencyHistogram;
 pub use link::Channel;
 pub use policer::{PolicerSpec, TokenBucket};

@@ -32,6 +32,21 @@ pub struct Channel {
     pub transmitted: u64,
     /// Cumulative serialization time (ns): busy-time for utilization.
     pub busy_ns: u64,
+    /// Whether the channel is physically live. Dead channels drop every
+    /// packet offered to them.
+    pub up: bool,
+    /// Incarnation counter, bumped on every [`Channel::take_down`]. Events
+    /// scheduled against an older incarnation (a `TransmitDone`, or an
+    /// arrival of a packet that was on the wire when the link was cut) are
+    /// stale and must be ignored.
+    pub gen: u64,
+    /// Probability each transmitted packet is lost on the wire.
+    pub loss_prob: f64,
+    /// Packets dropped because the channel was down (offered while dead,
+    /// flushed or caught in flight by a cut).
+    pub fault_drops: u64,
+    /// Packets lost to random wire loss.
+    pub loss_drops: u64,
 }
 
 impl Channel {
@@ -54,6 +69,11 @@ impl Channel {
             drops: 0,
             transmitted: 0,
             busy_ns: 0,
+            up: true,
+            gen: 0,
+            loss_prob: 0.0,
+            fault_drops: 0,
+            loss_drops: 0,
         }
     }
 
@@ -67,8 +87,10 @@ impl Channel {
 
     /// Offers a packet: queues it (or drops it when the queue is full).
     /// Returns whether the caller should start a transmission (channel was
-    /// idle and the packet was accepted).
+    /// idle and the packet was accepted). Must not be called on a dead
+    /// channel — the simulator counts those drops before offering.
     pub fn offer(&mut self, p: SimPacket) -> OfferResult {
+        debug_assert!(self.up, "offer to a dead channel");
         if !self.queue.push(p) {
             self.drops += 1;
             return OfferResult::Dropped;
@@ -78,6 +100,28 @@ impl Channel {
         } else {
             OfferResult::StartTransmit
         }
+    }
+
+    /// Cuts the channel: marks it dead, bumps the incarnation so pending
+    /// `TransmitDone`/wire arrivals go stale, and returns the packets lost
+    /// on the spot (flushed from the queue, plus any in serialization).
+    /// The caller attributes the losses to flows; `fault_drops` is bumped
+    /// here.
+    pub fn take_down(&mut self) -> Vec<SimPacket> {
+        self.up = false;
+        self.gen += 1;
+        self.busy = false;
+        let mut lost = self.queue.drain();
+        lost.extend(self.in_flight.take());
+        self.fault_drops += lost.len() as u64;
+        lost
+    }
+
+    /// Revives the channel, idle and empty.
+    pub fn bring_up(&mut self) {
+        self.up = true;
+        self.busy = false;
+        debug_assert!(self.in_flight.is_none() && self.queue.is_empty());
     }
 }
 
@@ -98,7 +142,13 @@ mod tests {
     use crate::sim::tests_support::packet_with_cos;
 
     fn chan() -> Channel {
-        Channel::new(0, 1, 1_000_000_000, 500_000, QueueDiscipline::Fifo { capacity: 2 })
+        Channel::new(
+            0,
+            1,
+            1_000_000_000,
+            500_000,
+            QueueDiscipline::Fifo { capacity: 2 },
+        )
     }
 
     #[test]
@@ -119,5 +169,23 @@ mod tests {
         assert_eq!(c.offer(packet_with_cos(0, 2)), OfferResult::Queued);
         assert_eq!(c.offer(packet_with_cos(0, 3)), OfferResult::Dropped);
         assert_eq!(c.drops, 1);
+    }
+
+    #[test]
+    fn take_down_flushes_and_bumps_generation() {
+        let mut c = chan();
+        c.offer(packet_with_cos(0, 1));
+        c.busy = true;
+        c.in_flight = Some(packet_with_cos(0, 2));
+        c.offer(packet_with_cos(0, 3));
+        let lost = c.take_down();
+        assert_eq!(lost.len(), 3, "queued + in-flight all lost");
+        assert!(!c.up);
+        assert_eq!(c.gen, 1);
+        assert_eq!(c.fault_drops, 3);
+        assert!(c.queue.is_empty() && c.in_flight.is_none());
+        c.bring_up();
+        assert!(c.up && !c.busy);
+        assert_eq!(c.gen, 1, "bring_up keeps the incarnation");
     }
 }

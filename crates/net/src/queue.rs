@@ -143,6 +143,17 @@ impl LinkQueue {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Empties every class, returning the flushed packets (highest CoS
+    /// first, FIFO within a class). Used when a link goes down and its
+    /// queued packets are lost.
+    pub fn drain(&mut self) -> Vec<SimPacket> {
+        let mut out = Vec::with_capacity(self.len());
+        for class in self.classes.iter_mut().rev() {
+            out.extend(class.drain(..));
+        }
+        out
+    }
 }
 
 #[cfg(test)]

@@ -1,21 +1,31 @@
 //! The simulation engine: routers wired to channels, driven by an event
 //! queue.
+//!
+//! # Runtime faults
+//!
+//! The simulation owns a **clone** of the control plane it was built
+//! from. Static failures (`ControlPlane::fail_link` *before*
+//! [`Simulation::build`]) start the run with those links dark; to fail a
+//! link *mid-run*, attach a [`FaultPlan`](crate::fault::FaultPlan) with
+//! [`Simulation::set_fault_plan`]. The plan's link-down/up events flow
+//! through the ordinary event queue; the restoration policy then drives
+//! the cloned control plane (detection → failover or re-signaling →
+//! hold-down) and reprograms the routers in place.
 
 use crate::event::{EventKind, EventQueue, SimTime};
+use crate::fault::{FaultKind, FaultPlan, FaultRecord, RecoveryMode, RestorationPolicy};
 use crate::link::{Channel, OfferResult};
 use crate::queue::QueueDiscipline;
 use crate::stats::{FlowId, FlowStats};
 use crate::traffic::FlowSpec;
-use mpls_control::{ControlPlane, NodeId};
+use mpls_control::{ControlPlane, LinkId, LspRequest, NodeId};
 use mpls_core::ClockSpec;
-use mpls_packet::{
-    EtherType, EthernetFrame, Ipv4Header, MacAddr, MplsPacket,
-};
+use mpls_packet::{EtherType, EthernetFrame, Ipv4Header, MacAddr, MplsPacket};
 use mpls_router::{
-    Action, EmbeddedRouter, MplsForwarder, RouterStats, SoftwareRouter, SwTimingModel,
+    Action, DiscardCause, EmbeddedRouter, MplsForwarder, RouterStats, SoftwareRouter, SwTimingModel,
 };
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// A packet in flight through the simulation.
@@ -78,6 +88,10 @@ pub struct LinkUsage {
     pub transmitted: u64,
     /// Packets tail-dropped at this channel's queue.
     pub drops: u64,
+    /// Packets lost because the channel was down.
+    pub fault_drops: u64,
+    /// Packets lost to random wire loss.
+    pub loss_drops: u64,
     /// Fraction of the run the channel spent serializing (0.0-1.0).
     pub utilization: f64,
 }
@@ -91,8 +105,14 @@ pub struct SimReport {
     pub routers: HashMap<NodeId, RouterStats>,
     /// Total packets dropped at link queues.
     pub queue_drops: u64,
+    /// Total packets lost to dead links.
+    pub link_drops: u64,
+    /// Total packets lost to random wire loss.
+    pub loss_drops: u64,
     /// Per-channel usage.
     pub links: Vec<LinkUsage>,
+    /// One record per injected outage, in occurrence order.
+    pub faults: Vec<FaultRecord>,
     /// Simulated duration actually executed.
     pub elapsed_ns: SimTime,
 }
@@ -107,23 +127,57 @@ impl SimReport {
     }
 }
 
+/// A head-end re-signaling attempt in progress (make-before-break: the
+/// broken LSP keeps steering — and losing — traffic until the
+/// replacement is up, then is torn down).
+struct PendingResignal {
+    /// Index into `Simulation::records`.
+    record: usize,
+    /// The broken LSP, torn down once the replacement is established.
+    old_lsp: mpls_control::LspId,
+    /// The broken LSP's original request (explicit route dropped —
+    /// restoration outranks pinning).
+    request: LspRequest,
+    /// Attempts completed so far.
+    attempt: u32,
+    /// Set once the LSP is re-established (or retries are exhausted).
+    done: bool,
+}
+
 /// The discrete-event simulation.
 pub struct Simulation {
     channels: Vec<Channel>,
     chan_index: HashMap<(NodeId, NodeId), usize>,
+    /// `chan_link[i]` is the topology link channel `i` belongs to.
+    chan_link: Vec<LinkId>,
     routers: HashMap<NodeId, Box<dyn MplsForwarder + Send>>,
+    /// The simulation's own control plane — a clone of the one it was
+    /// built from, mutated by runtime faults.
+    cp: ControlPlane,
     flows: Vec<FlowSpec>,
     stats: Vec<FlowStats>,
     policers: Vec<Option<crate::policer::TokenBucket>>,
     events: EventQueue,
     rng: StdRng,
     now: SimTime,
+    policy: RestorationPolicy,
+    records: Vec<FaultRecord>,
+    /// Per-record count of broken LSPs still awaiting recovery.
+    outstanding: Vec<usize>,
+    /// Most recent fault record per link (kept after the link returns so
+    /// straggler losses still attribute to the right outage).
+    fault_of_link: HashMap<LinkId, usize>,
+    pending: Vec<PendingResignal>,
 }
 
 impl Simulation {
     /// Builds a simulation over the control plane's topology: every node
     /// gets a router of `kind` programmed with its configuration, every
-    /// link two channels with `discipline` queues.
+    /// link two channels with `discipline` queues. Links already marked
+    /// failed on `cp` start dark — packets steered onto them count as
+    /// link drops. The control plane is cloned: later mutations of `cp`
+    /// do not reach this simulation (use
+    /// [`Self::set_fault_plan`] for runtime faults).
     pub fn build(
         cp: &ControlPlane,
         kind: RouterKind,
@@ -133,22 +187,15 @@ impl Simulation {
         let topo = cp.topology();
         let mut channels = Vec::new();
         let mut chan_index = HashMap::new();
+        let mut chan_link = Vec::new();
         for (link_id, spec) in topo.links().iter().enumerate() {
-            // Failed links get no channels: packets steered onto them
-            // blackhole at the sending router (counted as router drops),
-            // exactly what a down interface does.
-            if cp.link_is_failed(link_id as u32) {
-                continue;
-            }
             for (from, to) in [(spec.a, spec.b), (spec.b, spec.a)] {
                 chan_index.insert((from, to), channels.len());
-                channels.push(Channel::new(
-                    from,
-                    to,
-                    spec.bandwidth_bps,
-                    spec.delay_ns,
-                    discipline,
-                ));
+                let mut c = Channel::new(from, to, spec.bandwidth_bps, spec.delay_ns, discipline);
+                // Statically failed links exist but start dark.
+                c.up = !cp.link_is_failed(link_id as LinkId);
+                channels.push(c);
+                chan_link.push(link_id as LinkId);
             }
         }
         let mut routers: HashMap<NodeId, Box<dyn MplsForwarder + Send>> = HashMap::new();
@@ -174,13 +221,44 @@ impl Simulation {
         Self {
             channels,
             chan_index,
+            chan_link,
             routers,
+            cp: cp.clone(),
             flows: Vec::new(),
             stats: Vec::new(),
             policers: Vec::new(),
             events: EventQueue::new(),
             rng: StdRng::seed_from_u64(seed),
             now: 0,
+            policy: RestorationPolicy::default(),
+            records: Vec::new(),
+            outstanding: Vec::new(),
+            fault_of_link: HashMap::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Attaches a fault plan: its link events enter the event queue, its
+    /// loss probabilities program the channels, and its policy governs
+    /// detection and recovery.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.policy = plan.policy;
+        for ev in &plan.events {
+            match ev.kind {
+                FaultKind::LinkDown(link) => {
+                    self.events.schedule(ev.at_ns, EventKind::LinkDown { link })
+                }
+                FaultKind::LinkUp(link) => {
+                    self.events.schedule(ev.at_ns, EventKind::LinkUp { link })
+                }
+            }
+        }
+        for loss in &plan.losses {
+            for (i, c) in self.channels.iter_mut().enumerate() {
+                if self.chan_link[i] == loss.link {
+                    c.loss_prob = loss.probability;
+                }
+            }
         }
     }
 
@@ -206,11 +284,19 @@ impl Simulation {
             self.now = time;
             match kind {
                 EventKind::SourceEmit { flow } => self.on_source_emit(flow),
-                EventKind::Arrive { node, packet } => self.on_arrive(node, packet),
-                EventKind::TransmitDone { channel } => self.on_transmit_done(channel),
+                EventKind::Arrive { node, packet, via } => self.on_arrive(node, packet, via),
+                EventKind::TransmitDone { channel, gen } => self.on_transmit_done(channel, gen),
+                EventKind::LinkDown { link } => self.on_link_down(link),
+                EventKind::LinkUp { link } => self.on_link_up(link),
+                EventKind::FaultDetected { link } => self.on_fault_detected(link),
+                EventKind::Resignal { pending } => self.on_resignal(pending),
+                EventKind::HoldDownExpired { link } => self.on_hold_down_expired(link),
+                EventKind::TeardownLsp { lsp } => self.on_teardown_lsp(lsp),
             }
         }
         let queue_drops = self.channels.iter().map(|c| c.drops).sum();
+        let link_drops = self.channels.iter().map(|c| c.fault_drops).sum();
+        let loss_drops = self.channels.iter().map(|c| c.loss_drops).sum();
         let elapsed = self.now.max(1);
         let links = self
             .channels
@@ -220,6 +306,8 @@ impl Simulation {
                 to: c.to,
                 transmitted: c.transmitted,
                 drops: c.drops,
+                fault_drops: c.fault_drops,
+                loss_drops: c.loss_drops,
                 utilization: c.busy_ns as f64 / elapsed as f64,
             })
             .collect();
@@ -231,9 +319,264 @@ impl Simulation {
                 .map(|(&id, r)| (id, r.stats()))
                 .collect(),
             queue_drops,
+            link_drops,
+            loss_drops,
             links,
+            faults: self.records,
             elapsed_ns: self.now,
         }
+    }
+
+    // ---- fault machinery ---------------------------------------------------
+
+    /// Indices of the two channels (one per direction) of `link`.
+    fn channels_of(&self, link: LinkId) -> [usize; 2] {
+        let mut found = [usize::MAX; 2];
+        let mut n = 0;
+        for (i, &l) in self.chan_link.iter().enumerate() {
+            if l == link {
+                found[n] = i;
+                n += 1;
+                if n == 2 {
+                    break;
+                }
+            }
+        }
+        debug_assert_eq!(n, 2, "every link has exactly two channels");
+        found
+    }
+
+    /// Counts one packet lost to `link`'s outage against its flow and the
+    /// link's current fault record.
+    fn count_fault_loss(&mut self, link: LinkId, flow: FlowId) {
+        self.stats[flow].on_discarded(DiscardCause::LinkDown);
+        if let Some(&rec) = self.fault_of_link.get(&link) {
+            self.records[rec].packets_lost += 1;
+        }
+    }
+
+    /// Rebuilds every router's forwarding state from the (mutated)
+    /// control plane. Statistics survive; stale flow-cache entries do
+    /// not.
+    fn reprogram_routers(&mut self) {
+        for (&node, router) in self.routers.iter_mut() {
+            router.reprogram(&self.cp.config_for(node));
+        }
+    }
+
+    /// How long a retired LSP's transit state must outlive the
+    /// switchover so packets already in its pipeline either deliver or
+    /// hit the dead link (and are counted there): twice the path's
+    /// propagation plus a queueing allowance.
+    fn drain_grace_ns(&self, lsp: mpls_control::LspId) -> u64 {
+        let Some(l) = self.cp.lsp(lsp) else {
+            return 0;
+        };
+        let topo = self.cp.topology();
+        let prop: u64 = topo
+            .path_links(&l.path)
+            .map(|links| {
+                links
+                    .iter()
+                    .filter_map(|&k| topo.link(k).map(|s| s.delay_ns))
+                    .sum()
+            })
+            .unwrap_or(0);
+        2 * prop + 1_000_000
+    }
+
+    fn on_teardown_lsp(&mut self, lsp: mpls_control::LspId) {
+        // The husk may already be gone (a later fault's standby sweep).
+        if self.cp.lsp(lsp).is_some() {
+            let _ = self.cp.teardown_lsp(lsp);
+            self.reprogram_routers();
+        }
+    }
+
+    fn on_link_down(&mut self, link: LinkId) {
+        let [a, b] = self.channels_of(link);
+        if !self.channels[a].up {
+            return; // already down (overlapping schedules)
+        }
+        let rec = self.records.len();
+        self.records.push(FaultRecord {
+            link,
+            down_ns: self.now,
+            detected_ns: None,
+            restored_ns: None,
+            link_up_ns: None,
+            packets_lost: 0,
+            mode: self.policy.mode,
+        });
+        self.outstanding.push(0);
+        self.fault_of_link.insert(link, rec);
+        // Cut both directions: queued and in-flight packets are lost now.
+        for chan in [a, b] {
+            let lost = self.channels[chan].take_down();
+            for p in lost {
+                self.count_fault_loss(link, p.flow);
+            }
+        }
+        if self.policy.mode != RecoveryMode::None {
+            self.events.schedule(
+                self.now + self.policy.detection_delay_ns,
+                EventKind::FaultDetected { link },
+            );
+        }
+    }
+
+    fn on_link_up(&mut self, link: LinkId) {
+        let [a, b] = self.channels_of(link);
+        if self.channels[a].up {
+            return; // already up
+        }
+        for chan in [a, b] {
+            self.channels[chan].bring_up();
+        }
+        let Some(&rec) = self.fault_of_link.get(&link) else {
+            return;
+        };
+        self.records[rec].link_up_ns = Some(self.now);
+        if self.records[rec].detected_ns.is_none() {
+            // The control plane never reacted (flap shorter than the
+            // detection delay, or no recovery configured): the stale
+            // forwarding state simply works again.
+            if self.records[rec].restored_ns.is_none() {
+                self.records[rec].restored_ns = Some(self.now);
+            }
+        } else {
+            // Detection fired, so the control plane has the link marked
+            // failed; hold it down before reusing it.
+            self.events.schedule(
+                self.now + self.policy.hold_down_ns,
+                EventKind::HoldDownExpired { link },
+            );
+        }
+    }
+
+    fn on_fault_detected(&mut self, link: LinkId) {
+        let [a, _] = self.channels_of(link);
+        if self.channels[a].up {
+            return; // the flap cleared before anyone noticed
+        }
+        let Some(&rec) = self.fault_of_link.get(&link) else {
+            return;
+        };
+        if self.records[rec].detected_ns.is_some() {
+            return; // a probe from an earlier outage already reported it
+        }
+        self.records[rec].detected_ns = Some(self.now);
+        let affected = self.cp.fail_link(link);
+        let mut changed = false;
+        for id in affected {
+            if self.cp.lsp_is_standby(id) {
+                // A broken standby protects nothing; release it.
+                let _ = self.cp.teardown_standby(id);
+                changed = true;
+                continue;
+            }
+            // Protection: fail over onto a pre-signaled disjoint backup —
+            // service is back one detection delay after the cut. The
+            // broken primary becomes a husk whose transit state drains
+            // the pipeline, then is garbage-collected.
+            if self.policy.mode == RecoveryMode::Protection {
+                if let Some(backup) = self.cp.backup_of(id) {
+                    if self.cp.lsp_is_intact(backup) {
+                        let grace = self.drain_grace_ns(id);
+                        self.cp.activate_backup(id);
+                        self.events
+                            .schedule(self.now + grace, EventKind::TeardownLsp { lsp: id });
+                        changed = true;
+                        continue;
+                    }
+                }
+            }
+            // Restoration (or protection without a viable backup):
+            // re-signal around the failure; the first attempt completes
+            // one signaling latency from now. The broken LSP keeps
+            // steering — and losing — traffic until then
+            // (make-before-break), so outage loss stays attributed to
+            // the dead link.
+            let request = self
+                .cp
+                .lsp(id)
+                .expect("fail_link reported a live LSP")
+                .request
+                .clone();
+            self.outstanding[rec] += 1;
+            let idx = self.pending.len();
+            self.pending.push(PendingResignal {
+                record: rec,
+                old_lsp: id,
+                request,
+                attempt: 0,
+                done: false,
+            });
+            self.events.schedule(
+                self.now + self.policy.resignal_delay_ns,
+                EventKind::Resignal { pending: idx },
+            );
+        }
+        if self.outstanding[rec] == 0 && self.records[rec].restored_ns.is_none() {
+            // Nothing is waiting on re-signaling: every broken LSP failed
+            // over (or none existed) — service restored at detection.
+            self.records[rec].restored_ns = Some(self.now);
+        }
+        if changed {
+            self.reprogram_routers();
+        }
+    }
+
+    fn on_resignal(&mut self, pending: usize) {
+        let (rec, old_lsp, attempt, request) = {
+            let p = &self.pending[pending];
+            if p.done {
+                return;
+            }
+            (p.record, p.old_lsp, p.attempt, p.request.clone())
+        };
+        let mut request = request;
+        request.explicit_route = None;
+        match self.cp.establish_lsp(request) {
+            Ok(_) => {
+                // Break only after the make: the replacement is up; the
+                // broken original retires to a husk (transit state keeps
+                // draining the pipeline into the dead link, where loss is
+                // counted) and is garbage-collected after the grace.
+                let grace = self.drain_grace_ns(old_lsp);
+                let _ = self.cp.retire_lsp(old_lsp);
+                self.events
+                    .schedule(self.now + grace, EventKind::TeardownLsp { lsp: old_lsp });
+                self.pending[pending].done = true;
+                self.outstanding[rec] -= 1;
+                if self.outstanding[rec] == 0 && self.records[rec].restored_ns.is_none() {
+                    self.records[rec].restored_ns = Some(self.now);
+                }
+                self.reprogram_routers();
+            }
+            Err(_) => {
+                let next_attempt = attempt + 1;
+                if next_attempt > self.policy.max_retries {
+                    // Gave up: the record stays unrestored.
+                    self.pending[pending].done = true;
+                    return;
+                }
+                self.pending[pending].attempt = next_attempt;
+                let backoff = self.policy.resignal_delay_ns.saturating_mul(
+                    (self.policy.backoff_factor.max(1) as u64).saturating_pow(next_attempt),
+                );
+                self.events
+                    .schedule(self.now + backoff, EventKind::Resignal { pending });
+            }
+        }
+    }
+
+    fn on_hold_down_expired(&mut self, link: LinkId) {
+        let [a, _] = self.channels_of(link);
+        if !self.channels[a].up {
+            return; // failed again before the hold-down expired
+        }
+        self.cp.restore_link(link);
     }
 
     fn on_source_emit(&mut self, flow: FlowId) {
@@ -260,6 +603,7 @@ impl Simulation {
                 EventKind::Arrive {
                     node: spec.ingress,
                     packet,
+                    via: None,
                 },
             );
         } else {
@@ -273,9 +617,22 @@ impl Simulation {
         }
     }
 
-    fn on_arrive(&mut self, node: NodeId, packet: SimPacket) {
+    fn on_arrive(&mut self, node: NodeId, packet: SimPacket, via: Option<(usize, u64)>) {
+        // A packet that was on the wire when its link was cut never
+        // arrives: the channel's incarnation has moved on.
+        if let Some((chan, gen)) = via {
+            if self.channels[chan].gen != gen {
+                let link = self.chan_link[chan];
+                self.channels[chan].fault_drops += 1;
+                self.count_fault_loss(link, packet.flow);
+                return;
+            }
+        }
         let SimPacket {
-            inner, flow, seq, sent_ns,
+            inner,
+            flow,
+            seq,
+            sent_ns,
         } = packet;
         let router = self
             .routers
@@ -284,10 +641,13 @@ impl Simulation {
         let out = router.handle(inner);
         let done = self.now + out.latency_ns;
         match out.action {
-            Action::Forward { next, packet: inner } => {
+            Action::Forward {
+                next,
+                packet: inner,
+            } => {
                 let Some(&chan) = self.chan_index.get(&(node, next)) else {
                     // Misconfigured next hop onto a non-adjacent node.
-                    self.stats[flow].router_dropped += 1;
+                    self.stats[flow].on_discarded(DiscardCause::NoNextHop);
                     return;
                 };
                 let sp = SimPacket {
@@ -296,14 +656,21 @@ impl Simulation {
                     seq,
                     sent_ns,
                 };
+                if !self.channels[chan].up {
+                    // Steered onto a dead link by stale forwarding state.
+                    let link = self.chan_link[chan];
+                    self.channels[chan].fault_drops += 1;
+                    self.count_fault_loss(link, flow);
+                    return;
+                }
                 self.offer_to_channel(chan, sp, done);
             }
             Action::Deliver(inner) => {
                 let wire = inner.wire_len();
                 self.stats[flow].on_delivered(done, done - sent_ns, wire);
             }
-            Action::Discard(_) => {
-                self.stats[flow].router_dropped += 1;
+            Action::Discard(cause) => {
+                self.stats[flow].on_discarded(cause);
             }
         }
     }
@@ -321,32 +688,55 @@ impl Simulation {
                 let ser = c.serialization_ns(p.wire_len());
                 c.busy = true;
                 c.busy_ns += ser;
+                let gen = c.gen;
                 c.in_flight = Some(p);
                 self.events
-                    .schedule(at + ser, EventKind::TransmitDone { channel: chan });
+                    .schedule(at + ser, EventKind::TransmitDone { channel: chan, gen });
             }
         }
     }
 
-    fn on_transmit_done(&mut self, chan: usize) {
+    fn on_transmit_done(&mut self, chan: usize, gen: u64) {
         let c = &mut self.channels[chan];
+        if c.gen != gen {
+            // The link was cut mid-serialization; take_down already
+            // flushed and counted the packet.
+            return;
+        }
         let p = c.in_flight.take().expect("transmit completed with cargo");
         c.transmitted += 1;
         let to = c.to;
         let delay = c.delay_ns;
+        let cur_gen = c.gen;
+        let loss_prob = c.loss_prob;
         // Start the next queued packet, if any.
         if let Some(next) = c.queue.pop() {
             let ser = c.serialization_ns(next.wire_len());
             c.busy_ns += ser;
             c.in_flight = Some(next);
-            self.events
-                .schedule(self.now + ser, EventKind::TransmitDone { channel: chan });
+            self.events.schedule(
+                self.now + ser,
+                EventKind::TransmitDone {
+                    channel: chan,
+                    gen: cur_gen,
+                },
+            );
         } else {
             c.busy = false;
         }
+        // Random wire loss claims the packet after serialization.
+        if loss_prob > 0.0 && self.rng.random::<f64>() < loss_prob {
+            self.channels[chan].loss_drops += 1;
+            self.stats[p.flow].on_discarded(DiscardCause::LinkLoss);
+            return;
+        }
         self.events.schedule(
             self.now + delay,
-            EventKind::Arrive { node: to, packet: p },
+            EventKind::Arrive {
+                node: to,
+                packet: p,
+                via: Some((chan, cur_gen)),
+            },
         );
     }
 }
@@ -505,12 +895,7 @@ mod tests {
     fn software_routers_deliver_identically() {
         let cp = plane_with_lsp();
         let run = |kind| {
-            let mut sim = Simulation::build(
-                &cp,
-                kind,
-                QueueDiscipline::Fifo { capacity: 64 },
-                1,
-            );
+            let mut sim = Simulation::build(&cp, kind, QueueDiscipline::Fifo { capacity: 64 }, 1);
             sim.add_flow(cbr_flow("cbr", 1_000_000));
             sim.run(1_000_000_000)
         };
@@ -566,6 +951,89 @@ mod tests {
         let s = report.flow("lost").unwrap();
         assert_eq!(s.delivered, 0);
         assert_eq!(s.router_dropped, s.sent);
+    }
+
+    #[test]
+    fn midrun_outage_is_detected_and_restored() {
+        let cp = plane_with_lsp();
+        let mut sim = Simulation::build(
+            &cp,
+            RouterKind::Embedded {
+                clock: ClockSpec::STRATIX_50MHZ,
+            },
+            QueueDiscipline::Fifo { capacity: 64 },
+            1,
+        );
+        let north = cp.topology().link_between(2, 3).unwrap();
+        let mut plan = crate::fault::FaultPlan::default();
+        plan.policy = crate::fault::RestorationPolicy {
+            detection_delay_ns: 500_000,
+            resignal_delay_ns: 500_000,
+            backoff_factor: 2,
+            max_retries: 4,
+            hold_down_ns: 1_000_000,
+            mode: crate::fault::RecoveryMode::Restoration,
+        };
+        // Out from 3 ms to 6 ms of a 10 ms flow.
+        plan.outage(north, 3_000_000, 6_000_000);
+        sim.set_fault_plan(plan);
+        sim.add_flow(cbr_flow("cbr", 100_000)); // 1 packet / 100 µs
+        let report = sim.run(1_000_000_000);
+
+        assert_eq!(report.faults.len(), 1);
+        let rec = &report.faults[0];
+        assert_eq!(rec.down_ns, 3_000_000);
+        assert_eq!(rec.detected_ns, Some(3_500_000));
+        assert_eq!(rec.link_up_ns, Some(6_000_000));
+        // Restored by re-signal onto the south path, one signaling
+        // latency after detection.
+        assert_eq!(rec.restored_ns, Some(4_000_000));
+        assert_eq!(rec.time_to_restore_ns(), Some(1_000_000));
+        let s = report.flow("cbr").unwrap();
+        assert!(s.link_dropped > 0, "packets died during the outage");
+        assert_eq!(s.link_dropped, rec.packets_lost);
+        assert_eq!(
+            s.sent,
+            s.delivered + s.link_dropped,
+            "every loss is a counted link drop"
+        );
+        // Loss spans packets emitted during [down, restored) — 10 at
+        // this rate — plus those already inside the 1.5 ms-deep north
+        // pipeline behind the cut (another ~10). Everything emitted
+        // after restoration delivers.
+        assert_eq!(s.link_dropped, 20, "outage-window loss only");
+    }
+
+    #[test]
+    fn random_loss_is_counted_per_cause() {
+        let cp = plane_with_lsp();
+        let mut sim = Simulation::build(
+            &cp,
+            RouterKind::Embedded {
+                clock: ClockSpec::STRATIX_50MHZ,
+            },
+            QueueDiscipline::Fifo { capacity: 64 },
+            5,
+        );
+        let north = cp.topology().link_between(2, 3).unwrap();
+        let mut plan = crate::fault::FaultPlan::default();
+        plan.random_loss(north, 0.5);
+        sim.set_fault_plan(plan);
+        sim.add_flow(cbr_flow("cbr", 10_000)); // 1000 packets over 10 ms
+        let report = sim.run(1_000_000_000);
+        let s = report.flow("cbr").unwrap();
+        assert!(
+            s.loss_dropped > 300,
+            "~half of 1000 lost: {}",
+            s.loss_dropped
+        );
+        assert!(s.loss_dropped < 700, "{}", s.loss_dropped);
+        assert_eq!(s.sent, s.delivered + s.loss_dropped);
+        assert_eq!(
+            s.drop_causes.get(mpls_router::DiscardCause::LinkLoss),
+            s.loss_dropped
+        );
+        assert_eq!(report.loss_drops, s.loss_dropped);
     }
 
     #[test]

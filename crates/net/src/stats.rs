@@ -1,6 +1,7 @@
 //! Per-flow delivery statistics.
 
 use crate::histogram::LatencyHistogram;
+use mpls_router::{CauseCounts, DiscardCause};
 use serde::{Deserialize, Serialize};
 
 /// Index of a flow within a simulation.
@@ -20,6 +21,16 @@ pub struct FlowStats {
     /// Packets dropped by the flow's edge policer before entering the
     /// network.
     pub policer_dropped: u64,
+    /// Packets lost to a dead link: steered onto it, flushed from its
+    /// queue, or caught on the wire when it was cut.
+    pub link_dropped: u64,
+    /// Packets lost to random wire loss.
+    pub loss_dropped: u64,
+    /// Per-cause breakdown of every discard above except queue and
+    /// policer drops (which have their own dedicated counters):
+    /// `drop_causes.total() == router_dropped + link_dropped +
+    /// loss_dropped`.
+    pub drop_causes: CauseCounts,
     /// Bytes delivered (wire size).
     pub bytes_delivered: u64,
     /// Sum of end-to-end delays (ns).
@@ -46,6 +57,19 @@ impl FlowStats {
     /// Records an emission.
     pub fn on_sent(&mut self) {
         self.sent += 1;
+    }
+
+    /// Records a discard, routing `cause` to the right top-level counter:
+    /// [`DiscardCause::LinkDown`] → `link_dropped`,
+    /// [`DiscardCause::LinkLoss`] → `loss_dropped`, anything else →
+    /// `router_dropped`. The per-cause breakdown is updated either way.
+    pub fn on_discarded(&mut self, cause: DiscardCause) {
+        match cause {
+            DiscardCause::LinkDown => self.link_dropped += 1,
+            DiscardCause::LinkLoss => self.loss_dropped += 1,
+            _ => self.router_dropped += 1,
+        }
+        self.drop_causes.record(cause);
     }
 
     /// Records a delivery at `now` with end-to-end `delay`.
@@ -131,6 +155,23 @@ mod tests {
         assert!((s.loss_rate() - 0.25).abs() < 1e-9);
         // 600 bytes over 2 µs = 2.4 Gb/s
         assert!((s.throughput_bps() - 2.4e9).abs() < 1e3);
+    }
+
+    #[test]
+    fn discards_route_to_their_counter() {
+        let mut s = FlowStats::default();
+        s.on_discarded(DiscardCause::NoRoute);
+        s.on_discarded(DiscardCause::LinkDown);
+        s.on_discarded(DiscardCause::LinkDown);
+        s.on_discarded(DiscardCause::LinkLoss);
+        assert_eq!(s.router_dropped, 1);
+        assert_eq!(s.link_dropped, 2);
+        assert_eq!(s.loss_dropped, 1);
+        assert_eq!(
+            s.drop_causes.total(),
+            s.router_dropped + s.link_dropped + s.loss_dropped
+        );
+        assert_eq!(s.drop_causes.get(DiscardCause::LinkDown), 2);
     }
 
     #[test]

@@ -56,7 +56,10 @@ impl fmt::Display for PacketError {
             Self::BadIhl(v) => write!(f, "IPv4 IHL {v} is below the minimum of 5"),
             Self::UnterminatedStack => write!(f, "label stack missing bottom-of-stack bit"),
             Self::EarlyBottomOfStack { depth } => {
-                write!(f, "bottom-of-stack bit set at depth {depth} before the bottom")
+                write!(
+                    f,
+                    "bottom-of-stack bit set at depth {depth} before the bottom"
+                )
             }
         }
     }

@@ -129,7 +129,11 @@ mod tests {
 
     #[test]
     fn ethertype_round_trip() {
-        for t in [EtherType::Ipv4, EtherType::MplsUnicast, EtherType::Other(0x86dd)] {
+        for t in [
+            EtherType::Ipv4,
+            EtherType::MplsUnicast,
+            EtherType::Other(0x86dd),
+        ] {
             assert_eq!(EtherType::from_value(t.value()), t);
         }
         assert_eq!(EtherType::from_value(0x0800), EtherType::Ipv4);
@@ -172,6 +176,9 @@ mod tests {
 
     #[test]
     fn mac_display() {
-        assert_eq!(MacAddr([0xde, 0xad, 0xbe, 0xef, 0, 1]).to_string(), "de:ad:be:ef:00:01");
+        assert_eq!(
+            MacAddr([0xde, 0xad, 0xbe, 0xef, 0, 1]).to_string(),
+            "de:ad:be:ef:00:01"
+        );
     }
 }

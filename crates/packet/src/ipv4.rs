@@ -217,7 +217,10 @@ mod tests {
     fn rejects_short_ihl() {
         let mut buf = [0u8; 20];
         buf[0] = 0x44;
-        assert_eq!(Ipv4Header::read_from(&buf).unwrap_err(), PacketError::BadIhl(4));
+        assert_eq!(
+            Ipv4Header::read_from(&buf).unwrap_err(),
+            PacketError::BadIhl(4)
+        );
     }
 
     #[test]

@@ -267,19 +267,19 @@ mod tests {
     fn known_encoding() {
         // label 500, cos 5, bottom, ttl 64:
         // 500 << 12 | 5 << 9 | 1 << 8 | 64
-        let e = LabelStackEntry::new(
-            Label::new(500).unwrap(),
-            CosBits::new(5).unwrap(),
-            true,
-            64,
-        );
+        let e = LabelStackEntry::new(Label::new(500).unwrap(), CosBits::new(5).unwrap(), true, 64);
         assert_eq!(e.to_bits(), (500 << 12) | (5 << 9) | (1 << 8) | 64);
         assert_eq!(LabelStackEntry::from_bits(e.to_bits()), e);
     }
 
     #[test]
     fn field_packing_does_not_overlap() {
-        let e = LabelStackEntry::new(Label::new(Label::MAX).unwrap(), CosBits::new(0).unwrap(), false, 0);
+        let e = LabelStackEntry::new(
+            Label::new(Label::MAX).unwrap(),
+            CosBits::new(0).unwrap(),
+            false,
+            0,
+        );
         assert_eq!(e.to_bits(), 0xFFFF_F000);
         let e = LabelStackEntry::new(Label::new(0).unwrap(), CosBits::new(7).unwrap(), false, 0);
         assert_eq!(e.to_bits(), 0x0000_0E00);
@@ -291,7 +291,8 @@ mod tests {
 
     #[test]
     fn ttl_decrement() {
-        let mk = |ttl| LabelStackEntry::new(Label::new(9).unwrap(), CosBits::BEST_EFFORT, true, ttl);
+        let mk =
+            |ttl| LabelStackEntry::new(Label::new(9).unwrap(), CosBits::BEST_EFFORT, true, ttl);
         assert_eq!(mk(0).decrement_ttl(), None);
         assert_eq!(mk(1).decrement_ttl(), None);
         assert_eq!(mk(2).decrement_ttl().unwrap().ttl, 1);
@@ -317,7 +318,11 @@ mod tests {
         let mut small = [0u8; 3];
         assert!(matches!(
             e.write_to(&mut small),
-            Err(PacketError::Truncated { need: 4, have: 3, .. })
+            Err(PacketError::Truncated {
+                need: 4,
+                have: 3,
+                ..
+            })
         ));
         assert!(LabelStackEntry::read_from(&small).is_err());
     }

@@ -298,7 +298,10 @@ mod tests {
     #[test]
     fn swap_empty_underflows() {
         let mut s = LabelStack::new();
-        assert_eq!(s.swap(Label::new(1).unwrap()), Err(PacketError::StackUnderflow));
+        assert_eq!(
+            s.swap(Label::new(1).unwrap()),
+            Err(PacketError::StackUnderflow)
+        );
     }
 
     #[test]

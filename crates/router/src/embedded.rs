@@ -47,12 +47,33 @@ fn to_cause(r: DiscardReason) -> DiscardCause {
 #[derive(Debug, Clone)]
 pub struct EmbeddedRouter {
     node: NodeId,
+    rtype: RouterType,
     modifier: LabelStackModifier,
     tables: RouterTables,
     clock: ClockSpec,
     /// Exact packet identifiers already present in level 1.
     installed_flows: HashSet<u32>,
     stats: RouterStats,
+}
+
+/// Programs a fresh modifier and flow cache from a node configuration.
+fn program(rtype: RouterType, config: &NodeConfig) -> (LabelStackModifier, HashSet<u32>) {
+    let mut modifier = LabelStackModifier::new(rtype);
+    modifier.reset();
+    let mut installed_flows = HashSet::new();
+    for b in &config.bindings {
+        let level = match b.level {
+            1 => Level::L1,
+            2 => Level::L2,
+            _ => Level::L3,
+        };
+        let r = modifier.write_pair(level, b.key, b.new_label, to_ib_op(b.op));
+        debug_assert_eq!(r.outcome, Outcome::Done, "info base overflow at setup");
+        if level == Level::L1 {
+            installed_flows.insert(b.key as u32);
+        }
+    }
+    (modifier, installed_flows)
 }
 
 impl EmbeddedRouter {
@@ -63,23 +84,10 @@ impl EmbeddedRouter {
             RouterRole::Ler => RouterType::Ler,
             RouterRole::Lsr => RouterType::Lsr,
         };
-        let mut modifier = LabelStackModifier::new(rtype);
-        modifier.reset();
-        let mut installed_flows = HashSet::new();
-        for b in &config.bindings {
-            let level = match b.level {
-                1 => Level::L1,
-                2 => Level::L2,
-                _ => Level::L3,
-            };
-            let r = modifier.write_pair(level, b.key, b.new_label, to_ib_op(b.op));
-            debug_assert_eq!(r.outcome, Outcome::Done, "info base overflow at setup");
-            if level == Level::L1 {
-                installed_flows.insert(b.key as u32);
-            }
-        }
+        let (modifier, installed_flows) = program(rtype, config);
         Self {
             node,
+            rtype,
             modifier,
             tables: RouterTables::from_config(config),
             clock,
@@ -105,7 +113,10 @@ impl EmbeddedRouter {
         match &action {
             Action::Forward { .. } => self.stats.forwarded += 1,
             Action::Deliver(_) => self.stats.delivered += 1,
-            Action::Discard(_) => self.stats.discarded += 1,
+            Action::Discard(cause) => {
+                self.stats.discarded += 1;
+                self.stats.by_cause.record(*cause);
+            }
         }
         Forwarding { action, latency_ns }
     }
@@ -177,9 +188,7 @@ impl MplsForwarder for EmbeddedRouter {
             // the modifier entirely.
             match self.tables.ip_route(dst) {
                 Some(Hop::Local) => return self.finish(0, Action::Deliver(packet)),
-                Some(Hop::Node(next)) => {
-                    return self.finish(0, Action::Forward { next, packet })
-                }
+                Some(Hop::Node(next)) => return self.finish(0, Action::Forward { next, packet }),
                 None => {}
             }
             // Ingress classification: find the FEC, install the exact
@@ -190,9 +199,9 @@ impl MplsForwarder for EmbeddedRouter {
             };
             let mut cycles = 0;
             if !self.installed_flows.contains(&dst) {
-                let r = self
-                    .modifier
-                    .write_pair(Level::L1, dst as u64, push_label, IbOperation::Push);
+                let r =
+                    self.modifier
+                        .write_pair(Level::L1, dst as u64, push_label, IbOperation::Push);
                 cycles += r.cycles;
                 if r.outcome == Outcome::WriteRejected {
                     return self.finish(cycles, Action::Discard(DiscardCause::FlowTableFull));
@@ -208,6 +217,17 @@ impl MplsForwarder for EmbeddedRouter {
 
     fn stats(&self) -> RouterStats {
         self.stats
+    }
+
+    fn reprogram(&mut self, config: &NodeConfig) {
+        // Rebuild the information base and flow cache from scratch —
+        // stale level-1 flow entries must not survive a reroute, or they
+        // would keep pushing labels of a torn-down LSP. Statistics carry
+        // over: reconvergence does not reset counters.
+        let (modifier, installed_flows) = program(self.rtype, config);
+        self.modifier = modifier;
+        self.installed_flows = installed_flows;
+        self.tables = RouterTables::from_config(config);
     }
 }
 
@@ -294,7 +314,8 @@ mod tests {
         );
         let mut p = packet_to("192.168.1.5");
         let mut s = LabelStack::new();
-        s.push_parts(lsp.hop_labels[0], CosBits::BEST_EFFORT, 63).unwrap();
+        s.push_parts(lsp.hop_labels[0], CosBits::BEST_EFFORT, 63)
+            .unwrap();
         p.splice_stack(s);
         let out = r.handle(p);
         match out.action {
@@ -321,7 +342,8 @@ mod tests {
         );
         let mut p = packet_to("192.168.1.5");
         let mut s = LabelStack::new();
-        s.push_parts(lsp.hop_labels[2], CosBits::BEST_EFFORT, 61).unwrap();
+        s.push_parts(lsp.hop_labels[2], CosBits::BEST_EFFORT, 61)
+            .unwrap();
         p.splice_stack(s);
         let out = r.handle(p);
         match out.action {
@@ -380,9 +402,60 @@ mod tests {
         );
         let mut p = packet_to("192.168.1.5");
         let mut s = LabelStack::new();
-        s.push_parts(lsp.hop_labels[0], CosBits::BEST_EFFORT, 1).unwrap();
+        s.push_parts(lsp.hop_labels[0], CosBits::BEST_EFFORT, 1)
+            .unwrap();
         p.splice_stack(s);
         let out = r.handle(p);
         assert_eq!(out.action, Action::Discard(DiscardCause::TtlExpired));
+    }
+
+    #[test]
+    fn discards_are_attributed_by_cause() {
+        let (cp, _) = lsp_setup();
+        let mut r = EmbeddedRouter::new(
+            0,
+            RouterRole::Ler,
+            &cp.config_for(0),
+            ClockSpec::STRATIX_50MHZ,
+        );
+        r.handle(packet_to("172.16.0.1")); // NoRoute
+        r.handle(packet_to("172.16.0.2")); // NoRoute
+        let s = r.stats();
+        assert_eq!(s.by_cause.get(DiscardCause::NoRoute), 2);
+        assert_eq!(s.by_cause.total(), s.discarded);
+    }
+
+    #[test]
+    fn reprogram_swaps_state_and_keeps_stats() {
+        let (cp, id) = lsp_setup();
+        let mut r = EmbeddedRouter::new(
+            0,
+            RouterRole::Ler,
+            &cp.config_for(0),
+            ClockSpec::STRATIX_50MHZ,
+        );
+        assert!(matches!(
+            r.handle(packet_to("192.168.1.5")).action,
+            Action::Forward { next: 2, .. }
+        ));
+        let before = r.stats();
+        assert_eq!(before.flow_installs, 1);
+
+        // Re-signal the LSP over the pinned southern path and reprogram.
+        let mut cp2 = cp.clone();
+        cp2.teardown_lsp(id).unwrap();
+        let mut req =
+            LspRequest::best_effort(0, 1, Prefix::new(parse_addr("192.168.1.0").unwrap(), 24));
+        req.explicit_route = Some(vec![0, 4, 5, 1]);
+        cp2.establish_lsp(req).unwrap();
+        r.reprogram(&cp2.config_for(0));
+
+        // Same flow now heads south through node 4, via a fresh slow-path
+        // install (the stale flow-cache entry did not survive).
+        let out = r.handle(packet_to("192.168.1.5"));
+        assert!(matches!(out.action, Action::Forward { next: 4, .. }));
+        let after = r.stats();
+        assert_eq!(after.flow_installs, 2);
+        assert!(after.packets_in > before.packets_in, "stats preserved");
     }
 }

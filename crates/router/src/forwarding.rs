@@ -1,11 +1,15 @@
 //! The forwarding interface both router models implement, and the
 //! per-router statistics the experiments report.
 
-use mpls_control::NodeId;
+use mpls_control::{NodeConfig, NodeId};
 use mpls_packet::MplsPacket;
 use serde::{Deserialize, Serialize};
 
-/// Why a router dropped a packet.
+/// Why a packet was dropped.
+///
+/// The first six causes are router data-plane discards; the last two are
+/// link-level losses accounted by the network simulator (a packet steered
+/// onto or caught in flight on a dead channel, and random wire loss).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum DiscardCause {
     /// The data plane found no matching table entry.
@@ -23,6 +27,24 @@ pub enum DiscardCause {
     /// The hardware level-1 flow table is full and the flow cannot be
     /// installed.
     FlowTableFull,
+    /// The packet was steered onto (or was in flight on) a failed link.
+    LinkDown,
+    /// Random loss on the wire (bit errors / a lossy link).
+    LinkLoss,
+}
+
+impl DiscardCause {
+    /// Every cause, in counter order.
+    pub const ALL: [DiscardCause; 8] = [
+        Self::NoEntryFound,
+        Self::TtlExpired,
+        Self::InconsistentOperation,
+        Self::NoNextHop,
+        Self::NoRoute,
+        Self::FlowTableFull,
+        Self::LinkDown,
+        Self::LinkLoss,
+    ];
 }
 
 impl core::fmt::Display for DiscardCause {
@@ -34,7 +56,77 @@ impl core::fmt::Display for DiscardCause {
             Self::NoNextHop => "no next hop for outgoing label",
             Self::NoRoute => "no route for unlabeled packet",
             Self::FlowTableFull => "hardware flow table full",
+            Self::LinkDown => "link down",
+            Self::LinkLoss => "random link loss",
         })
+    }
+}
+
+/// A per-cause drop breakdown: one counter per [`DiscardCause`].
+///
+/// Named fields (rather than an array) keep the JSON reports
+/// self-describing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CauseCounts {
+    /// [`DiscardCause::NoEntryFound`] drops.
+    pub no_entry_found: u64,
+    /// [`DiscardCause::TtlExpired`] drops.
+    pub ttl_expired: u64,
+    /// [`DiscardCause::InconsistentOperation`] drops.
+    pub inconsistent_operation: u64,
+    /// [`DiscardCause::NoNextHop`] drops.
+    pub no_next_hop: u64,
+    /// [`DiscardCause::NoRoute`] drops.
+    pub no_route: u64,
+    /// [`DiscardCause::FlowTableFull`] drops.
+    pub flow_table_full: u64,
+    /// [`DiscardCause::LinkDown`] drops.
+    pub link_down: u64,
+    /// [`DiscardCause::LinkLoss`] drops.
+    pub link_loss: u64,
+}
+
+impl CauseCounts {
+    fn slot_mut(&mut self, cause: DiscardCause) -> &mut u64 {
+        match cause {
+            DiscardCause::NoEntryFound => &mut self.no_entry_found,
+            DiscardCause::TtlExpired => &mut self.ttl_expired,
+            DiscardCause::InconsistentOperation => &mut self.inconsistent_operation,
+            DiscardCause::NoNextHop => &mut self.no_next_hop,
+            DiscardCause::NoRoute => &mut self.no_route,
+            DiscardCause::FlowTableFull => &mut self.flow_table_full,
+            DiscardCause::LinkDown => &mut self.link_down,
+            DiscardCause::LinkLoss => &mut self.link_loss,
+        }
+    }
+
+    /// Counts one drop for `cause`.
+    pub fn record(&mut self, cause: DiscardCause) {
+        *self.slot_mut(cause) += 1;
+    }
+
+    /// The counter for `cause`.
+    pub fn get(&self, cause: DiscardCause) -> u64 {
+        match cause {
+            DiscardCause::NoEntryFound => self.no_entry_found,
+            DiscardCause::TtlExpired => self.ttl_expired,
+            DiscardCause::InconsistentOperation => self.inconsistent_operation,
+            DiscardCause::NoNextHop => self.no_next_hop,
+            DiscardCause::NoRoute => self.no_route,
+            DiscardCause::FlowTableFull => self.flow_table_full,
+            DiscardCause::LinkDown => self.link_down,
+            DiscardCause::LinkLoss => self.link_loss,
+        }
+    }
+
+    /// Sum over all causes.
+    pub fn total(&self) -> u64 {
+        DiscardCause::ALL.iter().map(|&c| self.get(c)).sum()
+    }
+
+    /// `(cause, count)` pairs in counter order.
+    pub fn iter(&self) -> impl Iterator<Item = (DiscardCause, u64)> + '_ {
+        DiscardCause::ALL.iter().map(move |&c| (c, self.get(c)))
     }
 }
 
@@ -76,6 +168,8 @@ pub struct RouterStats {
     pub delivered: u64,
     /// Packets discarded.
     pub discarded: u64,
+    /// Discards broken down by cause; `by_cause.total() == discarded`.
+    pub by_cause: CauseCounts,
     /// Total data-plane latency accumulated (ns).
     pub total_latency_ns: u64,
     /// Hardware only: total clock cycles spent.
@@ -105,6 +199,11 @@ pub trait MplsForwarder {
 
     /// Statistics so far.
     fn stats(&self) -> RouterStats;
+
+    /// Replaces the router's forwarding state with `config` (a head end
+    /// converging on re-signaled or failed-over LSPs) while preserving
+    /// its statistics.
+    fn reprogram(&mut self, config: &NodeConfig);
 }
 
 #[cfg(test)]
@@ -122,6 +221,41 @@ mod tests {
 
     #[test]
     fn discard_cause_display() {
-        assert_eq!(DiscardCause::NoNextHop.to_string(), "no next hop for outgoing label");
+        assert_eq!(
+            DiscardCause::NoNextHop.to_string(),
+            "no next hop for outgoing label"
+        );
+        assert_eq!(DiscardCause::LinkDown.to_string(), "link down");
+    }
+
+    #[test]
+    fn each_cause_increments_its_own_counter() {
+        // Every variant must land in its own slot: recording cause c once
+        // yields get(c) == 1 and zero everywhere else.
+        for &cause in &DiscardCause::ALL {
+            let mut counts = CauseCounts::default();
+            counts.record(cause);
+            for &other in &DiscardCause::ALL {
+                let expect = u64::from(other == cause);
+                assert_eq!(counts.get(other), expect, "{cause:?} leaked into {other:?}");
+            }
+            assert_eq!(counts.total(), 1);
+        }
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let mut counts = CauseCounts::default();
+        for (i, &cause) in DiscardCause::ALL.iter().enumerate() {
+            for _ in 0..=i {
+                counts.record(cause);
+            }
+        }
+        // 1 + 2 + ... + 8 recordings.
+        assert_eq!(counts.total(), (1..=8).sum::<u64>());
+        let by_iter: u64 = counts.iter().map(|(_, n)| n).sum();
+        assert_eq!(by_iter, counts.total());
+        assert_eq!(counts.get(DiscardCause::NoEntryFound), 1);
+        assert_eq!(counts.get(DiscardCause::LinkLoss), 8);
     }
 }

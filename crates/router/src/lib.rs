@@ -28,6 +28,6 @@ pub mod pipeline;
 pub mod software;
 
 pub use embedded::EmbeddedRouter;
-pub use forwarding::{Action, DiscardCause, Forwarding, MplsForwarder, RouterStats};
+pub use forwarding::{Action, CauseCounts, DiscardCause, Forwarding, MplsForwarder, RouterStats};
 pub use pipeline::RouterTables;
 pub use software::{SoftwareRouter, SwTimingModel};

@@ -34,8 +34,7 @@ impl RouterTables {
                 fec.prefix,
                 LabelBinding::new(fec.push_label, mpls_dataplane::LabelOp::Push),
             );
-            t.fec_cos
-                .insert((fec.prefix.addr, fec.prefix.len), fec.cos);
+            t.fec_cos.insert((fec.prefix.addr, fec.prefix.len), fec.cos);
         }
         for nh in &cfg.next_hops {
             t.next_hops.insert(nh.label.map(Label::value), nh.next);
@@ -43,7 +42,7 @@ impl RouterTables {
         for r in &cfg.ip_routes {
             t.ip_routes.push((r.prefix, r.next));
         }
-        t.ip_routes.sort_by(|a, b| b.0.len.cmp(&a.0.len));
+        t.ip_routes.sort_by_key(|r| std::cmp::Reverse(r.0.len));
         t
     }
 
@@ -75,11 +74,7 @@ impl RouterTables {
 
     /// Resolves the post-update step shared by both routers: where does a
     /// packet whose stack now has `top` go, given its IP destination?
-    pub fn resolve_egress(
-        &self,
-        top: Option<Label>,
-        dst: u32,
-    ) -> Result<Hop, DiscardCause> {
+    pub fn resolve_egress(&self, top: Option<Label>, dst: u32) -> Result<Hop, DiscardCause> {
         if let Some(hop) = self.next_hop(top) {
             return Ok(hop);
         }

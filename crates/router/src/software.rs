@@ -12,9 +12,7 @@ use crate::forwarding::{Action, DiscardCause, Forwarding, MplsForwarder, RouterS
 use crate::pipeline::RouterTables;
 use mpls_control::{Hop, NodeConfig, NodeId, RouterRole};
 use mpls_dataplane::fib::FibLevel;
-use mpls_dataplane::{
-    Discard, LookupStrategy, ProcessResult, SoftwareForwarder, SwRouterType,
-};
+use mpls_dataplane::{Discard, LookupStrategy, ProcessResult, SoftwareForwarder, SwRouterType};
 use mpls_packet::{label::LabelStackEntry, CosBits, MplsPacket};
 use serde::{Deserialize, Serialize};
 
@@ -50,11 +48,27 @@ fn to_cause(d: Discard) -> DiscardCause {
 #[derive(Debug, Clone)]
 pub struct SoftwareRouter<S: LookupStrategy> {
     node: NodeId,
+    rtype: SwRouterType,
     forwarder: SoftwareForwarder<S>,
     tables: RouterTables,
     timing: SwTimingModel,
     stats: RouterStats,
     last_probes: u64,
+}
+
+/// Loads a fresh FIB from a node configuration.
+fn load_fib<S: LookupStrategy>(rtype: SwRouterType, config: &NodeConfig) -> SoftwareForwarder<S> {
+    let mut forwarder = SoftwareForwarder::new(rtype);
+    for b in &config.bindings {
+        let level = match b.level {
+            1 => FibLevel::L1,
+            2 => FibLevel::L2,
+            _ => FibLevel::L3,
+        };
+        let op = b.op;
+        forwarder.bind(level, b.key, b.new_label, op);
+    }
+    forwarder
 }
 
 impl<S: LookupStrategy> SoftwareRouter<S> {
@@ -65,19 +79,10 @@ impl<S: LookupStrategy> SoftwareRouter<S> {
             RouterRole::Ler => SwRouterType::Ler,
             RouterRole::Lsr => SwRouterType::Lsr,
         };
-        let mut forwarder = SoftwareForwarder::new(rtype);
-        for b in &config.bindings {
-            let level = match b.level {
-                1 => FibLevel::L1,
-                2 => FibLevel::L2,
-                _ => FibLevel::L3,
-            };
-            let op = b.op;
-            forwarder.bind(level, b.key, b.new_label, op);
-        }
         Self {
             node,
-            forwarder,
+            rtype,
+            forwarder: load_fib(rtype, config),
             tables: RouterTables::from_config(config),
             timing,
             stats: RouterStats::default(),
@@ -96,7 +101,10 @@ impl<S: LookupStrategy> SoftwareRouter<S> {
         match &action {
             Action::Forward { .. } => self.stats.forwarded += 1,
             Action::Deliver(_) => self.stats.delivered += 1,
-            Action::Discard(_) => self.stats.discarded += 1,
+            Action::Discard(cause) => {
+                self.stats.discarded += 1;
+                self.stats.by_cause.record(*cause);
+            }
         }
         Forwarding { action, latency_ns }
     }
@@ -114,9 +122,7 @@ impl<S: LookupStrategy> MplsForwarder for SoftwareRouter<S> {
         if packet.stack.is_empty() {
             match self.tables.ip_route(dst) {
                 Some(Hop::Local) => return self.finish(1, Action::Deliver(packet)),
-                Some(Hop::Node(next)) => {
-                    return self.finish(1, Action::Forward { next, packet })
-                }
+                Some(Hop::Node(next)) => return self.finish(1, Action::Forward { next, packet }),
                 None => {}
             }
             // Software ingress classifies by longest-prefix match
@@ -166,6 +172,11 @@ impl<S: LookupStrategy> MplsForwarder for SoftwareRouter<S> {
 
     fn stats(&self) -> RouterStats {
         self.stats
+    }
+
+    fn reprogram(&mut self, config: &NodeConfig) {
+        self.forwarder = load_fib(self.rtype, config);
+        self.tables = RouterTables::from_config(config);
     }
 }
 
@@ -252,7 +263,8 @@ mod tests {
             SoftwareRouter::new(2, RouterRole::Lsr, &cp.config_for(2), timing);
         let mut p = packet_to("192.168.1.5");
         let mut s = LabelStack::new();
-        s.push_parts(lsp.hop_labels[0], CosBits::BEST_EFFORT, 63).unwrap();
+        s.push_parts(lsp.hop_labels[0], CosBits::BEST_EFFORT, 63)
+            .unwrap();
         p.splice_stack(s);
         let out = transit.handle(p);
         // 1 hash probe + 1 next-hop resolution = 2 probes on top of fixed.
@@ -270,8 +282,12 @@ mod tests {
         );
         let mut p = packet_to("192.168.1.5");
         let mut s = LabelStack::new();
-        s.push_parts(mpls_packet::Label::new(4242).unwrap(), CosBits::BEST_EFFORT, 63)
-            .unwrap();
+        s.push_parts(
+            mpls_packet::Label::new(4242).unwrap(),
+            CosBits::BEST_EFFORT,
+            63,
+        )
+        .unwrap();
         p.splice_stack(s);
         assert_eq!(
             transit.handle(p).action,
@@ -294,7 +310,8 @@ mod tests {
         );
         let mut p = packet_to("192.168.1.5");
         let mut s = LabelStack::new();
-        s.push_parts(lsp.hop_labels[2], CosBits::BEST_EFFORT, 61).unwrap();
+        s.push_parts(lsp.hop_labels[2], CosBits::BEST_EFFORT, 61)
+            .unwrap();
         p.splice_stack(s);
         let out = egress.handle(p);
         assert!(matches!(out.action, Action::Deliver(p) if p.stack.is_empty()));

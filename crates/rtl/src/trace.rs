@@ -51,7 +51,7 @@ impl Trace {
     /// Stages the value of `signal` for the current cycle. Unsampled signals
     /// keep their previous value.
     pub fn sample(&mut self, signal: SignalId, value: u64) {
-        self.staging[signal.0] = crate::mask(value.max(0), self.signals[signal.0].width.max(1));
+        self.staging[signal.0] = crate::mask(value, self.signals[signal.0].width.max(1));
     }
 
     /// Stages a boolean signal.

@@ -55,8 +55,11 @@ fn parse_vcd(text: &str) -> ParsedVcd {
 /// Replays the parsed changes into a per-cycle value table.
 fn replay(parsed: &ParsedVcd, cycles: usize) -> HashMap<String, Vec<u64>> {
     let mut current: HashMap<&str, u64> = HashMap::new();
-    let mut out: HashMap<String, Vec<u64>> =
-        parsed.vars.values().map(|(n, _)| (n.clone(), Vec::new())).collect();
+    let mut out: HashMap<String, Vec<u64>> = parsed
+        .vars
+        .values()
+        .map(|(n, _)| (n.clone(), Vec::new()))
+        .collect();
     let mut idx = 0;
     for cycle in 0..cycles {
         while idx < parsed.changes.len() && parsed.changes[idx].0 <= cycle {

@@ -57,7 +57,10 @@ fn main() {
             Prefix::new(parse_addr("192.168.1.0").unwrap(), 24),
         ))
         .unwrap();
-    println!("LSP {id} established on the fast northern path: {:?}", cp.lsp(id).unwrap().path);
+    println!(
+        "LSP {id} established on the fast northern path: {:?}",
+        cp.lsp(id).unwrap().path
+    );
     run_traffic(&cp, "before failure ");
 
     // The core link LSR2-LSR3 fails.

@@ -25,7 +25,10 @@ fn main() {
         Label::new(500).unwrap(),
         IbOperation::Push,
     );
-    println!("write pair (packet-id 0xc0a80105 -> push 500): {} cycles", r.cycles);
+    println!(
+        "write pair (packet-id 0xc0a80105 -> push 500): {} cycles",
+        r.cycles
+    );
 
     // A packet arrives from the layer-2 network: empty stack, packet
     // identifier = IPv4 destination, TTL/CoS from the control path.
@@ -49,7 +52,12 @@ fn main() {
     let load = lsr.user_push(entry);
     // ...the modifier swaps...
     let update = lsr.update_stack(0, CosBits::BEST_EFFORT, 0);
-    assert_eq!(update.outcome, Outcome::Updated { op: IbOperation::Swap });
+    assert_eq!(
+        update.outcome,
+        Outcome::Updated {
+            op: IbOperation::Swap
+        }
+    );
     // ...and the egress packet processing module drains it.
     let unload = lsr.user_pop();
     let Outcome::Popped(out) = unload.outcome else {

@@ -24,11 +24,8 @@ fn scenario(te: bool) -> ControlPlane {
         Prefix::new(parse_addr("192.168.1.0").unwrap(), 24),
     ))
     .unwrap();
-    let mut voip = LspRequest::best_effort(
-        0,
-        1,
-        Prefix::new(parse_addr("192.168.1.10").unwrap(), 32),
-    );
+    let mut voip =
+        LspRequest::best_effort(0, 1, Prefix::new(parse_addr("192.168.1.10").unwrap(), 32));
     voip.cos = CosBits::EXPEDITED;
     if te {
         voip.explicit_route = Some(vec![0, 4, 5, 1]); // southern detour
@@ -68,7 +65,9 @@ fn run(te: bool, discipline: QueueDiscipline) -> (f64, f64, f64) {
         dst_addr: parse_addr("192.168.1.20").unwrap(),
         payload_bytes: 1446,
         precedence: 0,
-        pattern: TrafficPattern::Cbr { interval_ns: 11_000 },
+        pattern: TrafficPattern::Cbr {
+            interval_ns: 11_000,
+        },
         start_ns: 0,
         stop_ns: RUN_NS,
         police: None,
@@ -85,7 +84,10 @@ fn run(te: bool, discipline: QueueDiscipline) -> (f64, f64, f64) {
 fn main() {
     println!("VoIP quality while a bulk flow saturates the fast core path");
     println!("(200-byte VoIP packets every 2 ms vs ~1.1 Gb/s of 1500-byte bulk)\n");
-    println!("{:<16} {:>12} {:>12} {:>9}", "configuration", "delay (µs)", "jitter (µs)", "loss (%)");
+    println!(
+        "{:<16} {:>12} {:>12} {:>9}",
+        "configuration", "delay (µs)", "jitter (µs)", "loss (%)"
+    );
 
     let (d, j, l) = run(false, QueueDiscipline::Fifo { capacity: 64 });
     println!("{:<16} {d:>12.1} {j:>12.2} {l:>9.1}", "fifo");

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-6ccdc48d4dc1b56f.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-6ccdc48d4dc1b56f: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-9f9f7f0bd91f48d3.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-9f9f7f0bd91f48d3: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

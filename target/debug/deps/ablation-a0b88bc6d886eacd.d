@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-a0b88bc6d886eacd.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-a0b88bc6d886eacd: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/behavior-16da7ad4e67534ca.d: crates/core/tests/behavior.rs
+
+/root/repo/target/debug/deps/behavior-16da7ad4e67534ca: crates/core/tests/behavior.rs
+
+crates/core/tests/behavior.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/behavior-90278982f6bdba24.d: crates/core/tests/behavior.rs
+
+/root/repo/target/debug/deps/behavior-90278982f6bdba24: crates/core/tests/behavior.rs
+
+crates/core/tests/behavior.rs:

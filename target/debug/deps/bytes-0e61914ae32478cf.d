@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-0e61914ae32478cf.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-0e61914ae32478cf: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-67112b710d412f65.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-67112b710d412f65: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-e8d8ac0c26d95a4a.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-e8d8ac0c26d95a4a.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-e8d8ac0c26d95a4a.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-f2b76c39eece08fc.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-f2b76c39eece08fc.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-f2b76c39eece08fc.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

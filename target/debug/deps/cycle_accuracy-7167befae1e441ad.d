@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cycle_accuracy-7167befae1e441ad.d: crates/core/tests/cycle_accuracy.rs
+
+/root/repo/target/debug/deps/cycle_accuracy-7167befae1e441ad: crates/core/tests/cycle_accuracy.rs
+
+crates/core/tests/cycle_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cycle_accuracy-ceaeda4a17022997.d: crates/core/tests/cycle_accuracy.rs
+
+/root/repo/target/debug/deps/cycle_accuracy-ceaeda4a17022997: crates/core/tests/cycle_accuracy.rs
+
+crates/core/tests/cycle_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-a77f44969b68bccc.d: crates/core/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-a77f44969b68bccc: crates/core/tests/determinism.rs
+
+crates/core/tests/determinism.rs:

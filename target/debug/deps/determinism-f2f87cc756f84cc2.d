@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-f2f87cc756f84cc2.d: crates/core/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-f2f87cc756f84cc2: crates/core/tests/determinism.rs
+
+crates/core/tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/embedded_mpls-20065b91dfbe658d.d: src/lib.rs
+
+/root/repo/target/debug/deps/embedded_mpls-20065b91dfbe658d: src/lib.rs
+
+src/lib.rs:

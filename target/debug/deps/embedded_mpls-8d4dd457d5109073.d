@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/embedded_mpls-8d4dd457d5109073.d: src/lib.rs
+
+/root/repo/target/debug/deps/embedded_mpls-8d4dd457d5109073: src/lib.rs
+
+src/lib.rs:

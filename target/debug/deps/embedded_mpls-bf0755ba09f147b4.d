@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/embedded_mpls-bf0755ba09f147b4.d: src/lib.rs
+
+/root/repo/target/debug/deps/libembedded_mpls-bf0755ba09f147b4.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libembedded_mpls-bf0755ba09f147b4.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/embedded_mpls-d107feedf5a30cde.d: src/lib.rs
+
+/root/repo/target/debug/deps/libembedded_mpls-d107feedf5a30cde.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libembedded_mpls-d107feedf5a30cde.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-574d702a22ed32e3.d: crates/bench/src/bin/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-574d702a22ed32e3: crates/bench/src/bin/end_to_end.rs
+
+crates/bench/src/bin/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-7fd48d40d5b26823.d: crates/bench/src/bin/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-7fd48d40d5b26823: crates/bench/src/bin/end_to_end.rs
+
+crates/bench/src/bin/end_to_end.rs:

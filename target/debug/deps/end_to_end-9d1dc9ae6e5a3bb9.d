@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-9d1dc9ae6e5a3bb9.d: crates/bench/src/bin/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-9d1dc9ae6e5a3bb9: crates/bench/src/bin/end_to_end.rs
+
+crates/bench/src/bin/end_to_end.rs:

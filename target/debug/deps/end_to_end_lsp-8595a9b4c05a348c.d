@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_lsp-8595a9b4c05a348c.d: tests/end_to_end_lsp.rs
+
+/root/repo/target/debug/deps/end_to_end_lsp-8595a9b4c05a348c: tests/end_to_end_lsp.rs
+
+tests/end_to_end_lsp.rs:

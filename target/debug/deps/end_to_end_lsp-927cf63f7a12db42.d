@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_lsp-927cf63f7a12db42.d: tests/end_to_end_lsp.rs
+
+/root/repo/target/debug/deps/end_to_end_lsp-927cf63f7a12db42: tests/end_to_end_lsp.rs
+
+tests/end_to_end_lsp.rs:

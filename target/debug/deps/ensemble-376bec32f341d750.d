@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ensemble-376bec32f341d750.d: crates/bench/src/bin/ensemble.rs Cargo.toml
+
+/root/repo/target/debug/deps/libensemble-376bec32f341d750.rmeta: crates/bench/src/bin/ensemble.rs Cargo.toml
+
+crates/bench/src/bin/ensemble.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ensemble-4a79e93a0fceff8b.d: crates/bench/src/bin/ensemble.rs
+
+/root/repo/target/debug/deps/ensemble-4a79e93a0fceff8b: crates/bench/src/bin/ensemble.rs
+
+crates/bench/src/bin/ensemble.rs:

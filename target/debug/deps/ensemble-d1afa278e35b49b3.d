@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ensemble-d1afa278e35b49b3.d: crates/bench/src/bin/ensemble.rs
+
+/root/repo/target/debug/deps/ensemble-d1afa278e35b49b3: crates/bench/src/bin/ensemble.rs
+
+crates/bench/src/bin/ensemble.rs:

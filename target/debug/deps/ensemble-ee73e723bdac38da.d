@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ensemble-ee73e723bdac38da.d: crates/bench/src/bin/ensemble.rs
+
+/root/repo/target/debug/deps/ensemble-ee73e723bdac38da: crates/bench/src/bin/ensemble.rs
+
+crates/bench/src/bin/ensemble.rs:

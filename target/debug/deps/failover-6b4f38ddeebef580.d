@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failover-6b4f38ddeebef580.d: tests/failover.rs
+
+/root/repo/target/debug/deps/failover-6b4f38ddeebef580: tests/failover.rs
+
+tests/failover.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failover-779773673692af65.d: crates/bench/src/bin/failover.rs
+
+/root/repo/target/debug/deps/failover-779773673692af65: crates/bench/src/bin/failover.rs
+
+crates/bench/src/bin/failover.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failover-bf3e88659765e2a2.d: crates/bench/src/bin/failover.rs
+
+/root/repo/target/debug/deps/failover-bf3e88659765e2a2: crates/bench/src/bin/failover.rs
+
+crates/bench/src/bin/failover.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failover-e91b412ca4fdfaf6.d: tests/failover.rs
+
+/root/repo/target/debug/deps/failover-e91b412ca4fdfaf6: tests/failover.rs
+
+tests/failover.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_conservation-b9f471a4f07ddc0c.d: tests/fault_conservation.rs
+
+/root/repo/target/debug/deps/fault_conservation-b9f471a4f07ddc0c: tests/fault_conservation.rs
+
+tests/fault_conservation.rs:

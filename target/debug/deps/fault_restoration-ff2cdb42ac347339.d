@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_restoration-ff2cdb42ac347339.d: tests/fault_restoration.rs
+
+/root/repo/target/debug/deps/fault_restoration-ff2cdb42ac347339: tests/fault_restoration.rs
+
+tests/fault_restoration.rs:

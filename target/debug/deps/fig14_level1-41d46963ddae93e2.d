@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_level1-41d46963ddae93e2.d: crates/bench/src/bin/fig14_level1.rs
+
+/root/repo/target/debug/deps/fig14_level1-41d46963ddae93e2: crates/bench/src/bin/fig14_level1.rs
+
+crates/bench/src/bin/fig14_level1.rs:

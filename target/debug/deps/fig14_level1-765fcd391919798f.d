@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_level1-765fcd391919798f.d: crates/bench/src/bin/fig14_level1.rs
+
+/root/repo/target/debug/deps/fig14_level1-765fcd391919798f: crates/bench/src/bin/fig14_level1.rs
+
+crates/bench/src/bin/fig14_level1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_level1-7fa3170f34d2e6dc.d: crates/bench/src/bin/fig14_level1.rs
+
+/root/repo/target/debug/deps/fig14_level1-7fa3170f34d2e6dc: crates/bench/src/bin/fig14_level1.rs
+
+crates/bench/src/bin/fig14_level1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_level2-351813deea9184c1.d: crates/bench/src/bin/fig15_level2.rs
+
+/root/repo/target/debug/deps/fig15_level2-351813deea9184c1: crates/bench/src/bin/fig15_level2.rs
+
+crates/bench/src/bin/fig15_level2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_level2-bef145288fa9cf7f.d: crates/bench/src/bin/fig15_level2.rs
+
+/root/repo/target/debug/deps/fig15_level2-bef145288fa9cf7f: crates/bench/src/bin/fig15_level2.rs
+
+crates/bench/src/bin/fig15_level2.rs:

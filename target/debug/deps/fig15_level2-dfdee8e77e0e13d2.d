@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_level2-dfdee8e77e0e13d2.d: crates/bench/src/bin/fig15_level2.rs
+
+/root/repo/target/debug/deps/fig15_level2-dfdee8e77e0e13d2: crates/bench/src/bin/fig15_level2.rs
+
+crates/bench/src/bin/fig15_level2.rs:

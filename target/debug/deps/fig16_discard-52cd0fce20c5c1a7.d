@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_discard-52cd0fce20c5c1a7.d: crates/bench/src/bin/fig16_discard.rs
+
+/root/repo/target/debug/deps/fig16_discard-52cd0fce20c5c1a7: crates/bench/src/bin/fig16_discard.rs
+
+crates/bench/src/bin/fig16_discard.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_discard-7ec8756579ba860a.d: crates/bench/src/bin/fig16_discard.rs
+
+/root/repo/target/debug/deps/fig16_discard-7ec8756579ba860a: crates/bench/src/bin/fig16_discard.rs
+
+crates/bench/src/bin/fig16_discard.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_discard-cee54203245e41e9.d: crates/bench/src/bin/fig16_discard.rs
+
+/root/repo/target/debug/deps/fig16_discard-cee54203245e41e9: crates/bench/src/bin/fig16_discard.rs
+
+crates/bench/src/bin/fig16_discard.rs:

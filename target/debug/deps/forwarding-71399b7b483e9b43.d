@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/forwarding-71399b7b483e9b43.d: crates/bench/benches/forwarding.rs
+
+/root/repo/target/debug/deps/forwarding-71399b7b483e9b43: crates/bench/benches/forwarding.rs
+
+crates/bench/benches/forwarding.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fsm_schedule-8b86506cd03d87e2.d: crates/core/tests/fsm_schedule.rs
+
+/root/repo/target/debug/deps/fsm_schedule-8b86506cd03d87e2: crates/core/tests/fsm_schedule.rs
+
+crates/core/tests/fsm_schedule.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fsm_schedule-96cf1aac83cb5a9b.d: crates/core/tests/fsm_schedule.rs
+
+/root/repo/target/debug/deps/fsm_schedule-96cf1aac83cb5a9b: crates/core/tests/fsm_schedule.rs
+
+crates/core/tests/fsm_schedule.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hw_sw_differential-9820cb8d855aefd3.d: tests/hw_sw_differential.rs
+
+/root/repo/target/debug/deps/hw_sw_differential-9820cb8d855aefd3: tests/hw_sw_differential.rs
+
+tests/hw_sw_differential.rs:

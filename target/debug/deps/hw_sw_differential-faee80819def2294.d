@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hw_sw_differential-faee80819def2294.d: tests/hw_sw_differential.rs
+
+/root/repo/target/debug/deps/hw_sw_differential-faee80819def2294: tests/hw_sw_differential.rs
+
+tests/hw_sw_differential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hw_vs_sw-299383e75bef6f91.d: crates/bench/benches/hw_vs_sw.rs
+
+/root/repo/target/debug/deps/hw_vs_sw-299383e75bef6f91: crates/bench/benches/hw_vs_sw.rs
+
+crates/bench/benches/hw_vs_sw.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hw_vs_sw-2cd4c05844438cea.d: crates/bench/src/bin/hw_vs_sw.rs
+
+/root/repo/target/debug/deps/hw_vs_sw-2cd4c05844438cea: crates/bench/src/bin/hw_vs_sw.rs
+
+crates/bench/src/bin/hw_vs_sw.rs:

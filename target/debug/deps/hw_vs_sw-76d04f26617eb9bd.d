@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hw_vs_sw-76d04f26617eb9bd.d: crates/bench/src/bin/hw_vs_sw.rs
+
+/root/repo/target/debug/deps/hw_vs_sw-76d04f26617eb9bd: crates/bench/src/bin/hw_vs_sw.rs
+
+crates/bench/src/bin/hw_vs_sw.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hw_vs_sw-e234026d6e58df0a.d: crates/bench/src/bin/hw_vs_sw.rs
+
+/root/repo/target/debug/deps/hw_vs_sw-e234026d6e58df0a: crates/bench/src/bin/hw_vs_sw.rs
+
+crates/bench/src/bin/hw_vs_sw.rs:

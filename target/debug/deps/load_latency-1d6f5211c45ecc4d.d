@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/load_latency-1d6f5211c45ecc4d.d: crates/bench/src/bin/load_latency.rs
+
+/root/repo/target/debug/deps/load_latency-1d6f5211c45ecc4d: crates/bench/src/bin/load_latency.rs
+
+crates/bench/src/bin/load_latency.rs:

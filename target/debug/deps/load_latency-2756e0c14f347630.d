@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/load_latency-2756e0c14f347630.d: crates/bench/src/bin/load_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libload_latency-2756e0c14f347630.rmeta: crates/bench/src/bin/load_latency.rs Cargo.toml
+
+crates/bench/src/bin/load_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/load_latency-35e30132e1cd5b29.d: crates/bench/src/bin/load_latency.rs
+
+/root/repo/target/debug/deps/load_latency-35e30132e1cd5b29: crates/bench/src/bin/load_latency.rs
+
+crates/bench/src/bin/load_latency.rs:

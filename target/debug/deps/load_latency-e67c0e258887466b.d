@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/load_latency-e67c0e258887466b.d: crates/bench/src/bin/load_latency.rs
+
+/root/repo/target/debug/deps/load_latency-e67c0e258887466b: crates/bench/src/bin/load_latency.rs
+
+crates/bench/src/bin/load_latency.rs:

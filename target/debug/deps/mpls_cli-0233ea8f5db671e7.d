@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mpls_cli-0233ea8f5db671e7.d: crates/cli/src/lib.rs crates/cli/src/report.rs crates/cli/src/scenario.rs crates/cli/src/../scenarios/example.json
+
+/root/repo/target/debug/deps/mpls_cli-0233ea8f5db671e7: crates/cli/src/lib.rs crates/cli/src/report.rs crates/cli/src/scenario.rs crates/cli/src/../scenarios/example.json
+
+crates/cli/src/lib.rs:
+crates/cli/src/report.rs:
+crates/cli/src/scenario.rs:
+crates/cli/src/../scenarios/example.json:

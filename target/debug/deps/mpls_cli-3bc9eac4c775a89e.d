@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mpls_cli-3bc9eac4c775a89e.d: crates/cli/src/lib.rs crates/cli/src/report.rs crates/cli/src/scenario.rs
+
+/root/repo/target/debug/deps/libmpls_cli-3bc9eac4c775a89e.rlib: crates/cli/src/lib.rs crates/cli/src/report.rs crates/cli/src/scenario.rs
+
+/root/repo/target/debug/deps/libmpls_cli-3bc9eac4c775a89e.rmeta: crates/cli/src/lib.rs crates/cli/src/report.rs crates/cli/src/scenario.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/report.rs:
+crates/cli/src/scenario.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mpls_cli-b862aa29d49568b1.d: crates/cli/src/lib.rs crates/cli/src/report.rs crates/cli/src/scenario.rs
+
+/root/repo/target/debug/deps/libmpls_cli-b862aa29d49568b1.rlib: crates/cli/src/lib.rs crates/cli/src/report.rs crates/cli/src/scenario.rs
+
+/root/repo/target/debug/deps/libmpls_cli-b862aa29d49568b1.rmeta: crates/cli/src/lib.rs crates/cli/src/report.rs crates/cli/src/scenario.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/report.rs:
+crates/cli/src/scenario.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mpls_control-7c7780fcb49398bb.d: crates/control/src/lib.rs crates/control/src/config.rs crates/control/src/cspf.rs crates/control/src/label_alloc.rs crates/control/src/signaling.rs crates/control/src/topology.rs
+
+/root/repo/target/debug/deps/mpls_control-7c7780fcb49398bb: crates/control/src/lib.rs crates/control/src/config.rs crates/control/src/cspf.rs crates/control/src/label_alloc.rs crates/control/src/signaling.rs crates/control/src/topology.rs
+
+crates/control/src/lib.rs:
+crates/control/src/config.rs:
+crates/control/src/cspf.rs:
+crates/control/src/label_alloc.rs:
+crates/control/src/signaling.rs:
+crates/control/src/topology.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mpls_control-d18ca57af3f94918.d: crates/control/src/lib.rs crates/control/src/config.rs crates/control/src/cspf.rs crates/control/src/label_alloc.rs crates/control/src/signaling.rs crates/control/src/topology.rs
+
+/root/repo/target/debug/deps/mpls_control-d18ca57af3f94918: crates/control/src/lib.rs crates/control/src/config.rs crates/control/src/cspf.rs crates/control/src/label_alloc.rs crates/control/src/signaling.rs crates/control/src/topology.rs
+
+crates/control/src/lib.rs:
+crates/control/src/config.rs:
+crates/control/src/cspf.rs:
+crates/control/src/label_alloc.rs:
+crates/control/src/signaling.rs:
+crates/control/src/topology.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mpls_control-d81359490908b8ca.d: crates/control/src/lib.rs crates/control/src/config.rs crates/control/src/cspf.rs crates/control/src/label_alloc.rs crates/control/src/signaling.rs crates/control/src/topology.rs
+
+/root/repo/target/debug/deps/libmpls_control-d81359490908b8ca.rlib: crates/control/src/lib.rs crates/control/src/config.rs crates/control/src/cspf.rs crates/control/src/label_alloc.rs crates/control/src/signaling.rs crates/control/src/topology.rs
+
+/root/repo/target/debug/deps/libmpls_control-d81359490908b8ca.rmeta: crates/control/src/lib.rs crates/control/src/config.rs crates/control/src/cspf.rs crates/control/src/label_alloc.rs crates/control/src/signaling.rs crates/control/src/topology.rs
+
+crates/control/src/lib.rs:
+crates/control/src/config.rs:
+crates/control/src/cspf.rs:
+crates/control/src/label_alloc.rs:
+crates/control/src/signaling.rs:
+crates/control/src/topology.rs:

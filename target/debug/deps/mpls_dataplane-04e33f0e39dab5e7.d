@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mpls_dataplane-04e33f0e39dab5e7.d: crates/dataplane/src/lib.rs crates/dataplane/src/fib.rs crates/dataplane/src/forwarder.rs crates/dataplane/src/ftn.rs crates/dataplane/src/lookup.rs crates/dataplane/src/rfc.rs crates/dataplane/src/types.rs
+
+/root/repo/target/debug/deps/libmpls_dataplane-04e33f0e39dab5e7.rlib: crates/dataplane/src/lib.rs crates/dataplane/src/fib.rs crates/dataplane/src/forwarder.rs crates/dataplane/src/ftn.rs crates/dataplane/src/lookup.rs crates/dataplane/src/rfc.rs crates/dataplane/src/types.rs
+
+/root/repo/target/debug/deps/libmpls_dataplane-04e33f0e39dab5e7.rmeta: crates/dataplane/src/lib.rs crates/dataplane/src/fib.rs crates/dataplane/src/forwarder.rs crates/dataplane/src/ftn.rs crates/dataplane/src/lookup.rs crates/dataplane/src/rfc.rs crates/dataplane/src/types.rs
+
+crates/dataplane/src/lib.rs:
+crates/dataplane/src/fib.rs:
+crates/dataplane/src/forwarder.rs:
+crates/dataplane/src/ftn.rs:
+crates/dataplane/src/lookup.rs:
+crates/dataplane/src/rfc.rs:
+crates/dataplane/src/types.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mpls_dataplane-cb8c9440bc5e734a.d: crates/dataplane/src/lib.rs crates/dataplane/src/fib.rs crates/dataplane/src/forwarder.rs crates/dataplane/src/ftn.rs crates/dataplane/src/lookup.rs crates/dataplane/src/rfc.rs crates/dataplane/src/types.rs
+
+/root/repo/target/debug/deps/libmpls_dataplane-cb8c9440bc5e734a.rlib: crates/dataplane/src/lib.rs crates/dataplane/src/fib.rs crates/dataplane/src/forwarder.rs crates/dataplane/src/ftn.rs crates/dataplane/src/lookup.rs crates/dataplane/src/rfc.rs crates/dataplane/src/types.rs
+
+/root/repo/target/debug/deps/libmpls_dataplane-cb8c9440bc5e734a.rmeta: crates/dataplane/src/lib.rs crates/dataplane/src/fib.rs crates/dataplane/src/forwarder.rs crates/dataplane/src/ftn.rs crates/dataplane/src/lookup.rs crates/dataplane/src/rfc.rs crates/dataplane/src/types.rs
+
+crates/dataplane/src/lib.rs:
+crates/dataplane/src/fib.rs:
+crates/dataplane/src/forwarder.rs:
+crates/dataplane/src/ftn.rs:
+crates/dataplane/src/lookup.rs:
+crates/dataplane/src/rfc.rs:
+crates/dataplane/src/types.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mpls_dataplane-e49c831cb47a08a1.d: crates/dataplane/src/lib.rs crates/dataplane/src/fib.rs crates/dataplane/src/forwarder.rs crates/dataplane/src/ftn.rs crates/dataplane/src/lookup.rs crates/dataplane/src/rfc.rs crates/dataplane/src/types.rs
+
+/root/repo/target/debug/deps/mpls_dataplane-e49c831cb47a08a1: crates/dataplane/src/lib.rs crates/dataplane/src/fib.rs crates/dataplane/src/forwarder.rs crates/dataplane/src/ftn.rs crates/dataplane/src/lookup.rs crates/dataplane/src/rfc.rs crates/dataplane/src/types.rs
+
+crates/dataplane/src/lib.rs:
+crates/dataplane/src/fib.rs:
+crates/dataplane/src/forwarder.rs:
+crates/dataplane/src/ftn.rs:
+crates/dataplane/src/lookup.rs:
+crates/dataplane/src/rfc.rs:
+crates/dataplane/src/types.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mpls_net-c197df2441c8b891.d: crates/net/src/lib.rs crates/net/src/event.rs crates/net/src/histogram.rs crates/net/src/link.rs crates/net/src/policer.rs crates/net/src/queue.rs crates/net/src/sim.rs crates/net/src/stats.rs crates/net/src/traffic.rs
+
+/root/repo/target/debug/deps/libmpls_net-c197df2441c8b891.rlib: crates/net/src/lib.rs crates/net/src/event.rs crates/net/src/histogram.rs crates/net/src/link.rs crates/net/src/policer.rs crates/net/src/queue.rs crates/net/src/sim.rs crates/net/src/stats.rs crates/net/src/traffic.rs
+
+/root/repo/target/debug/deps/libmpls_net-c197df2441c8b891.rmeta: crates/net/src/lib.rs crates/net/src/event.rs crates/net/src/histogram.rs crates/net/src/link.rs crates/net/src/policer.rs crates/net/src/queue.rs crates/net/src/sim.rs crates/net/src/stats.rs crates/net/src/traffic.rs
+
+crates/net/src/lib.rs:
+crates/net/src/event.rs:
+crates/net/src/histogram.rs:
+crates/net/src/link.rs:
+crates/net/src/policer.rs:
+crates/net/src/queue.rs:
+crates/net/src/sim.rs:
+crates/net/src/stats.rs:
+crates/net/src/traffic.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mpls_packet-3611925e47f87023.d: crates/packet/src/lib.rs crates/packet/src/error.rs crates/packet/src/ethernet.rs crates/packet/src/ipv4.rs crates/packet/src/label.rs crates/packet/src/packet.rs crates/packet/src/stack.rs
+
+/root/repo/target/debug/deps/libmpls_packet-3611925e47f87023.rlib: crates/packet/src/lib.rs crates/packet/src/error.rs crates/packet/src/ethernet.rs crates/packet/src/ipv4.rs crates/packet/src/label.rs crates/packet/src/packet.rs crates/packet/src/stack.rs
+
+/root/repo/target/debug/deps/libmpls_packet-3611925e47f87023.rmeta: crates/packet/src/lib.rs crates/packet/src/error.rs crates/packet/src/ethernet.rs crates/packet/src/ipv4.rs crates/packet/src/label.rs crates/packet/src/packet.rs crates/packet/src/stack.rs
+
+crates/packet/src/lib.rs:
+crates/packet/src/error.rs:
+crates/packet/src/ethernet.rs:
+crates/packet/src/ipv4.rs:
+crates/packet/src/label.rs:
+crates/packet/src/packet.rs:
+crates/packet/src/stack.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mpls_packet-c98f9893364edac5.d: crates/packet/src/lib.rs crates/packet/src/error.rs crates/packet/src/ethernet.rs crates/packet/src/ipv4.rs crates/packet/src/label.rs crates/packet/src/packet.rs crates/packet/src/stack.rs
+
+/root/repo/target/debug/deps/mpls_packet-c98f9893364edac5: crates/packet/src/lib.rs crates/packet/src/error.rs crates/packet/src/ethernet.rs crates/packet/src/ipv4.rs crates/packet/src/label.rs crates/packet/src/packet.rs crates/packet/src/stack.rs
+
+crates/packet/src/lib.rs:
+crates/packet/src/error.rs:
+crates/packet/src/ethernet.rs:
+crates/packet/src/ipv4.rs:
+crates/packet/src/label.rs:
+crates/packet/src/packet.rs:
+crates/packet/src/stack.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mpls_packet-dd17a1b0402e947b.d: crates/packet/src/lib.rs crates/packet/src/error.rs crates/packet/src/ethernet.rs crates/packet/src/ipv4.rs crates/packet/src/label.rs crates/packet/src/packet.rs crates/packet/src/stack.rs
+
+/root/repo/target/debug/deps/libmpls_packet-dd17a1b0402e947b.rlib: crates/packet/src/lib.rs crates/packet/src/error.rs crates/packet/src/ethernet.rs crates/packet/src/ipv4.rs crates/packet/src/label.rs crates/packet/src/packet.rs crates/packet/src/stack.rs
+
+/root/repo/target/debug/deps/libmpls_packet-dd17a1b0402e947b.rmeta: crates/packet/src/lib.rs crates/packet/src/error.rs crates/packet/src/ethernet.rs crates/packet/src/ipv4.rs crates/packet/src/label.rs crates/packet/src/packet.rs crates/packet/src/stack.rs
+
+crates/packet/src/lib.rs:
+crates/packet/src/error.rs:
+crates/packet/src/ethernet.rs:
+crates/packet/src/ipv4.rs:
+crates/packet/src/label.rs:
+crates/packet/src/packet.rs:
+crates/packet/src/stack.rs:

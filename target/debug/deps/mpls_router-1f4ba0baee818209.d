@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mpls_router-1f4ba0baee818209.d: crates/router/src/lib.rs crates/router/src/embedded.rs crates/router/src/forwarding.rs crates/router/src/pipeline.rs crates/router/src/software.rs
+
+/root/repo/target/debug/deps/libmpls_router-1f4ba0baee818209.rlib: crates/router/src/lib.rs crates/router/src/embedded.rs crates/router/src/forwarding.rs crates/router/src/pipeline.rs crates/router/src/software.rs
+
+/root/repo/target/debug/deps/libmpls_router-1f4ba0baee818209.rmeta: crates/router/src/lib.rs crates/router/src/embedded.rs crates/router/src/forwarding.rs crates/router/src/pipeline.rs crates/router/src/software.rs
+
+crates/router/src/lib.rs:
+crates/router/src/embedded.rs:
+crates/router/src/forwarding.rs:
+crates/router/src/pipeline.rs:
+crates/router/src/software.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mpls_router-6ffc923bc0431e67.d: crates/router/src/lib.rs crates/router/src/embedded.rs crates/router/src/forwarding.rs crates/router/src/pipeline.rs crates/router/src/software.rs
+
+/root/repo/target/debug/deps/mpls_router-6ffc923bc0431e67: crates/router/src/lib.rs crates/router/src/embedded.rs crates/router/src/forwarding.rs crates/router/src/pipeline.rs crates/router/src/software.rs
+
+crates/router/src/lib.rs:
+crates/router/src/embedded.rs:
+crates/router/src/forwarding.rs:
+crates/router/src/pipeline.rs:
+crates/router/src/software.rs:

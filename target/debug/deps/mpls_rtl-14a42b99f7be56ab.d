@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mpls_rtl-14a42b99f7be56ab.d: crates/rtl/src/lib.rs crates/rtl/src/comparator.rs crates/rtl/src/counter.rs crates/rtl/src/memory.rs crates/rtl/src/register.rs crates/rtl/src/trace.rs crates/rtl/src/vcd.rs
+
+/root/repo/target/debug/deps/mpls_rtl-14a42b99f7be56ab: crates/rtl/src/lib.rs crates/rtl/src/comparator.rs crates/rtl/src/counter.rs crates/rtl/src/memory.rs crates/rtl/src/register.rs crates/rtl/src/trace.rs crates/rtl/src/vcd.rs
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/comparator.rs:
+crates/rtl/src/counter.rs:
+crates/rtl/src/memory.rs:
+crates/rtl/src/register.rs:
+crates/rtl/src/trace.rs:
+crates/rtl/src/vcd.rs:

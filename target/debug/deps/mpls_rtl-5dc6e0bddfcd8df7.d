@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mpls_rtl-5dc6e0bddfcd8df7.d: crates/rtl/src/lib.rs crates/rtl/src/comparator.rs crates/rtl/src/counter.rs crates/rtl/src/memory.rs crates/rtl/src/register.rs crates/rtl/src/trace.rs crates/rtl/src/vcd.rs
+
+/root/repo/target/debug/deps/mpls_rtl-5dc6e0bddfcd8df7: crates/rtl/src/lib.rs crates/rtl/src/comparator.rs crates/rtl/src/counter.rs crates/rtl/src/memory.rs crates/rtl/src/register.rs crates/rtl/src/trace.rs crates/rtl/src/vcd.rs
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/comparator.rs:
+crates/rtl/src/counter.rs:
+crates/rtl/src/memory.rs:
+crates/rtl/src/register.rs:
+crates/rtl/src/trace.rs:
+crates/rtl/src/vcd.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mpls_rtl-73b44720c5b43a69.d: crates/rtl/src/lib.rs crates/rtl/src/comparator.rs crates/rtl/src/counter.rs crates/rtl/src/memory.rs crates/rtl/src/register.rs crates/rtl/src/trace.rs crates/rtl/src/vcd.rs
+
+/root/repo/target/debug/deps/libmpls_rtl-73b44720c5b43a69.rlib: crates/rtl/src/lib.rs crates/rtl/src/comparator.rs crates/rtl/src/counter.rs crates/rtl/src/memory.rs crates/rtl/src/register.rs crates/rtl/src/trace.rs crates/rtl/src/vcd.rs
+
+/root/repo/target/debug/deps/libmpls_rtl-73b44720c5b43a69.rmeta: crates/rtl/src/lib.rs crates/rtl/src/comparator.rs crates/rtl/src/counter.rs crates/rtl/src/memory.rs crates/rtl/src/register.rs crates/rtl/src/trace.rs crates/rtl/src/vcd.rs
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/comparator.rs:
+crates/rtl/src/counter.rs:
+crates/rtl/src/memory.rs:
+crates/rtl/src/register.rs:
+crates/rtl/src/trace.rs:
+crates/rtl/src/vcd.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/mpls_sim-5e4350759732cb4c.d: crates/cli/src/main.rs crates/cli/src/../scenarios/example.json
+
+/root/repo/target/debug/deps/mpls_sim-5e4350759732cb4c: crates/cli/src/main.rs crates/cli/src/../scenarios/example.json
+
+crates/cli/src/main.rs:
+crates/cli/src/../scenarios/example.json:

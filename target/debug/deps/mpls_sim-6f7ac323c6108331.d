@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/mpls_sim-6f7ac323c6108331.d: crates/cli/src/main.rs crates/cli/src/../scenarios/example.json
+
+/root/repo/target/debug/deps/mpls_sim-6f7ac323c6108331: crates/cli/src/main.rs crates/cli/src/../scenarios/example.json
+
+crates/cli/src/main.rs:
+crates/cli/src/../scenarios/example.json:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/mpls_sim-789496d4ad1e32b4.d: crates/cli/src/main.rs crates/cli/src/../scenarios/example.json
+
+/root/repo/target/debug/deps/mpls_sim-789496d4ad1e32b4: crates/cli/src/main.rs crates/cli/src/../scenarios/example.json
+
+crates/cli/src/main.rs:
+crates/cli/src/../scenarios/example.json:

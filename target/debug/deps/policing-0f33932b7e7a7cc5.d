@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/policing-0f33932b7e7a7cc5.d: tests/policing.rs
+
+/root/repo/target/debug/deps/policing-0f33932b7e7a7cc5: tests/policing.rs
+
+tests/policing.rs:

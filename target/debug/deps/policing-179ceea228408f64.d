@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/policing-179ceea228408f64.d: tests/policing.rs
+
+/root/repo/target/debug/deps/policing-179ceea228408f64: tests/policing.rs
+
+tests/policing.rs:

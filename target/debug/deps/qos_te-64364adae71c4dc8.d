@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qos_te-64364adae71c4dc8.d: crates/bench/src/bin/qos_te.rs
+
+/root/repo/target/debug/deps/qos_te-64364adae71c4dc8: crates/bench/src/bin/qos_te.rs
+
+crates/bench/src/bin/qos_te.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qos_te-69a05282e1fbae3e.d: crates/bench/src/bin/qos_te.rs
+
+/root/repo/target/debug/deps/qos_te-69a05282e1fbae3e: crates/bench/src/bin/qos_te.rs
+
+crates/bench/src/bin/qos_te.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qos_te-d6938838870ffd36.d: crates/bench/src/bin/qos_te.rs
+
+/root/repo/target/debug/deps/qos_te-d6938838870ffd36: crates/bench/src/bin/qos_te.rs
+
+crates/bench/src/bin/qos_te.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qos_te-e7a67dcac56268fa.d: crates/bench/src/bin/qos_te.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqos_te-e7a67dcac56268fa.rmeta: crates/bench/src/bin/qos_te.rs Cargo.toml
+
+crates/bench/src/bin/qos_te.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

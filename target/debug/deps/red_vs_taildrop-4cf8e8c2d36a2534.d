@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/red_vs_taildrop-4cf8e8c2d36a2534.d: crates/bench/src/bin/red_vs_taildrop.rs
+
+/root/repo/target/debug/deps/red_vs_taildrop-4cf8e8c2d36a2534: crates/bench/src/bin/red_vs_taildrop.rs
+
+crates/bench/src/bin/red_vs_taildrop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/red_vs_taildrop-b31e7bbd99d06a8c.d: crates/bench/src/bin/red_vs_taildrop.rs
+
+/root/repo/target/debug/deps/red_vs_taildrop-b31e7bbd99d06a8c: crates/bench/src/bin/red_vs_taildrop.rs
+
+crates/bench/src/bin/red_vs_taildrop.rs:

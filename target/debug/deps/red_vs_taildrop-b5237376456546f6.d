@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/red_vs_taildrop-b5237376456546f6.d: crates/bench/src/bin/red_vs_taildrop.rs
+
+/root/repo/target/debug/deps/red_vs_taildrop-b5237376456546f6: crates/bench/src/bin/red_vs_taildrop.rs
+
+crates/bench/src/bin/red_vs_taildrop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/search-1470bbd3763f8628.d: crates/bench/benches/search.rs
+
+/root/repo/target/debug/deps/search-1470bbd3763f8628: crates/bench/benches/search.rs
+
+crates/bench/benches/search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/search_scaling-2a90ffa7dceac819.d: crates/bench/src/bin/search_scaling.rs
+
+/root/repo/target/debug/deps/search_scaling-2a90ffa7dceac819: crates/bench/src/bin/search_scaling.rs
+
+crates/bench/src/bin/search_scaling.rs:

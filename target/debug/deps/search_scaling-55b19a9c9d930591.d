@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/search_scaling-55b19a9c9d930591.d: crates/bench/src/bin/search_scaling.rs
+
+/root/repo/target/debug/deps/search_scaling-55b19a9c9d930591: crates/bench/src/bin/search_scaling.rs
+
+crates/bench/src/bin/search_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/search_scaling-71bcc90611a75270.d: crates/bench/src/bin/search_scaling.rs
+
+/root/repo/target/debug/deps/search_scaling-71bcc90611a75270: crates/bench/src/bin/search_scaling.rs
+
+crates/bench/src/bin/search_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulation_invariants-a99b018f9b21cc41.d: tests/simulation_invariants.rs
+
+/root/repo/target/debug/deps/simulation_invariants-a99b018f9b21cc41: tests/simulation_invariants.rs
+
+tests/simulation_invariants.rs:

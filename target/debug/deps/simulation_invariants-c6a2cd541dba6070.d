@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulation_invariants-c6a2cd541dba6070.d: tests/simulation_invariants.rs
+
+/root/repo/target/debug/deps/simulation_invariants-c6a2cd541dba6070: tests/simulation_invariants.rs
+
+tests/simulation_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stack_ops-14fb787ca97ae6f8.d: crates/bench/benches/stack_ops.rs
+
+/root/repo/target/debug/deps/stack_ops-14fb787ca97ae6f8: crates/bench/benches/stack_ops.rs
+
+crates/bench/benches/stack_ops.rs:

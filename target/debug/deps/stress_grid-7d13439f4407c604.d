@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress_grid-7d13439f4407c604.d: tests/stress_grid.rs
+
+/root/repo/target/debug/deps/stress_grid-7d13439f4407c604: tests/stress_grid.rs
+
+tests/stress_grid.rs:

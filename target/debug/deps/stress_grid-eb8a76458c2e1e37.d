@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress_grid-eb8a76458c2e1e37.d: tests/stress_grid.rs
+
+/root/repo/target/debug/deps/stress_grid-eb8a76458c2e1e37: tests/stress_grid.rs
+
+tests/stress_grid.rs:

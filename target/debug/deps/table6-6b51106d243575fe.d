@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-6b51106d243575fe.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-6b51106d243575fe: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

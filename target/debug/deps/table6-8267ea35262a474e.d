@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-8267ea35262a474e.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-8267ea35262a474e: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

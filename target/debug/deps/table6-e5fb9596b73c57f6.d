@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-e5fb9596b73c57f6.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-e5fb9596b73c57f6: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-ecdacd34766a1cd4.d: crates/bench/benches/table6.rs
+
+/root/repo/target/debug/deps/table6-ecdacd34766a1cd4: crates/bench/benches/table6.rs
+
+crates/bench/benches/table6.rs:

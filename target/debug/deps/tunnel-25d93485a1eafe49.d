@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tunnel-25d93485a1eafe49.d: tests/tunnel.rs
+
+/root/repo/target/debug/deps/tunnel-25d93485a1eafe49: tests/tunnel.rs
+
+tests/tunnel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tunnel-e5b87507dfe80822.d: tests/tunnel.rs
+
+/root/repo/target/debug/deps/tunnel-e5b87507dfe80822: tests/tunnel.rs
+
+tests/tunnel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vcd_roundtrip-0f160c13a2235161.d: crates/rtl/tests/vcd_roundtrip.rs
+
+/root/repo/target/debug/deps/vcd_roundtrip-0f160c13a2235161: crates/rtl/tests/vcd_roundtrip.rs
+
+crates/rtl/tests/vcd_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vcd_roundtrip-dad3cf19a12b8333.d: crates/rtl/tests/vcd_roundtrip.rs
+
+/root/repo/target/debug/deps/vcd_roundtrip-dad3cf19a12b8333: crates/rtl/tests/vcd_roundtrip.rs
+
+crates/rtl/tests/vcd_roundtrip.rs:

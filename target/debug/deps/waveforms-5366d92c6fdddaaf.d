@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/waveforms-5366d92c6fdddaaf.d: crates/core/tests/waveforms.rs
+
+/root/repo/target/debug/deps/waveforms-5366d92c6fdddaaf: crates/core/tests/waveforms.rs
+
+crates/core/tests/waveforms.rs:

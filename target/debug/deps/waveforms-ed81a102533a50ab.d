@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/waveforms-ed81a102533a50ab.d: crates/core/tests/waveforms.rs
+
+/root/repo/target/debug/deps/waveforms-ed81a102533a50ab: crates/core/tests/waveforms.rs
+
+crates/core/tests/waveforms.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failover-5912fdf6c4afb79f.d: examples/failover.rs
+
+/root/repo/target/debug/examples/failover-5912fdf6c4afb79f: examples/failover.rs
+
+examples/failover.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failover-5d8822219614a0cb.d: examples/failover.rs
+
+/root/repo/target/debug/examples/failover-5d8822219614a0cb: examples/failover.rs
+
+examples/failover.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lsp_tunnel-608e19d68f2cb5b8.d: examples/lsp_tunnel.rs
+
+/root/repo/target/debug/examples/lsp_tunnel-608e19d68f2cb5b8: examples/lsp_tunnel.rs
+
+examples/lsp_tunnel.rs:

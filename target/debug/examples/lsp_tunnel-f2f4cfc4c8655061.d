@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lsp_tunnel-f2f4cfc4c8655061.d: examples/lsp_tunnel.rs
+
+/root/repo/target/debug/examples/lsp_tunnel-f2f4cfc4c8655061: examples/lsp_tunnel.rs
+
+examples/lsp_tunnel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-178bd4ff66d7f87d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-178bd4ff66d7f87d: examples/quickstart.rs
+
+examples/quickstart.rs:

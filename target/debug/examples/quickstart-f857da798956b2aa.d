@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f857da798956b2aa.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f857da798956b2aa: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/voip_qos-76fe00eefc45bb78.d: examples/voip_qos.rs
+
+/root/repo/target/debug/examples/voip_qos-76fe00eefc45bb78: examples/voip_qos.rs
+
+examples/voip_qos.rs:

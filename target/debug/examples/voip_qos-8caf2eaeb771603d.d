@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/voip_qos-8caf2eaeb771603d.d: examples/voip_qos.rs
+
+/root/repo/target/debug/examples/voip_qos-8caf2eaeb771603d: examples/voip_qos.rs
+
+examples/voip_qos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/waveforms-93828a310c5b2469.d: examples/waveforms.rs
+
+/root/repo/target/debug/examples/waveforms-93828a310c5b2469: examples/waveforms.rs
+
+examples/waveforms.rs:

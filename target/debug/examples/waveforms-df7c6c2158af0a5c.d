@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/waveforms-df7c6c2158af0a5c.d: examples/waveforms.rs
+
+/root/repo/target/debug/examples/waveforms-df7c6c2158af0a5c: examples/waveforms.rs
+
+examples/waveforms.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libbytes.rlib: /root/repo/vendor/bytes/src/lib.rs /root/repo/vendor/serde/src/lib.rs /root/repo/vendor/serde_derive/src/lib.rs

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-c33df2668540d6d7.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-c33df2668540d6d7.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-c33df2668540d6d7.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/embedded_mpls-1437cd63552b5900.d: src/lib.rs
+
+/root/repo/target/release/deps/libembedded_mpls-1437cd63552b5900.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libembedded_mpls-1437cd63552b5900.rmeta: src/lib.rs
+
+src/lib.rs:

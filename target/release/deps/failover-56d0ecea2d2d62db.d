@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failover-56d0ecea2d2d62db.d: crates/bench/src/bin/failover.rs
+
+/root/repo/target/release/deps/failover-56d0ecea2d2d62db: crates/bench/src/bin/failover.rs
+
+crates/bench/src/bin/failover.rs:

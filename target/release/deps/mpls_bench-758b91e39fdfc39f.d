@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mpls_bench-758b91e39fdfc39f.d: crates/bench/src/lib.rs crates/bench/src/figure_print.rs crates/bench/src/report.rs crates/bench/src/scenarios.rs
+
+/root/repo/target/release/deps/libmpls_bench-758b91e39fdfc39f.rlib: crates/bench/src/lib.rs crates/bench/src/figure_print.rs crates/bench/src/report.rs crates/bench/src/scenarios.rs
+
+/root/repo/target/release/deps/libmpls_bench-758b91e39fdfc39f.rmeta: crates/bench/src/lib.rs crates/bench/src/figure_print.rs crates/bench/src/report.rs crates/bench/src/scenarios.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figure_print.rs:
+crates/bench/src/report.rs:
+crates/bench/src/scenarios.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mpls_cli-964050a77a4ea8dd.d: crates/cli/src/lib.rs crates/cli/src/report.rs crates/cli/src/scenario.rs
+
+/root/repo/target/release/deps/libmpls_cli-964050a77a4ea8dd.rlib: crates/cli/src/lib.rs crates/cli/src/report.rs crates/cli/src/scenario.rs
+
+/root/repo/target/release/deps/libmpls_cli-964050a77a4ea8dd.rmeta: crates/cli/src/lib.rs crates/cli/src/report.rs crates/cli/src/scenario.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/report.rs:
+crates/cli/src/scenario.rs:

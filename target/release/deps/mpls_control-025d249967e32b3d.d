@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mpls_control-025d249967e32b3d.d: crates/control/src/lib.rs crates/control/src/config.rs crates/control/src/cspf.rs crates/control/src/label_alloc.rs crates/control/src/signaling.rs crates/control/src/topology.rs
+
+/root/repo/target/release/deps/libmpls_control-025d249967e32b3d.rlib: crates/control/src/lib.rs crates/control/src/config.rs crates/control/src/cspf.rs crates/control/src/label_alloc.rs crates/control/src/signaling.rs crates/control/src/topology.rs
+
+/root/repo/target/release/deps/libmpls_control-025d249967e32b3d.rmeta: crates/control/src/lib.rs crates/control/src/config.rs crates/control/src/cspf.rs crates/control/src/label_alloc.rs crates/control/src/signaling.rs crates/control/src/topology.rs
+
+crates/control/src/lib.rs:
+crates/control/src/config.rs:
+crates/control/src/cspf.rs:
+crates/control/src/label_alloc.rs:
+crates/control/src/signaling.rs:
+crates/control/src/topology.rs:

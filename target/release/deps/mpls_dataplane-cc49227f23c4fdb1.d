@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mpls_dataplane-cc49227f23c4fdb1.d: crates/dataplane/src/lib.rs crates/dataplane/src/fib.rs crates/dataplane/src/forwarder.rs crates/dataplane/src/ftn.rs crates/dataplane/src/lookup.rs crates/dataplane/src/rfc.rs crates/dataplane/src/types.rs
+
+/root/repo/target/release/deps/libmpls_dataplane-cc49227f23c4fdb1.rlib: crates/dataplane/src/lib.rs crates/dataplane/src/fib.rs crates/dataplane/src/forwarder.rs crates/dataplane/src/ftn.rs crates/dataplane/src/lookup.rs crates/dataplane/src/rfc.rs crates/dataplane/src/types.rs
+
+/root/repo/target/release/deps/libmpls_dataplane-cc49227f23c4fdb1.rmeta: crates/dataplane/src/lib.rs crates/dataplane/src/fib.rs crates/dataplane/src/forwarder.rs crates/dataplane/src/ftn.rs crates/dataplane/src/lookup.rs crates/dataplane/src/rfc.rs crates/dataplane/src/types.rs
+
+crates/dataplane/src/lib.rs:
+crates/dataplane/src/fib.rs:
+crates/dataplane/src/forwarder.rs:
+crates/dataplane/src/ftn.rs:
+crates/dataplane/src/lookup.rs:
+crates/dataplane/src/rfc.rs:
+crates/dataplane/src/types.rs:

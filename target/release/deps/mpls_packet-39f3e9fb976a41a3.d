@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mpls_packet-39f3e9fb976a41a3.d: crates/packet/src/lib.rs crates/packet/src/error.rs crates/packet/src/ethernet.rs crates/packet/src/ipv4.rs crates/packet/src/label.rs crates/packet/src/packet.rs crates/packet/src/stack.rs
+
+/root/repo/target/release/deps/libmpls_packet-39f3e9fb976a41a3.rlib: crates/packet/src/lib.rs crates/packet/src/error.rs crates/packet/src/ethernet.rs crates/packet/src/ipv4.rs crates/packet/src/label.rs crates/packet/src/packet.rs crates/packet/src/stack.rs
+
+/root/repo/target/release/deps/libmpls_packet-39f3e9fb976a41a3.rmeta: crates/packet/src/lib.rs crates/packet/src/error.rs crates/packet/src/ethernet.rs crates/packet/src/ipv4.rs crates/packet/src/label.rs crates/packet/src/packet.rs crates/packet/src/stack.rs
+
+crates/packet/src/lib.rs:
+crates/packet/src/error.rs:
+crates/packet/src/ethernet.rs:
+crates/packet/src/ipv4.rs:
+crates/packet/src/label.rs:
+crates/packet/src/packet.rs:
+crates/packet/src/stack.rs:

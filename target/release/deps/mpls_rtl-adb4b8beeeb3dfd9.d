@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mpls_rtl-adb4b8beeeb3dfd9.d: crates/rtl/src/lib.rs crates/rtl/src/comparator.rs crates/rtl/src/counter.rs crates/rtl/src/memory.rs crates/rtl/src/register.rs crates/rtl/src/trace.rs crates/rtl/src/vcd.rs
+
+/root/repo/target/release/deps/libmpls_rtl-adb4b8beeeb3dfd9.rlib: crates/rtl/src/lib.rs crates/rtl/src/comparator.rs crates/rtl/src/counter.rs crates/rtl/src/memory.rs crates/rtl/src/register.rs crates/rtl/src/trace.rs crates/rtl/src/vcd.rs
+
+/root/repo/target/release/deps/libmpls_rtl-adb4b8beeeb3dfd9.rmeta: crates/rtl/src/lib.rs crates/rtl/src/comparator.rs crates/rtl/src/counter.rs crates/rtl/src/memory.rs crates/rtl/src/register.rs crates/rtl/src/trace.rs crates/rtl/src/vcd.rs
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/comparator.rs:
+crates/rtl/src/counter.rs:
+crates/rtl/src/memory.rs:
+crates/rtl/src/register.rs:
+crates/rtl/src/trace.rs:
+crates/rtl/src/vcd.rs:

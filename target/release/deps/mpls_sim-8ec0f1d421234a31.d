@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/mpls_sim-8ec0f1d421234a31.d: crates/cli/src/main.rs crates/cli/src/../scenarios/example.json
+
+/root/repo/target/release/deps/mpls_sim-8ec0f1d421234a31: crates/cli/src/main.rs crates/cli/src/../scenarios/example.json
+
+crates/cli/src/main.rs:
+crates/cli/src/../scenarios/example.json:

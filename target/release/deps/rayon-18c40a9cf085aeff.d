@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-18c40a9cf085aeff.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-18c40a9cf085aeff.rlib: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-18c40a9cf085aeff.rmeta: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

@@ -196,11 +196,8 @@ fn software_chain_delivers_the_same_packet() {
 #[test]
 fn php_lsp_delivers_plain_ip_over_last_hop() {
     let mut cp = ControlPlane::new(Topology::figure1_example());
-    let mut req = LspRequest::best_effort(
-        0,
-        1,
-        Prefix::new(parse_addr("192.168.1.0").unwrap(), 24),
-    );
+    let mut req =
+        LspRequest::best_effort(0, 1, Prefix::new(parse_addr("192.168.1.0").unwrap(), 24));
     req.php = true;
     cp.establish_lsp(req).unwrap();
 

@@ -54,13 +54,14 @@ fn failure_blackholes_then_reroute_restores() {
     assert_eq!(s.delivered, s.sent);
     let fast_delay = s.mean_delay_ns();
 
-    // Failure: the stale forwarding state blackholes at the broken hop.
+    // Failure: the stale forwarding state steers into the dead link,
+    // which the simulation builds in the down state and counts against.
     let link = cp.topology().link_between(2, 3).unwrap();
     assert_eq!(cp.fail_link(link), vec![id]);
     let during = run(&cp);
     let s = during.flow("app").unwrap();
     assert_eq!(s.delivered, 0, "stale path must blackhole");
-    assert_eq!(s.router_dropped, s.sent);
+    assert_eq!(s.link_dropped, s.sent);
 
     // Restoration: reroute onto the southern path; lossless but slower.
     let new_id = cp.reroute_lsp(id).unwrap();

@@ -1,0 +1,127 @@
+//! Packet conservation under arbitrary fault schedules: however the
+//! links flap and whatever the recovery mode, every emitted packet ends
+//! up in exactly one of the six accounting buckets once the network
+//! drains.
+
+use mpls_control::{ControlPlane, LspRequest, Topology};
+use mpls_core::ClockSpec;
+use mpls_dataplane::ftn::Prefix;
+use mpls_net::traffic::{FlowSpec, TrafficPattern};
+use mpls_net::{
+    FaultPlan, QueueDiscipline, RecoveryMode, RestorationPolicy, RouterKind, Simulation,
+};
+use mpls_packet::ipv4::parse_addr;
+use proptest::prelude::*;
+
+fn plane(protected: bool) -> ControlPlane {
+    let mut cp = ControlPlane::new(Topology::figure1_example());
+    let lsp = cp
+        .establish_lsp(LspRequest::best_effort(
+            0,
+            1,
+            Prefix::new(parse_addr("192.168.1.0").unwrap(), 24),
+        ))
+        .unwrap();
+    if protected {
+        cp.protect_lsp(lsp).unwrap();
+    }
+    cp
+}
+
+fn probe(interval_ns: u64, stop_ns: u64) -> FlowSpec {
+    FlowSpec {
+        name: "probe".into(),
+        ingress: 0,
+        src_addr: parse_addr("10.0.0.1").unwrap(),
+        dst_addr: parse_addr("192.168.1.5").unwrap(),
+        payload_bytes: 256,
+        precedence: 0,
+        pattern: TrafficPattern::Cbr { interval_ns },
+        start_ns: 0,
+        stop_ns,
+        police: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// sent == delivered + router + queue + policer + link + loss drops,
+    /// for random outage windows, flap seeds, wire-loss rates and
+    /// recovery modes.
+    #[test]
+    fn conservation_holds_under_arbitrary_faults(
+        seed in 0u64..1000,
+        interval_ns in 50_000u64..500_000,
+        down_ms in 1u64..40,
+        outage_ms in 1u64..40,
+        which_link in 0usize..3,
+        mode_pick in 0u8..3,
+        loss_milli in 0u64..500,
+        detection_us in 100u64..5_000,
+        flap: bool,
+    ) {
+        let mode = match mode_pick {
+            0 => RecoveryMode::None,
+            1 => RecoveryMode::Restoration,
+            _ => RecoveryMode::Protection,
+        };
+        let cp = plane(mode == RecoveryMode::Protection);
+        let topo = cp.topology();
+        // Fail one of the three northern links the LSP crosses.
+        let link = [
+            topo.link_between(0, 2).unwrap(),
+            topo.link_between(2, 3).unwrap(),
+            topo.link_between(3, 1).unwrap(),
+        ][which_link];
+        let south = topo.link_between(4, 5).unwrap();
+
+        let mut plan = FaultPlan::new(RestorationPolicy {
+            detection_delay_ns: detection_us * 1_000,
+            resignal_delay_ns: 1_000_000,
+            mode,
+            ..RestorationPolicy::default()
+        });
+        let down_ns = down_ms * 1_000_000;
+        plan.outage(link, down_ns, down_ns + outage_ms * 1_000_000);
+        if flap {
+            // A second, overlapping flap storm on the southern detour.
+            plan.random_flaps(south, seed, 80_000_000, 10_000_000, 3_000_000);
+        }
+        if loss_milli > 0 {
+            plan.random_loss(link, loss_milli as f64 / 1000.0);
+        }
+
+        let mut sim = Simulation::build(
+            &cp,
+            RouterKind::Embedded { clock: ClockSpec::STRATIX_50MHZ },
+            QueueDiscipline::Fifo { capacity: 32 },
+            seed,
+        );
+        sim.set_fault_plan(plan);
+        sim.add_flow(probe(interval_ns, 80_000_000));
+
+        // Generous horizon so retries, hold-downs and drains all settle.
+        let report = sim.run(10_000_000_000);
+        let s = report.flow("probe").unwrap();
+        prop_assert!(s.sent > 0);
+        prop_assert_eq!(
+            s.sent,
+            s.delivered
+                + s.router_dropped
+                + s.queue_dropped
+                + s.policer_dropped
+                + s.link_dropped
+                + s.loss_dropped,
+            "conservation violated: {:?}", s.drop_causes
+        );
+        // The per-cause breakdown covers exactly the drops it claims to.
+        prop_assert_eq!(
+            s.drop_causes.total(),
+            s.router_dropped + s.link_dropped + s.loss_dropped
+        );
+        // Fault records never claim more loss than the flow saw.
+        let attributed: u64 = report.faults.iter().map(|f| f.packets_lost).sum();
+        prop_assert!(attributed <= s.link_dropped);
+    }
+}

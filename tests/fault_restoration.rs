@@ -1,0 +1,183 @@
+//! Acceptance tests for the runtime fault-injection subsystem: a mid-run
+//! outage is detected after the configured delay, restoration/protection
+//! brings traffic back, and every lost packet is attributed to the fault.
+
+use mpls_control::{ControlPlane, LspRequest, Topology};
+use mpls_core::ClockSpec;
+use mpls_dataplane::ftn::Prefix;
+use mpls_net::traffic::{FlowSpec, TrafficPattern};
+use mpls_net::{
+    FaultPlan, QueueDiscipline, RecoveryMode, RestorationPolicy, RouterKind, SimReport, Simulation,
+};
+use mpls_packet::ipv4::parse_addr;
+
+const RUN_NS: u64 = 100_000_000; // 100 ms
+const DOWN_NS: u64 = 30_000_000;
+const UP_NS: u64 = 70_000_000;
+const DETECTION_NS: u64 = 1_000_000;
+const RESIGNAL_NS: u64 = 2_000_000;
+
+fn probe() -> FlowSpec {
+    FlowSpec {
+        name: "probe".into(),
+        ingress: 0,
+        src_addr: parse_addr("10.0.0.1").unwrap(),
+        dst_addr: parse_addr("192.168.1.5").unwrap(),
+        payload_bytes: 256,
+        precedence: 0,
+        pattern: TrafficPattern::Cbr {
+            interval_ns: 200_000, // 5k pkt/s
+        },
+        start_ns: 0,
+        stop_ns: RUN_NS,
+        police: None,
+    }
+}
+
+fn run(mode: RecoveryMode) -> SimReport {
+    let mut cp = ControlPlane::new(Topology::figure1_example());
+    let lsp = cp
+        .establish_lsp(LspRequest::best_effort(
+            0,
+            1,
+            Prefix::new(parse_addr("192.168.1.0").unwrap(), 24),
+        ))
+        .unwrap();
+    if mode == RecoveryMode::Protection {
+        cp.protect_lsp(lsp).unwrap();
+    }
+    let core = cp.topology().link_between(2, 3).unwrap();
+
+    let mut sim = Simulation::build(
+        &cp,
+        RouterKind::Embedded {
+            clock: ClockSpec::STRATIX_50MHZ,
+        },
+        QueueDiscipline::Fifo { capacity: 64 },
+        99,
+    );
+    let mut plan = FaultPlan::new(RestorationPolicy {
+        detection_delay_ns: DETECTION_NS,
+        resignal_delay_ns: RESIGNAL_NS,
+        mode,
+        ..RestorationPolicy::default()
+    });
+    plan.outage(core, DOWN_NS, UP_NS);
+    sim.set_fault_plan(plan);
+    sim.add_flow(probe());
+    sim.run(RUN_NS + 50_000_000)
+}
+
+/// The window where loss is possible: outage start until restoration,
+/// stretched by the northern path's ~1.5 ms pipeline depth (packets
+/// already behind the cut at restoration time still die at the dead
+/// link).
+fn max_loss(restored_ns: u64) -> u64 {
+    let pipeline_ns = 1_500_000;
+    (restored_ns + pipeline_ns - DOWN_NS) / 200_000 + 1
+}
+
+#[test]
+fn midrun_outage_restores_with_bounded_timed_loss() {
+    let report = run(RecoveryMode::Restoration);
+    let s = report.flow("probe").unwrap();
+
+    assert_eq!(report.faults.len(), 1);
+    let rec = &report.faults[0];
+    assert_eq!(rec.down_ns, DOWN_NS);
+    assert_eq!(rec.detected_ns, Some(DOWN_NS + DETECTION_NS));
+    assert_eq!(rec.link_up_ns, Some(UP_NS));
+    // Restoration = detection + one successful re-signal round.
+    assert_eq!(rec.restored_ns, Some(DOWN_NS + DETECTION_NS + RESIGNAL_NS));
+    let ttr = rec.time_to_restore_ns().unwrap();
+    assert!(ttr > 0, "restoration takes nonzero time");
+    assert_eq!(ttr, DETECTION_NS + RESIGNAL_NS);
+
+    // Every loss is link-attributed, and confined to the outage window:
+    // nothing sent after restoration (+ pipeline drain) is lost.
+    assert!(s.link_dropped > 0);
+    assert_eq!(s.sent, s.delivered + s.link_dropped, "no stray drop causes");
+    assert_eq!(s.link_dropped, rec.packets_lost);
+    assert!(
+        rec.packets_lost <= max_loss(rec.restored_ns.unwrap()),
+        "loss must stop once the LSP is restored: {} lost",
+        rec.packets_lost
+    );
+}
+
+#[test]
+fn protection_strictly_beats_restoration() {
+    let p = run(RecoveryMode::Protection);
+    let r = run(RecoveryMode::Restoration);
+    let p_rec = &p.faults[0];
+    let r_rec = &r.faults[0];
+
+    // Protection switches at detection; restoration pays an extra
+    // signaling round trip of loss on top.
+    assert_eq!(p_rec.restored_ns, Some(DOWN_NS + DETECTION_NS));
+    assert!(
+        p_rec.packets_lost < r_rec.packets_lost,
+        "protection ({}) must lose strictly less than restoration ({})",
+        p_rec.packets_lost,
+        r_rec.packets_lost
+    );
+    assert!(p_rec.time_to_restore_ns().unwrap() < r_rec.time_to_restore_ns().unwrap());
+
+    // Both deliver everything sent outside the loss window.
+    for report in [&p, &r] {
+        let s = report.flow("probe").unwrap();
+        assert_eq!(s.sent, s.delivered + s.link_dropped);
+    }
+}
+
+#[test]
+fn unrecoverable_fault_stays_unrestored() {
+    // Sole path 0-1; no alternate route, so every re-signal fails and
+    // the record never restores.
+    let mut topo = Topology::new();
+    topo.add_node(0, mpls_control::RouterRole::Ler, "a");
+    topo.add_node(1, mpls_control::RouterRole::Ler, "b");
+    topo.add_link(mpls_control::LinkSpec {
+        a: 0,
+        b: 1,
+        cost: 1,
+        bandwidth_bps: 1_000_000_000,
+        delay_ns: 500_000,
+    });
+    let mut cp = ControlPlane::new(topo);
+    cp.establish_lsp(LspRequest::best_effort(
+        0,
+        1,
+        Prefix::new(parse_addr("192.168.1.0").unwrap(), 24),
+    ))
+    .unwrap();
+    let only = cp.topology().link_between(0, 1).unwrap();
+
+    let mut sim = Simulation::build(
+        &cp,
+        RouterKind::Embedded {
+            clock: ClockSpec::STRATIX_50MHZ,
+        },
+        QueueDiscipline::Fifo { capacity: 64 },
+        7,
+    );
+    let mut plan = FaultPlan::new(RestorationPolicy {
+        detection_delay_ns: DETECTION_NS,
+        resignal_delay_ns: RESIGNAL_NS,
+        max_retries: 2,
+        mode: RecoveryMode::Restoration,
+        ..RestorationPolicy::default()
+    });
+    plan.link_down(DOWN_NS, only);
+    sim.set_fault_plan(plan);
+    sim.add_flow(probe());
+    let report = sim.run(RUN_NS + 50_000_000);
+
+    let rec = &report.faults[0];
+    assert_eq!(rec.detected_ns, Some(DOWN_NS + DETECTION_NS));
+    assert_eq!(rec.restored_ns, None, "no alternate path to restore onto");
+    assert_eq!(rec.link_up_ns, None);
+    let s = report.flow("probe").unwrap();
+    assert_eq!(s.delivered + s.link_dropped, s.sent);
+    assert_eq!(rec.packets_lost, s.link_dropped);
+}

@@ -91,7 +91,11 @@ fn check_equivalence<S: LookupStrategy>(
     push_cos: u8,
     push_ttl: u8,
 ) -> Result<(), TestCaseError> {
-    let rt_hw = if is_lsr { RouterType::Lsr } else { RouterType::Ler };
+    let rt_hw = if is_lsr {
+        RouterType::Lsr
+    } else {
+        RouterType::Ler
+    };
     let rt_sw = if is_lsr {
         SwRouterType::Lsr
     } else {

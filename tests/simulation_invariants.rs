@@ -29,7 +29,15 @@ fn plane() -> ControlPlane {
     cp
 }
 
-fn flow(name: String, ingress: u32, dst: &str, interval_ns: u64, payload: usize, prec: u8, stop_ns: u64) -> FlowSpec {
+fn flow(
+    name: String,
+    ingress: u32,
+    dst: &str,
+    interval_ns: u64,
+    payload: usize,
+    prec: u8,
+    stop_ns: u64,
+) -> FlowSpec {
     FlowSpec {
         name,
         ingress,

@@ -95,12 +95,7 @@ fn setup() -> TunnelWorld {
 
 impl TunnelWorld {
     fn router(&mut self, id: u32) -> &mut EmbeddedRouter {
-        &mut self
-            .routers
-            .iter_mut()
-            .find(|(i, _)| *i == id)
-            .unwrap()
-            .1
+        &mut self.routers.iter_mut().find(|(i, _)| *i == id).unwrap().1
     }
 }
 
@@ -134,7 +129,11 @@ fn stack_depth_profile_through_the_tunnel() {
         panic!("interior must forward")
     };
     assert_eq!(next, 22);
-    assert_eq!(p3.stack.depth(), 1, "tunnel label popped at the penultimate");
+    assert_eq!(
+        p3.stack.depth(),
+        1,
+        "tunnel label popped at the penultimate"
+    );
     assert_eq!(p3.stack.top().unwrap().label, inner_label);
 
     // LSR22 (tail): ordinary transit swap of the inner label.

@@ -1,0 +1,118 @@
+//! Vendored shim for the `rayon` crate. Implements the one pattern the
+//! workspace uses — `slice.par_iter().map(f).collect()` — on top of
+//! `std::thread::scope`, chunking the input across the machine's cores.
+//! Ordering of results matches the sequential iterator exactly.
+
+/// Borrowing parallel iteration over a collection.
+pub trait IntoParallelRefIterator<'data> {
+    /// Borrowed item type.
+    type Item: 'data;
+    /// The iterator produced.
+    type Iter;
+
+    /// A parallel iterator over `&self`'s items.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = ParIter<'data, T>;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = ParIter<'data, T>;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// A parallel iterator over a slice.
+pub struct ParIter<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Maps each item through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+    where
+        F: Fn(&'data T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            slice: self.slice,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParIter::map`]; consumed by [`ParMap::collect`].
+pub struct ParMap<'data, T, F> {
+    slice: &'data [T],
+    f: F,
+}
+
+impl<'data, T: Sync, F> ParMap<'data, T, F> {
+    /// Runs the map across threads and collects results in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        F: Fn(&'data T) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        let n = self.slice.len();
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n.max(1));
+        if threads <= 1 || n <= 1 {
+            return self.slice.iter().map(&self.f).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let f = &self.f;
+        std::thread::scope(|scope| {
+            for (items, outs) in self.slice.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (slot, item) in outs.iter_mut().zip(items) {
+                        *slot = Some(f(item));
+                    }
+                });
+            }
+        });
+        out.into_iter()
+            .map(|r| r.expect("worker filled slot"))
+            .collect()
+    }
+}
+
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_order_and_values() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_on_small_and_empty_inputs() {
+        let empty: Vec<u32> = vec![];
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [41u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![42]);
+    }
+}

@@ -1,0 +1,718 @@
+//! Vendored shim for `serde_derive`: `#[derive(Serialize, Deserialize)]`
+//! implemented directly over `proc_macro::TokenStream` (no syn/quote in
+//! this offline build environment). The generated impls target the
+//! `Value`-based traits in the vendored `serde` shim.
+//!
+//! Supported shapes: non-generic structs (named, tuple, unit) and enums
+//! (unit, newtype/tuple, struct variants). Supported attributes:
+//! `#[serde(default)]`, `#[serde(default = "path")]`, `#[serde(skip)]`,
+//! `#[serde(transparent)]`, `#[serde(deny_unknown_fields)]`, and
+//! internally tagged enums via `#[serde(tag = "...", rename_all =
+//! "snake_case")]`. That is exactly the attribute surface this workspace
+//! uses; anything else produces a compile error rather than silently
+//! wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------
+// Parsed model
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct ContainerAttrs {
+    transparent: bool,
+    deny_unknown: bool,
+    tag: Option<String>,
+    rename_all: Option<String>,
+}
+
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    skip: bool,
+    /// `None`: required; `Some(None)`: `Default::default()`;
+    /// `Some(Some(path))`: call `path()`.
+    default: Option<Option<String>>,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    attrs: ContainerAttrs,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------
+// Token cursor
+// ---------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("expected identifier, got {other:?}")),
+        }
+    }
+
+    /// Skips a visibility qualifier (`pub`, `pub(crate)`, ...).
+    fn skip_visibility(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Skips tokens until a top-level `,` (consumed) or end of stream.
+    /// Angle brackets nest (`HashMap<NodeId, RouterStats>` is one type).
+    fn skip_until_comma(&mut self) {
+        let mut angle: i32 = 0;
+        while let Some(t) = self.peek() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    ',' if angle == 0 => {
+                        self.pos += 1;
+                        return;
+                    }
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Attribute parsing
+// ---------------------------------------------------------------------
+
+fn strip_quotes(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+enum AttrTarget<'a> {
+    Container(&'a mut ContainerAttrs),
+    Field(&'a mut FieldAttrs),
+}
+
+/// Consumes leading `#[...]` attributes, folding `#[serde(...)]` into
+/// the target and ignoring everything else (docs, repr, derive, ...).
+fn collect_attrs(cur: &mut Cursor, mut target: AttrTarget) -> Result<(), String> {
+    loop {
+        let is_attr = matches!(cur.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#');
+        if !is_attr {
+            return Ok(());
+        }
+        cur.next();
+        let group = match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => return Err(format!("malformed attribute, got {other:?}")),
+        };
+        let mut inner = Cursor::new(group.stream());
+        if !inner.eat_ident("serde") {
+            continue;
+        }
+        let args = match inner.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+            other => return Err(format!("malformed serde attribute, got {other:?}")),
+        };
+        let mut args = Cursor::new(args.stream());
+        while !args.at_end() {
+            let key = args.expect_ident()?;
+            let value = if args.eat_punct('=') {
+                match args.next() {
+                    Some(TokenTree::Literal(l)) => Some(strip_quotes(&l.to_string())),
+                    other => {
+                        return Err(format!("expected literal after `{key} =`, got {other:?}"))
+                    }
+                }
+            } else {
+                None
+            };
+            args.eat_punct(',');
+            match (&mut target, key.as_str(), value) {
+                (AttrTarget::Container(c), "transparent", None) => c.transparent = true,
+                (AttrTarget::Container(c), "deny_unknown_fields", None) => c.deny_unknown = true,
+                (AttrTarget::Container(c), "tag", Some(v)) => c.tag = Some(v),
+                (AttrTarget::Container(c), "rename_all", Some(v)) => c.rename_all = Some(v),
+                (AttrTarget::Field(f), "skip", None) => f.skip = true,
+                (AttrTarget::Field(f), "default", v) => f.default = Some(v),
+                (_, other, _) => {
+                    return Err(format!(
+                        "unsupported serde attribute `{other}` in shim derive"
+                    ))
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Item parsing
+// ---------------------------------------------------------------------
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !cur.at_end() {
+        let mut attrs = FieldAttrs::default();
+        collect_attrs(&mut cur, AttrTarget::Field(&mut attrs))?;
+        if cur.at_end() {
+            break;
+        }
+        cur.skip_visibility();
+        let name = cur.expect_ident()?;
+        if !cur.eat_punct(':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        cur.skip_until_comma();
+        fields.push(Field { name, attrs });
+    }
+    Ok(fields)
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Result<usize, String> {
+    let mut cur = Cursor::new(stream);
+    let mut count = 0;
+    while !cur.at_end() {
+        let mut attrs = FieldAttrs::default();
+        collect_attrs(&mut cur, AttrTarget::Field(&mut attrs))?;
+        if cur.at_end() {
+            break;
+        }
+        if attrs.skip || attrs.default.is_some() {
+            return Err("serde field attributes on tuple fields are not supported".into());
+        }
+        cur.skip_visibility();
+        cur.skip_until_comma();
+        count += 1;
+    }
+    Ok(count)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !cur.at_end() {
+        // Variant-level serde attributes are unused in this workspace;
+        // doc comments etc. still need skipping.
+        let mut ignored = FieldAttrs::default();
+        collect_attrs(&mut cur, AttrTarget::Field(&mut ignored))?;
+        if cur.at_end() {
+            break;
+        }
+        let name = cur.expect_ident()?;
+        let fields = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                cur.next();
+                Fields::Named(parse_named_fields(g)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                cur.next();
+                Fields::Tuple(parse_tuple_fields(g)?)
+            }
+            _ => Fields::Unit,
+        };
+        if cur.eat_punct('=') {
+            // Explicit discriminant (e.g. `Ipv4 = 0x0800`): skip it.
+            cur.skip_until_comma();
+        } else {
+            cur.eat_punct(',');
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut cur = Cursor::new(input);
+    let mut attrs = ContainerAttrs::default();
+    collect_attrs(&mut cur, AttrTarget::Container(&mut attrs))?;
+    cur.skip_visibility();
+    let kind = cur.expect_ident()?;
+    let name = cur.expect_ident()?;
+    if matches!(cur.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "shim derive does not support generic type `{name}`"
+        ));
+    }
+    let body = match kind.as_str() {
+        "struct" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Fields::Named(parse_named_fields(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Struct(Fields::Tuple(parse_tuple_fields(g.stream())?))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Struct(Fields::Unit),
+            other => return Err(format!("unexpected struct body {other:?}")),
+        },
+        "enum" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unexpected enum body {other:?}")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    Ok(Item { name, attrs, body })
+}
+
+// ---------------------------------------------------------------------
+// Code generation helpers
+// ---------------------------------------------------------------------
+
+fn rename_variant(attrs: &ContainerAttrs, name: &str) -> String {
+    match attrs.rename_all.as_deref() {
+        Some("snake_case") => {
+            let mut out = String::new();
+            for (i, c) in name.chars().enumerate() {
+                if c.is_ascii_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.push(c.to_ascii_lowercase());
+                } else {
+                    out.push(c);
+                }
+            }
+            out
+        }
+        Some("lowercase") => name.to_ascii_lowercase(),
+        Some(other) => panic!("unsupported rename_all rule `{other}` in shim derive"),
+        None => name.to_string(),
+    }
+}
+
+/// `__m.push(("name", field.to_value()));` lines for named fields.
+fn ser_named_pushes(fields: &[Field], access: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        if f.attrs.skip {
+            continue;
+        }
+        out.push_str(&format!(
+            "__m.push((\"{n}\".to_string(), ::serde::Serialize::to_value({a}{n})));\n",
+            n = f.name,
+            a = access,
+        ));
+    }
+    out
+}
+
+/// A struct-literal body rebuilding named fields from map entries bound
+/// to `__m` (a `&[(String, Value)]`).
+fn de_named_body(type_path: &str, fields: &[Field]) -> String {
+    let mut out = format!("{type_path} {{\n");
+    for f in fields {
+        let n = &f.name;
+        if f.attrs.skip {
+            out.push_str(&format!("{n}: ::std::default::Default::default(),\n"));
+            continue;
+        }
+        let missing = match &f.attrs.default {
+            Some(None) => "::std::default::Default::default()".to_string(),
+            Some(Some(path)) => format!("{path}()"),
+            None => format!(
+                "return ::std::result::Result::Err(::serde::Error::custom(\
+                 \"{type_path}: missing field `{n}`\"))"
+            ),
+        };
+        out.push_str(&format!(
+            "{n}: match ::serde::Value::get_entry(__m, \"{n}\") {{\n\
+             ::std::option::Option::Some(__fv) => ::serde::Deserialize::from_value(__fv)?,\n\
+             ::std::option::Option::None => {missing},\n\
+             }},\n"
+        ));
+    }
+    out.push('}');
+    out
+}
+
+fn deny_unknown_check(name: &str, fields: &[Field], extra_allowed: Option<&str>) -> String {
+    let mut arms: Vec<String> = fields
+        .iter()
+        .filter(|f| !f.attrs.skip)
+        .map(|f| format!("\"{}\"", f.name))
+        .collect();
+    if let Some(key) = extra_allowed {
+        arms.push(format!("\"{key}\""));
+    }
+    let pattern = if arms.is_empty() {
+        "\"\"".to_string()
+    } else {
+        arms.join(" | ")
+    };
+    format!(
+        "for (__k, _) in __m.iter() {{\n\
+         match __k.as_str() {{\n\
+         {pattern} => {{}}\n\
+         __other => return ::std::result::Result::Err(::serde::Error::custom(\
+         format!(\"{name}: unknown field `{{}}`\", __other))),\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+fn tuple_bindings(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("__f{i}")).collect()
+}
+
+// ---------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> Result<String, String> {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Fields::Named(fields)) => {
+            if item.attrs.transparent {
+                let inner = fields
+                    .iter()
+                    .find(|f| !f.attrs.skip)
+                    .ok_or("transparent struct needs a field")?;
+                format!("::serde::Serialize::to_value(&self.{})", inner.name)
+            } else {
+                format!(
+                    "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n{}::serde::Value::Map(__m)",
+                    ser_named_pushes(fields, "&self.")
+                )
+            }
+        }
+        Body::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Body::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                let tag = rename_variant(&item.attrs, vname);
+                let arm = if let Some(tag_key) = &item.attrs.tag {
+                    // Internally tagged: flatten fields beside the tag.
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Map(vec![(\"{tag_key}\".to_string(), \
+                             ::serde::Value::Str(\"{tag}\".to_string()))]),\n"
+                        ),
+                        Fields::Named(fields) => {
+                            let names: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            format!(
+                                "{name}::{vname} {{ {bind} }} => {{\n\
+                                 let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                                 ::std::vec::Vec::new();\n\
+                                 __m.push((\"{tag_key}\".to_string(), \
+                                 ::serde::Value::Str(\"{tag}\".to_string())));\n\
+                                 {pushes}::serde::Value::Map(__m)\n}},\n",
+                                bind = names.join(", "),
+                                pushes = ser_named_pushes(fields, ""),
+                            )
+                        }
+                        Fields::Tuple(_) => {
+                            return Err(format!(
+                                "internally tagged tuple variant `{vname}` is unsupported"
+                            ))
+                        }
+                    }
+                } else {
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(\"{tag}\".to_string()),\n"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => ::serde::Value::Map(vec![(\"{tag}\".to_string(), \
+                             ::serde::Serialize::to_value(__f0))]),\n"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds = tuple_bindings(*n);
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({bind}) => ::serde::Value::Map(vec![(\"{tag}\".to_string(), \
+                                 ::serde::Value::Seq(vec![{items}]))]),\n",
+                                bind = binds.join(", "),
+                                items = items.join(", "),
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let names: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            format!(
+                                "{name}::{vname} {{ {bind} }} => {{\n\
+                                 let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                                 ::std::vec::Vec::new();\n\
+                                 {pushes}\
+                                 ::serde::Value::Map(vec![(\"{tag}\".to_string(), ::serde::Value::Map(__m))])\n\
+                                 }},\n",
+                                bind = names.join(", "),
+                                pushes = ser_named_pushes(fields, ""),
+                            )
+                        }
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    Ok(format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    ))
+}
+
+// ---------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------
+
+fn gen_deserialize(item: &Item) -> Result<String, String> {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Fields::Named(fields)) => {
+            if item.attrs.transparent {
+                let inner = fields
+                    .iter()
+                    .find(|f| !f.attrs.skip)
+                    .ok_or("transparent struct needs a field")?;
+                format!(
+                    "::std::result::Result::Ok({name} {{ {f}: ::serde::Deserialize::from_value(__v)? }})",
+                    f = inner.name
+                )
+            } else {
+                let deny = if item.attrs.deny_unknown {
+                    deny_unknown_check(name, fields, None)
+                } else {
+                    String::new()
+                };
+                format!(
+                    "let __m = __v.as_map().ok_or_else(|| \
+                     ::serde::Error::custom(\"{name}: expected object\"))?;\n\
+                     {deny}\
+                     ::std::result::Result::Ok({body})",
+                    body = de_named_body(name, fields)
+                )
+            }
+        }
+        Body::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Body::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __v.as_seq().ok_or_else(|| \
+                 ::serde::Error::custom(\"{name}: expected array\"))?;\n\
+                 if __items.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::Error::custom(\
+                 \"{name}: wrong tuple length\"));\n}}\n\
+                 ::std::result::Result::Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Body::Struct(Fields::Unit) => format!("::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            if let Some(tag_key) = &item.attrs.tag {
+                let mut arms = String::new();
+                for v in variants {
+                    let vname = &v.name;
+                    let tag = rename_variant(&item.attrs, vname);
+                    let arm = match &v.fields {
+                        Fields::Unit => {
+                            format!("\"{tag}\" => ::std::result::Result::Ok({name}::{vname}),\n")
+                        }
+                        Fields::Named(fields) => format!(
+                            "\"{tag}\" => ::std::result::Result::Ok({body}),\n",
+                            body = de_named_body(&format!("{name}::{vname}"), fields)
+                        ),
+                        Fields::Tuple(_) => {
+                            return Err(format!(
+                                "internally tagged tuple variant `{vname}` is unsupported"
+                            ))
+                        }
+                    };
+                    arms.push_str(&arm);
+                }
+                format!(
+                    "let __m = __v.as_map().ok_or_else(|| \
+                     ::serde::Error::custom(\"{name}: expected object\"))?;\n\
+                     let __tag = ::serde::Value::get_entry(__m, \"{tag_key}\")\
+                     .and_then(::serde::Value::as_str)\
+                     .ok_or_else(|| ::serde::Error::custom(\"{name}: missing `{tag_key}` tag\"))?;\n\
+                     match __tag {{\n{arms}\
+                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                     format!(\"{name}: unknown variant `{{}}`\", __other))),\n}}"
+                )
+            } else {
+                let mut str_arms = String::new();
+                let mut map_arms = String::new();
+                for v in variants {
+                    let vname = &v.name;
+                    let tag = rename_variant(&item.attrs, vname);
+                    match &v.fields {
+                        Fields::Unit => str_arms.push_str(&format!(
+                            "\"{tag}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                        )),
+                        Fields::Tuple(1) => map_arms.push_str(&format!(
+                            "\"{tag}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(__inner)?)),\n"
+                        )),
+                        Fields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__items[{i}])?")
+                                })
+                                .collect();
+                            map_arms.push_str(&format!(
+                                "\"{tag}\" => {{\n\
+                                 let __items = __inner.as_seq().ok_or_else(|| \
+                                 ::serde::Error::custom(\"{name}::{vname}: expected array\"))?;\n\
+                                 if __items.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"{name}::{vname}: wrong tuple length\"));\n}}\n\
+                                 ::std::result::Result::Ok({name}::{vname}({items}))\n}},\n",
+                                items = items.join(", ")
+                            ));
+                        }
+                        Fields::Named(fields) => map_arms.push_str(&format!(
+                            "\"{tag}\" => {{\n\
+                             let __m = __inner.as_map().ok_or_else(|| \
+                             ::serde::Error::custom(\"{name}::{vname}: expected object\"))?;\n\
+                             ::std::result::Result::Ok({body})\n}},\n",
+                            body = de_named_body(&format!("{name}::{vname}"), fields)
+                        )),
+                    }
+                }
+                format!(
+                    "match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n{str_arms}\
+                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                     format!(\"{name}: unknown variant `{{}}`\", __other))),\n}},\n\
+                     ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                     let (__k, __inner) = &__entries[0];\n\
+                     match __k.as_str() {{\n{map_arms}\
+                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                     format!(\"{name}: unknown variant `{{}}`\", __other))),\n}}\n}},\n\
+                     _ => ::std::result::Result::Err(::serde::Error::custom(\
+                     \"{name}: expected variant string or single-key object\")),\n}}"
+                )
+            }
+        }
+    };
+    Ok(format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    ))
+}
+
+// ---------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------
+
+fn run(input: TokenStream, gen: fn(&Item) -> Result<String, String>) -> TokenStream {
+    let code = parse_item(input).and_then(|item| gen(&item));
+    match code {
+        Ok(code) => code
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("shim derive emitted bad code: {e}"))),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    run(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    run(input, gen_deserialize)
+}
