@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mpls_bench::scenarios::figure1_with_lsp;
 use mpls_core::ClockSpec;
 use mpls_net::traffic::{FlowSpec, TrafficPattern};
-use mpls_net::{QueueDiscipline, RouterKind, Simulation};
+use mpls_net::{QueueDiscipline, RouterKind, Simulation, TelemetryConfig};
 use mpls_packet::ipv4::parse_addr;
 use mpls_router::SwTimingModel;
 use std::hint::black_box;
@@ -65,6 +65,29 @@ fn bench_forwarding(c: &mut Criterion) {
             });
         });
     }
+
+    // The telemetry overhead contract: "embedded" above is the NoopSink
+    // baseline; this variant pays for a live registry. Comparing the two
+    // bounds the cost of enabling metrics; `tests/telemetry_overhead.rs`
+    // guards the zero-cost side (noop == uninstrumented).
+    g.bench_function(BenchmarkId::new("embedded_telemetry", 1), |b| {
+        b.iter(|| {
+            let mut sim = Simulation::build(
+                &cp,
+                RouterKind::Embedded {
+                    clock: ClockSpec::STRATIX_50MHZ,
+                },
+                QueueDiscipline::Fifo { capacity: 64 },
+                1,
+            );
+            sim.add_flow(flow());
+            let report = sim
+                .with_telemetry(TelemetryConfig::default())
+                .run(100_000_000);
+            assert_eq!(report.flow("cbr").unwrap().delivered, 100);
+            black_box(report.telemetry.is_some())
+        });
+    });
     g.finish();
 }
 

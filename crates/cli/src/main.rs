@@ -3,18 +3,25 @@
 //! ```text
 //! mpls-sim run <scenario.json>          execute a scenario, print the report
 //! mpls-sim run --json <scenario.json>   ... as machine-readable JSON
+//! mpls-sim run --metrics-out <path> <scenario.json>
+//!                                       ... collect telemetry, write it to
+//!                                       <path> (.csv for CSV, else JSON)
 //! mpls-sim validate <scenario.json>     parse + signal without running traffic
 //! mpls-sim example                      print the bundled example scenario
 //! ```
 
 use mpls_cli::{format_report, Scenario};
+use mpls_net::{telemetry_to_csv, telemetry_to_json};
 use std::path::Path;
 use std::process::ExitCode;
 
 const EXAMPLE: &str = include_str!("../scenarios/example.json");
 
 fn usage() -> ExitCode {
-    eprintln!("usage: mpls-sim <run|validate> <scenario.json> | mpls-sim example");
+    eprintln!(
+        "usage: mpls-sim <run|validate> [--json] [--metrics-out <path>] <scenario.json> \
+         | mpls-sim example"
+    );
     ExitCode::from(2)
 }
 
@@ -26,11 +33,31 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some(cmd @ ("run" | "validate")) => {
-            let json = args.iter().any(|a| a == "--json");
-            let Some(path) = args.iter().skip(1).find(|a| *a != "--json") else {
+            let mut json = false;
+            let mut metrics_out: Option<String> = None;
+            let mut path: Option<String> = None;
+            let mut rest = args.iter().skip(1);
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--json" => json = true,
+                    "--metrics-out" => match rest.next() {
+                        Some(p) => metrics_out = Some(p.clone()),
+                        None => {
+                            eprintln!("error: --metrics-out needs a path");
+                            return usage();
+                        }
+                    },
+                    other if path.is_none() => path = Some(other.to_string()),
+                    other => {
+                        eprintln!("error: unexpected argument {other:?}");
+                        return usage();
+                    }
+                }
+            }
+            let Some(path) = path else {
                 return usage();
             };
-            let scenario = match Scenario::load(Path::new(path)) {
+            let scenario = match Scenario::load(Path::new(&path)) {
                 Ok(s) => s,
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -54,8 +81,29 @@ fn main() -> ExitCode {
                     }
                 }
             } else {
-                match scenario.run() {
+                let result = if metrics_out.is_some() {
+                    scenario.run_with_telemetry()
+                } else {
+                    scenario.run()
+                };
+                match result {
                     Ok(report) => {
+                        if let Some(out) = &metrics_out {
+                            let tel = report
+                                .telemetry
+                                .as_ref()
+                                .expect("telemetry was forced on for --metrics-out");
+                            let text = if out.ends_with(".csv") {
+                                telemetry_to_csv(tel)
+                            } else {
+                                telemetry_to_json(tel)
+                            };
+                            if let Err(e) = std::fs::write(out, text) {
+                                eprintln!("error: cannot write {out}: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                            eprintln!("metrics written to {out}");
+                        }
                         if json {
                             match serde_json::to_string_pretty(&report) {
                                 Ok(text) => println!("{text}"),

@@ -55,6 +55,43 @@ pub fn format_report(report: &SimReport) -> String {
             ));
         }
     }
+    if let Some(tel) = &report.telemetry {
+        out.push('\n');
+        out.push_str(&format!(
+            "telemetry: {} counters, {} histograms, {} series, {} events\n",
+            tel.counters.len(),
+            tel.histograms.len(),
+            tel.series.len(),
+            tel.events.len(),
+        ));
+        let deepest = tel
+            .series
+            .iter()
+            .filter(|s| s.name.ends_with(".queue_depth"))
+            .filter_map(|s| {
+                s.points
+                    .iter()
+                    .map(|&(_, v)| v)
+                    .fold(None, |m: Option<f64>, v| Some(m.map_or(v, |m| m.max(v))))
+                    .map(|peak| (s.name.clone(), peak))
+            })
+            .max_by(|a, b| a.1.total_cmp(&b.1));
+        if let Some((name, peak)) = deepest {
+            out.push_str(&format!("  peak queue depth: {peak:.0} pkts on {name}\n"));
+        }
+        for h in &tel.histograms {
+            if let Some(name) = h.name.strip_suffix(".delay_ns") {
+                if let (Some(p50), Some(p99)) = (h.p50, h.p99) {
+                    out.push_str(&format!(
+                        "  {name}: delay p50 ≤ {:.1} µs, p99 ≤ {:.1} µs ({} samples)\n",
+                        p50 as f64 / 1000.0,
+                        p99 as f64 / 1000.0,
+                        h.total,
+                    ));
+                }
+            }
+        }
+    }
     out
 }
 
@@ -73,6 +110,18 @@ mod tests {
         assert!(text.contains("->"));
         assert!(text.contains("utilized"));
         assert!(!text.contains("faults:"), "no fault section without faults");
+    }
+
+    #[test]
+    fn report_summarizes_telemetry() {
+        let mut sc = Scenario::from_json(include_str!("../scenarios/example.json")).unwrap();
+        let plain = format_report(&sc.run().unwrap());
+        assert!(!plain.contains("telemetry:"), "no block without telemetry");
+        sc.telemetry = Some(Default::default());
+        let text = format_report(&sc.run().unwrap());
+        assert!(text.contains("telemetry:"));
+        assert!(text.contains("peak queue depth"));
+        assert!(text.contains("lsp.voip: delay p50"));
     }
 
     #[test]

@@ -12,6 +12,7 @@ use mpls_net::policer::PolicerSpec;
 use mpls_net::traffic::{FlowSpec, TrafficPattern};
 use mpls_net::{
     FaultPlan, QueueDiscipline, RecoveryMode, RestorationPolicy, RouterKind, Simulation,
+    TelemetryConfig,
 };
 use mpls_packet::ipv4::parse_addr;
 use mpls_packet::CosBits;
@@ -89,6 +90,10 @@ pub struct Scenario {
     /// Runtime fault injection and restoration policy.
     #[serde(default)]
     pub faults: Option<FaultsDecl>,
+    /// Metrics collection. Omitting the section runs without telemetry
+    /// (zero overhead); `--metrics-out` forces it on regardless.
+    #[serde(default)]
+    pub telemetry: Option<TelemetryDecl>,
     /// RNG seed.
     #[serde(default)]
     pub seed: u64,
@@ -230,6 +235,53 @@ fn five() -> u64 {
 }
 fn default_recovery() -> String {
     "restoration".into()
+}
+
+/// Telemetry section: turns on the instrument registry for the run and
+/// tunes its sampling.
+#[derive(Debug, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct TelemetryDecl {
+    /// Collect metrics for this run (default true when the section is
+    /// present; a disabled section is handy for A/B-ing a scenario file).
+    #[serde(default = "truthy")]
+    pub enabled: bool,
+    /// Spacing of queue-depth/utilization samples in microseconds
+    /// (default 100).
+    #[serde(default = "hundred")]
+    pub sample_interval_us: u64,
+    /// Points per time series before downsampling (default 4096).
+    #[serde(default = "default_series_capacity")]
+    pub series_capacity: usize,
+    /// Trace event capacity (default 1024).
+    #[serde(default = "default_event_capacity")]
+    pub event_capacity: usize,
+}
+
+impl Default for TelemetryDecl {
+    /// Matches the serde field defaults (an empty `"telemetry": {}`
+    /// section).
+    fn default() -> Self {
+        Self {
+            enabled: truthy(),
+            sample_interval_us: hundred(),
+            series_capacity: default_series_capacity(),
+            event_capacity: default_event_capacity(),
+        }
+    }
+}
+
+fn truthy() -> bool {
+    true
+}
+fn hundred() -> u64 {
+    100
+}
+fn default_series_capacity() -> usize {
+    TelemetryConfig::default().series_capacity
+}
+fn default_event_capacity() -> usize {
+    TelemetryConfig::default().event_capacity
 }
 
 /// One scheduled link transition.
@@ -580,8 +632,39 @@ impl Scenario {
             .collect()
     }
 
-    /// Builds and runs the whole scenario.
+    /// The telemetry configuration for this run: `Some` when the
+    /// scenario's `telemetry` section enables it or `force` is set
+    /// (`--metrics-out`), `None` for a zero-overhead run.
+    pub fn telemetry_config(&self, force: bool) -> Option<TelemetryConfig> {
+        let defaults = TelemetryDecl::default();
+        let decl = match &self.telemetry {
+            // A disabled section still carries tuning; `force` overrides
+            // only the switch.
+            Some(t) if t.enabled || force => t,
+            Some(_) => return None,
+            None if force => &defaults,
+            None => return None,
+        };
+        Some(TelemetryConfig {
+            sample_interval_ns: decl.sample_interval_us * 1_000,
+            series_capacity: decl.series_capacity,
+            event_capacity: decl.event_capacity,
+        })
+    }
+
+    /// Builds and runs the whole scenario. Telemetry is collected when
+    /// the scenario's `telemetry` section asks for it.
     pub fn run(&self) -> Result<mpls_net::SimReport, ScenarioError> {
+        self.run_with(false)
+    }
+
+    /// Like [`Self::run`], but collects telemetry even without a
+    /// `telemetry` section (the `--metrics-out` path).
+    pub fn run_with_telemetry(&self) -> Result<mpls_net::SimReport, ScenarioError> {
+        self.run_with(true)
+    }
+
+    fn run_with(&self, force_telemetry: bool) -> Result<mpls_net::SimReport, ScenarioError> {
         let cp = self.build_control_plane()?;
         let mut sim =
             Simulation::build(&cp, self.router_kind(), self.queue_discipline(), self.seed);
@@ -592,7 +675,11 @@ impl Scenario {
             sim.add_flow(f);
         }
         // Generous drain margin past the horizon.
-        Ok(sim.run(self.horizon_ms * 1_000_000 + 500_000_000))
+        let horizon = self.horizon_ms * 1_000_000 + 500_000_000;
+        match self.telemetry_config(force_telemetry) {
+            Some(config) => Ok(sim.with_telemetry(config).run(horizon)),
+            None => Ok(sim.run(horizon)),
+        }
     }
 }
 
@@ -723,6 +810,50 @@ mod tests {
             probability: 1.5,
         });
         assert!(matches!(sc.fault_plan(&cp), Err(ScenarioError::Invalid(_))));
+    }
+
+    #[test]
+    fn telemetry_section_enables_collection() {
+        let mut sc = Scenario::from_json(EXAMPLE).unwrap();
+        assert!(sc.telemetry_config(false).is_none(), "off by default");
+        // --metrics-out forces it on with defaults.
+        let forced = sc.telemetry_config(true).unwrap();
+        assert_eq!(forced.sample_interval_ns, 100_000);
+
+        sc.telemetry = Some(TelemetryDecl {
+            sample_interval_us: 50,
+            ..TelemetryDecl::default()
+        });
+        let cfg = sc.telemetry_config(false).unwrap();
+        assert_eq!(cfg.sample_interval_ns, 50_000);
+        let report = sc.run().unwrap();
+        let tel = report.telemetry.expect("section turns telemetry on");
+        assert!(tel.counter("flow.voip.sent").unwrap() > 0.0);
+        assert!(tel
+            .series
+            .iter()
+            .any(|s| s.name.ends_with(".queue_depth") && !s.points.is_empty()));
+
+        // A disabled section keeps the run clean unless forced.
+        sc.telemetry.as_mut().unwrap().enabled = false;
+        assert!(sc.telemetry_config(false).is_none());
+        let cfg = sc.telemetry_config(true).unwrap();
+        assert_eq!(cfg.sample_interval_ns, 50_000, "tuning survives forcing");
+        let report = sc.run().unwrap();
+        assert!(report.telemetry.is_none());
+        let report = sc.run_with_telemetry().unwrap();
+        assert!(report.telemetry.is_some());
+    }
+
+    #[test]
+    fn telemetry_rejects_unknown_fields() {
+        let mut doc: String = EXAMPLE.trim_end().into();
+        doc.truncate(doc.rfind('}').unwrap());
+        doc.push_str(", \"telemetry\": {\"cadence\": 5}}");
+        assert!(matches!(
+            Scenario::from_json(&doc),
+            Err(ScenarioError::Parse(_))
+        ));
     }
 
     #[test]

@@ -41,10 +41,12 @@ pub mod figures;
 pub mod fsm;
 pub mod modifier;
 pub mod ops;
+pub mod perf;
 pub mod signals;
 pub mod timing;
 
 pub use datapath::{DataPath, HwStack, InfoBase, InfoBaseLevel, LEVEL_CAPACITY};
 pub use modifier::{Command, LabelStackModifier, OpResult, Outcome};
 pub use ops::{DiscardReason, IbOperation, Level, RouterType};
+pub use perf::CorePerf;
 pub use timing::{table6, ClockSpec};

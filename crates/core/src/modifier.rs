@@ -25,6 +25,7 @@
 use crate::datapath::DataPath;
 use crate::fsm::{IbState, LblState, MainState, SearchState};
 use crate::ops::{DiscardReason, IbOperation, Level, RouterType};
+use crate::perf::CorePerf;
 use mpls_packet::{label::LabelStackEntry, CosBits, Label, LabelStack, Ttl};
 use mpls_rtl::{Clocked, CounterCtl, SignalId, Trace};
 
@@ -158,6 +159,9 @@ pub struct LabelStackModifier {
     /// Free-running cycle counter.
     total_cycles: u64,
     trace: Option<(Trace, Probes)>,
+    /// Optional hardware-style performance counter block; one branch per
+    /// clock when disabled, see [`crate::perf`].
+    perf: Option<Box<CorePerf>>,
 }
 
 impl LabelStackModifier {
@@ -180,6 +184,7 @@ impl LabelStackModifier {
             last_search_found: false,
             total_cycles: 0,
             trace: None,
+            perf: None,
         }
     }
 
@@ -237,6 +242,38 @@ impl LabelStackModifier {
     /// Detaches and returns the recorded trace, if tracing was enabled.
     pub fn take_trace(&mut self) -> Option<Trace> {
         self.trace.take().map(|(t, _)| t)
+    }
+
+    /// Attaches a fresh performance counter block (no-op if one is already
+    /// attached). Counting is purely observational: outcomes and cycle
+    /// costs are unchanged.
+    pub fn enable_perf(&mut self) {
+        if self.perf.is_none() {
+            self.perf = Some(Box::default());
+        }
+    }
+
+    /// The attached counter block, if any.
+    pub fn perf(&self) -> Option<&CorePerf> {
+        self.perf.as_deref()
+    }
+
+    /// Detaches and returns the counter block.
+    pub fn take_perf(&mut self) -> Option<Box<CorePerf>> {
+        self.perf.take()
+    }
+
+    /// Re-attaches a counter block (used to carry counters across a
+    /// reprogramming that rebuilds the modifier).
+    pub fn set_perf(&mut self, perf: Option<Box<CorePerf>>) {
+        self.perf = perf;
+    }
+
+    #[inline]
+    fn perf_tick(&mut self) {
+        if let Some(p) = self.perf.as_deref_mut() {
+            p.tick(self.main, self.lbl, self.ib, self.search);
+        }
     }
 
     /// Asserts the external operation lines for `cmd` without clocking:
@@ -333,6 +370,7 @@ impl LabelStackModifier {
     pub fn reset(&mut self) -> OpResult {
         for _ in 0..3 {
             self.sample_trace();
+            self.perf_tick();
             self.total_cycles += 1;
         }
         self.main = MainState::Idle;
@@ -412,6 +450,7 @@ impl LabelStackModifier {
         // functions of the current states. Sample the waveform first so the
         // trace reflects what an oscilloscope would see this period.
         self.sample_trace();
+        self.perf_tick();
 
         // ---- Moore control outputs (Tables 1–5 signal names in comments).
         let enable_lbl = self.main == MainState::LblInterfaceActive; // enablelblint
@@ -742,6 +781,9 @@ impl LabelStackModifier {
                     return SearchState::Idle;
                 }
                 if self.dp.info_base.level(self.active_level).occupancy() == 0 {
+                    if let Some(p) = self.perf.as_deref_mut() {
+                        p.record_search(0, false);
+                    }
                     SearchState::MissWait
                 } else {
                     SearchState::Read
@@ -771,6 +813,10 @@ impl LabelStackModifier {
                 };
                 if matched {
                     self.last_search_found = true;
+                    let depth = self.dp.info_base.level(self.active_level).read_index() + 1;
+                    if let Some(p) = self.perf.as_deref_mut() {
+                        p.record_search(depth, true);
+                    }
                     SearchState::FoundWait
                 } else {
                     let lv = self.dp.info_base.level(self.active_level);
@@ -786,6 +832,9 @@ impl LabelStackModifier {
                         .stage_advance_cursor();
                     if exhausted {
                         self.last_search_found = false;
+                        if let Some(p) = self.perf.as_deref_mut() {
+                            p.record_search(occ, false);
+                        }
                         SearchState::MissWait
                     } else {
                         SearchState::Read

@@ -1,0 +1,103 @@
+//! The optional `CorePerf` counter block: observational only, consistent
+//! with the modifier's own cycle accounting.
+
+use mpls_core::fsm::{LblState, MainState, SearchState};
+use mpls_core::modifier::Outcome;
+use mpls_core::{IbOperation, LabelStackModifier, Level, RouterType};
+use mpls_packet::Label;
+
+fn programmed_modifier(perf: bool) -> LabelStackModifier {
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    if perf {
+        m.enable_perf();
+    }
+    for i in 0..10u64 {
+        m.write_pair(
+            Level::L2,
+            i + 1,
+            Label::new(500 + i as u32).unwrap(),
+            IbOperation::Swap,
+        );
+    }
+    m
+}
+
+#[test]
+fn perf_does_not_change_outcomes_or_cycles() {
+    let mut plain = programmed_modifier(false);
+    let mut counted = programmed_modifier(true);
+    for key in [5u64, 27, 1, 10] {
+        let a = plain.lookup(Level::L2, key);
+        let b = counted.lookup(Level::L2, key);
+        assert_eq!(a, b, "lookup {key}: perf must be invisible");
+    }
+    assert_eq!(plain.total_cycles(), counted.total_cycles());
+    assert!(plain.perf().is_none());
+}
+
+#[test]
+fn per_state_cycles_sum_to_total() {
+    let mut m = programmed_modifier(true);
+    m.lookup(Level::L2, 5);
+    m.idle(4);
+    let p = m.perf().expect("perf enabled");
+    assert_eq!(p.total_cycles(), m.total_cycles());
+    // All four FSMs see every clock.
+    assert_eq!(p.main_cycles.iter().sum::<u64>(), m.total_cycles());
+    assert_eq!(p.lbl_cycles.iter().sum::<u64>(), m.total_cycles());
+    assert_eq!(p.search_cycles.iter().sum::<u64>(), m.total_cycles());
+}
+
+#[test]
+fn search_fsm_cycle_shape_matches_table6() {
+    // A hit at 1-based entry k costs 3k+5; of those, the search FSM spends
+    // 3 cycles per examined entry in its read/wait/compare loop.
+    let mut m = programmed_modifier(true);
+    let r = m.lookup(Level::L2, 5);
+    assert_eq!(r.cycles, 20, "hit at entry 5: 3*5 + 5");
+    let p = m.perf().unwrap();
+    let loop_cycles = p.search_cycles[SearchState::Read as usize]
+        + p.search_cycles[SearchState::WaitInfo as usize]
+        + p.search_cycles[SearchState::Compare as usize];
+    assert_eq!(loop_cycles, 15, "3 cycles per examined entry");
+    assert_eq!(p.search_cycles[SearchState::FoundWait as usize], 1);
+    assert_eq!(p.search_cycles[SearchState::DoneHit as usize], 1);
+}
+
+#[test]
+fn search_depth_histogram_records_hits_and_misses() {
+    let mut m = programmed_modifier(true);
+    assert_eq!(
+        m.lookup(Level::L2, 5).outcome,
+        Outcome::LookupHit {
+            label: Label::new(504).unwrap(),
+            op: IbOperation::Swap
+        }
+    );
+    assert_eq!(m.lookup(Level::L2, 27).outcome, Outcome::LookupMiss);
+    // Level 3 is empty: a miss at depth 0.
+    assert_eq!(m.lookup(Level::L3, 1).outcome, Outcome::LookupMiss);
+    let p = m.perf().unwrap();
+    assert_eq!(p.search_hits, 1);
+    assert_eq!(p.search_misses, 2);
+    assert_eq!(p.search_depth.total(), 3);
+    assert_eq!(p.search_depth.min(), Some(0), "empty level examined 0");
+    assert_eq!(p.search_depth.max(), Some(10), "miss sweeps all ten pairs");
+}
+
+#[test]
+fn counters_survive_take_and_set() {
+    // The router layer rebuilds modifiers on reprogramming and carries the
+    // counter block across; take/set must preserve the numbers.
+    let mut m = programmed_modifier(true);
+    m.lookup(Level::L2, 5);
+    let saved = m.take_perf().expect("block attached");
+    let hits = saved.search_hits;
+    let mut fresh = LabelStackModifier::new(RouterType::Lsr);
+    fresh.set_perf(Some(saved));
+    fresh.idle(2);
+    let p = fresh.perf().unwrap();
+    assert_eq!(p.search_hits, hits);
+    assert!(p.main_cycles[MainState::Idle as usize] > 0);
+    assert!(p.lbl_cycles[LblState::Idle as usize] > 0);
+}

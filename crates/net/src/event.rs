@@ -71,6 +71,11 @@ pub enum EventKind {
         /// The husk to tear down.
         lsp: mpls_control::LspId,
     },
+    /// A periodic telemetry sample point: queue depths and utilization
+    /// series take a reading. Only scheduled on telemetry-enabled runs,
+    /// and only re-armed while other work is pending, so it never keeps
+    /// an otherwise-finished run alive.
+    TelemetrySample,
 }
 
 struct Entry {

@@ -35,3 +35,10 @@ pub use queue::{LinkQueue, QueueDiscipline};
 pub use sim::{RouterKind, SimReport, Simulation};
 pub use stats::{FlowId, FlowStats};
 pub use traffic::{FlowSpec, TrafficPattern};
+
+// Telemetry surface, re-exported so simulator users don't need a direct
+// `mpls-telemetry` dependency to configure a run or read its report.
+pub use mpls_telemetry::{
+    telemetry_to_csv, telemetry_to_json, NoopSink, Registry, TelemetryConfig, TelemetryReport,
+    TelemetrySink,
+};

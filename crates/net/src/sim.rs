@@ -24,6 +24,10 @@ use mpls_packet::{EtherType, EthernetFrame, Ipv4Header, MacAddr, MplsPacket};
 use mpls_router::{
     Action, DiscardCause, EmbeddedRouter, MplsForwarder, RouterStats, SoftwareRouter, SwTimingModel,
 };
+use mpls_telemetry::{
+    CounterId, HistId, NoopSink, Registry, SeriesId, SpanId, TelemetryConfig, TelemetryReport,
+    TelemetrySink,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -115,6 +119,9 @@ pub struct SimReport {
     pub faults: Vec<FaultRecord>,
     /// Simulated duration actually executed.
     pub elapsed_ns: SimTime,
+    /// Metrics snapshot, present when the run was telemetry-enabled
+    /// (see [`Simulation::with_telemetry`]).
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl SimReport {
@@ -144,8 +151,45 @@ struct PendingResignal {
     done: bool,
 }
 
+/// Per-flow and per-channel instrument handles for a telemetry-enabled
+/// run. All vectors are index-aligned with their subject tables; on a
+/// [`NoopSink`] run they stay empty and every record site is skipped at
+/// compile time via `S::ENABLED`.
+#[derive(Default)]
+struct SimInstruments {
+    /// Queue-depth time series, one per channel.
+    chan_depth: Vec<SeriesId>,
+    /// Utilization time series, one per channel.
+    chan_util: Vec<SeriesId>,
+    /// `busy_ns` observed at the previous sample, for utilization deltas.
+    chan_busy_prev: Vec<u64>,
+    /// Timestamp of the previous sample point.
+    last_sample_ns: SimTime,
+    /// Sampling period.
+    sample_interval_ns: u64,
+    /// Per-LSP end-to-end delay histograms, one per flow.
+    flow_delay: Vec<HistId>,
+    /// Per-LSP inter-packet delay-variation histograms, one per flow.
+    flow_jitter: Vec<HistId>,
+    /// Packets emitted, one counter per flow.
+    flow_sent: Vec<CounterId>,
+    /// Packets delivered, one counter per flow.
+    flow_delivered: Vec<CounterId>,
+    /// Edge-policer conform verdicts, one counter per flow.
+    policer_conform: Vec<CounterId>,
+    /// Edge-policer exceed verdicts, one counter per flow.
+    policer_exceed: Vec<CounterId>,
+    /// Open outage spans keyed by fault-record index.
+    fault_spans: HashMap<usize, SpanId>,
+}
+
 /// The discrete-event simulation.
-pub struct Simulation {
+///
+/// The sink type parameter selects the telemetry mode: the default
+/// [`NoopSink`] compiles every record site away; converting with
+/// [`Simulation::with_telemetry`] swaps in a live [`Registry`] whose
+/// snapshot lands in [`SimReport::telemetry`].
+pub struct Simulation<S: TelemetrySink = NoopSink> {
     channels: Vec<Channel>,
     chan_index: HashMap<(NodeId, NodeId), usize>,
     /// `chan_link[i]` is the topology link channel `i` belongs to.
@@ -168,6 +212,8 @@ pub struct Simulation {
     /// straggler losses still attribute to the right outage).
     fault_of_link: HashMap<LinkId, usize>,
     pending: Vec<PendingResignal>,
+    sink: S,
+    instr: SimInstruments,
 }
 
 impl Simulation {
@@ -235,9 +281,66 @@ impl Simulation {
             outstanding: Vec::new(),
             fault_of_link: HashMap::new(),
             pending: Vec::new(),
+            sink: NoopSink,
+            instr: SimInstruments::default(),
         }
     }
 
+    /// Converts this simulation into a telemetry-enabled one: a live
+    /// [`Registry`] replaces the no-op sink, per-channel queue-depth and
+    /// utilization series plus per-flow counters and latency histograms
+    /// are registered, every router's FSM cycle counters are switched
+    /// on, and periodic sample events start at
+    /// `config.sample_interval_ns`. Call after `build` (flows added
+    /// before or after the conversion are both instrumented).
+    pub fn with_telemetry(self, config: TelemetryConfig) -> Simulation<Registry> {
+        let sample_interval_ns = config.sample_interval_ns.max(1);
+        let mut sink = Registry::new(config);
+        let mut instr = SimInstruments {
+            sample_interval_ns,
+            ..SimInstruments::default()
+        };
+        for c in &self.channels {
+            let depth = sink.series(format!("link.{}->{}.queue_depth", c.from, c.to));
+            let util = sink.series(format!("link.{}->{}.utilization", c.from, c.to));
+            instr.chan_depth.push(depth);
+            instr.chan_util.push(util);
+            instr.chan_busy_prev.push(c.busy_ns);
+        }
+        let mut sim = Simulation {
+            channels: self.channels,
+            chan_index: self.chan_index,
+            chan_link: self.chan_link,
+            routers: self.routers,
+            cp: self.cp,
+            flows: self.flows,
+            stats: self.stats,
+            policers: self.policers,
+            events: self.events,
+            rng: self.rng,
+            now: self.now,
+            policy: self.policy,
+            records: self.records,
+            outstanding: self.outstanding,
+            fault_of_link: self.fault_of_link,
+            pending: self.pending,
+            sink,
+            instr,
+        };
+        for flow in 0..sim.flows.len() {
+            sim.register_flow_instruments(flow);
+        }
+        for router in sim.routers.values_mut() {
+            router.enable_perf();
+        }
+        sim.sink.event(sim.now, "telemetry_start", String::new());
+        sim.events
+            .schedule(sim.now + sample_interval_ns, EventKind::TelemetrySample);
+        sim
+    }
+}
+
+impl<S: TelemetrySink> Simulation<S> {
     /// Attaches a fault plan: its link events enter the event queue, its
     /// loss probabilities program the channels, and its policy governs
     /// detection and recovery.
@@ -271,7 +374,40 @@ impl Simulation {
             .push(spec.police.map(crate::policer::TokenBucket::new));
         self.flows.push(spec);
         self.stats.push(FlowStats::default());
+        self.register_flow_instruments(id);
         id
+    }
+
+    /// Registers `flow`'s counters and latency histograms. No-op (and
+    /// fully compiled away) on a [`NoopSink`] run.
+    fn register_flow_instruments(&mut self, flow: FlowId) {
+        if !S::ENABLED {
+            return;
+        }
+        let name = self.flows[flow].name.clone();
+        self.instr
+            .flow_sent
+            .push(self.sink.counter(&format!("flow.{name}.sent")));
+        self.instr
+            .flow_delivered
+            .push(self.sink.counter(&format!("flow.{name}.delivered")));
+        self.instr
+            .policer_conform
+            .push(self.sink.counter(&format!("flow.{name}.policer_conform")));
+        self.instr
+            .policer_exceed
+            .push(self.sink.counter(&format!("flow.{name}.policer_exceed")));
+        // 1 µs .. ~1 s in octaves: covers FPGA pipelines through congested
+        // software paths.
+        let bounds: Vec<u64> = (0..21).map(|i| 1000u64 << i).collect();
+        self.instr.flow_delay.push(
+            self.sink
+                .histogram(&format!("lsp.{name}.delay_ns"), bounds.clone()),
+        );
+        self.instr.flow_jitter.push(
+            self.sink
+                .histogram(&format!("lsp.{name}.jitter_ns"), bounds),
+        );
     }
 
     /// Runs until the event queue drains or `horizon_ns` passes, then
@@ -292,8 +428,10 @@ impl Simulation {
                 EventKind::Resignal { pending } => self.on_resignal(pending),
                 EventKind::HoldDownExpired { link } => self.on_hold_down_expired(link),
                 EventKind::TeardownLsp { lsp } => self.on_teardown_lsp(lsp),
+                EventKind::TelemetrySample => self.on_telemetry_sample(),
             }
         }
+        self.finalize_telemetry();
         let queue_drops = self.channels.iter().map(|c| c.drops).sum();
         let link_drops = self.channels.iter().map(|c| c.fault_drops).sum();
         let loss_drops = self.channels.iter().map(|c| c.loss_drops).sum();
@@ -311,6 +449,7 @@ impl Simulation {
                 utilization: c.busy_ns as f64 / elapsed as f64,
             })
             .collect();
+        let telemetry = self.sink.into_report();
         SimReport {
             flows: self.flows.into_iter().zip(self.stats).collect(),
             routers: self
@@ -324,7 +463,108 @@ impl Simulation {
             links,
             faults: self.records,
             elapsed_ns: self.now,
+            telemetry,
         }
+    }
+
+    // ---- telemetry ---------------------------------------------------------
+
+    /// Periodic sample point: read the channels, then re-arm only while
+    /// other work is pending so sampling never keeps a finished run alive.
+    fn on_telemetry_sample(&mut self) {
+        self.sample_channels();
+        if !self.events.is_empty() {
+            self.events.schedule(
+                self.now + self.instr.sample_interval_ns,
+                EventKind::TelemetrySample,
+            );
+        }
+    }
+
+    /// Pushes one queue-depth and one utilization point per channel.
+    fn sample_channels(&mut self) {
+        if !S::ENABLED {
+            return;
+        }
+        let dt = self.now.saturating_sub(self.instr.last_sample_ns);
+        for (i, c) in self.channels.iter().enumerate() {
+            let depth = c.queue.len() + usize::from(c.in_flight.is_some());
+            self.sink
+                .series_push(self.instr.chan_depth[i], self.now, depth as f64);
+            if dt > 0 {
+                let busy = c.busy_ns.saturating_sub(self.instr.chan_busy_prev[i]);
+                let util = (busy as f64 / dt as f64).min(1.0);
+                self.sink
+                    .series_push(self.instr.chan_util[i], self.now, util);
+                self.instr.chan_busy_prev[i] = c.busy_ns;
+            }
+        }
+        self.instr.last_sample_ns = self.now;
+    }
+
+    /// End-of-run scrape: final channel sample, per-router pipeline and
+    /// FSM counters, per-channel totals. Mirrors reading a hardware
+    /// device's counter block after the experiment.
+    fn finalize_telemetry(&mut self) {
+        if !S::ENABLED {
+            return;
+        }
+        self.sample_channels();
+        let elapsed = self.now.max(1);
+        let mut nodes: Vec<NodeId> = self.routers.keys().copied().collect();
+        nodes.sort_unstable();
+        for node in nodes {
+            let r = &self.routers[&node];
+            let stats = r.stats();
+            for (name, value) in [
+                ("packets_in", stats.packets_in),
+                ("forwarded", stats.forwarded),
+                ("delivered", stats.delivered),
+                ("discarded", stats.discarded),
+                ("flow_installs", stats.flow_installs),
+                ("total_cycles", stats.total_cycles),
+            ] {
+                let id = self.sink.counter(&format!("node{node}.router.{name}"));
+                self.sink.counter_add(id, value);
+            }
+            for (stage, cycles) in stats.stage_cycles.iter() {
+                let id = self
+                    .sink
+                    .counter(&format!("node{node}.pipeline.{stage}_cycles"));
+                self.sink.counter_add(id, cycles);
+            }
+            if let Some(perf) = self.routers[&node].core_perf() {
+                let state_cycles = perf.state_cycles();
+                let depth = perf.search_depth.clone();
+                let hits = perf.search_hits;
+                let misses = perf.search_misses;
+                for (state, cycles) in state_cycles {
+                    let id = self.sink.counter(&format!("node{node}.fsm.{state}"));
+                    self.sink.counter_add(id, cycles);
+                }
+                self.sink
+                    .import_histogram(&format!("node{node}.ib.search_depth"), &depth);
+                let id = self.sink.counter(&format!("node{node}.ib.search_hits"));
+                self.sink.counter_add(id, hits);
+                let id = self.sink.counter(&format!("node{node}.ib.search_misses"));
+                self.sink.counter_add(id, misses);
+            }
+        }
+        for c in &self.channels {
+            let prefix = format!("link.{}->{}", c.from, c.to);
+            for (name, value) in [
+                ("transmitted", c.transmitted),
+                ("queue_drops", c.drops),
+                ("fault_drops", c.fault_drops),
+                ("loss_drops", c.loss_drops),
+            ] {
+                let id = self.sink.counter(&format!("{prefix}.{name}"));
+                self.sink.counter_add(id, value);
+            }
+            let id = self.sink.gauge(&format!("{prefix}.mean_utilization"));
+            self.sink.gauge_set(id, c.busy_ns as f64 / elapsed as f64);
+        }
+        self.sink.event(self.now, "telemetry_end", String::new());
     }
 
     // ---- fault machinery ---------------------------------------------------
@@ -344,6 +584,25 @@ impl Simulation {
         }
         debug_assert_eq!(n, 2, "every link has exactly two channels");
         found
+    }
+
+    /// Marks `rec` restored now (first caller wins), closes its outage
+    /// span and emits the restoration event.
+    fn set_restored(&mut self, rec: usize) {
+        if self.records[rec].restored_ns.is_some() {
+            return;
+        }
+        self.records[rec].restored_ns = Some(self.now);
+        if S::ENABLED {
+            self.sink.event(
+                self.now,
+                "service_restored",
+                format!("link{}", self.records[rec].link),
+            );
+            if let Some(span) = self.instr.fault_spans.remove(&rec) {
+                self.sink.span_end(self.now, span);
+            }
+        }
     }
 
     /// Counts one packet lost to `link`'s outage against its flow and the
@@ -410,6 +669,14 @@ impl Simulation {
         });
         self.outstanding.push(0);
         self.fault_of_link.insert(link, rec);
+        if S::ENABLED {
+            self.sink
+                .event(self.now, "link_down", format!("link{link}"));
+            let span = self
+                .sink
+                .span_begin(self.now, &format!("outage.link{link}"));
+            self.instr.fault_spans.insert(rec, span);
+        }
         // Cut both directions: queued and in-flight packets are lost now.
         for chan in [a, b] {
             let lost = self.channels[chan].take_down();
@@ -433,6 +700,9 @@ impl Simulation {
         for chan in [a, b] {
             self.channels[chan].bring_up();
         }
+        if S::ENABLED {
+            self.sink.event(self.now, "link_up", format!("link{link}"));
+        }
         let Some(&rec) = self.fault_of_link.get(&link) else {
             return;
         };
@@ -441,9 +711,7 @@ impl Simulation {
             // The control plane never reacted (flap shorter than the
             // detection delay, or no recovery configured): the stale
             // forwarding state simply works again.
-            if self.records[rec].restored_ns.is_none() {
-                self.records[rec].restored_ns = Some(self.now);
-            }
+            self.set_restored(rec);
         } else {
             // Detection fired, so the control plane has the link marked
             // failed; hold it down before reusing it.
@@ -466,6 +734,10 @@ impl Simulation {
             return; // a probe from an earlier outage already reported it
         }
         self.records[rec].detected_ns = Some(self.now);
+        if S::ENABLED {
+            self.sink
+                .event(self.now, "fault_detected", format!("link{link}"));
+        }
         let affected = self.cp.fail_link(link);
         let mut changed = false;
         for id in affected {
@@ -517,10 +789,10 @@ impl Simulation {
                 EventKind::Resignal { pending: idx },
             );
         }
-        if self.outstanding[rec] == 0 && self.records[rec].restored_ns.is_none() {
+        if self.outstanding[rec] == 0 {
             // Nothing is waiting on re-signaling: every broken LSP failed
             // over (or none existed) — service restored at detection.
-            self.records[rec].restored_ns = Some(self.now);
+            self.set_restored(rec);
         }
         if changed {
             self.reprogram_routers();
@@ -549,8 +821,8 @@ impl Simulation {
                     .schedule(self.now + grace, EventKind::TeardownLsp { lsp: old_lsp });
                 self.pending[pending].done = true;
                 self.outstanding[rec] -= 1;
-                if self.outstanding[rec] == 0 && self.records[rec].restored_ns.is_none() {
-                    self.records[rec].restored_ns = Some(self.now);
+                if self.outstanding[rec] == 0 {
+                    self.set_restored(rec);
                 }
                 self.reprogram_routers();
             }
@@ -586,6 +858,9 @@ impl Simulation {
         }
         let seq = self.stats[flow].sent;
         self.stats[flow].on_sent();
+        if S::ENABLED {
+            self.sink.counter_add(self.instr.flow_sent[flow], 1);
+        }
         let packet = SimPacket {
             inner: make_packet(&spec, seq),
             flow,
@@ -597,6 +872,14 @@ impl Simulation {
             Some(bucket) => bucket.conform(self.now, packet.wire_len()),
             None => true,
         };
+        if S::ENABLED && self.policers[flow].is_some() {
+            let verdict = if conforms {
+                self.instr.policer_conform[flow]
+            } else {
+                self.instr.policer_exceed[flow]
+            };
+            self.sink.counter_add(verdict, 1);
+        }
         if conforms {
             self.events.schedule(
                 self.now,
@@ -667,7 +950,18 @@ impl Simulation {
             }
             Action::Deliver(inner) => {
                 let wire = inner.wire_len();
-                self.stats[flow].on_delivered(done, done - sent_ns, wire);
+                let delay = done - sent_ns;
+                if S::ENABLED {
+                    self.sink.counter_add(self.instr.flow_delivered[flow], 1);
+                    self.sink.hist_record(self.instr.flow_delay[flow], delay);
+                    // Jitter differences against the previous delivery's
+                    // delay, so read it before on_delivered overwrites it.
+                    if let Some(prev) = self.stats[flow].last_delay_ns() {
+                        self.sink
+                            .hist_record(self.instr.flow_jitter[flow], prev.abs_diff(delay));
+                    }
+                }
+                self.stats[flow].on_delivered(done, delay, wire);
             }
             Action::Discard(cause) => {
                 self.stats[flow].on_discarded(cause);
@@ -965,14 +1259,16 @@ mod tests {
             1,
         );
         let north = cp.topology().link_between(2, 3).unwrap();
-        let mut plan = crate::fault::FaultPlan::default();
-        plan.policy = crate::fault::RestorationPolicy {
-            detection_delay_ns: 500_000,
-            resignal_delay_ns: 500_000,
-            backoff_factor: 2,
-            max_retries: 4,
-            hold_down_ns: 1_000_000,
-            mode: crate::fault::RecoveryMode::Restoration,
+        let mut plan = crate::fault::FaultPlan {
+            policy: crate::fault::RestorationPolicy {
+                detection_delay_ns: 500_000,
+                resignal_delay_ns: 500_000,
+                backoff_factor: 2,
+                max_retries: 4,
+                hold_down_ns: 1_000_000,
+                mode: crate::fault::RecoveryMode::Restoration,
+            },
+            ..Default::default()
         };
         // Out from 3 ms to 6 ms of a 10 ms flow.
         plan.outage(north, 3_000_000, 6_000_000);
@@ -1107,5 +1403,144 @@ mod tests {
         // particular seeds can tie by chance, so check across a range.
         let outcomes: std::collections::HashSet<_> = (0..8).map(run).collect();
         assert!(outcomes.len() > 1, "all seeds produced identical runs");
+    }
+
+    #[test]
+    fn telemetry_run_matches_plain_run_and_reports_instruments() {
+        let cp = plane_with_lsp();
+        let late_flow = || {
+            let mut late = cbr_flow("late", 1_000_000);
+            late.police = Some(crate::policer::PolicerSpec {
+                rate_bps: 1_000_000,
+                burst_bytes: 300,
+            });
+            late
+        };
+        let plain = {
+            let mut sim = Simulation::build(
+                &cp,
+                RouterKind::Embedded {
+                    clock: ClockSpec::STRATIX_50MHZ,
+                },
+                QueueDiscipline::Fifo { capacity: 64 },
+                1,
+            );
+            sim.add_flow(cbr_flow("cbr", 100_000));
+            sim.add_flow(late_flow());
+            sim.run(1_000_000_000)
+        };
+        let mut sim = Simulation::build(
+            &cp,
+            RouterKind::Embedded {
+                clock: ClockSpec::STRATIX_50MHZ,
+            },
+            QueueDiscipline::Fifo { capacity: 64 },
+            1,
+        );
+        sim.add_flow(cbr_flow("cbr", 100_000));
+        let mut sim = sim.with_telemetry(TelemetryConfig {
+            sample_interval_ns: 100_000,
+            ..TelemetryConfig::default()
+        });
+        // Flows added after conversion are instrumented too.
+        sim.add_flow(late_flow());
+        let report = sim.run(1_000_000_000);
+
+        // Instrumentation must not perturb the simulation itself.
+        let p = plain.flow("cbr").unwrap();
+        let t = report.flow("cbr").unwrap();
+        assert_eq!(p.sent, t.sent);
+        assert_eq!(p.delivered, t.delivered);
+        assert_eq!(p.delay_sum_ns, t.delay_sum_ns);
+        assert!(plain.telemetry.is_none());
+
+        let tel = report.telemetry.as_ref().expect("telemetry enabled");
+        // Flow counters mirror FlowStats.
+        assert_eq!(tel.counter("flow.cbr.sent"), Some(t.sent as f64));
+        assert_eq!(tel.counter("flow.cbr.delivered"), Some(t.delivered as f64));
+        let late_stats = report.flow("late").unwrap();
+        assert_eq!(
+            tel.counter("flow.late.policer_exceed"),
+            Some(late_stats.policer_dropped as f64)
+        );
+        // Delay histogram saw every delivery; jitter one fewer (first
+        // delivery has no predecessor).
+        let delay = tel.histogram("lsp.cbr.delay_ns").unwrap();
+        assert_eq!(delay.total, t.delivered);
+        assert_eq!(delay.sum, t.delay_sum_ns);
+        let jitter = tel.histogram("lsp.cbr.jitter_ns").unwrap();
+        assert_eq!(jitter.total, t.delivered - 1);
+        // Queue-depth series sampled the run.
+        let depth = tel.series("link.0->2.queue_depth").unwrap();
+        assert!(!depth.points.is_empty(), "periodic samples were taken");
+        assert!(depth.points.last().unwrap().0 <= report.elapsed_ns);
+        // FSM cycle counters and pipeline stages were scraped from the
+        // ingress LER (node 0 runs the embedded modifier).
+        assert!(tel.counter("node0.router.total_cycles").unwrap() > 0.0);
+        assert!(tel.counter("node0.pipeline.update_cycles").unwrap() > 0.0);
+        let fsm_total: f64 = tel
+            .counters
+            .iter()
+            .filter(|c| c.name.starts_with("node0.fsm.main."))
+            .map(|c| c.value)
+            .sum();
+        assert_eq!(fsm_total, tel.counter("node0.router.total_cycles").unwrap());
+        let search = tel.histogram("node0.ib.search_depth").unwrap();
+        assert!(search.total > 0, "ingress searches were recorded");
+        // Start/end trace events frame the run.
+        assert_eq!(tel.events.first().unwrap().name, "telemetry_start");
+        assert_eq!(tel.events.last().unwrap().name, "telemetry_end");
+    }
+
+    #[test]
+    fn telemetry_traces_outage_lifecycle() {
+        let cp = plane_with_lsp();
+        let mut sim = Simulation::build(
+            &cp,
+            RouterKind::Embedded {
+                clock: ClockSpec::STRATIX_50MHZ,
+            },
+            QueueDiscipline::Fifo { capacity: 64 },
+            1,
+        );
+        let north = cp.topology().link_between(2, 3).unwrap();
+        let mut plan = crate::fault::FaultPlan {
+            policy: crate::fault::RestorationPolicy {
+                detection_delay_ns: 500_000,
+                resignal_delay_ns: 500_000,
+                backoff_factor: 2,
+                max_retries: 4,
+                hold_down_ns: 1_000_000,
+                mode: crate::fault::RecoveryMode::Restoration,
+            },
+            ..Default::default()
+        };
+        plan.outage(north, 3_000_000, 6_000_000);
+        sim.set_fault_plan(plan);
+        sim.add_flow(cbr_flow("cbr", 100_000));
+        let report = sim
+            .with_telemetry(TelemetryConfig::default())
+            .run(1_000_000_000);
+
+        let tel = report.telemetry.as_ref().unwrap();
+        let at = |name: &str| {
+            tel.events
+                .iter()
+                .find(|e| e.name == name)
+                .map(|e| e.t_ns)
+                .unwrap_or_else(|| panic!("missing event {name}"))
+        };
+        assert_eq!(at("link_down"), 3_000_000);
+        assert_eq!(at("fault_detected"), 3_500_000);
+        assert_eq!(at("service_restored"), 4_000_000);
+        assert_eq!(at("link_up"), 6_000_000);
+        // The outage span opens at the cut and closes at restoration.
+        let span = tel
+            .spans
+            .iter()
+            .find(|s| s.name.starts_with("outage.link"))
+            .expect("outage span recorded");
+        assert_eq!(span.start_ns, 3_000_000);
+        assert_eq!(span.end_ns, Some(4_000_000));
     }
 }

@@ -93,6 +93,12 @@ impl FlowStats {
         self.last_delay_ns = Some(delay_ns);
     }
 
+    /// Delay of the most recent delivery, if any — the previous sample a
+    /// jitter measurement differences against.
+    pub fn last_delay_ns(&self) -> Option<u64> {
+        self.last_delay_ns
+    }
+
     /// Mean end-to-end delay (ns).
     pub fn mean_delay_ns(&self) -> f64 {
         if self.delivered == 0 {

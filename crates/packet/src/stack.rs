@@ -308,7 +308,7 @@ mod tests {
     fn ttl_expiry_signals_discard() {
         let mut s = LabelStack::new();
         s.push(entry(5, 1)).unwrap();
-        assert_eq!(s.decrement_ttl().unwrap(), false);
+        assert!(!s.decrement_ttl().unwrap());
         // stack untouched; caller resets it
         assert_eq!(s.depth(), 1);
         s.clear();

@@ -1,0 +1,166 @@
+//! RFC 3032 wire-format and TTL property tests.
+//!
+//! The inline module tests pin encode/decode as *inverses*; these
+//! properties pin the wire image itself — S-bit placement byte for byte,
+//! 20-bit label masking, parse termination at the bottom-of-stack marker —
+//! and the RFC 3032 §2.4 TTL lifecycle: a packet with TTL `t` survives
+//! exactly `t - 1` label-switched hops before it must be discarded.
+
+use mpls_packet::label::LabelStackEntry;
+use mpls_packet::stack::LabelStack;
+use mpls_packet::{CosBits, Label, PacketError, MAX_STACK_DEPTH};
+use proptest::prelude::*;
+
+fn arb_entry() -> impl Strategy<Value = LabelStackEntry> {
+    // Arbitrary S bits: the stack must ignore and recompute them.
+    (0u32..=Label::MAX, 0u8..=7, any::<bool>(), any::<u8>()).prop_map(|(l, c, s, t)| {
+        LabelStackEntry::new(Label::new(l).unwrap(), CosBits::new(c).unwrap(), s, t)
+    })
+}
+
+fn arb_stack() -> impl Strategy<Value = LabelStack> {
+    proptest::collection::vec(arb_entry(), 1..=MAX_STACK_DEPTH)
+        .prop_map(|es| LabelStack::from_entries(&es).unwrap())
+}
+
+/// The S bit lives at bit 8 of the 32-bit word: byte 2, mask 0x01.
+fn s_bit(word: &[u8]) -> bool {
+    word[2] & 0x01 != 0
+}
+
+proptest! {
+    /// RFC 3032 §2.1: "the bottom of stack bit ... is set to one for the
+    /// last entry in the label stack, and zero for all other label stack
+    /// entries." Checked on the raw bytes, not through the parser.
+    #[test]
+    fn s_bit_set_on_exactly_the_last_wire_word(s in arb_stack()) {
+        let mut buf = vec![0u8; s.wire_len()];
+        s.write_to(&mut buf).unwrap();
+        let words: Vec<&[u8]> = buf.chunks(4).collect();
+        for (i, w) in words.iter().enumerate() {
+            prop_assert_eq!(
+                s_bit(w),
+                i + 1 == words.len(),
+                "word {} of {}", i, words.len()
+            );
+        }
+    }
+
+    /// The 20-bit label field occupies the top 20 bits of the word; every
+    /// encoded label reads back as `value & 0xF_FFFF` with no bleed into
+    /// the CoS/S/TTL fields below it.
+    #[test]
+    fn label_field_is_masked_to_20_bits(raw: u32, cos in 0u8..=7, ttl: u8) {
+        let e = LabelStackEntry::new(
+            Label::from_masked(raw),
+            CosBits::new(cos).unwrap(),
+            false,
+            ttl,
+        );
+        let mut buf = [0u8; 4];
+        e.write_to(&mut buf).unwrap();
+        let word = u32::from_be_bytes(buf);
+        prop_assert_eq!(word >> 12, raw & Label::MAX);
+        prop_assert_eq!(((word >> 9) & 0x7) as u8, cos);
+        prop_assert_eq!((word & 0xFF) as u8, ttl);
+    }
+
+    /// RFC 3032 §2.1: parsing consumes entries only up to the first set S
+    /// bit — whatever follows (the IP header, payload, garbage) is left
+    /// untouched.
+    #[test]
+    fn parse_stops_at_bottom_of_stack(
+        s in arb_stack(),
+        trailing in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut buf = vec![0u8; s.wire_len()];
+        s.write_to(&mut buf).unwrap();
+        buf.extend_from_slice(&trailing);
+        let (parsed, used) = LabelStack::read_from(&buf).unwrap();
+        prop_assert_eq!(used, s.wire_len());
+        prop_assert_eq!(parsed, s);
+    }
+
+    /// Corrupting an earlier word's S bit truncates the parsed stack at
+    /// that word — the parser trusts the marker, never a length field.
+    #[test]
+    fn early_s_bit_truncates_the_parse(s in arb_stack(), cut in 0usize..MAX_STACK_DEPTH) {
+        let depth = s.depth();
+        let cut = cut % depth; // 0-based word whose S bit we force on
+        let mut buf = vec![0u8; s.wire_len()];
+        s.write_to(&mut buf).unwrap();
+        buf[cut * 4 + 2] |= 0x01;
+        let (parsed, used) = LabelStack::read_from(&buf).unwrap();
+        prop_assert_eq!(used, (cut + 1) * 4);
+        prop_assert_eq!(parsed.depth(), cut + 1);
+        parsed.validate().unwrap();
+        for (a, b) in parsed.entries().iter().zip(s.entries()) {
+            prop_assert_eq!(a.label, b.label);
+            prop_assert_eq!(a.ttl, b.ttl);
+        }
+    }
+
+    /// A truncated final word (S bit never seen) must error, not read past
+    /// the buffer or fabricate an entry.
+    #[test]
+    fn unterminated_stack_is_rejected(s in arb_stack(), drop in 1usize..=4) {
+        let mut buf = vec![0u8; s.wire_len()];
+        s.write_to(&mut buf).unwrap();
+        // Clear every S bit, then shorten: the parser runs off the end.
+        for i in 0..s.depth() {
+            buf[i * 4 + 2] &= !0x01;
+        }
+        buf.truncate(buf.len() - drop);
+        prop_assert!(matches!(
+            LabelStack::read_from(&buf),
+            Err(PacketError::Truncated { .. })
+        ));
+    }
+
+    /// RFC 3032 §2.4.1: the TTL decrements by one per label-switched hop;
+    /// "if the TTL is zero or one, the packet must be discarded." A packet
+    /// entering with TTL `t` therefore survives exactly `t - 1` hops (or
+    /// none at all for t ≤ 1), and expiry leaves the stack unmodified for
+    /// the discard path to report.
+    #[test]
+    fn ttl_permits_exactly_ttl_minus_one_hops(
+        s in arb_stack(),
+        swaps in proptest::collection::vec(0u32..=Label::MAX, 1..8),
+    ) {
+        let mut stack = s.clone();
+        let t0 = stack.top().unwrap().ttl;
+        let mut hops = 0u32;
+        let mut swap_iter = swaps.iter().cycle();
+        loop {
+            if stack.decrement_ttl().unwrap() {
+                hops += 1;
+                // A swap between decrements must not disturb the TTL run.
+                stack.swap(Label::new(*swap_iter.next().unwrap()).unwrap()).unwrap();
+                prop_assert!(hops <= 255, "runaway TTL loop");
+            } else {
+                break;
+            }
+        }
+        prop_assert_eq!(hops, (t0 as u32).saturating_sub(1));
+        // Expiry left the entry intact (TTL still 0 or 1, depth unchanged).
+        prop_assert!(stack.top().unwrap().ttl <= 1);
+        prop_assert_eq!(stack.depth(), s.depth());
+    }
+
+    /// Swap rewrites only the label: CoS ("not modified by the embedded
+    /// implementation") and TTL carry through, and deeper entries never
+    /// move.
+    #[test]
+    fn swap_preserves_cos_ttl_and_deeper_entries(s in arb_stack(), new in 0u32..=Label::MAX) {
+        let mut stack = s.clone();
+        let old_top = *stack.top().unwrap();
+        let returned = stack.swap(Label::new(new).unwrap()).unwrap();
+        prop_assert_eq!(returned, old_top);
+        let top = *stack.top().unwrap();
+        prop_assert_eq!(top.label.value(), new);
+        prop_assert_eq!(top.cos, old_top.cos);
+        prop_assert_eq!(top.ttl, old_top.ttl);
+        prop_assert_eq!(&stack.entries()[1..], &s.entries()[1..]);
+        stack.validate().unwrap();
+    }
+}

@@ -140,11 +140,13 @@ impl EmbeddedRouter {
             let r = self.modifier.user_push(*e);
             debug_assert_eq!(r.outcome, Outcome::Done);
             cycles += r.cycles;
+            self.stats.stage_cycles.load += r.cycles;
         }
 
         // The stack update itself.
         let r = self.modifier.update_stack(dst, push_cos, packet.ip.ttl);
         cycles += r.cycles;
+        self.stats.stage_cycles.update += r.cycles;
         let outcome = r.outcome;
         if let Outcome::Discarded(reason) = outcome {
             return self.finish(cycles, Action::Discard(to_cause(reason)));
@@ -156,6 +158,7 @@ impl EmbeddedRouter {
         while self.modifier.stack_depth() > 0 {
             let r = self.modifier.user_pop();
             cycles += r.cycles;
+            self.stats.stage_cycles.unload += r.cycles;
             match r.outcome {
                 Outcome::Popped(e) => top_first.push(e),
                 other => unreachable!("pop of non-empty stack returned {other:?}"),
@@ -203,6 +206,7 @@ impl MplsForwarder for EmbeddedRouter {
                     self.modifier
                         .write_pair(Level::L1, dst as u64, push_label, IbOperation::Push);
                 cycles += r.cycles;
+                self.stats.stage_cycles.slow_path += r.cycles;
                 if r.outcome == Outcome::WriteRejected {
                     return self.finish(cycles, Action::Discard(DiscardCause::FlowTableFull));
                 }
@@ -223,11 +227,22 @@ impl MplsForwarder for EmbeddedRouter {
         // Rebuild the information base and flow cache from scratch —
         // stale level-1 flow entries must not survive a reroute, or they
         // would keep pushing labels of a torn-down LSP. Statistics carry
-        // over: reconvergence does not reset counters.
+        // over: reconvergence does not reset counters, and the hardware
+        // performance counter block (if attached) survives the rebuild.
+        let perf = self.modifier.take_perf();
         let (modifier, installed_flows) = program(self.rtype, config);
         self.modifier = modifier;
+        self.modifier.set_perf(perf);
         self.installed_flows = installed_flows;
         self.tables = RouterTables::from_config(config);
+    }
+
+    fn enable_perf(&mut self) {
+        self.modifier.enable_perf();
+    }
+
+    fn core_perf(&self) -> Option<&mpls_core::CorePerf> {
+        self.modifier.perf()
     }
 }
 
@@ -423,6 +438,58 @@ mod tests {
         let s = r.stats();
         assert_eq!(s.by_cause.get(DiscardCause::NoRoute), 2);
         assert_eq!(s.by_cause.total(), s.discarded);
+    }
+
+    #[test]
+    fn stage_cycles_partition_total_cycles() {
+        let (cp, _) = lsp_setup();
+        let mut r = EmbeddedRouter::new(
+            0,
+            RouterRole::Ler,
+            &cp.config_for(0),
+            ClockSpec::STRATIX_50MHZ,
+        );
+        r.handle(packet_to("192.168.1.5"));
+        let s = r.stats();
+        // First packet: slow path 3, update 8+6, unload 3, no load (the
+        // packet arrived unlabeled).
+        assert_eq!(s.stage_cycles.slow_path, 3);
+        assert_eq!(s.stage_cycles.update, 14);
+        assert_eq!(s.stage_cycles.unload, 3);
+        assert_eq!(s.stage_cycles.load, 0);
+        assert_eq!(s.stage_cycles.total(), s.total_cycles);
+
+        r.handle(packet_to("192.168.1.5"));
+        let s = r.stats();
+        assert_eq!(s.stage_cycles.total(), s.total_cycles, "stays a partition");
+        assert_eq!(s.stage_cycles.slow_path, 3, "second packet hits fast path");
+    }
+
+    #[test]
+    fn perf_block_survives_reprogram() {
+        let (cp, id) = lsp_setup();
+        let mut r = EmbeddedRouter::new(
+            0,
+            RouterRole::Ler,
+            &cp.config_for(0),
+            ClockSpec::STRATIX_50MHZ,
+        );
+        r.enable_perf();
+        r.handle(packet_to("192.168.1.5"));
+        let hits_before = r.core_perf().expect("perf enabled").search_hits;
+        assert!(hits_before > 0, "the update stack searched level 1");
+
+        let mut cp2 = cp.clone();
+        cp2.teardown_lsp(id).unwrap();
+        let mut req =
+            LspRequest::best_effort(0, 1, Prefix::new(parse_addr("192.168.1.0").unwrap(), 24));
+        req.explicit_route = Some(vec![0, 4, 5, 1]);
+        cp2.establish_lsp(req).unwrap();
+        r.reprogram(&cp2.config_for(0));
+
+        r.handle(packet_to("192.168.1.5"));
+        let p = r.core_perf().expect("perf survived reprogram");
+        assert!(p.search_hits > hits_before, "counters kept accumulating");
     }
 
     #[test]

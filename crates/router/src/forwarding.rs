@@ -2,6 +2,7 @@
 //! per-router statistics the experiments report.
 
 use mpls_control::{NodeConfig, NodeId};
+use mpls_core::CorePerf;
 use mpls_packet::MplsPacket;
 use serde::{Deserialize, Serialize};
 
@@ -157,6 +158,41 @@ pub struct Forwarding {
     pub latency_ns: u64,
 }
 
+/// Cycles attributed to each stage of the embedded router's pipeline
+/// (Fig. 6): hardware only, zero for the software router, in the spirit of
+/// the per-stage counters programmable switch pipelines expose.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageCycles {
+    /// Ingress packet processing: `user push` of each arriving entry.
+    pub load: u64,
+    /// The stack update itself (search + label operation).
+    pub update: u64,
+    /// Egress packet processing: `user pop` draining the modifier.
+    pub unload: u64,
+    /// Slow-path `write label pair` flow installations.
+    pub slow_path: u64,
+}
+
+impl StageCycles {
+    /// Sum over all stages; equals `RouterStats::total_cycles` for the
+    /// embedded router.
+    pub fn total(&self) -> u64 {
+        self.load + self.update + self.unload + self.slow_path
+    }
+
+    /// `(stage, cycles)` pairs in pipeline order, the shape telemetry
+    /// scrapes.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> {
+        [
+            ("load", self.load),
+            ("update", self.update),
+            ("unload", self.unload),
+            ("slow_path", self.slow_path),
+        ]
+        .into_iter()
+    }
+}
+
 /// Counters every router keeps.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RouterStats {
@@ -176,6 +212,8 @@ pub struct RouterStats {
     pub total_cycles: u64,
     /// Hardware only: slow-path flow installations performed.
     pub flow_installs: u64,
+    /// Hardware only: `total_cycles` broken down by pipeline stage.
+    pub stage_cycles: StageCycles,
 }
 
 impl RouterStats {
@@ -204,6 +242,17 @@ pub trait MplsForwarder {
     /// converging on re-signaled or failed-over LSPs) while preserving
     /// its statistics.
     fn reprogram(&mut self, config: &NodeConfig);
+
+    /// Enables hardware-style performance counters (per-FSM-state cycles,
+    /// search-depth histogram), if the implementation has any. Default:
+    /// no-op for routers without such hardware.
+    fn enable_perf(&mut self) {}
+
+    /// The hardware counter block, if enabled and present. Telemetry
+    /// scrapes this at end of run.
+    fn core_perf(&self) -> Option<&CorePerf> {
+        None
+    }
 }
 
 #[cfg(test)]

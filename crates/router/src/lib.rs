@@ -28,6 +28,8 @@ pub mod pipeline;
 pub mod software;
 
 pub use embedded::EmbeddedRouter;
-pub use forwarding::{Action, CauseCounts, DiscardCause, Forwarding, MplsForwarder, RouterStats};
+pub use forwarding::{
+    Action, CauseCounts, DiscardCause, Forwarding, MplsForwarder, RouterStats, StageCycles,
+};
 pub use pipeline::RouterTables;
 pub use software::{SoftwareRouter, SwTimingModel};

@@ -208,7 +208,7 @@ mod tests {
         let clk_like = t.probe("lookup", 1);
         let bus = t.probe("label_out", 20);
         for c in 0..6u64 {
-            t.sample_bool(clk_like, c >= 2 && c < 4);
+            t.sample_bool(clk_like, (2..4).contains(&c));
             t.sample(bus, if c >= 4 { 504 } else { 0 });
             t.commit_cycle();
         }

@@ -104,12 +104,8 @@ fn figure14_vcd_round_trips() {
     for i in 0..run.signal_count() {
         let id = run.find(run.name(sig_at(&run, i))).unwrap();
         let name = run.name(id).to_string();
-        for c in 0..run.cycles() {
-            assert_eq!(
-                replayed[&name][c],
-                run.value_at(id, c),
-                "{name} at cycle {c}"
-            );
+        for (c, &replayed_value) in replayed[&name].iter().enumerate().take(run.cycles()) {
+            assert_eq!(replayed_value, run.value_at(id, c), "{name} at cycle {c}");
         }
     }
 }

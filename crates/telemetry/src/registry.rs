@@ -1,0 +1,290 @@
+//! The instrument registry.
+//!
+//! Instruments are registered once on the cold path (scenario setup) and
+//! return small `Copy` handles; the hot path records through those handles
+//! with a bounds-checked vector index — no string lookups, no hashing.
+
+use crate::instrument::{Counter, Gauge, Histogram, TimeSeries};
+use crate::report::{
+    EventExport, HistogramExport, SeriesExport, SpanExport, TelemetryReport, ValueExport,
+};
+use crate::tracer::Tracer;
+use serde::{Deserialize, Serialize};
+
+/// Handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(pub(crate) u32);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(pub(crate) u32);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistId(pub(crate) u32);
+
+/// Handle to a registered time series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeriesId(pub(crate) u32);
+
+/// Knobs for a telemetry-enabled run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
+pub struct TelemetryConfig {
+    /// Minimum spacing between periodic samples (queue depth, utilization).
+    pub sample_interval_ns: u64,
+    /// Point capacity per time series before downsampling kicks in.
+    pub series_capacity: usize,
+    /// Event capacity of the tracer.
+    pub event_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self {
+            sample_interval_ns: 100_000, // 100 µs: ~100 points per 10 ms run
+            series_capacity: 4096,
+            event_capacity: 1024,
+        }
+    }
+}
+
+/// Owns every instrument of one simulation run.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    config: TelemetryConfig,
+    counters: Vec<(String, Counter)>,
+    gauges: Vec<(String, Gauge)>,
+    hists: Vec<(String, Histogram)>,
+    series: Vec<(String, TimeSeries)>,
+    tracer: Tracer,
+}
+
+impl Registry {
+    /// An empty registry with the given configuration.
+    pub fn new(config: TelemetryConfig) -> Self {
+        Self {
+            config,
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            hists: Vec::new(),
+            series: Vec::new(),
+            tracer: Tracer::new(config.event_capacity),
+        }
+    }
+
+    /// The configuration this registry was built with.
+    pub fn config(&self) -> TelemetryConfig {
+        self.config
+    }
+
+    /// Registers a monotonic counter.
+    pub fn counter(&mut self, name: impl Into<String>) -> CounterId {
+        self.counters.push((name.into(), Counter::default()));
+        CounterId((self.counters.len() - 1) as u32)
+    }
+
+    /// Registers a gauge.
+    pub fn gauge(&mut self, name: impl Into<String>) -> GaugeId {
+        self.gauges.push((name.into(), Gauge::default()));
+        GaugeId((self.gauges.len() - 1) as u32)
+    }
+
+    /// Registers a fixed-bucket histogram with the given inclusive upper
+    /// bounds.
+    pub fn histogram(&mut self, name: impl Into<String>, bounds: Vec<u64>) -> HistId {
+        self.hists.push((name.into(), Histogram::new(bounds)));
+        HistId((self.hists.len() - 1) as u32)
+    }
+
+    /// Registers a time series using the registry's configured interval and
+    /// capacity.
+    pub fn series(&mut self, name: impl Into<String>) -> SeriesId {
+        self.series.push((
+            name.into(),
+            TimeSeries::new(self.config.sample_interval_ns, self.config.series_capacity),
+        ));
+        SeriesId((self.series.len() - 1) as u32)
+    }
+
+    /// Adds to a counter.
+    #[inline]
+    pub fn counter_add(&mut self, id: CounterId, delta: u64) {
+        self.counters[id.0 as usize].1.add(delta);
+    }
+
+    /// Sets a gauge.
+    #[inline]
+    pub fn gauge_set(&mut self, id: GaugeId, value: f64) {
+        self.gauges[id.0 as usize].1.set(value);
+    }
+
+    /// Records one histogram sample.
+    #[inline]
+    pub fn hist_record(&mut self, id: HistId, value: u64) {
+        self.hists[id.0 as usize].1.record(value);
+    }
+
+    /// Offers one time-series point (subject to the sampling interval).
+    #[inline]
+    pub fn series_push(&mut self, id: SeriesId, t_ns: u64, value: f64) {
+        self.series[id.0 as usize].1.push(t_ns, value);
+    }
+
+    /// Imports an externally accumulated histogram under `name` (used to
+    /// scrape hardware-style counters kept outside the registry, e.g. the
+    /// modifier's search-depth histogram).
+    pub fn import_histogram(&mut self, name: impl Into<String>, hist: &Histogram) {
+        self.hists.push((name.into(), hist.clone()));
+    }
+
+    /// Reads a counter back (tests, report rendering).
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0 as usize].1.get()
+    }
+
+    /// Reads a gauge back.
+    pub fn gauge_value(&self, id: GaugeId) -> f64 {
+        self.gauges[id.0 as usize].1.get()
+    }
+
+    /// Reads a histogram back.
+    pub fn hist(&self, id: HistId) -> &Histogram {
+        &self.hists[id.0 as usize].1
+    }
+
+    /// Reads a time series back.
+    pub fn series_data(&self, id: SeriesId) -> &TimeSeries {
+        &self.series[id.0 as usize].1
+    }
+
+    /// The span/event tracer.
+    pub fn tracer(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Snapshots every instrument into a serializable report.
+    pub fn snapshot(&self) -> TelemetryReport {
+        TelemetryReport {
+            counters: self
+                .counters
+                .iter()
+                .map(|(n, c)| ValueExport {
+                    name: n.clone(),
+                    value: c.get() as f64,
+                })
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(n, g)| ValueExport {
+                    name: n.clone(),
+                    value: g.get(),
+                })
+                .collect(),
+            histograms: self
+                .hists
+                .iter()
+                .map(|(n, h)| HistogramExport {
+                    name: n.clone(),
+                    bounds: h.bounds().to_vec(),
+                    counts: h.counts().to_vec(),
+                    total: h.total(),
+                    sum: h.sum(),
+                    min: h.min(),
+                    max: h.max(),
+                    p50: h.quantile(0.50),
+                    p99: h.quantile(0.99),
+                })
+                .collect(),
+            series: self
+                .series
+                .iter()
+                .map(|(n, s)| SeriesExport {
+                    name: n.clone(),
+                    interval_ns: s.interval_ns(),
+                    points: s.points().to_vec(),
+                })
+                .collect(),
+            events: self
+                .tracer
+                .events()
+                .iter()
+                .map(|e| EventExport {
+                    t_ns: e.t_ns,
+                    name: e.name.clone(),
+                    detail: e.detail.clone(),
+                })
+                .collect(),
+            spans: self
+                .tracer
+                .spans()
+                .iter()
+                .map(|s| SpanExport {
+                    name: s.name.clone(),
+                    start_ns: s.start_ns,
+                    end_ns: s.end_ns,
+                })
+                .collect(),
+            dropped_events: self.tracer.dropped_events(),
+        }
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new(TelemetryConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_record_by_index() {
+        let mut r = Registry::default();
+        let c = r.counter("pkts");
+        let g = r.gauge("depth");
+        let h = r.histogram("lat", vec![10, 100, 1000]);
+        let s = r.series("util");
+        r.counter_add(c, 2);
+        r.counter_add(c, 3);
+        r.gauge_set(g, 7.5);
+        r.hist_record(h, 42);
+        r.series_push(s, 0, 0.25);
+        assert_eq!(r.counter_value(c), 5);
+        assert_eq!(r.gauge_value(g), 7.5);
+        assert_eq!(r.hist(h).total(), 1);
+        assert_eq!(r.series_data(s).len(), 1);
+    }
+
+    #[test]
+    fn snapshot_carries_everything() {
+        let mut r = Registry::default();
+        let c = r.counter("pkts");
+        r.counter_add(c, 9);
+        let h = r.histogram("lat", vec![10, 100]);
+        r.hist_record(h, 50);
+        r.tracer().event(5, "boot", String::new());
+        let id = r.tracer().span_begin(1, "run");
+        r.tracer().span_end(9, id);
+        let rep = r.snapshot();
+        assert_eq!(rep.counters[0].value, 9.0);
+        assert_eq!(rep.histograms[0].counts, vec![0, 1, 0]);
+        assert_eq!(rep.histograms[0].p50, Some(100));
+        assert_eq!(rep.events[0].name, "boot");
+        assert_eq!(rep.spans[0].end_ns, Some(9));
+    }
+
+    #[test]
+    fn import_histogram_clones_external_state() {
+        let mut h = Histogram::new(vec![1, 2, 4]);
+        h.record(2);
+        h.record(3);
+        let mut r = Registry::default();
+        r.import_histogram("core.search_depth", &h);
+        let rep = r.snapshot();
+        assert_eq!(rep.histograms[0].name, "core.search_depth");
+        assert_eq!(rep.histograms[0].total, 2);
+    }
+}

@@ -1,0 +1,112 @@
+//! Serializable snapshot of a registry: what `--metrics-out` writes.
+
+use serde::Serialize;
+
+/// A named scalar (counter or gauge) in a report.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct ValueExport {
+    /// Instrument name, dot-separated (`link.0->1.queue_drops`).
+    pub name: String,
+    /// Final value (counters as whole numbers).
+    pub value: f64,
+}
+
+/// A histogram in a report.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct HistogramExport {
+    /// Instrument name.
+    pub name: String,
+    /// Inclusive upper bounds.
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; one more entry than `bounds` (overflow last).
+    pub counts: Vec<u64>,
+    /// Total samples.
+    pub total: u64,
+    /// Saturating sum of samples.
+    pub sum: u64,
+    /// Smallest sample, if any.
+    pub min: Option<u64>,
+    /// Largest sample, if any.
+    pub max: Option<u64>,
+    /// Median bucket upper bound.
+    pub p50: Option<u64>,
+    /// 99th-percentile bucket upper bound.
+    pub p99: Option<u64>,
+}
+
+/// A time series in a report.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct SeriesExport {
+    /// Instrument name.
+    pub name: String,
+    /// Final sampling interval (grows by doubling under downsampling).
+    pub interval_ns: u64,
+    /// `(t_ns, value)` points in time order.
+    pub points: Vec<(u64, f64)>,
+}
+
+/// A point event in a report.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct EventExport {
+    /// Simulation time in nanoseconds.
+    pub t_ns: u64,
+    /// Event name.
+    pub name: String,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+/// A span in a report.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct SpanExport {
+    /// Span name.
+    pub name: String,
+    /// Open time.
+    pub start_ns: u64,
+    /// Close time; `None` if the span outlived the run.
+    pub end_ns: Option<u64>,
+}
+
+/// Everything one telemetry-enabled run recorded.
+#[derive(Debug, Clone, Default, Serialize, PartialEq)]
+pub struct TelemetryReport {
+    /// Monotonic counters.
+    pub counters: Vec<ValueExport>,
+    /// Gauges.
+    pub gauges: Vec<ValueExport>,
+    /// Histograms.
+    pub histograms: Vec<HistogramExport>,
+    /// Time series.
+    pub series: Vec<SeriesExport>,
+    /// Point events.
+    pub events: Vec<EventExport>,
+    /// Spans.
+    pub spans: Vec<SpanExport>,
+    /// Events the tracer rejected because its buffer was full.
+    pub dropped_events: u64,
+}
+
+impl TelemetryReport {
+    /// Looks a counter up by exact name.
+    pub fn counter(&self, name: &str) -> Option<f64> {
+        self.counters
+            .iter()
+            .find(|v| v.name == name)
+            .map(|v| v.value)
+    }
+
+    /// Looks a gauge up by exact name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|v| v.name == name).map(|v| v.value)
+    }
+
+    /// Looks a histogram up by exact name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramExport> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Looks a time series up by exact name.
+    pub fn series(&self, name: &str) -> Option<&SeriesExport> {
+        self.series.iter().find(|s| s.name == name)
+    }
+}

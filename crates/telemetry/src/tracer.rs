@@ -1,0 +1,132 @@
+//! Span/event tracer keyed by simulation time.
+//!
+//! Timestamps are simulation nanoseconds ([`mpls-net`]'s `SimTime`), never
+//! wall clock, so traces are deterministic and comparable across machines.
+//! Events live in a bounded buffer: once full, further events are counted
+//! as dropped rather than growing the run's memory footprint.
+
+use serde::Serialize;
+
+/// Handle to an open span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(pub(crate) u32);
+
+/// A point-in-time annotation.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct Event {
+    /// Simulation time in nanoseconds.
+    pub t_ns: u64,
+    /// Short machine-friendly name, e.g. `link_down`.
+    pub name: String,
+    /// Free-form detail, e.g. `link=3`.
+    pub detail: String,
+}
+
+/// An interval with a start and (once closed) an end.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct Span {
+    /// Short machine-friendly name, e.g. `outage`.
+    pub name: String,
+    /// Simulation time the span opened.
+    pub start_ns: u64,
+    /// Simulation time the span closed; `None` while still open (e.g. an
+    /// outage that outlives the run).
+    pub end_ns: Option<u64>,
+}
+
+/// Bounded recorder of [`Event`]s and [`Span`]s.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    events: Vec<Event>,
+    event_capacity: usize,
+    dropped_events: u64,
+    spans: Vec<Span>,
+}
+
+impl Tracer {
+    /// A tracer holding at most `event_capacity` events.
+    pub fn new(event_capacity: usize) -> Self {
+        Self {
+            events: Vec::new(),
+            event_capacity: event_capacity.max(1),
+            dropped_events: 0,
+            spans: Vec::new(),
+        }
+    }
+
+    /// Records an event, or counts it as dropped when the buffer is full.
+    pub fn event(&mut self, t_ns: u64, name: &str, detail: String) {
+        if self.events.len() >= self.event_capacity {
+            self.dropped_events += 1;
+            return;
+        }
+        self.events.push(Event {
+            t_ns,
+            name: name.to_string(),
+            detail,
+        });
+    }
+
+    /// Opens a span. Spans are few (faults, reroutes), so they are unbounded.
+    pub fn span_begin(&mut self, t_ns: u64, name: &str) -> SpanId {
+        self.spans.push(Span {
+            name: name.to_string(),
+            start_ns: t_ns,
+            end_ns: None,
+        });
+        SpanId((self.spans.len() - 1) as u32)
+    }
+
+    /// Closes a span; closing twice keeps the first end time.
+    pub fn span_end(&mut self, t_ns: u64, id: SpanId) {
+        if let Some(span) = self.spans.get_mut(id.0 as usize) {
+            if span.end_ns.is_none() {
+                span.end_ns = Some(t_ns);
+            }
+        }
+    }
+
+    /// Recorded events, in insertion order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Recorded spans, in open order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Events rejected because the buffer was full.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped_events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_bounded_and_count_drops() {
+        let mut t = Tracer::new(2);
+        t.event(10, "a", String::new());
+        t.event(20, "b", "x=1".into());
+        t.event(30, "c", String::new());
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped_events(), 1);
+        assert_eq!(t.events()[1].detail, "x=1");
+    }
+
+    #[test]
+    fn spans_open_and_close_once() {
+        let mut t = Tracer::new(8);
+        let a = t.span_begin(100, "outage");
+        let b = t.span_begin(150, "reroute");
+        t.span_end(200, a);
+        t.span_end(999, a); // second close ignored
+        assert_eq!(t.spans()[0].end_ns, Some(200));
+        assert_eq!(t.spans()[1].end_ns, None);
+        t.span_end(300, b);
+        assert_eq!(t.spans()[1].end_ns, Some(300));
+    }
+}

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-36e89ea769f5c101.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-36e89ea769f5c101: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

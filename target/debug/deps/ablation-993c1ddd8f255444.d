@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-993c1ddd8f255444.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-993c1ddd8f255444: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/behavior-45d9584cfa512a20.d: crates/core/tests/behavior.rs
+
+/root/repo/target/debug/deps/behavior-45d9584cfa512a20: crates/core/tests/behavior.rs
+
+crates/core/tests/behavior.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/behavior-e221e5ab64cac328.d: crates/core/tests/behavior.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbehavior-e221e5ab64cac328.rmeta: crates/core/tests/behavior.rs Cargo.toml
+
+crates/core/tests/behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

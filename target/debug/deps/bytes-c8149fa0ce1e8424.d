@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bytes-c8149fa0ce1e8424.d: vendor/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytes-c8149fa0ce1e8424.rmeta: vendor/bytes/src/lib.rs Cargo.toml
+
+vendor/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cycle_accuracy-045e0e11dee63c27.d: crates/core/tests/cycle_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcycle_accuracy-045e0e11dee63c27.rmeta: crates/core/tests/cycle_accuracy.rs Cargo.toml
+
+crates/core/tests/cycle_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

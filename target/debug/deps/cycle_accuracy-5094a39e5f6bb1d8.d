@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cycle_accuracy-5094a39e5f6bb1d8.d: crates/core/tests/cycle_accuracy.rs
+
+/root/repo/target/debug/deps/cycle_accuracy-5094a39e5f6bb1d8: crates/core/tests/cycle_accuracy.rs
+
+crates/core/tests/cycle_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-a7c40b74d0de211e.d: crates/core/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-a7c40b74d0de211e: crates/core/tests/determinism.rs
+
+crates/core/tests/determinism.rs:

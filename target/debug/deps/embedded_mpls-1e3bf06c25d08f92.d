@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/embedded_mpls-1e3bf06c25d08f92.d: src/lib.rs
+
+/root/repo/target/debug/deps/libembedded_mpls-1e3bf06c25d08f92.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libembedded_mpls-1e3bf06c25d08f92.rmeta: src/lib.rs
+
+src/lib.rs:

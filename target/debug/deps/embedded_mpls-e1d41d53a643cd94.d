@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/embedded_mpls-e1d41d53a643cd94.d: src/lib.rs
+
+/root/repo/target/debug/deps/embedded_mpls-e1d41d53a643cd94: src/lib.rs
+
+src/lib.rs:

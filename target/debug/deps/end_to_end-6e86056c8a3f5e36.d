@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end-6e86056c8a3f5e36.d: crates/bench/src/bin/end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end-6e86056c8a3f5e36.rmeta: crates/bench/src/bin/end_to_end.rs Cargo.toml
+
+crates/bench/src/bin/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

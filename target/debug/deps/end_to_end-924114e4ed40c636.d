@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-924114e4ed40c636.d: crates/bench/src/bin/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-924114e4ed40c636: crates/bench/src/bin/end_to_end.rs
+
+crates/bench/src/bin/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-f030b1853f87af11.d: crates/bench/src/bin/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-f030b1853f87af11: crates/bench/src/bin/end_to_end.rs
+
+crates/bench/src/bin/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_lsp-e48eeb8f041abc9a.d: tests/end_to_end_lsp.rs
+
+/root/repo/target/debug/deps/end_to_end_lsp-e48eeb8f041abc9a: tests/end_to_end_lsp.rs
+
+tests/end_to_end_lsp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ensemble-0dcf74c16a2fb3cf.d: crates/bench/src/bin/ensemble.rs Cargo.toml
+
+/root/repo/target/debug/deps/libensemble-0dcf74c16a2fb3cf.rmeta: crates/bench/src/bin/ensemble.rs Cargo.toml
+
+crates/bench/src/bin/ensemble.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ensemble-65cb2d2fcbef8824.d: crates/bench/src/bin/ensemble.rs Cargo.toml
+
+/root/repo/target/debug/deps/libensemble-65cb2d2fcbef8824.rmeta: crates/bench/src/bin/ensemble.rs Cargo.toml
+
+crates/bench/src/bin/ensemble.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ensemble-b98553d2d54fcf4f.d: crates/bench/src/bin/ensemble.rs
+
+/root/repo/target/debug/deps/ensemble-b98553d2d54fcf4f: crates/bench/src/bin/ensemble.rs
+
+crates/bench/src/bin/ensemble.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ensemble-bc434049fadaae4d.d: crates/bench/src/bin/ensemble.rs
+
+/root/repo/target/debug/deps/ensemble-bc434049fadaae4d: crates/bench/src/bin/ensemble.rs
+
+crates/bench/src/bin/ensemble.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failover-2554b8f59ea76193.d: tests/failover.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailover-2554b8f59ea76193.rmeta: tests/failover.rs Cargo.toml
+
+tests/failover.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

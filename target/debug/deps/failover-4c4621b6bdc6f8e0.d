@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failover-4c4621b6bdc6f8e0.d: crates/bench/src/bin/failover.rs
+
+/root/repo/target/debug/deps/failover-4c4621b6bdc6f8e0: crates/bench/src/bin/failover.rs
+
+crates/bench/src/bin/failover.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failover-906524c525891f6f.d: crates/bench/src/bin/failover.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailover-906524c525891f6f.rmeta: crates/bench/src/bin/failover.rs Cargo.toml
+
+crates/bench/src/bin/failover.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failover-af35f50614e942ac.d: crates/bench/src/bin/failover.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailover-af35f50614e942ac.rmeta: crates/bench/src/bin/failover.rs Cargo.toml
+
+crates/bench/src/bin/failover.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

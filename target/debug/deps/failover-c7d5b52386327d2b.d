@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failover-c7d5b52386327d2b.d: tests/failover.rs
+
+/root/repo/target/debug/deps/failover-c7d5b52386327d2b: tests/failover.rs
+
+tests/failover.rs:

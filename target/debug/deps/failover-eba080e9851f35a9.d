@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failover-eba080e9851f35a9.d: crates/bench/src/bin/failover.rs
+
+/root/repo/target/debug/deps/failover-eba080e9851f35a9: crates/bench/src/bin/failover.rs
+
+crates/bench/src/bin/failover.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_conservation-6a46c50505bcdc78.d: tests/fault_conservation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_conservation-6a46c50505bcdc78.rmeta: tests/fault_conservation.rs Cargo.toml
+
+tests/fault_conservation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_conservation-7916b479f8551197.d: tests/fault_conservation.rs
+
+/root/repo/target/debug/deps/fault_conservation-7916b479f8551197: tests/fault_conservation.rs
+
+tests/fault_conservation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_restoration-0fd9db920ca90eb5.d: tests/fault_restoration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_restoration-0fd9db920ca90eb5.rmeta: tests/fault_restoration.rs Cargo.toml
+
+tests/fault_restoration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_restoration-87729e521fcc7892.d: tests/fault_restoration.rs
+
+/root/repo/target/debug/deps/fault_restoration-87729e521fcc7892: tests/fault_restoration.rs
+
+tests/fault_restoration.rs:

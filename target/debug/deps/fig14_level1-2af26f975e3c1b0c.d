@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_level1-2af26f975e3c1b0c.d: crates/bench/src/bin/fig14_level1.rs
+
+/root/repo/target/debug/deps/fig14_level1-2af26f975e3c1b0c: crates/bench/src/bin/fig14_level1.rs
+
+crates/bench/src/bin/fig14_level1.rs:

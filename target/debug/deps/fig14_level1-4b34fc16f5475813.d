@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_level1-4b34fc16f5475813.d: crates/bench/src/bin/fig14_level1.rs
+
+/root/repo/target/debug/deps/fig14_level1-4b34fc16f5475813: crates/bench/src/bin/fig14_level1.rs
+
+crates/bench/src/bin/fig14_level1.rs:

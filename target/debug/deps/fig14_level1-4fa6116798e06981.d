@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_level1-4fa6116798e06981.d: crates/bench/src/bin/fig14_level1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_level1-4fa6116798e06981.rmeta: crates/bench/src/bin/fig14_level1.rs Cargo.toml
+
+crates/bench/src/bin/fig14_level1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_level1-c30c61b8573b42cd.d: crates/bench/src/bin/fig14_level1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_level1-c30c61b8573b42cd.rmeta: crates/bench/src/bin/fig14_level1.rs Cargo.toml
+
+crates/bench/src/bin/fig14_level1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

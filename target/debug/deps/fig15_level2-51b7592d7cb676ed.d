@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_level2-51b7592d7cb676ed.d: crates/bench/src/bin/fig15_level2.rs
+
+/root/repo/target/debug/deps/fig15_level2-51b7592d7cb676ed: crates/bench/src/bin/fig15_level2.rs
+
+crates/bench/src/bin/fig15_level2.rs:

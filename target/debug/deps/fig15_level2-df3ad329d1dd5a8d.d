@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_level2-df3ad329d1dd5a8d.d: crates/bench/src/bin/fig15_level2.rs
+
+/root/repo/target/debug/deps/fig15_level2-df3ad329d1dd5a8d: crates/bench/src/bin/fig15_level2.rs
+
+crates/bench/src/bin/fig15_level2.rs:

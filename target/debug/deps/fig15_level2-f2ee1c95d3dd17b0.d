@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_level2-f2ee1c95d3dd17b0.d: crates/bench/src/bin/fig15_level2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_level2-f2ee1c95d3dd17b0.rmeta: crates/bench/src/bin/fig15_level2.rs Cargo.toml
+
+crates/bench/src/bin/fig15_level2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

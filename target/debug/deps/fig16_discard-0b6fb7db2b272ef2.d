@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_discard-0b6fb7db2b272ef2.d: crates/bench/src/bin/fig16_discard.rs
+
+/root/repo/target/debug/deps/fig16_discard-0b6fb7db2b272ef2: crates/bench/src/bin/fig16_discard.rs
+
+crates/bench/src/bin/fig16_discard.rs:

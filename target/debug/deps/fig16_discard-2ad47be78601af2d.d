@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_discard-2ad47be78601af2d.d: crates/bench/src/bin/fig16_discard.rs
+
+/root/repo/target/debug/deps/fig16_discard-2ad47be78601af2d: crates/bench/src/bin/fig16_discard.rs
+
+crates/bench/src/bin/fig16_discard.rs:

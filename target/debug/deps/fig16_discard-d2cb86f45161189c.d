@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16_discard-d2cb86f45161189c.d: crates/bench/src/bin/fig16_discard.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16_discard-d2cb86f45161189c.rmeta: crates/bench/src/bin/fig16_discard.rs Cargo.toml
+
+crates/bench/src/bin/fig16_discard.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

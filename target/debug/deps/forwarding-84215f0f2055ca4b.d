@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/forwarding-84215f0f2055ca4b.d: crates/bench/benches/forwarding.rs Cargo.toml
+
+/root/repo/target/debug/deps/libforwarding-84215f0f2055ca4b.rmeta: crates/bench/benches/forwarding.rs Cargo.toml
+
+crates/bench/benches/forwarding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

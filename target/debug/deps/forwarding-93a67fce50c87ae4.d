@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/forwarding-93a67fce50c87ae4.d: crates/bench/benches/forwarding.rs
+
+/root/repo/target/debug/deps/forwarding-93a67fce50c87ae4: crates/bench/benches/forwarding.rs
+
+crates/bench/benches/forwarding.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fsm_schedule-51566b44cb725dfd.d: crates/core/tests/fsm_schedule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfsm_schedule-51566b44cb725dfd.rmeta: crates/core/tests/fsm_schedule.rs Cargo.toml
+
+crates/core/tests/fsm_schedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

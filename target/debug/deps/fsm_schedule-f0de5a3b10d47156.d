@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fsm_schedule-f0de5a3b10d47156.d: crates/core/tests/fsm_schedule.rs
+
+/root/repo/target/debug/deps/fsm_schedule-f0de5a3b10d47156: crates/core/tests/fsm_schedule.rs
+
+crates/core/tests/fsm_schedule.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hw_sw_differential-08b49c54261c2f3e.d: tests/hw_sw_differential.rs
+
+/root/repo/target/debug/deps/hw_sw_differential-08b49c54261c2f3e: tests/hw_sw_differential.rs
+
+tests/hw_sw_differential.rs:

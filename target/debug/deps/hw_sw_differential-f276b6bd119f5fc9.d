@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hw_sw_differential-f276b6bd119f5fc9.d: tests/hw_sw_differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhw_sw_differential-f276b6bd119f5fc9.rmeta: tests/hw_sw_differential.rs Cargo.toml
+
+tests/hw_sw_differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hw_vs_sw-0fb787f556974569.d: crates/bench/src/bin/hw_vs_sw.rs
+
+/root/repo/target/debug/deps/hw_vs_sw-0fb787f556974569: crates/bench/src/bin/hw_vs_sw.rs
+
+crates/bench/src/bin/hw_vs_sw.rs:

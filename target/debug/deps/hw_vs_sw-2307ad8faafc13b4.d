@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hw_vs_sw-2307ad8faafc13b4.d: crates/bench/benches/hw_vs_sw.rs
+
+/root/repo/target/debug/deps/hw_vs_sw-2307ad8faafc13b4: crates/bench/benches/hw_vs_sw.rs
+
+crates/bench/benches/hw_vs_sw.rs:

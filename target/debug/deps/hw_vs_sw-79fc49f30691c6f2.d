@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hw_vs_sw-79fc49f30691c6f2.d: crates/bench/src/bin/hw_vs_sw.rs
+
+/root/repo/target/debug/deps/hw_vs_sw-79fc49f30691c6f2: crates/bench/src/bin/hw_vs_sw.rs
+
+crates/bench/src/bin/hw_vs_sw.rs:

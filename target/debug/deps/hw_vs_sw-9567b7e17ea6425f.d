@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hw_vs_sw-9567b7e17ea6425f.d: crates/bench/src/bin/hw_vs_sw.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhw_vs_sw-9567b7e17ea6425f.rmeta: crates/bench/src/bin/hw_vs_sw.rs Cargo.toml
+
+crates/bench/src/bin/hw_vs_sw.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

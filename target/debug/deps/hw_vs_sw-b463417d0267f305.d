@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hw_vs_sw-b463417d0267f305.d: crates/bench/benches/hw_vs_sw.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhw_vs_sw-b463417d0267f305.rmeta: crates/bench/benches/hw_vs_sw.rs Cargo.toml
+
+crates/bench/benches/hw_vs_sw.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

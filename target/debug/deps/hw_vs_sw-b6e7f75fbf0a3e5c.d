@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hw_vs_sw-b6e7f75fbf0a3e5c.d: crates/bench/src/bin/hw_vs_sw.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhw_vs_sw-b6e7f75fbf0a3e5c.rmeta: crates/bench/src/bin/hw_vs_sw.rs Cargo.toml
+
+crates/bench/src/bin/hw_vs_sw.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

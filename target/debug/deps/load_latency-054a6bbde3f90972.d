@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/load_latency-054a6bbde3f90972.d: crates/bench/src/bin/load_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libload_latency-054a6bbde3f90972.rmeta: crates/bench/src/bin/load_latency.rs Cargo.toml
+
+crates/bench/src/bin/load_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/load_latency-20edb89f5c30058d.d: crates/bench/src/bin/load_latency.rs
+
+/root/repo/target/debug/deps/load_latency-20edb89f5c30058d: crates/bench/src/bin/load_latency.rs
+
+crates/bench/src/bin/load_latency.rs:

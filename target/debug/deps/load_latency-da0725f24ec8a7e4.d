@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/load_latency-da0725f24ec8a7e4.d: crates/bench/src/bin/load_latency.rs
+
+/root/repo/target/debug/deps/load_latency-da0725f24ec8a7e4: crates/bench/src/bin/load_latency.rs
+
+crates/bench/src/bin/load_latency.rs:

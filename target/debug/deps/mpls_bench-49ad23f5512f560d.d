@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mpls_bench-49ad23f5512f560d.d: crates/bench/src/lib.rs crates/bench/src/figure_print.rs crates/bench/src/report.rs crates/bench/src/scenarios.rs
+
+/root/repo/target/debug/deps/libmpls_bench-49ad23f5512f560d.rlib: crates/bench/src/lib.rs crates/bench/src/figure_print.rs crates/bench/src/report.rs crates/bench/src/scenarios.rs
+
+/root/repo/target/debug/deps/libmpls_bench-49ad23f5512f560d.rmeta: crates/bench/src/lib.rs crates/bench/src/figure_print.rs crates/bench/src/report.rs crates/bench/src/scenarios.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figure_print.rs:
+crates/bench/src/report.rs:
+crates/bench/src/scenarios.rs:

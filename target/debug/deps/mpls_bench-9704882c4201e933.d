@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mpls_bench-9704882c4201e933.d: crates/bench/src/lib.rs crates/bench/src/figure_print.rs crates/bench/src/report.rs crates/bench/src/scenarios.rs
+
+/root/repo/target/debug/deps/mpls_bench-9704882c4201e933: crates/bench/src/lib.rs crates/bench/src/figure_print.rs crates/bench/src/report.rs crates/bench/src/scenarios.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figure_print.rs:
+crates/bench/src/report.rs:
+crates/bench/src/scenarios.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mpls_cli-4d9179ec87f6aaac.d: crates/cli/src/lib.rs crates/cli/src/report.rs crates/cli/src/scenario.rs crates/cli/src/../scenarios/example.json Cargo.toml
+
+/root/repo/target/debug/deps/libmpls_cli-4d9179ec87f6aaac.rmeta: crates/cli/src/lib.rs crates/cli/src/report.rs crates/cli/src/scenario.rs crates/cli/src/../scenarios/example.json Cargo.toml
+
+crates/cli/src/lib.rs:
+crates/cli/src/report.rs:
+crates/cli/src/scenario.rs:
+crates/cli/src/../scenarios/example.json:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mpls_cli-5067d2d9b233e3ce.d: crates/cli/src/lib.rs crates/cli/src/report.rs crates/cli/src/scenario.rs crates/cli/src/../scenarios/example.json
+
+/root/repo/target/debug/deps/mpls_cli-5067d2d9b233e3ce: crates/cli/src/lib.rs crates/cli/src/report.rs crates/cli/src/scenario.rs crates/cli/src/../scenarios/example.json
+
+crates/cli/src/lib.rs:
+crates/cli/src/report.rs:
+crates/cli/src/scenario.rs:
+crates/cli/src/../scenarios/example.json:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mpls_cli-b30468cfa12a0947.d: crates/cli/src/lib.rs crates/cli/src/report.rs crates/cli/src/scenario.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpls_cli-b30468cfa12a0947.rmeta: crates/cli/src/lib.rs crates/cli/src/report.rs crates/cli/src/scenario.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+crates/cli/src/report.rs:
+crates/cli/src/scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

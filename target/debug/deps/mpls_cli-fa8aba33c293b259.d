@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mpls_cli-fa8aba33c293b259.d: crates/cli/src/lib.rs crates/cli/src/report.rs crates/cli/src/scenario.rs
+
+/root/repo/target/debug/deps/libmpls_cli-fa8aba33c293b259.rlib: crates/cli/src/lib.rs crates/cli/src/report.rs crates/cli/src/scenario.rs
+
+/root/repo/target/debug/deps/libmpls_cli-fa8aba33c293b259.rmeta: crates/cli/src/lib.rs crates/cli/src/report.rs crates/cli/src/scenario.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/report.rs:
+crates/cli/src/scenario.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mpls_control-afa920960561b68b.d: crates/control/src/lib.rs crates/control/src/config.rs crates/control/src/cspf.rs crates/control/src/label_alloc.rs crates/control/src/signaling.rs crates/control/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpls_control-afa920960561b68b.rmeta: crates/control/src/lib.rs crates/control/src/config.rs crates/control/src/cspf.rs crates/control/src/label_alloc.rs crates/control/src/signaling.rs crates/control/src/topology.rs Cargo.toml
+
+crates/control/src/lib.rs:
+crates/control/src/config.rs:
+crates/control/src/cspf.rs:
+crates/control/src/label_alloc.rs:
+crates/control/src/signaling.rs:
+crates/control/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mpls_core-81ed3792e9687905.d: crates/core/src/lib.rs crates/core/src/datapath/mod.rs crates/core/src/datapath/info_base.rs crates/core/src/datapath/stack.rs crates/core/src/figures.rs crates/core/src/fsm.rs crates/core/src/modifier.rs crates/core/src/ops.rs crates/core/src/perf.rs crates/core/src/signals.rs crates/core/src/timing.rs
+
+/root/repo/target/debug/deps/mpls_core-81ed3792e9687905: crates/core/src/lib.rs crates/core/src/datapath/mod.rs crates/core/src/datapath/info_base.rs crates/core/src/datapath/stack.rs crates/core/src/figures.rs crates/core/src/fsm.rs crates/core/src/modifier.rs crates/core/src/ops.rs crates/core/src/perf.rs crates/core/src/signals.rs crates/core/src/timing.rs
+
+crates/core/src/lib.rs:
+crates/core/src/datapath/mod.rs:
+crates/core/src/datapath/info_base.rs:
+crates/core/src/datapath/stack.rs:
+crates/core/src/figures.rs:
+crates/core/src/fsm.rs:
+crates/core/src/modifier.rs:
+crates/core/src/ops.rs:
+crates/core/src/perf.rs:
+crates/core/src/signals.rs:
+crates/core/src/timing.rs:

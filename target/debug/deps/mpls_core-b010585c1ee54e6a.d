@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/mpls_core-b010585c1ee54e6a.d: crates/core/src/lib.rs crates/core/src/datapath/mod.rs crates/core/src/datapath/info_base.rs crates/core/src/datapath/stack.rs crates/core/src/figures.rs crates/core/src/fsm.rs crates/core/src/modifier.rs crates/core/src/ops.rs crates/core/src/perf.rs crates/core/src/signals.rs crates/core/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpls_core-b010585c1ee54e6a.rmeta: crates/core/src/lib.rs crates/core/src/datapath/mod.rs crates/core/src/datapath/info_base.rs crates/core/src/datapath/stack.rs crates/core/src/figures.rs crates/core/src/fsm.rs crates/core/src/modifier.rs crates/core/src/ops.rs crates/core/src/perf.rs crates/core/src/signals.rs crates/core/src/timing.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/datapath/mod.rs:
+crates/core/src/datapath/info_base.rs:
+crates/core/src/datapath/stack.rs:
+crates/core/src/figures.rs:
+crates/core/src/fsm.rs:
+crates/core/src/modifier.rs:
+crates/core/src/ops.rs:
+crates/core/src/perf.rs:
+crates/core/src/signals.rs:
+crates/core/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

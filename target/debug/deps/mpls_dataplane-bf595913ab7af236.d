@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mpls_dataplane-bf595913ab7af236.d: crates/dataplane/src/lib.rs crates/dataplane/src/fib.rs crates/dataplane/src/forwarder.rs crates/dataplane/src/ftn.rs crates/dataplane/src/lookup.rs crates/dataplane/src/rfc.rs crates/dataplane/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpls_dataplane-bf595913ab7af236.rmeta: crates/dataplane/src/lib.rs crates/dataplane/src/fib.rs crates/dataplane/src/forwarder.rs crates/dataplane/src/ftn.rs crates/dataplane/src/lookup.rs crates/dataplane/src/rfc.rs crates/dataplane/src/types.rs Cargo.toml
+
+crates/dataplane/src/lib.rs:
+crates/dataplane/src/fib.rs:
+crates/dataplane/src/forwarder.rs:
+crates/dataplane/src/ftn.rs:
+crates/dataplane/src/lookup.rs:
+crates/dataplane/src/rfc.rs:
+crates/dataplane/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mpls_net-045b5e5779772d93.d: crates/net/src/lib.rs crates/net/src/event.rs crates/net/src/fault.rs crates/net/src/histogram.rs crates/net/src/link.rs crates/net/src/policer.rs crates/net/src/queue.rs crates/net/src/sim.rs crates/net/src/stats.rs crates/net/src/traffic.rs
+
+/root/repo/target/debug/deps/mpls_net-045b5e5779772d93: crates/net/src/lib.rs crates/net/src/event.rs crates/net/src/fault.rs crates/net/src/histogram.rs crates/net/src/link.rs crates/net/src/policer.rs crates/net/src/queue.rs crates/net/src/sim.rs crates/net/src/stats.rs crates/net/src/traffic.rs
+
+crates/net/src/lib.rs:
+crates/net/src/event.rs:
+crates/net/src/fault.rs:
+crates/net/src/histogram.rs:
+crates/net/src/link.rs:
+crates/net/src/policer.rs:
+crates/net/src/queue.rs:
+crates/net/src/sim.rs:
+crates/net/src/stats.rs:
+crates/net/src/traffic.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mpls_net-f723bb69841639c9.d: crates/net/src/lib.rs crates/net/src/event.rs crates/net/src/fault.rs crates/net/src/histogram.rs crates/net/src/link.rs crates/net/src/policer.rs crates/net/src/queue.rs crates/net/src/sim.rs crates/net/src/stats.rs crates/net/src/traffic.rs
+
+/root/repo/target/debug/deps/libmpls_net-f723bb69841639c9.rlib: crates/net/src/lib.rs crates/net/src/event.rs crates/net/src/fault.rs crates/net/src/histogram.rs crates/net/src/link.rs crates/net/src/policer.rs crates/net/src/queue.rs crates/net/src/sim.rs crates/net/src/stats.rs crates/net/src/traffic.rs
+
+/root/repo/target/debug/deps/libmpls_net-f723bb69841639c9.rmeta: crates/net/src/lib.rs crates/net/src/event.rs crates/net/src/fault.rs crates/net/src/histogram.rs crates/net/src/link.rs crates/net/src/policer.rs crates/net/src/queue.rs crates/net/src/sim.rs crates/net/src/stats.rs crates/net/src/traffic.rs
+
+crates/net/src/lib.rs:
+crates/net/src/event.rs:
+crates/net/src/fault.rs:
+crates/net/src/histogram.rs:
+crates/net/src/link.rs:
+crates/net/src/policer.rs:
+crates/net/src/queue.rs:
+crates/net/src/sim.rs:
+crates/net/src/stats.rs:
+crates/net/src/traffic.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/mpls_net-ff293039400a98c6.d: crates/net/src/lib.rs crates/net/src/event.rs crates/net/src/fault.rs crates/net/src/histogram.rs crates/net/src/link.rs crates/net/src/policer.rs crates/net/src/queue.rs crates/net/src/sim.rs crates/net/src/stats.rs crates/net/src/traffic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpls_net-ff293039400a98c6.rmeta: crates/net/src/lib.rs crates/net/src/event.rs crates/net/src/fault.rs crates/net/src/histogram.rs crates/net/src/link.rs crates/net/src/policer.rs crates/net/src/queue.rs crates/net/src/sim.rs crates/net/src/stats.rs crates/net/src/traffic.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/event.rs:
+crates/net/src/fault.rs:
+crates/net/src/histogram.rs:
+crates/net/src/link.rs:
+crates/net/src/policer.rs:
+crates/net/src/queue.rs:
+crates/net/src/sim.rs:
+crates/net/src/stats.rs:
+crates/net/src/traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

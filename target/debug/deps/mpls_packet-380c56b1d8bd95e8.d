@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mpls_packet-380c56b1d8bd95e8.d: crates/packet/src/lib.rs crates/packet/src/error.rs crates/packet/src/ethernet.rs crates/packet/src/ipv4.rs crates/packet/src/label.rs crates/packet/src/packet.rs crates/packet/src/stack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpls_packet-380c56b1d8bd95e8.rmeta: crates/packet/src/lib.rs crates/packet/src/error.rs crates/packet/src/ethernet.rs crates/packet/src/ipv4.rs crates/packet/src/label.rs crates/packet/src/packet.rs crates/packet/src/stack.rs Cargo.toml
+
+crates/packet/src/lib.rs:
+crates/packet/src/error.rs:
+crates/packet/src/ethernet.rs:
+crates/packet/src/ipv4.rs:
+crates/packet/src/label.rs:
+crates/packet/src/packet.rs:
+crates/packet/src/stack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mpls_router-2ad3a16b72f15a50.d: crates/router/src/lib.rs crates/router/src/embedded.rs crates/router/src/forwarding.rs crates/router/src/pipeline.rs crates/router/src/software.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpls_router-2ad3a16b72f15a50.rmeta: crates/router/src/lib.rs crates/router/src/embedded.rs crates/router/src/forwarding.rs crates/router/src/pipeline.rs crates/router/src/software.rs Cargo.toml
+
+crates/router/src/lib.rs:
+crates/router/src/embedded.rs:
+crates/router/src/forwarding.rs:
+crates/router/src/pipeline.rs:
+crates/router/src/software.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mpls_router-b77a672512753b2d.d: crates/router/src/lib.rs crates/router/src/embedded.rs crates/router/src/forwarding.rs crates/router/src/pipeline.rs crates/router/src/software.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpls_router-b77a672512753b2d.rmeta: crates/router/src/lib.rs crates/router/src/embedded.rs crates/router/src/forwarding.rs crates/router/src/pipeline.rs crates/router/src/software.rs Cargo.toml
+
+crates/router/src/lib.rs:
+crates/router/src/embedded.rs:
+crates/router/src/forwarding.rs:
+crates/router/src/pipeline.rs:
+crates/router/src/software.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

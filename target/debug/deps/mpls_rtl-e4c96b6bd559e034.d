@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mpls_rtl-e4c96b6bd559e034.d: crates/rtl/src/lib.rs crates/rtl/src/comparator.rs crates/rtl/src/counter.rs crates/rtl/src/memory.rs crates/rtl/src/register.rs crates/rtl/src/trace.rs crates/rtl/src/vcd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpls_rtl-e4c96b6bd559e034.rmeta: crates/rtl/src/lib.rs crates/rtl/src/comparator.rs crates/rtl/src/counter.rs crates/rtl/src/memory.rs crates/rtl/src/register.rs crates/rtl/src/trace.rs crates/rtl/src/vcd.rs Cargo.toml
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/comparator.rs:
+crates/rtl/src/counter.rs:
+crates/rtl/src/memory.rs:
+crates/rtl/src/register.rs:
+crates/rtl/src/trace.rs:
+crates/rtl/src/vcd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

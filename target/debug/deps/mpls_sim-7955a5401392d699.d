@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mpls_sim-7955a5401392d699.d: crates/cli/src/main.rs crates/cli/src/../scenarios/example.json Cargo.toml
+
+/root/repo/target/debug/deps/libmpls_sim-7955a5401392d699.rmeta: crates/cli/src/main.rs crates/cli/src/../scenarios/example.json Cargo.toml
+
+crates/cli/src/main.rs:
+crates/cli/src/../scenarios/example.json:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

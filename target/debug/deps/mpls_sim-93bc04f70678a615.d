@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/mpls_sim-93bc04f70678a615.d: crates/cli/src/main.rs crates/cli/src/../scenarios/example.json
+
+/root/repo/target/debug/deps/mpls_sim-93bc04f70678a615: crates/cli/src/main.rs crates/cli/src/../scenarios/example.json
+
+crates/cli/src/main.rs:
+crates/cli/src/../scenarios/example.json:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/mpls_sim-a4f74b35ccc672ec.d: crates/cli/src/main.rs crates/cli/src/../scenarios/example.json
+
+/root/repo/target/debug/deps/mpls_sim-a4f74b35ccc672ec: crates/cli/src/main.rs crates/cli/src/../scenarios/example.json
+
+crates/cli/src/main.rs:
+crates/cli/src/../scenarios/example.json:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mpls_telemetry-9be4c94e5d7c0ba4.d: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/instrument.rs crates/telemetry/src/registry.rs crates/telemetry/src/report.rs crates/telemetry/src/sink.rs crates/telemetry/src/tracer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpls_telemetry-9be4c94e5d7c0ba4.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/instrument.rs crates/telemetry/src/registry.rs crates/telemetry/src/report.rs crates/telemetry/src/sink.rs crates/telemetry/src/tracer.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/instrument.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/report.rs:
+crates/telemetry/src/sink.rs:
+crates/telemetry/src/tracer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

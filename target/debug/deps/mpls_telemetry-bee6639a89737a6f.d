@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mpls_telemetry-bee6639a89737a6f.d: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/instrument.rs crates/telemetry/src/registry.rs crates/telemetry/src/report.rs crates/telemetry/src/sink.rs crates/telemetry/src/tracer.rs
+
+/root/repo/target/debug/deps/mpls_telemetry-bee6639a89737a6f: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/instrument.rs crates/telemetry/src/registry.rs crates/telemetry/src/report.rs crates/telemetry/src/sink.rs crates/telemetry/src/tracer.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/instrument.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/report.rs:
+crates/telemetry/src/sink.rs:
+crates/telemetry/src/tracer.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mpls_telemetry-ca71e4242735cf81.d: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/instrument.rs crates/telemetry/src/registry.rs crates/telemetry/src/report.rs crates/telemetry/src/sink.rs crates/telemetry/src/tracer.rs
+
+/root/repo/target/debug/deps/libmpls_telemetry-ca71e4242735cf81.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/instrument.rs crates/telemetry/src/registry.rs crates/telemetry/src/report.rs crates/telemetry/src/sink.rs crates/telemetry/src/tracer.rs
+
+/root/repo/target/debug/deps/libmpls_telemetry-ca71e4242735cf81.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/instrument.rs crates/telemetry/src/registry.rs crates/telemetry/src/report.rs crates/telemetry/src/sink.rs crates/telemetry/src/tracer.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/instrument.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/report.rs:
+crates/telemetry/src/sink.rs:
+crates/telemetry/src/tracer.rs:

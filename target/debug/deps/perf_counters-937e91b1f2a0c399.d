@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perf_counters-937e91b1f2a0c399.d: crates/core/tests/perf_counters.rs
+
+/root/repo/target/debug/deps/perf_counters-937e91b1f2a0c399: crates/core/tests/perf_counters.rs
+
+crates/core/tests/perf_counters.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/perf_counters-cf4aa616e740cfda.d: crates/core/tests/perf_counters.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperf_counters-cf4aa616e740cfda.rmeta: crates/core/tests/perf_counters.rs Cargo.toml
+
+crates/core/tests/perf_counters.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

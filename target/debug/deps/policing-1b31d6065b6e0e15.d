@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/policing-1b31d6065b6e0e15.d: tests/policing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpolicing-1b31d6065b6e0e15.rmeta: tests/policing.rs Cargo.toml
+
+tests/policing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/policing-c28d2ce88a9684f7.d: tests/policing.rs
+
+/root/repo/target/debug/deps/policing-c28d2ce88a9684f7: tests/policing.rs
+
+tests/policing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qos_te-2d3f6452392de812.d: crates/bench/src/bin/qos_te.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqos_te-2d3f6452392de812.rmeta: crates/bench/src/bin/qos_te.rs Cargo.toml
+
+crates/bench/src/bin/qos_te.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

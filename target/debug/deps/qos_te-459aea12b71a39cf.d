@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qos_te-459aea12b71a39cf.d: crates/bench/src/bin/qos_te.rs
+
+/root/repo/target/debug/deps/qos_te-459aea12b71a39cf: crates/bench/src/bin/qos_te.rs
+
+crates/bench/src/bin/qos_te.rs:

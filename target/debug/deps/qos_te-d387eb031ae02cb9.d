@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qos_te-d387eb031ae02cb9.d: crates/bench/src/bin/qos_te.rs
+
+/root/repo/target/debug/deps/qos_te-d387eb031ae02cb9: crates/bench/src/bin/qos_te.rs
+
+crates/bench/src/bin/qos_te.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/red_vs_taildrop-17905a456cbb6017.d: crates/bench/src/bin/red_vs_taildrop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libred_vs_taildrop-17905a456cbb6017.rmeta: crates/bench/src/bin/red_vs_taildrop.rs Cargo.toml
+
+crates/bench/src/bin/red_vs_taildrop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/red_vs_taildrop-a55d3b818a2bbf55.d: crates/bench/src/bin/red_vs_taildrop.rs
+
+/root/repo/target/debug/deps/red_vs_taildrop-a55d3b818a2bbf55: crates/bench/src/bin/red_vs_taildrop.rs
+
+crates/bench/src/bin/red_vs_taildrop.rs:

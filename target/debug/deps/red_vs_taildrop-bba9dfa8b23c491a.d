@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/red_vs_taildrop-bba9dfa8b23c491a.d: crates/bench/src/bin/red_vs_taildrop.rs
+
+/root/repo/target/debug/deps/red_vs_taildrop-bba9dfa8b23c491a: crates/bench/src/bin/red_vs_taildrop.rs
+
+crates/bench/src/bin/red_vs_taildrop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/red_vs_taildrop-da3fc61a939628b9.d: crates/bench/src/bin/red_vs_taildrop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libred_vs_taildrop-da3fc61a939628b9.rmeta: crates/bench/src/bin/red_vs_taildrop.rs Cargo.toml
+
+crates/bench/src/bin/red_vs_taildrop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rfc3032_properties-a702264f16742222.d: crates/packet/tests/rfc3032_properties.rs
+
+/root/repo/target/debug/deps/rfc3032_properties-a702264f16742222: crates/packet/tests/rfc3032_properties.rs
+
+crates/packet/tests/rfc3032_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rfc3032_properties-bd41dfa25753af76.d: crates/packet/tests/rfc3032_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/librfc3032_properties-bd41dfa25753af76.rmeta: crates/packet/tests/rfc3032_properties.rs Cargo.toml
+
+crates/packet/tests/rfc3032_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/search-7400c844e9ac46b4.d: crates/bench/benches/search.rs
+
+/root/repo/target/debug/deps/search-7400c844e9ac46b4: crates/bench/benches/search.rs
+
+crates/bench/benches/search.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/search-e040a4e81c55b49c.d: crates/bench/benches/search.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsearch-e040a4e81c55b49c.rmeta: crates/bench/benches/search.rs Cargo.toml
+
+crates/bench/benches/search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

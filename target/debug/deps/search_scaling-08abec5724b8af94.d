@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/search_scaling-08abec5724b8af94.d: crates/bench/src/bin/search_scaling.rs
+
+/root/repo/target/debug/deps/search_scaling-08abec5724b8af94: crates/bench/src/bin/search_scaling.rs
+
+crates/bench/src/bin/search_scaling.rs:

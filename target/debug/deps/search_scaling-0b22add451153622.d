@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/search_scaling-0b22add451153622.d: crates/bench/src/bin/search_scaling.rs
+
+/root/repo/target/debug/deps/search_scaling-0b22add451153622: crates/bench/src/bin/search_scaling.rs
+
+crates/bench/src/bin/search_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulation_invariants-2805209e09cbf09b.d: tests/simulation_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulation_invariants-2805209e09cbf09b.rmeta: tests/simulation_invariants.rs Cargo.toml
+
+tests/simulation_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

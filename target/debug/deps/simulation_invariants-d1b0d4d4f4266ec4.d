@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulation_invariants-d1b0d4d4f4266ec4.d: tests/simulation_invariants.rs
+
+/root/repo/target/debug/deps/simulation_invariants-d1b0d4d4f4266ec4: tests/simulation_invariants.rs
+
+tests/simulation_invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stack_ops-d3d03b6c76b56c15.d: crates/bench/benches/stack_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstack_ops-d3d03b6c76b56c15.rmeta: crates/bench/benches/stack_ops.rs Cargo.toml
+
+crates/bench/benches/stack_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stack_ops-f815528e100daebc.d: crates/bench/benches/stack_ops.rs
+
+/root/repo/target/debug/deps/stack_ops-f815528e100daebc: crates/bench/benches/stack_ops.rs
+
+crates/bench/benches/stack_ops.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stress_grid-81caef8ae89a292c.d: tests/stress_grid.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstress_grid-81caef8ae89a292c.rmeta: tests/stress_grid.rs Cargo.toml
+
+tests/stress_grid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress_grid-8ea3b13bb2782f6b.d: tests/stress_grid.rs
+
+/root/repo/target/debug/deps/stress_grid-8ea3b13bb2782f6b: tests/stress_grid.rs
+
+tests/stress_grid.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-374845fb59112b08.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-374845fb59112b08: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-679ac121e3e4bf24.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-679ac121e3e4bf24: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

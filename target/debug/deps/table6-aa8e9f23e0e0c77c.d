@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table6-aa8e9f23e0e0c77c.d: crates/bench/benches/table6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable6-aa8e9f23e0e0c77c.rmeta: crates/bench/benches/table6.rs Cargo.toml
+
+crates/bench/benches/table6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

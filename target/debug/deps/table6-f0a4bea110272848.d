@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-f0a4bea110272848.d: crates/bench/benches/table6.rs
+
+/root/repo/target/debug/deps/table6-f0a4bea110272848: crates/bench/benches/table6.rs
+
+crates/bench/benches/table6.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table6_conformance-d4fe27f23831dc10.d: tests/table6_conformance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable6_conformance-d4fe27f23831dc10.rmeta: tests/table6_conformance.rs Cargo.toml
+
+tests/table6_conformance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_conformance-ee435df94999fc2e.d: tests/table6_conformance.rs
+
+/root/repo/target/debug/deps/table6_conformance-ee435df94999fc2e: tests/table6_conformance.rs
+
+tests/table6_conformance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry_demo-789eea5c8cfbf557.d: crates/bench/src/bin/telemetry_demo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry_demo-789eea5c8cfbf557.rmeta: crates/bench/src/bin/telemetry_demo.rs Cargo.toml
+
+crates/bench/src/bin/telemetry_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

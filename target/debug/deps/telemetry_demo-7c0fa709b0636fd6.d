@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_demo-7c0fa709b0636fd6.d: crates/bench/src/bin/telemetry_demo.rs
+
+/root/repo/target/debug/deps/telemetry_demo-7c0fa709b0636fd6: crates/bench/src/bin/telemetry_demo.rs
+
+crates/bench/src/bin/telemetry_demo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry_demo-7c60f79a8dbbbc2f.d: crates/bench/src/bin/telemetry_demo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry_demo-7c60f79a8dbbbc2f.rmeta: crates/bench/src/bin/telemetry_demo.rs Cargo.toml
+
+crates/bench/src/bin/telemetry_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

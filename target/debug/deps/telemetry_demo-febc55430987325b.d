@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_demo-febc55430987325b.d: crates/bench/src/bin/telemetry_demo.rs
+
+/root/repo/target/debug/deps/telemetry_demo-febc55430987325b: crates/bench/src/bin/telemetry_demo.rs
+
+crates/bench/src/bin/telemetry_demo.rs:

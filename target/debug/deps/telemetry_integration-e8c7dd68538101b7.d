@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_integration-e8c7dd68538101b7.d: tests/telemetry_integration.rs
+
+/root/repo/target/debug/deps/telemetry_integration-e8c7dd68538101b7: tests/telemetry_integration.rs
+
+tests/telemetry_integration.rs:

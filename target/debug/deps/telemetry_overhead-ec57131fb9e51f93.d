@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry_overhead-ec57131fb9e51f93.d: crates/bench/tests/telemetry_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry_overhead-ec57131fb9e51f93.rmeta: crates/bench/tests/telemetry_overhead.rs Cargo.toml
+
+crates/bench/tests/telemetry_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_overhead-fd5e2bb933ef7051.d: crates/bench/tests/telemetry_overhead.rs
+
+/root/repo/target/debug/deps/telemetry_overhead-fd5e2bb933ef7051: crates/bench/tests/telemetry_overhead.rs
+
+crates/bench/tests/telemetry_overhead.rs:

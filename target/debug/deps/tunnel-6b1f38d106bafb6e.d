@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tunnel-6b1f38d106bafb6e.d: tests/tunnel.rs
+
+/root/repo/target/debug/deps/tunnel-6b1f38d106bafb6e: tests/tunnel.rs
+
+tests/tunnel.rs:

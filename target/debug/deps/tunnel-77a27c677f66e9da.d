@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tunnel-77a27c677f66e9da.d: tests/tunnel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtunnel-77a27c677f66e9da.rmeta: tests/tunnel.rs Cargo.toml
+
+tests/tunnel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vcd_roundtrip-a5d90936077556cf.d: crates/rtl/tests/vcd_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvcd_roundtrip-a5d90936077556cf.rmeta: crates/rtl/tests/vcd_roundtrip.rs Cargo.toml
+
+crates/rtl/tests/vcd_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/waveform_golden-2f85157122a153cb.d: tests/waveform_golden.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwaveform_golden-2f85157122a153cb.rmeta: tests/waveform_golden.rs Cargo.toml
+
+tests/waveform_golden.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/waveform_golden-6148a2d6d697c12c.d: tests/waveform_golden.rs
+
+/root/repo/target/debug/deps/waveform_golden-6148a2d6d697c12c: tests/waveform_golden.rs
+
+tests/waveform_golden.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

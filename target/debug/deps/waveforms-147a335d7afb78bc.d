@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/waveforms-147a335d7afb78bc.d: crates/core/tests/waveforms.rs
+
+/root/repo/target/debug/deps/waveforms-147a335d7afb78bc: crates/core/tests/waveforms.rs
+
+crates/core/tests/waveforms.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/waveforms-36aac434c8bbbc4f.d: crates/core/tests/waveforms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwaveforms-36aac434c8bbbc4f.rmeta: crates/core/tests/waveforms.rs Cargo.toml
+
+crates/core/tests/waveforms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/failover-8c1c9cfadf3d1e22.d: examples/failover.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfailover-8c1c9cfadf3d1e22.rmeta: examples/failover.rs Cargo.toml
+
+examples/failover.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

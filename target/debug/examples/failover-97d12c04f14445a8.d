@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failover-97d12c04f14445a8.d: examples/failover.rs
+
+/root/repo/target/debug/examples/failover-97d12c04f14445a8: examples/failover.rs
+
+examples/failover.rs:

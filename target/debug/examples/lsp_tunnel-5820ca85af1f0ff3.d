@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lsp_tunnel-5820ca85af1f0ff3.d: examples/lsp_tunnel.rs
+
+/root/repo/target/debug/examples/lsp_tunnel-5820ca85af1f0ff3: examples/lsp_tunnel.rs
+
+examples/lsp_tunnel.rs:

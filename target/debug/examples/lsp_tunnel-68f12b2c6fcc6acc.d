@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lsp_tunnel-68f12b2c6fcc6acc.d: examples/lsp_tunnel.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblsp_tunnel-68f12b2c6fcc6acc.rmeta: examples/lsp_tunnel.rs Cargo.toml
+
+examples/lsp_tunnel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-96d5c97eb6e0d6e4.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-96d5c97eb6e0d6e4: examples/quickstart.rs
+
+examples/quickstart.rs:

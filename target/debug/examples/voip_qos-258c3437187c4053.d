@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/voip_qos-258c3437187c4053.d: examples/voip_qos.rs
+
+/root/repo/target/debug/examples/voip_qos-258c3437187c4053: examples/voip_qos.rs
+
+examples/voip_qos.rs:

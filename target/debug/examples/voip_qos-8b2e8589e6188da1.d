@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/voip_qos-8b2e8589e6188da1.d: examples/voip_qos.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvoip_qos-8b2e8589e6188da1.rmeta: examples/voip_qos.rs Cargo.toml
+
+examples/voip_qos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/waveforms-468bc895926e0cea.d: examples/waveforms.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwaveforms-468bc895926e0cea.rmeta: examples/waveforms.rs Cargo.toml
+
+examples/waveforms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/waveforms-a920ade4a511fcfe.d: examples/waveforms.rs
+
+/root/repo/target/debug/examples/waveforms-a920ade4a511fcfe: examples/waveforms.rs
+
+examples/waveforms.rs:

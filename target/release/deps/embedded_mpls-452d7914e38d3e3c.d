@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/embedded_mpls-452d7914e38d3e3c.d: src/lib.rs
+
+/root/repo/target/release/deps/libembedded_mpls-452d7914e38d3e3c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libembedded_mpls-452d7914e38d3e3c.rmeta: src/lib.rs
+
+src/lib.rs:

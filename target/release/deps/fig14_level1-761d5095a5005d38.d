@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_level1-761d5095a5005d38.d: crates/bench/src/bin/fig14_level1.rs
+
+/root/repo/target/release/deps/fig14_level1-761d5095a5005d38: crates/bench/src/bin/fig14_level1.rs
+
+crates/bench/src/bin/fig14_level1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_discard-f3a6aef9dcd929aa.d: crates/bench/src/bin/fig16_discard.rs
+
+/root/repo/target/release/deps/fig16_discard-f3a6aef9dcd929aa: crates/bench/src/bin/fig16_discard.rs
+
+crates/bench/src/bin/fig16_discard.rs:

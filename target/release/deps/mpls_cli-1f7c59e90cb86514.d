@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mpls_cli-1f7c59e90cb86514.d: crates/cli/src/lib.rs crates/cli/src/report.rs crates/cli/src/scenario.rs
+
+/root/repo/target/release/deps/libmpls_cli-1f7c59e90cb86514.rlib: crates/cli/src/lib.rs crates/cli/src/report.rs crates/cli/src/scenario.rs
+
+/root/repo/target/release/deps/libmpls_cli-1f7c59e90cb86514.rmeta: crates/cli/src/lib.rs crates/cli/src/report.rs crates/cli/src/scenario.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/report.rs:
+crates/cli/src/scenario.rs:

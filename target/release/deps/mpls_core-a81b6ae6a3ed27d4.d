@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/mpls_core-a81b6ae6a3ed27d4.d: crates/core/src/lib.rs crates/core/src/datapath/mod.rs crates/core/src/datapath/info_base.rs crates/core/src/datapath/stack.rs crates/core/src/figures.rs crates/core/src/fsm.rs crates/core/src/modifier.rs crates/core/src/ops.rs crates/core/src/perf.rs crates/core/src/signals.rs crates/core/src/timing.rs
+
+/root/repo/target/release/deps/libmpls_core-a81b6ae6a3ed27d4.rlib: crates/core/src/lib.rs crates/core/src/datapath/mod.rs crates/core/src/datapath/info_base.rs crates/core/src/datapath/stack.rs crates/core/src/figures.rs crates/core/src/fsm.rs crates/core/src/modifier.rs crates/core/src/ops.rs crates/core/src/perf.rs crates/core/src/signals.rs crates/core/src/timing.rs
+
+/root/repo/target/release/deps/libmpls_core-a81b6ae6a3ed27d4.rmeta: crates/core/src/lib.rs crates/core/src/datapath/mod.rs crates/core/src/datapath/info_base.rs crates/core/src/datapath/stack.rs crates/core/src/figures.rs crates/core/src/fsm.rs crates/core/src/modifier.rs crates/core/src/ops.rs crates/core/src/perf.rs crates/core/src/signals.rs crates/core/src/timing.rs
+
+crates/core/src/lib.rs:
+crates/core/src/datapath/mod.rs:
+crates/core/src/datapath/info_base.rs:
+crates/core/src/datapath/stack.rs:
+crates/core/src/figures.rs:
+crates/core/src/fsm.rs:
+crates/core/src/modifier.rs:
+crates/core/src/ops.rs:
+crates/core/src/perf.rs:
+crates/core/src/signals.rs:
+crates/core/src/timing.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/mpls_net-186dc51a8ae6e173.d: crates/net/src/lib.rs crates/net/src/event.rs crates/net/src/fault.rs crates/net/src/histogram.rs crates/net/src/link.rs crates/net/src/policer.rs crates/net/src/queue.rs crates/net/src/sim.rs crates/net/src/stats.rs crates/net/src/traffic.rs
+
+/root/repo/target/release/deps/libmpls_net-186dc51a8ae6e173.rlib: crates/net/src/lib.rs crates/net/src/event.rs crates/net/src/fault.rs crates/net/src/histogram.rs crates/net/src/link.rs crates/net/src/policer.rs crates/net/src/queue.rs crates/net/src/sim.rs crates/net/src/stats.rs crates/net/src/traffic.rs
+
+/root/repo/target/release/deps/libmpls_net-186dc51a8ae6e173.rmeta: crates/net/src/lib.rs crates/net/src/event.rs crates/net/src/fault.rs crates/net/src/histogram.rs crates/net/src/link.rs crates/net/src/policer.rs crates/net/src/queue.rs crates/net/src/sim.rs crates/net/src/stats.rs crates/net/src/traffic.rs
+
+crates/net/src/lib.rs:
+crates/net/src/event.rs:
+crates/net/src/fault.rs:
+crates/net/src/histogram.rs:
+crates/net/src/link.rs:
+crates/net/src/policer.rs:
+crates/net/src/queue.rs:
+crates/net/src/sim.rs:
+crates/net/src/stats.rs:
+crates/net/src/traffic.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mpls_router-21744e89ec2dc185.d: crates/router/src/lib.rs crates/router/src/embedded.rs crates/router/src/forwarding.rs crates/router/src/pipeline.rs crates/router/src/software.rs
+
+/root/repo/target/release/deps/libmpls_router-21744e89ec2dc185.rlib: crates/router/src/lib.rs crates/router/src/embedded.rs crates/router/src/forwarding.rs crates/router/src/pipeline.rs crates/router/src/software.rs
+
+/root/repo/target/release/deps/libmpls_router-21744e89ec2dc185.rmeta: crates/router/src/lib.rs crates/router/src/embedded.rs crates/router/src/forwarding.rs crates/router/src/pipeline.rs crates/router/src/software.rs
+
+crates/router/src/lib.rs:
+crates/router/src/embedded.rs:
+crates/router/src/forwarding.rs:
+crates/router/src/pipeline.rs:
+crates/router/src/software.rs:

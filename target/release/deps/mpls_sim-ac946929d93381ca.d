@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/mpls_sim-ac946929d93381ca.d: crates/cli/src/main.rs crates/cli/src/../scenarios/example.json
+
+/root/repo/target/release/deps/mpls_sim-ac946929d93381ca: crates/cli/src/main.rs crates/cli/src/../scenarios/example.json
+
+crates/cli/src/main.rs:
+crates/cli/src/../scenarios/example.json:

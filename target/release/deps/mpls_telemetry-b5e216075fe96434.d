@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mpls_telemetry-b5e216075fe96434.d: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/instrument.rs crates/telemetry/src/registry.rs crates/telemetry/src/report.rs crates/telemetry/src/sink.rs crates/telemetry/src/tracer.rs
+
+/root/repo/target/release/deps/libmpls_telemetry-b5e216075fe96434.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/instrument.rs crates/telemetry/src/registry.rs crates/telemetry/src/report.rs crates/telemetry/src/sink.rs crates/telemetry/src/tracer.rs
+
+/root/repo/target/release/deps/libmpls_telemetry-b5e216075fe96434.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/instrument.rs crates/telemetry/src/registry.rs crates/telemetry/src/report.rs crates/telemetry/src/sink.rs crates/telemetry/src/tracer.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/instrument.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/report.rs:
+crates/telemetry/src/sink.rs:
+crates/telemetry/src/tracer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/search_scaling-71be4af284ff35cb.d: crates/bench/src/bin/search_scaling.rs
+
+/root/repo/target/release/deps/search_scaling-71be4af284ff35cb: crates/bench/src/bin/search_scaling.rs
+
+crates/bench/src/bin/search_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-296fa35ea03f9319.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-296fa35ea03f9319: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/telemetry_demo-a54576bb7ef33150.d: crates/bench/src/bin/telemetry_demo.rs
+
+/root/repo/target/release/deps/telemetry_demo-a54576bb7ef33150: crates/bench/src/bin/telemetry_demo.rs
+
+crates/bench/src/bin/telemetry_demo.rs:

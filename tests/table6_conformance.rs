@@ -1,0 +1,239 @@
+//! Table 6 conformance suite: the paper's closed-form cycle costs
+//! (`mpls_core::table6`) asserted against the live cycle-accurate
+//! modifier, sweeping every information-base level and stack depth.
+//!
+//! The seed's `crates/core/tests/cycle_accuracy.rs` pins individual rows;
+//! this root-level suite is the drift net an RTL refactor has to clear:
+//! search costs on L1/L2/L3 for every hit position, update costs at each
+//! stack depth (which selects the level consulted), both discard paths,
+//! and the §4 worst-case replay reconciled against the performance
+//! counters the telemetry layer scrapes.
+
+use mpls_core::modifier::Outcome;
+use mpls_core::{
+    table6, ClockSpec, DiscardReason, IbOperation, LabelStackModifier, Level, RouterType,
+    LEVEL_CAPACITY,
+};
+use mpls_packet::{label::LabelStackEntry, CosBits, Label};
+
+fn entry(label: u32, ttl: u8) -> LabelStackEntry {
+    LabelStackEntry::new(Label::new(label).unwrap(), CosBits::BEST_EFFORT, false, ttl)
+}
+
+fn lbl(v: u32) -> Label {
+    Label::new(v).unwrap()
+}
+
+/// Fills `level` with `n` pairs keyed `base..base+n` (written in order, so
+/// key `base + k - 1` sits at 1-based search position `k`).
+fn fill(m: &mut LabelStackModifier, level: Level, base: u64, n: u64, op: IbOperation) {
+    for i in 0..n {
+        let r = m.write_pair(level, base + i, lbl(500 + i as u32), op);
+        assert_eq!(r.outcome, Outcome::Done);
+        assert_eq!(r.cycles, table6::WRITE_PAIR);
+    }
+}
+
+/// Table 6 rows "push/pop from the user", "write label pair", and "reset"
+/// cost the same three cycles on both router types.
+#[test]
+fn user_operations_cost_three_cycles_on_both_router_types() {
+    for ty in [RouterType::Ler, RouterType::Lsr] {
+        let mut m = LabelStackModifier::new(ty);
+        assert_eq!(m.reset().cycles, table6::RESET, "{ty:?} reset");
+        assert_eq!(m.user_push(entry(7, 64)).cycles, table6::USER_PUSH);
+        let pop = m.user_pop();
+        assert_eq!(pop.cycles, table6::USER_POP);
+        assert!(matches!(pop.outcome, Outcome::Popped(e) if e.label.value() == 7));
+        assert_eq!(
+            m.write_pair(Level::L2, 1, lbl(500), IbOperation::Swap)
+                .cycles,
+            table6::WRITE_PAIR
+        );
+    }
+}
+
+/// `search(n) = 3n + 5` and the early-exit hit cost `3k + 5` hold on every
+/// level — L1 is packet-identifier keyed (ingress LER), L2 and L3 are
+/// label keyed — for every hit position, not just spot values.
+#[test]
+fn search_costs_conform_on_every_level() {
+    // (level, router type that consults it, key base).
+    let cases = [
+        (Level::L1, RouterType::Ler, 600u64),
+        (Level::L2, RouterType::Lsr, 1),
+        (Level::L3, RouterType::Lsr, 1),
+    ];
+    let n = 12u64;
+    for (level, ty, base) in cases {
+        // Empty level: the comparator finds nothing after the 5-cycle
+        // search overhead.
+        let mut empty = LabelStackModifier::new(ty);
+        let r = empty.lookup(level, base);
+        assert_eq!(r.cycles, table6::search(0), "{level:?} empty miss");
+        assert_eq!(r.outcome, Outcome::LookupMiss);
+
+        let mut m = LabelStackModifier::new(ty);
+        fill(&mut m, level, base, n, IbOperation::Swap);
+        for k in 1..=n {
+            let r = m.lookup(level, base + k - 1);
+            assert_eq!(r.cycles, table6::search_hit_at(k), "{level:?} hit at {k}");
+            assert_eq!(
+                r.outcome,
+                Outcome::LookupHit {
+                    label: lbl(500 + k as u32 - 1),
+                    op: IbOperation::Swap
+                }
+            );
+        }
+        let r = m.lookup(level, base + n); // one past the stored range
+        assert_eq!(r.cycles, table6::search(n), "{level:?} miss over {n}");
+        assert_eq!(r.outcome, Outcome::LookupMiss);
+    }
+}
+
+/// An update consults the level selected by the current stack depth
+/// (0 → L1, 1 → L2, deeper → L3); the swap cost is the same
+/// `search + 6` wherever the search lands.
+#[test]
+fn swap_cost_conforms_at_every_stack_depth() {
+    let (n, k) = (8u64, 5u64);
+    for depth in 1..=3usize {
+        let level = Level::for_stack_depth(depth);
+        let mut m = LabelStackModifier::new(RouterType::Lsr);
+        fill(&mut m, level, 1, n, IbOperation::Swap);
+        // Push `depth` entries; the top one carries the key that sits at
+        // search position k.
+        for d in 0..depth {
+            let label = if d == depth - 1 {
+                k as u32
+            } else {
+                100 + d as u32
+            };
+            m.user_push(entry(label, 64));
+        }
+        let r = m.update_stack(0, CosBits::BEST_EFFORT, 0);
+        assert_eq!(
+            r.cycles,
+            table6::search_hit_at(k) + table6::SWAP_FROM_IB,
+            "swap at depth {depth} ({level:?})"
+        );
+        assert_eq!(
+            r.outcome,
+            Outcome::Updated {
+                op: IbOperation::Swap
+            }
+        );
+        assert_eq!(m.stack_depth(), depth, "swap preserves depth");
+    }
+}
+
+/// The remaining update rows: pop (`search + 6`), push onto a non-empty
+/// stack (`search + 7`, the extra PUSH OLD cycle), and the ingress LER's
+/// push onto an empty stack (`search + 6`).
+#[test]
+fn pop_and_push_from_info_base_conform() {
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    fill(&mut m, Level::L2, 1, 4, IbOperation::Pop);
+    m.user_push(entry(3, 64));
+    let r = m.update_stack(0, CosBits::BEST_EFFORT, 0);
+    assert_eq!(r.cycles, table6::search_hit_at(3) + table6::POP_FROM_IB);
+    assert_eq!(
+        r.outcome,
+        Outcome::Updated {
+            op: IbOperation::Pop
+        }
+    );
+    assert_eq!(m.stack_depth(), 0);
+
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    fill(&mut m, Level::L2, 1, 4, IbOperation::Push);
+    m.user_push(entry(2, 64));
+    let r = m.update_stack(0, CosBits::BEST_EFFORT, 0);
+    assert_eq!(r.cycles, table6::search_hit_at(2) + table6::PUSH_FROM_IB);
+    assert_eq!(m.stack_depth(), 2);
+
+    // Ingress LER, empty stack: L1 keyed by the packet identifier.
+    let mut m = LabelStackModifier::new(RouterType::Ler);
+    fill(&mut m, Level::L1, 600, 4, IbOperation::Push);
+    let r = m.update_stack(601, CosBits::EXPEDITED, 64);
+    assert_eq!(
+        r.cycles,
+        table6::search_hit_at(2) + table6::PUSH_FROM_IB_EMPTY
+    );
+    assert_eq!(
+        r.outcome,
+        Outcome::Updated {
+            op: IbOperation::Push
+        }
+    );
+    assert_eq!(m.stack_depth(), 1);
+}
+
+/// Both discard paths: a miss costs `search(n) + 2` for any table size,
+/// and an expired TTL is caught in VERIFY INFO at `search_hit_at(k) + 5`
+/// wherever the entry sits.
+#[test]
+fn discard_costs_conform() {
+    for n in [0u64, 1, 8, 32] {
+        let mut m = LabelStackModifier::new(RouterType::Lsr);
+        fill(&mut m, Level::L2, 1, n, IbOperation::Swap);
+        m.user_push(entry(999, 64)); // stored nowhere
+        let r = m.update_stack(0, CosBits::BEST_EFFORT, 0);
+        assert_eq!(r.cycles, table6::update_miss(n), "miss over n={n}");
+        assert_eq!(r.outcome, Outcome::Discarded(DiscardReason::NoEntryFound));
+    }
+    for k in [1u64, 4, 8] {
+        let mut m = LabelStackModifier::new(RouterType::Lsr);
+        fill(&mut m, Level::L2, 1, 8, IbOperation::Swap);
+        m.user_push(entry(k as u32, 1)); // TTL 1 decrements to zero
+        let r = m.update_stack(0, CosBits::BEST_EFFORT, 0);
+        assert_eq!(r.cycles, table6::update_verify_discard(k), "ttl at k={k}");
+        assert_eq!(r.outcome, Outcome::Discarded(DiscardReason::TtlExpired));
+    }
+}
+
+/// The §4 composite worst case, replayed live with performance counters
+/// attached: reset, three user pushes, a completely filled level, and a
+/// swap whose search scans all 1024 pairs — 6167 cycles, ~123.34 µs at
+/// the paper's 50 MHz Stratix clock. The counter block (what telemetry
+/// scrapes) must reconcile with both the closed form and the modifier's
+/// own cycle counter.
+#[test]
+fn worst_case_replay_reconciles_closed_form_and_perf_counters() {
+    let cap = LEVEL_CAPACITY as u64;
+    let mut m = LabelStackModifier::new(RouterType::Lsr);
+    m.enable_perf();
+
+    let mut total = m.reset().cycles;
+    for l in [1u32, 2, cap as u32] {
+        total += m.user_push(entry(l, 64)).cycles;
+    }
+    fill(&mut m, Level::L3, 1, cap, IbOperation::Swap);
+    total += cap * table6::WRITE_PAIR;
+    let r = m.update_stack(0, CosBits::BEST_EFFORT, 0);
+    assert_eq!(
+        r.outcome,
+        Outcome::Updated {
+            op: IbOperation::Swap
+        }
+    );
+    total += r.cycles;
+
+    assert_eq!(total, table6::worst_case_scenario());
+    assert_eq!(total, 6167);
+    assert_eq!(
+        m.total_cycles(),
+        total,
+        "per-op cycles must partition the run"
+    );
+
+    let us = ClockSpec::STRATIX_50MHZ.cycles_to_us(total);
+    assert!((us - 123.34).abs() < 0.01, "got {us} µs");
+
+    let perf = m.perf().expect("perf counters attached");
+    assert_eq!(perf.total_cycles(), total, "one perf tick per clock");
+    assert_eq!(perf.search_hits, 1);
+    assert_eq!(perf.search_misses, 0);
+    assert_eq!(perf.search_depth.max(), Some(cap), "full-level scan");
+}

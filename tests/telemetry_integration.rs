@@ -1,0 +1,180 @@
+//! Telemetry integration: on a known congested scenario, every instrument
+//! the registry scrapes must reconcile with the simulator's own
+//! end-of-run aggregates — queue-depth series against channel limits,
+//! per-link counters against `LinkUsage`, per-flow counters and latency
+//! histograms against `FlowStats`, and the exporters against both.
+//!
+//! The net crate's unit tests pin the plumbing; this test pins the
+//! *accounting identity*: telemetry is a second, independent view of the
+//! same run, so any divergence means an instrument lies.
+
+use mpls_control::{ControlPlane, LspRequest, Topology};
+use mpls_core::ClockSpec;
+use mpls_dataplane::ftn::Prefix;
+use mpls_net::policer::PolicerSpec;
+use mpls_net::traffic::{FlowSpec, TrafficPattern};
+use mpls_net::{
+    telemetry_to_csv, telemetry_to_json, QueueDiscipline, RouterKind, SimReport, Simulation,
+    TelemetryConfig,
+};
+use mpls_packet::ipv4::parse_addr;
+
+const RUN_NS: u64 = 20_000_000; // 20 ms of traffic
+const QUEUE_CAPACITY: usize = 8;
+
+fn flow(name: &str, payload: usize, interval_ns: u64, police: Option<PolicerSpec>) -> FlowSpec {
+    FlowSpec {
+        name: name.into(),
+        ingress: 0,
+        src_addr: parse_addr("10.0.0.1").unwrap(),
+        dst_addr: parse_addr("192.168.1.5").unwrap(),
+        payload_bytes: payload,
+        precedence: 0,
+        pattern: TrafficPattern::Cbr { interval_ns },
+        start_ns: 0,
+        stop_ns: RUN_NS,
+        police,
+    }
+}
+
+/// A probe, an oversubscribing bulk flow (1458 B every 10 µs ≈ 1.2 Gb/s of
+/// wire bytes onto a 1 Gb/s first hop: the 8-deep queue must overflow),
+/// and a hard-policed flow, so drops of every accountable kind occur.
+fn run_scenario() -> SimReport {
+    let mut cp = ControlPlane::new(Topology::figure1_example());
+    cp.establish_lsp(LspRequest::best_effort(
+        0,
+        1,
+        Prefix::new(parse_addr("192.168.1.0").unwrap(), 24),
+    ))
+    .unwrap();
+    let mut sim = Simulation::build(
+        &cp,
+        RouterKind::Embedded {
+            clock: ClockSpec::STRATIX_50MHZ,
+        },
+        QueueDiscipline::Fifo {
+            capacity: QUEUE_CAPACITY,
+        },
+        7,
+    );
+    sim.add_flow(flow("probe", 256, 100_000, None));
+    sim.add_flow(flow("bulk", 1458, 10_000, None));
+    sim.add_flow(flow(
+        "policed",
+        512,
+        50_000,
+        Some(PolicerSpec {
+            rate_bps: 1_000_000,
+            burst_bytes: 600,
+        }),
+    ));
+    sim.with_telemetry(TelemetryConfig {
+        sample_interval_ns: 50_000,
+        ..TelemetryConfig::default()
+    })
+    .run(RUN_NS + 500_000_000)
+}
+
+#[test]
+fn telemetry_reconciles_with_simulation_aggregates() {
+    let report = run_scenario();
+    let tel = report.telemetry.as_ref().expect("telemetry enabled");
+
+    // --- queue-depth series against the channel's hard limits ----------
+    let depth = tel
+        .series("link.0->2.queue_depth")
+        .expect("first hop sampled");
+    assert!(!depth.points.is_empty());
+    let peak = depth.points.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
+    assert!(
+        peak >= 2.0,
+        "oversubscription must build a visible queue, peak {peak}"
+    );
+    // A channel holds at most `capacity` queued packets plus one on the
+    // wire, and sample times never pass the end of the run.
+    for &(t, v) in &depth.points {
+        assert!(v >= 0.0 && v <= (QUEUE_CAPACITY + 1) as f64, "depth {v}");
+        assert!(t <= report.elapsed_ns);
+    }
+    assert!(
+        depth.points.windows(2).all(|w| w[0].0 < w[1].0),
+        "sample timestamps strictly increase"
+    );
+    // Utilization is a fraction of wall time; the congested first hop
+    // should be near saturation while traffic flows.
+    let util = tel.series("link.0->2.utilization").unwrap();
+    assert!(util.points.iter().all(|&(_, v)| (0.0..=1.0).contains(&v)));
+    let util_peak = util.points.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
+    assert!(util_peak > 0.9, "congested hop idle? peak {util_peak}");
+
+    // --- per-link counters against LinkUsage ---------------------------
+    let mut counted_queue_drops = 0.0;
+    for link in &report.links {
+        let prefix = format!("link.{}->{}", link.from, link.to);
+        assert_eq!(
+            tel.counter(&format!("{prefix}.transmitted")),
+            Some(link.transmitted as f64),
+            "{prefix}"
+        );
+        assert_eq!(
+            tel.counter(&format!("{prefix}.queue_drops")),
+            Some(link.drops as f64),
+            "{prefix}"
+        );
+        counted_queue_drops += link.drops as f64;
+        let gauge = tel
+            .gauge(&format!("{prefix}.mean_utilization"))
+            .expect("utilization gauge");
+        assert!(
+            (gauge - link.utilization).abs() < 1e-9,
+            "{prefix}: gauge {gauge} vs usage {}",
+            link.utilization
+        );
+    }
+    assert_eq!(counted_queue_drops, report.queue_drops as f64);
+    assert!(report.queue_drops > 0, "scenario must exercise tail drops");
+
+    // --- per-flow counters and histograms against FlowStats ------------
+    for (spec, stats) in &report.flows {
+        let name = &spec.name;
+        assert_eq!(
+            tel.counter(&format!("flow.{name}.sent")),
+            Some(stats.sent as f64)
+        );
+        assert_eq!(
+            tel.counter(&format!("flow.{name}.delivered")),
+            Some(stats.delivered as f64)
+        );
+        let delay = tel
+            .histogram(&format!("lsp.{name}.delay_ns"))
+            .expect("delay histogram");
+        assert_eq!(delay.total, stats.delivered);
+        assert_eq!(delay.sum, stats.delay_sum_ns);
+        if stats.delivered > 0 {
+            assert_eq!(delay.min, Some(stats.delay_min_ns));
+            assert_eq!(delay.max, Some(stats.delay_max_ns));
+            let jitter = tel.histogram(&format!("lsp.{name}.jitter_ns")).unwrap();
+            assert_eq!(jitter.total, stats.delivered - 1);
+            assert_eq!(jitter.sum, stats.jitter_sum_ns);
+        }
+    }
+    let policed = report.flow("policed").unwrap();
+    assert!(policed.policer_dropped > 0, "policer must fire");
+    assert_eq!(
+        tel.counter("flow.policed.policer_exceed"),
+        Some(policed.policer_dropped as f64)
+    );
+    assert_eq!(
+        tel.counter("flow.policed.policer_conform"),
+        Some((policed.sent - policed.policer_dropped) as f64)
+    );
+
+    // --- exporters carry the same data ---------------------------------
+    let json = telemetry_to_json(tel);
+    assert!(json.contains("link.0->2.queue_depth"));
+    assert!(json.contains("lsp.probe.delay_ns"));
+    let csv = telemetry_to_csv(tel);
+    assert!(csv.lines().any(|l| l.contains("queue_depth")));
+    assert!(csv.lines().any(|l| l.contains("flow.bulk.sent")));
+}

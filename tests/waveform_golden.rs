@@ -1,0 +1,117 @@
+//! Golden-trace snapshot tests: the paper's Fig. 14/15/16 waveforms,
+//! byte-for-byte.
+//!
+//! Each figure replay is fully deterministic, so its ASCII rendering and
+//! VCD dump are committed under `tests/golden/` and regenerated on every
+//! run. Any drift in the modifier's cycle behavior, the trace recorder,
+//! or the renderers shows up as a byte diff here.
+//!
+//! After an *intentional* waveform change, refresh the snapshots with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test waveform_golden
+//! ```
+//!
+//! then review the diff like any other code change.
+
+use mpls_core::figures::{figure14_level1, figure15_level2, figure16_discard, FigureRun};
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+/// The committed ASCII artifact: run summary, full waveform, transition
+/// log. Everything a reviewer needs to read the diff without a VCD
+/// viewer.
+fn render_ascii(figure: &str, run: &FigureRun) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("=== {figure} ===\n"));
+    out.push_str(&format!("write phase: {} cycles\n", run.write_cycles));
+    out.push_str(&format!(
+        "lookup: {:?} in {} cycles\n\n",
+        run.lookup.outcome, run.lookup.cycles
+    ));
+    out.push_str("--- waveform (█ = high, ▁ = low, · = unchanged bus) ---\n");
+    out.push_str(&run.trace.render_ascii(0..run.trace.cycles()));
+    out.push_str("\n--- signal transitions ---\n");
+    out.push_str(&run.trace.render_transitions());
+    out
+}
+
+fn render_vcd(run: &FigureRun) -> String {
+    // 20 ns timescale: one cycle of the paper's 50 MHz Stratix clock.
+    mpls_rtl::vcd::to_vcd(&run.trace, "label_stack_modifier", 20)
+}
+
+/// Byte-compares `content` against the committed snapshot, or rewrites
+/// the snapshot when `UPDATE_GOLDEN=1`.
+fn check_golden(file: &str, content: &str) {
+    let path = golden_dir().join(file);
+    if std::env::var_os("UPDATE_GOLDEN").is_some_and(|v| v == "1") {
+        std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        std::fs::write(&path, content).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {}: {e}\n(run `UPDATE_GOLDEN=1 cargo test --test waveform_golden` \
+             to create the snapshots)",
+            path.display()
+        )
+    });
+    assert!(
+        golden == content,
+        "{file} drifted from the committed golden trace.\n\
+         If the change is intentional, refresh with \
+         `UPDATE_GOLDEN=1 cargo test --test waveform_golden` and review the diff.\n\
+         --- regenerated ---\n{content}\n--- committed ---\n{golden}"
+    );
+}
+
+fn check_figure(figure: &str, run: &FigureRun) {
+    check_golden(&format!("{figure}.ascii"), &render_ascii(figure, run));
+    check_golden(&format!("{figure}.vcd"), &render_vcd(run));
+}
+
+#[test]
+fn fig14_level1_waveform_matches_golden() {
+    check_figure("fig14", &figure14_level1());
+}
+
+#[test]
+fn fig15_level2_waveform_matches_golden() {
+    check_figure("fig15", &figure15_level2());
+}
+
+#[test]
+fn fig16_discard_waveform_matches_golden() {
+    check_figure("fig16", &figure16_discard());
+}
+
+/// The three replays are deterministic run to run — the precondition for
+/// byte-exact snapshots (catches any accidental nondeterminism creeping
+/// into the modifier or trace recorder).
+#[test]
+fn figure_replays_are_deterministic() {
+    for (name, gen) in [
+        ("fig14", figure14_level1 as fn() -> FigureRun),
+        ("fig15", figure15_level2),
+        ("fig16", figure16_discard),
+    ] {
+        let a = gen();
+        let b = gen();
+        assert_eq!(
+            render_ascii(name, &a),
+            render_ascii(name, &b),
+            "{name} ASCII rendering is nondeterministic"
+        );
+        assert_eq!(
+            render_vcd(&a),
+            render_vcd(&b),
+            "{name} VCD dump is nondeterministic"
+        );
+    }
+}

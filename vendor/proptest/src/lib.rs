@@ -492,7 +492,11 @@ mod tests {
             prop_assert!((3..17).contains(&x));
             prop_assert!(y <= 4);
             prop_assert!(z >= 250);
-            prop_assert!(b || !b);
+            // Tautology on purpose: exercises bool generation + the macro.
+            #[allow(clippy::overly_complex_bool_expr)]
+            {
+                prop_assert!(b || !b);
+            }
         }
 
         #[test]
