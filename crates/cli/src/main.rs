@@ -6,6 +6,9 @@
 //! mpls-sim run --metrics-out <path> <scenario.json>
 //!                                       ... collect telemetry, write it to
 //!                                       <path> (.csv for CSV, else JSON)
+//! mpls-sim run --shards <n> <scenario.json>
+//!                                       ... execute on <n> engine shards
+//!                                       (same report, less wall-clock)
 //! mpls-sim validate <scenario.json>     parse + signal without running traffic
 //! mpls-sim example                      print the bundled example scenario
 //! ```
@@ -19,8 +22,8 @@ const EXAMPLE: &str = include_str!("../scenarios/example.json");
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: mpls-sim <run|validate> [--json] [--metrics-out <path>] <scenario.json> \
-         | mpls-sim example"
+        "usage: mpls-sim <run|validate> [--json] [--metrics-out <path>] [--shards <n>] \
+         <scenario.json> | mpls-sim example"
     );
     ExitCode::from(2)
 }
@@ -35,6 +38,7 @@ fn main() -> ExitCode {
         Some(cmd @ ("run" | "validate")) => {
             let mut json = false;
             let mut metrics_out: Option<String> = None;
+            let mut shards: Option<usize> = None;
             let mut path: Option<String> = None;
             let mut rest = args.iter().skip(1);
             while let Some(arg) = rest.next() {
@@ -44,6 +48,13 @@ fn main() -> ExitCode {
                         Some(p) => metrics_out = Some(p.clone()),
                         None => {
                             eprintln!("error: --metrics-out needs a path");
+                            return usage();
+                        }
+                    },
+                    "--shards" => match rest.next().and_then(|n| n.parse::<usize>().ok()) {
+                        Some(n) if n >= 1 => shards = Some(n),
+                        _ => {
+                            eprintln!("error: --shards needs a count >= 1");
                             return usage();
                         }
                     },
@@ -81,11 +92,7 @@ fn main() -> ExitCode {
                     }
                 }
             } else {
-                let result = if metrics_out.is_some() {
-                    scenario.run_with_telemetry()
-                } else {
-                    scenario.run()
-                };
+                let result = scenario.run_with_overrides(metrics_out.is_some(), shards);
                 match result {
                     Ok(report) => {
                         if let Some(out) = &metrics_out {

@@ -100,6 +100,10 @@ pub struct Scenario {
     /// Simulated horizon in milliseconds.
     #[serde(default = "default_horizon_ms")]
     pub horizon_ms: u64,
+    /// Engine shard count (default 1; `--shards` overrides). The report
+    /// is identical at any value — sharding only trades wall-clock time.
+    #[serde(default)]
+    pub shards: Option<usize>,
 }
 
 fn default_horizon_ms() -> u64 {
@@ -116,6 +120,10 @@ pub struct NodeDecl {
     /// Display name.
     #[serde(default)]
     pub name: Option<String>,
+    /// Shard placement hint (taken modulo the shard count). Unhinted
+    /// nodes fill contiguous blocks in declaration order.
+    #[serde(default)]
+    pub shard: Option<usize>,
 }
 
 /// One bidirectional link.
@@ -655,19 +663,45 @@ impl Scenario {
     /// Builds and runs the whole scenario. Telemetry is collected when
     /// the scenario's `telemetry` section asks for it.
     pub fn run(&self) -> Result<mpls_net::SimReport, ScenarioError> {
-        self.run_with(false)
+        self.run_with(false, None)
     }
 
     /// Like [`Self::run`], but collects telemetry even without a
     /// `telemetry` section (the `--metrics-out` path).
     pub fn run_with_telemetry(&self) -> Result<mpls_net::SimReport, ScenarioError> {
-        self.run_with(true)
+        self.run_with(true, None)
     }
 
-    fn run_with(&self, force_telemetry: bool) -> Result<mpls_net::SimReport, ScenarioError> {
+    /// Like [`Self::run`], with the command-line overrides applied:
+    /// `force_telemetry` for `--metrics-out`, `shards` for `--shards`
+    /// (which beats the scenario's own `shards` field).
+    pub fn run_with_overrides(
+        &self,
+        force_telemetry: bool,
+        shards: Option<usize>,
+    ) -> Result<mpls_net::SimReport, ScenarioError> {
+        self.run_with(force_telemetry, shards)
+    }
+
+    fn run_with(
+        &self,
+        force_telemetry: bool,
+        shards_override: Option<usize>,
+    ) -> Result<mpls_net::SimReport, ScenarioError> {
         let cp = self.build_control_plane()?;
         let mut sim =
             Simulation::build(&cp, self.router_kind(), self.queue_discipline(), self.seed);
+        if let Some(shards) = shards_override.or(self.shards) {
+            if shards == 0 {
+                return Err(ScenarioError::Invalid("shards must be >= 1".into()));
+            }
+            sim.set_shards(shards);
+        }
+        for n in &self.nodes {
+            if let Some(hint) = n.shard {
+                sim.shard_hint(n.id, hint);
+            }
+        }
         if let Some(plan) = self.fault_plan(&cp)? {
             sim.set_fault_plan(plan);
         }
@@ -843,6 +877,40 @@ mod tests {
         assert!(report.telemetry.is_none());
         let report = sc.run_with_telemetry().unwrap();
         assert!(report.telemetry.is_some());
+    }
+
+    #[test]
+    fn shard_overrides_do_not_change_the_report() {
+        let sc = Scenario::from_json(FAULTY).unwrap();
+        let baseline =
+            serde_json::to_string(&sc.run_with_overrides(false, Some(1)).unwrap()).unwrap();
+        for shards in [2, 4] {
+            let sharded =
+                serde_json::to_string(&sc.run_with_overrides(false, Some(shards)).unwrap())
+                    .unwrap();
+            assert_eq!(baseline, sharded, "--shards {shards} diverged");
+        }
+        // The scenario's own field works too, and 0 is rejected.
+        let mut sc = Scenario::from_json(FAULTY).unwrap();
+        sc.shards = Some(2);
+        assert_eq!(
+            baseline,
+            serde_json::to_string(&sc.run().unwrap()).unwrap(),
+            "scenario shards field diverged"
+        );
+        sc.shards = Some(0);
+        assert!(matches!(sc.run(), Err(ScenarioError::Invalid(_))));
+        // Hints relocate nodes without changing results either.
+        let mut sc = Scenario::from_json(FAULTY).unwrap();
+        sc.shards = Some(2);
+        for (i, n) in sc.nodes.iter_mut().enumerate() {
+            n.shard = Some(i % 2);
+        }
+        assert_eq!(
+            baseline,
+            serde_json::to_string(&sc.run().unwrap()).unwrap(),
+            "shard hints diverged"
+        );
     }
 
     #[test]

@@ -1,0 +1,865 @@
+//! The sharded discrete-event engine.
+//!
+//! The topology is partitioned into shards (see [`partition`]), each
+//! with its own event wheel. The coordinator alternates between two
+//! modes:
+//!
+//! * **Global events** ([`ControlEvent`]) — faults, recovery and
+//!   telemetry samples — run on the coordinator thread with exclusive
+//!   access to everything, in `(time, insertion)` order.
+//! * **Epochs** — between globals, shards execute their local events in
+//!   parallel up to a conservative barrier
+//!   `end = min(next_global, earliest_local + lookahead, horizon + 1)`,
+//!   where `lookahead` is the minimum cross-shard propagation delay. An
+//!   event at time `u >= earliest_local` can reach another shard no
+//!   earlier than `u + lookahead >= end`, so nothing a shard does in an
+//!   epoch can affect another shard *within* that epoch; cross-shard
+//!   arrivals are exchanged at the barrier.
+//!
+//! At equal timestamps, globals run before locals — a fixed rule that
+//! holds at every shard count. Combined with the canonical per-shard
+//! event ordering (see [`shard`]) and sharding-invariant RNG streams
+//! (per-flow gap RNGs, per-channel loss RNGs), a run's [`SimReport`]
+//! and telemetry export are byte-identical for any `--shards` value.
+
+mod partition;
+mod shard;
+mod wheel;
+
+use crate::event::{ControlEvent, EventQueue, SimTime};
+use crate::fault::{FaultRecord, RecoveryMode, RestorationPolicy};
+use crate::link::Channel;
+use crate::node::Node;
+use crate::policer::TokenBucket;
+use crate::sim::{LinkUsage, SimInstruments, SimReport};
+use crate::stats::{FlowId, FlowStats};
+use crate::traffic::FlowSpec;
+use mpls_control::{ControlPlane, LinkId, LspRequest, NodeId};
+use mpls_router::DiscardCause;
+use mpls_telemetry::TelemetrySink;
+use partition::partition;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use shard::{ChanState, EmitState, FlowDelta, LocalEvent, ShardState, SharedCtx};
+use std::collections::{BTreeMap, HashMap};
+use std::marker::PhantomData;
+use wheel::EventWheel;
+
+/// How the engine executed a run: shard count, barrier statistics and
+/// per-shard event counts. Not serialized — the simulation outcome is
+/// identical at any shard count, so this is operational metadata only.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Shards the run actually used (after degenerate fallbacks).
+    pub shards: usize,
+    /// Conservative lookahead, `None` when no channel crossed shards.
+    pub lookahead_ns: Option<u64>,
+    /// Parallel epochs executed.
+    pub epochs: u64,
+    /// Coordinator (control) events executed.
+    pub global_events: u64,
+    /// Packet-level events executed, per shard.
+    pub shard_events: Vec<u64>,
+}
+
+impl EngineStats {
+    /// Total events executed across the coordinator and every shard.
+    pub fn total_events(&self) -> u64 {
+        self.global_events + self.shard_events.iter().sum::<u64>()
+    }
+}
+
+/// Mixes a (run seed, stream class, index) triple into an independent
+/// RNG seed — splitmix64 finalization over the combined words. Stream
+/// assignment depends only on stable ids, never on shard layout.
+pub(crate) fn stream_seed(seed: u64, stream: u64, idx: u64) -> u64 {
+    let mut z =
+        seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ idx.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A head-end re-signaling attempt in progress (make-before-break: the
+/// broken LSP keeps steering — and losing — traffic until the
+/// replacement is up, then is torn down).
+struct PendingResignal {
+    /// Index into `Engine::records`.
+    record: usize,
+    /// The broken LSP, torn down once the replacement is established.
+    old_lsp: mpls_control::LspId,
+    /// The broken LSP's original request (explicit route dropped —
+    /// restoration outranks pinning).
+    request: LspRequest,
+    /// Attempts completed so far.
+    attempt: u32,
+    /// Set once the LSP is re-established (or retries are exhausted).
+    done: bool,
+}
+
+/// Everything a [`Simulation`](crate::sim::Simulation) hands the engine
+/// to execute a run.
+pub(crate) struct EngineParts<S> {
+    pub channels: Vec<Channel>,
+    pub chan_index: HashMap<(NodeId, NodeId), usize>,
+    pub chan_link: Vec<LinkId>,
+    pub nodes: Vec<Box<dyn Node>>,
+    pub cp: ControlPlane,
+    pub flows: Vec<FlowSpec>,
+    pub policers: Vec<Option<TokenBucket>>,
+    pub globals: EventQueue<ControlEvent>,
+    pub seed: u64,
+    pub policy: RestorationPolicy,
+    pub sink: S,
+    pub instr: SimInstruments,
+    pub shards: usize,
+    pub hints: HashMap<NodeId, usize>,
+}
+
+/// The coordinator: owns the shards, the global event queue, the
+/// control plane and all fault/telemetry state.
+pub(crate) struct Engine<S: TelemetrySink> {
+    shards: Vec<ShardState<S>>,
+    globals: EventQueue<ControlEvent>,
+    flows: Vec<FlowSpec>,
+    chan_index: HashMap<(NodeId, NodeId), usize>,
+    chan_link: Vec<LinkId>,
+    /// `(owning shard, local index)` per global channel index.
+    chan_owner: Vec<(usize, usize)>,
+    /// Shard of each channel's receiving node.
+    chan_dest_shard: Vec<usize>,
+    /// Liveness snapshot shards read; refreshed after channel mutations.
+    chan_state: Vec<ChanState>,
+    lookahead: SimTime,
+    now: SimTime,
+    cp: ControlPlane,
+    policy: RestorationPolicy,
+    records: Vec<FaultRecord>,
+    /// Per-record count of broken LSPs still awaiting recovery.
+    outstanding: Vec<usize>,
+    /// Most recent fault record per link (kept after the link returns so
+    /// straggler losses still attribute to the right outage).
+    fault_of_link: HashMap<LinkId, usize>,
+    pending: Vec<PendingResignal>,
+    sink: S,
+    instr: SimInstruments,
+    epochs: u64,
+    global_events: u64,
+}
+
+impl<S: TelemetrySink> Engine<S> {
+    pub fn new(parts: EngineParts<S>) -> Self {
+        let nflows = parts.flows.len();
+        let nchans = parts.channels.len();
+        let node_ids: Vec<NodeId> = parts.nodes.iter().map(|n| n.id()).collect();
+        let part = partition(&node_ids, parts.shards, &parts.hints, &parts.channels);
+        // Slot width is a performance knob only; pop order is canonical.
+        let slot_ns = if part.lookahead == SimTime::MAX {
+            65_536
+        } else {
+            (part.lookahead / 8).clamp(1, 1 << 20)
+        };
+        let mut shards: Vec<ShardState<S>> = (0..part.shards)
+            .map(|id| ShardState {
+                id,
+                wheel: EventWheel::new(slot_ns),
+                nodes: Vec::new(),
+                node_local: HashMap::new(),
+                channels: Vec::new(),
+                emit: Vec::new(),
+                emit_of_flow: HashMap::new(),
+                stats: vec![FlowStats::default(); nflows],
+                outbox: Vec::new(),
+                foreign_fault_drops: vec![0; nchans],
+                record_loss: HashMap::new(),
+                deltas: Vec::new(),
+                events_processed: 0,
+                last_time: 0,
+                _sink: PhantomData,
+            })
+            .collect();
+        if S::ENABLED {
+            // Same octave bounds the per-flow histograms were registered
+            // with, so shard-local deltas merge cleanly.
+            let bounds: Vec<u64> = (0..21).map(|i| 1000u64 << i).collect();
+            for sh in &mut shards {
+                sh.deltas = (0..nflows).map(|_| FlowDelta::new(&bounds)).collect();
+            }
+        }
+        for node in parts.nodes {
+            let sh = &mut shards[part.shard_of_node[&node.id()]];
+            sh.node_local.insert(node.id(), sh.nodes.len());
+            if let Some(iv) = node.tick_interval() {
+                sh.wheel
+                    .schedule(iv.max(1), LocalEvent::NodeTick { node: node.id() });
+            }
+            sh.nodes.push(node);
+        }
+        let mut chan_owner = Vec::with_capacity(nchans);
+        let mut chan_dest_shard = Vec::with_capacity(nchans);
+        let mut chan_state = Vec::with_capacity(nchans);
+        for c in parts.channels {
+            let owner = part.shard_of_node[&c.from];
+            chan_dest_shard.push(part.shard_of_node[&c.to]);
+            chan_state.push(ChanState {
+                up: c.up,
+                gen: c.gen,
+            });
+            let sh = &mut shards[owner];
+            chan_owner.push((owner, sh.channels.len()));
+            sh.channels.push(c);
+        }
+        for (f, (spec, policer)) in parts.flows.iter().zip(parts.policers).enumerate() {
+            let sh = &mut shards[part.shard_of_node[&spec.ingress]];
+            sh.emit_of_flow.insert(f, sh.emit.len());
+            sh.emit.push(EmitState {
+                rng: StdRng::seed_from_u64(stream_seed(parts.seed, 1, f as u64)),
+                policer,
+            });
+            sh.wheel
+                .schedule(spec.start_ns, LocalEvent::SourceEmit { flow: f });
+        }
+        Self {
+            shards,
+            globals: parts.globals,
+            flows: parts.flows,
+            chan_index: parts.chan_index,
+            chan_link: parts.chan_link,
+            chan_owner,
+            chan_dest_shard,
+            chan_state,
+            lookahead: part.lookahead,
+            now: 0,
+            cp: parts.cp,
+            policy: parts.policy,
+            records: Vec::new(),
+            outstanding: Vec::new(),
+            fault_of_link: HashMap::new(),
+            pending: Vec::new(),
+            sink: parts.sink,
+            instr: parts.instr,
+            epochs: 0,
+            global_events: 0,
+        }
+    }
+
+    /// Runs until every queue drains or `horizon_ns` passes, then
+    /// merges the shards into a report.
+    pub fn run(mut self, horizon_ns: SimTime) -> SimReport {
+        loop {
+            let tg = self.globals.peek_time();
+            let tl = self
+                .shards
+                .iter_mut()
+                .filter_map(|s| s.wheel.peek_time())
+                .min();
+            let next = match (tg, tl) {
+                (None, None) => break,
+                (Some(g), None) => g,
+                (None, Some(l)) => l,
+                (Some(g), Some(l)) => g.min(l),
+            };
+            if next > horizon_ns {
+                break;
+            }
+            // Globals run before locals at the same instant, at every
+            // shard count.
+            let run_global = match (tg, tl) {
+                (Some(g), Some(l)) => g <= l,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if run_global {
+                let (t, ev) = self.globals.pop().expect("peeked");
+                self.now = t;
+                self.global_events += 1;
+                self.handle_global(ev);
+                continue;
+            }
+            let tl = tl.expect("local events pending");
+            let end = tg
+                .unwrap_or(SimTime::MAX)
+                .min(tl.saturating_add(self.lookahead))
+                .min(horizon_ns.saturating_add(1));
+            self.run_epoch(end);
+        }
+        self.finish()
+    }
+
+    /// One conservative epoch: every shard executes its local events
+    /// strictly before `end` (in parallel when there are multiple
+    /// shards), then cross-shard arrivals are exchanged at the barrier.
+    fn run_epoch(&mut self, end: SimTime) {
+        self.epochs += 1;
+        let ctx = SharedCtx {
+            flows: &self.flows,
+            chan_index: &self.chan_index,
+            chan_link: &self.chan_link,
+            chan_state: &self.chan_state,
+            chan_owner: &self.chan_owner,
+            chan_dest_shard: &self.chan_dest_shard,
+            fault_of_link: &self.fault_of_link,
+        };
+        if self.shards.len() == 1 {
+            self.shards[0].run_until(end, &ctx);
+        } else {
+            use rayon::prelude::*;
+            self.shards
+                .par_iter_mut()
+                .for_each(|s| s.run_until(end, &ctx));
+        }
+        for i in 0..self.shards.len() {
+            let outbox = std::mem::take(&mut self.shards[i].outbox);
+            for (t, ev) in outbox {
+                let LocalEvent::Arrive {
+                    via: Some((chan, _)),
+                    ..
+                } = &ev
+                else {
+                    unreachable!("only wire arrivals cross shards");
+                };
+                let dest = self.chan_dest_shard[*chan];
+                self.shards[dest].wheel.schedule(t, ev);
+            }
+        }
+        if let Some(t) = self.shards.iter().map(|s| s.last_time).max() {
+            self.now = self.now.max(t);
+        }
+    }
+
+    fn handle_global(&mut self, ev: ControlEvent) {
+        match ev {
+            ControlEvent::LinkDown { link } => self.on_link_down(link),
+            ControlEvent::LinkUp { link } => self.on_link_up(link),
+            ControlEvent::FaultDetected { link } => self.on_fault_detected(link),
+            ControlEvent::Resignal { pending } => self.on_resignal(pending),
+            ControlEvent::HoldDownExpired { link } => self.on_hold_down_expired(link),
+            ControlEvent::TeardownLsp { lsp } => self.on_teardown_lsp(lsp),
+            ControlEvent::TelemetrySample => self.on_telemetry_sample(),
+        }
+    }
+
+    // ---- channel plumbing --------------------------------------------------
+
+    fn chan(&self, g: usize) -> &Channel {
+        let (s, l) = self.chan_owner[g];
+        &self.shards[s].channels[l]
+    }
+
+    fn chan_mut(&mut self, g: usize) -> &mut Channel {
+        let (s, l) = self.chan_owner[g];
+        &mut self.shards[s].channels[l]
+    }
+
+    /// Re-freezes a channel's liveness snapshot after mutating it.
+    fn refresh_chan_state(&mut self, g: usize) {
+        let c = self.chan(g);
+        let snap = ChanState {
+            up: c.up,
+            gen: c.gen,
+        };
+        self.chan_state[g] = snap;
+    }
+
+    /// Indices of the two channels (one per direction) of `link`.
+    fn channels_of(&self, link: LinkId) -> [usize; 2] {
+        let mut found = [usize::MAX; 2];
+        let mut n = 0;
+        for (i, &l) in self.chan_link.iter().enumerate() {
+            if l == link {
+                found[n] = i;
+                n += 1;
+                if n == 2 {
+                    break;
+                }
+            }
+        }
+        debug_assert_eq!(n, 2, "every link has exactly two channels");
+        found
+    }
+
+    // ---- fault machinery ---------------------------------------------------
+
+    /// Marks `rec` restored now (first caller wins), closes its outage
+    /// span and emits the restoration event.
+    fn set_restored(&mut self, rec: usize) {
+        if self.records[rec].restored_ns.is_some() {
+            return;
+        }
+        self.records[rec].restored_ns = Some(self.now);
+        if S::ENABLED {
+            self.sink.event(
+                self.now,
+                "service_restored",
+                format!("link{}", self.records[rec].link),
+            );
+            if let Some(span) = self.instr.fault_spans.remove(&rec) {
+                self.sink.span_end(self.now, span);
+            }
+        }
+    }
+
+    /// Counts one packet lost to `link`'s outage against its flow and
+    /// the link's current fault record. (Coordinator-side flow losses
+    /// land in shard 0's stats table and merge with the rest.)
+    fn count_fault_loss(&mut self, link: LinkId, flow: FlowId) {
+        self.shards[0].stats[flow].on_discarded(DiscardCause::LinkDown);
+        if let Some(&rec) = self.fault_of_link.get(&link) {
+            self.records[rec].packets_lost += 1;
+        }
+    }
+
+    /// Rebuilds every router's forwarding state from the (mutated)
+    /// control plane. Statistics survive; stale flow-cache entries do
+    /// not.
+    fn reprogram_routers(&mut self) {
+        for sh in &mut self.shards {
+            for node in &mut sh.nodes {
+                let cfg = self.cp.config_for(node.id());
+                node.reprogram(&cfg);
+            }
+        }
+    }
+
+    /// How long a retired LSP's transit state must outlive the
+    /// switchover so packets already in its pipeline either deliver or
+    /// hit the dead link (and are counted there): twice the path's
+    /// propagation plus a queueing allowance.
+    fn drain_grace_ns(&self, lsp: mpls_control::LspId) -> u64 {
+        let Some(l) = self.cp.lsp(lsp) else {
+            return 0;
+        };
+        let topo = self.cp.topology();
+        let prop: u64 = topo
+            .path_links(&l.path)
+            .map(|links| {
+                links
+                    .iter()
+                    .filter_map(|&k| topo.link(k).map(|s| s.delay_ns))
+                    .sum()
+            })
+            .unwrap_or(0);
+        2 * prop + 1_000_000
+    }
+
+    fn on_teardown_lsp(&mut self, lsp: mpls_control::LspId) {
+        // The husk may already be gone (a later fault's standby sweep).
+        if self.cp.lsp(lsp).is_some() {
+            let _ = self.cp.teardown_lsp(lsp);
+            self.reprogram_routers();
+        }
+    }
+
+    fn on_link_down(&mut self, link: LinkId) {
+        let [a, b] = self.channels_of(link);
+        if !self.chan(a).up {
+            return; // already down (overlapping schedules)
+        }
+        let rec = self.records.len();
+        self.records.push(FaultRecord {
+            link,
+            down_ns: self.now,
+            detected_ns: None,
+            restored_ns: None,
+            link_up_ns: None,
+            packets_lost: 0,
+            mode: self.policy.mode,
+        });
+        self.outstanding.push(0);
+        self.fault_of_link.insert(link, rec);
+        if S::ENABLED {
+            self.sink
+                .event(self.now, "link_down", format!("link{link}"));
+            let span = self
+                .sink
+                .span_begin(self.now, &format!("outage.link{link}"));
+            self.instr.fault_spans.insert(rec, span);
+        }
+        // Cut both directions: queued and in-flight packets are lost now.
+        for chan in [a, b] {
+            let lost = self.chan_mut(chan).take_down();
+            self.refresh_chan_state(chan);
+            for p in lost {
+                self.count_fault_loss(link, p.flow);
+            }
+        }
+        if self.policy.mode != RecoveryMode::None {
+            self.globals.schedule(
+                self.now + self.policy.detection_delay_ns,
+                ControlEvent::FaultDetected { link },
+            );
+        }
+    }
+
+    fn on_link_up(&mut self, link: LinkId) {
+        let [a, b] = self.channels_of(link);
+        if self.chan(a).up {
+            return; // already up
+        }
+        for chan in [a, b] {
+            self.chan_mut(chan).bring_up();
+            self.refresh_chan_state(chan);
+        }
+        if S::ENABLED {
+            self.sink.event(self.now, "link_up", format!("link{link}"));
+        }
+        let Some(&rec) = self.fault_of_link.get(&link) else {
+            return;
+        };
+        self.records[rec].link_up_ns = Some(self.now);
+        if self.records[rec].detected_ns.is_none() {
+            // The control plane never reacted (flap shorter than the
+            // detection delay, or no recovery configured): the stale
+            // forwarding state simply works again.
+            self.set_restored(rec);
+        } else {
+            // Detection fired, so the control plane has the link marked
+            // failed; hold it down before reusing it.
+            self.globals.schedule(
+                self.now + self.policy.hold_down_ns,
+                ControlEvent::HoldDownExpired { link },
+            );
+        }
+    }
+
+    fn on_fault_detected(&mut self, link: LinkId) {
+        let [a, _] = self.channels_of(link);
+        if self.chan(a).up {
+            return; // the flap cleared before anyone noticed
+        }
+        let Some(&rec) = self.fault_of_link.get(&link) else {
+            return;
+        };
+        if self.records[rec].detected_ns.is_some() {
+            return; // a probe from an earlier outage already reported it
+        }
+        self.records[rec].detected_ns = Some(self.now);
+        if S::ENABLED {
+            self.sink
+                .event(self.now, "fault_detected", format!("link{link}"));
+        }
+        let affected = self.cp.fail_link(link);
+        let mut changed = false;
+        for id in affected {
+            if self.cp.lsp_is_standby(id) {
+                // A broken standby protects nothing; release it.
+                let _ = self.cp.teardown_standby(id);
+                changed = true;
+                continue;
+            }
+            // Protection: fail over onto a pre-signaled disjoint backup —
+            // service is back one detection delay after the cut. The
+            // broken primary becomes a husk whose transit state drains
+            // the pipeline, then is garbage-collected.
+            if self.policy.mode == RecoveryMode::Protection {
+                if let Some(backup) = self.cp.backup_of(id) {
+                    if self.cp.lsp_is_intact(backup) {
+                        let grace = self.drain_grace_ns(id);
+                        self.cp.activate_backup(id);
+                        self.globals
+                            .schedule(self.now + grace, ControlEvent::TeardownLsp { lsp: id });
+                        changed = true;
+                        continue;
+                    }
+                }
+            }
+            // Restoration (or protection without a viable backup):
+            // re-signal around the failure; the first attempt completes
+            // one signaling latency from now. The broken LSP keeps
+            // steering — and losing — traffic until then
+            // (make-before-break), so outage loss stays attributed to
+            // the dead link.
+            let request = self
+                .cp
+                .lsp(id)
+                .expect("fail_link reported a live LSP")
+                .request
+                .clone();
+            self.outstanding[rec] += 1;
+            let idx = self.pending.len();
+            self.pending.push(PendingResignal {
+                record: rec,
+                old_lsp: id,
+                request,
+                attempt: 0,
+                done: false,
+            });
+            self.globals.schedule(
+                self.now + self.policy.resignal_delay_ns,
+                ControlEvent::Resignal { pending: idx },
+            );
+        }
+        if self.outstanding[rec] == 0 {
+            // Nothing is waiting on re-signaling: every broken LSP failed
+            // over (or none existed) — service restored at detection.
+            self.set_restored(rec);
+        }
+        if changed {
+            self.reprogram_routers();
+        }
+    }
+
+    fn on_resignal(&mut self, pending: usize) {
+        let (rec, old_lsp, attempt, request) = {
+            let p = &self.pending[pending];
+            if p.done {
+                return;
+            }
+            (p.record, p.old_lsp, p.attempt, p.request.clone())
+        };
+        let mut request = request;
+        request.explicit_route = None;
+        match self.cp.establish_lsp(request) {
+            Ok(_) => {
+                // Break only after the make: the replacement is up; the
+                // broken original retires to a husk (transit state keeps
+                // draining the pipeline into the dead link, where loss is
+                // counted) and is garbage-collected after the grace.
+                let grace = self.drain_grace_ns(old_lsp);
+                let _ = self.cp.retire_lsp(old_lsp);
+                self.globals
+                    .schedule(self.now + grace, ControlEvent::TeardownLsp { lsp: old_lsp });
+                self.pending[pending].done = true;
+                self.outstanding[rec] -= 1;
+                if self.outstanding[rec] == 0 {
+                    self.set_restored(rec);
+                }
+                self.reprogram_routers();
+            }
+            Err(_) => {
+                let next_attempt = attempt + 1;
+                if next_attempt > self.policy.max_retries {
+                    // Gave up: the record stays unrestored.
+                    self.pending[pending].done = true;
+                    return;
+                }
+                self.pending[pending].attempt = next_attempt;
+                let backoff = self.policy.resignal_delay_ns.saturating_mul(
+                    (self.policy.backoff_factor.max(1) as u64).saturating_pow(next_attempt),
+                );
+                self.globals
+                    .schedule(self.now + backoff, ControlEvent::Resignal { pending });
+            }
+        }
+    }
+
+    fn on_hold_down_expired(&mut self, link: LinkId) {
+        let [a, _] = self.channels_of(link);
+        if !self.chan(a).up {
+            return; // failed again before the hold-down expired
+        }
+        self.cp.restore_link(link);
+    }
+
+    // ---- telemetry ---------------------------------------------------------
+
+    /// Periodic sample point: read the channels, then re-arm only while
+    /// other work is pending so sampling never keeps a finished run
+    /// alive.
+    fn on_telemetry_sample(&mut self) {
+        self.sample_channels();
+        let pending = self.shards.iter().any(|s| !s.wheel.is_empty()) || !self.globals.is_empty();
+        if pending {
+            self.globals.schedule(
+                self.now + self.instr.sample_interval_ns,
+                ControlEvent::TelemetrySample,
+            );
+        }
+    }
+
+    /// Pushes one queue-depth and one utilization point per channel, in
+    /// global channel order.
+    fn sample_channels(&mut self) {
+        if !S::ENABLED {
+            return;
+        }
+        let dt = self.now.saturating_sub(self.instr.last_sample_ns);
+        for g in 0..self.chan_owner.len() {
+            let (s, l) = self.chan_owner[g];
+            let c = &self.shards[s].channels[l];
+            let depth = c.queue.len() + usize::from(c.in_flight.is_some());
+            let busy_ns = c.busy_ns;
+            self.sink
+                .series_push(self.instr.chan_depth[g], self.now, depth as f64);
+            if dt > 0 {
+                let busy = busy_ns.saturating_sub(self.instr.chan_busy_prev[g]);
+                let util = (busy as f64 / dt as f64).min(1.0);
+                self.sink
+                    .series_push(self.instr.chan_util[g], self.now, util);
+                self.instr.chan_busy_prev[g] = busy_ns;
+            }
+        }
+        self.instr.last_sample_ns = self.now;
+    }
+
+    /// End-of-run scrape: final channel sample, per-router pipeline and
+    /// FSM counters, per-channel totals. Mirrors reading a hardware
+    /// device's counter block after the experiment.
+    fn finalize_telemetry(&mut self) {
+        if !S::ENABLED {
+            return;
+        }
+        self.sample_channels();
+        let elapsed = self.now.max(1);
+        let mut nodes: Vec<(NodeId, usize, usize)> = Vec::new();
+        for (s, sh) in self.shards.iter().enumerate() {
+            for (&id, &l) in &sh.node_local {
+                nodes.push((id, s, l));
+            }
+        }
+        nodes.sort_unstable_by_key(|&(id, ..)| id);
+        for (node, s, l) in nodes {
+            let stats = self.shards[s].nodes[l].stats();
+            for (name, value) in [
+                ("packets_in", stats.packets_in),
+                ("forwarded", stats.forwarded),
+                ("delivered", stats.delivered),
+                ("discarded", stats.discarded),
+                ("flow_installs", stats.flow_installs),
+                ("total_cycles", stats.total_cycles),
+            ] {
+                let id = self.sink.counter(&format!("node{node}.router.{name}"));
+                self.sink.counter_add(id, value);
+            }
+            for (stage, cycles) in stats.stage_cycles.iter() {
+                let id = self
+                    .sink
+                    .counter(&format!("node{node}.pipeline.{stage}_cycles"));
+                self.sink.counter_add(id, cycles);
+            }
+            if let Some(perf) = self.shards[s].nodes[l].core_perf() {
+                let state_cycles = perf.state_cycles();
+                let depth = perf.search_depth.clone();
+                let hits = perf.search_hits;
+                let misses = perf.search_misses;
+                for (state, cycles) in state_cycles {
+                    let id = self.sink.counter(&format!("node{node}.fsm.{state}"));
+                    self.sink.counter_add(id, cycles);
+                }
+                self.sink
+                    .import_histogram(&format!("node{node}.ib.search_depth"), &depth);
+                let id = self.sink.counter(&format!("node{node}.ib.search_hits"));
+                self.sink.counter_add(id, hits);
+                let id = self.sink.counter(&format!("node{node}.ib.search_misses"));
+                self.sink.counter_add(id, misses);
+            }
+        }
+        for g in 0..self.chan_owner.len() {
+            let (s, l) = self.chan_owner[g];
+            let c = &self.shards[s].channels[l];
+            let (from, to) = (c.from, c.to);
+            let values = [
+                ("transmitted", c.transmitted),
+                ("queue_drops", c.drops),
+                ("fault_drops", c.fault_drops),
+                ("loss_drops", c.loss_drops),
+            ];
+            let busy_ns = c.busy_ns;
+            let prefix = format!("link.{from}->{to}");
+            for (name, value) in values {
+                let id = self.sink.counter(&format!("{prefix}.{name}"));
+                self.sink.counter_add(id, value);
+            }
+            let id = self.sink.gauge(&format!("{prefix}.mean_utilization"));
+            self.sink.gauge_set(id, busy_ns as f64 / elapsed as f64);
+        }
+        self.sink.event(self.now, "telemetry_end", String::new());
+    }
+
+    // ---- merge -------------------------------------------------------------
+
+    /// Folds every shard's buffered effects together and assembles the
+    /// report. Deltas are commutative (sums and histogram merges), and
+    /// they are folded in a fixed order (shard index, then subject
+    /// index), so the result does not depend on epoch timing.
+    fn finish(mut self) -> SimReport {
+        // Channel counters owed across shards must land before the
+        // telemetry scrape reads the channels.
+        for s in 0..self.shards.len() {
+            let drops = std::mem::take(&mut self.shards[s].foreign_fault_drops);
+            for (g, d) in drops.into_iter().enumerate() {
+                if d > 0 {
+                    self.chan_mut(g).fault_drops += d;
+                }
+            }
+            let losses = std::mem::take(&mut self.shards[s].record_loss);
+            for (rec, d) in losses {
+                self.records[rec].packets_lost += d;
+            }
+        }
+        if S::ENABLED {
+            for f in 0..self.flows.len() {
+                for s in 0..self.shards.len() {
+                    let (sent, delivered, conform, exceed) = {
+                        let d = &self.shards[s].deltas[f];
+                        (d.sent, d.delivered, d.conform, d.exceed)
+                    };
+                    self.sink.counter_add(self.instr.flow_sent[f], sent);
+                    self.sink
+                        .counter_add(self.instr.flow_delivered[f], delivered);
+                    self.sink
+                        .counter_add(self.instr.policer_conform[f], conform);
+                    self.sink.counter_add(self.instr.policer_exceed[f], exceed);
+                    self.sink
+                        .hist_merge(self.instr.flow_delay[f], &self.shards[s].deltas[f].delay);
+                    self.sink
+                        .hist_merge(self.instr.flow_jitter[f], &self.shards[s].deltas[f].jitter);
+                }
+            }
+        }
+        self.finalize_telemetry();
+        let mut stats = vec![FlowStats::default(); self.flows.len()];
+        for sh in &self.shards {
+            for (f, st) in sh.stats.iter().enumerate() {
+                stats[f].absorb(st);
+            }
+        }
+        let nchans = self.chan_owner.len();
+        let elapsed = self.now.max(1);
+        let mut queue_drops = 0;
+        let mut link_drops = 0;
+        let mut loss_drops = 0;
+        let mut links = Vec::with_capacity(nchans);
+        for g in 0..nchans {
+            let c = self.chan(g);
+            queue_drops += c.drops;
+            link_drops += c.fault_drops;
+            loss_drops += c.loss_drops;
+            links.push(LinkUsage {
+                from: c.from,
+                to: c.to,
+                transmitted: c.transmitted,
+                drops: c.drops,
+                fault_drops: c.fault_drops,
+                loss_drops: c.loss_drops,
+                utilization: c.busy_ns as f64 / elapsed as f64,
+            });
+        }
+        let mut routers = BTreeMap::new();
+        for sh in &self.shards {
+            for node in &sh.nodes {
+                routers.insert(node.id(), node.stats());
+            }
+        }
+        let engine = EngineStats {
+            shards: self.shards.len(),
+            lookahead_ns: (self.lookahead != SimTime::MAX).then_some(self.lookahead),
+            epochs: self.epochs,
+            global_events: self.global_events,
+            shard_events: self.shards.iter().map(|s| s.events_processed).collect(),
+        };
+        let telemetry = self.sink.into_report();
+        SimReport {
+            flows: self.flows.into_iter().zip(stats).collect(),
+            routers,
+            queue_drops,
+            link_drops,
+            loss_drops,
+            links,
+            faults: self.records,
+            elapsed_ns: self.now,
+            telemetry,
+            engine,
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Topology partitioning for the sharded engine.
+//!
+//! Nodes are split into shards; channels belong to the shard of their
+//! transmitting node. The conservative lookahead is the minimum
+//! propagation delay over *cross-shard* channels: an event executed at
+//! time `u` can, at the earliest, influence another shard at
+//! `u + lookahead`, so an epoch `[start, end)` with
+//! `end <= earliest_pending + lookahead` is causally safe to run
+//! without synchronization.
+
+use crate::event::SimTime;
+use crate::link::Channel;
+use mpls_control::NodeId;
+use std::collections::HashMap;
+
+/// The result of partitioning a topology.
+pub(crate) struct Partition {
+    /// Shard of every node.
+    pub shard_of_node: HashMap<NodeId, usize>,
+    /// Effective shard count (may be lower than requested).
+    pub shards: usize,
+    /// Conservative lookahead: minimum cross-shard propagation delay,
+    /// or `u64::MAX` when no channel crosses shards.
+    pub lookahead: SimTime,
+}
+
+/// Splits `nodes` into (at most) `requested` shards. Hinted nodes go to
+/// `hint % shards`; the rest fill contiguous blocks in topology order,
+/// which tends to keep neighbors — and therefore traffic — together.
+/// A zero-delay cross-shard channel would force a zero lookahead, so
+/// such partitionings degrade to a single shard.
+pub(crate) fn partition(
+    nodes: &[NodeId],
+    requested: usize,
+    hints: &HashMap<NodeId, usize>,
+    channels: &[Channel],
+) -> Partition {
+    let shards = requested.max(1).min(nodes.len().max(1));
+    if shards == 1 {
+        return single_shard(nodes);
+    }
+    let block = nodes.len().div_ceil(shards);
+    let shard_of_node: HashMap<NodeId, usize> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| (n, hints.get(&n).map_or(i / block, |&h| h % shards)))
+        .collect();
+    let lookahead = channels
+        .iter()
+        .filter(|c| shard_of_node[&c.from] != shard_of_node[&c.to])
+        .map(|c| c.delay_ns)
+        .min()
+        .unwrap_or(SimTime::MAX);
+    if lookahead == 0 {
+        return single_shard(nodes);
+    }
+    Partition {
+        shard_of_node,
+        shards,
+        lookahead,
+    }
+}
+
+fn single_shard(nodes: &[NodeId]) -> Partition {
+    Partition {
+        shard_of_node: nodes.iter().map(|&n| (n, 0)).collect(),
+        shards: 1,
+        lookahead: SimTime::MAX,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::QueueDiscipline;
+
+    fn chan(from: NodeId, to: NodeId, delay_ns: u64) -> Channel {
+        Channel::new(
+            from,
+            to,
+            1_000_000_000,
+            delay_ns,
+            QueueDiscipline::Fifo { capacity: 4 },
+        )
+    }
+
+    #[test]
+    fn blocks_nodes_and_takes_min_cross_delay() {
+        let nodes = [0, 1, 2, 3];
+        let channels = [chan(0, 1, 700), chan(1, 2, 300), chan(2, 3, 900)];
+        let p = partition(&nodes, 2, &HashMap::new(), &channels);
+        assert_eq!(p.shards, 2);
+        assert_eq!(p.shard_of_node[&0], 0);
+        assert_eq!(p.shard_of_node[&1], 0);
+        assert_eq!(p.shard_of_node[&2], 1);
+        assert_eq!(p.shard_of_node[&3], 1);
+        // Only 1->2 crosses the cut.
+        assert_eq!(p.lookahead, 300);
+    }
+
+    #[test]
+    fn hints_override_block_placement() {
+        let nodes = [0, 1, 2, 3];
+        let hints = HashMap::from([(0, 1), (3, 0)]);
+        let channels = [chan(0, 3, 250)];
+        let p = partition(&nodes, 2, &hints, &channels);
+        assert_eq!(p.shard_of_node[&0], 1);
+        assert_eq!(p.shard_of_node[&3], 0);
+        assert_eq!(p.lookahead, 250);
+    }
+
+    #[test]
+    fn degenerate_cases_fall_back_to_one_shard() {
+        let nodes = [0, 1];
+        // Zero-delay cross-shard link: no usable lookahead.
+        let p = partition(&nodes, 2, &HashMap::new(), &[chan(0, 1, 0)]);
+        assert_eq!(p.shards, 1);
+        assert_eq!(p.lookahead, SimTime::MAX);
+        // More shards than nodes clamps.
+        let p = partition(&nodes, 8, &HashMap::new(), &[chan(0, 1, 5)]);
+        assert!(p.shards <= 2);
+        // No cross-shard channels: unbounded lookahead.
+        let p = partition(&[7], 1, &HashMap::new(), &[]);
+        assert_eq!(p.shards, 1);
+        assert_eq!(p.lookahead, SimTime::MAX);
+    }
+}

@@ -1,0 +1,441 @@
+//! One shard of the sharded engine: a subset of nodes, the channels
+//! they transmit on, and a private event wheel.
+//!
+//! # Canonical event keys
+//!
+//! Within one timestamp, shard-local events execute in the order of
+//! [`LocalEvent::key`] — `(class, a, b)` tuples built only from stable
+//! identifiers (flow ids, node ids, global channel indices). The key
+//! never encodes *which shard* scheduled the event or *when* it was
+//! inserted, so a run partitioned into N shards pops exactly the same
+//! event sequence per node as a single-shard run: byte-identical
+//! reports at any shard count.
+//!
+//! Every key is unique at its timestamp: a flow emits at most once per
+//! instant (inter-packet gaps are ≥ 1 ns), a channel completes at most
+//! one serialization per instant per incarnation (serialization times
+//! are ≥ 1 ns), and an `Arrive` is pinned to its (node, channel) lane —
+//! a channel delivers at most one packet per instant for the same
+//! reason.
+//!
+//! # What shards may touch
+//!
+//! During an epoch a shard mutates only its own state plus the shared
+//! *read-only* snapshot in [`SharedCtx`]. Effects on other shards
+//! (cross-shard arrivals) are buffered in `outbox`; effects on global
+//! accounting (a foreign channel's drop counter, a fault record's loss
+//! tally, telemetry) are buffered in commutative per-shard deltas the
+//! coordinator folds in deterministically.
+
+use super::wheel::EventWheel;
+use crate::event::SimTime;
+use crate::link::{Channel, OfferResult};
+use crate::node::Node;
+use crate::policer::TokenBucket;
+use crate::sim::{make_packet, SimPacket};
+use crate::stats::{FlowId, FlowStats};
+use crate::traffic::FlowSpec;
+use mpls_control::{LinkId, NodeId};
+use mpls_router::{Action, DiscardCause};
+use mpls_telemetry::{Histogram, TelemetrySink};
+use rand::rngs::StdRng;
+use std::collections::HashMap;
+use std::marker::PhantomData;
+
+/// Canonical ordering key for same-timestamp events: `(class, a, b)`.
+pub(crate) type EventKey = (u8, u64, u64);
+
+/// Lane marker distinguishing source-injected arrivals from wire
+/// arrivals in the key's `b` component (channel indices stay below it).
+const SOURCE_LANE: u64 = 1 << 32;
+
+/// A shard-local event.
+#[derive(Debug)]
+pub(crate) enum LocalEvent {
+    /// A traffic source emits its next packet.
+    SourceEmit {
+        /// Index into the flow table.
+        flow: FlowId,
+    },
+    /// A packet reaches a node's input and is handed to its router.
+    Arrive {
+        /// Receiving node.
+        node: NodeId,
+        /// The packet.
+        packet: SimPacket,
+        /// The (global channel index, incarnation) the packet traveled,
+        /// when it came over a wire rather than from a local source. If
+        /// the channel's incarnation has moved on by delivery time, the
+        /// link was cut while the packet was propagating and it is lost.
+        via: Option<(usize, u64)>,
+    },
+    /// A channel finished serializing its current packet.
+    TransmitDone {
+        /// Global channel index.
+        channel: usize,
+        /// Channel incarnation at scheduling time; stale if it moved on.
+        gen: u64,
+    },
+    /// A node's periodic tick (see [`Node::tick_interval`]).
+    NodeTick {
+        /// The ticking node.
+        node: NodeId,
+    },
+}
+
+impl LocalEvent {
+    /// The canonical same-timestamp ordering key. Emissions first, then
+    /// arrivals, then transmit completions, then ticks — matching the
+    /// causal chains `SourceEmit -> Arrive` and
+    /// `Arrive -> TransmitDone` that occur at one instant.
+    pub fn key(&self) -> EventKey {
+        match *self {
+            LocalEvent::SourceEmit { flow } => (0, flow as u64, 0),
+            LocalEvent::Arrive {
+                node,
+                ref packet,
+                via,
+            } => {
+                let lane = match via {
+                    Some((chan, _)) => chan as u64,
+                    // Offset by flow id: distinct flows sharing an ingress
+                    // may inject at the same instant.
+                    None => SOURCE_LANE + packet.flow as u64,
+                };
+                (1, node as u64, lane)
+            }
+            LocalEvent::TransmitDone { channel, gen } => (2, channel as u64, gen),
+            LocalEvent::NodeTick { node } => (3, node as u64, 0),
+        }
+    }
+}
+
+/// Liveness snapshot of one channel, refreshed by the coordinator after
+/// every global event — i.e. constant within an epoch.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ChanState {
+    /// Whether the channel is live.
+    pub up: bool,
+    /// Current incarnation.
+    pub gen: u64,
+}
+
+/// Shared tables every shard reads during an epoch. Immutable while
+/// shards run; the coordinator owns the mutable masters.
+pub(crate) struct SharedCtx<'a> {
+    pub flows: &'a [FlowSpec],
+    pub chan_index: &'a HashMap<(NodeId, NodeId), usize>,
+    pub chan_link: &'a [LinkId],
+    /// Per-global-channel liveness snapshot.
+    pub chan_state: &'a [ChanState],
+    /// `(owning shard, local index)` of every global channel.
+    pub chan_owner: &'a [(usize, usize)],
+    /// Shard owning each channel's *receiving* node.
+    pub chan_dest_shard: &'a [usize],
+    /// Most recent fault record per link.
+    pub fault_of_link: &'a HashMap<LinkId, usize>,
+}
+
+/// A flow's traffic source: its private RNG stream and edge policer.
+/// Lives on the flow's ingress shard.
+pub(crate) struct EmitState {
+    /// Inter-packet gap RNG, seeded from (run seed, flow id) only, so
+    /// the emission schedule is identical at any shard count.
+    pub rng: StdRng,
+    /// Edge policer, if the flow is policed.
+    pub policer: Option<TokenBucket>,
+}
+
+/// Per-flow telemetry buffered shard-locally and folded into the sink
+/// at the end of the run (sums and histogram merges commute).
+pub(crate) struct FlowDelta {
+    pub sent: u64,
+    pub delivered: u64,
+    pub conform: u64,
+    pub exceed: u64,
+    pub delay: Histogram,
+    pub jitter: Histogram,
+}
+
+impl FlowDelta {
+    pub fn new(bounds: &[u64]) -> Self {
+        Self {
+            sent: 0,
+            delivered: 0,
+            conform: 0,
+            exceed: 0,
+            delay: Histogram::new(bounds.to_vec()),
+            jitter: Histogram::new(bounds.to_vec()),
+        }
+    }
+}
+
+/// One shard: its nodes, owned channels, event wheel and buffered
+/// effects. The sink type parameter only carries
+/// [`TelemetrySink::ENABLED`] so delta recording compiles away on
+/// untelemetered runs; the sink itself stays with the coordinator.
+pub(crate) struct ShardState<S> {
+    pub id: usize,
+    pub wheel: EventWheel,
+    pub nodes: Vec<Box<dyn Node>>,
+    pub node_local: HashMap<NodeId, usize>,
+    /// Channels this shard transmits on (its nodes are the `from` ends).
+    pub channels: Vec<Channel>,
+    /// Traffic sources whose ingress lives here, by local index.
+    pub emit: Vec<EmitState>,
+    /// Flow id -> local emit index.
+    pub emit_of_flow: HashMap<FlowId, usize>,
+    /// Full-width per-flow stats; only the flows this shard touched are
+    /// non-zero. Folded with [`FlowStats::absorb`] at the end.
+    pub stats: Vec<FlowStats>,
+    /// Cross-shard arrivals buffered until the epoch barrier.
+    pub outbox: Vec<(SimTime, LocalEvent)>,
+    /// `fault_drops` owed to channels owned by other shards (stale-gen
+    /// arrivals observed here), by global channel index.
+    pub foreign_fault_drops: Vec<u64>,
+    /// Packet losses owed to fault records, by record index.
+    pub record_loss: HashMap<usize, u64>,
+    /// Per-flow telemetry deltas; empty unless `S::ENABLED`.
+    pub deltas: Vec<FlowDelta>,
+    /// Events this shard executed (engine stats / conservation checks).
+    pub events_processed: u64,
+    /// Timestamp of the most recently executed event.
+    pub last_time: SimTime,
+    pub _sink: PhantomData<fn() -> S>,
+}
+
+impl<S: TelemetrySink> ShardState<S> {
+    /// Executes every local event strictly before `end`.
+    pub fn run_until(&mut self, end: SimTime, ctx: &SharedCtx<'_>) {
+        while let Some((t, ev)) = self.wheel.pop_next(end) {
+            self.events_processed += 1;
+            self.last_time = t;
+            match ev {
+                LocalEvent::SourceEmit { flow } => self.on_source_emit(t, flow, ctx),
+                LocalEvent::Arrive { node, packet, via } => {
+                    self.on_arrive(t, node, packet, via, ctx)
+                }
+                LocalEvent::TransmitDone { channel, gen } => {
+                    self.on_transmit_done(t, channel, gen, ctx)
+                }
+                LocalEvent::NodeTick { node } => self.on_node_tick(t, node),
+            }
+        }
+    }
+
+    fn on_source_emit(&mut self, now: SimTime, flow: FlowId, ctx: &SharedCtx<'_>) {
+        let spec = &ctx.flows[flow];
+        if now >= spec.stop_ns {
+            return;
+        }
+        let seq = self.stats[flow].sent;
+        self.stats[flow].on_sent();
+        if S::ENABLED {
+            self.deltas[flow].sent += 1;
+        }
+        let packet = SimPacket {
+            inner: make_packet(spec, seq),
+            flow,
+            seq,
+            sent_ns: now,
+        };
+        let li = self.emit_of_flow[&flow];
+        // Edge policing: non-conforming packets never enter the network.
+        let conforms = match &mut self.emit[li].policer {
+            Some(bucket) => bucket.conform(now, packet.wire_len()),
+            None => true,
+        };
+        if S::ENABLED && self.emit[li].policer.is_some() {
+            if conforms {
+                self.deltas[flow].conform += 1;
+            } else {
+                self.deltas[flow].exceed += 1;
+            }
+        }
+        if conforms {
+            self.wheel.schedule(
+                now,
+                LocalEvent::Arrive {
+                    node: spec.ingress,
+                    packet,
+                    via: None,
+                },
+            );
+        } else {
+            self.stats[flow].policer_dropped += 1;
+        }
+        let gap = spec
+            .pattern
+            .next_gap(now - spec.start_ns, &mut self.emit[li].rng);
+        let next = now + gap;
+        if next < spec.stop_ns {
+            self.wheel.schedule(next, LocalEvent::SourceEmit { flow });
+        }
+    }
+
+    fn on_arrive(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        packet: SimPacket,
+        via: Option<(usize, u64)>,
+        ctx: &SharedCtx<'_>,
+    ) {
+        // A packet that was on the wire when its link was cut never
+        // arrives: the channel's incarnation has moved on.
+        if let Some((chan, gen)) = via {
+            if ctx.chan_state[chan].gen != gen {
+                let (owner, local) = ctx.chan_owner[chan];
+                if owner == self.id {
+                    self.channels[local].fault_drops += 1;
+                } else {
+                    self.foreign_fault_drops[chan] += 1;
+                }
+                self.count_fault_loss(ctx.chan_link[chan], packet.flow, ctx);
+                return;
+            }
+        }
+        let SimPacket {
+            inner,
+            flow,
+            seq,
+            sent_ns,
+        } = packet;
+        let li = self.node_local[&node];
+        let out = self.nodes[li].on_packet(now, inner);
+        let done = now + out.latency_ns;
+        match out.action {
+            Action::Forward {
+                next,
+                packet: inner,
+            } => {
+                let Some(&chan) = ctx.chan_index.get(&(node, next)) else {
+                    // Misconfigured next hop onto a non-adjacent node.
+                    self.stats[flow].on_discarded(DiscardCause::NoNextHop);
+                    return;
+                };
+                let (owner, local) = ctx.chan_owner[chan];
+                debug_assert_eq!(owner, self.id, "a node transmits only on its own channels");
+                let sp = SimPacket {
+                    inner,
+                    flow,
+                    seq,
+                    sent_ns,
+                };
+                if !ctx.chan_state[chan].up {
+                    // Steered onto a dead link by stale forwarding state.
+                    self.channels[local].fault_drops += 1;
+                    self.count_fault_loss(ctx.chan_link[chan], flow, ctx);
+                    return;
+                }
+                self.offer_to_channel(chan, local, sp, done);
+            }
+            Action::Deliver(inner) => {
+                let wire = inner.wire_len();
+                let delay = done - sent_ns;
+                if S::ENABLED {
+                    self.deltas[flow].delivered += 1;
+                    self.deltas[flow].delay.record(delay);
+                    // Jitter differences against the previous delivery's
+                    // delay, so read it before on_delivered overwrites it.
+                    if let Some(prev) = self.stats[flow].last_delay_ns() {
+                        self.deltas[flow].jitter.record(prev.abs_diff(delay));
+                    }
+                }
+                self.stats[flow].on_delivered(done, delay, wire);
+            }
+            Action::Discard(cause) => {
+                self.stats[flow].on_discarded(cause);
+            }
+        }
+    }
+
+    fn offer_to_channel(&mut self, chan: usize, local: usize, packet: SimPacket, at: SimTime) {
+        let flow = packet.flow;
+        let c = &mut self.channels[local];
+        match c.offer(packet) {
+            OfferResult::Dropped => {
+                self.stats[flow].queue_dropped += 1;
+            }
+            OfferResult::Queued => {}
+            OfferResult::StartTransmit => {
+                let p = c.queue.pop().expect("just offered");
+                let ser = c.serialization_ns(p.wire_len());
+                c.busy = true;
+                c.busy_ns += ser;
+                let gen = c.gen;
+                c.in_flight = Some(p);
+                self.wheel
+                    .schedule(at + ser, LocalEvent::TransmitDone { channel: chan, gen });
+            }
+        }
+    }
+
+    fn on_transmit_done(&mut self, now: SimTime, chan: usize, gen: u64, ctx: &SharedCtx<'_>) {
+        let local = ctx.chan_owner[chan].1;
+        let c = &mut self.channels[local];
+        if c.gen != gen {
+            // The link was cut mid-serialization; take_down already
+            // flushed and counted the packet.
+            return;
+        }
+        let p = c.in_flight.take().expect("transmit completed with cargo");
+        c.transmitted += 1;
+        let to = c.to;
+        let delay = c.delay_ns;
+        let cur_gen = c.gen;
+        let loss_prob = c.loss_prob;
+        // Start the next queued packet, if any.
+        if let Some(next) = c.queue.pop() {
+            let ser = c.serialization_ns(next.wire_len());
+            c.busy_ns += ser;
+            c.in_flight = Some(next);
+            self.wheel.schedule(
+                now + ser,
+                LocalEvent::TransmitDone {
+                    channel: chan,
+                    gen: cur_gen,
+                },
+            );
+        } else {
+            c.busy = false;
+        }
+        // Random wire loss claims the packet after serialization. The
+        // draw comes from the channel's private RNG, so the outcome is
+        // a function of this channel's transmission sequence alone.
+        if loss_prob > 0.0 && self.channels[local].loss_roll() < loss_prob {
+            self.channels[local].loss_drops += 1;
+            self.stats[p.flow].on_discarded(DiscardCause::LinkLoss);
+            return;
+        }
+        let ev = LocalEvent::Arrive {
+            node: to,
+            packet: p,
+            via: Some((chan, cur_gen)),
+        };
+        let at = now + delay;
+        if ctx.chan_dest_shard[chan] == self.id {
+            self.wheel.schedule(at, ev);
+        } else {
+            self.outbox.push((at, ev));
+        }
+    }
+
+    fn on_node_tick(&mut self, now: SimTime, node: NodeId) {
+        let li = self.node_local[&node];
+        self.nodes[li].on_tick(now);
+        if let Some(iv) = self.nodes[li].tick_interval() {
+            self.wheel
+                .schedule(now + iv.max(1), LocalEvent::NodeTick { node });
+        }
+    }
+
+    /// Counts one packet lost to `link`'s outage against its flow and
+    /// (via the shard-local delta) the link's current fault record.
+    fn count_fault_loss(&mut self, link: LinkId, flow: FlowId, ctx: &SharedCtx<'_>) {
+        self.stats[flow].on_discarded(DiscardCause::LinkDown);
+        if let Some(&rec) = ctx.fault_of_link.get(&link) {
+            *self.record_loss.entry(rec).or_insert(0) += 1;
+        }
+    }
+}

@@ -1,43 +1,26 @@
-//! The simulator's time-ordered event queue.
+//! The simulator's time-ordered event queue and the coordinator's
+//! control events.
 //!
-//! Events at equal timestamps pop in insertion order (a monotone sequence
-//! number breaks ties), which keeps runs deterministic for a fixed seed.
+//! The queue is generic over its payload: shards use it for packet-level
+//! events (ordered by a canonical key, see `engine::shard`), the
+//! coordinator for [`ControlEvent`]s. Events at equal timestamps pop in
+//! insertion order (a monotone sequence number breaks ties), which keeps
+//! runs deterministic for a fixed seed.
 
-use crate::sim::SimPacket;
-use mpls_control::{LinkId, NodeId};
+use mpls_control::LinkId;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// Simulation time in nanoseconds.
 pub type SimTime = u64;
 
-/// What happens when an event fires.
-#[derive(Debug)]
-pub enum EventKind {
-    /// A packet reaches a node's input and is handed to its router.
-    Arrive {
-        /// Receiving node.
-        node: NodeId,
-        /// The packet.
-        packet: SimPacket,
-        /// The channel (index, incarnation) the packet traveled, when it
-        /// came over a wire rather than from a local source. If the
-        /// channel's incarnation has moved on by delivery time, the link
-        /// was cut while the packet was propagating and it is lost.
-        via: Option<(usize, u64)>,
-    },
-    /// A channel finished serializing its current packet.
-    TransmitDone {
-        /// Index into the simulator's channel table.
-        channel: usize,
-        /// Channel incarnation at scheduling time; stale if it moved on.
-        gen: u64,
-    },
-    /// A traffic source emits its next packet.
-    SourceEmit {
-        /// Index into the simulator's flow table.
-        flow: usize,
-    },
+/// Coordinator-level events: everything that mutates shared state (the
+/// control plane, channel liveness, fault records) or reads a globally
+/// consistent snapshot. These run between shard epochs, never inside
+/// one, so shards observe control-plane state frozen for the duration
+/// of an epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlEvent {
     /// A scheduled fault: the link's channels go dark.
     LinkDown {
         /// The failing link.
@@ -56,7 +39,7 @@ pub enum EventKind {
     },
     /// A head-end re-signaling attempt completes.
     Resignal {
-        /// Index into the simulator's pending-resignal table.
+        /// Index into the engine's pending-resignal table.
         pending: usize,
     },
     /// A repaired link's hold-down timer expires; the control plane may
@@ -78,24 +61,24 @@ pub enum EventKind {
     TelemetrySample,
 }
 
-struct Entry {
+struct Entry<K> {
     time: SimTime,
     seq: u64,
-    kind: EventKind,
+    kind: K,
 }
 
-impl PartialEq for Entry {
+impl<K> PartialEq for Entry<K> {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
-impl Eq for Entry {}
-impl PartialOrd for Entry {
+impl<K> Eq for Entry<K> {}
+impl<K> PartialOrd for Entry<K> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for Entry {
+impl<K> Ord for Entry<K> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert for earliest-first.
         other
@@ -106,28 +89,41 @@ impl Ord for Entry {
 }
 
 /// Earliest-first event queue with deterministic tie-breaking.
-#[derive(Default)]
-pub struct EventQueue {
-    heap: BinaryHeap<Entry>,
+pub struct EventQueue<K> {
+    heap: BinaryHeap<Entry<K>>,
     next_seq: u64,
 }
 
-impl EventQueue {
+impl<K> Default for EventQueue<K> {
+    fn default() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<K> EventQueue<K> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Schedules `kind` at absolute time `time`.
-    pub fn schedule(&mut self, time: SimTime, kind: EventKind) {
+    pub fn schedule(&mut self, time: SimTime, kind: K) {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { time, seq, kind });
     }
 
     /// Pops the earliest event.
-    pub fn pop(&mut self) -> Option<(SimTime, EventKind)> {
+    pub fn pop(&mut self) -> Option<(SimTime, K)> {
         self.heap.pop().map(|e| (e.time, e.kind))
+    }
+
+    /// Timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
     }
 
     /// Number of pending events.
@@ -148,21 +144,22 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.schedule(30, EventKind::SourceEmit { flow: 3 });
-        q.schedule(10, EventKind::SourceEmit { flow: 1 });
-        q.schedule(20, EventKind::SourceEmit { flow: 2 });
-        let order: Vec<SimTime> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
-        assert_eq!(order, vec![10, 20, 30]);
+        q.schedule(30, 3u32);
+        q.schedule(10, 1);
+        q.schedule(20, 2);
+        assert_eq!(q.peek_time(), Some(10));
+        let order: Vec<(SimTime, u32)> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec![(10, 1), (20, 2), (30, 3)]);
     }
 
     #[test]
     fn equal_times_pop_in_insertion_order() {
         let mut q = EventQueue::new();
-        for flow in 0..5 {
-            q.schedule(7, EventKind::SourceEmit { flow });
+        for flow in 0..5u32 {
+            q.schedule(7, flow);
         }
         let mut flows = Vec::new();
-        while let Some((_, EventKind::SourceEmit { flow })) = q.pop() {
+        while let Some((_, flow)) = q.pop() {
             flows.push(flow);
         }
         assert_eq!(flows, vec![0, 1, 2, 3, 4]);
@@ -172,7 +169,8 @@ mod tests {
     fn len_and_empty() {
         let mut q = EventQueue::new();
         assert!(q.is_empty());
-        q.schedule(1, EventKind::TransmitDone { channel: 0, gen: 0 });
+        assert_eq!(q.peek_time(), None);
+        q.schedule(1, ControlEvent::TelemetrySample);
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());

@@ -8,28 +8,35 @@
 //! the workloads the paper's introduction names — VoIP and streaming
 //! video against background bulk transfer.
 //!
-//! * [`event`] — the time-ordered event queue.
+//! * [`event`] — the time-ordered event queue and control events.
 //! * [`queue`] — FIFO and CoS-priority link queues with tail drop.
 //! * [`link`] — directed channels with serialization + propagation delay.
 //! * [`traffic`] — CBR, Poisson and on/off generators.
 //! * [`stats`] — per-flow delay/jitter/loss/throughput accounting.
 //! * [`fault`] — scheduled link failures and the timed-restoration model.
-//! * [`sim`] — the engine tying routers (`mpls-router`) to the network.
+//! * [`node`] — the [`Node`] trait the engine drives at each vertex.
+//! * [`engine`] — the sharded discrete-event engine (per-shard event
+//!   wheels, conservative epoch barriers, deterministic merge).
+//! * [`sim`] — the facade tying routers (`mpls-router`) to the network.
 
+pub mod engine;
 pub mod event;
 pub mod fault;
 pub mod histogram;
 pub mod link;
+pub mod node;
 pub mod policer;
 pub mod queue;
 pub mod sim;
 pub mod stats;
 pub mod traffic;
 
-pub use event::{EventKind, EventQueue};
+pub use engine::EngineStats;
+pub use event::{ControlEvent, EventQueue, SimTime};
 pub use fault::{FaultPlan, FaultRecord, RecoveryMode, RestorationPolicy};
 pub use histogram::LatencyHistogram;
 pub use link::Channel;
+pub use node::{ForwarderNode, Node};
 pub use policer::{PolicerSpec, TokenBucket};
 pub use queue::{LinkQueue, QueueDiscipline};
 pub use sim::{RouterKind, SimReport, Simulation};

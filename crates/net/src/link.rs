@@ -47,6 +47,11 @@ pub struct Channel {
     pub fault_drops: u64,
     /// Packets lost to random wire loss.
     pub loss_drops: u64,
+    /// xorshift64* state for the wire-loss draws. Seeded per channel by
+    /// the simulation so loss outcomes depend only on the run seed, the
+    /// channel and the order of its own transmissions — never on how
+    /// events interleave across other channels (or engine shards).
+    loss_rng: u64,
 }
 
 impl Channel {
@@ -74,7 +79,24 @@ impl Channel {
             loss_prob: 0.0,
             fault_drops: 0,
             loss_drops: 0,
+            loss_rng: 0x9E37_79B9_7F4A_7C15,
         }
+    }
+
+    /// Seeds the wire-loss RNG (zero is mapped off the degenerate
+    /// all-zero xorshift state).
+    pub fn seed_loss_rng(&mut self, seed: u64) {
+        self.loss_rng = seed | 1;
+    }
+
+    /// Next uniform value in [0, 1) from the channel's own loss RNG.
+    pub fn loss_roll(&mut self) -> f64 {
+        let mut x = self.loss_rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.loss_rng = x;
+        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// Serialization time for `bytes` at this channel's bandwidth.

@@ -1,0 +1,141 @@
+//! The simulator's node abstraction.
+//!
+//! The engine does not know about router internals: everything attached
+//! to a topology vertex is a [`Node`] — it receives packets
+//! ([`Node::on_packet`]), may ask for a periodic tick
+//! ([`Node::tick_interval`]), can be reprogrammed by the control plane,
+//! and exposes its counters for telemetry. Every
+//! [`MplsForwarder`](mpls_router::MplsForwarder) is a `Node` via a
+//! blanket impl, and boxed forwarders (what
+//! [`RouterKind::build`](mpls_router::RouterKind::build) returns) are
+//! wrapped by [`ForwarderNode`].
+
+use crate::event::SimTime;
+use mpls_control::{NodeConfig, NodeId};
+use mpls_core::CorePerf;
+use mpls_packet::MplsPacket;
+use mpls_router::{Forwarding, MplsForwarder, RouterStats};
+
+/// Anything occupying a topology vertex in the simulation.
+///
+/// `Send` is part of the contract: shards holding nodes are stepped on
+/// worker threads.
+pub trait Node: Send {
+    /// The topology vertex this node occupies.
+    fn id(&self) -> NodeId;
+
+    /// Handles one packet arriving at simulation time `now` and returns
+    /// the forwarding decision with its data-plane cost.
+    fn on_packet(&mut self, now: SimTime, packet: MplsPacket) -> Forwarding;
+
+    /// Requests a periodic tick every returned interval (ns). `None`
+    /// (the default) schedules no ticks; packet routers are purely
+    /// reactive.
+    fn tick_interval(&self) -> Option<SimTime> {
+        None
+    }
+
+    /// Periodic callback, driven at [`Node::tick_interval`].
+    fn on_tick(&mut self, _now: SimTime) {}
+
+    /// Replaces the node's forwarding state with `config`, preserving
+    /// statistics.
+    fn reprogram(&mut self, config: &NodeConfig);
+
+    /// Data-plane counters so far.
+    fn stats(&self) -> RouterStats;
+
+    /// Enables hardware-style performance counters, if any.
+    fn enable_perf(&mut self) {}
+
+    /// The hardware counter block, if enabled and present.
+    fn core_perf(&self) -> Option<&CorePerf> {
+        None
+    }
+}
+
+impl<F: MplsForwarder + Send> Node for F {
+    fn id(&self) -> NodeId {
+        self.node_id()
+    }
+
+    fn on_packet(&mut self, _now: SimTime, packet: MplsPacket) -> Forwarding {
+        self.handle(packet)
+    }
+
+    fn reprogram(&mut self, config: &NodeConfig) {
+        MplsForwarder::reprogram(self, config)
+    }
+
+    fn stats(&self) -> RouterStats {
+        MplsForwarder::stats(self)
+    }
+
+    fn enable_perf(&mut self) {
+        MplsForwarder::enable_perf(self)
+    }
+
+    fn core_perf(&self) -> Option<&CorePerf> {
+        MplsForwarder::core_perf(self)
+    }
+}
+
+/// Adapter turning a boxed forwarder into a [`Node`]. (The blanket impl
+/// covers concrete forwarder types, but `Box<dyn MplsForwarder>` itself
+/// does not implement `MplsForwarder`.)
+pub struct ForwarderNode(Box<dyn MplsForwarder + Send>);
+
+impl ForwarderNode {
+    /// Wraps a boxed forwarder.
+    pub fn new(inner: Box<dyn MplsForwarder + Send>) -> Self {
+        Self(inner)
+    }
+}
+
+impl Node for ForwarderNode {
+    fn id(&self) -> NodeId {
+        self.0.node_id()
+    }
+
+    fn on_packet(&mut self, _now: SimTime, packet: MplsPacket) -> Forwarding {
+        self.0.handle(packet)
+    }
+
+    fn reprogram(&mut self, config: &NodeConfig) {
+        self.0.reprogram(config)
+    }
+
+    fn stats(&self) -> RouterStats {
+        self.0.stats()
+    }
+
+    fn enable_perf(&mut self) {
+        self.0.enable_perf()
+    }
+
+    fn core_perf(&self) -> Option<&CorePerf> {
+        self.0.core_perf()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpls_control::{ControlPlane, RouterRole, Topology};
+    use mpls_router::RouterKind;
+
+    #[test]
+    fn boxed_forwarder_acts_as_node() {
+        let cp = ControlPlane::new(Topology::figure1_example());
+        let kind = RouterKind::Embedded {
+            clock: mpls_core::ClockSpec::STRATIX_50MHZ,
+        };
+        let mut node = ForwarderNode::new(kind.build(0, RouterRole::Ler, &cp.config_for(0)));
+        assert_eq!(node.id(), 0);
+        assert_eq!(node.tick_interval(), None, "routers are purely reactive");
+        assert_eq!(node.stats().packets_in, 0);
+        node.enable_perf();
+        node.reprogram(&cp.config_for(0));
+        assert_eq!(node.stats().packets_in, 0, "reprogram preserves counters");
+    }
+}

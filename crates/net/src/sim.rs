@@ -1,5 +1,6 @@
-//! The simulation engine: routers wired to channels, driven by an event
-//! queue.
+//! The simulation facade: builds the network from a control plane,
+//! collects flows and fault plans, and hands everything to the sharded
+//! engine in [`crate::engine`].
 //!
 //! # Runtime faults
 //!
@@ -7,30 +8,36 @@
 //! from. Static failures (`ControlPlane::fail_link` *before*
 //! [`Simulation::build`]) start the run with those links dark; to fail a
 //! link *mid-run*, attach a [`FaultPlan`](crate::fault::FaultPlan) with
-//! [`Simulation::set_fault_plan`]. The plan's link-down/up events flow
-//! through the ordinary event queue; the restoration policy then drives
+//! [`Simulation::set_fault_plan`]. The plan's link-down/up events run as
+//! coordinator-level control events; the restoration policy then drives
 //! the cloned control plane (detection → failover or re-signaling →
 //! hold-down) and reprograms the routers in place.
+//!
+//! # Parallel execution
+//!
+//! [`Simulation::set_shards`] (or the `MPLS_SIM_SHARDS` environment
+//! variable) splits the topology across shards that execute in
+//! parallel between conservative epoch barriers. The report — and the
+//! telemetry export — is byte-identical at any shard count; sharding is
+//! purely a wall-clock optimization. See [`crate::engine`].
 
-use crate::event::{EventKind, EventQueue, SimTime};
-use crate::fault::{FaultKind, FaultPlan, FaultRecord, RecoveryMode, RestorationPolicy};
-use crate::link::{Channel, OfferResult};
+use crate::engine::{stream_seed, Engine, EngineParts, EngineStats};
+use crate::event::{ControlEvent, EventQueue, SimTime};
+use crate::fault::{FaultKind, FaultPlan, FaultRecord, RestorationPolicy};
+use crate::link::Channel;
+use crate::node::{ForwarderNode, Node};
 use crate::queue::QueueDiscipline;
 use crate::stats::{FlowId, FlowStats};
 use crate::traffic::FlowSpec;
-use mpls_control::{ControlPlane, LinkId, LspRequest, NodeId};
-use mpls_core::ClockSpec;
+use mpls_control::{ControlPlane, LinkId, NodeId};
 use mpls_packet::{EtherType, EthernetFrame, Ipv4Header, MacAddr, MplsPacket};
-use mpls_router::{
-    Action, DiscardCause, EmbeddedRouter, MplsForwarder, RouterStats, SoftwareRouter, SwTimingModel,
-};
+pub use mpls_router::RouterKind;
+use mpls_router::RouterStats;
 use mpls_telemetry::{
     CounterId, HistId, NoopSink, Registry, SeriesId, SpanId, TelemetryConfig, TelemetryReport,
     TelemetrySink,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A packet in flight through the simulation.
 #[derive(Debug, Clone)]
@@ -61,26 +68,6 @@ impl SimPacket {
     }
 }
 
-/// Which router implementation populates the nodes.
-#[derive(Debug, Clone, Copy)]
-pub enum RouterKind {
-    /// The embedded (hardware-model) router at a given clock.
-    Embedded {
-        /// FPGA clock.
-        clock: ClockSpec,
-    },
-    /// Software router with hash-map lookups.
-    SoftwareHash {
-        /// Latency model.
-        timing: SwTimingModel,
-    },
-    /// Software router with linear-scan lookups.
-    SoftwareLinear {
-        /// Latency model.
-        timing: SwTimingModel,
-    },
-}
-
 /// Per-channel usage in a report.
 #[derive(Debug, Clone, Copy, serde::Serialize)]
 pub struct LinkUsage {
@@ -105,8 +92,8 @@ pub struct LinkUsage {
 pub struct SimReport {
     /// Per-flow specs and stats, index-aligned with flow ids.
     pub flows: Vec<(FlowSpec, FlowStats)>,
-    /// Per-router data-plane statistics.
-    pub routers: HashMap<NodeId, RouterStats>,
+    /// Per-router data-plane statistics, ordered by node id.
+    pub routers: BTreeMap<NodeId, RouterStats>,
     /// Total packets dropped at link queues.
     pub queue_drops: u64,
     /// Total packets lost to dead links.
@@ -122,6 +109,10 @@ pub struct SimReport {
     /// Metrics snapshot, present when the run was telemetry-enabled
     /// (see [`Simulation::with_telemetry`]).
     pub telemetry: Option<TelemetryReport>,
+    /// How the engine executed the run (shard count, epochs). Excluded
+    /// from serialization: the simulation outcome is shard-invariant.
+    #[serde(skip)]
+    pub engine: EngineStats,
 }
 
 impl SimReport {
@@ -134,53 +125,36 @@ impl SimReport {
     }
 }
 
-/// A head-end re-signaling attempt in progress (make-before-break: the
-/// broken LSP keeps steering — and losing — traffic until the
-/// replacement is up, then is torn down).
-struct PendingResignal {
-    /// Index into `Simulation::records`.
-    record: usize,
-    /// The broken LSP, torn down once the replacement is established.
-    old_lsp: mpls_control::LspId,
-    /// The broken LSP's original request (explicit route dropped —
-    /// restoration outranks pinning).
-    request: LspRequest,
-    /// Attempts completed so far.
-    attempt: u32,
-    /// Set once the LSP is re-established (or retries are exhausted).
-    done: bool,
-}
-
 /// Per-flow and per-channel instrument handles for a telemetry-enabled
 /// run. All vectors are index-aligned with their subject tables; on a
 /// [`NoopSink`] run they stay empty and every record site is skipped at
 /// compile time via `S::ENABLED`.
 #[derive(Default)]
-struct SimInstruments {
+pub(crate) struct SimInstruments {
     /// Queue-depth time series, one per channel.
-    chan_depth: Vec<SeriesId>,
+    pub(crate) chan_depth: Vec<SeriesId>,
     /// Utilization time series, one per channel.
-    chan_util: Vec<SeriesId>,
+    pub(crate) chan_util: Vec<SeriesId>,
     /// `busy_ns` observed at the previous sample, for utilization deltas.
-    chan_busy_prev: Vec<u64>,
+    pub(crate) chan_busy_prev: Vec<u64>,
     /// Timestamp of the previous sample point.
-    last_sample_ns: SimTime,
+    pub(crate) last_sample_ns: SimTime,
     /// Sampling period.
-    sample_interval_ns: u64,
+    pub(crate) sample_interval_ns: u64,
     /// Per-LSP end-to-end delay histograms, one per flow.
-    flow_delay: Vec<HistId>,
+    pub(crate) flow_delay: Vec<HistId>,
     /// Per-LSP inter-packet delay-variation histograms, one per flow.
-    flow_jitter: Vec<HistId>,
+    pub(crate) flow_jitter: Vec<HistId>,
     /// Packets emitted, one counter per flow.
-    flow_sent: Vec<CounterId>,
+    pub(crate) flow_sent: Vec<CounterId>,
     /// Packets delivered, one counter per flow.
-    flow_delivered: Vec<CounterId>,
+    pub(crate) flow_delivered: Vec<CounterId>,
     /// Edge-policer conform verdicts, one counter per flow.
-    policer_conform: Vec<CounterId>,
+    pub(crate) policer_conform: Vec<CounterId>,
     /// Edge-policer exceed verdicts, one counter per flow.
-    policer_exceed: Vec<CounterId>,
+    pub(crate) policer_exceed: Vec<CounterId>,
     /// Open outage spans keyed by fault-record index.
-    fault_spans: HashMap<usize, SpanId>,
+    pub(crate) fault_spans: HashMap<usize, SpanId>,
 }
 
 /// The discrete-event simulation.
@@ -194,26 +168,19 @@ pub struct Simulation<S: TelemetrySink = NoopSink> {
     chan_index: HashMap<(NodeId, NodeId), usize>,
     /// `chan_link[i]` is the topology link channel `i` belongs to.
     chan_link: Vec<LinkId>,
-    routers: HashMap<NodeId, Box<dyn MplsForwarder + Send>>,
+    nodes: Vec<Box<dyn Node>>,
     /// The simulation's own control plane — a clone of the one it was
     /// built from, mutated by runtime faults.
     cp: ControlPlane,
     flows: Vec<FlowSpec>,
-    stats: Vec<FlowStats>,
     policers: Vec<Option<crate::policer::TokenBucket>>,
-    events: EventQueue,
-    rng: StdRng,
-    now: SimTime,
+    globals: EventQueue<ControlEvent>,
+    seed: u64,
     policy: RestorationPolicy,
-    records: Vec<FaultRecord>,
-    /// Per-record count of broken LSPs still awaiting recovery.
-    outstanding: Vec<usize>,
-    /// Most recent fault record per link (kept after the link returns so
-    /// straggler losses still attribute to the right outage).
-    fault_of_link: HashMap<LinkId, usize>,
-    pending: Vec<PendingResignal>,
     sink: S,
     instr: SimInstruments,
+    requested_shards: Option<usize>,
+    shard_hints: HashMap<NodeId, usize>,
 }
 
 impl Simulation {
@@ -236,53 +203,41 @@ impl Simulation {
         let mut chan_link = Vec::new();
         for (link_id, spec) in topo.links().iter().enumerate() {
             for (from, to) in [(spec.a, spec.b), (spec.b, spec.a)] {
-                chan_index.insert((from, to), channels.len());
+                let g = channels.len();
+                chan_index.insert((from, to), g);
                 let mut c = Channel::new(from, to, spec.bandwidth_bps, spec.delay_ns, discipline);
                 // Statically failed links exist but start dark.
                 c.up = !cp.link_is_failed(link_id as LinkId);
+                // Wire loss draws from a per-channel stream: the outcome
+                // depends only on (seed, channel), never on shard layout.
+                c.seed_loss_rng(stream_seed(seed, 2, g as u64));
                 channels.push(c);
                 chan_link.push(link_id as LinkId);
             }
         }
-        let mut routers: HashMap<NodeId, Box<dyn MplsForwarder + Send>> = HashMap::new();
-        for node in topo.nodes() {
-            let cfg = cp.config_for(node.id);
-            let boxed: Box<dyn MplsForwarder + Send> = match kind {
-                RouterKind::Embedded { clock } => {
-                    Box::new(EmbeddedRouter::new(node.id, node.role, &cfg, clock))
-                }
-                RouterKind::SoftwareHash { timing } => {
-                    Box::new(SoftwareRouter::<mpls_dataplane::HashTable>::new(
-                        node.id, node.role, &cfg, timing,
-                    ))
-                }
-                RouterKind::SoftwareLinear { timing } => {
-                    Box::new(SoftwareRouter::<mpls_dataplane::LinearTable>::new(
-                        node.id, node.role, &cfg, timing,
-                    ))
-                }
-            };
-            routers.insert(node.id, boxed);
-        }
+        let nodes: Vec<Box<dyn Node>> = topo
+            .nodes()
+            .iter()
+            .map(|node| {
+                let cfg = cp.config_for(node.id);
+                Box::new(ForwarderNode::new(kind.build(node.id, node.role, &cfg))) as Box<dyn Node>
+            })
+            .collect();
         Self {
             channels,
             chan_index,
             chan_link,
-            routers,
+            nodes,
             cp: cp.clone(),
             flows: Vec::new(),
-            stats: Vec::new(),
             policers: Vec::new(),
-            events: EventQueue::new(),
-            rng: StdRng::seed_from_u64(seed),
-            now: 0,
+            globals: EventQueue::new(),
+            seed,
             policy: RestorationPolicy::default(),
-            records: Vec::new(),
-            outstanding: Vec::new(),
-            fault_of_link: HashMap::new(),
-            pending: Vec::new(),
             sink: NoopSink,
             instr: SimInstruments::default(),
+            requested_shards: None,
+            shard_hints: HashMap::new(),
         }
     }
 
@@ -311,49 +266,60 @@ impl Simulation {
             channels: self.channels,
             chan_index: self.chan_index,
             chan_link: self.chan_link,
-            routers: self.routers,
+            nodes: self.nodes,
             cp: self.cp,
             flows: self.flows,
-            stats: self.stats,
             policers: self.policers,
-            events: self.events,
-            rng: self.rng,
-            now: self.now,
+            globals: self.globals,
+            seed: self.seed,
             policy: self.policy,
-            records: self.records,
-            outstanding: self.outstanding,
-            fault_of_link: self.fault_of_link,
-            pending: self.pending,
             sink,
             instr,
+            requested_shards: self.requested_shards,
+            shard_hints: self.shard_hints,
         };
         for flow in 0..sim.flows.len() {
             sim.register_flow_instruments(flow);
         }
-        for router in sim.routers.values_mut() {
-            router.enable_perf();
+        for node in &mut sim.nodes {
+            node.enable_perf();
         }
-        sim.sink.event(sim.now, "telemetry_start", String::new());
-        sim.events
-            .schedule(sim.now + sample_interval_ns, EventKind::TelemetrySample);
+        sim.sink.event(0, "telemetry_start", String::new());
+        sim.globals
+            .schedule(sample_interval_ns, ControlEvent::TelemetrySample);
         sim
     }
 }
 
 impl<S: TelemetrySink> Simulation<S> {
-    /// Attaches a fault plan: its link events enter the event queue, its
+    /// Requests a shard count for parallel execution. Overrides the
+    /// `MPLS_SIM_SHARDS` environment variable; the engine may still use
+    /// fewer shards (at most one per node, and partitionings without a
+    /// usable lookahead fall back to one). The report is identical at
+    /// any value — this only trades wall-clock time.
+    pub fn set_shards(&mut self, shards: usize) {
+        self.requested_shards = Some(shards);
+    }
+
+    /// Pins `node` to shard `hint % shards` instead of its default
+    /// block placement, letting scenarios co-locate chatty neighbors.
+    pub fn shard_hint(&mut self, node: NodeId, hint: usize) {
+        self.shard_hints.insert(node, hint);
+    }
+
+    /// Attaches a fault plan: its link events run as control events, its
     /// loss probabilities program the channels, and its policy governs
     /// detection and recovery.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         self.policy = plan.policy;
         for ev in &plan.events {
             match ev.kind {
-                FaultKind::LinkDown(link) => {
-                    self.events.schedule(ev.at_ns, EventKind::LinkDown { link })
-                }
-                FaultKind::LinkUp(link) => {
-                    self.events.schedule(ev.at_ns, EventKind::LinkUp { link })
-                }
+                FaultKind::LinkDown(link) => self
+                    .globals
+                    .schedule(ev.at_ns, ControlEvent::LinkDown { link }),
+                FaultKind::LinkUp(link) => self
+                    .globals
+                    .schedule(ev.at_ns, ControlEvent::LinkUp { link }),
             }
         }
         for loss in &plan.losses {
@@ -365,15 +331,12 @@ impl<S: TelemetrySink> Simulation<S> {
         }
     }
 
-    /// Registers a flow; its first packet is scheduled at `spec.start_ns`.
+    /// Registers a flow; its first packet is emitted at `spec.start_ns`.
     pub fn add_flow(&mut self, spec: FlowSpec) -> FlowId {
         let id = self.flows.len();
-        self.events
-            .schedule(spec.start_ns, EventKind::SourceEmit { flow: id });
         self.policers
             .push(spec.police.map(crate::policer::TokenBucket::new));
         self.flows.push(spec);
-        self.stats.push(FlowStats::default());
         self.register_flow_instruments(id);
         id
     }
@@ -410,628 +373,35 @@ impl<S: TelemetrySink> Simulation<S> {
         );
     }
 
-    /// Runs until the event queue drains or `horizon_ns` passes, then
-    /// reports.
-    pub fn run(mut self, horizon_ns: SimTime) -> SimReport {
-        while let Some((time, kind)) = self.events.pop() {
-            if time > horizon_ns {
-                break;
-            }
-            self.now = time;
-            match kind {
-                EventKind::SourceEmit { flow } => self.on_source_emit(flow),
-                EventKind::Arrive { node, packet, via } => self.on_arrive(node, packet, via),
-                EventKind::TransmitDone { channel, gen } => self.on_transmit_done(channel, gen),
-                EventKind::LinkDown { link } => self.on_link_down(link),
-                EventKind::LinkUp { link } => self.on_link_up(link),
-                EventKind::FaultDetected { link } => self.on_fault_detected(link),
-                EventKind::Resignal { pending } => self.on_resignal(pending),
-                EventKind::HoldDownExpired { link } => self.on_hold_down_expired(link),
-                EventKind::TeardownLsp { lsp } => self.on_teardown_lsp(lsp),
-                EventKind::TelemetrySample => self.on_telemetry_sample(),
-            }
-        }
-        self.finalize_telemetry();
-        let queue_drops = self.channels.iter().map(|c| c.drops).sum();
-        let link_drops = self.channels.iter().map(|c| c.fault_drops).sum();
-        let loss_drops = self.channels.iter().map(|c| c.loss_drops).sum();
-        let elapsed = self.now.max(1);
-        let links = self
-            .channels
-            .iter()
-            .map(|c| LinkUsage {
-                from: c.from,
-                to: c.to,
-                transmitted: c.transmitted,
-                drops: c.drops,
-                fault_drops: c.fault_drops,
-                loss_drops: c.loss_drops,
-                utilization: c.busy_ns as f64 / elapsed as f64,
+    /// Runs until the event queues drain or `horizon_ns` passes, then
+    /// reports. The shard count resolves as [`Self::set_shards`], else
+    /// the `MPLS_SIM_SHARDS` environment variable, else 1.
+    pub fn run(self, horizon_ns: SimTime) -> SimReport {
+        let shards = self
+            .requested_shards
+            .or_else(|| {
+                std::env::var("MPLS_SIM_SHARDS")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
             })
-            .collect();
-        let telemetry = self.sink.into_report();
-        SimReport {
-            flows: self.flows.into_iter().zip(self.stats).collect(),
-            routers: self
-                .routers
-                .iter()
-                .map(|(&id, r)| (id, r.stats()))
-                .collect(),
-            queue_drops,
-            link_drops,
-            loss_drops,
-            links,
-            faults: self.records,
-            elapsed_ns: self.now,
-            telemetry,
-        }
-    }
-
-    // ---- telemetry ---------------------------------------------------------
-
-    /// Periodic sample point: read the channels, then re-arm only while
-    /// other work is pending so sampling never keeps a finished run alive.
-    fn on_telemetry_sample(&mut self) {
-        self.sample_channels();
-        if !self.events.is_empty() {
-            self.events.schedule(
-                self.now + self.instr.sample_interval_ns,
-                EventKind::TelemetrySample,
-            );
-        }
-    }
-
-    /// Pushes one queue-depth and one utilization point per channel.
-    fn sample_channels(&mut self) {
-        if !S::ENABLED {
-            return;
-        }
-        let dt = self.now.saturating_sub(self.instr.last_sample_ns);
-        for (i, c) in self.channels.iter().enumerate() {
-            let depth = c.queue.len() + usize::from(c.in_flight.is_some());
-            self.sink
-                .series_push(self.instr.chan_depth[i], self.now, depth as f64);
-            if dt > 0 {
-                let busy = c.busy_ns.saturating_sub(self.instr.chan_busy_prev[i]);
-                let util = (busy as f64 / dt as f64).min(1.0);
-                self.sink
-                    .series_push(self.instr.chan_util[i], self.now, util);
-                self.instr.chan_busy_prev[i] = c.busy_ns;
-            }
-        }
-        self.instr.last_sample_ns = self.now;
-    }
-
-    /// End-of-run scrape: final channel sample, per-router pipeline and
-    /// FSM counters, per-channel totals. Mirrors reading a hardware
-    /// device's counter block after the experiment.
-    fn finalize_telemetry(&mut self) {
-        if !S::ENABLED {
-            return;
-        }
-        self.sample_channels();
-        let elapsed = self.now.max(1);
-        let mut nodes: Vec<NodeId> = self.routers.keys().copied().collect();
-        nodes.sort_unstable();
-        for node in nodes {
-            let r = &self.routers[&node];
-            let stats = r.stats();
-            for (name, value) in [
-                ("packets_in", stats.packets_in),
-                ("forwarded", stats.forwarded),
-                ("delivered", stats.delivered),
-                ("discarded", stats.discarded),
-                ("flow_installs", stats.flow_installs),
-                ("total_cycles", stats.total_cycles),
-            ] {
-                let id = self.sink.counter(&format!("node{node}.router.{name}"));
-                self.sink.counter_add(id, value);
-            }
-            for (stage, cycles) in stats.stage_cycles.iter() {
-                let id = self
-                    .sink
-                    .counter(&format!("node{node}.pipeline.{stage}_cycles"));
-                self.sink.counter_add(id, cycles);
-            }
-            if let Some(perf) = self.routers[&node].core_perf() {
-                let state_cycles = perf.state_cycles();
-                let depth = perf.search_depth.clone();
-                let hits = perf.search_hits;
-                let misses = perf.search_misses;
-                for (state, cycles) in state_cycles {
-                    let id = self.sink.counter(&format!("node{node}.fsm.{state}"));
-                    self.sink.counter_add(id, cycles);
-                }
-                self.sink
-                    .import_histogram(&format!("node{node}.ib.search_depth"), &depth);
-                let id = self.sink.counter(&format!("node{node}.ib.search_hits"));
-                self.sink.counter_add(id, hits);
-                let id = self.sink.counter(&format!("node{node}.ib.search_misses"));
-                self.sink.counter_add(id, misses);
-            }
-        }
-        for c in &self.channels {
-            let prefix = format!("link.{}->{}", c.from, c.to);
-            for (name, value) in [
-                ("transmitted", c.transmitted),
-                ("queue_drops", c.drops),
-                ("fault_drops", c.fault_drops),
-                ("loss_drops", c.loss_drops),
-            ] {
-                let id = self.sink.counter(&format!("{prefix}.{name}"));
-                self.sink.counter_add(id, value);
-            }
-            let id = self.sink.gauge(&format!("{prefix}.mean_utilization"));
-            self.sink.gauge_set(id, c.busy_ns as f64 / elapsed as f64);
-        }
-        self.sink.event(self.now, "telemetry_end", String::new());
-    }
-
-    // ---- fault machinery ---------------------------------------------------
-
-    /// Indices of the two channels (one per direction) of `link`.
-    fn channels_of(&self, link: LinkId) -> [usize; 2] {
-        let mut found = [usize::MAX; 2];
-        let mut n = 0;
-        for (i, &l) in self.chan_link.iter().enumerate() {
-            if l == link {
-                found[n] = i;
-                n += 1;
-                if n == 2 {
-                    break;
-                }
-            }
-        }
-        debug_assert_eq!(n, 2, "every link has exactly two channels");
-        found
-    }
-
-    /// Marks `rec` restored now (first caller wins), closes its outage
-    /// span and emits the restoration event.
-    fn set_restored(&mut self, rec: usize) {
-        if self.records[rec].restored_ns.is_some() {
-            return;
-        }
-        self.records[rec].restored_ns = Some(self.now);
-        if S::ENABLED {
-            self.sink.event(
-                self.now,
-                "service_restored",
-                format!("link{}", self.records[rec].link),
-            );
-            if let Some(span) = self.instr.fault_spans.remove(&rec) {
-                self.sink.span_end(self.now, span);
-            }
-        }
-    }
-
-    /// Counts one packet lost to `link`'s outage against its flow and the
-    /// link's current fault record.
-    fn count_fault_loss(&mut self, link: LinkId, flow: FlowId) {
-        self.stats[flow].on_discarded(DiscardCause::LinkDown);
-        if let Some(&rec) = self.fault_of_link.get(&link) {
-            self.records[rec].packets_lost += 1;
-        }
-    }
-
-    /// Rebuilds every router's forwarding state from the (mutated)
-    /// control plane. Statistics survive; stale flow-cache entries do
-    /// not.
-    fn reprogram_routers(&mut self) {
-        for (&node, router) in self.routers.iter_mut() {
-            router.reprogram(&self.cp.config_for(node));
-        }
-    }
-
-    /// How long a retired LSP's transit state must outlive the
-    /// switchover so packets already in its pipeline either deliver or
-    /// hit the dead link (and are counted there): twice the path's
-    /// propagation plus a queueing allowance.
-    fn drain_grace_ns(&self, lsp: mpls_control::LspId) -> u64 {
-        let Some(l) = self.cp.lsp(lsp) else {
-            return 0;
-        };
-        let topo = self.cp.topology();
-        let prop: u64 = topo
-            .path_links(&l.path)
-            .map(|links| {
-                links
-                    .iter()
-                    .filter_map(|&k| topo.link(k).map(|s| s.delay_ns))
-                    .sum()
-            })
-            .unwrap_or(0);
-        2 * prop + 1_000_000
-    }
-
-    fn on_teardown_lsp(&mut self, lsp: mpls_control::LspId) {
-        // The husk may already be gone (a later fault's standby sweep).
-        if self.cp.lsp(lsp).is_some() {
-            let _ = self.cp.teardown_lsp(lsp);
-            self.reprogram_routers();
-        }
-    }
-
-    fn on_link_down(&mut self, link: LinkId) {
-        let [a, b] = self.channels_of(link);
-        if !self.channels[a].up {
-            return; // already down (overlapping schedules)
-        }
-        let rec = self.records.len();
-        self.records.push(FaultRecord {
-            link,
-            down_ns: self.now,
-            detected_ns: None,
-            restored_ns: None,
-            link_up_ns: None,
-            packets_lost: 0,
-            mode: self.policy.mode,
-        });
-        self.outstanding.push(0);
-        self.fault_of_link.insert(link, rec);
-        if S::ENABLED {
-            self.sink
-                .event(self.now, "link_down", format!("link{link}"));
-            let span = self
-                .sink
-                .span_begin(self.now, &format!("outage.link{link}"));
-            self.instr.fault_spans.insert(rec, span);
-        }
-        // Cut both directions: queued and in-flight packets are lost now.
-        for chan in [a, b] {
-            let lost = self.channels[chan].take_down();
-            for p in lost {
-                self.count_fault_loss(link, p.flow);
-            }
-        }
-        if self.policy.mode != RecoveryMode::None {
-            self.events.schedule(
-                self.now + self.policy.detection_delay_ns,
-                EventKind::FaultDetected { link },
-            );
-        }
-    }
-
-    fn on_link_up(&mut self, link: LinkId) {
-        let [a, b] = self.channels_of(link);
-        if self.channels[a].up {
-            return; // already up
-        }
-        for chan in [a, b] {
-            self.channels[chan].bring_up();
-        }
-        if S::ENABLED {
-            self.sink.event(self.now, "link_up", format!("link{link}"));
-        }
-        let Some(&rec) = self.fault_of_link.get(&link) else {
-            return;
-        };
-        self.records[rec].link_up_ns = Some(self.now);
-        if self.records[rec].detected_ns.is_none() {
-            // The control plane never reacted (flap shorter than the
-            // detection delay, or no recovery configured): the stale
-            // forwarding state simply works again.
-            self.set_restored(rec);
-        } else {
-            // Detection fired, so the control plane has the link marked
-            // failed; hold it down before reusing it.
-            self.events.schedule(
-                self.now + self.policy.hold_down_ns,
-                EventKind::HoldDownExpired { link },
-            );
-        }
-    }
-
-    fn on_fault_detected(&mut self, link: LinkId) {
-        let [a, _] = self.channels_of(link);
-        if self.channels[a].up {
-            return; // the flap cleared before anyone noticed
-        }
-        let Some(&rec) = self.fault_of_link.get(&link) else {
-            return;
-        };
-        if self.records[rec].detected_ns.is_some() {
-            return; // a probe from an earlier outage already reported it
-        }
-        self.records[rec].detected_ns = Some(self.now);
-        if S::ENABLED {
-            self.sink
-                .event(self.now, "fault_detected", format!("link{link}"));
-        }
-        let affected = self.cp.fail_link(link);
-        let mut changed = false;
-        for id in affected {
-            if self.cp.lsp_is_standby(id) {
-                // A broken standby protects nothing; release it.
-                let _ = self.cp.teardown_standby(id);
-                changed = true;
-                continue;
-            }
-            // Protection: fail over onto a pre-signaled disjoint backup —
-            // service is back one detection delay after the cut. The
-            // broken primary becomes a husk whose transit state drains
-            // the pipeline, then is garbage-collected.
-            if self.policy.mode == RecoveryMode::Protection {
-                if let Some(backup) = self.cp.backup_of(id) {
-                    if self.cp.lsp_is_intact(backup) {
-                        let grace = self.drain_grace_ns(id);
-                        self.cp.activate_backup(id);
-                        self.events
-                            .schedule(self.now + grace, EventKind::TeardownLsp { lsp: id });
-                        changed = true;
-                        continue;
-                    }
-                }
-            }
-            // Restoration (or protection without a viable backup):
-            // re-signal around the failure; the first attempt completes
-            // one signaling latency from now. The broken LSP keeps
-            // steering — and losing — traffic until then
-            // (make-before-break), so outage loss stays attributed to
-            // the dead link.
-            let request = self
-                .cp
-                .lsp(id)
-                .expect("fail_link reported a live LSP")
-                .request
-                .clone();
-            self.outstanding[rec] += 1;
-            let idx = self.pending.len();
-            self.pending.push(PendingResignal {
-                record: rec,
-                old_lsp: id,
-                request,
-                attempt: 0,
-                done: false,
-            });
-            self.events.schedule(
-                self.now + self.policy.resignal_delay_ns,
-                EventKind::Resignal { pending: idx },
-            );
-        }
-        if self.outstanding[rec] == 0 {
-            // Nothing is waiting on re-signaling: every broken LSP failed
-            // over (or none existed) — service restored at detection.
-            self.set_restored(rec);
-        }
-        if changed {
-            self.reprogram_routers();
-        }
-    }
-
-    fn on_resignal(&mut self, pending: usize) {
-        let (rec, old_lsp, attempt, request) = {
-            let p = &self.pending[pending];
-            if p.done {
-                return;
-            }
-            (p.record, p.old_lsp, p.attempt, p.request.clone())
-        };
-        let mut request = request;
-        request.explicit_route = None;
-        match self.cp.establish_lsp(request) {
-            Ok(_) => {
-                // Break only after the make: the replacement is up; the
-                // broken original retires to a husk (transit state keeps
-                // draining the pipeline into the dead link, where loss is
-                // counted) and is garbage-collected after the grace.
-                let grace = self.drain_grace_ns(old_lsp);
-                let _ = self.cp.retire_lsp(old_lsp);
-                self.events
-                    .schedule(self.now + grace, EventKind::TeardownLsp { lsp: old_lsp });
-                self.pending[pending].done = true;
-                self.outstanding[rec] -= 1;
-                if self.outstanding[rec] == 0 {
-                    self.set_restored(rec);
-                }
-                self.reprogram_routers();
-            }
-            Err(_) => {
-                let next_attempt = attempt + 1;
-                if next_attempt > self.policy.max_retries {
-                    // Gave up: the record stays unrestored.
-                    self.pending[pending].done = true;
-                    return;
-                }
-                self.pending[pending].attempt = next_attempt;
-                let backoff = self.policy.resignal_delay_ns.saturating_mul(
-                    (self.policy.backoff_factor.max(1) as u64).saturating_pow(next_attempt),
-                );
-                self.events
-                    .schedule(self.now + backoff, EventKind::Resignal { pending });
-            }
-        }
-    }
-
-    fn on_hold_down_expired(&mut self, link: LinkId) {
-        let [a, _] = self.channels_of(link);
-        if !self.channels[a].up {
-            return; // failed again before the hold-down expired
-        }
-        self.cp.restore_link(link);
-    }
-
-    fn on_source_emit(&mut self, flow: FlowId) {
-        let spec = self.flows[flow].clone();
-        if self.now >= spec.stop_ns {
-            return;
-        }
-        let seq = self.stats[flow].sent;
-        self.stats[flow].on_sent();
-        if S::ENABLED {
-            self.sink.counter_add(self.instr.flow_sent[flow], 1);
-        }
-        let packet = SimPacket {
-            inner: make_packet(&spec, seq),
-            flow,
-            seq,
-            sent_ns: self.now,
-        };
-        // Edge policing: non-conforming packets never enter the network.
-        let conforms = match &mut self.policers[flow] {
-            Some(bucket) => bucket.conform(self.now, packet.wire_len()),
-            None => true,
-        };
-        if S::ENABLED && self.policers[flow].is_some() {
-            let verdict = if conforms {
-                self.instr.policer_conform[flow]
-            } else {
-                self.instr.policer_exceed[flow]
-            };
-            self.sink.counter_add(verdict, 1);
-        }
-        if conforms {
-            self.events.schedule(
-                self.now,
-                EventKind::Arrive {
-                    node: spec.ingress,
-                    packet,
-                    via: None,
-                },
-            );
-        } else {
-            self.stats[flow].policer_dropped += 1;
-        }
-        let elapsed = self.now - spec.start_ns;
-        let gap = spec.pattern.next_gap(elapsed, &mut self.rng);
-        let next = self.now + gap;
-        if next < spec.stop_ns {
-            self.events.schedule(next, EventKind::SourceEmit { flow });
-        }
-    }
-
-    fn on_arrive(&mut self, node: NodeId, packet: SimPacket, via: Option<(usize, u64)>) {
-        // A packet that was on the wire when its link was cut never
-        // arrives: the channel's incarnation has moved on.
-        if let Some((chan, gen)) = via {
-            if self.channels[chan].gen != gen {
-                let link = self.chan_link[chan];
-                self.channels[chan].fault_drops += 1;
-                self.count_fault_loss(link, packet.flow);
-                return;
-            }
-        }
-        let SimPacket {
-            inner,
-            flow,
-            seq,
-            sent_ns,
-        } = packet;
-        let router = self
-            .routers
-            .get_mut(&node)
-            .expect("packets only travel between known nodes");
-        let out = router.handle(inner);
-        let done = self.now + out.latency_ns;
-        match out.action {
-            Action::Forward {
-                next,
-                packet: inner,
-            } => {
-                let Some(&chan) = self.chan_index.get(&(node, next)) else {
-                    // Misconfigured next hop onto a non-adjacent node.
-                    self.stats[flow].on_discarded(DiscardCause::NoNextHop);
-                    return;
-                };
-                let sp = SimPacket {
-                    inner,
-                    flow,
-                    seq,
-                    sent_ns,
-                };
-                if !self.channels[chan].up {
-                    // Steered onto a dead link by stale forwarding state.
-                    let link = self.chan_link[chan];
-                    self.channels[chan].fault_drops += 1;
-                    self.count_fault_loss(link, flow);
-                    return;
-                }
-                self.offer_to_channel(chan, sp, done);
-            }
-            Action::Deliver(inner) => {
-                let wire = inner.wire_len();
-                let delay = done - sent_ns;
-                if S::ENABLED {
-                    self.sink.counter_add(self.instr.flow_delivered[flow], 1);
-                    self.sink.hist_record(self.instr.flow_delay[flow], delay);
-                    // Jitter differences against the previous delivery's
-                    // delay, so read it before on_delivered overwrites it.
-                    if let Some(prev) = self.stats[flow].last_delay_ns() {
-                        self.sink
-                            .hist_record(self.instr.flow_jitter[flow], prev.abs_diff(delay));
-                    }
-                }
-                self.stats[flow].on_delivered(done, delay, wire);
-            }
-            Action::Discard(cause) => {
-                self.stats[flow].on_discarded(cause);
-            }
-        }
-    }
-
-    fn offer_to_channel(&mut self, chan: usize, packet: SimPacket, at: SimTime) {
-        let flow = packet.flow;
-        let c = &mut self.channels[chan];
-        match c.offer(packet) {
-            OfferResult::Dropped => {
-                self.stats[flow].queue_dropped += 1;
-            }
-            OfferResult::Queued => {}
-            OfferResult::StartTransmit => {
-                let p = c.queue.pop().expect("just offered");
-                let ser = c.serialization_ns(p.wire_len());
-                c.busy = true;
-                c.busy_ns += ser;
-                let gen = c.gen;
-                c.in_flight = Some(p);
-                self.events
-                    .schedule(at + ser, EventKind::TransmitDone { channel: chan, gen });
-            }
-        }
-    }
-
-    fn on_transmit_done(&mut self, chan: usize, gen: u64) {
-        let c = &mut self.channels[chan];
-        if c.gen != gen {
-            // The link was cut mid-serialization; take_down already
-            // flushed and counted the packet.
-            return;
-        }
-        let p = c.in_flight.take().expect("transmit completed with cargo");
-        c.transmitted += 1;
-        let to = c.to;
-        let delay = c.delay_ns;
-        let cur_gen = c.gen;
-        let loss_prob = c.loss_prob;
-        // Start the next queued packet, if any.
-        if let Some(next) = c.queue.pop() {
-            let ser = c.serialization_ns(next.wire_len());
-            c.busy_ns += ser;
-            c.in_flight = Some(next);
-            self.events.schedule(
-                self.now + ser,
-                EventKind::TransmitDone {
-                    channel: chan,
-                    gen: cur_gen,
-                },
-            );
-        } else {
-            c.busy = false;
-        }
-        // Random wire loss claims the packet after serialization.
-        if loss_prob > 0.0 && self.rng.random::<f64>() < loss_prob {
-            self.channels[chan].loss_drops += 1;
-            self.stats[p.flow].on_discarded(DiscardCause::LinkLoss);
-            return;
-        }
-        self.events.schedule(
-            self.now + delay,
-            EventKind::Arrive {
-                node: to,
-                packet: p,
-                via: Some((chan, cur_gen)),
-            },
-        );
+            .unwrap_or(1);
+        Engine::new(EngineParts {
+            channels: self.channels,
+            chan_index: self.chan_index,
+            chan_link: self.chan_link,
+            nodes: self.nodes,
+            cp: self.cp,
+            flows: self.flows,
+            policers: self.policers,
+            globals: self.globals,
+            seed: self.seed,
+            policy: self.policy,
+            sink: self.sink,
+            instr: self.instr,
+            shards,
+            hints: self.shard_hints,
+        })
+        .run(horizon_ns)
     }
 }
 
@@ -1077,7 +447,7 @@ pub fn ensemble_stat<F: Fn(&SimReport) -> f64>(reports: &[SimReport], metric: F)
 }
 
 /// Builds the unlabeled wire packet for one emission.
-fn make_packet(spec: &FlowSpec, seq: u64) -> MplsPacket {
+pub(crate) fn make_packet(spec: &FlowSpec, seq: u64) -> MplsPacket {
     let mut ip = Ipv4Header::new(
         spec.src_addr,
         spec.dst_addr,
@@ -1130,8 +500,10 @@ pub(crate) mod tests_support {
 mod tests {
     use super::*;
     use mpls_control::{LspRequest, Topology};
+    use mpls_core::ClockSpec;
     use mpls_dataplane::ftn::Prefix;
     use mpls_packet::ipv4::parse_addr;
+    use mpls_router::SwTimingModel;
 
     fn plane_with_lsp() -> ControlPlane {
         let mut cp = ControlPlane::new(Topology::figure1_example());
@@ -1183,6 +555,9 @@ mod tests {
         // Routers saw traffic.
         assert!(report.routers[&0].packets_in >= 10);
         assert_eq!(report.routers[&1].delivered, 10);
+        // A default run is sequential.
+        assert_eq!(report.engine.shards, 1);
+        assert!(report.engine.total_events() > 0);
     }
 
     #[test]
@@ -1403,6 +778,62 @@ mod tests {
         // particular seeds can tie by chance, so check across a range.
         let outcomes: std::collections::HashSet<_> = (0..8).map(run).collect();
         assert!(outcomes.len() > 1, "all seeds produced identical runs");
+    }
+
+    #[test]
+    fn sharded_run_is_byte_identical_to_sequential() {
+        // A hostile mix for parallel determinism: stochastic arrivals,
+        // an outage with re-signaling, random wire loss and telemetry,
+        // all crossing shard boundaries.
+        let cp = plane_with_lsp();
+        let run = |shards: usize| {
+            let mut sim = Simulation::build(
+                &cp,
+                RouterKind::Embedded {
+                    clock: ClockSpec::STRATIX_50MHZ,
+                },
+                QueueDiscipline::Fifo { capacity: 16 },
+                42,
+            );
+            sim.set_shards(shards);
+            let north = cp.topology().link_between(2, 3).unwrap();
+            let mut plan = crate::fault::FaultPlan {
+                policy: crate::fault::RestorationPolicy {
+                    detection_delay_ns: 500_000,
+                    resignal_delay_ns: 500_000,
+                    backoff_factor: 2,
+                    max_retries: 4,
+                    hold_down_ns: 1_000_000,
+                    mode: crate::fault::RecoveryMode::Restoration,
+                },
+                ..Default::default()
+            };
+            plan.outage(north, 3_000_000, 6_000_000);
+            plan.random_loss(north, 0.05);
+            sim.set_fault_plan(plan);
+            sim.add_flow(cbr_flow("cbr", 100_000));
+            let mut pois = cbr_flow("pois", 0);
+            pois.pattern = crate::traffic::TrafficPattern::Poisson {
+                mean_interval_ns: 250_000,
+            };
+            sim.add_flow(pois);
+            let sim = sim.with_telemetry(TelemetryConfig {
+                sample_interval_ns: 100_000,
+                ..TelemetryConfig::default()
+            });
+            let report = sim.run(1_000_000_000);
+            (
+                report.engine.shards,
+                serde_json::to_string(&report).expect("report serializes"),
+            )
+        };
+        let (n1, seq) = run(1);
+        assert_eq!(n1, 1);
+        for shards in [2, 4] {
+            let (n, par) = run(shards);
+            assert!(n > 1, "figure-1 topology supports {shards} shards");
+            assert_eq!(seq, par, "{shards}-shard run diverged from sequential");
+        }
     }
 
     #[test]

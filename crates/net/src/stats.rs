@@ -99,6 +99,45 @@ impl FlowStats {
         self.last_delay_ns
     }
 
+    /// Folds another partial accounting of the *same* flow into this one.
+    /// Parallel engine shards each keep a full-width stats table and
+    /// touch only the flows whose packets they handled; the coordinator
+    /// absorbs them in shard order at the end of the run. All counters
+    /// are sums; the delivery-window and delay extrema combine by
+    /// min/max. Deliveries of one flow all happen at its egress node —
+    /// one shard — so the jitter chain never spans absorbed parts.
+    pub fn absorb(&mut self, other: &FlowStats) {
+        self.sent += other.sent;
+        self.router_dropped += other.router_dropped;
+        self.queue_dropped += other.queue_dropped;
+        self.policer_dropped += other.policer_dropped;
+        self.link_dropped += other.link_dropped;
+        self.loss_dropped += other.loss_dropped;
+        self.drop_causes.merge(&other.drop_causes);
+        if other.delivered > 0 {
+            if self.delivered == 0 {
+                self.first_delivery_ns = other.first_delivery_ns;
+                self.delay_min_ns = other.delay_min_ns;
+                self.delay_max_ns = other.delay_max_ns;
+                self.last_delay_ns = other.last_delay_ns;
+            } else {
+                self.first_delivery_ns = self.first_delivery_ns.min(other.first_delivery_ns);
+                self.delay_min_ns = self.delay_min_ns.min(other.delay_min_ns);
+                self.delay_max_ns = self.delay_max_ns.max(other.delay_max_ns);
+                if other.last_delivery_ns > self.last_delivery_ns {
+                    self.last_delay_ns = other.last_delay_ns;
+                }
+            }
+            self.last_delivery_ns = self.last_delivery_ns.max(other.last_delivery_ns);
+            self.delivered += other.delivered;
+            self.bytes_delivered += other.bytes_delivered;
+            self.delay_sum_ns += other.delay_sum_ns;
+            self.jitter_sum_ns += other.jitter_sum_ns;
+            self.jitter_samples += other.jitter_samples;
+            self.delay_hist.merge(&other.delay_hist);
+        }
+    }
+
     /// Mean end-to-end delay (ns).
     pub fn mean_delay_ns(&self) -> f64 {
         if self.delivered == 0 {
@@ -178,6 +217,39 @@ mod tests {
             s.router_dropped + s.link_dropped + s.loss_dropped
         );
         assert_eq!(s.drop_causes.get(DiscardCause::LinkDown), 2);
+    }
+
+    #[test]
+    fn absorb_merges_partial_accountings() {
+        // Shard A saw the emissions and a queue drop; shard B the
+        // deliveries.
+        let mut a = FlowStats::default();
+        for _ in 0..4 {
+            a.on_sent();
+        }
+        a.queue_dropped += 1;
+        a.on_discarded(DiscardCause::LinkDown);
+        let mut b = FlowStats::default();
+        b.on_delivered(1_000, 100, 200);
+        b.on_delivered(2_000, 300, 200);
+        let mut merged = FlowStats::default();
+        merged.absorb(&a);
+        merged.absorb(&b);
+        assert_eq!(merged.sent, 4);
+        assert_eq!(merged.delivered, 2);
+        assert_eq!(merged.queue_dropped, 1);
+        assert_eq!(merged.link_dropped, 1);
+        assert_eq!(merged.delay_min_ns, 100);
+        assert_eq!(merged.delay_max_ns, 300);
+        assert_eq!(merged.first_delivery_ns, 1_000);
+        assert_eq!(merged.last_delivery_ns, 2_000);
+        assert_eq!(merged.last_delay_ns(), Some(300));
+        assert_eq!(merged.mean_jitter_ns(), 200.0);
+        // Absorbing an empty part changes nothing.
+        let before = merged.delay_sum_ns;
+        merged.absorb(&FlowStats::default());
+        assert_eq!(merged.delay_sum_ns, before);
+        assert_eq!(merged.delivered, 2);
     }
 
     #[test]

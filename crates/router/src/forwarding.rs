@@ -129,6 +129,14 @@ impl CauseCounts {
     pub fn iter(&self) -> impl Iterator<Item = (DiscardCause, u64)> + '_ {
         DiscardCause::ALL.iter().map(move |&c| (c, self.get(c)))
     }
+
+    /// Adds another breakdown's counts into this one (merging partial
+    /// accountings kept by parallel engine shards).
+    pub fn merge(&mut self, other: &CauseCounts) {
+        for &c in DiscardCause::ALL.iter() {
+            *self.slot_mut(c) += other.get(c);
+        }
+    }
 }
 
 /// What the router decided to do with a packet.

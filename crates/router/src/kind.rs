@@ -1,0 +1,58 @@
+//! Router-model selection behind one constructor.
+//!
+//! Callers pick a [`RouterKind`] and get back a boxed [`MplsForwarder`]
+//! without matching on router internals — the simulator, benches and CLI
+//! all build nodes through [`RouterKind::build`], so adding a router
+//! model is a change to this crate alone.
+
+use crate::forwarding::MplsForwarder;
+use crate::{EmbeddedRouter, SoftwareRouter, SwTimingModel};
+use mpls_control::{NodeConfig, NodeId, RouterRole};
+use mpls_core::ClockSpec;
+
+/// Which router implementation populates a node.
+#[derive(Debug, Clone, Copy)]
+pub enum RouterKind {
+    /// The embedded (hardware-model) router at a given clock.
+    Embedded {
+        /// FPGA clock.
+        clock: ClockSpec,
+    },
+    /// Software router with hash-map lookups.
+    SoftwareHash {
+        /// Latency model.
+        timing: SwTimingModel,
+    },
+    /// Software router with linear-scan lookups.
+    SoftwareLinear {
+        /// Latency model.
+        timing: SwTimingModel,
+    },
+}
+
+impl RouterKind {
+    /// Instantiates a router of this kind for `node`, programmed with
+    /// `config`.
+    pub fn build(
+        &self,
+        node: NodeId,
+        role: RouterRole,
+        config: &NodeConfig,
+    ) -> Box<dyn MplsForwarder + Send> {
+        match *self {
+            RouterKind::Embedded { clock } => {
+                Box::new(EmbeddedRouter::new(node, role, config, clock))
+            }
+            RouterKind::SoftwareHash { timing } => {
+                Box::new(SoftwareRouter::<mpls_dataplane::HashTable>::new(
+                    node, role, config, timing,
+                ))
+            }
+            RouterKind::SoftwareLinear { timing } => {
+                Box::new(SoftwareRouter::<mpls_dataplane::LinearTable>::new(
+                    node, role, config, timing,
+                ))
+            }
+        }
+    }
+}

@@ -24,6 +24,7 @@
 
 pub mod embedded;
 pub mod forwarding;
+pub mod kind;
 pub mod pipeline;
 pub mod software;
 
@@ -31,5 +32,6 @@ pub use embedded::EmbeddedRouter;
 pub use forwarding::{
     Action, CauseCounts, DiscardCause, Forwarding, MplsForwarder, RouterStats, StageCycles,
 };
+pub use kind::RouterKind;
 pub use pipeline::RouterTables;
 pub use software::{SoftwareRouter, SwTimingModel};

@@ -124,6 +124,14 @@ impl Registry {
         self.hists[id.0 as usize].1.record(value);
     }
 
+    /// Merges an externally accumulated histogram into a registered one
+    /// (bucket layouts must match). This is how shard-local recordings
+    /// reach the registry: parallel engine shards buffer samples in their
+    /// own [`Histogram`]s and the coordinator folds them in afterwards.
+    pub fn hist_merge(&mut self, id: HistId, other: &Histogram) {
+        self.hists[id.0 as usize].1.merge(other);
+    }
+
     /// Offers one time-series point (subject to the sampling interval).
     #[inline]
     pub fn series_push(&mut self, id: SeriesId, t_ns: u64, value: f64) {
@@ -274,6 +282,20 @@ mod tests {
         assert_eq!(rep.histograms[0].p50, Some(100));
         assert_eq!(rep.events[0].name, "boot");
         assert_eq!(rep.spans[0].end_ns, Some(9));
+    }
+
+    #[test]
+    fn hist_merge_folds_external_samples_in() {
+        let mut r = Registry::default();
+        let h = r.histogram("lat", vec![10, 100]);
+        r.hist_record(h, 5);
+        let mut local = Histogram::new(vec![10, 100]);
+        local.record(50);
+        local.record(500);
+        r.hist_merge(h, &local);
+        assert_eq!(r.hist(h).total(), 3);
+        assert_eq!(r.hist(h).counts(), &[1, 1, 1]);
+        assert_eq!(r.hist(h).max(), Some(500));
     }
 
     #[test]

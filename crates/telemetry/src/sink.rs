@@ -33,6 +33,10 @@ pub trait TelemetrySink {
     fn gauge_set(&mut self, id: GaugeId, value: f64);
     /// Records a histogram sample.
     fn hist_record(&mut self, id: HistId, value: u64);
+    /// Merges an externally accumulated histogram into a registered one
+    /// (same bucket layout). Lets parallel shards buffer samples locally
+    /// and fold them in deterministically at a barrier.
+    fn hist_merge(&mut self, id: HistId, other: &Histogram);
     /// Offers a time-series point at simulation time `t_ns`.
     fn series_push(&mut self, id: SeriesId, t_ns: u64, value: f64);
 
@@ -84,6 +88,8 @@ impl TelemetrySink for NoopSink {
     #[inline(always)]
     fn hist_record(&mut self, _id: HistId, _value: u64) {}
     #[inline(always)]
+    fn hist_merge(&mut self, _id: HistId, _other: &Histogram) {}
+    #[inline(always)]
     fn series_push(&mut self, _id: SeriesId, _t_ns: u64, _value: f64) {}
 
     #[inline(always)]
@@ -130,6 +136,10 @@ impl TelemetrySink for Registry {
     #[inline]
     fn hist_record(&mut self, id: HistId, value: u64) {
         Registry::hist_record(self, id, value)
+    }
+    #[inline]
+    fn hist_merge(&mut self, id: HistId, other: &Histogram) {
+        Registry::hist_merge(self, id, other)
     }
     #[inline]
     fn series_push(&mut self, id: SeriesId, t_ns: u64, value: f64) {

@@ -1,7 +1,8 @@
-//! Vendored shim for the `rayon` crate. Implements the one pattern the
-//! workspace uses — `slice.par_iter().map(f).collect()` — on top of
-//! `std::thread::scope`, chunking the input across the machine's cores.
-//! Ordering of results matches the sequential iterator exactly.
+//! Vendored shim for the `rayon` crate. Implements the two patterns the
+//! workspace uses — `slice.par_iter().map(f).collect()` and
+//! `slice.par_iter_mut().for_each(f)` — on top of `std::thread::scope`,
+//! chunking the input across the machine's cores. Ordering of results
+//! matches the sequential iterator exactly.
 
 /// Borrowing parallel iteration over a collection.
 pub trait IntoParallelRefIterator<'data> {
@@ -91,8 +92,73 @@ impl<'data, T: Sync, F> ParMap<'data, T, F> {
     }
 }
 
+/// Mutably borrowing parallel iteration over a collection.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// Borrowed item type.
+    type Item: 'data;
+    /// The iterator produced.
+    type Iter;
+
+    /// A parallel iterator over `&mut self`'s items.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Item = &'data mut T;
+    type Iter = ParIterMut<'data, T>;
+
+    fn par_iter_mut(&'data mut self) -> ParIterMut<'data, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Item = &'data mut T;
+    type Iter = ParIterMut<'data, T>;
+
+    fn par_iter_mut(&'data mut self) -> ParIterMut<'data, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+/// A parallel iterator over mutable slice items.
+pub struct ParIterMut<'data, T> {
+    slice: &'data mut [T],
+}
+
+impl<T: Send> ParIterMut<'_, T> {
+    /// Applies `f` to every item, splitting the slice across threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        let n = self.slice.len();
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n.max(1));
+        if threads <= 1 || n <= 1 {
+            for item in self.slice {
+                f(item);
+            }
+            return;
+        }
+        let chunk = n.div_ceil(threads);
+        let f = &f;
+        std::thread::scope(|scope| {
+            for items in self.slice.chunks_mut(chunk) {
+                scope.spawn(move || {
+                    for item in items {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
 pub mod prelude {
-    pub use crate::IntoParallelRefIterator;
+    pub use crate::{IntoParallelRefIterator, IntoParallelRefMutIterator};
 }
 
 #[cfg(test)]
@@ -104,6 +170,18 @@ mod tests {
         let xs: Vec<u64> = (0..1000).collect();
         let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
         assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_mut_touches_every_item_in_place() {
+        let mut xs: Vec<u64> = (0..1000).collect();
+        xs.par_iter_mut().for_each(|x| *x *= 3);
+        assert_eq!(xs, (0..1000).map(|x| x * 3).collect::<Vec<_>>());
+        let mut empty: Vec<u32> = vec![];
+        empty.par_iter_mut().for_each(|x| *x += 1);
+        let mut one = [9u32];
+        one.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(one, [10]);
     }
 
     #[test]
