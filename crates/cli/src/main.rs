@@ -9,6 +9,9 @@
 //! mpls-sim run --shards <n> <scenario.json>
 //!                                       ... execute on <n> engine shards
 //!                                       (same report, less wall-clock)
+//! mpls-sim run --control <mode> <scenario.json>
+//!                                       ... force the control plane:
+//!                                       "centralized" or "ldp"
 //! mpls-sim validate <scenario.json>     parse + signal without running traffic
 //! mpls-sim example                      print the bundled example scenario
 //! ```
@@ -23,7 +26,7 @@ const EXAMPLE: &str = include_str!("../scenarios/example.json");
 fn usage() -> ExitCode {
     eprintln!(
         "usage: mpls-sim <run|validate> [--json] [--metrics-out <path>] [--shards <n>] \
-         <scenario.json> | mpls-sim example"
+         [--control <centralized|ldp>] <scenario.json> | mpls-sim example"
     );
     ExitCode::from(2)
 }
@@ -39,6 +42,7 @@ fn main() -> ExitCode {
             let mut json = false;
             let mut metrics_out: Option<String> = None;
             let mut shards: Option<usize> = None;
+            let mut control: Option<String> = None;
             let mut path: Option<String> = None;
             let mut rest = args.iter().skip(1);
             while let Some(arg) = rest.next() {
@@ -55,6 +59,13 @@ fn main() -> ExitCode {
                         Some(n) if n >= 1 => shards = Some(n),
                         _ => {
                             eprintln!("error: --shards needs a count >= 1");
+                            return usage();
+                        }
+                    },
+                    "--control" => match rest.next() {
+                        Some(m) => control = Some(m.clone()),
+                        None => {
+                            eprintln!("error: --control needs a mode (centralized or ldp)");
                             return usage();
                         }
                     },
@@ -92,7 +103,8 @@ fn main() -> ExitCode {
                     }
                 }
             } else {
-                let result = scenario.run_with_overrides(metrics_out.is_some(), shards);
+                let result =
+                    scenario.run_with_overrides(metrics_out.is_some(), shards, control.as_deref());
                 match result {
                     Ok(report) => {
                         if let Some(out) = &metrics_out {

@@ -6,6 +6,31 @@ use mpls_net::SimReport;
 pub fn format_report(report: &SimReport) -> String {
     let mut out = String::new();
     out.push_str(&format!(
+        "engine: {} shard{} ({} epochs, {} events), control: {}",
+        report.engine.shards,
+        if report.engine.shards == 1 { "" } else { "s" },
+        report.engine.epochs,
+        report.engine.total_events(),
+        report.control.mode,
+    ));
+    if let Some(conv) = report.control.convergence_ns {
+        out.push_str(&format!(" (converged in {:.2} ms)", conv as f64 / 1e6));
+    }
+    out.push('\n');
+    if report.control.mode == "ldp" {
+        out.push_str(&format!(
+            "  ldp: {} sessions up, {} expired, {} PDUs sent ({} delivered, {} lost), \
+             {} loop rejections\n",
+            report.control.sessions_established,
+            report.control.session_downs,
+            report.control.pdus_sent,
+            report.control.pdus_delivered,
+            report.control.pdus_lost,
+            report.control.loop_rejections,
+        ));
+    }
+    out.push('\n');
+    out.push_str(&format!(
         "{:<12} {:>8} {:>10} {:>8} {:>12} {:>12} {:>12} {:>10}\n",
         "flow", "sent", "delivered", "loss%", "delay p50", "delay p99", "jitter µs", "Mb/s"
     ));
@@ -110,6 +135,26 @@ mod tests {
         assert!(text.contains("->"));
         assert!(text.contains("utilized"));
         assert!(!text.contains("faults:"), "no fault section without faults");
+        assert!(text.contains("control: centralized"));
+        // Shard count follows MPLS_SIM_SHARDS, so only assert the shape.
+        assert!(text.starts_with("engine: "));
+        assert!(text.contains("epochs"));
+        assert!(!text.contains("ldp:"), "no ldp block on centralized runs");
+    }
+
+    #[test]
+    fn report_summarizes_ldp_control() {
+        let mut sc = Scenario::from_json(include_str!("../scenarios/example.json")).unwrap();
+        sc.control = Some("ldp".into());
+        for f in &mut sc.flows {
+            f.start_ms = 10;
+            f.stop_ms += 10;
+        }
+        sc.horizon_ms += 10;
+        let text = format_report(&sc.run().unwrap());
+        assert!(text.contains("control: ldp (converged in"));
+        assert!(text.contains("sessions up"));
+        assert!(text.contains("PDUs sent"));
     }
 
     #[test]

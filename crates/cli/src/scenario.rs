@@ -11,7 +11,7 @@ use mpls_dataplane::ftn::Prefix;
 use mpls_net::policer::PolicerSpec;
 use mpls_net::traffic::{FlowSpec, TrafficPattern};
 use mpls_net::{
-    FaultPlan, QueueDiscipline, RecoveryMode, RestorationPolicy, RouterKind, Simulation,
+    FaultPlan, LdpConfig, QueueDiscipline, RecoveryMode, RestorationPolicy, RouterKind, Simulation,
     TelemetryConfig,
 };
 use mpls_packet::ipv4::parse_addr;
@@ -90,6 +90,15 @@ pub struct Scenario {
     /// Runtime fault injection and restoration policy.
     #[serde(default)]
     pub faults: Option<FaultsDecl>,
+    /// Control plane: `"centralized"` (default, the omniscient solver
+    /// programs every node before t=0) or `"ldp"` (nodes discover labels
+    /// in-band by exchanging LDP PDUs over the simulated links;
+    /// `--control` overrides).
+    #[serde(default)]
+    pub control: Option<String>,
+    /// LDP protocol timers, used when the control mode is `"ldp"`.
+    #[serde(default)]
+    pub ldp: Option<LdpDecl>,
     /// Metrics collection. Omitting the section runs without telemetry
     /// (zero overhead); `--metrics-out` forces it on regardless.
     #[serde(default)]
@@ -243,6 +252,34 @@ fn five() -> u64 {
 }
 fn default_recovery() -> String {
     "restoration".into()
+}
+
+/// LDP timer section.
+#[derive(Debug, Clone, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct LdpDecl {
+    /// Hello/keepalive interval in microseconds (default 1000).
+    #[serde(default = "thousand")]
+    pub hello_interval_us: u64,
+    /// Session hold time in microseconds (default 3500). A session with
+    /// no PDU received for this long is torn down — this bounds failure
+    /// detection.
+    #[serde(default = "ldp_hold_us")]
+    pub hold_us: u64,
+}
+
+impl Default for LdpDecl {
+    /// Matches the serde field defaults (an empty `"ldp": {}` section).
+    fn default() -> Self {
+        Self {
+            hello_interval_us: thousand(),
+            hold_us: ldp_hold_us(),
+        }
+    }
+}
+
+fn ldp_hold_us() -> u64 {
+    3500
 }
 
 /// Telemetry section: turns on the instrument registry for the run and
@@ -660,33 +697,61 @@ impl Scenario {
         })
     }
 
+    /// Resolves the control mode: the `control_override` (the
+    /// `--control` flag) beats the scenario's `control` field, which
+    /// defaults to `"centralized"`. Returns true for `"ldp"`.
+    pub fn uses_ldp(&self, control_override: Option<&str>) -> Result<bool, ScenarioError> {
+        let mode = control_override
+            .or(self.control.as_deref())
+            .unwrap_or("centralized");
+        match mode.to_ascii_lowercase().as_str() {
+            "centralized" => Ok(false),
+            "ldp" => Ok(true),
+            other => Err(ScenarioError::Invalid(format!(
+                "unknown control mode {other:?} (use \"centralized\" or \"ldp\")"
+            ))),
+        }
+    }
+
+    /// The LDP timer configuration (scenario `ldp` section or defaults).
+    pub fn ldp_config(&self) -> LdpConfig {
+        let decl = self.ldp.clone().unwrap_or_default();
+        LdpConfig {
+            hello_interval_ns: decl.hello_interval_us * 1_000,
+            hold_ns: decl.hold_us * 1_000,
+        }
+    }
+
     /// Builds and runs the whole scenario. Telemetry is collected when
     /// the scenario's `telemetry` section asks for it.
     pub fn run(&self) -> Result<mpls_net::SimReport, ScenarioError> {
-        self.run_with(false, None)
+        self.run_with(false, None, None)
     }
 
     /// Like [`Self::run`], but collects telemetry even without a
     /// `telemetry` section (the `--metrics-out` path).
     pub fn run_with_telemetry(&self) -> Result<mpls_net::SimReport, ScenarioError> {
-        self.run_with(true, None)
+        self.run_with(true, None, None)
     }
 
     /// Like [`Self::run`], with the command-line overrides applied:
     /// `force_telemetry` for `--metrics-out`, `shards` for `--shards`
-    /// (which beats the scenario's own `shards` field).
+    /// (which beats the scenario's own `shards` field), `control` for
+    /// `--control` (which beats the scenario's `control` field).
     pub fn run_with_overrides(
         &self,
         force_telemetry: bool,
         shards: Option<usize>,
+        control: Option<&str>,
     ) -> Result<mpls_net::SimReport, ScenarioError> {
-        self.run_with(force_telemetry, shards)
+        self.run_with(force_telemetry, shards, control)
     }
 
     fn run_with(
         &self,
         force_telemetry: bool,
         shards_override: Option<usize>,
+        control_override: Option<&str>,
     ) -> Result<mpls_net::SimReport, ScenarioError> {
         let cp = self.build_control_plane()?;
         let mut sim =
@@ -701,6 +766,9 @@ impl Scenario {
             if let Some(hint) = n.shard {
                 sim.shard_hint(n.id, hint);
             }
+        }
+        if self.uses_ldp(control_override)? {
+            sim.enable_ldp(self.ldp_config());
         }
         if let Some(plan) = self.fault_plan(&cp)? {
             sim.set_fault_plan(plan);
@@ -883,10 +951,10 @@ mod tests {
     fn shard_overrides_do_not_change_the_report() {
         let sc = Scenario::from_json(FAULTY).unwrap();
         let baseline =
-            serde_json::to_string(&sc.run_with_overrides(false, Some(1)).unwrap()).unwrap();
+            serde_json::to_string(&sc.run_with_overrides(false, Some(1), None).unwrap()).unwrap();
         for shards in [2, 4] {
             let sharded =
-                serde_json::to_string(&sc.run_with_overrides(false, Some(shards)).unwrap())
+                serde_json::to_string(&sc.run_with_overrides(false, Some(shards), None).unwrap())
                     .unwrap();
             assert_eq!(baseline, sharded, "--shards {shards} diverged");
         }
@@ -911,6 +979,59 @@ mod tests {
             serde_json::to_string(&sc.run().unwrap()).unwrap(),
             "shard hints diverged"
         );
+    }
+
+    #[test]
+    fn control_mode_resolves_and_runs_ldp() {
+        let mut sc = Scenario::from_json(FAULTY).unwrap();
+        assert!(!sc.uses_ldp(None).unwrap(), "centralized by default");
+        assert!(sc.uses_ldp(Some("ldp")).unwrap(), "--control wins");
+        assert!(sc.uses_ldp(Some("warlock")).is_err());
+        sc.control = Some("ldp".into());
+        assert!(sc.uses_ldp(None).unwrap(), "scenario field works");
+        assert!(!sc.uses_ldp(Some("centralized")).unwrap(), "override wins");
+
+        // Give the protocol room to converge before traffic starts, then
+        // let it reconverge around FAULTY's north-path outage.
+        sc.flows[0].start_ms = 10;
+        sc.flows[0].stop_ms = 40;
+        sc.horizon_ms = 60;
+        let report = sc.run().expect("ldp scenario runs");
+        assert_eq!(report.control.mode, "ldp");
+        let conv = report.control.convergence_ns.expect("converged");
+        assert!(conv < 10_000_000, "{conv}");
+        assert!(report.control.sessions_established >= 6);
+        assert_eq!(report.faults.len(), 1);
+        assert!(
+            report.faults[0].restored_ns.is_some(),
+            "withdraw wave rerouted traffic"
+        );
+        let s = report.flow("cbr").unwrap();
+        assert!(s.delivered > 0);
+
+        // The same run under the centralized override must converge
+        // before t=0 (no control summary beyond the mode).
+        let central = sc
+            .run_with_overrides(false, None, Some("centralized"))
+            .unwrap();
+        assert_eq!(central.control.mode, "centralized");
+        assert!(central.control.convergence_ns.is_none());
+        assert!(central.fibs.is_none());
+    }
+
+    #[test]
+    fn ldp_timer_section_parses() {
+        let mut sc = Scenario::from_json(FAULTY).unwrap();
+        let cfg = sc.ldp_config();
+        assert_eq!(cfg.hello_interval_ns, 1_000_000);
+        assert_eq!(cfg.hold_ns, 3_500_000);
+        sc.ldp = Some(LdpDecl {
+            hello_interval_us: 200,
+            hold_us: 700,
+        });
+        let cfg = sc.ldp_config();
+        assert_eq!(cfg.hello_interval_ns, 200_000);
+        assert_eq!(cfg.hold_ns, 700_000);
     }
 
     #[test]

@@ -204,6 +204,13 @@ impl ControlPlane {
         });
     }
 
+    /// The locally attached prefixes declared so far, in declaration
+    /// order. A distributed control plane seeds its egress originations
+    /// from these instead of consulting the omniscient solver.
+    pub fn attached_routes(&self) -> &[IpRoute] {
+        &self.attached
+    }
+
     /// Unreserved bandwidth on `link` (zero while the link is failed).
     pub fn available_bandwidth(&self, link: LinkId) -> u64 {
         if self.failed_links.contains(&link) {

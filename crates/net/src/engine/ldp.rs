@@ -1,0 +1,352 @@
+//! The engine's half of the distributed control plane: schedules the
+//! fabric's PDUs over the simulated channels and folds its session
+//! events into fault detection, convergence timing and telemetry.
+//!
+//! The [`mpls_ldp::LdpFabric`] itself is passive and lives entirely on
+//! the coordinator; its PDUs travel as [`ControlEvent::LdpDeliver`]
+//! globals, so shard determinism holds trivially — shards never see the
+//! protocol, only the reprogrammed forwarding state between epochs.
+//!
+//! # Channel model
+//!
+//! Control PDUs ride a strict-priority control sub-channel of each
+//! link: they pay the link's serialization time (at its bandwidth) and
+//! propagation delay, transmit FIFO per channel (`busy_until` per
+//! direction — LDP relies on in-order delivery within a session), but
+//! do not contend with data packets for queue space. A PDU in flight
+//! across a failing channel is lost: delivery checks the channel's
+//! liveness generation, exactly like data packets.
+
+use super::Engine;
+use crate::event::{ControlEvent, SimTime};
+use crate::sim::ControlSummary;
+use mpls_control::{NodeConfig, NodeId};
+use mpls_ldp::{FecKey, LdpEvent, LdpFabric, LdpSend};
+use mpls_packet::LdpPdu;
+use mpls_telemetry::TelemetrySink;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// An LDP PDU on the wire.
+struct InFlightPdu {
+    from: NodeId,
+    to: NodeId,
+    /// Global channel index it is crossing.
+    chan: usize,
+    /// Channel liveness generation at transmit time; a mismatch at
+    /// delivery means the link failed (or flapped) underneath it.
+    gen: u64,
+    pdu: LdpPdu,
+    /// True for session/label messages (not hello/keepalive chatter):
+    /// while any is in flight the protocol has not settled.
+    protocol: bool,
+}
+
+/// Everything the engine tracks for a `--control ldp` run.
+pub(crate) struct LdpRuntime {
+    pub(crate) fabric: LdpFabric,
+    /// Hello/keepalive timer period.
+    tick_ns: u64,
+    /// In-flight PDU slots referenced by [`ControlEvent::LdpDeliver`].
+    msgs: Vec<Option<InFlightPdu>>,
+    free: Vec<usize>,
+    /// In-flight session/label messages.
+    live_protocol: usize,
+    /// When each channel's control sub-channel frees up (FIFO per
+    /// direction).
+    chan_busy: Vec<SimTime>,
+    /// Time of the last FIB change of the initial convergence, captured
+    /// once the protocol first settles and frozen by the first fault.
+    pub(crate) convergence_ns: Option<u64>,
+    /// Outstanding reconvergence measurements: `(fault record,
+    /// routed-pairs snapshot taken at the cut)`. Resolved at the first
+    /// settled instant whose routing covers the snapshot again.
+    pending_restore: Vec<(usize, BTreeSet<(NodeId, FecKey)>)>,
+    pub(crate) pdus_sent: u64,
+    pub(crate) pdus_delivered: u64,
+    pub(crate) pdus_lost: u64,
+}
+
+impl LdpRuntime {
+    pub(crate) fn new(fabric: LdpFabric, nchans: usize) -> Self {
+        let tick_ns = fabric.config().hello_interval_ns.max(1);
+        Self {
+            fabric,
+            tick_ns,
+            msgs: Vec::new(),
+            free: Vec::new(),
+            live_protocol: 0,
+            chan_busy: vec![0; nchans],
+            convergence_ns: None,
+            pending_restore: Vec::new(),
+            pdus_sent: 0,
+            pdus_delivered: 0,
+            pdus_lost: 0,
+        }
+    }
+
+    fn alloc_slot(&mut self, pdu: InFlightPdu) -> usize {
+        if let Some(i) = self.free.pop() {
+            self.msgs[i] = Some(pdu);
+            i
+        } else {
+            self.msgs.push(Some(pdu));
+            self.msgs.len() - 1
+        }
+    }
+}
+
+impl<S: TelemetrySink> Engine<S> {
+    /// The periodic protocol timer: hellos, keepalives, session
+    /// initiation and hold-timer expiry. Re-arms unconditionally — the
+    /// run ends at the horizon, not by queue drain, in ldp mode.
+    pub(super) fn on_ldp_tick(&mut self) {
+        let Some(mut rt) = self.ldp.take() else {
+            return;
+        };
+        let (sends, events) = rt.fabric.tick(self.now);
+        self.dispatch_ldp(&mut rt, sends);
+        self.process_ldp_events(&mut rt, events);
+        self.reprogram_ldp_dirty(&mut rt);
+        self.ldp_settle_check(&mut rt);
+        self.globals
+            .schedule(self.now + rt.tick_ns, ControlEvent::LdpTick);
+        self.ldp = Some(rt);
+    }
+
+    /// An LDP PDU arrives (or dies with the channel it was crossing).
+    pub(super) fn on_ldp_deliver(&mut self, msg: usize) {
+        let Some(mut rt) = self.ldp.take() else {
+            return;
+        };
+        let Some(inflight) = rt.msgs[msg].take() else {
+            self.ldp = Some(rt);
+            return;
+        };
+        rt.free.push(msg);
+        if inflight.protocol {
+            rt.live_protocol -= 1;
+        }
+        let st = self.chan_state[inflight.chan];
+        if !st.up || st.gen != inflight.gen {
+            rt.pdus_lost += 1;
+        } else {
+            rt.pdus_delivered += 1;
+            let (sends, events) =
+                rt.fabric
+                    .deliver(self.now, inflight.from, inflight.to, &inflight.pdu);
+            self.dispatch_ldp(&mut rt, sends);
+            self.process_ldp_events(&mut rt, events);
+            self.reprogram_ldp_dirty(&mut rt);
+        }
+        self.ldp_settle_check(&mut rt);
+        self.ldp = Some(rt);
+    }
+
+    /// Called from `on_link_down`: snapshot what was routable so the
+    /// settle check can tell when reconvergence has covered it again.
+    pub(super) fn ldp_note_link_down(&mut self, rec: usize) {
+        if let Some(rt) = &mut self.ldp {
+            let snapshot = rt.fabric.routed_pairs();
+            rt.pending_restore.push((rec, snapshot));
+        }
+    }
+
+    /// Transmits the fabric's outgoing PDUs: serialization at link
+    /// bandwidth, FIFO per channel, propagation delay, lost outright on
+    /// a dark channel.
+    fn dispatch_ldp(&mut self, rt: &mut LdpRuntime, sends: Vec<LdpSend>) {
+        for s in sends {
+            let Some(&chan) = self.chan_index.get(&(s.from, s.to)) else {
+                continue;
+            };
+            rt.pdus_sent += 1;
+            let st = self.chan_state[chan];
+            if !st.up {
+                rt.pdus_lost += 1;
+                continue;
+            }
+            let c = self.chan(chan);
+            let ser = c.serialization_ns(s.pdu.wire_len());
+            let start = self.now.max(rt.chan_busy[chan]);
+            let deliver = start + ser + c.delay_ns;
+            rt.chan_busy[chan] = start + ser;
+            let protocol = s.pdu.message.is_protocol_work();
+            if protocol {
+                rt.live_protocol += 1;
+            }
+            let slot = rt.alloc_slot(InFlightPdu {
+                from: s.from,
+                to: s.to,
+                chan,
+                gen: st.gen,
+                pdu: s.pdu,
+                protocol,
+            });
+            self.globals
+                .schedule(deliver, ControlEvent::LdpDeliver { msg: slot });
+        }
+    }
+
+    /// Session transitions: telemetry events, and a hold-timer expiry
+    /// on a physically dead link is this control plane's *detection* of
+    /// the fault.
+    fn process_ldp_events(&mut self, _rt: &mut LdpRuntime, events: Vec<LdpEvent>) {
+        for ev in events {
+            match ev {
+                LdpEvent::SessionUp { at, peer, link } => {
+                    if S::ENABLED {
+                        self.sink.event(
+                            self.now,
+                            "ldp_session_up",
+                            format!("{at}-{peer} link{link}"),
+                        );
+                    }
+                }
+                LdpEvent::SessionDown { at, peer, link } => {
+                    if S::ENABLED {
+                        self.sink.event(
+                            self.now,
+                            "ldp_session_down",
+                            format!("{at}-{peer} link{link}"),
+                        );
+                    }
+                    let [a, _] = self.channels_of(link);
+                    if self.chan(a).up {
+                        continue; // lossy-wire expiry, not an outage
+                    }
+                    if let Some(&rec) = self.fault_of_link.get(&link) {
+                        if self.records[rec].detected_ns.is_none() {
+                            self.records[rec].detected_ns = Some(self.now);
+                            if S::ENABLED {
+                                self.sink
+                                    .event(self.now, "fault_detected", format!("link{link}"));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Downloads fresh forwarding state into every node whose
+    /// FIB-relevant protocol state changed.
+    fn reprogram_ldp_dirty(&mut self, rt: &mut LdpRuntime) {
+        for id in rt.fabric.take_dirty() {
+            let cfg = rt.fabric.config_for(id);
+            for sh in &mut self.shards {
+                if let Some(&l) = sh.node_local.get(&id) {
+                    sh.nodes[l].reprogram(&cfg);
+                }
+            }
+        }
+    }
+
+    /// A settled instant: no session/label message is in flight, so no
+    /// further FIB change can occur without new stimulus (a timer
+    /// expiry or a link event). Convergence and reconvergence times
+    /// read the fabric's last-FIB-change clock here.
+    fn ldp_settle_check(&mut self, rt: &mut LdpRuntime) {
+        if rt.live_protocol > 0 {
+            return;
+        }
+        let settled_at = rt.fabric.last_fib_change_ns();
+        if self.records.is_empty() {
+            // Still fault-free: the protocol's own bring-up. Overwritten
+            // at every settled instant until the first fault freezes it.
+            rt.convergence_ns = Some(settled_at);
+        }
+        if rt.pending_restore.is_empty() {
+            return;
+        }
+        let routed = rt.fabric.routed_pairs();
+        let mut restored: Vec<(usize, SimTime)> = Vec::new();
+        rt.pending_restore.retain(|(rec, snapshot)| {
+            let r = &self.records[*rec];
+            if r.restored_ns.is_some() {
+                return false; // the link flapped back before detection
+            }
+            if r.detected_ns.is_none() {
+                return true; // sessions still running on borrowed time
+            }
+            if snapshot.is_subset(&routed) {
+                restored.push((*rec, settled_at.max(r.down_ns)));
+                return false;
+            }
+            true
+        });
+        for (rec, t) in restored {
+            self.records[rec].restored_ns = Some(t);
+            if S::ENABLED {
+                self.sink.event(
+                    t,
+                    "service_restored",
+                    format!("link{}", self.records[rec].link),
+                );
+                if let Some(span) = self.instr.fault_spans.remove(&rec) {
+                    self.sink.span_end(t, span);
+                }
+            }
+        }
+    }
+
+    /// Builds the report's control-plane summary and (in ldp mode) the
+    /// converged per-node FIBs, and exports the protocol's telemetry:
+    /// the bring-up convergence span, per-node session/label counters
+    /// and the reconvergence histogram.
+    pub(super) fn finish_control(
+        &mut self,
+    ) -> (ControlSummary, Option<BTreeMap<NodeId, NodeConfig>>) {
+        let Some(rt) = &self.ldp else {
+            return (ControlSummary::default(), None);
+        };
+        let stats = rt.fabric.stats();
+        let summary = ControlSummary {
+            mode: "ldp".into(),
+            convergence_ns: rt.convergence_ns,
+            sessions_established: stats.sessions_established,
+            session_downs: stats.session_downs,
+            pdus_sent: rt.pdus_sent,
+            pdus_delivered: rt.pdus_delivered,
+            pdus_lost: rt.pdus_lost,
+            loop_rejections: stats.loop_rejections,
+        };
+        let fibs: BTreeMap<NodeId, NodeConfig> = rt
+            .fabric
+            .node_ids()
+            .into_iter()
+            .map(|id| (id, rt.fabric.config_for(id)))
+            .collect();
+        if S::ENABLED {
+            if let Some(t) = rt.convergence_ns {
+                let span = self.sink.span_begin(0, "ldp.convergence");
+                self.sink.span_end(t, span);
+            }
+            // 1 µs .. ~1 s in octaves, same scale as the latency
+            // histograms.
+            let bounds: Vec<u64> = (0..21).map(|i| 1000u64 << i).collect();
+            let hist = self.sink.histogram("ldp.reconverge_ns", bounds);
+            for r in &self.records {
+                if let Some(ttr) = r.time_to_restore_ns() {
+                    self.sink.hist_record(hist, ttr);
+                }
+            }
+            let per_node: Vec<(NodeId, mpls_ldp::LdpNodeStats)> =
+                rt.fabric.node_stats().map(|(id, s)| (id, *s)).collect();
+            for (id, s) in per_node {
+                for (name, value) in [
+                    ("pdus_rx", s.pdus_rx),
+                    ("mappings_rx", s.mappings_rx),
+                    ("withdraws_rx", s.withdraws_rx),
+                    ("releases_rx", s.releases_rx),
+                    ("loop_rejections", s.loop_rejections),
+                    ("session_ups", s.session_ups),
+                    ("session_downs", s.session_downs),
+                ] {
+                    let c = self.sink.counter(&format!("node{id}.ldp.{name}"));
+                    self.sink.counter_add(c, value);
+                }
+            }
+        }
+        (summary, Some(fibs))
+    }
+}

@@ -22,9 +22,12 @@
 //! (per-flow gap RNGs, per-channel loss RNGs), a run's [`SimReport`]
 //! and telemetry export are byte-identical for any `--shards` value.
 
+mod ldp;
 mod partition;
 mod shard;
 mod wheel;
+
+pub(crate) use ldp::LdpRuntime;
 
 use crate::event::{ControlEvent, EventQueue, SimTime};
 use crate::fault::{FaultRecord, RecoveryMode, RestorationPolicy};
@@ -114,6 +117,7 @@ pub(crate) struct EngineParts<S> {
     pub instr: SimInstruments,
     pub shards: usize,
     pub hints: HashMap<NodeId, usize>,
+    pub ldp: Option<LdpRuntime>,
 }
 
 /// The coordinator: owns the shards, the global event queue, the
@@ -141,6 +145,9 @@ pub(crate) struct Engine<S: TelemetrySink> {
     /// straggler losses still attribute to the right outage).
     fault_of_link: HashMap<LinkId, usize>,
     pending: Vec<PendingResignal>,
+    /// Present on `--control ldp` runs: the distributed control plane
+    /// and its in-flight PDUs (see [`ldp`]).
+    ldp: Option<LdpRuntime>,
     sink: S,
     instr: SimInstruments,
     epochs: u64,
@@ -236,6 +243,7 @@ impl<S: TelemetrySink> Engine<S> {
             outstanding: Vec::new(),
             fault_of_link: HashMap::new(),
             pending: Vec::new(),
+            ldp: parts.ldp,
             sink: parts.sink,
             instr: parts.instr,
             epochs: 0,
@@ -336,6 +344,8 @@ impl<S: TelemetrySink> Engine<S> {
             ControlEvent::HoldDownExpired { link } => self.on_hold_down_expired(link),
             ControlEvent::TeardownLsp { lsp } => self.on_teardown_lsp(lsp),
             ControlEvent::TelemetrySample => self.on_telemetry_sample(),
+            ControlEvent::LdpTick => self.on_ldp_tick(),
+            ControlEvent::LdpDeliver { msg } => self.on_ldp_deliver(msg),
         }
     }
 
@@ -483,7 +493,11 @@ impl<S: TelemetrySink> Engine<S> {
                 self.count_fault_loss(link, p.flow);
             }
         }
-        if self.policy.mode != RecoveryMode::None {
+        if self.ldp.is_some() {
+            // Distributed mode: detection is the session hold-timer, and
+            // recovery is the protocol's own withdraw/remap cascade.
+            self.ldp_note_link_down(rec);
+        } else if self.policy.mode != RecoveryMode::None {
             self.globals.schedule(
                 self.now + self.policy.detection_delay_ns,
                 ControlEvent::FaultDetected { link },
@@ -512,9 +526,10 @@ impl<S: TelemetrySink> Engine<S> {
             // detection delay, or no recovery configured): the stale
             // forwarding state simply works again.
             self.set_restored(rec);
-        } else {
+        } else if self.ldp.is_none() {
             // Detection fired, so the control plane has the link marked
-            // failed; hold it down before reusing it.
+            // failed; hold it down before reusing it. (In ldp mode the
+            // link returns to service by session re-formation instead.)
             self.globals.schedule(
                 self.now + self.policy.hold_down_ns,
                 ControlEvent::HoldDownExpired { link },
@@ -807,6 +822,7 @@ impl<S: TelemetrySink> Engine<S> {
                 }
             }
         }
+        let (control, fibs) = self.finish_control();
         self.finalize_telemetry();
         let mut stats = vec![FlowStats::default(); self.flows.len()];
         for sh in &self.shards {
@@ -860,6 +876,8 @@ impl<S: TelemetrySink> Engine<S> {
             elapsed_ns: self.now,
             telemetry,
             engine,
+            control,
+            fibs,
         }
     }
 }

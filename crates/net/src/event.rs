@@ -59,6 +59,16 @@ pub enum ControlEvent {
     /// and only re-armed while other work is pending, so it never keeps
     /// an otherwise-finished run alive.
     TelemetrySample,
+    /// The distributed control plane's hello/keepalive timer fires:
+    /// every LDP speaker emits its periodic PDUs and expires silent
+    /// sessions. Only scheduled when the run uses `--control ldp`.
+    LdpTick,
+    /// An in-flight LDP PDU reaches the far end of its channel.
+    LdpDeliver {
+        /// Slot in the engine's in-flight PDU table (the payload lives
+        /// there so this event stays `Copy`).
+        msg: usize,
+    },
 }
 
 struct Entry<K> {

@@ -33,6 +33,11 @@ pub enum RecoveryMode {
     /// standby backup in one detection delay. LSPs without a viable
     /// backup fall back to restoration.
     Protection,
+    /// The distributed control plane (`mpls-ldp`) recovers on its own:
+    /// session hold-timer expiry detects the failure, withdraws cascade
+    /// and the remaining mappings reconverge. The centralized detection/
+    /// re-signal/hold-down machinery stands down.
+    Ldp,
 }
 
 /// Timing model for failure detection and recovery.

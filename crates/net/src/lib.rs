@@ -39,7 +39,7 @@ pub use link::Channel;
 pub use node::{ForwarderNode, Node};
 pub use policer::{PolicerSpec, TokenBucket};
 pub use queue::{LinkQueue, QueueDiscipline};
-pub use sim::{RouterKind, SimReport, Simulation};
+pub use sim::{ControlSummary, RouterKind, SimReport, Simulation};
 pub use stats::{FlowId, FlowStats};
 pub use traffic::{FlowSpec, TrafficPattern};
 
@@ -49,3 +49,7 @@ pub use mpls_telemetry::{
     telemetry_to_csv, telemetry_to_json, NoopSink, Registry, TelemetryConfig, TelemetryReport,
     TelemetrySink,
 };
+
+// Distributed-control-plane configuration, re-exported for the same
+// reason: `Simulation::enable_ldp` takes it.
+pub use mpls_ldp::LdpConfig;

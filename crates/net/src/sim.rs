@@ -21,7 +21,7 @@
 //! telemetry export — is byte-identical at any shard count; sharding is
 //! purely a wall-clock optimization. See [`crate::engine`].
 
-use crate::engine::{stream_seed, Engine, EngineParts, EngineStats};
+use crate::engine::{stream_seed, Engine, EngineParts, EngineStats, LdpRuntime};
 use crate::event::{ControlEvent, EventQueue, SimTime};
 use crate::fault::{FaultKind, FaultPlan, FaultRecord, RestorationPolicy};
 use crate::link::Channel;
@@ -29,7 +29,8 @@ use crate::node::{ForwarderNode, Node};
 use crate::queue::QueueDiscipline;
 use crate::stats::{FlowId, FlowStats};
 use crate::traffic::FlowSpec;
-use mpls_control::{ControlPlane, LinkId, NodeId};
+use mpls_control::{ControlPlane, LinkId, NodeConfig, NodeId};
+use mpls_ldp::{LdpConfig, LdpFabric};
 use mpls_packet::{EtherType, EthernetFrame, Ipv4Header, MacAddr, MplsPacket};
 pub use mpls_router::RouterKind;
 use mpls_router::RouterStats;
@@ -87,6 +88,48 @@ pub struct LinkUsage {
     pub utilization: f64,
 }
 
+/// How the run's control plane behaved. For the default centralized
+/// solver the mode string is all there is to say; on a `--control ldp`
+/// run the protocol's global counters and convergence time fill in.
+/// All values derive from coordinator-level events only, so the summary
+/// is shard-invariant and safe to serialize.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ControlSummary {
+    /// `"centralized"` or `"ldp"`.
+    pub mode: String,
+    /// When the fault-free bring-up last changed any FIB — the initial
+    /// convergence time. `None` for centralized runs (bindings exist
+    /// before t=0) and for ldp runs that never settled.
+    pub convergence_ns: Option<u64>,
+    /// Sessions that reached `Operational` (each end counts one).
+    pub sessions_established: u64,
+    /// Sessions torn down by hold-timer expiry.
+    pub session_downs: u64,
+    /// Control PDUs handed to the wire.
+    pub pdus_sent: u64,
+    /// Control PDUs that arrived.
+    pub pdus_delivered: u64,
+    /// Control PDUs lost to dark or failing channels.
+    pub pdus_lost: u64,
+    /// Label mappings discarded by path-vector loop detection.
+    pub loop_rejections: u64,
+}
+
+impl Default for ControlSummary {
+    fn default() -> Self {
+        Self {
+            mode: "centralized".into(),
+            convergence_ns: None,
+            sessions_established: 0,
+            session_downs: 0,
+            pdus_sent: 0,
+            pdus_delivered: 0,
+            pdus_lost: 0,
+            loop_rejections: 0,
+        }
+    }
+}
+
 /// The outcome of a run.
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct SimReport {
@@ -113,6 +156,15 @@ pub struct SimReport {
     /// from serialization: the simulation outcome is shard-invariant.
     #[serde(skip)]
     pub engine: EngineStats,
+    /// Control-plane mode and (for ldp) protocol counters and
+    /// convergence time. Shard-invariant, so it serializes.
+    pub control: ControlSummary,
+    /// The converged per-node forwarding configurations of an ldp run,
+    /// for fixed-point comparison against the centralized solver.
+    /// `None` on centralized runs; not serialized (`NodeConfig` is an
+    /// in-memory programming artifact, not a report row).
+    #[serde(skip)]
+    pub fibs: Option<BTreeMap<NodeId, NodeConfig>>,
 }
 
 impl SimReport {
@@ -181,6 +233,8 @@ pub struct Simulation<S: TelemetrySink = NoopSink> {
     instr: SimInstruments,
     requested_shards: Option<usize>,
     shard_hints: HashMap<NodeId, usize>,
+    /// Present when the run uses the distributed control plane.
+    ldp: Option<LdpRuntime>,
 }
 
 impl Simulation {
@@ -238,6 +292,7 @@ impl Simulation {
             instr: SimInstruments::default(),
             requested_shards: None,
             shard_hints: HashMap::new(),
+            ldp: None,
         }
     }
 
@@ -277,6 +332,7 @@ impl Simulation {
             instr,
             requested_shards: self.requested_shards,
             shard_hints: self.shard_hints,
+            ldp: self.ldp,
         };
         for flow in 0..sim.flows.len() {
             sim.register_flow_instruments(flow);
@@ -312,6 +368,11 @@ impl<S: TelemetrySink> Simulation<S> {
     /// detection and recovery.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         self.policy = plan.policy;
+        // A distributed-control run recovers via the protocol no matter
+        // what the plan's policy says (call order must not matter).
+        if self.ldp.is_some() {
+            self.policy.mode = crate::fault::RecoveryMode::Ldp;
+        }
         for ev in &plan.events {
             match ev.kind {
                 FaultKind::LinkDown(link) => self
@@ -329,6 +390,39 @@ impl<S: TelemetrySink> Simulation<S> {
                 }
             }
         }
+    }
+
+    /// Switches the run to the distributed control plane: the routers'
+    /// centrally solved forwarding state is wiped and an [`LdpFabric`]
+    /// takes over. Every established LSP's FEC is re-expressed as an
+    /// egress origination (plus every attached route), so the protocol
+    /// must discover the same reachability by exchanging label mapping
+    /// PDUs in-band over the simulated links. Traffic started at t=0
+    /// therefore blackholes until sessions form and mappings arrive —
+    /// that window *is* the convergence time the report measures.
+    ///
+    /// The restoration policy switches to [`RecoveryMode::Ldp`]: link
+    /// faults are detected by session hold-timer expiry and repaired by
+    /// withdraw/re-advertise waves, not by the centralized solver.
+    pub fn enable_ldp(&mut self, cfg: LdpConfig) {
+        let mut fabric = LdpFabric::new(self.cp.topology(), cfg);
+        for id in self.cp.lsp_ids() {
+            let req = &self.cp.lsp(id).expect("listed lsp exists").request;
+            fabric.originate(req.egress, req.fec, req.cos);
+        }
+        for route in self.cp.attached_routes() {
+            fabric.originate(route.node, route.prefix, mpls_packet::CosBits::BEST_EFFORT);
+        }
+        self.policy.mode = crate::fault::RecoveryMode::Ldp;
+        // Strip the omniscient programming: nodes start with only their
+        // locally originated state and learn the rest over the wire.
+        for node in &mut self.nodes {
+            let cfg = fabric.config_for(node.id());
+            node.reprogram(&cfg);
+        }
+        fabric.take_dirty();
+        self.globals.schedule(0, ControlEvent::LdpTick);
+        self.ldp = Some(LdpRuntime::new(fabric, self.channels.len()));
     }
 
     /// Registers a flow; its first packet is emitted at `spec.start_ns`.
@@ -400,6 +494,7 @@ impl<S: TelemetrySink> Simulation<S> {
             instr: self.instr,
             shards,
             hints: self.shard_hints,
+            ldp: self.ldp,
         })
         .run(horizon_ns)
     }
@@ -921,6 +1016,146 @@ mod tests {
         // Start/end trace events frame the run.
         assert_eq!(tel.events.first().unwrap().name, "telemetry_start");
         assert_eq!(tel.events.last().unwrap().name, "telemetry_end");
+    }
+
+    #[test]
+    fn ldp_control_converges_then_delivers() {
+        let cp = plane_with_lsp();
+        let mut sim = Simulation::build(
+            &cp,
+            RouterKind::Embedded {
+                clock: ClockSpec::STRATIX_50MHZ,
+            },
+            QueueDiscipline::Fifo { capacity: 64 },
+            1,
+        );
+        sim.enable_ldp(mpls_ldp::LdpConfig::default());
+        // Start well after the protocol should have converged.
+        let mut f = cbr_flow("cbr", 100_000);
+        f.start_ns = 10_000_000;
+        f.stop_ns = 20_000_000;
+        sim.add_flow(f);
+        let report = sim.run(30_000_000);
+
+        assert_eq!(report.control.mode, "ldp");
+        let conv = report.control.convergence_ns.expect("protocol converged");
+        assert!(conv < 10_000_000, "converged late: {conv} ns");
+        // Three bidirectional adjacencies on the north path alone; every
+        // session counts both ends.
+        assert!(report.control.sessions_established >= 6);
+        assert_eq!(report.control.session_downs, 0);
+        assert!(report.control.pdus_delivered > 0);
+        let s = report.flow("cbr").unwrap();
+        assert_eq!(s.delivered, s.sent, "post-convergence traffic delivers");
+        let fibs = report.fibs.as_ref().expect("ldp run exposes its FIBs");
+        assert_eq!(fibs.len(), cp.topology().nodes().len());
+    }
+
+    #[test]
+    fn ldp_reconverges_around_a_link_fault() {
+        let cp = plane_with_lsp();
+        let mut sim = Simulation::build(
+            &cp,
+            RouterKind::Embedded {
+                clock: ClockSpec::STRATIX_50MHZ,
+            },
+            QueueDiscipline::Fifo { capacity: 64 },
+            1,
+        );
+        sim.enable_ldp(mpls_ldp::LdpConfig::default());
+        // Cut the north path for good: the withdraw cascade must flip
+        // traffic onto the south path with no centralized help. (The
+        // plan's policy mode is deliberately not Ldp — set_fault_plan
+        // must override it for a distributed run.)
+        let north = cp.topology().link_between(2, 3).unwrap();
+        let mut plan = crate::fault::FaultPlan::default();
+        plan.link_down(20_000_000, north);
+        sim.set_fault_plan(plan);
+        let mut f = cbr_flow("cbr", 100_000);
+        f.start_ns = 10_000_000;
+        f.stop_ns = 50_000_000;
+        sim.add_flow(f);
+        let report = sim.run(80_000_000);
+
+        assert_eq!(report.faults.len(), 1);
+        let rec = &report.faults[0];
+        assert_eq!(rec.mode, crate::fault::RecoveryMode::Ldp);
+        assert_eq!(rec.down_ns, 20_000_000);
+        let det = rec.detected_ns.expect("hold-timer expiry detected the cut");
+        let hold = mpls_ldp::LdpConfig::default().hold_ns;
+        assert!(det > 20_000_000, "detection follows the failure");
+        assert!(
+            det <= 20_000_000 + 2 * hold,
+            "detection within two hold times: {det}"
+        );
+        let restored = rec.restored_ns.expect("withdraw wave reconverged");
+        assert!(restored >= det);
+        assert!(restored < 50_000_000, "reconverged while traffic ran");
+        assert!(report.control.session_downs >= 2, "both ends expired");
+
+        let s = report.flow("cbr").unwrap();
+        assert!(s.link_dropped > 0, "stale FIB blackholed into the cut");
+        assert_eq!(
+            s.sent,
+            s.delivered + s.link_dropped + s.router_dropped,
+            "every loss is accounted to a cause"
+        );
+        // Traffic emitted after restoration rides the south path.
+        let south_leg = report
+            .links
+            .iter()
+            .find(|l| l.from == 4 && l.to == 5)
+            .unwrap();
+        assert!(south_leg.transmitted > 0, "south path carries traffic");
+    }
+
+    #[test]
+    fn ldp_sharded_run_is_byte_identical_to_sequential() {
+        let cp = plane_with_lsp();
+        let run = |shards: usize| {
+            let mut sim = Simulation::build(
+                &cp,
+                RouterKind::Embedded {
+                    clock: ClockSpec::STRATIX_50MHZ,
+                },
+                QueueDiscipline::Fifo { capacity: 16 },
+                42,
+            );
+            sim.set_shards(shards);
+            sim.enable_ldp(mpls_ldp::LdpConfig::default());
+            let north = cp.topology().link_between(2, 3).unwrap();
+            let mut plan = crate::fault::FaultPlan::default();
+            plan.outage(north, 20_000_000, 35_000_000);
+            plan.random_loss(north, 0.05);
+            sim.set_fault_plan(plan);
+            let mut f = cbr_flow("cbr", 100_000);
+            f.start_ns = 10_000_000;
+            f.stop_ns = 40_000_000;
+            sim.add_flow(f);
+            let mut pois = cbr_flow("pois", 0);
+            pois.pattern = crate::traffic::TrafficPattern::Poisson {
+                mean_interval_ns: 250_000,
+            };
+            pois.start_ns = 10_000_000;
+            pois.stop_ns = 40_000_000;
+            sim.add_flow(pois);
+            let sim = sim.with_telemetry(TelemetryConfig {
+                sample_interval_ns: 100_000,
+                ..TelemetryConfig::default()
+            });
+            let report = sim.run(60_000_000);
+            (
+                report.engine.shards,
+                serde_json::to_string(&report).expect("report serializes"),
+            )
+        };
+        let (n1, seq) = run(1);
+        assert_eq!(n1, 1);
+        for shards in [2, 4] {
+            let (n, par) = run(shards);
+            assert!(n > 1, "figure-1 topology supports {shards} shards");
+            assert_eq!(seq, par, "{shards}-shard ldp run diverged");
+        }
     }
 
     #[test]

@@ -35,6 +35,31 @@ pub enum PacketError {
         /// Zero-based depth at which the stray S bit was found.
         depth: usize,
     },
+    /// An LDP PDU with a protocol version other than [`crate::ldp::LDP_VERSION`].
+    BadLdpVersion(u16),
+    /// An LDP PDU advertising a label space other than the platform-wide
+    /// space 0.
+    BadLdpLabelSpace(u16),
+    /// An LDP message whose type code is not one we implement.
+    UnknownLdpMessage(u16),
+    /// An LDP length field that disagrees with the bytes actually present.
+    BadLdpLength {
+        /// Which length field lied.
+        what: &'static str,
+        /// The value the field declared.
+        declared: usize,
+        /// The length implied by the buffer.
+        actual: usize,
+    },
+    /// An LDP FEC element with a prefix length above 32.
+    BadLdpFecLength(u8),
+    /// An LDP path vector longer than [`crate::ldp::MAX_PATH_VECTOR`].
+    LdpPathVectorTooLong {
+        /// Declared hop count.
+        len: usize,
+        /// Maximum accepted.
+        max: usize,
+    },
 }
 
 impl fmt::Display for PacketError {
@@ -60,6 +85,23 @@ impl fmt::Display for PacketError {
                     f,
                     "bottom-of-stack bit set at depth {depth} before the bottom"
                 )
+            }
+            Self::BadLdpVersion(v) => write!(f, "LDP version {v} is not supported"),
+            Self::BadLdpLabelSpace(s) => {
+                write!(f, "LDP label space {s} is not the platform-wide space 0")
+            }
+            Self::UnknownLdpMessage(t) => write!(f, "unknown LDP message type {t:#06x}"),
+            Self::BadLdpLength {
+                what,
+                declared,
+                actual,
+            } => write!(
+                f,
+                "LDP {what} declares {declared} bytes but {actual} follow"
+            ),
+            Self::BadLdpFecLength(l) => write!(f, "LDP FEC prefix length {l} exceeds 32"),
+            Self::LdpPathVectorTooLong { len, max } => {
+                write!(f, "LDP path vector of {len} hops exceeds the cap of {max}")
             }
         }
     }

@@ -1,0 +1,455 @@
+//! LDP protocol data units: the wire format of the in-band label
+//! distribution control plane (`mpls-ldp`).
+//!
+//! The layout follows RFC 5036 in miniature — a fixed PDU header
+//! carrying the sender's LSR id, then exactly one message — with the
+//! TLV machinery collapsed into fixed bodies per message type:
+//!
+//! ```text
+//!  0      2      4           8       10      12     14          18
+//! +------+------+-----------+-------+-------+------+-----------+----
+//! | ver  | plen |  lsr id   | space | mtype | mlen |  msg id   | body
+//! +------+------+-----------+-------+-------+------+-----------+----
+//! ```
+//!
+//! `plen` counts every byte after itself, `mlen` every byte after
+//! itself (both big-endian, as is the whole encoding). Label mapping
+//! messages carry the advertised FEC element, the binding label, the
+//! advertiser's cumulative cost to the FEC's egress, and the path
+//! vector used for loop detection (RFC 5036 §2.8); withdraw and
+//! release carry the FEC element and label only. Encode/decode
+//! round-trip exactly and malformed buffers are rejected with a
+//! [`PacketError`], never a panic — see the property tests in
+//! `tests/ldp_properties.rs`.
+
+use crate::{Label, PacketError};
+
+/// LDP protocol version encoded in every PDU.
+pub const LDP_VERSION: u16 = 1;
+
+/// Longest path vector a mapping may carry. Loop detection discards
+/// mappings before they grow anywhere near this, so the cap only guards
+/// the decoder against absurd length fields.
+pub const MAX_PATH_VECTOR: usize = 255;
+
+/// Fixed header bytes before the message: version, PDU length, LSR id,
+/// label space.
+const PDU_HEADER: usize = 10;
+/// Message type, message length, message id.
+const MSG_HEADER: usize = 8;
+/// FEC element: prefix address + prefix length.
+const FEC_BYTES: usize = 5;
+
+const MSG_HELLO: u16 = 0x0100;
+const MSG_INIT: u16 = 0x0200;
+const MSG_KEEPALIVE: u16 = 0x0201;
+const MSG_MAPPING: u16 = 0x0400;
+const MSG_WITHDRAW: u16 = 0x0402;
+const MSG_RELEASE: u16 = 0x0403;
+
+/// One FEC prefix element as carried on the wire.
+///
+/// `mpls-packet` sits below the data-plane crates, so this is its own
+/// five-byte (address, length) pair rather than a reuse of the FTN
+/// `Prefix` type. `len` must be at most 32; the decoder rejects larger
+/// values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LdpFec {
+    /// Network-order prefix address.
+    pub addr: u32,
+    /// Prefix length in bits, `0..=32`.
+    pub len: u8,
+}
+
+/// The message inside an LDP PDU.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LdpMessage {
+    /// Link hello: discovers and refreshes the adjacency. Carries the
+    /// hold time after which the adjacency expires without another
+    /// hello.
+    Hello {
+        /// Adjacency hold time in nanoseconds.
+        hold_ns: u64,
+    },
+    /// Session initialization (the active peer opens, the passive peer
+    /// echoes). Carries the proposed keepalive hold time.
+    Initialization {
+        /// Session keepalive hold time in nanoseconds.
+        keepalive_ns: u64,
+    },
+    /// Session keepalive: refreshes the hold timer when there is
+    /// nothing else to say.
+    KeepAlive,
+    /// Downstream-unsolicited label mapping: "label `label` reaches
+    /// `fec` through me at cost `cost`".
+    LabelMapping {
+        /// The advertised FEC.
+        fec: LdpFec,
+        /// The advertiser's label for the FEC (from its own space).
+        label: Label,
+        /// Cumulative link cost from the advertiser to the FEC egress.
+        cost: u64,
+        /// Path vector: the LSR ids the binding traversed, egress last.
+        /// A receiver finding itself here discards the mapping.
+        path: Vec<u32>,
+    },
+    /// The advertiser revokes a mapping previously sent.
+    LabelWithdraw {
+        /// The withdrawn FEC.
+        fec: LdpFec,
+        /// The label being withdrawn.
+        label: Label,
+    },
+    /// The receiver of a mapping returns it (loop detected, or
+    /// acknowledging a withdraw).
+    LabelRelease {
+        /// The released FEC.
+        fec: LdpFec,
+        /// The label being released.
+        label: Label,
+    },
+}
+
+impl LdpMessage {
+    fn type_code(&self) -> u16 {
+        match self {
+            Self::Hello { .. } => MSG_HELLO,
+            Self::Initialization { .. } => MSG_INIT,
+            Self::KeepAlive => MSG_KEEPALIVE,
+            Self::LabelMapping { .. } => MSG_MAPPING,
+            Self::LabelWithdraw { .. } => MSG_WITHDRAW,
+            Self::LabelRelease { .. } => MSG_RELEASE,
+        }
+    }
+
+    fn body_len(&self) -> usize {
+        match self {
+            Self::Hello { .. } | Self::Initialization { .. } => 8,
+            Self::KeepAlive => 0,
+            Self::LabelMapping { path, .. } => FEC_BYTES + 4 + 8 + 2 + 4 * path.len(),
+            Self::LabelWithdraw { .. } | Self::LabelRelease { .. } => FEC_BYTES + 4,
+        }
+    }
+
+    /// True for session-forming and label-distribution messages — the
+    /// ones whose in-flight presence means the protocol has not yet
+    /// converged. Hellos and keepalives are steady-state chatter.
+    pub fn is_protocol_work(&self) -> bool {
+        !matches!(self, Self::Hello { .. } | Self::KeepAlive)
+    }
+}
+
+/// One LDP PDU: the sending LSR plus a single message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LdpPdu {
+    /// The sender's LSR id (its node id).
+    pub lsr_id: u32,
+    /// Per-sender message sequence number.
+    pub msg_id: u32,
+    /// The message.
+    pub message: LdpMessage,
+}
+
+impl LdpPdu {
+    /// Bytes this PDU occupies on the wire.
+    pub fn wire_len(&self) -> usize {
+        PDU_HEADER + MSG_HEADER + self.message.body_len()
+    }
+
+    /// Encodes the PDU, big-endian throughout.
+    ///
+    /// # Panics
+    ///
+    /// If a mapping's path vector exceeds [`MAX_PATH_VECTOR`]; loop
+    /// detection bounds real path vectors by the network diameter.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        let body_len = self.message.body_len();
+        out.extend_from_slice(&LDP_VERSION.to_be_bytes());
+        // PDU length: everything after the length field itself.
+        out.extend_from_slice(&((6 + MSG_HEADER + body_len) as u16).to_be_bytes());
+        out.extend_from_slice(&self.lsr_id.to_be_bytes());
+        out.extend_from_slice(&0u16.to_be_bytes()); // platform-wide label space
+        out.extend_from_slice(&self.message.type_code().to_be_bytes());
+        // Message length: everything after the length field itself.
+        out.extend_from_slice(&((4 + body_len) as u16).to_be_bytes());
+        out.extend_from_slice(&self.msg_id.to_be_bytes());
+        match &self.message {
+            LdpMessage::Hello { hold_ns } => out.extend_from_slice(&hold_ns.to_be_bytes()),
+            LdpMessage::Initialization { keepalive_ns } => {
+                out.extend_from_slice(&keepalive_ns.to_be_bytes())
+            }
+            LdpMessage::KeepAlive => {}
+            LdpMessage::LabelMapping {
+                fec,
+                label,
+                cost,
+                path,
+            } => {
+                assert!(
+                    path.len() <= MAX_PATH_VECTOR,
+                    "path vector exceeds {MAX_PATH_VECTOR}"
+                );
+                out.extend_from_slice(&fec.addr.to_be_bytes());
+                out.push(fec.len);
+                out.extend_from_slice(&label.value().to_be_bytes());
+                out.extend_from_slice(&cost.to_be_bytes());
+                out.extend_from_slice(&(path.len() as u16).to_be_bytes());
+                for hop in path {
+                    out.extend_from_slice(&hop.to_be_bytes());
+                }
+            }
+            LdpMessage::LabelWithdraw { fec, label } | LdpMessage::LabelRelease { fec, label } => {
+                out.extend_from_slice(&fec.addr.to_be_bytes());
+                out.push(fec.len);
+                out.extend_from_slice(&label.value().to_be_bytes());
+            }
+        }
+        debug_assert_eq!(out.len(), self.wire_len());
+        out
+    }
+
+    /// Decodes one PDU, rejecting truncation, bad versions, unknown
+    /// message types, inconsistent length fields, out-of-range labels
+    /// and prefix lengths, and oversized path vectors.
+    pub fn decode(buf: &[u8]) -> Result<Self, PacketError> {
+        let mut r = Reader::new(buf, "LDP PDU header");
+        let version = r.u16()?;
+        if version != LDP_VERSION {
+            return Err(PacketError::BadLdpVersion(version));
+        }
+        let pdu_len = r.u16()? as usize;
+        if pdu_len != buf.len() - 4 {
+            return Err(PacketError::BadLdpLength {
+                what: "PDU length",
+                declared: pdu_len,
+                actual: buf.len() - 4,
+            });
+        }
+        let lsr_id = r.u32()?;
+        let space = r.u16()?;
+        if space != 0 {
+            return Err(PacketError::BadLdpLabelSpace(space));
+        }
+        r.what = "LDP message header";
+        let mtype = r.u16()?;
+        let msg_len = r.u16()? as usize;
+        if msg_len != r.remaining() {
+            return Err(PacketError::BadLdpLength {
+                what: "message length",
+                declared: msg_len,
+                actual: r.remaining(),
+            });
+        }
+        let msg_id = r.u32()?;
+        r.what = "LDP message body";
+        let message = match mtype {
+            MSG_HELLO => LdpMessage::Hello { hold_ns: r.u64()? },
+            MSG_INIT => LdpMessage::Initialization {
+                keepalive_ns: r.u64()?,
+            },
+            MSG_KEEPALIVE => LdpMessage::KeepAlive,
+            MSG_MAPPING => {
+                let fec = r.fec()?;
+                let label = Label::new(r.u32()?)?;
+                let cost = r.u64()?;
+                let count = r.u16()? as usize;
+                if count > MAX_PATH_VECTOR {
+                    return Err(PacketError::LdpPathVectorTooLong {
+                        len: count,
+                        max: MAX_PATH_VECTOR,
+                    });
+                }
+                let mut path = Vec::with_capacity(count);
+                for _ in 0..count {
+                    path.push(r.u32()?);
+                }
+                LdpMessage::LabelMapping {
+                    fec,
+                    label,
+                    cost,
+                    path,
+                }
+            }
+            MSG_WITHDRAW => LdpMessage::LabelWithdraw {
+                fec: r.fec()?,
+                label: Label::new(r.u32()?)?,
+            },
+            MSG_RELEASE => LdpMessage::LabelRelease {
+                fec: r.fec()?,
+                label: Label::new(r.u32()?)?,
+            },
+            other => return Err(PacketError::UnknownLdpMessage(other)),
+        };
+        if r.remaining() != 0 {
+            return Err(PacketError::BadLdpLength {
+                what: "message body",
+                declared: msg_len,
+                actual: msg_len + r.remaining(),
+            });
+        }
+        Ok(Self {
+            lsr_id,
+            msg_id,
+            message,
+        })
+    }
+}
+
+/// Cursor over the PDU bytes with truncation-checked reads.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    what: &'static str,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8], what: &'static str) -> Self {
+        Self { buf, pos: 0, what }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PacketError> {
+        if self.remaining() < n {
+            return Err(PacketError::Truncated {
+                what: self.what,
+                need: self.pos + n,
+                have: self.buf.len(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> Result<u16, PacketError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, PacketError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, PacketError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn fec(&mut self) -> Result<LdpFec, PacketError> {
+        let addr = self.u32()?;
+        let len = self.take(1)?[0];
+        if len > 32 {
+            return Err(PacketError::BadLdpFecLength(len));
+        }
+        Ok(LdpFec { addr, len })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pdu(message: LdpMessage) -> LdpPdu {
+        LdpPdu {
+            lsr_id: 7,
+            msg_id: 42,
+            message,
+        }
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        let fec = LdpFec {
+            addr: 0xc0a8_0100,
+            len: 24,
+        };
+        let label = Label::new(1016).unwrap();
+        for message in [
+            LdpMessage::Hello { hold_ns: 3_500_000 },
+            LdpMessage::Initialization {
+                keepalive_ns: 3_000_000,
+            },
+            LdpMessage::KeepAlive,
+            LdpMessage::LabelMapping {
+                fec,
+                label,
+                cost: 12,
+                path: vec![3, 2, 1],
+            },
+            LdpMessage::LabelWithdraw { fec, label },
+            LdpMessage::LabelRelease { fec, label },
+        ] {
+            let p = pdu(message);
+            let wire = p.encode();
+            assert_eq!(wire.len(), p.wire_len());
+            assert_eq!(LdpPdu::decode(&wire).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn header_fields_are_where_the_rfc_puts_them() {
+        let wire = pdu(LdpMessage::KeepAlive).encode();
+        assert_eq!(&wire[0..2], &[0, 1], "version 1");
+        assert_eq!(&wire[4..8], &7u32.to_be_bytes(), "LSR id");
+        assert_eq!(&wire[8..10], &[0, 0], "platform label space");
+        assert_eq!(&wire[10..12], &MSG_KEEPALIVE.to_be_bytes());
+        // PDU length covers lsr id + space + message.
+        let plen = u16::from_be_bytes([wire[2], wire[3]]) as usize;
+        assert_eq!(plen, wire.len() - 4);
+    }
+
+    #[test]
+    fn bad_version_and_type_are_rejected() {
+        let mut wire = pdu(LdpMessage::KeepAlive).encode();
+        wire[1] = 9;
+        assert_eq!(LdpPdu::decode(&wire), Err(PacketError::BadLdpVersion(9)));
+        let mut wire = pdu(LdpMessage::KeepAlive).encode();
+        wire[10] = 0x7f;
+        assert!(matches!(
+            LdpPdu::decode(&wire),
+            Err(PacketError::UnknownLdpMessage(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_and_length_lies_are_rejected() {
+        let wire = pdu(LdpMessage::Hello { hold_ns: 1 }).encode();
+        for cut in 0..wire.len() {
+            assert!(
+                LdpPdu::decode(&wire[..cut]).is_err(),
+                "decode of {cut}-byte prefix succeeded"
+            );
+        }
+        // A PDU length that disagrees with the buffer.
+        let mut lying = wire.clone();
+        lying[3] = lying[3].wrapping_add(1);
+        assert!(matches!(
+            LdpPdu::decode(&lying),
+            Err(PacketError::BadLdpLength { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_fec_and_label_are_rejected() {
+        let fec = LdpFec { addr: 1, len: 24 };
+        let mut wire = pdu(LdpMessage::LabelWithdraw {
+            fec,
+            label: Label::new(16).unwrap(),
+        })
+        .encode();
+        wire[PDU_HEADER + MSG_HEADER + 4] = 33; // FEC length
+        assert_eq!(LdpPdu::decode(&wire), Err(PacketError::BadLdpFecLength(33)));
+        let mut wire = pdu(LdpMessage::LabelWithdraw {
+            fec,
+            label: Label::new(16).unwrap(),
+        })
+        .encode();
+        wire[PDU_HEADER + MSG_HEADER + FEC_BYTES] = 0xff; // label high byte
+        assert!(matches!(
+            LdpPdu::decode(&wire),
+            Err(PacketError::LabelOutOfRange(_))
+        ));
+    }
+}

@@ -24,6 +24,7 @@ pub mod error;
 pub mod ethernet;
 pub mod ipv4;
 pub mod label;
+pub mod ldp;
 pub mod packet;
 pub mod stack;
 
@@ -31,6 +32,7 @@ pub use error::PacketError;
 pub use ethernet::{EtherType, EthernetFrame, MacAddr};
 pub use ipv4::Ipv4Header;
 pub use label::{CosBits, Label, LabelStackEntry, Ttl};
+pub use ldp::{LdpFec, LdpMessage, LdpPdu};
 pub use packet::MplsPacket;
 pub use stack::LabelStack;
 

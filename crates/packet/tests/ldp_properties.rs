@@ -1,0 +1,171 @@
+//! LDP PDU wire-format property tests.
+//!
+//! The inline module tests pin the header layout and a handful of
+//! malformed buffers; these properties sweep the whole message space:
+//! encode/decode are exact inverses for every well-formed PDU, the
+//! declared lengths always match the buffer, and *no* mutation of a
+//! valid wire image can make the decoder panic — it either returns a
+//! PDU or a [`PacketError`].
+
+use mpls_packet::ldp::MAX_PATH_VECTOR;
+use mpls_packet::{Label, LdpFec, LdpMessage, LdpPdu};
+use proptest::prelude::*;
+
+fn arb_fec() -> impl Strategy<Value = LdpFec> {
+    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| LdpFec { addr, len })
+}
+
+fn arb_label() -> impl Strategy<Value = Label> {
+    (0u32..=Label::MAX).prop_map(|v| Label::new(v).unwrap())
+}
+
+fn arb_message() -> impl Strategy<Value = LdpMessage> {
+    prop_oneof![
+        any::<u64>().prop_map(|hold_ns| LdpMessage::Hello { hold_ns }),
+        any::<u64>().prop_map(|keepalive_ns| LdpMessage::Initialization { keepalive_ns }),
+        Just(LdpMessage::KeepAlive),
+        (
+            arb_fec(),
+            arb_label(),
+            any::<u64>(),
+            proptest::collection::vec(any::<u32>(), 0..16),
+        )
+            .prop_map(|(fec, label, cost, path)| LdpMessage::LabelMapping {
+                fec,
+                label,
+                cost,
+                path,
+            }),
+        (arb_fec(), arb_label()).prop_map(|(fec, label)| LdpMessage::LabelWithdraw { fec, label }),
+        (arb_fec(), arb_label()).prop_map(|(fec, label)| LdpMessage::LabelRelease { fec, label }),
+    ]
+}
+
+fn arb_pdu() -> impl Strategy<Value = LdpPdu> {
+    (any::<u32>(), any::<u32>(), arb_message()).prop_map(|(lsr_id, msg_id, message)| LdpPdu {
+        lsr_id,
+        msg_id,
+        message,
+    })
+}
+
+proptest! {
+    /// Every well-formed PDU round-trips exactly, and the encoding is as
+    /// long as `wire_len` promises.
+    #[test]
+    fn encode_decode_round_trips(pdu in arb_pdu()) {
+        let wire = pdu.encode();
+        prop_assert_eq!(wire.len(), pdu.wire_len());
+        let back = LdpPdu::decode(&wire).expect("own encoding decodes");
+        prop_assert_eq!(back, pdu);
+    }
+
+    /// The PDU-length field counts every byte after itself; the message-
+    /// length field every byte after itself. Checked on the raw bytes.
+    #[test]
+    fn declared_lengths_match_the_buffer(pdu in arb_pdu()) {
+        let wire = pdu.encode();
+        let pdu_len = u16::from_be_bytes([wire[2], wire[3]]) as usize;
+        prop_assert_eq!(4 + pdu_len, wire.len());
+        let msg_len = u16::from_be_bytes([wire[12], wire[13]]) as usize;
+        prop_assert_eq!(14 + msg_len, wire.len());
+    }
+
+    /// Truncating a valid PDU anywhere yields an error, never a panic and
+    /// never a bogus success (any strict prefix is missing declared
+    /// bytes).
+    #[test]
+    fn every_truncation_is_rejected(pdu in arb_pdu(), cut in any::<u64>()) {
+        let wire = pdu.encode();
+        let cut = (cut % wire.len() as u64) as usize; // always a strict prefix
+        prop_assert!(LdpPdu::decode(&wire[..cut]).is_err());
+    }
+
+    /// Flipping any single byte of a valid PDU never panics the decoder:
+    /// it either errors or returns some well-formed PDU (a flip in, say,
+    /// the msg-id field still decodes).
+    #[test]
+    fn byte_flips_never_panic(
+        pdu in arb_pdu(),
+        at in any::<u64>(),
+        xor in 1u8..,
+    ) {
+        let mut wire = pdu.encode();
+        let at = (at % wire.len() as u64) as usize;
+        wire[at] ^= xor;
+        if let Ok(decoded) = LdpPdu::decode(&wire) {
+            // Whatever decoded must re-encode to the same bytes: the
+            // accepted subset of the wire format is canonical.
+            prop_assert_eq!(decoded.encode(), wire);
+        }
+    }
+
+    /// Arbitrary byte soup never panics the decoder.
+    #[test]
+    fn random_buffers_never_panic(buf in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = LdpPdu::decode(&buf);
+    }
+
+    /// Trailing garbage after a complete PDU is rejected: one PDU per
+    /// datagram, nothing rides along.
+    #[test]
+    fn trailing_bytes_are_rejected(pdu in arb_pdu(), extra in 1usize..8) {
+        let mut wire = pdu.encode();
+        wire.extend(std::iter::repeat_n(0xAB, extra));
+        prop_assert!(LdpPdu::decode(&wire).is_err());
+    }
+
+    /// FEC prefix lengths above 32 and labels above 2^20-1 are rejected
+    /// even when the buffer lengths are internally consistent.
+    #[test]
+    fn out_of_range_fields_are_rejected(
+        pdu in (any::<u32>(), any::<u32>(), arb_fec(), arb_label(), any::<u64>())
+            .prop_map(|(lsr_id, msg_id, fec, label, cost)| LdpPdu {
+                lsr_id,
+                msg_id,
+                message: LdpMessage::LabelMapping { fec, label, cost, path: vec![] },
+            }),
+        bad_len in 33u8..,
+        bad_label_bits in Label::MAX + 1..=u32::from_be_bytes([0xFF; 4]) >> 8,
+    ) {
+        let wire = pdu.encode();
+        // Body starts at 18: fec addr (4), fec len (1), label (4).
+        let mut bad_fec = wire.clone();
+        bad_fec[22] = bad_len;
+        prop_assert!(LdpPdu::decode(&bad_fec).is_err());
+        let mut bad_label = wire.clone();
+        bad_label[23..27].copy_from_slice(&bad_label_bits.to_be_bytes());
+        prop_assert!(LdpPdu::decode(&bad_label).is_err());
+    }
+}
+
+/// The encoder refuses path vectors longer than the decoder accepts, so
+/// the two can never disagree about a legal PDU.
+#[test]
+fn oversized_path_vector_cannot_be_encoded() {
+    let pdu = LdpPdu {
+        lsr_id: 1,
+        msg_id: 1,
+        message: LdpMessage::LabelMapping {
+            fec: LdpFec { addr: 0, len: 24 },
+            label: Label::new(100).unwrap(),
+            cost: 1,
+            path: vec![7; MAX_PATH_VECTOR],
+        },
+    };
+    // The longest legal vector still round-trips…
+    let back = LdpPdu::decode(&pdu.encode()).unwrap();
+    assert_eq!(back, pdu);
+    // …and one more entry panics the encoder (a programming error, not
+    // a wire condition).
+    let too_long = LdpPdu {
+        message: LdpMessage::LabelMapping {
+            fec: LdpFec { addr: 0, len: 24 },
+            label: Label::new(100).unwrap(),
+            cost: 1,
+            path: vec![7; MAX_PATH_VECTOR + 1],
+        },
+        ..pdu
+    };
+    assert!(std::panic::catch_unwind(|| too_long.encode()).is_err());
+}
