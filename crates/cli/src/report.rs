@@ -17,6 +17,22 @@ pub fn format_report(report: &SimReport) -> String {
         out.push_str(&format!(" (converged in {:.2} ms)", conv as f64 / 1e6));
     }
     out.push('\n');
+    // Fast-path diagnostics live in non-serialized counters (reports
+    // must stay byte-identical across lookup strategies), so the only
+    // place they surface is this human-readable rendering.
+    let (lookups, hits, misses) = report
+        .routers
+        .values()
+        .fold((0u64, 0u64, 0u64), |(l, h, m), s| {
+            (l + s.fib_lookups, h + s.cache_hits, m + s.cache_misses)
+        });
+    if hits + misses > 0 {
+        let hit_rate = hits as f64 / (hits + misses) as f64 * 100.0;
+        out.push_str(&format!(
+            "  fast path: {lookups} FIB lookups, {hits} cache hits / {misses} misses \
+             ({hit_rate:.1}% hit rate)\n"
+        ));
+    }
     if report.control.mode == "ldp" {
         out.push_str(&format!(
             "  ldp: {} sessions up, {} expired, {} PDUs sent ({} delivered, {} lost), \
@@ -140,6 +156,24 @@ mod tests {
         assert!(text.starts_with("engine: "));
         assert!(text.contains("epochs"));
         assert!(!text.contains("ldp:"), "no ldp block on centralized runs");
+    }
+
+    #[test]
+    fn report_shows_fast_path_diagnostics() {
+        let mut sc = Scenario::from_json(include_str!("../scenarios/example.json")).unwrap();
+        let plain = format_report(&sc.run().unwrap());
+        assert!(
+            !plain.contains("fast path:"),
+            "no fast-path block for the embedded router"
+        );
+        sc.router = crate::scenario::RouterDecl::SoftwareFast;
+        let text = format_report(&sc.run().unwrap());
+        // The cache can be globally disabled by env; only assert the
+        // block when it is live.
+        if std::env::var("MPLS_SIM_FLOW_CACHE").map_or(true, |v| v != "0") {
+            assert!(text.contains("fast path:"), "missing diagnostics:\n{text}");
+            assert!(text.contains("hit rate"));
+        }
     }
 
     #[test]

@@ -440,6 +440,13 @@ pub enum RouterDecl {
     SoftwareHash,
     /// Software router with linear lookups.
     SoftwareLinear,
+    /// Software fast path: hash FIB with canonical (linear-equivalent)
+    /// probe counts plus a per-ingress flow cache. Reports are
+    /// byte-identical to `software_linear`; only the host runs faster.
+    /// `MPLS_SIM_FLOW_CACHE=0` disables the cache,
+    /// `MPLS_SIM_DIFF_LOOKUP=1` cross-checks every lookup against a
+    /// shadow linear table.
+    SoftwareFast,
 }
 
 fn fifty() -> f64 {
@@ -614,6 +621,10 @@ impl Scenario {
             },
             RouterDecl::SoftwareLinear => RouterKind::SoftwareLinear {
                 timing: SwTimingModel::default(),
+            },
+            RouterDecl::SoftwareFast => RouterKind::SoftwareFast {
+                timing: SwTimingModel::default(),
+                cache: true,
             },
         }
     }
@@ -1043,6 +1054,22 @@ mod tests {
             Scenario::from_json(&doc),
             Err(ScenarioError::Parse(_))
         ));
+    }
+
+    #[test]
+    fn software_fast_router_parses_and_builds() {
+        let minimal = r#"{
+            "nodes": [{"id": 0, "role": "ler"}, {"id": 1, "role": "ler"}],
+            "links": [{"a": 0, "b": 1, "bandwidth_mbps": 100, "delay_us": 100}],
+            "router": {"kind": "software_fast"}
+        }"#;
+        let sc = Scenario::from_json(minimal).unwrap();
+        assert!(matches!(sc.router, RouterDecl::SoftwareFast));
+        assert!(matches!(
+            sc.router_kind(),
+            mpls_net::RouterKind::SoftwareFast { .. }
+        ));
+        sc.run().unwrap();
     }
 
     #[test]

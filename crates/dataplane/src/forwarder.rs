@@ -7,6 +7,7 @@
 //! are interchangeable behind the router crate's forwarding trait and
 //! differentially testable.
 
+use crate::cache::FlowCache;
 use crate::fib::{Fib, FibLevel};
 use crate::lookup::LookupStrategy;
 use crate::types::{Discard, LabelBinding, LabelOp, SwRouterType};
@@ -29,8 +30,14 @@ pub enum ProcessResult {
 pub struct SoftwareForwarder<S: LookupStrategy> {
     router_type_is_lsr: bool,
     fib: Fib<S>,
-    /// Cumulative probe count, for the scaling experiments.
+    /// Optional per-ingress flow cache (fast path only).
+    cache: Option<FlowCache>,
+    /// Cumulative *canonical* probe count — what the lookups charged the
+    /// timing model, whether served by the FIB or replayed from the cache.
     probes: u64,
+    /// FIB lookups actually executed (cache hits excluded) — the host-side
+    /// work counter that distinguishes the paths in diagnostics.
+    fib_lookups: u64,
     /// Packets processed.
     processed: u64,
     /// Packets discarded.
@@ -43,10 +50,23 @@ impl<S: LookupStrategy> SoftwareForwarder<S> {
         Self {
             router_type_is_lsr: matches!(router_type, SwRouterType::Lsr),
             fib: Fib::new(),
+            cache: None,
             probes: 0,
+            fib_lookups: 0,
             processed: 0,
             discarded: 0,
         }
+    }
+
+    /// Attaches a flow cache of the default capacity (the fast path).
+    pub fn with_flow_cache(mut self) -> Self {
+        self.cache = Some(FlowCache::default());
+        self
+    }
+
+    /// `(hits, misses)` of the flow cache, if one is attached.
+    pub fn cache_stats(&self) -> Option<(u64, u64)> {
+        self.cache.as_ref().map(FlowCache::stats)
     }
 
     /// The configured role.
@@ -63,19 +83,36 @@ impl<S: LookupStrategy> SoftwareForwarder<S> {
         &self.fib
     }
 
-    /// Mutable access for the control plane.
+    /// Mutable access for the control plane. Conservatively flushes the
+    /// flow cache: the borrower may rewrite any binding (withdraw, fault
+    /// rewrite, LSP retirement), and a stale cached resolution must never
+    /// forward a packet the rewritten FIB would not.
     pub fn fib_mut(&mut self) -> &mut Fib<S> {
+        if let Some(cache) = &mut self.cache {
+            cache.invalidate_all();
+        }
         &mut self.fib
     }
 
-    /// Convenience: bind `key -> (new_label, op)` at `level`.
+    /// Convenience: bind `key -> (new_label, op)` at `level`. Flushes the
+    /// flow cache like any other FIB mutation.
     pub fn bind(&mut self, level: FibLevel, key: u64, new_label: Label, op: LabelOp) {
+        if let Some(cache) = &mut self.cache {
+            cache.invalidate_all();
+        }
         self.fib.bind(level, key, LabelBinding::new(new_label, op));
     }
 
-    /// Cumulative key comparisons performed by lookups.
+    /// Cumulative *canonical* key comparisons charged to the timing model
+    /// (cache hits replay the probes of the lookup they memoized).
     pub fn total_probes(&self) -> u64 {
         self.probes
+    }
+
+    /// FIB lookups actually executed — on the fast path this falls below
+    /// `processed` by exactly the cache hits.
+    pub fn fib_lookups(&self) -> u64 {
+        self.fib_lookups
     }
 
     /// `(processed, discarded)` packet counters.
@@ -93,6 +130,20 @@ impl<S: LookupStrategy> SoftwareForwarder<S> {
         push_cos: CosBits,
         push_ttl: Ttl,
     ) -> ProcessResult {
+        self.process_on_port(stack, packet_id, push_cos, push_ttl, 0)
+    }
+
+    /// [`Self::process`] with the arrival port made explicit; the flow
+    /// cache keys on `(level, key, port)` so two ingress ports resolving
+    /// the same label each get their own entry.
+    pub fn process_on_port(
+        &mut self,
+        stack: &mut LabelStack,
+        packet_id: u32,
+        push_cos: CosBits,
+        push_ttl: Ttl,
+        port: u64,
+    ) -> ProcessResult {
         self.processed += 1;
         let depth = stack.depth();
         let level = FibLevel::for_stack_depth(depth);
@@ -102,7 +153,20 @@ impl<S: LookupStrategy> SoftwareForwarder<S> {
             stack.top().expect("depth > 0").label.value() as u64
         };
 
-        let (binding, probes) = self.fib.lookup(level, key);
+        // Fast path: replay a memoized resolution (binding + the canonical
+        // probes it was charged with) without touching the FIB; otherwise
+        // do the real lookup and memoize a hit.
+        let (binding, probes) = match self.cache.as_mut().and_then(|c| c.lookup(level, key, port)) {
+            Some((binding, probes)) => (Some(binding), probes),
+            None => {
+                let (binding, probes) = self.fib.lookup(level, key);
+                self.fib_lookups += 1;
+                if let (Some(b), Some(cache)) = (binding, &mut self.cache) {
+                    cache.install(level, key, port, b, probes);
+                }
+                (binding, probes)
+            }
+        };
         self.probes += probes as u64;
         let Some(binding) = binding else {
             return self.discard(stack, Discard::NoEntryFound);
@@ -326,6 +390,129 @@ mod tests {
             f.process(&mut s, 0, CosBits::BEST_EFFORT, 0),
             ProcessResult::Discarded(Discard::InconsistentOperation)
         );
+    }
+
+    // TTL edge sweep (ISSUE 5 satellite): the expiry check must fire
+    // *before* the operation is applied, at every operation point.
+
+    #[test]
+    fn ttl_one_succeeds_at_ingress_push() {
+        // Push writes the control-plane TTL verbatim; only TTL 0 is dead.
+        let mut f: SoftwareForwarder<HashTable> = SoftwareForwarder::new(SwRouterType::Ler);
+        f.bind(FibLevel::L1, 1, lbl(7), LabelOp::Push);
+        let mut s = LabelStack::new();
+        assert_eq!(
+            f.process(&mut s, 1, CosBits::BEST_EFFORT, 1),
+            ProcessResult::Updated { op: LabelOp::Push }
+        );
+        assert_eq!(s.top().unwrap().ttl, 1);
+    }
+
+    #[test]
+    fn ttl_zero_discards_at_ingress_push() {
+        let mut f: SoftwareForwarder<HashTable> = SoftwareForwarder::new(SwRouterType::Ler);
+        f.bind(FibLevel::L1, 1, lbl(7), LabelOp::Push);
+        let mut s = LabelStack::new();
+        assert_eq!(
+            f.process(&mut s, 1, CosBits::BEST_EFFORT, 0),
+            ProcessResult::Discarded(Discard::TtlExpired)
+        );
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn ttl_expiry_discards_before_php_pop() {
+        let mut f: SoftwareForwarder<HashTable> = SoftwareForwarder::new(SwRouterType::Lsr);
+        f.bind(FibLevel::L3, 20, lbl(0), LabelOp::Pop);
+        for ttl in [0u8, 1] {
+            let mut s = labeled_stack(&[(10, 0, 40), (20, 0, ttl)]);
+            assert_eq!(
+                f.process(&mut s, 0, CosBits::BEST_EFFORT, 0),
+                ProcessResult::Discarded(Discard::TtlExpired),
+                "ttl {ttl}: must expire before the pop exposes the inner entry"
+            );
+            assert!(s.is_empty());
+        }
+    }
+
+    #[test]
+    fn ttl_expiry_discards_before_mid_stack_push() {
+        let mut f: SoftwareForwarder<HashTable> = SoftwareForwarder::new(SwRouterType::Lsr);
+        f.bind(FibLevel::L2, 100, lbl(300), LabelOp::Push);
+        for ttl in [0u8, 1] {
+            let mut s = labeled_stack(&[(100, 0, ttl)]);
+            assert_eq!(
+                f.process(&mut s, 0, CosBits::BEST_EFFORT, 0),
+                ProcessResult::Discarded(Discard::TtlExpired),
+                "ttl {ttl}: must expire before the push is applied"
+            );
+        }
+    }
+
+    // Flow-cache semantics.
+
+    #[test]
+    fn cache_hit_replays_canonical_probes() {
+        let mut f: SoftwareForwarder<LinearTable> =
+            SoftwareForwarder::new(SwRouterType::Lsr).with_flow_cache();
+        for i in 1..=8u64 {
+            f.bind(FibLevel::L2, i, lbl(500), LabelOp::Swap);
+        }
+        for _ in 0..3 {
+            let mut s = labeled_stack(&[(8, 0, 64)]);
+            f.process(&mut s, 0, CosBits::BEST_EFFORT, 0);
+        }
+        // Each pass charges the full linear rank even though only the
+        // first touched the FIB — latency is identical, host work is not.
+        assert_eq!(f.total_probes(), 24);
+        assert_eq!(f.fib_lookups(), 1);
+        assert_eq!(f.cache_stats(), Some((2, 1)));
+    }
+
+    #[test]
+    fn cache_distinguishes_ports() {
+        let mut f: SoftwareForwarder<HashTable> =
+            SoftwareForwarder::new(SwRouterType::Lsr).with_flow_cache();
+        f.bind(FibLevel::L2, 9, lbl(10), LabelOp::Swap);
+        let mut s = labeled_stack(&[(9, 0, 64)]);
+        f.process_on_port(&mut s, 0, CosBits::BEST_EFFORT, 0, 1);
+        let mut s = labeled_stack(&[(9, 0, 64)]);
+        f.process_on_port(&mut s, 0, CosBits::BEST_EFFORT, 0, 2);
+        assert_eq!(f.fib_lookups(), 2, "each port fills its own entry");
+    }
+
+    #[test]
+    fn stale_cache_after_withdraw_must_not_forward() {
+        let mut f: SoftwareForwarder<LinearTable> =
+            SoftwareForwarder::new(SwRouterType::Lsr).with_flow_cache();
+        f.bind(FibLevel::L2, 9, lbl(10), LabelOp::Swap);
+        let mut s = labeled_stack(&[(9, 0, 64)]);
+        assert!(matches!(
+            f.process(&mut s, 0, CosBits::BEST_EFFORT, 0),
+            ProcessResult::Updated { .. }
+        ));
+        // Withdraw: the control plane rebuilds the level without label 9.
+        f.fib_mut().clear_level(FibLevel::L2);
+        let mut s = labeled_stack(&[(9, 0, 64)]);
+        assert_eq!(
+            f.process(&mut s, 0, CosBits::BEST_EFFORT, 0),
+            ProcessResult::Discarded(Discard::NoEntryFound),
+            "the cached resolution of a withdrawn label must not forward"
+        );
+    }
+
+    #[test]
+    fn rebinding_after_flush_serves_the_new_binding() {
+        let mut f: SoftwareForwarder<HashTable> =
+            SoftwareForwarder::new(SwRouterType::Lsr).with_flow_cache();
+        f.bind(FibLevel::L2, 9, lbl(10), LabelOp::Swap);
+        let mut s = labeled_stack(&[(9, 0, 64)]);
+        f.process(&mut s, 0, CosBits::BEST_EFFORT, 0);
+        f.fib_mut().clear_level(FibLevel::L2);
+        f.bind(FibLevel::L2, 9, lbl(77), LabelOp::Swap);
+        let mut s = labeled_stack(&[(9, 0, 64)]);
+        f.process(&mut s, 0, CosBits::BEST_EFFORT, 0);
+        assert_eq!(s.top().unwrap().label.value(), 77);
     }
 
     #[test]

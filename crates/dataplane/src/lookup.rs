@@ -59,6 +59,12 @@ impl LookupStrategy for LinearTable {
                 return (Some(*b), i + 1);
             }
         }
+        // Miss accounting (audited, ISSUE 5): a miss probes *exactly* the
+        // occupancy — every stored slot, dead duplicates included, and
+        // nothing more. This is the `n` of the hardware's 3n+5-cycle
+        // failed search (Table 6), so the cycle-reconciliation sweep and
+        // the timing model both depend on the count being occupancy, not
+        // occupancy ± 1.
         (None, self.entries.len())
     }
 
@@ -155,13 +161,23 @@ mod tests {
 
     #[test]
     fn linear_probe_counts() {
+        // Probe counts are the `k`/`n` of the hardware's Table 6 search
+        // cost (hit at rank k: 3k+5 cycles; miss among n: 3n+5), so they
+        // must reconcile exactly: hit = insertion rank, miss = occupancy.
         let mut t = LinearTable::default();
+        assert_eq!(t.get(1).1, 0, "empty table: a miss probes nothing");
         for k in 1..=10u64 {
             t.insert(k, b(k as u32));
         }
         assert_eq!(t.get(1).1, 1);
         assert_eq!(t.get(10).1, 10);
-        assert_eq!(t.get(99).1, 10, "miss probes the whole table");
+        assert_eq!(t.get(99).1, 10, "miss probes the whole table, no more");
+        // Dead slots (shadowed duplicates) still cost a probe on a miss —
+        // the hardware cannot skip them — but a hit stops at the winner.
+        t.insert(1, b(500));
+        assert_eq!(t.len(), 11);
+        assert_eq!(t.get(99).1, 11, "miss == occupancy including dead slots");
+        assert_eq!(t.get(1).1, 1, "hit rank unchanged by its duplicate");
     }
 
     #[test]

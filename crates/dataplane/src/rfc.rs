@@ -13,6 +13,21 @@
 //! down* to the level-based FIB plus a next-hop table, so a configuration
 //! written in RFC terms can drive either data plane (and, through the
 //! control-plane `BindingEntry` format, the hardware information base).
+//!
+//! # TTL ordering (audited, ISSUE 5)
+//!
+//! A labeled packet arriving with TTL ≤ 1 is discarded with
+//! `TtlExpired` *before* the bound operation (swap/push/pop) mutates the
+//! stack; an unlabeled packet with TTL 0 is discarded before the ingress
+//! push installs anything. Both planes order the checks the same way the
+//! hardware's `VerifyInfo` state does — search first (a miss is
+//! `NoEntryFound` even at TTL 0, matching the paper's "the packet is
+//! immediately discarded if no information is found"), then TTL, then
+//! the operation — so no discard path ever half-applies an operation or
+//! leaks side effects (flow-table installs included) for a dead packet.
+//! Regression tests for TTL 0 and TTL 1 at the push, swap, and PHP-pop
+//! points live in `forwarder.rs`, `mpls-router`'s software and embedded
+//! models, and below (through this facade's compiled tables).
 
 use crate::fib::{Fib, FibLevel};
 use crate::ftn::Prefix;
@@ -259,5 +274,46 @@ mod tests {
         let r = f.process(&mut stack, 0, CosBits::BEST_EFFORT, 0);
         assert_eq!(r, ProcessResult::Updated { op: LabelOp::Swap });
         assert_eq!(stack.top().unwrap().label, lbl(200));
+    }
+
+    #[test]
+    fn ttl_expiry_precedes_the_operation_through_rfc_tables() {
+        use crate::forwarder::{ProcessResult, SoftwareForwarder};
+        use crate::types::{Discard, SwRouterType};
+        use mpls_packet::{CosBits, LabelStack};
+
+        // One ILM entry per operation kind; TTL 0 and 1 must expire at
+        // each before the stack is touched.
+        let mut t = RfcTables::new();
+        t.map_label(lbl(100), 1, Nhlfe::swap(lbl(200), NextHop::Node(3)));
+        t.map_label(lbl(101), 1, Nhlfe::push(lbl(300), NextHop::Node(3)));
+        t.map_label(lbl(40), 2, Nhlfe::pop(NextHop::Node(9)));
+        let c = t.compile::<HashTable>();
+        let mut f: SoftwareForwarder<HashTable> = SoftwareForwarder::new(SwRouterType::Lsr);
+        *f.fib_mut() = c.fib;
+
+        for ttl in [0u8, 1] {
+            for top in [100u32, 101] {
+                let mut stack = LabelStack::new();
+                stack
+                    .push_parts(lbl(top), CosBits::BEST_EFFORT, ttl)
+                    .unwrap();
+                assert_eq!(
+                    f.process(&mut stack, 0, CosBits::BEST_EFFORT, 0),
+                    ProcessResult::Discarded(Discard::TtlExpired),
+                    "label {top} ttl {ttl}"
+                );
+            }
+            let mut stack = LabelStack::new();
+            stack.push_parts(lbl(7), CosBits::BEST_EFFORT, 64).unwrap();
+            stack
+                .push_parts(lbl(40), CosBits::BEST_EFFORT, ttl)
+                .unwrap();
+            assert_eq!(
+                f.process(&mut stack, 0, CosBits::BEST_EFFORT, 0),
+                ProcessResult::Discarded(Discard::TtlExpired),
+                "php pop ttl {ttl}"
+            );
+        }
     }
 }

@@ -43,7 +43,7 @@ use mpls_telemetry::TelemetrySink;
 use partition::partition;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use shard::{ChanState, EmitState, FlowDelta, LocalEvent, ShardState, SharedCtx};
+use shard::{batch_limit, ChanState, EmitState, FlowDelta, LocalEvent, ShardState, SharedCtx};
 use std::collections::{BTreeMap, HashMap};
 use std::marker::PhantomData;
 use wheel::EventWheel;
@@ -182,6 +182,10 @@ impl<S: TelemetrySink> Engine<S> {
                 deltas: Vec::new(),
                 events_processed: 0,
                 last_time: 0,
+                batch: batch_limit(),
+                batch_items: Vec::new(),
+                batch_live: Vec::new(),
+                batch_outs: Vec::new(),
                 _sink: PhantomData,
             })
             .collect();

@@ -36,7 +36,8 @@ use crate::sim::{make_packet, SimPacket};
 use crate::stats::{FlowId, FlowStats};
 use crate::traffic::FlowSpec;
 use mpls_control::{LinkId, NodeId};
-use mpls_router::{Action, DiscardCause};
+use mpls_packet::MplsPacket;
+use mpls_router::{Action, DiscardCause, Forwarding};
 use mpls_telemetry::{Histogram, TelemetrySink};
 use rand::rngs::StdRng;
 use std::collections::HashMap;
@@ -47,7 +48,27 @@ pub(crate) type EventKey = (u8, u64, u64);
 
 /// Lane marker distinguishing source-injected arrivals from wire
 /// arrivals in the key's `b` component (channel indices stay below it).
+/// Doubles as the port-space offset for source-injected packets, so a
+/// router's per-ingress flow cache never conflates a source lane with a
+/// wire channel.
 const SOURCE_LANE: u64 = 1 << 32;
+
+/// Up to how many same-instant arrivals for one node drain as a single
+/// batch (`MPLS_SIM_BATCH`, default 32; 1 disables batching). A batch
+/// resolves the node once and streams the packets through its data
+/// plane back to back; the drain is a conditional peek at the wheel's
+/// head, so the consumed event sequence — and therefore the report —
+/// is identical at any batch bound.
+pub(crate) fn batch_limit() -> usize {
+    static B: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *B.get_or_init(|| {
+        std::env::var("MPLS_SIM_BATCH")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&b| b >= 1)
+            .unwrap_or(32)
+    })
+}
 
 /// A shard-local event.
 #[derive(Debug)]
@@ -201,6 +222,12 @@ pub(crate) struct ShardState<S> {
     pub events_processed: u64,
     /// Timestamp of the most recently executed event.
     pub last_time: SimTime,
+    /// Batch drain bound (see [`batch_limit`]); reusable scratch
+    /// buffers keep the hot loop allocation-free.
+    pub batch: usize,
+    pub batch_items: Vec<(SimPacket, Option<(usize, u64)>)>,
+    pub batch_live: Vec<(MplsPacket, FlowId, u64, SimTime, u64)>,
+    pub batch_outs: Vec<(Forwarding, FlowId, u64, SimTime)>,
     pub _sink: PhantomData<fn() -> S>,
 }
 
@@ -213,7 +240,27 @@ impl<S: TelemetrySink> ShardState<S> {
             match ev {
                 LocalEvent::SourceEmit { flow } => self.on_source_emit(t, flow, ctx),
                 LocalEvent::Arrive { node, packet, via } => {
-                    self.on_arrive(t, node, packet, via, ctx)
+                    // Same-instant arrivals for one node are consecutive
+                    // in canonical pop order (class 1, keyed by node);
+                    // drain them and stream the whole batch through the
+                    // router in one go. Arrival processing only schedules
+                    // later-class or later-time events, so nothing can
+                    // slot in between — the event sequence is exactly the
+                    // unbatched one.
+                    let mut items = std::mem::take(&mut self.batch_items);
+                    items.clear();
+                    items.push((packet, via));
+                    while items.len() < self.batch {
+                        match self.wheel.pop_arrival_for(t, node as u64) {
+                            Some(LocalEvent::Arrive { packet, via, .. }) => {
+                                self.events_processed += 1;
+                                items.push((packet, via));
+                            }
+                            _ => break,
+                        }
+                    }
+                    self.on_arrive_batch(t, node, &mut items, ctx);
+                    self.batch_items = items;
                 }
                 LocalEvent::TransmitDone { channel, gen } => {
                     self.on_transmit_done(t, channel, gen, ctx)
@@ -273,36 +320,78 @@ impl<S: TelemetrySink> ShardState<S> {
         }
     }
 
-    fn on_arrive(
+    /// Processes a drained batch of same-instant arrivals at `node`:
+    /// stale-incarnation losses are taken first, then the node's router
+    /// is resolved *once* and the surviving packets stream through its
+    /// data plane back to back, then the resulting actions apply in
+    /// packet order. Each phase preserves the per-packet order of the
+    /// unbatched loop, and no phase's effects feed an earlier phase, so
+    /// the outcome is identical to processing one event at a time.
+    fn on_arrive_batch(
         &mut self,
         now: SimTime,
         node: NodeId,
-        packet: SimPacket,
-        via: Option<(usize, u64)>,
+        items: &mut Vec<(SimPacket, Option<(usize, u64)>)>,
         ctx: &SharedCtx<'_>,
     ) {
-        // A packet that was on the wire when its link was cut never
-        // arrives: the channel's incarnation has moved on.
-        if let Some((chan, gen)) = via {
-            if ctx.chan_state[chan].gen != gen {
-                let (owner, local) = ctx.chan_owner[chan];
-                if owner == self.id {
-                    self.channels[local].fault_drops += 1;
-                } else {
-                    self.foreign_fault_drops[chan] += 1;
+        let mut live = std::mem::take(&mut self.batch_live);
+        live.clear();
+        for (packet, via) in items.drain(..) {
+            // A packet that was on the wire when its link was cut never
+            // arrives: the channel's incarnation has moved on.
+            if let Some((chan, gen)) = via {
+                if ctx.chan_state[chan].gen != gen {
+                    let (owner, local) = ctx.chan_owner[chan];
+                    if owner == self.id {
+                        self.channels[local].fault_drops += 1;
+                    } else {
+                        self.foreign_fault_drops[chan] += 1;
+                    }
+                    self.count_fault_loss(ctx.chan_link[chan], packet.flow, ctx);
+                    continue;
                 }
-                self.count_fault_loss(ctx.chan_link[chan], packet.flow, ctx);
-                return;
             }
+            let port = match via {
+                Some((chan, _)) => chan as u64,
+                // Same value as the event key's lane: stable across
+                // shard counts, disjoint from wire channel indices.
+                None => SOURCE_LANE + packet.flow as u64,
+            };
+            let SimPacket {
+                inner,
+                flow,
+                seq,
+                sent_ns,
+            } = packet;
+            live.push((inner, flow, seq, sent_ns, port));
         }
-        let SimPacket {
-            inner,
-            flow,
-            seq,
-            sent_ns,
-        } = packet;
+        let mut outs = std::mem::take(&mut self.batch_outs);
+        outs.clear();
         let li = self.node_local[&node];
-        let out = self.nodes[li].on_packet(now, inner);
+        let router = &mut self.nodes[li];
+        for (inner, flow, seq, sent_ns, port) in live.drain(..) {
+            outs.push((router.on_packet_via(now, inner, port), flow, seq, sent_ns));
+        }
+        for (out, flow, seq, sent_ns) in outs.drain(..) {
+            self.apply_forwarding(now, node, out, flow, seq, sent_ns, ctx);
+        }
+        self.batch_live = live;
+        self.batch_outs = outs;
+    }
+
+    /// Applies one forwarding decision: transmit, deliver or account the
+    /// drop.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_forwarding(
+        &mut self,
+        now: SimTime,
+        node: NodeId,
+        out: Forwarding,
+        flow: FlowId,
+        seq: u64,
+        sent_ns: SimTime,
+        ctx: &SharedCtx<'_>,
+    ) {
         let done = now + out.latency_ns;
         match out.action {
             Action::Forward {

@@ -136,6 +136,23 @@ impl EventWheel {
         self.current.peek().map(|e| e.time)
     }
 
+    /// Pops the head event only if it is an `Arrive` for `node` at
+    /// exactly `time` — the batching drain. Because the head is what
+    /// [`EventWheel::pop_next`] would return anyway, draining with this
+    /// method consumes the identical event sequence the unbatched loop
+    /// would, one conditional peek at a time.
+    pub fn pop_arrival_for(&mut self, time: SimTime, node: u64) -> Option<LocalEvent> {
+        self.refill();
+        let head = self.current.peek()?;
+        let (class, a, _) = head.key;
+        if head.time != time || class != 1 || a != node {
+            return None;
+        }
+        let e = self.current.pop().expect("peeked");
+        self.len -= 1;
+        Some(e.ev)
+    }
+
     /// Number of pending events.
     #[cfg_attr(not(test), allow(dead_code))]
     pub fn len(&self) -> usize {
@@ -183,6 +200,50 @@ mod tests {
             std::iter::from_fn(|| w.pop_next(600).map(|(_, e)| e.key())).collect();
         // SourceEmit (class 0) by flow id, then TransmitDone (class 2).
         assert_eq!(keys, vec![(0, 1, 0), (0, 9, 0), (2, 2, 0)]);
+    }
+
+    #[test]
+    fn pop_arrival_for_drains_only_the_matching_head() {
+        use crate::sim::{make_packet, SimPacket};
+        use crate::traffic::{FlowSpec, TrafficPattern};
+        let spec = FlowSpec {
+            name: "t".into(),
+            ingress: 0,
+            src_addr: 0x0a00_0001,
+            dst_addr: 0x0a00_0002,
+            payload_bytes: 64,
+            precedence: 0,
+            pattern: TrafficPattern::Cbr { interval_ns: 1000 },
+            start_ns: 0,
+            stop_ns: 1000,
+            police: None,
+        };
+        let arrive = |node: u32, chan: usize| LocalEvent::Arrive {
+            node,
+            packet: SimPacket {
+                inner: make_packet(&spec, 0),
+                flow: 0,
+                seq: 0,
+                sent_ns: 0,
+            },
+            via: Some((chan, 0)),
+        };
+        let mut w = EventWheel::new(100);
+        w.schedule(50, arrive(7, 1));
+        w.schedule(50, arrive(7, 3));
+        w.schedule(50, arrive(8, 2));
+        w.schedule(60, arrive(7, 0));
+        // Wrong node and wrong time never drain.
+        assert!(w.pop_arrival_for(50, 9).is_none());
+        assert!(w.pop_arrival_for(60, 7).is_none(), "60 is not the head");
+        // The two node-7 arrivals at t=50 drain in lane order; the
+        // node-8 arrival then blocks the drain.
+        assert!(w.pop_arrival_for(50, 7).is_some());
+        assert!(w.pop_arrival_for(50, 7).is_some());
+        assert!(w.pop_arrival_for(50, 7).is_none());
+        assert_eq!(w.pop_next(SimTime::MAX).map(|(t, _)| t), Some(50));
+        assert_eq!(w.pop_next(SimTime::MAX).map(|(t, _)| t), Some(60));
+        assert!(w.is_empty());
     }
 
     #[test]

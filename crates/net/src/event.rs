@@ -3,9 +3,11 @@
 //!
 //! The queue is generic over its payload: shards use it for packet-level
 //! events (ordered by a canonical key, see `engine::shard`), the
-//! coordinator for [`ControlEvent`]s. Events at equal timestamps pop in
-//! insertion order (a monotone sequence number breaks ties), which keeps
-//! runs deterministic for a fixed seed.
+//! coordinator for [`ControlEvent`]s. Events at equal timestamps pop by
+//! [`EventRank`] first — global deliveries before local timers — then in
+//! insertion order (a monotone sequence number breaks the remaining
+//! ties), which keeps runs deterministic for a fixed seed *and*
+//! independent of how many shards raced to schedule them.
 
 use mpls_control::LinkId;
 use std::cmp::Ordering;
@@ -71,8 +73,37 @@ pub enum ControlEvent {
     },
 }
 
+/// Tie-break class for events sharing a timestamp: lower ranks pop
+/// first, and only then does insertion order decide.
+///
+/// The one rule that matters lives in the [`ControlEvent`] impl: an
+/// in-flight delivery ([`ControlEvent::LdpDeliver`]) outranks every
+/// timer at the same instant. A keepalive that lands exactly when the
+/// receiver's hold timer would expire therefore refreshes the session
+/// before [`ControlEvent::LdpTick`] inspects it — "the wire beats the
+/// clock" — matching RFC 5036's intent that a session only expires
+/// after genuine silence. Without the rank the winner would depend on
+/// which event happened to be scheduled first, which in turn depends
+/// on shard count.
+pub trait EventRank {
+    /// Rank within a timestamp; lower pops first.
+    fn rank(&self) -> u8;
+}
+
+impl EventRank for ControlEvent {
+    fn rank(&self) -> u8 {
+        match self {
+            // Deliveries carry state that timers at the same instant
+            // must observe.
+            ControlEvent::LdpDeliver { .. } => 0,
+            _ => 1,
+        }
+    }
+}
+
 struct Entry<K> {
     time: SimTime,
+    rank: u8,
     seq: u64,
     kind: K,
 }
@@ -90,10 +121,12 @@ impl<K> PartialOrd for Entry<K> {
 }
 impl<K> Ord for Entry<K> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert for earliest-first.
+        // BinaryHeap is a max-heap; invert for earliest-first, then
+        // lowest-rank-first, then insertion order.
         other
             .time
             .cmp(&self.time)
+            .then_with(|| other.rank.cmp(&self.rank))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -120,10 +153,19 @@ impl<K> EventQueue<K> {
     }
 
     /// Schedules `kind` at absolute time `time`.
-    pub fn schedule(&mut self, time: SimTime, kind: K) {
+    pub fn schedule(&mut self, time: SimTime, kind: K)
+    where
+        K: EventRank,
+    {
+        let rank = kind.rank();
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, kind });
+        self.heap.push(Entry {
+            time,
+            rank,
+            seq,
+            kind,
+        });
     }
 
     /// Pops the earliest event.
@@ -151,6 +193,14 @@ impl<K> EventQueue<K> {
 mod tests {
     use super::*;
 
+    // Test payloads are unranked: every u32 ties, so insertion order
+    // alone decides.
+    impl EventRank for u32 {
+        fn rank(&self) -> u8 {
+            1
+        }
+    }
+
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
@@ -173,6 +223,28 @@ mod tests {
             flows.push(flow);
         }
         assert_eq!(flows, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn deliveries_outrank_timers_at_equal_times() {
+        // The tick is scheduled *first*, so insertion order alone would
+        // expire the session before the keepalive lands; the rank flips
+        // the outcome.
+        let mut q = EventQueue::new();
+        q.schedule(100, ControlEvent::LdpTick);
+        q.schedule(100, ControlEvent::LdpDeliver { msg: 7 });
+        q.schedule(100, ControlEvent::TelemetrySample);
+        q.schedule(100, ControlEvent::LdpDeliver { msg: 3 });
+        let order: Vec<ControlEvent> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(
+            order,
+            vec![
+                ControlEvent::LdpDeliver { msg: 7 },
+                ControlEvent::LdpDeliver { msg: 3 },
+                ControlEvent::LdpTick,
+                ControlEvent::TelemetrySample,
+            ]
+        );
     }
 
     #[test]

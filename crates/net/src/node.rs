@@ -28,6 +28,16 @@ pub trait Node: Send {
     /// the forwarding decision with its data-plane cost.
     fn on_packet(&mut self, now: SimTime, packet: MplsPacket) -> Forwarding;
 
+    /// [`Node::on_packet`] with the arrival port attached — the global
+    /// channel index for wire arrivals, a synthetic source lane for
+    /// locally injected packets. Both are sharding-invariant, so a
+    /// router keying a flow cache on the port behaves identically at
+    /// any shard count. The default ignores the port.
+    fn on_packet_via(&mut self, now: SimTime, packet: MplsPacket, port: u64) -> Forwarding {
+        let _ = port;
+        self.on_packet(now, packet)
+    }
+
     /// Requests a periodic tick every returned interval (ns). `None`
     /// (the default) schedules no ticks; packet routers are purely
     /// reactive.
@@ -61,6 +71,10 @@ impl<F: MplsForwarder + Send> Node for F {
 
     fn on_packet(&mut self, _now: SimTime, packet: MplsPacket) -> Forwarding {
         self.handle(packet)
+    }
+
+    fn on_packet_via(&mut self, _now: SimTime, packet: MplsPacket, port: u64) -> Forwarding {
+        self.handle_on_port(packet, port)
     }
 
     fn reprogram(&mut self, config: &NodeConfig) {
@@ -99,6 +113,10 @@ impl Node for ForwarderNode {
 
     fn on_packet(&mut self, _now: SimTime, packet: MplsPacket) -> Forwarding {
         self.0.handle(packet)
+    }
+
+    fn on_packet_via(&mut self, _now: SimTime, packet: MplsPacket, port: u64) -> Forwarding {
+        self.0.handle_on_port(packet, port)
     }
 
     fn reprogram(&mut self, config: &NodeConfig) {

@@ -200,6 +200,16 @@ impl MplsForwarder for EmbeddedRouter {
             let Some((push_label, cos)) = self.tables.classify(dst) else {
                 return self.finish(0, Action::Discard(DiscardCause::NoRoute));
             };
+            // TTL 0 cannot survive the hardware push (`VerifyInfo` kills
+            // it), so discard before the slow path runs: a dead packet
+            // must neither occupy a level-1 flow slot nor — when the
+            // table is full — be misreported as `FlowTableFull`. This
+            // mirrors the software router's check; the labeled TTL rules
+            // stay inside the modifier, whose search-first order the
+            // golden waveforms pin.
+            if packet.ip.ttl == 0 {
+                return self.finish(0, Action::Discard(DiscardCause::TtlExpired));
+            }
             let mut cycles = 0;
             if !self.installed_flows.contains(&dst) {
                 let r =
@@ -254,7 +264,7 @@ mod tests {
     use mpls_packet::ipv4::parse_addr;
     use mpls_packet::{EtherType, EthernetFrame, Ipv4Header, Label, MacAddr};
 
-    fn packet_to(dst: &str) -> MplsPacket {
+    fn packet_to_ttl(dst: &str, ttl: u8) -> MplsPacket {
         MplsPacket::ipv4(
             EthernetFrame {
                 dst: MacAddr::from_node(0, 0),
@@ -265,11 +275,15 @@ mod tests {
                 parse_addr("10.9.0.1").unwrap(),
                 parse_addr(dst).unwrap(),
                 Ipv4Header::PROTO_UDP,
-                64,
+                ttl,
                 16,
             ),
             bytes::Bytes::from_static(&[0u8; 16]),
         )
+    }
+
+    fn packet_to(dst: &str) -> MplsPacket {
+        packet_to_ttl(dst, 64)
     }
 
     fn lsp_setup() -> (ControlPlane, u32) {
@@ -415,13 +429,92 @@ mod tests {
             &cp.config_for(2),
             ClockSpec::STRATIX_50MHZ,
         );
-        let mut p = packet_to("192.168.1.5");
-        let mut s = LabelStack::new();
-        s.push_parts(lsp.hop_labels[0], CosBits::BEST_EFFORT, 1)
-            .unwrap();
-        p.splice_stack(s);
-        let out = r.handle(p);
+        for ttl in [0u8, 1] {
+            let mut p = packet_to("192.168.1.5");
+            let mut s = LabelStack::new();
+            s.push_parts(lsp.hop_labels[0], CosBits::BEST_EFFORT, ttl)
+                .unwrap();
+            p.splice_stack(s);
+            let out = r.handle(p);
+            assert_eq!(
+                out.action,
+                Action::Discard(DiscardCause::TtlExpired),
+                "ttl {ttl}: must expire before the swap is applied"
+            );
+        }
+    }
+
+    #[test]
+    fn ttl_expiry_discards_at_php_pop() {
+        let (cp, id) = lsp_setup();
+        let lsp = cp.lsp(id).unwrap().clone();
+        let mut r = EmbeddedRouter::new(
+            1,
+            RouterRole::Ler,
+            &cp.config_for(1),
+            ClockSpec::STRATIX_50MHZ,
+        );
+        for ttl in [0u8, 1] {
+            let mut p = packet_to("192.168.1.5");
+            let mut s = LabelStack::new();
+            s.push_parts(lsp.hop_labels[2], CosBits::BEST_EFFORT, ttl)
+                .unwrap();
+            p.splice_stack(s);
+            let out = r.handle(p);
+            assert_eq!(
+                out.action,
+                Action::Discard(DiscardCause::TtlExpired),
+                "ttl {ttl}: must expire before the pop exposes the payload"
+            );
+        }
+    }
+
+    #[test]
+    fn ttl_zero_at_ingress_discards_before_flow_install() {
+        // Regression (ISSUE 5): the slow path used to install the level-1
+        // flow *before* any TTL check, so a dead packet polluted the flow
+        // table (and, with the table full, was misreported as
+        // FlowTableFull instead of TtlExpired).
+        let (cp, _) = lsp_setup();
+        let mut r = EmbeddedRouter::new(
+            0,
+            RouterRole::Ler,
+            &cp.config_for(0),
+            ClockSpec::STRATIX_50MHZ,
+        );
+        let out = r.handle(packet_to_ttl("192.168.1.5", 0));
         assert_eq!(out.action, Action::Discard(DiscardCause::TtlExpired));
+        assert_eq!(out.latency_ns, 0, "no modifier interaction at all");
+        let s = r.stats();
+        assert_eq!(s.flow_installs, 0, "a dead packet must not install a flow");
+        assert_eq!(s.stage_cycles.slow_path, 0);
+        // The flow table is unpolluted: a live packet still installs and
+        // forwards normally.
+        let out = r.handle(packet_to("192.168.1.5"));
+        assert!(matches!(out.action, Action::Forward { .. }));
+        assert_eq!(r.stats().flow_installs, 1);
+    }
+
+    #[test]
+    fn ttl_one_survives_ingress_push() {
+        // TTL 1 is alive at the push point (the hardware writes the
+        // control-path TTL verbatim); it dies at the *next* hop's swap.
+        let (cp, id) = lsp_setup();
+        let lsp = cp.lsp(id).unwrap().clone();
+        let mut r = EmbeddedRouter::new(
+            0,
+            RouterRole::Ler,
+            &cp.config_for(0),
+            ClockSpec::STRATIX_50MHZ,
+        );
+        let out = r.handle(packet_to_ttl("192.168.1.5", 1));
+        match out.action {
+            Action::Forward { packet, .. } => {
+                assert_eq!(packet.stack.top().unwrap().label, lsp.hop_labels[0]);
+                assert_eq!(packet.stack.top().unwrap().ttl, 1);
+            }
+            other => panic!("expected forward, got {other:?}"),
+        }
     }
 
     #[test]

@@ -222,6 +222,19 @@ pub struct RouterStats {
     pub flow_installs: u64,
     /// Hardware only: `total_cycles` broken down by pipeline stage.
     pub stage_cycles: StageCycles,
+    /// FIB lookups actually executed (cache hits excluded). Diagnostics
+    /// only, never serialized: reports must stay byte-identical across
+    /// lookup strategies, and this is exactly the counter that tells the
+    /// paths apart.
+    #[serde(skip)]
+    pub fib_lookups: u64,
+    /// Flow-cache hits (fast path only; see `fib_lookups` for why this is
+    /// not serialized).
+    #[serde(skip)]
+    pub cache_hits: u64,
+    /// Flow-cache misses (fast path only).
+    #[serde(skip)]
+    pub cache_misses: u64,
 }
 
 impl RouterStats {
@@ -242,6 +255,14 @@ pub trait MplsForwarder {
 
     /// Processes one packet.
     fn handle(&mut self, packet: MplsPacket) -> Forwarding;
+
+    /// Processes one packet that arrived on `port` (a channel index, or
+    /// a synthetic source port). Routers with a per-ingress flow cache
+    /// key on the port; the default ignores it.
+    fn handle_on_port(&mut self, packet: MplsPacket, port: u64) -> Forwarding {
+        let _ = port;
+        self.handle(packet)
+    }
 
     /// Statistics so far.
     fn stats(&self) -> RouterStats;

@@ -54,11 +54,23 @@ pub struct SoftwareRouter<S: LookupStrategy> {
     timing: SwTimingModel,
     stats: RouterStats,
     last_probes: u64,
+    /// Whether reprogrammed forwarders get a (fresh, empty) flow cache.
+    use_cache: bool,
 }
 
-/// Loads a fresh FIB from a node configuration.
-fn load_fib<S: LookupStrategy>(rtype: SwRouterType, config: &NodeConfig) -> SoftwareForwarder<S> {
+/// Loads a fresh FIB from a node configuration. Building a new forwarder
+/// is also how the router is *reprogrammed*, so any flow cache dies here
+/// with the bindings it memoized — withdraw/release, fault rewrites and
+/// LSP retirement all invalidate by construction.
+fn load_fib<S: LookupStrategy>(
+    rtype: SwRouterType,
+    config: &NodeConfig,
+    use_cache: bool,
+) -> SoftwareForwarder<S> {
     let mut forwarder = SoftwareForwarder::new(rtype);
+    if use_cache {
+        forwarder = forwarder.with_flow_cache();
+    }
     for b in &config.bindings {
         let level = match b.level {
             1 => FibLevel::L1,
@@ -75,6 +87,17 @@ impl<S: LookupStrategy> SoftwareRouter<S> {
     /// Builds a router for `node` with `role`, loading the FIB from the
     /// control plane's `config`.
     pub fn new(node: NodeId, role: RouterRole, config: &NodeConfig, timing: SwTimingModel) -> Self {
+        Self::with_options(node, role, config, timing, false)
+    }
+
+    /// [`Self::new`] with the per-ingress flow cache switched on or off.
+    pub fn with_options(
+        node: NodeId,
+        role: RouterRole,
+        config: &NodeConfig,
+        timing: SwTimingModel,
+        use_cache: bool,
+    ) -> Self {
         let rtype = match role {
             RouterRole::Ler => SwRouterType::Ler,
             RouterRole::Lsr => SwRouterType::Lsr,
@@ -82,11 +105,12 @@ impl<S: LookupStrategy> SoftwareRouter<S> {
         Self {
             node,
             rtype,
-            forwarder: load_fib(rtype, config),
+            forwarder: load_fib(rtype, config, use_cache),
             tables: RouterTables::from_config(config),
             timing,
             stats: RouterStats::default(),
             last_probes: 0,
+            use_cache,
         }
     }
 
@@ -115,7 +139,11 @@ impl<S: LookupStrategy> MplsForwarder for SoftwareRouter<S> {
         self.node
     }
 
-    fn handle(&mut self, mut packet: MplsPacket) -> Forwarding {
+    fn handle(&mut self, packet: MplsPacket) -> Forwarding {
+        self.handle_on_port(packet, 0)
+    }
+
+    fn handle_on_port(&mut self, mut packet: MplsPacket, port: u64) -> Forwarding {
         self.stats.packets_in += 1;
         let dst = packet.ip.dst;
 
@@ -149,9 +177,13 @@ impl<S: LookupStrategy> MplsForwarder for SoftwareRouter<S> {
         // Labeled path: run the forwarder and charge its probes.
         let mut stack = packet.stack.clone();
         let before = self.forwarder.total_probes();
-        let result = self
-            .forwarder
-            .process(&mut stack, dst, CosBits::BEST_EFFORT, packet.ip.ttl);
+        let result = self.forwarder.process_on_port(
+            &mut stack,
+            dst,
+            CosBits::BEST_EFFORT,
+            packet.ip.ttl,
+            port,
+        );
         self.last_probes = self.forwarder.total_probes() - before;
         let probes = self.last_probes;
         match result {
@@ -171,11 +203,27 @@ impl<S: LookupStrategy> MplsForwarder for SoftwareRouter<S> {
     }
 
     fn stats(&self) -> RouterStats {
-        self.stats
+        // `self.stats` holds the totals of forwarders retired by
+        // reprogram; add the live forwarder's share on top.
+        let mut stats = self.stats;
+        stats.fib_lookups += self.forwarder.fib_lookups();
+        if let Some((hits, misses)) = self.forwarder.cache_stats() {
+            stats.cache_hits += hits;
+            stats.cache_misses += misses;
+        }
+        stats
     }
 
     fn reprogram(&mut self, config: &NodeConfig) {
-        self.forwarder = load_fib(self.rtype, config);
+        // Carry the fast-path diagnostics of the forwarder being retired
+        // into the sticky stats (the serialized counters already live
+        // there; these are the non-serialized ones).
+        self.stats.fib_lookups += self.forwarder.fib_lookups();
+        if let Some((hits, misses)) = self.forwarder.cache_stats() {
+            self.stats.cache_hits += hits;
+            self.stats.cache_misses += misses;
+        }
+        self.forwarder = load_fib(self.rtype, config, self.use_cache);
         self.tables = RouterTables::from_config(config);
     }
 }
@@ -189,7 +237,7 @@ mod tests {
     use mpls_packet::ipv4::parse_addr;
     use mpls_packet::{EtherType, EthernetFrame, Ipv4Header, LabelStack, MacAddr};
 
-    fn packet_to(dst: &str) -> MplsPacket {
+    fn packet_to_ttl(dst: &str, ttl: u8) -> MplsPacket {
         MplsPacket::ipv4(
             EthernetFrame {
                 dst: MacAddr::from_node(0, 0),
@@ -200,11 +248,15 @@ mod tests {
                 parse_addr("10.9.0.1").unwrap(),
                 parse_addr(dst).unwrap(),
                 Ipv4Header::PROTO_UDP,
-                64,
+                ttl,
                 16,
             ),
             bytes::Bytes::from_static(&[0u8; 16]),
         )
+    }
+
+    fn packet_to(dst: &str) -> MplsPacket {
+        packet_to_ttl(dst, 64)
     }
 
     fn setup() -> (ControlPlane, u32) {
@@ -296,6 +348,68 @@ mod tests {
 
         let out = transit.handle(packet_to("172.16.0.9"));
         assert_eq!(out.action, Action::Discard(DiscardCause::NoRoute));
+    }
+
+    #[test]
+    fn ingress_ttl_edges_match_the_embedded_model() {
+        // TTL 0 dies before the push (after classification, so NoRoute
+        // still wins for unroutable packets); TTL 1 pushes and survives
+        // to die at the next hop — identical to the embedded router.
+        let (cp, id) = setup();
+        let lsp = cp.lsp(id).unwrap().clone();
+        let mut ingress: SoftwareRouter<HashTable> = SoftwareRouter::new(
+            0,
+            RouterRole::Ler,
+            &cp.config_for(0),
+            SwTimingModel::default(),
+        );
+        assert_eq!(
+            ingress.handle(packet_to_ttl("192.168.1.5", 0)).action,
+            Action::Discard(DiscardCause::TtlExpired)
+        );
+        let out = ingress.handle(packet_to_ttl("192.168.1.5", 1));
+        match out.action {
+            Action::Forward { packet, .. } => {
+                assert_eq!(packet.stack.top().unwrap().label, lsp.hop_labels[0]);
+                assert_eq!(packet.stack.top().unwrap().ttl, 1);
+            }
+            other => panic!("expected forward, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fast_path_reports_the_same_decisions_and_latency() {
+        // The SoftwareFast configuration (HashFib + flow cache) must be
+        // observably identical to the linear router, per packet: same
+        // actions, same latencies. Only the non-serialized diagnostics
+        // tell them apart.
+        let (cp, id) = setup();
+        let timing = SwTimingModel::default();
+        let mut linear: SoftwareRouter<mpls_dataplane::LinearTable> =
+            SoftwareRouter::new(2, RouterRole::Lsr, &cp.config_for(2), timing);
+        let mut fast: SoftwareRouter<mpls_dataplane::HashFib> =
+            SoftwareRouter::with_options(2, RouterRole::Lsr, &cp.config_for(2), timing, true);
+        let lsp0 = cp.lsp(id).unwrap().clone();
+        for _ in 0..4 {
+            let mut p = packet_to("192.168.1.5");
+            let mut s = LabelStack::new();
+            s.push_parts(lsp0.hop_labels[0], CosBits::BEST_EFFORT, 63)
+                .unwrap();
+            p.splice_stack(s);
+            let mut q = p.clone();
+            q.splice_stack(p.stack.clone());
+            let a = linear.handle(p);
+            let b = fast.handle(q);
+            assert_eq!(a, b);
+        }
+        let (ls, fs) = (linear.stats(), fast.stats());
+        assert_eq!(ls.total_latency_ns, fs.total_latency_ns);
+        assert_eq!(ls.forwarded, fs.forwarded);
+        assert!(fs.cache_hits > 0, "repeat packets hit the flow cache");
+        assert!(
+            fs.fib_lookups < ls.fib_lookups || ls.fib_lookups == 0,
+            "the cache absorbs repeat lookups"
+        );
     }
 
     #[test]

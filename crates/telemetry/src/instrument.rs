@@ -46,11 +46,15 @@ impl Gauge {
 
 /// A fixed-bucket histogram over `u64` samples.
 ///
-/// `bounds` are ascending *inclusive upper bounds*; bucket `i` counts samples
-/// `v` with `bounds[i-1] < v <= bounds[i]`, and one extra overflow bucket
-/// catches everything above the last bound. Bounds are fixed at registration,
-/// so recording is a binary search plus an increment — no reallocation on the
-/// hot path.
+/// `bounds` are ascending bucket *boundaries* with half-open `[lo, hi)`
+/// semantics: bucket `i` counts samples `v` with `bounds[i-1] <= v <
+/// bounds[i]` (bucket 0 takes `v < bounds[0]`), and one extra overflow
+/// bucket catches `v >= bounds[last]`. A sample exactly equal to a
+/// boundary therefore lands in the bucket *above* it, deterministically —
+/// every boundary belongs to exactly one bucket, which is what keeps
+/// merged shard deltas and golden snapshots stable. Bounds are fixed at
+/// registration, so recording is a binary search plus an increment — no
+/// reallocation on the hot path.
 #[derive(Debug, Clone, Serialize)]
 pub struct Histogram {
     bounds: Vec<u64>,
@@ -63,7 +67,7 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    /// A histogram with explicit ascending inclusive upper bounds.
+    /// A histogram with explicit ascending `[lo, hi)` bucket boundaries.
     pub fn new(bounds: Vec<u64>) -> Self {
         assert!(!bounds.is_empty(), "histogram needs at least one bound");
         assert!(
@@ -100,10 +104,12 @@ impl Histogram {
         Self::new((0..count as u64).map(|i| start + i * step).collect())
     }
 
-    /// Records one sample.
+    /// Records one sample into its half-open `[lo, hi)` bucket.
     #[inline]
     pub fn record(&mut self, value: u64) {
-        let idx = self.bounds.partition_point(|&b| value > b);
+        // Index of the first bound strictly above `value`: a sample equal
+        // to a bound belongs to the bucket that *starts* at it.
+        let idx = self.bounds.partition_point(|&b| value >= b);
         self.counts[idx] += 1;
         self.total += 1;
         self.sum = self.sum.saturating_add(value);
@@ -136,7 +142,8 @@ impl Histogram {
         (self.total > 0).then(|| self.sum as f64 / self.total as f64)
     }
 
-    /// The inclusive upper bounds.
+    /// The bucket boundaries (each is the inclusive lower edge of the
+    /// bucket above it and the exclusive upper edge of the one below).
     pub fn bounds(&self) -> &[u64] {
         &self.bounds
     }
@@ -146,7 +153,8 @@ impl Histogram {
         &self.counts
     }
 
-    /// Upper bound of the bucket containing the `q`-quantile (0 ≤ q ≤ 1).
+    /// Exclusive upper edge of the bucket containing the `q`-quantile
+    /// (0 ≤ q ≤ 1) — a conservative "the quantile is below this" bound.
     /// The overflow bucket reports the observed maximum.
     pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.total == 0 {
@@ -280,22 +288,22 @@ mod tests {
     }
 
     #[test]
-    fn histogram_bucket_boundaries_are_inclusive_upper() {
+    fn histogram_buckets_are_half_open() {
         let mut h = Histogram::new(vec![10, 20, 40]);
-        // Exactly on a bound lands in that bound's bucket.
+        // Exactly on a boundary lands in the bucket that *starts* there.
         h.record(10);
         h.record(20);
-        h.record(40);
-        // One past a bound lands in the next bucket.
-        h.record(11);
-        h.record(21);
-        h.record(41); // overflow
+        h.record(40); // overflow: 40 >= last bound
+                      // One below a boundary stays in the bucket it closes.
+        h.record(9);
+        h.record(19);
+        h.record(39);
         h.record(0); // bottom bucket
-                     // {0,10} / {11,20} / {21,40} / {41}
+                     // [0,10) = {9,0} / [10,20) = {10,19} / [20,40) = {20,39} / [40,∞) = {40}
         assert_eq!(h.counts(), &[2, 2, 2, 1]);
         assert_eq!(h.total(), 7);
         assert_eq!(h.min(), Some(0));
-        assert_eq!(h.max(), Some(41));
+        assert_eq!(h.max(), Some(40));
     }
 
     #[test]
@@ -304,8 +312,11 @@ mod tests {
         for v in [1, 1, 2, 2, 2, 3, 5, 100] {
             h.record(v);
         }
-        assert_eq!(h.quantile(0.0), Some(1));
-        assert_eq!(h.quantile(0.5), Some(2));
+        // Buckets: [1,2) = {1,1}, [2,4) = {2,2,2,3}, [4,8) = {5},
+        // overflow = {100}; the quantile reports the containing bucket's
+        // exclusive upper edge.
+        assert_eq!(h.quantile(0.0), Some(2));
+        assert_eq!(h.quantile(0.5), Some(4));
         assert_eq!(h.quantile(0.75), Some(4));
         // Overflow bucket reports the observed max, not a bound.
         assert_eq!(h.quantile(1.0), Some(100));

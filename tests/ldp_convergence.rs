@@ -273,6 +273,103 @@ fn link_fault_detects_reconverges_and_conserves_losses() {
     assert_eq!(rec.packets_lost, s.link_dropped);
 }
 
+/// A 2x2 grid engineered so every hello lands *exactly* on the
+/// receiver's next tick: 1 Tbps links make each PDU serialize in 1 ns,
+/// and the propagation delay is `hello_interval - 1`, so a hello sent
+/// at tick `T` arrives at `T + 1 + (h - 1) = T + h` — the very instant
+/// the next `LdpTick` fires.
+fn collision_plane() -> ControlPlane {
+    let mut topo = Topology::new();
+    for id in 0..4u32 {
+        let role = if id == 0 || id == 3 {
+            RouterRole::Ler
+        } else {
+            RouterRole::Lsr
+        };
+        topo.add_node(id, role, format!("n{id}"));
+    }
+    for (a, b) in [(0, 1), (0, 2), (1, 3), (2, 3)] {
+        topo.add_link(LinkSpec {
+            a,
+            b,
+            cost: 1,
+            bandwidth_bps: 1_000_000_000_000,
+            delay_ns: 999_999,
+        });
+    }
+    let mut cp = ControlPlane::new(topo);
+    cp.attach_prefix(3, Prefix::new(parse_addr("192.168.1.0").unwrap(), 24));
+    cp.establish_lsp(LspRequest::best_effort(
+        0,
+        3,
+        Prefix::new(parse_addr("192.168.1.0").unwrap(), 24),
+    ))
+    .expect("LSP");
+    cp
+}
+
+/// Equal-timestamp tie-break, end to end: with the collision topology
+/// above and a hold time *shorter* than the tick-to-tick silence, every
+/// hold check races an in-flight hello carrying the refresh. The event
+/// queue ranks global deliveries before timers ("the wire beats the
+/// clock"), so sessions must never flap — and the winner must not
+/// depend on the shard count.
+#[test]
+fn keepalive_at_exact_hold_expiry_keeps_the_session_on_any_shard_count() {
+    let cp = collision_plane();
+    let run = |shards: usize| -> String {
+        let mut sim = Simulation::build(
+            &cp,
+            RouterKind::Embedded {
+                clock: ClockSpec::STRATIX_50MHZ,
+            },
+            QueueDiscipline::Fifo { capacity: 32 },
+            11,
+        );
+        // Silence observed by a tick that beats the colliding hello
+        // would be `hello_interval - 1` ns; a hold of one less makes
+        // that a session death. Only delivery-before-timer survives.
+        sim.enable_ldp(LdpConfig {
+            hello_interval_ns: 1_000_000,
+            hold_ns: 999_998,
+        });
+        sim.set_shards(shards);
+        sim.add_flow(FlowSpec {
+            name: "fwd".into(),
+            ingress: 0,
+            src_addr: parse_addr("10.1.0.5").unwrap(),
+            dst_addr: parse_addr("192.168.1.5").unwrap(),
+            payload_bytes: 200,
+            precedence: 0,
+            pattern: TrafficPattern::Cbr {
+                interval_ns: 500_000,
+            },
+            start_ns: 10_000_000,
+            stop_ns: 15_000_000,
+            police: None,
+        });
+        let report: SimReport = sim.run(25_000_000);
+        assert_eq!(report.control.mode, "ldp");
+        assert!(report.control.sessions_established > 0, "bring-up failed");
+        assert_eq!(
+            report.control.session_downs, 0,
+            "a hold timer beat a same-instant keepalive at {shards} shard(s)"
+        );
+        assert!(report.control.convergence_ns.is_some());
+        let s = report.flow("fwd").unwrap();
+        assert!(s.delivered > 0, "converged tables must carry traffic");
+        serde_json::to_string(&report).expect("report serializes")
+    };
+    let baseline = run(1);
+    for shards in [2, 4] {
+        assert_eq!(
+            baseline,
+            run(shards),
+            "tie-break outcome diverged at {shards} shards"
+        );
+    }
+}
+
 #[test]
 fn ldp_runs_are_byte_identical_across_shard_counts() {
     let cp = grid_plane(3, 4, 3);
