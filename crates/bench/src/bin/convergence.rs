@@ -88,6 +88,7 @@ fn build(cp: &ControlPlane, hold_ns: u64) -> Simulation {
     sim.enable_ldp(LdpConfig {
         hello_interval_ns: hold_ns / 3,
         hold_ns,
+        ..LdpConfig::default()
     });
     sim
 }

@@ -19,7 +19,9 @@
 //!   configuration; the fast path's advantage grows with table depth.
 //!
 //! Run: `cargo run --release -p mpls-bench --bin throughput`
-//! (`--quick` for the CI smoke subset: shallower tables, shorter run).
+//! (`--quick` for the CI smoke subset: shallower tables, shorter run;
+//! `--json <path>` additionally writes the measurements as a
+//! machine-readable trajectory point, e.g. the committed `BENCH_6.json`).
 
 use mpls_bench::MarkdownTable;
 use mpls_control::{ControlPlane, LinkSpec, LspRequest, RouterRole, Topology};
@@ -27,7 +29,33 @@ use mpls_net::traffic::{FlowSpec, TrafficPattern};
 use mpls_net::{QueueDiscipline, RouterKind, SimReport, Simulation, TelemetryConfig};
 use mpls_packet::ipv4::parse_addr;
 use mpls_router::SwTimingModel;
+use serde::Serialize;
 use std::time::Instant;
+
+/// One measured configuration, as written to the `--json` trajectory
+/// file (`BENCH_<n>.json`). Wall-clock figures are host-dependent; the
+/// events count is deterministic and doubles as a sanity anchor when
+/// comparing points across machines.
+#[derive(Serialize)]
+struct JsonRow {
+    lookup: String,
+    cache: String,
+    shards: usize,
+    events: u64,
+    wall_ms: f64,
+    events_per_sec: f64,
+}
+
+/// The whole trajectory point: enough metadata that a later CI gate can
+/// refuse to compare measurements taken under different configs.
+#[derive(Serialize)]
+struct JsonReport {
+    bench: &'static str,
+    quick: bool,
+    lsps_per_pair: u32,
+    run_ns: u64,
+    rows: Vec<JsonRow>,
+}
 
 const SIDE: u32 = 8;
 const CORNERS: [u32; 4] = [0, SIDE - 1, (SIDE - 1) * SIDE, SIDE * SIDE - 1];
@@ -144,7 +172,12 @@ fn run_at(
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).expect("--json needs a path").clone());
     let lsps_per_pair: u32 = if quick { 32 } else { 4096 };
     let run_ns: u64 = if quick { 5_000_000 } else { 30_000_000 };
     let shard_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4] };
@@ -169,6 +202,7 @@ fn main() {
     let mut baseline_json = String::new();
     let mut linear_eps = 0.0;
     let mut fast_eps_1shard = 0.0;
+    let mut json_rows = Vec::new();
     let variants: Vec<(&str, &str, RouterKind)> = vec![
         ("linear", "-", RouterKind::SoftwareLinear { timing }),
         (
@@ -223,6 +257,14 @@ fn main() {
                 format!("{:.0}", eps),
                 format!("{:.2}x", eps / linear_eps),
             ]);
+            json_rows.push(JsonRow {
+                lookup: lookup.to_string(),
+                cache: cache.to_string(),
+                shards,
+                events,
+                wall_ms: secs * 1e3,
+                events_per_sec: eps,
+            });
         }
     }
     println!("{}", t.render());
@@ -233,5 +275,17 @@ fn main() {
     );
     if !quick && ratio < 3.0 {
         println!("warning: expected >= 3x on a deep table; host noise or shallow tables?");
+    }
+    if let Some(path) = json_path {
+        let report = JsonReport {
+            bench: "ext12-throughput",
+            quick,
+            lsps_per_pair,
+            run_ns,
+            rows: json_rows,
+        };
+        let body = serde_json::to_string_pretty(&report).expect("bench report serializes");
+        std::fs::write(&path, body + "\n").expect("bench json written");
+        println!("wrote {path}");
     }
 }

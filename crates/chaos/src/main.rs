@@ -1,0 +1,82 @@
+//! `chaos`: run a seeded corpus of generated scenarios through the
+//! invariant oracles; shrink and persist a repro for every failure.
+//!
+//! ```text
+//! chaos --quick                 # 40-case PR-gate corpus (~1 min)
+//! chaos --cases 200             # full seeded corpus
+//! chaos --seed 7 --cases 500    # a different corpus
+//! chaos --out target/repros     # where failing repros land
+//! ```
+//!
+//! Exit status is the number of failing cases (0 = all oracles green).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut cases: u64 = 200;
+    let mut seed: u64 = 0xC4A0_5EED;
+    let mut out = PathBuf::from("chaos-repros");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => cases = 40,
+            "--cases" => {
+                cases = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--cases needs a number"))
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs a number"))
+            }
+            "--out" => {
+                out = args
+                    .next()
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| usage("--out needs a path"))
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: chaos [--quick | --cases N] [--seed S] [--out DIR]\n\
+                     Runs N generated scenarios (seed S) through the invariant\n\
+                     oracles; failing cases are shrunk and written to DIR."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    println!("chaos corpus: {cases} cases, seed {seed:#x}");
+    let failures = mpls_chaos::run_corpus(seed, cases, |done, total| {
+        if done % 20 == 0 || done == total {
+            println!("  {done}/{total} cases checked");
+        }
+    });
+
+    if failures.is_empty() {
+        println!("all oracles green across {cases} cases");
+        return ExitCode::SUCCESS;
+    }
+    for f in &failures {
+        println!(
+            "case {}: {} — shrunk to {} fault(s)",
+            f.case, f.violation, f.faults_left
+        );
+        match mpls_chaos::write_repro(&out, f) {
+            Ok(p) => println!("  repro: {}", p.display()),
+            Err(e) => println!("  could not write repro: {e}"),
+        }
+    }
+    println!("{} of {cases} cases failed", failures.len());
+    ExitCode::from(failures.len().min(255) as u8)
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("chaos: {msg} (try --help)");
+    std::process::exit(2);
+}

@@ -1,0 +1,54 @@
+//! Proof that the harness catches and minimizes a real bug.
+//!
+//! With `--features bug-demo`, mpls-net deliberately drops the fault-loss
+//! flow-stat increment on odd-numbered links (`chaos-bug`). The corpus
+//! must detect the broken conservation, shrink the scenario to a handful
+//! of faults, and emit a repro that still fails when replayed from disk.
+#![cfg(feature = "bug-demo")]
+
+use mpls_chaos::{check, fault_count, generate, minimize, write_repro, Failure};
+use mpls_cli::Scenario;
+
+const SEED: u64 = 0xC4A0_5EED;
+
+#[test]
+fn planted_bug_is_detected_shrunk_and_replayable() {
+    // Scan the quick corpus for the first case the planted bug breaks.
+    let (idx, scenario, first) = (0..40)
+        .find_map(|idx| {
+            let case = generate(SEED, idx);
+            check(&case.scenario).err().map(|v| (idx, case.scenario, v))
+        })
+        .expect("the planted conservation bug must surface within 40 cases");
+    assert_eq!(
+        first.oracle, "conservation",
+        "expected the conservation oracle to fire, got {first}"
+    );
+
+    // Shrinking keeps the violation while stripping the incidental
+    // structure; the acceptance bar is a repro of at most 5 faults.
+    let (minimized, witness) = minimize(&scenario);
+    assert_eq!(witness.oracle, "conservation");
+    let left = fault_count(&minimized);
+    assert!(left >= 1, "a conservation break needs at least one fault");
+    assert!(left <= 5, "repro still carries {left} faults");
+    assert!(
+        fault_count(&minimized) <= fault_count(&scenario),
+        "shrinking must never grow the scenario"
+    );
+
+    // The emitted repro is a standalone scenario file that still fails
+    // when loaded back the way `mpls-sim run` would load it.
+    let dir = std::env::temp_dir().join(format!("chaos-bug-demo-{idx}"));
+    let failure = Failure {
+        case: idx,
+        violation: witness,
+        minimized,
+        faults_left: left,
+    };
+    let path = write_repro(&dir, &failure).expect("repro written");
+    let replayed = Scenario::load(&path).expect("repro parses");
+    let again = check(&replayed).expect_err("replayed repro must still fail");
+    assert_eq!(again.oracle, "conservation");
+    std::fs::remove_dir_all(&dir).ok();
+}

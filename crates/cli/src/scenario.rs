@@ -17,7 +17,7 @@ use mpls_net::{
 use mpls_packet::ipv4::parse_addr;
 use mpls_packet::CosBits;
 use mpls_router::SwTimingModel;
-use serde::Deserialize;
+use serde::{Deserialize, Serialize};
 
 /// Errors while loading or running a scenario.
 #[derive(Debug)]
@@ -65,7 +65,11 @@ fn parse_ip(s: &str) -> Result<u32, ScenarioError> {
 }
 
 /// Top-level scenario document.
-#[derive(Debug, Deserialize)]
+///
+/// Implements `Serialize` as well: the chaos harness shrinks failing
+/// scenarios and re-emits them as standalone repro files for
+/// `mpls-sim run`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 #[serde(deny_unknown_fields)]
 pub struct Scenario {
     /// Nodes of the topology.
@@ -120,7 +124,7 @@ fn default_horizon_ms() -> u64 {
 }
 
 /// One node.
-#[derive(Debug, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NodeDecl {
     /// Node id.
     pub id: u32,
@@ -136,7 +140,7 @@ pub struct NodeDecl {
 }
 
 /// One bidirectional link.
-#[derive(Debug, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LinkDecl {
     /// Endpoint A.
     pub a: u32,
@@ -156,7 +160,7 @@ fn one() -> u32 {
 }
 
 /// A locally attached prefix.
-#[derive(Debug, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AttachDecl {
     /// The owning LER.
     pub node: u32,
@@ -165,7 +169,7 @@ pub struct AttachDecl {
 }
 
 /// One LSP request.
-#[derive(Debug, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LspDecl {
     /// Ingress LER.
     pub ingress: u32,
@@ -192,7 +196,7 @@ pub struct LspDecl {
 
 /// Fault injection section: scheduled link events, random loss, and the
 /// detection/recovery timing model.
-#[derive(Debug, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 #[serde(deny_unknown_fields)]
 pub struct FaultsDecl {
     /// Scheduled link state changes.
@@ -201,6 +205,10 @@ pub struct FaultsDecl {
     /// Per-link random wire loss.
     #[serde(default)]
     pub loss: Vec<LinkLossDecl>,
+    /// Per-link control-PDU chaos windows (loss/duplication/reorder/
+    /// corruption of LDP PDUs only; data traffic is untouched).
+    #[serde(default)]
+    pub pdu_chaos: Vec<PduChaosDecl>,
     /// Failure-detection delay in microseconds (default 1000).
     #[serde(default = "thousand")]
     pub detection_delay_us: u64,
@@ -228,6 +236,7 @@ impl Default for FaultsDecl {
         Self {
             events: Vec::new(),
             loss: Vec::new(),
+            pdu_chaos: Vec::new(),
             detection_delay_us: thousand(),
             resignal_delay_us: thousand(),
             backoff_factor: two(),
@@ -255,7 +264,7 @@ fn default_recovery() -> String {
 }
 
 /// LDP timer section.
-#[derive(Debug, Clone, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 #[serde(deny_unknown_fields)]
 pub struct LdpDecl {
     /// Hello/keepalive interval in microseconds (default 1000).
@@ -266,6 +275,19 @@ pub struct LdpDecl {
     /// detection.
     #[serde(default = "ldp_hold_us")]
     pub hold_us: u64,
+    /// Cap on the re-initialization backoff exponent (default 5): the
+    /// n-th unanswered attempt waits
+    /// `max(hello_interval << min(n, cap), hold)` with ±25% jitter.
+    #[serde(default = "ldp_backoff_exp")]
+    pub max_backoff_exp: u32,
+    /// Seed for the deterministic backoff jitter (default 0).
+    #[serde(default)]
+    pub jitter_seed: u64,
+    /// Liberal retention TTL in microseconds (default 0 = conservative
+    /// retention): bindings from a dead session keep serving traffic
+    /// this long unless refreshed first.
+    #[serde(default)]
+    pub stale_ttl_us: u64,
 }
 
 impl Default for LdpDecl {
@@ -274,6 +296,9 @@ impl Default for LdpDecl {
         Self {
             hello_interval_us: thousand(),
             hold_us: ldp_hold_us(),
+            max_backoff_exp: ldp_backoff_exp(),
+            jitter_seed: 0,
+            stale_ttl_us: 0,
         }
     }
 }
@@ -281,10 +306,13 @@ impl Default for LdpDecl {
 fn ldp_hold_us() -> u64 {
     3500
 }
+fn ldp_backoff_exp() -> u32 {
+    LdpConfig::default().max_backoff_exp
+}
 
 /// Telemetry section: turns on the instrument registry for the run and
 /// tunes its sampling.
-#[derive(Debug, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 #[serde(deny_unknown_fields)]
 pub struct TelemetryDecl {
     /// Collect metrics for this run (default true when the section is
@@ -330,7 +358,7 @@ fn default_event_capacity() -> usize {
 }
 
 /// One scheduled link transition.
-#[derive(Debug, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 #[serde(tag = "kind", rename_all = "snake_case")]
 pub enum FaultEventDecl {
     /// The link between `a` and `b` fails at `at_ms`.
@@ -351,10 +379,44 @@ pub enum FaultEventDecl {
         /// Endpoint B.
         b: u32,
     },
+    /// `node` crashes at `at_ms`: full state loss, sessions torn down,
+    /// incident links dark, FIB cold until re-learned.
+    NodeDown {
+        /// When, in milliseconds.
+        at_ms: u64,
+        /// The crashing node.
+        node: u32,
+    },
+    /// `node` restarts at `at_ms` and rejoins with a cold FIB.
+    NodeUp {
+        /// When, in milliseconds.
+        at_ms: u64,
+        /// The restarting node.
+        node: u32,
+    },
+    /// Control-channel partition on the link between `a` and `b` begins
+    /// at `at_ms`: control PDUs drop, data traffic keeps flowing.
+    PartitionStart {
+        /// When, in milliseconds.
+        at_ms: u64,
+        /// Endpoint A.
+        a: u32,
+        /// Endpoint B.
+        b: u32,
+    },
+    /// The control-channel partition between `a` and `b` heals at `at_ms`.
+    PartitionEnd {
+        /// When, in milliseconds.
+        at_ms: u64,
+        /// Endpoint A.
+        a: u32,
+        /// Endpoint B.
+        b: u32,
+    },
 }
 
 /// Random wire loss on one link.
-#[derive(Debug, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LinkLossDecl {
     /// Endpoint A.
     pub a: u32,
@@ -364,8 +426,37 @@ pub struct LinkLossDecl {
     pub probability: f64,
 }
 
+/// One control-PDU chaos window on one link. Each probability is drawn
+/// independently per PDU from a seeded per-link stream, so the same
+/// scenario always misbehaves identically.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct PduChaosDecl {
+    /// Endpoint A.
+    pub a: u32,
+    /// Endpoint B.
+    pub b: u32,
+    /// Per-PDU drop probability (0.0–1.0, default 0).
+    #[serde(default)]
+    pub loss: f64,
+    /// Per-PDU duplication probability (default 0).
+    #[serde(default)]
+    pub duplicate: f64,
+    /// Per-PDU reorder (extra-delay) probability (default 0).
+    #[serde(default)]
+    pub reorder: f64,
+    /// Per-PDU byte-corruption probability (default 0).
+    #[serde(default)]
+    pub corrupt: f64,
+    /// Window start, ms (default 0).
+    #[serde(default)]
+    pub from_ms: u64,
+    /// Window end, ms.
+    pub until_ms: u64,
+}
+
 /// One traffic flow.
-#[derive(Debug, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FlowDecl {
     /// Flow name for the report.
     pub name: String,
@@ -393,7 +484,7 @@ pub struct FlowDecl {
 }
 
 /// Traffic pattern declaration.
-#[derive(Debug, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 #[serde(tag = "kind", rename_all = "snake_case")]
 pub enum PatternDecl {
     /// Constant bit rate.
@@ -418,7 +509,7 @@ pub enum PatternDecl {
 }
 
 /// Edge policer declaration.
-#[derive(Debug, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PoliceDecl {
     /// Committed rate in Mb/s.
     pub rate_mbps: u64,
@@ -427,7 +518,7 @@ pub struct PoliceDecl {
 }
 
 /// Router implementation declaration.
-#[derive(Debug, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 #[serde(tag = "kind", rename_all = "snake_case")]
 pub enum RouterDecl {
     /// The cycle-accurate embedded router.
@@ -460,7 +551,7 @@ impl Default for RouterDecl {
 }
 
 /// Queue discipline declaration.
-#[derive(Debug, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 #[serde(tag = "kind", rename_all = "snake_case")]
 pub enum QueueDecl {
     /// Tail-drop FIFO.
@@ -585,6 +676,13 @@ impl Scenario {
             hold_down_ns: f.hold_down_ms * 1_000_000,
             mode,
         });
+        let node_of = |n: u32| -> Result<u32, ScenarioError> {
+            if cp.topology().node(n).is_some() {
+                Ok(n)
+            } else {
+                Err(ScenarioError::Invalid(format!("no node {n}")))
+            }
+        };
         for ev in &f.events {
             match *ev {
                 FaultEventDecl::LinkDown { at_ms, a, b } => {
@@ -592,6 +690,21 @@ impl Scenario {
                 }
                 FaultEventDecl::LinkUp { at_ms, a, b } => {
                     plan.link_up(at_ms * 1_000_000, link_of(a, b)?);
+                }
+                FaultEventDecl::NodeDown { at_ms, node } => {
+                    plan.node_down(at_ms * 1_000_000, node_of(node)?);
+                }
+                FaultEventDecl::NodeUp { at_ms, node } => {
+                    plan.node_up(at_ms * 1_000_000, node_of(node)?);
+                }
+                FaultEventDecl::PartitionStart { at_ms, a, b } => {
+                    // Window builders demand start < end; scheduled
+                    // endpoints arrive separately here, so push the raw
+                    // events instead.
+                    plan.partition_start(at_ms * 1_000_000, link_of(a, b)?);
+                }
+                FaultEventDecl::PartitionEnd { at_ms, a, b } => {
+                    plan.partition_end(at_ms * 1_000_000, link_of(a, b)?);
                 }
             }
         }
@@ -603,6 +716,35 @@ impl Scenario {
                 )));
             }
             plan.random_loss(link_of(l.a, l.b)?, l.probability);
+        }
+        for c in &f.pdu_chaos {
+            for (name, p) in [
+                ("loss", c.loss),
+                ("duplicate", c.duplicate),
+                ("reorder", c.reorder),
+                ("corrupt", c.corrupt),
+            ] {
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(ScenarioError::Invalid(format!(
+                        "pdu_chaos {name} probability {p} out of [0, 1]"
+                    )));
+                }
+            }
+            if c.from_ms >= c.until_ms {
+                return Err(ScenarioError::Invalid(format!(
+                    "pdu_chaos window [{}, {}) is empty",
+                    c.from_ms, c.until_ms
+                )));
+            }
+            plan.pdu_chaos(mpls_net::PduChaos {
+                link: link_of(c.a, c.b)?,
+                loss: c.loss,
+                duplicate: c.duplicate,
+                reorder: c.reorder,
+                corrupt: c.corrupt,
+                from_ns: c.from_ms * 1_000_000,
+                until_ns: c.until_ms * 1_000_000,
+            });
         }
         Ok(Some(plan))
     }
@@ -730,6 +872,9 @@ impl Scenario {
         LdpConfig {
             hello_interval_ns: decl.hello_interval_us * 1_000,
             hold_ns: decl.hold_us * 1_000,
+            max_backoff_exp: decl.max_backoff_exp,
+            jitter_seed: decl.jitter_seed,
+            stale_ttl_ns: decl.stale_ttl_us * 1_000,
         }
     }
 
@@ -1039,10 +1184,14 @@ mod tests {
         sc.ldp = Some(LdpDecl {
             hello_interval_us: 200,
             hold_us: 700,
+            stale_ttl_us: 1_500,
+            ..LdpDecl::default()
         });
         let cfg = sc.ldp_config();
         assert_eq!(cfg.hello_interval_ns, 200_000);
         assert_eq!(cfg.hold_ns, 700_000);
+        assert_eq!(cfg.stale_ttl_ns, 1_500_000);
+        assert_eq!(cfg.max_backoff_exp, LdpConfig::default().max_backoff_exp);
     }
 
     #[test]

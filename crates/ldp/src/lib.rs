@@ -55,6 +55,15 @@ pub use mpls_control::LinkId;
 /// A FEC as a sortable key: `(prefix address, prefix length)`.
 pub type FecKey = (u32, u8);
 
+/// Notification status: session-scoped traffic arrived with no session
+/// up — the sender is wedged on a half-open session and must reset.
+pub const STATUS_NO_SESSION: u32 = 1;
+/// Notification status: a sequenced PDU arrived out of order (transport
+/// loss, duplication or reordering).
+pub const STATUS_BAD_SEQUENCE: u32 = 2;
+/// Notification status: a PDU failed to decode.
+pub const STATUS_MALFORMED: u32 = 3;
+
 /// Protocol timers. All values are nanoseconds of simulation time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LdpConfig {
@@ -63,6 +72,22 @@ pub struct LdpConfig {
     /// Adjacency and session hold time: silence longer than this tears
     /// the session down. Conventionally a few hello intervals.
     pub hold_ns: u64,
+    /// Cap on the session re-initialization backoff, as an exponent:
+    /// after the n-th unanswered `Initialization` the next attempt waits
+    /// `max(hello_interval_ns << min(n, max_backoff_exp), hold_ns)`
+    /// (± 25% jitter) — never less than a hold time, since no answer can
+    /// arrive faster than the session's own timescale. The first attempt
+    /// of a down period is always immediate.
+    pub max_backoff_exp: u32,
+    /// Seed mixed into the deterministic per-(node, peer, attempt)
+    /// backoff jitter, so distinct runs can decorrelate retry storms
+    /// while a fixed seed reproduces them exactly.
+    pub jitter_seed: u64,
+    /// Liberal retention for dead sessions: when non-zero, bindings
+    /// learned from a peer whose session drops are kept *stale* for this
+    /// long and keep serving traffic (graceful degradation) unless a
+    /// fresh alternative exists; zero purges them immediately.
+    pub stale_ttl_ns: u64,
 }
 
 impl Default for LdpConfig {
@@ -70,8 +95,20 @@ impl Default for LdpConfig {
         Self {
             hello_interval_ns: 1_000_000, // 1 ms
             hold_ns: 3_500_000,           // 3.5 ms
+            max_backoff_exp: 5,           // ≤ 32 hello intervals between retries
+            jitter_seed: 0,
+            stale_ttl_ns: 0, // purge on session loss, as RFC 5036 defaults
         }
     }
+}
+
+/// splitmix64 — the same finalizer the engine's decomposed RNG streams
+/// use; here it hashes `(seed, node, peer, attempt)` into backoff jitter.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 /// A PDU the fabric wants transmitted from `from` to its neighbor `to`.
@@ -122,6 +159,16 @@ pub struct LdpStats {
     pub withdraws_processed: u64,
     /// Mappings discarded because the path vector contained the receiver.
     pub loop_rejections: u64,
+    /// `Initialization` retries beyond the first attempt of a down
+    /// period (each one waited out a backoff interval first).
+    pub session_retries: u64,
+    /// Sequenced PDUs arriving out of order on an operational session
+    /// (lost, duplicated or reordered transport) — each one resets the
+    /// session, standing in for the TCP connection LDP really rides.
+    pub sequence_violations: u64,
+    /// PDUs the fabric layer reported as undecodable (truncated or
+    /// corrupted on the wire); each resets the session it arrived on.
+    pub malformed_pdus: u64,
 }
 
 /// Per-node protocol counters, exported as telemetry.
@@ -141,6 +188,12 @@ pub struct LdpNodeStats {
     pub session_ups: u64,
     /// Sessions this node tore down.
     pub session_downs: u64,
+    /// `Initialization` retries this node sent after a backoff wait.
+    pub session_retries: u64,
+    /// Out-of-sequence PDUs this node rejected (and reset sessions for).
+    pub sequence_violations: u64,
+    /// Undecodable PDUs reported against this node's sessions.
+    pub malformed_pdus: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -156,6 +209,26 @@ struct Peer {
     state: SessionState,
     last_hello_rx: Option<u64>,
     last_rx: Option<u64>,
+    /// Sequence of the next session-scoped PDU sent *to* this peer;
+    /// reset to 1 by sending `Initialization`.
+    tx_seq: u32,
+    /// Sequence of the last session-scoped PDU accepted *from* this
+    /// peer; reset by receiving `Initialization`.
+    rx_seq: u32,
+    /// Consecutive unanswered `Initialization`s this down period.
+    init_attempts: u32,
+    /// Earliest time the next `Initialization` may be sent.
+    next_init_ns: u64,
+    /// Epoch stamped into outbound `Initialization`s. Drawn fresh from
+    /// the fabric's global message counter at the first attempt of a
+    /// down period (0 = "draw on next send"); retries reuse it, so the
+    /// receiver can tell a backed-off duplicate from a new session —
+    /// the moral equivalent of a TCP initial sequence number.
+    tx_epoch: u32,
+    /// Epoch of the `Initialization` that formed the current inbound
+    /// session; a same-epoch Init while operational is an idempotent
+    /// duplicate, not a restart.
+    rx_epoch: u32,
 }
 
 #[derive(Debug, Clone)]
@@ -163,6 +236,9 @@ struct RemoteBinding {
     label: Label,
     cost: u64,
     path: Vec<u32>,
+    /// When the binding's session died, if retention is on: the binding
+    /// keeps serving until `stale_ttl_ns` later unless refreshed first.
+    stale_since: Option<u64>,
 }
 
 /// The route a node currently holds for a FEC.
@@ -194,6 +270,9 @@ struct LdpNode {
     role: RouterRole,
     next_label: u32,
     labels_left: u32,
+    /// False while the node is crashed: it neither ticks nor receives,
+    /// and its rendered config is empty (the FIB is cold).
+    alive: bool,
     peers: BTreeMap<NodeId, Peer>,
     origin: BTreeSet<FecKey>,
     /// Label information base: liberally retained remote bindings.
@@ -232,29 +311,38 @@ impl LdpNode {
 
     /// Recomputes the route for `fec` from the LIB and reports whether
     /// the FIB-relevant part changed and what, if anything, must be
-    /// (re-)advertised.
-    fn recompute(&mut self, fec: FecKey) -> RecomputeOutcome {
+    /// (re-)advertised. A fresh binding (live session, never marked
+    /// stale) always beats a stale one; stale bindings are candidates
+    /// only under liberal retention and within `stale_ttl`.
+    fn recompute(&mut self, fec: FecKey, now: u64, stale_ttl: u64) -> RecomputeOutcome {
         let new_route = if self.origin.contains(&fec) {
             Some(Route::Egress)
         } else {
-            let mut best: Option<(u64, NodeId)> = None;
+            let mut best: Option<(u8, u64, NodeId)> = None;
             if let Some(bindings) = self.lib.get(&fec) {
                 for (&pid, b) in bindings {
                     let Some(peer) = self.peers.get(&pid) else {
                         continue;
                     };
-                    if peer.state != SessionState::Operational {
-                        continue;
-                    }
+                    let fresh = peer.state == SessionState::Operational && b.stale_since.is_none();
+                    let class = if fresh {
+                        0u8
+                    } else {
+                        match b.stale_since {
+                            Some(t) if stale_ttl > 0 && now.saturating_sub(t) <= stale_ttl => 1,
+                            _ => continue,
+                        }
+                    };
                     let cand = b.cost + peer.cost as u64;
-                    // BTreeMap iteration is ascending, so on a cost tie
-                    // the lowest neighbor id wins by `<` alone.
-                    if best.is_none_or(|(c, _)| cand < c) {
-                        best = Some((cand, pid));
+                    // BTreeMap iteration is ascending, so on a
+                    // (class, cost) tie the lowest neighbor id wins by
+                    // `<` alone.
+                    if best.is_none_or(|(cl, c, _)| (class, cand) < (cl, c)) {
+                        best = Some((class, cand, pid));
                     }
                 }
             }
-            best.map(|(cost, nh)| {
+            best.map(|(_, cost, nh)| {
                 let b = &self.lib[&fec][&nh];
                 Route::Via {
                     nh,
@@ -361,6 +449,12 @@ impl LdpFabric {
                         state: SessionState::Down,
                         last_hello_rx: None,
                         last_rx: None,
+                        tx_seq: 0,
+                        rx_seq: 0,
+                        init_attempts: 0,
+                        next_init_ns: 0,
+                        tx_epoch: 0,
+                        rx_epoch: 0,
                     },
                 );
             }
@@ -371,6 +465,7 @@ impl LdpFabric {
                     role: topo.node(id).expect("node exists").role,
                     next_label: base,
                     labels_left: LABEL_RANGE,
+                    alive: true,
                     peers,
                     origin: BTreeSet::new(),
                     lib: BTreeMap::new(),
@@ -400,10 +495,11 @@ impl LdpFabric {
     /// the class ingress LERs will mark packets of this FEC with.
     pub fn originate(&mut self, egress: NodeId, prefix: Prefix, cos: CosBits) {
         let fec = (prefix.addr, prefix.len);
+        let ttl = self.cfg.stale_ttl_ns;
         self.fec_cos.entry(fec).or_insert(cos);
         let node = self.nodes.get_mut(&egress).expect("egress node exists");
         if node.origin.insert(fec) {
-            let out = node.recompute(fec);
+            let out = node.recompute(fec, 0, ttl);
             if out.fib_changed {
                 self.dirty.insert(egress);
             }
@@ -417,8 +513,44 @@ impl LdpFabric {
         self.msg_seq
     }
 
+    /// Queues a PDU, stamping `msg_id` with the transport sequence LDP
+    /// would get from TCP: hellos (link-local UDP) draw from a global
+    /// counter and carry no ordering promise; `Initialization` restarts
+    /// the per-direction sequence at the session epoch (drawn once per
+    /// down period, reused by retries); every other session-scoped
+    /// message increments it. The receiver enforces the sequence and
+    /// resets the session on any gap, duplicate or reversal.
     fn push_send(&mut self, sends: &mut Vec<LdpSend>, from: NodeId, to: NodeId, msg: LdpMessage) {
-        let msg_id = self.next_msg_id();
+        let msg_id = match msg {
+            // Hellos ride link-local UDP; notifications must get through
+            // precisely when the session sequence is broken. Neither is
+            // sequenced.
+            LdpMessage::Hello { .. } | LdpMessage::Notification { .. } => self.next_msg_id(),
+            LdpMessage::Initialization { .. } => {
+                // Draw before borrowing the peer; the global counter is
+                // monotone so an unused draw costs nothing but a gap.
+                let fresh = self.next_msg_id();
+                let peer = self
+                    .nodes
+                    .get_mut(&from)
+                    .and_then(|n| n.peers.get_mut(&to))
+                    .expect("send to known peer");
+                if peer.tx_epoch == 0 {
+                    peer.tx_epoch = fresh;
+                }
+                peer.tx_seq = peer.tx_epoch;
+                peer.tx_epoch
+            }
+            _ => {
+                let peer = self
+                    .nodes
+                    .get_mut(&from)
+                    .and_then(|n| n.peers.get_mut(&to))
+                    .expect("send to known peer");
+                peer.tx_seq = peer.tx_seq.wrapping_add(1);
+                peer.tx_seq
+            }
+        };
         sends.push(LdpSend {
             from,
             to,
@@ -496,19 +628,38 @@ impl LdpFabric {
         sends: &mut Vec<LdpSend>,
         events: &mut Vec<LdpEvent>,
     ) {
+        let ttl = self.cfg.stale_ttl_ns;
         let node = self.nodes.get_mut(&id).expect("node exists");
         let peer = node.peers.get_mut(&pid).expect("peer exists");
         peer.state = SessionState::Down;
         peer.last_hello_rx = None;
+        // A new down period: backoff restarts and the next
+        // Initialization draws a fresh epoch.
+        peer.init_attempts = 0;
+        peer.next_init_ns = 0;
+        peer.tx_epoch = 0;
         node.stats.session_downs += 1;
         let link = peer.link;
-        // Purge everything learned from the dead peer, then recompute
-        // the affected FECs (withdraws/remaps cascade from here).
-        let affected: Vec<FecKey> = node
-            .lib
-            .iter_mut()
-            .filter_map(|(&fec, bindings)| bindings.remove(&pid).map(|_| fec))
-            .collect();
+        // Purge everything learned from the dead peer — or, under
+        // liberal retention, mark it stale so it keeps serving traffic
+        // until the TTL or a fresh replacement — then recompute the
+        // affected FECs (withdraws/remaps cascade from here).
+        let affected: Vec<FecKey> = if ttl > 0 {
+            node.lib
+                .iter_mut()
+                .filter_map(|(&fec, bindings)| {
+                    bindings.get_mut(&pid).map(|b| {
+                        b.stale_since.get_or_insert(now);
+                        fec
+                    })
+                })
+                .collect()
+        } else {
+            node.lib
+                .iter_mut()
+                .filter_map(|(&fec, bindings)| bindings.remove(&pid).map(|_| fec))
+                .collect()
+        };
         self.stats.session_downs += 1;
         events.push(LdpEvent::SessionDown {
             at: id,
@@ -516,20 +667,66 @@ impl LdpFabric {
             link,
         });
         for fec in affected {
-            let out = self.nodes.get_mut(&id).expect("node exists").recompute(fec);
+            let out = self
+                .nodes
+                .get_mut(&id)
+                .expect("node exists")
+                .recompute(fec, now, ttl);
             self.apply_recompute(now, id, fec, out, sends);
         }
     }
 
+    /// Drops stale-retained bindings whose TTL ran out and cascades the
+    /// recomputes. No-op unless liberal retention is configured.
+    fn expire_stale(&mut self, now: u64, sends: &mut Vec<LdpSend>) {
+        let ttl = self.cfg.stale_ttl_ns;
+        if ttl == 0 {
+            return;
+        }
+        let ids: Vec<NodeId> = self.nodes.keys().copied().collect();
+        for id in ids {
+            let node = self.nodes.get_mut(&id).expect("node exists");
+            if !node.alive {
+                continue;
+            }
+            let mut affected = BTreeSet::new();
+            for (&fec, bindings) in node.lib.iter_mut() {
+                let expired: Vec<NodeId> = bindings
+                    .iter()
+                    .filter(|(_, b)| b.stale_since.is_some_and(|t| now.saturating_sub(t) > ttl))
+                    .map(|(&p, _)| p)
+                    .collect();
+                for p in expired {
+                    bindings.remove(&p);
+                    affected.insert(fec);
+                }
+            }
+            for fec in affected {
+                let out = self
+                    .nodes
+                    .get_mut(&id)
+                    .expect("node exists")
+                    .recompute(fec, now, ttl);
+                self.apply_recompute(now, id, fec, out, sends);
+            }
+        }
+    }
+
     /// Advances every node's timers to `now`: emits hellos, initiates
-    /// and refreshes sessions, and expires the silent ones. Call once
-    /// per [`LdpConfig::hello_interval_ns`].
+    /// and refreshes sessions (re-initialization waits out a bounded
+    /// exponential backoff), expires the silent ones and ages out
+    /// stale-retained bindings. Call once per
+    /// [`LdpConfig::hello_interval_ns`]. Crashed nodes are skipped.
     pub fn tick(&mut self, now: u64) -> (Vec<LdpSend>, Vec<LdpEvent>) {
         let mut sends = Vec::new();
         let mut events = Vec::new();
+        self.expire_stale(now, &mut sends);
         let ids: Vec<NodeId> = self.nodes.keys().copied().collect();
         for id in ids {
             let node = &self.nodes[&id];
+            if !node.alive {
+                continue;
+            }
             let mut keepalives = Vec::new();
             let mut inits = Vec::new();
             let mut downs = Vec::new();
@@ -548,7 +745,7 @@ impl LdpFabric {
                         let fresh = peer
                             .last_hello_rx
                             .is_some_and(|h| now.saturating_sub(h) <= self.cfg.hold_ns);
-                        if id < pid && fresh {
+                        if id < pid && fresh && now >= peer.next_init_ns {
                             inits.push(pid);
                         }
                     }
@@ -566,6 +763,33 @@ impl LdpFabric {
                     pid,
                     LdpMessage::Initialization { keepalive_ns },
                 );
+                // Bounded exponential backoff before the next attempt:
+                // hello << attempts, capped, with ±25% deterministic
+                // jitter so synchronized retry storms decorrelate while
+                // staying a pure function of (seed, node, peer, attempt).
+                let (hello, cap, seed) = (
+                    self.cfg.hello_interval_ns,
+                    self.cfg.max_backoff_exp,
+                    self.cfg.jitter_seed,
+                );
+                let node = self.nodes.get_mut(&id).expect("node exists");
+                let peer = node.peers.get_mut(&pid).expect("peer exists");
+                peer.init_attempts += 1;
+                if peer.init_attempts > 1 {
+                    node.stats.session_retries += 1;
+                    self.stats.session_retries += 1;
+                }
+                // Floored at the hold time: an answer cannot be expected
+                // sooner than the session's own timescale, and retrying
+                // below the round trip would reset freshly formed
+                // sessions (the peer sees Initialization while
+                // operational and tears down).
+                let base = (hello << peer.init_attempts.min(cap)).max(self.cfg.hold_ns);
+                let h = splitmix64(
+                    seed ^ ((id as u64) << 40) ^ ((pid as u64) << 20) ^ peer.init_attempts as u64,
+                );
+                let delay = base - base / 4 + h % (base / 2 + 1);
+                peer.next_init_ns = now + delay;
             }
             for pid in keepalives {
                 self.push_send(&mut sends, id, pid, LdpMessage::KeepAlive);
@@ -590,6 +814,8 @@ impl LdpFabric {
         let node = self.nodes.get_mut(&id).expect("node exists");
         let peer = node.peers.get_mut(&pid).expect("peer exists");
         peer.state = SessionState::Operational;
+        peer.init_attempts = 0;
+        peer.next_init_ns = 0;
         node.stats.session_ups += 1;
         let link = peer.link;
         self.stats.sessions_established += 1;
@@ -598,6 +824,21 @@ impl LdpFabric {
             peer: pid,
             link,
         });
+        self.replay_to_peer(id, pid, echo_init, sends);
+    }
+
+    /// The send side of a session handshake from `id` to `pid`: the
+    /// echo `Initialization` (if this is the passive side), a
+    /// `KeepAlive`, and a replay of every advertised local binding.
+    /// Also reused verbatim to answer a duplicate (same-epoch)
+    /// `Initialization` idempotently, without touching session state.
+    fn replay_to_peer(
+        &mut self,
+        id: NodeId,
+        pid: NodeId,
+        echo_init: bool,
+        sends: &mut Vec<LdpSend>,
+    ) {
         if echo_init {
             let keepalive_ns = self.cfg.hold_ns;
             self.push_send(sends, id, pid, LdpMessage::Initialization { keepalive_ns });
@@ -631,8 +872,13 @@ impl LdpFabric {
     }
 
     /// Delivers one PDU from `from` to `to` at time `now` and returns
-    /// the PDUs and events it provoked. PDUs from non-adjacent senders
-    /// are ignored.
+    /// the PDUs and events it provoked. PDUs from non-adjacent senders,
+    /// or addressed to a crashed node, are ignored. Session-scoped PDUs
+    /// (everything but hello and `Initialization`) must arrive in the
+    /// per-direction sequence their `msg_id` encodes; a gap, duplicate
+    /// or reversal is a transport violation — the stand-in for a broken
+    /// TCP connection — and resets the session, whose re-initialization
+    /// then resynchronizes both directions from scratch.
     pub fn deliver(
         &mut self,
         now: u64,
@@ -642,9 +888,13 @@ impl LdpFabric {
     ) -> (Vec<LdpSend>, Vec<LdpEvent>) {
         let mut sends = Vec::new();
         let mut events = Vec::new();
+        let ttl = self.cfg.stale_ttl_ns;
         let Some(node) = self.nodes.get_mut(&to) else {
             return (sends, events);
         };
+        if !node.alive {
+            return (sends, events);
+        }
         let Some(peer) = node.peers.get_mut(&from) else {
             return (sends, events);
         };
@@ -654,14 +904,80 @@ impl LdpFabric {
         match &pdu.message {
             LdpMessage::Hello { .. } => {
                 peer.last_hello_rx = Some(now);
+                return (sends, events);
             }
-            LdpMessage::KeepAlive => {}
-            LdpMessage::Initialization { .. } => {
-                if !operational {
-                    // The passive (higher-id) side still owes the echo.
-                    self.session_up(to, from, to > from, &mut sends, &mut events);
+            LdpMessage::Notification { .. } => {
+                // The peer declared the session dead; mirror it. Never
+                // answered, so notification storms cannot loop.
+                if operational {
+                    self.session_down(now, to, from, &mut sends, &mut events);
                 }
+                return (sends, events);
             }
+            LdpMessage::Initialization { .. } => {
+                if operational && pdu.msg_id == peer.rx_epoch {
+                    // A backed-off retry of the very Initialization that
+                    // formed this session — its echo outran the retry, or
+                    // the echo was lost. Same epoch, same session:
+                    // resynchronize the inbound sequence and (on the
+                    // passive side only, so duplicates can't ping-pong)
+                    // re-echo the handshake. No teardown, no events.
+                    peer.rx_seq = pdu.msg_id;
+                    if to > from {
+                        self.replay_to_peer(to, from, true, &mut sends);
+                    }
+                    return (sends, events);
+                }
+                peer.rx_seq = pdu.msg_id;
+                peer.rx_epoch = pdu.msg_id;
+                if operational {
+                    // A *new* epoch while this side still held the
+                    // session up: the peer genuinely restarted (or is
+                    // recovering from a transport violation). Reset
+                    // before re-forming.
+                    self.session_down(now, to, from, &mut sends, &mut events);
+                }
+                self.session_up(to, from, to > from, &mut sends, &mut events);
+                return (sends, events);
+            }
+            _ => {
+                if !operational {
+                    // Session traffic without a session: the sender is
+                    // wedged half-open (it missed our teardown while its
+                    // hold timer stayed fresh on hellos). Tell it to
+                    // reset; the mapping state is replayed when the
+                    // session re-forms.
+                    self.push_send(
+                        &mut sends,
+                        to,
+                        from,
+                        LdpMessage::Notification {
+                            status: STATUS_NO_SESSION,
+                        },
+                    );
+                    return (sends, events);
+                }
+                let expected = peer.rx_seq.wrapping_add(1);
+                if pdu.msg_id != expected {
+                    node.stats.sequence_violations += 1;
+                    self.stats.sequence_violations += 1;
+                    self.session_down(now, to, from, &mut sends, &mut events);
+                    self.push_send(
+                        &mut sends,
+                        to,
+                        from,
+                        LdpMessage::Notification {
+                            status: STATUS_BAD_SEQUENCE,
+                        },
+                    );
+                    return (sends, events);
+                }
+                peer.rx_seq = expected;
+            }
+        }
+        let node = self.nodes.get_mut(&to).expect("checked above");
+        match &pdu.message {
+            LdpMessage::KeepAlive => {}
             LdpMessage::LabelMapping {
                 fec,
                 label,
@@ -669,10 +985,7 @@ impl LdpFabric {
                 path,
             } => {
                 let fec_key = (fec.addr, fec.len);
-                if !operational {
-                    // Raced a session teardown; the mapping will be
-                    // replayed if the session re-forms.
-                } else if path.contains(&to) {
+                if path.contains(&to) {
                     node.stats.loop_rejections += 1;
                     self.stats.loop_rejections += 1;
                     // A looping advertisement supersedes any older
@@ -680,7 +993,7 @@ impl LdpFabric {
                     if let Some(b) = node.lib.get_mut(&fec_key) {
                         b.remove(&from);
                     }
-                    let out = node.recompute(fec_key);
+                    let out = node.recompute(fec_key, now, ttl);
                     self.push_send(
                         &mut sends,
                         to,
@@ -700,9 +1013,10 @@ impl LdpFabric {
                             label: *label,
                             cost: *cost,
                             path: path.clone(),
+                            stale_since: None,
                         },
                     );
-                    let out = node.recompute(fec_key);
+                    let out = node.recompute(fec_key, now, ttl);
                     self.apply_recompute(now, to, fec_key, out, &mut sends);
                 }
             }
@@ -713,7 +1027,7 @@ impl LdpFabric {
                 if let Some(b) = node.lib.get_mut(&fec_key) {
                     b.remove(&from);
                 }
-                let out = node.recompute(fec_key);
+                let out = node.recompute(fec_key, now, ttl);
                 self.push_send(
                     &mut sends,
                     to,
@@ -728,8 +1042,111 @@ impl LdpFabric {
             LdpMessage::LabelRelease { .. } => {
                 node.stats.releases_rx += 1;
             }
+            LdpMessage::Hello { .. }
+            | LdpMessage::Notification { .. }
+            | LdpMessage::Initialization { .. } => {
+                unreachable!("handled above")
+            }
         }
         (sends, events)
+    }
+
+    /// Reports that a PDU from `from` to `to` failed to decode at the
+    /// fabric layer (truncated or corrupted on the wire). The failure is
+    /// counted and — because LDP's real transport would have torn the
+    /// TCP connection — any operational session with the sender is
+    /// reset; re-initialization replays the lost state.
+    pub fn note_malformed(
+        &mut self,
+        now: u64,
+        from: NodeId,
+        to: NodeId,
+    ) -> (Vec<LdpSend>, Vec<LdpEvent>) {
+        let mut sends = Vec::new();
+        let mut events = Vec::new();
+        let Some(node) = self.nodes.get_mut(&to) else {
+            return (sends, events);
+        };
+        if !node.alive {
+            return (sends, events);
+        }
+        let Some(peer) = node.peers.get(&from) else {
+            return (sends, events);
+        };
+        node.stats.malformed_pdus += 1;
+        self.stats.malformed_pdus += 1;
+        if peer.state == SessionState::Operational {
+            self.session_down(now, to, from, &mut sends, &mut events);
+            // Tell the sender its transport is broken so it resets too;
+            // re-initialization then replays the lost state.
+            self.push_send(
+                &mut sends,
+                to,
+                from,
+                LdpMessage::Notification {
+                    status: STATUS_MALFORMED,
+                },
+            );
+        }
+        (sends, events)
+    }
+
+    /// Crashes `id`: all protocol state (LIB, local bindings, session
+    /// and adjacency state) is lost and the node goes silent. Its
+    /// rendered config is empty until it restarts and re-learns — the
+    /// cold-FIB window. Origin (FEC provisioning) and the label-range
+    /// cursor survive, the latter so a restarted node never re-issues a
+    /// label a neighbor may still be forwarding with.
+    pub fn crash_node(&mut self, now: u64, id: NodeId) {
+        let Some(node) = self.nodes.get_mut(&id) else {
+            return;
+        };
+        if !node.alive {
+            return;
+        }
+        node.alive = false;
+        node.lib.clear();
+        node.local.clear();
+        for peer in node.peers.values_mut() {
+            peer.state = SessionState::Down;
+            peer.last_hello_rx = None;
+            peer.last_rx = None;
+            peer.tx_seq = 0;
+            peer.rx_seq = 0;
+            peer.init_attempts = 0;
+            peer.next_init_ns = 0;
+            peer.tx_epoch = 0;
+            peer.rx_epoch = 0;
+        }
+        self.dirty.insert(id);
+        self.last_fib_change_ns = self.last_fib_change_ns.max(now);
+    }
+
+    /// Restarts a crashed `id` with a cold FIB: it re-binds labels for
+    /// the FECs it originates and rejoins the protocol on the next tick;
+    /// everything else is re-learned from its peers.
+    pub fn restart_node(&mut self, now: u64, id: NodeId) {
+        let ttl = self.cfg.stale_ttl_ns;
+        let Some(node) = self.nodes.get_mut(&id) else {
+            return;
+        };
+        if node.alive {
+            return;
+        }
+        node.alive = true;
+        let origins: Vec<FecKey> = node.origin.iter().copied().collect();
+        let mut sends = Vec::new();
+        for fec in origins {
+            let out = self
+                .nodes
+                .get_mut(&id)
+                .expect("node exists")
+                .recompute(fec, now, ttl);
+            self.apply_recompute(now, id, fec, out, &mut sends);
+        }
+        debug_assert!(sends.is_empty(), "no sessions can be up at restart");
+        self.dirty.insert(id);
+        self.last_fib_change_ns = self.last_fib_change_ns.max(now);
     }
 
     /// Renders `node`'s converged protocol state in the exact
@@ -740,6 +1157,10 @@ impl LdpFabric {
         let Some(n) = self.nodes.get(&node) else {
             return cfg;
         };
+        if !n.alive {
+            // Crashed: the node forwards nothing until it re-learns.
+            return cfg;
+        }
         let mut seen_next_hops = BTreeSet::new();
         for (&(addr, len), lb) in &n.local {
             let prefix = Prefix::new(addr, len);
@@ -925,9 +1346,12 @@ mod tests {
         // path-vector-rejected there; that background rate is fine.
         let before = f.stats().loop_rejections;
         // Hand node 1 a forged mapping whose path vector contains 1.
+        // The forgery must carry the expected transport sequence or the
+        // guard resets the session before loop detection ever sees it.
+        let next_seq = f.nodes[&1].peers[&0].rx_seq + 1;
         let pdu = LdpPdu {
             lsr_id: 0,
-            msg_id: 9999,
+            msg_id: next_seq,
             message: LdpMessage::LabelMapping {
                 fec: LdpFec {
                     addr: 0x0a00_0000,
@@ -967,6 +1391,165 @@ mod tests {
         // Everything it knew came from that peer, so nothing remains to
         // withdraw to (its only peer is down) — but the FIB change is
         // visible above. A richer assertion runs in the engine tests.
+        // (Liberal retention is off by default; see the stale test.)
         drop(sends);
+    }
+
+    #[test]
+    fn out_of_sequence_pdu_resets_the_session() {
+        let topo = line3();
+        let mut f = LdpFabric::new(&topo, LdpConfig::default());
+        f.originate(2, Prefix::new(0x0a00_0000, 8), CosBits::BEST_EFFORT);
+        converge(&mut f, 4);
+        let downs_before = f.stats().session_downs;
+        // A duplicated keepalive re-uses an already-consumed sequence.
+        let stale_seq = f.nodes[&1].peers[&0].rx_seq;
+        let pdu = LdpPdu {
+            lsr_id: 0,
+            msg_id: stale_seq,
+            message: LdpMessage::KeepAlive,
+        };
+        let (_, events) = f.deliver(5_000_000, 0, 1, &pdu);
+        assert_eq!(f.stats().sequence_violations, 1);
+        assert_eq!(f.stats().session_downs, downs_before + 1);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, LdpEvent::SessionDown { at: 1, peer: 0, .. })));
+        // The session re-forms on subsequent ticks and the route returns.
+        converge(&mut f, 12);
+        assert!(
+            !f.config_for(0).fecs.is_empty(),
+            "resynchronized after reset"
+        );
+    }
+
+    #[test]
+    fn malformed_pdu_counts_and_resets_the_session() {
+        let topo = line3();
+        let mut f = LdpFabric::new(&topo, LdpConfig::default());
+        f.originate(2, Prefix::new(0x0a00_0000, 8), CosBits::BEST_EFFORT);
+        converge(&mut f, 4);
+        let downs_before = f.stats().session_downs;
+        let (_, events) = f.note_malformed(5_000_000, 2, 1);
+        assert_eq!(f.stats().malformed_pdus, 1);
+        assert_eq!(f.stats().session_downs, downs_before + 1);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, LdpEvent::SessionDown { at: 1, peer: 2, .. })));
+        // Malformed deliveries on an already-down session only count.
+        f.note_malformed(5_100_000, 2, 1);
+        assert_eq!(f.stats().malformed_pdus, 2);
+        assert_eq!(f.stats().session_downs, downs_before + 1);
+    }
+
+    #[test]
+    fn reinit_backs_off_exponentially_with_bounded_jitter() {
+        let topo = line3();
+        let mut f = LdpFabric::new(&topo, LdpConfig::default());
+        let hello = f.config().hello_interval_ns;
+        // Feed node 0 hellos from 1 but never answer its Initialization:
+        // attempts must space out exponentially instead of every tick.
+        let mut init_times = Vec::new();
+        for i in 0..200u64 {
+            let now = i * hello;
+            let hello_pdu = LdpPdu {
+                lsr_id: 1,
+                msg_id: 1,
+                message: LdpMessage::Hello { hold_ns: 3_500_000 },
+            };
+            f.deliver(now, 1, 0, &hello_pdu);
+            let (sends, _) = f.tick(now);
+            if sends.iter().any(|s| {
+                s.from == 0
+                    && s.to == 1
+                    && matches!(s.pdu.message, LdpMessage::Initialization { .. })
+            }) {
+                init_times.push(now);
+            }
+        }
+        assert!(
+            init_times.len() >= 4,
+            "several attempts in 200 ticks: {init_times:?}"
+        );
+        assert!(
+            init_times.len() <= 12,
+            "immediate retry is gone: {init_times:?}"
+        );
+        let gaps: Vec<u64> = init_times.windows(2).map(|w| w[1] - w[0]).collect();
+        // Each gap tracks its attempt's base — `hello << n` capped and
+        // floored at the hold time — inside the ±25% jitter band (plus
+        // one tick of rounding, since sends happen on tick boundaries).
+        let cfg = LdpConfig::default();
+        for (i, &g) in gaps.iter().enumerate() {
+            let n = (i as u32 + 1).min(cfg.max_backoff_exp);
+            let base = (hello << n).max(cfg.hold_ns);
+            assert!(
+                g >= base - base / 4 && g <= base + base / 4 + hello,
+                "gap {i} = {g} outside the jitter band of base {base}: {gaps:?}"
+            );
+        }
+        assert!(
+            f.stats().session_retries as usize == init_times.len() - 1,
+            "retries surfaced in stats"
+        );
+    }
+
+    #[test]
+    fn stale_retention_serves_while_session_is_down_then_expires() {
+        let topo = line3();
+        let cfg = LdpConfig {
+            stale_ttl_ns: 50_000_000,
+            ..LdpConfig::default()
+        };
+        let mut f = LdpFabric::new(&topo, cfg);
+        f.originate(2, Prefix::new(0x0a00_0000, 8), CosBits::BEST_EFFORT);
+        converge(&mut f, 4);
+        assert!(!f.config_for(0).fecs.is_empty());
+        f.take_dirty();
+        // Node 0 hears nothing past the hold time: the session drops but
+        // the binding is retained stale and keeps serving.
+        let down_at = 10_000_000;
+        let (_, events) = f.tick(down_at);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, LdpEvent::SessionDown { at: 0, peer: 1, .. })));
+        assert!(
+            !f.config_for(0).fecs.is_empty(),
+            "stale binding keeps the route alive"
+        );
+        // Past the TTL the binding ages out and the route goes with it.
+        f.tick(down_at + cfg.stale_ttl_ns + cfg.hello_interval_ns);
+        assert!(
+            f.config_for(0).fecs.is_empty(),
+            "stale binding expired at the TTL"
+        );
+    }
+
+    #[test]
+    fn crash_loses_state_and_restart_relearns() {
+        let topo = line3();
+        let mut f = LdpFabric::new(&topo, LdpConfig::default());
+        f.originate(2, Prefix::new(0x0a00_0000, 8), CosBits::BEST_EFFORT);
+        converge(&mut f, 4);
+        let old_egress_label = f.config_for(2).bindings[0].key;
+        f.crash_node(5_000_000, 2);
+        assert!(f.config_for(2).bindings.is_empty(), "FIB cold after crash");
+        assert!(f.take_dirty().contains(&2), "engine told to wipe the node");
+        // While down it neither ticks nor receives.
+        let (sends, _) = f.tick(6_000_000);
+        assert!(sends.iter().all(|s| s.from != 2), "crashed node is silent");
+        f.restart_node(20_000_000, 2);
+        assert!(
+            !f.config_for(2).bindings.is_empty(),
+            "origin FECs re-bound at restart"
+        );
+        let new_egress_label = f.config_for(2).bindings[0].key;
+        assert_ne!(
+            old_egress_label, new_egress_label,
+            "restart never re-issues a label neighbors may still use"
+        );
+        // Sessions re-form and upstream routes return.
+        converge(&mut f, 40);
+        assert!(!f.config_for(0).fecs.is_empty(), "relearned end to end");
     }
 }

@@ -17,8 +17,9 @@
 //! across a failing channel is lost: delivery checks the channel's
 //! liveness generation, exactly like data packets.
 
-use super::Engine;
+use super::{stream_seed, Engine};
 use crate::event::{ControlEvent, SimTime};
+use crate::fault::PduChaos;
 use crate::sim::ControlSummary;
 use mpls_control::{NodeConfig, NodeId};
 use mpls_ldp::{FecKey, LdpEvent, LdpFabric, LdpSend};
@@ -39,6 +40,10 @@ struct InFlightPdu {
     /// True for session/label messages (not hello/keepalive chatter):
     /// while any is in flight the protocol has not settled.
     protocol: bool,
+    /// Bytes were flipped by a [`PduChaos`] window: at delivery the
+    /// decoder is exercised on the damaged image and the PDU is handed
+    /// to the fabric's malformed path instead of its semantic one.
+    corrupted: bool,
 }
 
 /// Everything the engine tracks for a `--control ldp` run.
@@ -54,6 +59,12 @@ pub(crate) struct LdpRuntime {
     /// When each channel's control sub-channel frees up (FIFO per
     /// direction).
     chan_busy: Vec<SimTime>,
+    /// Control-PDU chaos windows from the fault plan.
+    pub(crate) chaos: Vec<PduChaos>,
+    /// Per-channel xorshift state for chaos draws — a dedicated RNG
+    /// stream (class 5) keyed by global channel index, so outcomes are
+    /// independent of shard layout, exactly like wire loss.
+    chaos_rng: Vec<u64>,
     /// Time of the last FIB change of the initial convergence, captured
     /// once the protocol first settles and frozen by the first fault.
     pub(crate) convergence_ns: Option<u64>,
@@ -67,7 +78,7 @@ pub(crate) struct LdpRuntime {
 }
 
 impl LdpRuntime {
-    pub(crate) fn new(fabric: LdpFabric, nchans: usize) -> Self {
+    pub(crate) fn new(fabric: LdpFabric, nchans: usize, seed: u64) -> Self {
         let tick_ns = fabric.config().hello_interval_ns.max(1);
         Self {
             fabric,
@@ -76,6 +87,11 @@ impl LdpRuntime {
             free: Vec::new(),
             live_protocol: 0,
             chan_busy: vec![0; nchans],
+            chaos: Vec::new(),
+            // Zero is mapped off the degenerate all-zero xorshift state.
+            chaos_rng: (0..nchans)
+                .map(|g| stream_seed(seed, 5, g as u64) | 1)
+                .collect(),
             convergence_ns: None,
             pending_restore: Vec::new(),
             pdus_sent: 0,
@@ -92,6 +108,25 @@ impl LdpRuntime {
             self.msgs.push(Some(pdu));
             self.msgs.len() - 1
         }
+    }
+
+    /// Next uniform value in [0, 1) from `chan`'s chaos stream.
+    fn chaos_roll(&mut self, chan: usize) -> f64 {
+        let mut x = self.chaos_rng[chan];
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.chaos_rng[chan] = x;
+        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// The chaos window covering `link` at `now`, if any (first match
+    /// wins — windows on the same link should not overlap).
+    fn chaos_at(&self, link: mpls_control::LinkId, now: SimTime) -> Option<PduChaos> {
+        self.chaos
+            .iter()
+            .find(|c| c.link == link && c.from_ns <= now && now < c.until_ns)
+            .copied()
     }
 }
 
@@ -127,8 +162,32 @@ impl<S: TelemetrySink> Engine<S> {
             rt.live_protocol -= 1;
         }
         let st = self.chan_state[inflight.chan];
-        if !st.up || st.gen != inflight.gen {
+        if !st.up
+            || st.gen != inflight.gen
+            || self.partitioned.contains(&self.chan_link[inflight.chan])
+        {
             rt.pdus_lost += 1;
+        } else if inflight.corrupted {
+            rt.pdus_delivered += 1;
+            // Exercise the decoder on the damaged wire image: flip a
+            // byte (position from the channel's chaos stream) and also
+            // try a truncated prefix. Both must return errors, never
+            // panic — this is the fabric-layer panic-freedom proof the
+            // per-peer malformed counter hangs off.
+            let mut bytes = inflight.pdu.encode();
+            if !bytes.is_empty() {
+                let pos = (rt.chaos_roll(inflight.chan) * bytes.len() as f64) as usize;
+                let pos = pos.min(bytes.len() - 1);
+                bytes[pos] ^= 0xFF;
+                let _ = LdpPdu::decode(&bytes);
+                let _ = LdpPdu::decode(&bytes[..bytes.len() / 2]);
+            }
+            let (sends, events) = rt
+                .fabric
+                .note_malformed(self.now, inflight.from, inflight.to);
+            self.dispatch_ldp(&mut rt, sends);
+            self.process_ldp_events(&mut rt, events);
+            self.reprogram_ldp_dirty(&mut rt);
         } else {
             rt.pdus_delivered += 1;
             let (sends, events) =
@@ -153,7 +212,9 @@ impl<S: TelemetrySink> Engine<S> {
 
     /// Transmits the fabric's outgoing PDUs: serialization at link
     /// bandwidth, FIFO per channel, propagation delay, lost outright on
-    /// a dark channel.
+    /// a dark or partitioned channel. An active [`PduChaos`] window on
+    /// the link may additionally drop, duplicate, delay (reorder) or
+    /// corrupt each PDU, drawn from the channel's chaos stream.
     fn dispatch_ldp(&mut self, rt: &mut LdpRuntime, sends: Vec<LdpSend>) {
         for s in sends {
             let Some(&chan) = self.chan_index.get(&(s.from, s.to)) else {
@@ -161,29 +222,57 @@ impl<S: TelemetrySink> Engine<S> {
             };
             rt.pdus_sent += 1;
             let st = self.chan_state[chan];
-            if !st.up {
+            if !st.up || self.partitioned.contains(&self.chan_link[chan]) {
                 rt.pdus_lost += 1;
                 continue;
             }
-            let c = self.chan(chan);
-            let ser = c.serialization_ns(s.pdu.wire_len());
-            let start = self.now.max(rt.chan_busy[chan]);
-            let deliver = start + ser + c.delay_ns;
-            rt.chan_busy[chan] = start + ser;
-            let protocol = s.pdu.message.is_protocol_work();
-            if protocol {
-                rt.live_protocol += 1;
+            // Fixed draw order per PDU inside a window keeps the stream
+            // aligned regardless of which effects fire.
+            let mut copies = 1usize;
+            let mut extra_ns = 0u64;
+            let mut corrupted = false;
+            if let Some(cz) = rt.chaos_at(self.chan_link[chan], self.now) {
+                let lost = rt.chaos_roll(chan) < cz.loss;
+                if rt.chaos_roll(chan) < cz.duplicate {
+                    copies = 2;
+                }
+                let reordered = rt.chaos_roll(chan) < cz.reorder;
+                corrupted = rt.chaos_roll(chan) < cz.corrupt;
+                if lost {
+                    rt.pdus_lost += 1;
+                    continue;
+                }
+                if reordered {
+                    // Held back long enough to overtake anything sent in
+                    // the next few ticks — the FIFO promise is broken.
+                    extra_ns = 2 * rt.tick_ns + (rt.chaos_roll(chan) * rt.tick_ns as f64) as u64;
+                }
             }
-            let slot = rt.alloc_slot(InFlightPdu {
-                from: s.from,
-                to: s.to,
-                chan,
-                gen: st.gen,
-                pdu: s.pdu,
-                protocol,
-            });
-            self.globals
-                .schedule(deliver, ControlEvent::LdpDeliver { msg: slot });
+            let c = self.chan(chan);
+            let delay_ns = c.delay_ns;
+            let ser = c.serialization_ns(s.pdu.wire_len());
+            for _ in 0..copies {
+                // A duplicate pays the wire twice: it is a real second
+                // transmission, not a free copy.
+                let start = self.now.max(rt.chan_busy[chan]);
+                let deliver = start + ser + delay_ns + extra_ns;
+                rt.chan_busy[chan] = start + ser;
+                let protocol = s.pdu.message.is_protocol_work();
+                if protocol {
+                    rt.live_protocol += 1;
+                }
+                let slot = rt.alloc_slot(InFlightPdu {
+                    from: s.from,
+                    to: s.to,
+                    chan,
+                    gen: st.gen,
+                    pdu: s.pdu.clone(),
+                    protocol,
+                    corrupted,
+                });
+                self.globals
+                    .schedule(deliver, ControlEvent::LdpDeliver { msg: slot });
+            }
         }
     }
 
@@ -230,7 +319,7 @@ impl<S: TelemetrySink> Engine<S> {
 
     /// Downloads fresh forwarding state into every node whose
     /// FIB-relevant protocol state changed.
-    fn reprogram_ldp_dirty(&mut self, rt: &mut LdpRuntime) {
+    pub(super) fn reprogram_ldp_dirty(&mut self, rt: &mut LdpRuntime) {
         for id in rt.fabric.take_dirty() {
             let cfg = rt.fabric.config_for(id);
             for sh in &mut self.shards {
@@ -309,6 +398,10 @@ impl<S: TelemetrySink> Engine<S> {
             pdus_delivered: rt.pdus_delivered,
             pdus_lost: rt.pdus_lost,
             loop_rejections: stats.loop_rejections,
+            session_retries: stats.session_retries,
+            sequence_violations: stats.sequence_violations,
+            malformed_pdus: stats.malformed_pdus,
+            last_fib_change_ns: rt.fabric.last_fib_change_ns(),
         };
         let fibs: BTreeMap<NodeId, NodeConfig> = rt
             .fabric
@@ -341,6 +434,9 @@ impl<S: TelemetrySink> Engine<S> {
                     ("loop_rejections", s.loop_rejections),
                     ("session_ups", s.session_ups),
                     ("session_downs", s.session_downs),
+                    ("session_retries", s.session_retries),
+                    ("sequence_violations", s.sequence_violations),
+                    ("malformed_pdus", s.malformed_pdus),
                 ] {
                     let c = self.sink.counter(&format!("node{id}.ldp.{name}"));
                     self.sink.counter_add(c, value);

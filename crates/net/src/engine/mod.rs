@@ -37,14 +37,14 @@ use crate::policer::TokenBucket;
 use crate::sim::{LinkUsage, SimInstruments, SimReport};
 use crate::stats::{FlowId, FlowStats};
 use crate::traffic::FlowSpec;
-use mpls_control::{ControlPlane, LinkId, LspRequest, NodeId};
+use mpls_control::{ControlPlane, LinkId, LspRequest, NodeConfig, NodeId};
 use mpls_router::DiscardCause;
 use mpls_telemetry::TelemetrySink;
 use partition::partition;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use shard::{batch_limit, ChanState, EmitState, FlowDelta, LocalEvent, ShardState, SharedCtx};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::marker::PhantomData;
 use wheel::EventWheel;
 
@@ -118,6 +118,7 @@ pub(crate) struct EngineParts<S> {
     pub shards: usize,
     pub hints: HashMap<NodeId, usize>,
     pub ldp: Option<LdpRuntime>,
+    pub pdu_chaos: Vec<crate::fault::PduChaos>,
 }
 
 /// The coordinator: owns the shards, the global event queue, the
@@ -148,6 +149,12 @@ pub(crate) struct Engine<S: TelemetrySink> {
     /// Present on `--control ldp` runs: the distributed control plane
     /// and its in-flight PDUs (see [`ldp`]).
     ldp: Option<LdpRuntime>,
+    /// Nodes currently crashed: incident links stay down and stray
+    /// `LinkUp` events cannot revive their ports.
+    dead_nodes: HashSet<NodeId>,
+    /// Links with an active control-channel partition: control PDUs
+    /// drop (counted lost) while data traffic keeps flowing.
+    partitioned: HashSet<LinkId>,
     sink: S,
     instr: SimInstruments,
     epochs: u64,
@@ -230,6 +237,10 @@ impl<S: TelemetrySink> Engine<S> {
             sh.wheel
                 .schedule(spec.start_ns, LocalEvent::SourceEmit { flow: f });
         }
+        let mut ldp = parts.ldp;
+        if let Some(rt) = &mut ldp {
+            rt.chaos = parts.pdu_chaos;
+        }
         Self {
             shards,
             globals: parts.globals,
@@ -247,7 +258,9 @@ impl<S: TelemetrySink> Engine<S> {
             outstanding: Vec::new(),
             fault_of_link: HashMap::new(),
             pending: Vec::new(),
-            ldp: parts.ldp,
+            ldp,
+            dead_nodes: HashSet::new(),
+            partitioned: HashSet::new(),
             sink: parts.sink,
             instr: parts.instr,
             epochs: 0,
@@ -350,6 +363,11 @@ impl<S: TelemetrySink> Engine<S> {
             ControlEvent::TelemetrySample => self.on_telemetry_sample(),
             ControlEvent::LdpTick => self.on_ldp_tick(),
             ControlEvent::LdpDeliver { msg } => self.on_ldp_deliver(msg),
+            ControlEvent::NodeDown { node } => self.on_node_down(node),
+            ControlEvent::NodeUp { node } => self.on_node_up(node),
+            ControlEvent::NodeReprovision { node } => self.on_node_reprovision(node),
+            ControlEvent::PartitionStart { link } => self.on_partition_start(link),
+            ControlEvent::PartitionEnd { link } => self.on_partition_end(link),
         }
     }
 
@@ -417,6 +435,14 @@ impl<S: TelemetrySink> Engine<S> {
     /// the link's current fault record. (Coordinator-side flow losses
     /// land in shard 0's stats table and merge with the rest.)
     fn count_fault_loss(&mut self, link: LinkId, flow: FlowId) {
+        // A deliberately planted accounting bug for the chaos harness to
+        // catch: losses on odd-numbered links vanish from the per-flow
+        // stats, breaking packet conservation. Never enabled in normal
+        // builds — it exists to prove the oracles and minimizer fire.
+        #[cfg(feature = "chaos-bug")]
+        if link % 2 == 1 {
+            return;
+        }
         self.shards[0].stats[flow].on_discarded(DiscardCause::LinkDown);
         if let Some(&rec) = self.fault_of_link.get(&link) {
             self.records[rec].packets_lost += 1;
@@ -513,6 +539,14 @@ impl<S: TelemetrySink> Engine<S> {
         let [a, b] = self.channels_of(link);
         if self.chan(a).up {
             return; // already up
+        }
+        {
+            // A link cannot return while either endpoint is crashed; the
+            // node's own restart brings its ports back.
+            let c = self.chan(a);
+            if self.dead_nodes.contains(&c.from) || self.dead_nodes.contains(&c.to) {
+                return;
+            }
         }
         for chan in [a, b] {
             self.chan_mut(chan).bring_up();
@@ -668,6 +702,107 @@ impl<S: TelemetrySink> Engine<S> {
             return; // failed again before the hold-down expired
         }
         self.cp.restore_link(link);
+    }
+
+    // ---- node crash / restart ----------------------------------------------
+
+    /// Links incident to `node` — each contributes exactly one channel
+    /// whose transmitting end is `node`.
+    fn links_of_node(&self, node: NodeId) -> Vec<LinkId> {
+        (0..self.chan_owner.len())
+            .filter(|&g| self.chan(g).from == node)
+            .map(|g| self.chan_link[g])
+            .collect()
+    }
+
+    /// Replaces `node`'s forwarding state with `cfg` (statistics
+    /// survive, exactly like [`Self::reprogram_routers`]).
+    fn reprogram_node(&mut self, node: NodeId, cfg: &NodeConfig) {
+        for sh in &mut self.shards {
+            if let Some(&l) = sh.node_local.get(&node) {
+                sh.nodes[l].reprogram(cfg);
+            }
+        }
+    }
+
+    /// A node crashes: its FIB is wiped cold, every incident link goes
+    /// dark (queued and in-flight packets are lost and counted), and
+    /// under `--control ldp` all of its protocol state is lost — peers
+    /// notice by hold-timer silence, exactly as they would a dead LSR.
+    fn on_node_down(&mut self, node: NodeId) {
+        if !self.dead_nodes.insert(node) {
+            return; // already down (overlapping schedules)
+        }
+        if S::ENABLED {
+            self.sink
+                .event(self.now, "node_down", format!("node{node}"));
+        }
+        self.reprogram_node(node, &NodeConfig::default());
+        for link in self.links_of_node(node) {
+            self.on_link_down(link);
+        }
+        if let Some(mut rt) = self.ldp.take() {
+            rt.fabric.crash_node(self.now, node);
+            self.reprogram_ldp_dirty(&mut rt);
+            self.ldp = Some(rt);
+        }
+    }
+
+    /// A crashed node restarts cold: incident links return, but the FIB
+    /// stays empty until the control plane reprovisions it — one
+    /// detection delay later for the centralized solver, or however long
+    /// session re-formation and label re-learning take under LDP. That
+    /// gap is the cold-FIB window protection LSPs must cover.
+    fn on_node_up(&mut self, node: NodeId) {
+        if !self.dead_nodes.remove(&node) {
+            return; // not down
+        }
+        if S::ENABLED {
+            self.sink.event(self.now, "node_up", format!("node{node}"));
+        }
+        for link in self.links_of_node(node) {
+            self.on_link_up(link);
+        }
+        if let Some(mut rt) = self.ldp.take() {
+            rt.fabric.restart_node(self.now, node);
+            self.reprogram_ldp_dirty(&mut rt);
+            self.ldp = Some(rt);
+        } else if self.policy.mode != RecoveryMode::None {
+            self.globals.schedule(
+                self.now + self.policy.detection_delay_ns,
+                ControlEvent::NodeReprovision { node },
+            );
+        }
+    }
+
+    /// The centralized control plane re-downloads a restarted node's
+    /// configuration, ending its cold-FIB window.
+    fn on_node_reprovision(&mut self, node: NodeId) {
+        if self.dead_nodes.contains(&node) {
+            return; // crashed again before the download landed
+        }
+        let cfg = self.cp.config_for(node);
+        self.reprogram_node(node, &cfg);
+        if S::ENABLED {
+            self.sink
+                .event(self.now, "node_reprovisioned", format!("node{node}"));
+        }
+    }
+
+    // ---- control-channel partitions ----------------------------------------
+
+    fn on_partition_start(&mut self, link: LinkId) {
+        if self.partitioned.insert(link) && S::ENABLED {
+            self.sink
+                .event(self.now, "partition_start", format!("link{link}"));
+        }
+    }
+
+    fn on_partition_end(&mut self, link: LinkId) {
+        if self.partitioned.remove(&link) && S::ENABLED {
+            self.sink
+                .event(self.now, "partition_end", format!("link{link}"));
+        }
     }
 
     // ---- telemetry ---------------------------------------------------------

@@ -522,6 +522,13 @@ impl<S: TelemetrySink> ShardState<S> {
     /// Counts one packet lost to `link`'s outage against its flow and
     /// (via the shard-local delta) the link's current fault record.
     fn count_fault_loss(&mut self, link: LinkId, flow: FlowId, ctx: &SharedCtx<'_>) {
+        // Mirror of the coordinator-side planted bug (see
+        // `Engine::count_fault_loss`): conservation breaks on odd links
+        // so the chaos oracles have something real to catch.
+        #[cfg(feature = "chaos-bug")]
+        if link % 2 == 1 {
+            return;
+        }
         self.stats[flow].on_discarded(DiscardCause::LinkDown);
         if let Some(&rec) = ctx.fault_of_link.get(&link) {
             *self.record_loss.entry(rec).or_insert(0) += 1;

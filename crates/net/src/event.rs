@@ -9,7 +9,7 @@
 //! ties), which keeps runs deterministic for a fixed seed *and*
 //! independent of how many shards raced to schedule them.
 
-use mpls_control::LinkId;
+use mpls_control::{LinkId, NodeId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -70,6 +70,39 @@ pub enum ControlEvent {
         /// Slot in the engine's in-flight PDU table (the payload lives
         /// there so this event stays `Copy`).
         msg: usize,
+    },
+    /// A node crashes: every incident link goes dark, its forwarding
+    /// state is wiped (the FIB is cold) and — under `--control ldp` —
+    /// all of its protocol state is lost.
+    NodeDown {
+        /// The crashing node.
+        node: NodeId,
+    },
+    /// A crashed node restarts: incident links return and the node
+    /// begins re-learning its forwarding state.
+    NodeUp {
+        /// The restarting node.
+        node: NodeId,
+    },
+    /// The centralized control plane re-downloads a restarted node's
+    /// configuration (one detection delay after [`ControlEvent::NodeUp`];
+    /// the cold-FIB window ends here). LDP runs re-learn via the
+    /// protocol instead.
+    NodeReprovision {
+        /// The node being reprovisioned.
+        node: NodeId,
+    },
+    /// A control-channel partition begins on a link: control PDUs are
+    /// dropped while data traffic keeps flowing — the failure mode that
+    /// separates "the protocol died" from "the wire died".
+    PartitionStart {
+        /// The partitioned link.
+        link: LinkId,
+    },
+    /// The control-channel partition heals.
+    PartitionEnd {
+        /// The healed link.
+        link: LinkId,
     },
 }
 

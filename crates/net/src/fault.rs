@@ -14,7 +14,7 @@
 //! time-to-restore and packets lost during the outage.
 
 use crate::event::SimTime;
-use mpls_control::LinkId;
+use mpls_control::{LinkId, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -82,7 +82,7 @@ pub struct FaultEvent {
     pub kind: FaultKind,
 }
 
-/// The two physical transitions.
+/// The fault transitions a plan can schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultKind {
     /// The link goes dark: queued and in-flight packets are lost, and
@@ -90,6 +90,16 @@ pub enum FaultKind {
     LinkDown(LinkId),
     /// The link comes back.
     LinkUp(LinkId),
+    /// The node crashes: every incident link goes dark, the forwarding
+    /// state is wiped, and (under LDP) all protocol state is lost.
+    NodeDown(NodeId),
+    /// The crashed node restarts cold and re-learns.
+    NodeUp(NodeId),
+    /// A control-channel partition starts on the link: control PDUs
+    /// drop while data traffic keeps flowing.
+    PartitionStart(LinkId),
+    /// The control-channel partition heals.
+    PartitionEnd(LinkId),
 }
 
 /// Independent per-packet loss on a link's channels.
@@ -101,6 +111,33 @@ pub struct LinkLoss {
     pub probability: f64,
 }
 
+/// Adversarial treatment of control PDUs crossing one link's channels
+/// during a window: independent per-PDU loss, duplication, reordering
+/// (a duplicate-free extra delay that breaks the channel's FIFO
+/// promise) and byte corruption. Data traffic is untouched — this is
+/// the control plane's private adversary. Probabilities are drawn from
+/// a dedicated per-channel RNG stream, so the outcome is independent of
+/// shard layout.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PduChaos {
+    /// The attacked link.
+    pub link: LinkId,
+    /// Probability each control PDU is silently dropped.
+    pub loss: f64,
+    /// Probability each control PDU is delivered twice.
+    pub duplicate: f64,
+    /// Probability each control PDU is held back an extra delay,
+    /// overtaking PDUs sent after it.
+    pub reorder: f64,
+    /// Probability each control PDU has bytes flipped on the wire (the
+    /// receiver's decoder must survive and the session must reset).
+    pub corrupt: f64,
+    /// Window start (inclusive).
+    pub from_ns: SimTime,
+    /// Window end (exclusive); `u64::MAX` for the whole run.
+    pub until_ns: SimTime,
+}
+
 /// A schedule of faults plus the policy for reacting to them.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
@@ -108,6 +145,8 @@ pub struct FaultPlan {
     pub events: Vec<FaultEvent>,
     /// Per-link random loss.
     pub losses: Vec<LinkLoss>,
+    /// Per-link control-PDU chaos windows.
+    pub pdu_chaos: Vec<PduChaos>,
     /// Detection/recovery timing.
     pub policy: RestorationPolicy,
 }
@@ -118,6 +157,7 @@ impl FaultPlan {
         Self {
             events: Vec::new(),
             losses: Vec::new(),
+            pdu_chaos: Vec::new(),
             policy,
         }
     }
@@ -144,6 +184,65 @@ impl FaultPlan {
     pub fn outage(&mut self, link: LinkId, down_ns: SimTime, up_ns: SimTime) -> &mut Self {
         assert!(down_ns < up_ns, "outage must end after it starts");
         self.link_down(down_ns, link).link_up(up_ns, link)
+    }
+
+    /// Schedules a node crash at `at_ns`.
+    pub fn node_down(&mut self, at_ns: SimTime, node: NodeId) -> &mut Self {
+        self.events.push(FaultEvent {
+            at_ns,
+            kind: FaultKind::NodeDown(node),
+        });
+        self
+    }
+
+    /// Schedules a crashed node's restart at `at_ns`.
+    pub fn node_up(&mut self, at_ns: SimTime, node: NodeId) -> &mut Self {
+        self.events.push(FaultEvent {
+            at_ns,
+            kind: FaultKind::NodeUp(node),
+        });
+        self
+    }
+
+    /// Schedules one crash window `[down_ns, up_ns)` on `node`.
+    pub fn node_outage(&mut self, node: NodeId, down_ns: SimTime, up_ns: SimTime) -> &mut Self {
+        assert!(down_ns < up_ns, "outage must end after it starts");
+        self.node_down(down_ns, node).node_up(up_ns, node)
+    }
+
+    /// Schedules a control-channel partition window `[from_ns, until_ns)`
+    /// on `link`: control PDUs drop, data traffic keeps flowing.
+    pub fn partition(&mut self, link: LinkId, from_ns: SimTime, until_ns: SimTime) -> &mut Self {
+        assert!(from_ns < until_ns, "partition must end after it starts");
+        self.partition_start(from_ns, link)
+            .partition_end(until_ns, link)
+    }
+
+    /// Schedules the start of a control-channel partition on `link`.
+    pub fn partition_start(&mut self, at_ns: SimTime, link: LinkId) -> &mut Self {
+        self.events.push(FaultEvent {
+            at_ns,
+            kind: FaultKind::PartitionStart(link),
+        });
+        self
+    }
+
+    /// Schedules the end of a control-channel partition on `link`.
+    pub fn partition_end(&mut self, at_ns: SimTime, link: LinkId) -> &mut Self {
+        self.events.push(FaultEvent {
+            at_ns,
+            kind: FaultKind::PartitionEnd(link),
+        });
+        self
+    }
+
+    /// Adds a control-PDU chaos window (see [`PduChaos`]).
+    pub fn pdu_chaos(&mut self, chaos: PduChaos) -> &mut Self {
+        for p in [chaos.loss, chaos.duplicate, chaos.reorder, chaos.corrupt] {
+            assert!((0.0..=1.0).contains(&p), "chaos probability out of range");
+        }
+        self.pdu_chaos.push(chaos);
+        self
     }
 
     /// Adds independent random wire loss on `link`.

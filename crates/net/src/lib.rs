@@ -33,7 +33,7 @@ pub mod traffic;
 
 pub use engine::EngineStats;
 pub use event::{ControlEvent, EventQueue, SimTime};
-pub use fault::{FaultPlan, FaultRecord, RecoveryMode, RestorationPolicy};
+pub use fault::{FaultPlan, FaultRecord, PduChaos, RecoveryMode, RestorationPolicy};
 pub use histogram::LatencyHistogram;
 pub use link::Channel;
 pub use node::{ForwarderNode, Node};

@@ -113,6 +113,19 @@ pub struct ControlSummary {
     pub pdus_lost: u64,
     /// Label mappings discarded by path-vector loop detection.
     pub loop_rejections: u64,
+    /// Session re-initialization retries (backed-off re-sends of
+    /// `Initialization` after the first attempt went unanswered).
+    pub session_retries: u64,
+    /// Sessions reset because a PDU arrived out of sequence — the
+    /// simulated equivalent of the TCP transport breaking.
+    pub sequence_violations: u64,
+    /// PDUs that failed to decode at the fabric layer (truncated or
+    /// corrupted on the wire), counted instead of silently discarded.
+    pub malformed_pdus: u64,
+    /// When any FIB last changed (ns). 0 for centralized runs (all
+    /// programming happens before t=0). The chaos harness's quiesce
+    /// oracle checks this stops moving once the last fault heals.
+    pub last_fib_change_ns: u64,
 }
 
 impl Default for ControlSummary {
@@ -126,6 +139,10 @@ impl Default for ControlSummary {
             pdus_delivered: 0,
             pdus_lost: 0,
             loop_rejections: 0,
+            session_retries: 0,
+            sequence_violations: 0,
+            malformed_pdus: 0,
+            last_fib_change_ns: 0,
         }
     }
 }
@@ -235,6 +252,10 @@ pub struct Simulation<S: TelemetrySink = NoopSink> {
     shard_hints: HashMap<NodeId, usize>,
     /// Present when the run uses the distributed control plane.
     ldp: Option<LdpRuntime>,
+    /// Control-PDU chaos windows from the fault plan; handed to the LDP
+    /// runtime at engine assembly (plan and `enable_ldp` may arrive in
+    /// either order).
+    pdu_chaos: Vec<crate::fault::PduChaos>,
 }
 
 impl Simulation {
@@ -293,6 +314,7 @@ impl Simulation {
             requested_shards: None,
             shard_hints: HashMap::new(),
             ldp: None,
+            pdu_chaos: Vec::new(),
         }
     }
 
@@ -333,6 +355,7 @@ impl Simulation {
             requested_shards: self.requested_shards,
             shard_hints: self.shard_hints,
             ldp: self.ldp,
+            pdu_chaos: self.pdu_chaos,
         };
         for flow in 0..sim.flows.len() {
             sim.register_flow_instruments(flow);
@@ -381,8 +404,21 @@ impl<S: TelemetrySink> Simulation<S> {
                 FaultKind::LinkUp(link) => self
                     .globals
                     .schedule(ev.at_ns, ControlEvent::LinkUp { link }),
+                FaultKind::NodeDown(node) => self
+                    .globals
+                    .schedule(ev.at_ns, ControlEvent::NodeDown { node }),
+                FaultKind::NodeUp(node) => self
+                    .globals
+                    .schedule(ev.at_ns, ControlEvent::NodeUp { node }),
+                FaultKind::PartitionStart(link) => self
+                    .globals
+                    .schedule(ev.at_ns, ControlEvent::PartitionStart { link }),
+                FaultKind::PartitionEnd(link) => self
+                    .globals
+                    .schedule(ev.at_ns, ControlEvent::PartitionEnd { link }),
             }
         }
+        self.pdu_chaos.extend(plan.pdu_chaos.iter().copied());
         for loss in &plan.losses {
             for (i, c) in self.channels.iter_mut().enumerate() {
                 if self.chan_link[i] == loss.link {
@@ -422,7 +458,7 @@ impl<S: TelemetrySink> Simulation<S> {
         }
         fabric.take_dirty();
         self.globals.schedule(0, ControlEvent::LdpTick);
-        self.ldp = Some(LdpRuntime::new(fabric, self.channels.len()));
+        self.ldp = Some(LdpRuntime::new(fabric, self.channels.len(), self.seed));
     }
 
     /// Registers a flow; its first packet is emitted at `spec.start_ns`.
@@ -495,6 +531,7 @@ impl<S: TelemetrySink> Simulation<S> {
             shards,
             hints: self.shard_hints,
             ldp: self.ldp,
+            pdu_chaos: self.pdu_chaos,
         })
         .run(horizon_ns)
     }

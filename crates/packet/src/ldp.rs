@@ -40,6 +40,7 @@ const MSG_HEADER: usize = 8;
 /// FEC element: prefix address + prefix length.
 const FEC_BYTES: usize = 5;
 
+const MSG_NOTIFICATION: u16 = 0x0001;
 const MSG_HELLO: u16 = 0x0100;
 const MSG_INIT: u16 = 0x0200;
 const MSG_KEEPALIVE: u16 = 0x0201;
@@ -64,6 +65,15 @@ pub struct LdpFec {
 /// The message inside an LDP PDU.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LdpMessage {
+    /// Session error path (RFC 5036 §3.5.1 in miniature): the sender
+    /// observed a fatal session condition — an out-of-sequence PDU, an
+    /// undecodable PDU, or session traffic without a session — and both
+    /// ends must tear down and re-initialize. Carries a status code.
+    Notification {
+        /// Status code describing the condition; semantics are assigned
+        /// by the control plane (`mpls-ldp`).
+        status: u32,
+    },
     /// Link hello: discovers and refreshes the adjacency. Carries the
     /// hold time after which the adjacency expires without another
     /// hello.
@@ -113,6 +123,7 @@ pub enum LdpMessage {
 impl LdpMessage {
     fn type_code(&self) -> u16 {
         match self {
+            Self::Notification { .. } => MSG_NOTIFICATION,
             Self::Hello { .. } => MSG_HELLO,
             Self::Initialization { .. } => MSG_INIT,
             Self::KeepAlive => MSG_KEEPALIVE,
@@ -124,6 +135,7 @@ impl LdpMessage {
 
     fn body_len(&self) -> usize {
         match self {
+            Self::Notification { .. } => 4,
             Self::Hello { .. } | Self::Initialization { .. } => 8,
             Self::KeepAlive => 0,
             Self::LabelMapping { path, .. } => FEC_BYTES + 4 + 8 + 2 + 4 * path.len(),
@@ -175,6 +187,7 @@ impl LdpPdu {
         out.extend_from_slice(&((4 + body_len) as u16).to_be_bytes());
         out.extend_from_slice(&self.msg_id.to_be_bytes());
         match &self.message {
+            LdpMessage::Notification { status } => out.extend_from_slice(&status.to_be_bytes()),
             LdpMessage::Hello { hold_ns } => out.extend_from_slice(&hold_ns.to_be_bytes()),
             LdpMessage::Initialization { keepalive_ns } => {
                 out.extend_from_slice(&keepalive_ns.to_be_bytes())
@@ -244,6 +257,7 @@ impl LdpPdu {
         let msg_id = r.u32()?;
         r.what = "LDP message body";
         let message = match mtype {
+            MSG_NOTIFICATION => LdpMessage::Notification { status: r.u32()? },
             MSG_HELLO => LdpMessage::Hello { hold_ns: r.u64()? },
             MSG_INIT => LdpMessage::Initialization {
                 keepalive_ns: r.u64()?,
@@ -367,6 +381,7 @@ mod tests {
         };
         let label = Label::new(1016).unwrap();
         for message in [
+            LdpMessage::Notification { status: 2 },
             LdpMessage::Hello { hold_ns: 3_500_000 },
             LdpMessage::Initialization {
                 keepalive_ns: 3_000_000,

@@ -21,6 +21,7 @@ fn arb_label() -> impl Strategy<Value = Label> {
 
 fn arb_message() -> impl Strategy<Value = LdpMessage> {
     prop_oneof![
+        any::<u32>().prop_map(|status| LdpMessage::Notification { status }),
         any::<u64>().prop_map(|hold_ns| LdpMessage::Hello { hold_ns }),
         any::<u64>().prop_map(|keepalive_ns| LdpMessage::Initialization { keepalive_ns }),
         Just(LdpMessage::KeepAlive),

@@ -1,0 +1,81 @@
+//! Tier-1 slice of the chaos harness: a handful of generated scenarios
+//! must hold every invariant oracle, and the expanded fault-space
+//! scenario features (node crashes, partitions, PDU chaos) must load
+//! and run through the JSON schema end to end.
+
+use mpls_chaos::{check, generate};
+use mpls_cli::Scenario;
+
+/// A short prefix of the CI corpus, green under every oracle. The full
+/// 200-case sweep runs in the release-mode `chaos` binary (EXT-13).
+#[test]
+fn generated_cases_hold_all_invariants() {
+    for idx in 0..8 {
+        let case = generate(0xC4A0_5EED, idx);
+        if let Err(v) = check(&case.scenario) {
+            panic!("corpus case {idx} violated an invariant: {v}");
+        }
+    }
+}
+
+/// The whole expanded fault space expressed as one scenario document:
+/// a node crash, a control partition, a PDU-chaos window and wire loss
+/// together, under LDP with liberal retention — it must run, conserve
+/// every packet, and survive the oracle suite.
+#[test]
+fn kitchen_sink_fault_scenario_passes_oracles() {
+    let doc = r#"{
+        "nodes": [
+            {"id": 0, "role": "ler"}, {"id": 1, "role": "ler"},
+            {"id": 2, "role": "lsr"}, {"id": 3, "role": "lsr"},
+            {"id": 4, "role": "lsr"}, {"id": 5, "role": "lsr"}
+        ],
+        "links": [
+            {"a": 0, "b": 2, "bandwidth_mbps": 1000, "delay_us": 300},
+            {"a": 2, "b": 3, "bandwidth_mbps": 1000, "delay_us": 300},
+            {"a": 3, "b": 1, "bandwidth_mbps": 1000, "delay_us": 300},
+            {"a": 0, "b": 4, "bandwidth_mbps": 100, "delay_us": 1500, "cost": 3},
+            {"a": 4, "b": 5, "bandwidth_mbps": 100, "delay_us": 1500, "cost": 3},
+            {"a": 5, "b": 1, "bandwidth_mbps": 100, "delay_us": 1500, "cost": 3}
+        ],
+        "lsps": [{"ingress": 0, "egress": 1, "fec": "192.168.1.0/24"}],
+        "flows": [{
+            "name": "cbr", "ingress": 0,
+            "src": "10.0.0.10", "dst": "192.168.1.10",
+            "payload_bytes": 400,
+            "pattern": {"kind": "cbr", "interval_us": 150},
+            "start_ms": 8, "stop_ms": 40
+        }],
+        "control": "ldp",
+        "ldp": {"hold_us": 4000, "stale_ttl_us": 6000, "jitter_seed": 3},
+        "faults": {
+            "events": [
+                {"kind": "node_down", "at_ms": 12, "node": 2},
+                {"kind": "node_up", "at_ms": 22, "node": 2},
+                {"kind": "partition_start", "at_ms": 14, "a": 4, "b": 5},
+                {"kind": "partition_end", "at_ms": 20, "a": 4, "b": 5}
+            ],
+            "pdu_chaos": [{
+                "a": 3, "b": 1,
+                "loss": 0.15, "duplicate": 0.1, "reorder": 0.1, "corrupt": 0.1,
+                "from_ms": 10, "until_ms": 25
+            }],
+            "loss": [{"a": 0, "b": 2, "probability": 0.01}],
+            "recovery": "restoration"
+        },
+        "seed": 23,
+        "horizon_ms": 140
+    }"#;
+    let sc = Scenario::from_json(doc).expect("kitchen sink parses");
+    if let Err(v) = check(&sc) {
+        panic!("kitchen-sink scenario violated an invariant: {v}");
+    }
+    let report = sc.run().expect("runs");
+    assert!(report.control.session_downs > 0, "chaos must bite");
+    assert!(
+        report.control.malformed_pdus > 0,
+        "corruption must reach the decoder"
+    );
+    let s = report.flow("cbr").unwrap();
+    assert!(s.delivered > 0);
+}

@@ -332,6 +332,7 @@ fn keepalive_at_exact_hold_expiry_keeps_the_session_on_any_shard_count() {
         sim.enable_ldp(LdpConfig {
             hello_interval_ns: 1_000_000,
             hold_ns: 999_998,
+            ..LdpConfig::default()
         });
         sim.set_shards(shards);
         sim.add_flow(FlowSpec {
