@@ -1,0 +1,73 @@
+//! `mpls-bench` — the whole standard benchmark suite in one command.
+//!
+//! Runs every trajectory experiment (EXT-10 shard scaling, EXT-11 LDP
+//! convergence, EXT-12 fast-path throughput) at the standard quick
+//! configs, prints each table, and — with `--json <path>` — writes one
+//! combined `BENCH_<n>.json` trajectory point including the process's
+//! peak resident set size:
+//!
+//! ```text
+//! cargo run --release -p mpls-bench --bin mpls-bench -- --all --json BENCH_7.json
+//! ```
+//!
+//! `--full` switches every section to its full (non-quick) config; the
+//! committed trajectory files always use the quick configs so points
+//! stay comparable PR over PR. The `bench-gate` binary consumes these
+//! files and fails CI on a >10% events/s regression between the two
+//! most recent points.
+
+use mpls_bench::suite::{self, Section};
+use serde::Value;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    // `--all` is the documented spelling; it is also the only mode, so
+    // its absence just means the caller typed less.
+    let quick = !args.iter().any(|a| a == "--full");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).expect("--json needs a path").clone());
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "=== mpls-bench: full suite ({} configs, {} host core(s)) ===\n",
+        if quick { "quick" } else { "full" },
+        cores
+    );
+
+    let sections: Vec<Section> = vec![
+        suite::ext10_scaling(quick),
+        suite::ext11_convergence(quick),
+        suite::ext12_throughput(quick),
+    ];
+    for s in &sections {
+        println!("--- {} ---\n", s.bench);
+        println!("{}", s.table);
+        for note in &s.notes {
+            println!("{note}");
+        }
+        println!();
+    }
+
+    let peak_rss_kb = suite::peak_rss_kb();
+    if let Some(kb) = peak_rss_kb {
+        println!("peak RSS: {:.1} MiB", kb as f64 / 1024.0);
+    }
+    if let Some(path) = json_path {
+        let doc = Value::Map(vec![
+            ("bench".into(), Value::Str("all".into())),
+            ("quick".into(), Value::Bool(quick)),
+            (
+                "peak_rss_kb".into(),
+                peak_rss_kb.map_or(Value::Null, Value::U64),
+            ),
+            (
+                "sections".into(),
+                Value::Seq(sections.iter().map(Section::to_json).collect()),
+            ),
+        ]);
+        let body = serde_json::to_string_pretty(&doc).expect("bench report serializes");
+        std::fs::write(&path, body + "\n").expect("bench json written");
+        println!("wrote {path}");
+    }
+}

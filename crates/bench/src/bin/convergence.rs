@@ -13,227 +13,29 @@
 //!   CBR probe's losses bound the blackout window.
 //!
 //! Run: `cargo run -p mpls-bench --bin convergence` (`--quick` for the
-//! CI smoke subset: smallest grid, default timers).
+//! CI smoke subset: smallest grid, default timers; `--json <path>`
+//! writes the sweep as a machine-readable trajectory section).
 
-use mpls_bench::MarkdownTable;
-use mpls_control::{ControlPlane, LinkSpec, LspRequest, RouterRole, Topology};
-use mpls_core::ClockSpec;
-use mpls_dataplane::ftn::Prefix;
-use mpls_net::traffic::{FlowSpec, TrafficPattern};
-use mpls_net::{FaultPlan, LdpConfig, QueueDiscipline, RouterKind, SimReport, Simulation};
-use mpls_packet::ipv4::parse_addr;
-
-const DOWN_NS: u64 = 20_000_000;
-const INTERVAL_NS: u64 = 100_000; // 10k pkt/s CBR probe
-const HORIZON_NS: u64 = 90_000_000;
-
-fn grid_plane(rows: u32, cols: u32) -> ControlPlane {
-    let last = rows * cols - 1;
-    let mut topo = Topology::new();
-    for id in 0..=last {
-        let role = if id == 0 || id == last {
-            RouterRole::Ler
-        } else {
-            RouterRole::Lsr
-        };
-        topo.add_node(id, role, format!("n{id}"));
-    }
-    for r in 0..rows {
-        for c in 0..cols {
-            let id = r * cols + c;
-            for next in [
-                (c + 1 < cols).then(|| id + 1),
-                (r + 1 < rows).then(|| id + cols),
-            ]
-            .into_iter()
-            .flatten()
-            {
-                topo.add_link(LinkSpec {
-                    a: id,
-                    b: next,
-                    cost: 1 + ((id as u64 * 13 + next as u64 * 5) % 3) as u32,
-                    bandwidth_bps: 200_000_000,
-                    delay_ns: 20_000,
-                });
-            }
-        }
-    }
-    let mut cp = ControlPlane::new(topo);
-    cp.attach_prefix(last, Prefix::new(parse_addr("192.168.1.0").unwrap(), 24));
-    cp.attach_prefix(0, Prefix::new(parse_addr("10.1.0.0").unwrap(), 16));
-    cp.establish_lsp(LspRequest::best_effort(
-        0,
-        last,
-        Prefix::new(parse_addr("192.168.1.0").unwrap(), 24),
-    ))
-    .unwrap();
-    cp.establish_lsp(LspRequest::best_effort(
-        last,
-        0,
-        Prefix::new(parse_addr("10.1.0.0").unwrap(), 16),
-    ))
-    .unwrap();
-    cp
-}
-
-fn build(cp: &ControlPlane, hold_ns: u64) -> Simulation {
-    let mut sim = Simulation::build(
-        cp,
-        RouterKind::Embedded {
-            clock: ClockSpec::STRATIX_50MHZ,
-        },
-        QueueDiscipline::Fifo { capacity: 64 },
-        42,
-    );
-    sim.enable_ldp(LdpConfig {
-        hello_interval_ns: hold_ns / 3,
-        hold_ns,
-        ..LdpConfig::default()
-    });
-    sim
-}
-
-/// Cold bring-up with no traffic: the report's convergence span is the
-/// whole story.
-fn run_bringup(cp: &ControlPlane, hold_ns: u64) -> SimReport {
-    build(cp, hold_ns).run(30_000_000)
-}
-
-/// Permanent cut of link 0-1 at `DOWN_NS` under a CBR probe.
-fn run_fault(cp: &ControlPlane, hold_ns: u64) -> SimReport {
-    let mut sim = build(cp, hold_ns);
-    let cut = cp.topology().link_between(0, 1).unwrap();
-    let mut plan = FaultPlan::default();
-    plan.link_down(DOWN_NS, cut);
-    sim.set_fault_plan(plan);
-    sim.add_flow(FlowSpec {
-        name: "probe".into(),
-        ingress: 0,
-        src_addr: parse_addr("10.1.0.5").unwrap(),
-        dst_addr: parse_addr("192.168.1.5").unwrap(),
-        payload_bytes: 400,
-        precedence: 0,
-        pattern: TrafficPattern::Cbr {
-            interval_ns: INTERVAL_NS,
-        },
-        start_ns: 10_000_000,
-        stop_ns: 60_000_000,
-        police: None,
-    });
-    sim.run(HORIZON_NS)
-}
+use mpls_bench::suite;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).expect("--json needs a path").clone());
     println!("=== EXT-11: LDP bring-up and reconvergence vs grid size x hold time ===\n");
-    println!(
-        "corner-to-corner grids, hello = hold/3, link 0-1 cut at {} ms, CBR probe at {} pkt/s\n",
-        DOWN_NS / 1_000_000,
-        1_000_000_000 / INTERVAL_NS
-    );
-
-    let grids: &[(u32, u32)] = if quick {
-        &[(2, 2)]
-    } else {
-        &[(2, 2), (3, 3), (3, 4)]
-    };
-    let holds: &[u64] = if quick {
-        &[3_500_000]
-    } else {
-        &[2_000_000, 3_500_000, 7_000_000]
-    };
-
-    let mut t = MarkdownTable::new(&[
-        "grid",
-        "hold (ms)",
-        "bring-up (ms)",
-        "detection (ms)",
-        "reconverge (ms)",
-        "pkts lost",
-        "PDUs sent",
-    ]);
-    let mut detections: Vec<((u32, u32), u64, u64)> = Vec::new();
-    for &(rows, cols) in grids {
-        let cp = grid_plane(rows, cols);
-        for &hold in holds {
-            let up = run_bringup(&cp, hold);
-            assert_eq!(up.control.mode, "ldp");
-            let bringup = up
-                .control
-                .convergence_ns
-                .expect("fault-free bring-up settles");
-            assert_eq!(up.control.session_downs, 0, "sessions flapped at bring-up");
-            assert_eq!(
-                up.control.pdus_lost, 0,
-                "control PDUs lost on healthy links"
-            );
-
-            let report = run_fault(&cp, hold);
-            let s = report.flow("probe").unwrap();
-            assert_eq!(
-                s.sent,
-                s.delivered + s.link_dropped + s.router_dropped + s.queue_dropped + s.loss_dropped,
-                "conservation violated at {rows}x{cols}/hold {hold}"
-            );
-            let rec = &report.faults[0];
-            let det = rec.detected_ns.expect("hold expiry detects the cut") - rec.down_ns;
-            let reconverge = rec.restored_ns.expect("withdraw wave settles") - rec.down_ns;
-            assert!(
-                det <= 2 * hold,
-                "detection {det} ns exceeds two hold times ({hold} ns)"
-            );
-            assert!(reconverge >= det, "cannot reroute before detecting");
-            t.row(&[
-                format!("{rows}x{cols}"),
-                format!("{:.1}", hold as f64 / 1e6),
-                format!("{:.2}", bringup as f64 / 1e6),
-                format!("{:.2}", det as f64 / 1e6),
-                format!("{:.2}", reconverge as f64 / 1e6),
-                format!("{}", rec.packets_lost),
-                format!("{}", report.control.pdus_sent),
-            ]);
-            detections.push(((rows, cols), hold, det));
-        }
+    println!("corner-to-corner grids, hello = hold/3, link 0-1 cut mid-run, CBR probe\n");
+    let section = suite::ext11_convergence(quick);
+    println!("{}", section.table);
+    for note in &section.notes {
+        println!("{note}");
     }
-    println!("{}", t.render());
-
-    // Detection is a timer property, not a topology property: for every
-    // grid it sits inside [hold - hello, hold + hello] — one hold time
-    // after the last hello that arrived before the cut.
-    for &(grid, hold, det) in &detections {
-        let hello = hold / 3;
-        assert!(
-            det >= hold - hello && det <= hold + hello,
-            "detection {det} ns outside [{}, {}] ns at {grid:?}",
-            hold - hello,
-            hold + hello
-        );
+    if let Some(path) = json_path {
+        let body =
+            serde_json::to_string_pretty(&section.to_json()).expect("bench report serializes");
+        std::fs::write(&path, body + "\n").expect("bench json written");
+        println!("wrote {path}");
     }
-    for &(rows, cols) in grids {
-        let mut per_grid: Vec<u64> = detections
-            .iter()
-            .filter(|(g, _, _)| *g == (rows, cols))
-            .map(|&(_, _, d)| d)
-            .collect();
-        let sorted = {
-            let mut s = per_grid.clone();
-            s.sort_unstable();
-            s
-        };
-        assert_eq!(
-            per_grid, sorted,
-            "detection not monotone in hold at {rows}x{cols}"
-        );
-        per_grid.dedup();
-        assert_eq!(per_grid.len(), holds.len(), "hold sweep collapsed");
-    }
-
-    println!("observations:");
-    println!("  - bring-up is wave-propagation bound: a few hello intervals to");
-    println!("    form sessions, then one ordered-distribution sweep per FEC;");
-    println!("  - detection tracks the hold timer (one hold after the last");
-    println!("    pre-cut hello), independent of grid size;");
-    println!("  - reconvergence adds the withdraw/remap wave on top of");
-    println!("    detection, so probe loss is dominated by the timer choice.");
-    println!("\nconvergence claims hold -- OK");
 }

@@ -1,181 +1,42 @@
-//! Shard-scaling benchmark for the sharded discrete-event engine.
+//! Shard-scaling benchmark for the sharded discrete-event engine
+//! (EXT-10).
 //!
-//! A fixed 8×8 grid of 64 routers carries four corner-to-corner flows
-//! while the same scenario runs at 1, 2, 4 and 8 shards. For every shard
-//! count the report must serialize byte-identically to the sequential
-//! baseline — sharding buys wall-clock time, never a different answer —
-//! and the table records events/second and speedup so the scaling curve
-//! can be read off directly.
+//! A fixed 8×8 grid of 64 routers with heterogeneous link delays
+//! carries four corner-to-corner flows while the same scenario runs at
+//! every shard count under both the barrier and the channel-merge
+//! engine. For every cell the report must serialize byte-identically
+//! to the sequential baseline — sharding buys wall-clock time, never a
+//! different answer — and the table records events/second and speedup
+//! so the scaling curve can be read off directly.
 //!
 //! Run: `cargo run --release -p mpls-bench --bin scaling`
+//! (`--quick` for the CI smoke subset; `--json <path>` writes the
+//! measurements as a trajectory section).
 
-use mpls_bench::MarkdownTable;
-use mpls_control::{ControlPlane, LinkSpec, LspRequest, RouterRole, Topology};
-use mpls_core::ClockSpec;
-use mpls_dataplane::ftn::Prefix;
-use mpls_net::traffic::{FlowSpec, TrafficPattern};
-use mpls_net::{QueueDiscipline, RouterKind, Simulation};
-use mpls_packet::ipv4::parse_addr;
-use std::time::Instant;
-
-const SIDE: u32 = 8;
-const RUN_NS: u64 = 50_000_000;
-const HORIZON_NS: u64 = RUN_NS + 20_000_000;
-const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
-
-/// The four grid corners act as LERs; everything else switches labels.
-const CORNERS: [u32; 4] = [0, SIDE - 1, (SIDE - 1) * SIDE, SIDE * SIDE - 1];
-
-fn corner_prefix(i: usize) -> Prefix {
-    Prefix::new(parse_addr(&format!("192.168.{}.0", i + 1)).unwrap(), 24)
-}
-
-/// 8×8 grid: node `r*SIDE + c`, links between horizontal and vertical
-/// neighbors. The 10 µs link delay doubles as the engine's conservative
-/// lookahead when the grid is cut into shards.
-fn grid_control_plane() -> ControlPlane {
-    let mut topo = Topology::new();
-    for id in 0..SIDE * SIDE {
-        let role = if CORNERS.contains(&id) {
-            RouterRole::Ler
-        } else {
-            RouterRole::Lsr
-        };
-        topo.add_node(id, role, format!("grid-{id}"));
-    }
-    for r in 0..SIDE {
-        for c in 0..SIDE {
-            let id = r * SIDE + c;
-            for neighbor in [
-                (c + 1 < SIDE).then(|| id + 1),
-                (r + 1 < SIDE).then(|| id + SIDE),
-            ]
-            .into_iter()
-            .flatten()
-            {
-                topo.add_link(LinkSpec {
-                    a: id,
-                    b: neighbor,
-                    cost: 1,
-                    bandwidth_bps: 1_000_000_000,
-                    delay_ns: 10_000,
-                });
-            }
-        }
-    }
-    let mut cp = ControlPlane::new(topo);
-    for (i, &corner) in CORNERS.iter().enumerate() {
-        cp.attach_prefix(corner, corner_prefix(i));
-    }
-    // Each corner sends to the diagonally opposite one, crossing the
-    // whole grid (and every shard boundary the partitioner can draw).
-    for (i, &corner) in CORNERS.iter().enumerate() {
-        let peer = 3 - i;
-        cp.establish_lsp(LspRequest::best_effort(
-            corner,
-            CORNERS[peer],
-            corner_prefix(peer),
-        ))
-        .expect("grid LSP signals");
-    }
-    cp
-}
-
-fn flows() -> Vec<FlowSpec> {
-    CORNERS
-        .iter()
-        .enumerate()
-        .map(|(i, &corner)| {
-            let peer = 3 - i;
-            FlowSpec {
-                name: format!("corner-{i}"),
-                ingress: corner,
-                src_addr: parse_addr(&format!("10.0.{i}.1")).unwrap(),
-                dst_addr: parse_addr(&format!("192.168.{}.10", peer + 1)).unwrap(),
-                payload_bytes: 500,
-                precedence: 0,
-                // Poisson keeps per-flow RNG streams busy so determinism
-                // is exercised, not just asserted.
-                pattern: TrafficPattern::Poisson {
-                    mean_interval_ns: 8_000,
-                },
-                start_ns: 0,
-                stop_ns: RUN_NS,
-                police: None,
-            }
-        })
-        .collect()
-}
-
-fn run_at(cp: &ControlPlane, shards: usize) -> (mpls_net::SimReport, f64) {
-    let mut sim = Simulation::build(
-        cp,
-        RouterKind::Embedded {
-            clock: ClockSpec::STRATIX_50MHZ,
-        },
-        QueueDiscipline::Fifo { capacity: 64 },
-        7,
-    );
-    sim.set_shards(shards);
-    for f in flows() {
-        sim.add_flow(f);
-    }
-    let start = Instant::now();
-    let report = sim.run(HORIZON_NS);
-    (report, start.elapsed().as_secs_f64())
-}
+use mpls_bench::suite;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).expect("--json needs a path").clone());
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
-        "=== Engine shard scaling: 64-router grid, {} host core(s) ===\n",
+        "=== EXT-10: engine shard scaling, heterogeneous-delay 64-router grid, \
+         {} host core(s) ===\n",
         cores
     );
-
-    let cp = grid_control_plane();
-    let mut t = MarkdownTable::new(&[
-        "shards",
-        "effective",
-        "lookahead µs",
-        "epochs",
-        "events",
-        "wall ms",
-        "events/s",
-        "speedup",
-    ]);
-
-    let mut baseline_json = String::new();
-    let mut baseline_secs = 0.0;
-    for &shards in &SHARD_COUNTS {
-        let (report, secs) = run_at(&cp, shards);
-        let json = serde_json::to_string(&report).expect("report serializes");
-        if shards == 1 {
-            baseline_json = json.clone();
-            baseline_secs = secs;
-        }
-        assert_eq!(
-            baseline_json, json,
-            "report at {shards} shards diverged from sequential"
-        );
-        let e = &report.engine;
-        let events = e.total_events();
-        t.row(&[
-            shards.to_string(),
-            e.shards.to_string(),
-            e.lookahead_ns
-                .map_or("-".into(), |ns| format!("{:.0}", ns as f64 / 1e3)),
-            e.epochs.to_string(),
-            events.to_string(),
-            format!("{:.1}", secs * 1e3),
-            format!("{:.0}", events as f64 / secs),
-            format!("{:.2}x", baseline_secs / secs),
-        ]);
+    let section = suite::ext10_scaling(quick);
+    println!("{}", section.table);
+    for note in &section.notes {
+        println!("{note}");
     }
-    println!("{}", t.render());
-    println!(
-        "all shard counts byte-identical to the sequential report -- OK\n\
-         note: speedup tracks available host parallelism ({} core(s) here); \
-         the determinism guarantee is what the table certifies on any host",
-        cores
-    );
+    if let Some(path) = json_path {
+        let body =
+            serde_json::to_string_pretty(&section.to_json()).expect("bench report serializes");
+        std::fs::write(&path, body + "\n").expect("bench json written");
+        println!("wrote {path}");
+    }
 }

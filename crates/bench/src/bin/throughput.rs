@@ -7,14 +7,16 @@
 //! highest rank. The same scenario runs with the linear-scan software
 //! router and with the fast path (open-addressed hash FIB reporting
 //! canonical linear-equivalent probe counts, plus a per-ingress flow
-//! cache), with telemetry enabled.
+//! cache), with telemetry enabled; the fast path is additionally
+//! measured under the channel-merge engine.
 //!
 //! Two things are certified:
 //!
 //! * **Identity** — the serialized `SimReport` (telemetry export
 //!   included) is byte-identical between the linear and fast paths,
-//!   with the cache on or off, at 1, 2 and 4 shards. The fast path buys
-//!   host wall-clock only; the simulated answer cannot move.
+//!   with the cache on or off, under both engines, at every shard
+//!   count. The fast path buys host wall-clock only; the simulated
+//!   answer cannot move.
 //! * **Throughput** — the table records host events/second for each
 //!   configuration; the fast path's advantage grows with table depth.
 //!
@@ -23,153 +25,7 @@
 //! `--json <path>` additionally writes the measurements as a
 //! machine-readable trajectory point, e.g. the committed `BENCH_6.json`).
 
-use mpls_bench::MarkdownTable;
-use mpls_control::{ControlPlane, LinkSpec, LspRequest, RouterRole, Topology};
-use mpls_net::traffic::{FlowSpec, TrafficPattern};
-use mpls_net::{QueueDiscipline, RouterKind, SimReport, Simulation, TelemetryConfig};
-use mpls_packet::ipv4::parse_addr;
-use mpls_router::SwTimingModel;
-use serde::Serialize;
-use std::time::Instant;
-
-/// One measured configuration, as written to the `--json` trajectory
-/// file (`BENCH_<n>.json`). Wall-clock figures are host-dependent; the
-/// events count is deterministic and doubles as a sanity anchor when
-/// comparing points across machines.
-#[derive(Serialize)]
-struct JsonRow {
-    lookup: String,
-    cache: String,
-    shards: usize,
-    events: u64,
-    wall_ms: f64,
-    events_per_sec: f64,
-}
-
-/// The whole trajectory point: enough metadata that a later CI gate can
-/// refuse to compare measurements taken under different configs.
-#[derive(Serialize)]
-struct JsonReport {
-    bench: &'static str,
-    quick: bool,
-    lsps_per_pair: u32,
-    run_ns: u64,
-    rows: Vec<JsonRow>,
-}
-
-const SIDE: u32 = 8;
-const CORNERS: [u32; 4] = [0, SIDE - 1, (SIDE - 1) * SIDE, SIDE * SIDE - 1];
-
-/// Pair `i`, LSP `k` → `10.(100 + 16i + k/256).(k%256).0/24`: each pair
-/// owns sixteen second-octet blocks, so up to 4096 LSPs per pair fit
-/// without collisions.
-fn prefix(pair: usize, k: u32) -> mpls_dataplane::ftn::Prefix {
-    mpls_dataplane::ftn::Prefix::new(
-        parse_addr(&format!(
-            "10.{}.{}.0",
-            100 + pair * 16 + (k / 256) as usize,
-            k % 256
-        ))
-        .unwrap(),
-        24,
-    )
-}
-
-/// The 8×8 grid with `lsps_per_pair` parallel LSPs signaled for each
-/// diagonal corner pair. Every LSP carries a distinct /24, so each adds
-/// one binding to every node on its path — the knob that sets the
-/// linear info-base's depth.
-fn grid_control_plane(lsps_per_pair: u32) -> ControlPlane {
-    let mut topo = Topology::new();
-    for id in 0..SIDE * SIDE {
-        let role = if CORNERS.contains(&id) {
-            RouterRole::Ler
-        } else {
-            RouterRole::Lsr
-        };
-        topo.add_node(id, role, format!("grid-{id}"));
-    }
-    for r in 0..SIDE {
-        for c in 0..SIDE {
-            let id = r * SIDE + c;
-            for neighbor in [
-                (c + 1 < SIDE).then(|| id + 1),
-                (r + 1 < SIDE).then(|| id + SIDE),
-            ]
-            .into_iter()
-            .flatten()
-            {
-                topo.add_link(LinkSpec {
-                    a: id,
-                    b: neighbor,
-                    cost: 1,
-                    bandwidth_bps: 1_000_000_000,
-                    delay_ns: 10_000,
-                });
-            }
-        }
-    }
-    let mut cp = ControlPlane::new(topo);
-    for (i, &corner) in CORNERS.iter().enumerate() {
-        let dst = CORNERS[3 - i];
-        for k in 0..lsps_per_pair {
-            cp.attach_prefix(dst, prefix(i, k));
-            cp.establish_lsp(LspRequest::best_effort(corner, dst, prefix(i, k)))
-                .expect("grid LSP signals");
-        }
-    }
-    cp
-}
-
-/// One flow per corner pair, aimed at the pair's *last* signaled LSP —
-/// the worst case for a linear scan, the same case as any other for the
-/// hash FIB.
-fn flows(lsps_per_pair: u32, run_ns: u64) -> Vec<FlowSpec> {
-    CORNERS
-        .iter()
-        .enumerate()
-        .map(|(i, &corner)| FlowSpec {
-            name: format!("corner-{i}"),
-            ingress: corner,
-            src_addr: parse_addr(&format!("10.0.{i}.1")).unwrap(),
-            dst_addr: parse_addr(&format!(
-                "10.{}.{}.5",
-                100 + i * 16 + ((lsps_per_pair - 1) / 256) as usize,
-                (lsps_per_pair - 1) % 256
-            ))
-            .unwrap(),
-            payload_bytes: 500,
-            precedence: 0,
-            pattern: TrafficPattern::Poisson {
-                mean_interval_ns: 10_000,
-            },
-            start_ns: 0,
-            stop_ns: run_ns,
-            police: None,
-        })
-        .collect()
-}
-
-fn run_at(
-    cp: &ControlPlane,
-    kind: RouterKind,
-    shards: usize,
-    lsps_per_pair: u32,
-    run_ns: u64,
-) -> (SimReport, f64) {
-    let mut sim = Simulation::build(cp, kind, QueueDiscipline::Fifo { capacity: 64 }, 7);
-    sim.set_shards(shards);
-    for f in flows(lsps_per_pair, run_ns) {
-        sim.add_flow(f);
-    }
-    let sim = sim.with_telemetry(TelemetryConfig {
-        sample_interval_ns: 1_000_000,
-        ..TelemetryConfig::default()
-    });
-    let start = Instant::now();
-    let report = sim.run(run_ns + 20_000_000);
-    (report, start.elapsed().as_secs_f64())
-}
+use mpls_bench::suite;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -178,113 +34,26 @@ fn main() {
         .iter()
         .position(|a| a == "--json")
         .map(|i| args.get(i + 1).expect("--json needs a path").clone());
-    let lsps_per_pair: u32 = if quick { 32 } else { 4096 };
-    let run_ns: u64 = if quick { 5_000_000 } else { 30_000_000 };
-    let shard_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4] };
-    let timing = SwTimingModel::default();
+    let section = suite::ext12_throughput(quick);
+    let lsps = section
+        .config
+        .iter()
+        .find_map(|(k, v)| match v {
+            serde::Value::U64(n) if k == "lsps_per_pair" => Some(*n),
+            _ => None,
+        })
+        .unwrap_or(0);
     println!(
         "=== EXT-12: hash-FIB fast path vs linear info-base, 64-router grid, \
-         {} LSPs/pair ===\n",
-        lsps_per_pair
+         {lsps} LSPs/pair ===\n"
     );
-
-    let cp = grid_control_plane(lsps_per_pair);
-    let mut t = MarkdownTable::new(&[
-        "lookup",
-        "cache",
-        "shards",
-        "events",
-        "wall ms",
-        "events/s",
-        "vs linear",
-    ]);
-
-    let mut baseline_json = String::new();
-    let mut linear_eps = 0.0;
-    let mut fast_eps_1shard = 0.0;
-    let mut json_rows = Vec::new();
-    let variants: Vec<(&str, &str, RouterKind)> = vec![
-        ("linear", "-", RouterKind::SoftwareLinear { timing }),
-        (
-            "hash",
-            "off",
-            RouterKind::SoftwareFast {
-                timing,
-                cache: false,
-            },
-        ),
-        (
-            "hash",
-            "on",
-            RouterKind::SoftwareFast {
-                timing,
-                cache: true,
-            },
-        ),
-    ];
-    for (lookup, cache, kind) in variants {
-        // The linear baseline only runs sequentially (it is the slow
-        // side being measured, not the one under test for sharding).
-        let counts: &[usize] = if lookup == "linear" {
-            &shard_counts[..1]
-        } else {
-            shard_counts
-        };
-        for &shards in counts {
-            let (report, secs) = run_at(&cp, kind, shards, lsps_per_pair, run_ns);
-            let json = serde_json::to_string(&report).expect("report serializes");
-            if baseline_json.is_empty() {
-                baseline_json = json.clone();
-            }
-            assert_eq!(
-                baseline_json, json,
-                "{lookup} (cache {cache}, {shards} shard(s)) diverged from the linear baseline"
-            );
-            let events = report.engine.total_events();
-            let eps = events as f64 / secs;
-            if lookup == "linear" {
-                linear_eps = eps;
-            }
-            if lookup == "hash" && cache == "on" && shards == 1 {
-                fast_eps_1shard = eps;
-            }
-            t.row(&[
-                lookup.to_string(),
-                cache.to_string(),
-                shards.to_string(),
-                events.to_string(),
-                format!("{:.1}", secs * 1e3),
-                format!("{:.0}", eps),
-                format!("{:.2}x", eps / linear_eps),
-            ]);
-            json_rows.push(JsonRow {
-                lookup: lookup.to_string(),
-                cache: cache.to_string(),
-                shards,
-                events,
-                wall_ms: secs * 1e3,
-                events_per_sec: eps,
-            });
-        }
-    }
-    println!("{}", t.render());
-    let ratio = fast_eps_1shard / linear_eps;
-    println!(
-        "reports byte-identical across lookup strategy, cache setting and shard count -- OK\n\
-         fast path (cache on, 1 shard) vs linear: {ratio:.2}x events/s"
-    );
-    if !quick && ratio < 3.0 {
-        println!("warning: expected >= 3x on a deep table; host noise or shallow tables?");
+    println!("{}", section.table);
+    for note in &section.notes {
+        println!("{note}");
     }
     if let Some(path) = json_path {
-        let report = JsonReport {
-            bench: "ext12-throughput",
-            quick,
-            lsps_per_pair,
-            run_ns,
-            rows: json_rows,
-        };
-        let body = serde_json::to_string_pretty(&report).expect("bench report serializes");
+        let body =
+            serde_json::to_string_pretty(&section.to_json()).expect("bench report serializes");
         std::fs::write(&path, body + "\n").expect("bench json written");
         println!("wrote {path}");
     }

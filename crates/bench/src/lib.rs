@@ -7,5 +7,6 @@
 pub mod figure_print;
 pub mod report;
 pub mod scenarios;
+pub mod suite;
 
 pub use report::MarkdownTable;

@@ -12,6 +12,9 @@
 //! mpls-sim run --control <mode> <scenario.json>
 //!                                       ... force the control plane:
 //!                                       "centralized" or "ldp"
+//! mpls-sim run --engine <kind> <scenario.json>
+//!                                       ... force the execution engine:
+//!                                       "barrier" or "merge"
 //! mpls-sim validate <scenario.json>     parse + signal without running traffic
 //! mpls-sim example                      print the bundled example scenario
 //! ```
@@ -26,7 +29,8 @@ const EXAMPLE: &str = include_str!("../scenarios/example.json");
 fn usage() -> ExitCode {
     eprintln!(
         "usage: mpls-sim <run|validate> [--json] [--metrics-out <path>] [--shards <n>] \
-         [--control <centralized|ldp>] <scenario.json> | mpls-sim example"
+         [--control <centralized|ldp>] [--engine <barrier|merge>] <scenario.json> | \
+         mpls-sim example"
     );
     ExitCode::from(2)
 }
@@ -43,6 +47,7 @@ fn main() -> ExitCode {
             let mut metrics_out: Option<String> = None;
             let mut shards: Option<usize> = None;
             let mut control: Option<String> = None;
+            let mut engine: Option<String> = None;
             let mut path: Option<String> = None;
             let mut rest = args.iter().skip(1);
             while let Some(arg) = rest.next() {
@@ -66,6 +71,13 @@ fn main() -> ExitCode {
                         Some(m) => control = Some(m.clone()),
                         None => {
                             eprintln!("error: --control needs a mode (centralized or ldp)");
+                            return usage();
+                        }
+                    },
+                    "--engine" => match rest.next() {
+                        Some(k) => engine = Some(k.clone()),
+                        None => {
+                            eprintln!("error: --engine needs a kind (barrier or merge)");
                             return usage();
                         }
                     },
@@ -103,8 +115,12 @@ fn main() -> ExitCode {
                     }
                 }
             } else {
-                let result =
-                    scenario.run_with_overrides(metrics_out.is_some(), shards, control.as_deref());
+                let result = scenario.run_with_overrides(
+                    metrics_out.is_some(),
+                    shards,
+                    control.as_deref(),
+                    engine.as_deref(),
+                );
                 match result {
                     Ok(report) => {
                         if let Some(out) = &metrics_out {

@@ -6,7 +6,8 @@ use mpls_net::SimReport;
 pub fn format_report(report: &SimReport) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "engine: {} shard{} ({} epochs, {} events), control: {}",
+        "engine: {}, {} shard{} ({} rounds, {} events), control: {}",
+        report.engine.kind.name(),
         report.engine.shards,
         if report.engine.shards == 1 { "" } else { "s" },
         report.engine.epochs,
@@ -152,9 +153,10 @@ mod tests {
         assert!(text.contains("utilized"));
         assert!(!text.contains("faults:"), "no fault section without faults");
         assert!(text.contains("control: centralized"));
-        // Shard count follows MPLS_SIM_SHARDS, so only assert the shape.
+        // Shard count follows MPLS_SIM_SHARDS and the kind follows
+        // MPLS_SIM_ENGINE, so only assert the shape.
         assert!(text.starts_with("engine: "));
-        assert!(text.contains("epochs"));
+        assert!(text.contains("rounds"));
         assert!(!text.contains("ldp:"), "no ldp block on centralized runs");
     }
 

@@ -117,6 +117,12 @@ pub struct Scenario {
     /// is identical at any value — sharding only trades wall-clock time.
     #[serde(default)]
     pub shards: Option<usize>,
+    /// Execution engine: `"barrier"` (global epoch barrier, the
+    /// default) or `"merge"` (channel-merge scheduler with per-shard
+    /// conservative bounds). `--engine` overrides. The report is
+    /// byte-identical either way — the engine only trades wall-clock.
+    #[serde(default)]
+    pub engine: Option<String>,
 }
 
 fn default_horizon_ms() -> u64 {
@@ -881,26 +887,29 @@ impl Scenario {
     /// Builds and runs the whole scenario. Telemetry is collected when
     /// the scenario's `telemetry` section asks for it.
     pub fn run(&self) -> Result<mpls_net::SimReport, ScenarioError> {
-        self.run_with(false, None, None)
+        self.run_with(false, None, None, None)
     }
 
     /// Like [`Self::run`], but collects telemetry even without a
     /// `telemetry` section (the `--metrics-out` path).
     pub fn run_with_telemetry(&self) -> Result<mpls_net::SimReport, ScenarioError> {
-        self.run_with(true, None, None)
+        self.run_with(true, None, None, None)
     }
 
     /// Like [`Self::run`], with the command-line overrides applied:
     /// `force_telemetry` for `--metrics-out`, `shards` for `--shards`
     /// (which beats the scenario's own `shards` field), `control` for
-    /// `--control` (which beats the scenario's `control` field).
+    /// `--control` (which beats the scenario's `control` field), and
+    /// `engine` for `--engine` (which beats the scenario's `engine`
+    /// field).
     pub fn run_with_overrides(
         &self,
         force_telemetry: bool,
         shards: Option<usize>,
         control: Option<&str>,
+        engine: Option<&str>,
     ) -> Result<mpls_net::SimReport, ScenarioError> {
-        self.run_with(force_telemetry, shards, control)
+        self.run_with(force_telemetry, shards, control, engine)
     }
 
     fn run_with(
@@ -908,6 +917,7 @@ impl Scenario {
         force_telemetry: bool,
         shards_override: Option<usize>,
         control_override: Option<&str>,
+        engine_override: Option<&str>,
     ) -> Result<mpls_net::SimReport, ScenarioError> {
         let cp = self.build_control_plane()?;
         let mut sim =
@@ -917,6 +927,14 @@ impl Scenario {
                 return Err(ScenarioError::Invalid("shards must be >= 1".into()));
             }
             sim.set_shards(shards);
+        }
+        if let Some(name) = engine_override.or(self.engine.as_deref()) {
+            let kind = mpls_net::EngineKind::parse(name).ok_or_else(|| {
+                ScenarioError::Invalid(format!(
+                    "unknown engine {name:?} (expected \"barrier\" or \"merge\")"
+                ))
+            })?;
+            sim.set_engine(kind);
         }
         for n in &self.nodes {
             if let Some(hint) = n.shard {
@@ -1107,11 +1125,14 @@ mod tests {
     fn shard_overrides_do_not_change_the_report() {
         let sc = Scenario::from_json(FAULTY).unwrap();
         let baseline =
-            serde_json::to_string(&sc.run_with_overrides(false, Some(1), None).unwrap()).unwrap();
+            serde_json::to_string(&sc.run_with_overrides(false, Some(1), None, None).unwrap())
+                .unwrap();
         for shards in [2, 4] {
-            let sharded =
-                serde_json::to_string(&sc.run_with_overrides(false, Some(shards), None).unwrap())
-                    .unwrap();
+            let sharded = serde_json::to_string(
+                &sc.run_with_overrides(false, Some(shards), None, None)
+                    .unwrap(),
+            )
+            .unwrap();
             assert_eq!(baseline, sharded, "--shards {shards} diverged");
         }
         // The scenario's own field works too, and 0 is rejected.
@@ -1168,7 +1189,7 @@ mod tests {
         // The same run under the centralized override must converge
         // before t=0 (no control summary beyond the mode).
         let central = sc
-            .run_with_overrides(false, None, Some("centralized"))
+            .run_with_overrides(false, None, Some("centralized"), None)
             .unwrap();
         assert_eq!(central.control.mode, "centralized");
         assert!(central.control.convergence_ns.is_none());

@@ -222,6 +222,11 @@ pub(crate) struct ShardState<S> {
     pub events_processed: u64,
     /// Timestamp of the most recently executed event.
     pub last_time: SimTime,
+    /// Exclusive upper bound for the current round, set by the
+    /// coordinator before the parallel section. Under the epoch barrier
+    /// every shard gets the same bound; under the channel-merge
+    /// scheduler each shard gets its own (see `Engine::run_merge`).
+    pub round_end: SimTime,
     /// Batch drain bound (see [`batch_limit`]); reusable scratch
     /// buffers keep the hot loop allocation-free.
     pub batch: usize,

@@ -31,7 +31,7 @@ pub mod sim;
 pub mod stats;
 pub mod traffic;
 
-pub use engine::EngineStats;
+pub use engine::{EngineKind, EngineStats};
 pub use event::{ControlEvent, EventQueue, SimTime};
 pub use fault::{FaultPlan, FaultRecord, PduChaos, RecoveryMode, RestorationPolicy};
 pub use histogram::LatencyHistogram;

@@ -21,7 +21,7 @@
 //! telemetry export — is byte-identical at any shard count; sharding is
 //! purely a wall-clock optimization. See [`crate::engine`].
 
-use crate::engine::{stream_seed, Engine, EngineParts, EngineStats, LdpRuntime};
+use crate::engine::{stream_seed, Engine, EngineKind, EngineParts, EngineStats, LdpRuntime};
 use crate::event::{ControlEvent, EventQueue, SimTime};
 use crate::fault::{FaultKind, FaultPlan, FaultRecord, RestorationPolicy};
 use crate::link::Channel;
@@ -249,6 +249,7 @@ pub struct Simulation<S: TelemetrySink = NoopSink> {
     sink: S,
     instr: SimInstruments,
     requested_shards: Option<usize>,
+    requested_engine: Option<EngineKind>,
     shard_hints: HashMap<NodeId, usize>,
     /// Present when the run uses the distributed control plane.
     ldp: Option<LdpRuntime>,
@@ -312,6 +313,7 @@ impl Simulation {
             sink: NoopSink,
             instr: SimInstruments::default(),
             requested_shards: None,
+            requested_engine: None,
             shard_hints: HashMap::new(),
             ldp: None,
             pdu_chaos: Vec::new(),
@@ -353,6 +355,7 @@ impl Simulation {
             sink,
             instr,
             requested_shards: self.requested_shards,
+            requested_engine: self.requested_engine,
             shard_hints: self.shard_hints,
             ldp: self.ldp,
             pdu_chaos: self.pdu_chaos,
@@ -378,6 +381,15 @@ impl<S: TelemetrySink> Simulation<S> {
     /// any value — this only trades wall-clock time.
     pub fn set_shards(&mut self, shards: usize) {
         self.requested_shards = Some(shards);
+    }
+
+    /// Selects the shard coordination scheme ([`EngineKind`]). Overrides
+    /// the `MPLS_SIM_ENGINE` environment variable (`"barrier"` or
+    /// `"merge"`); the default is the epoch barrier. The report is
+    /// identical either way — like the shard count, this only trades
+    /// wall-clock time.
+    pub fn set_engine(&mut self, kind: EngineKind) {
+        self.requested_engine = Some(kind);
     }
 
     /// Pins `node` to shard `hint % shards` instead of its default
@@ -505,7 +517,9 @@ impl<S: TelemetrySink> Simulation<S> {
 
     /// Runs until the event queues drain or `horizon_ns` passes, then
     /// reports. The shard count resolves as [`Self::set_shards`], else
-    /// the `MPLS_SIM_SHARDS` environment variable, else 1.
+    /// the `MPLS_SIM_SHARDS` environment variable, else 1; the engine
+    /// kind as [`Self::set_engine`], else `MPLS_SIM_ENGINE`, else the
+    /// epoch barrier.
     pub fn run(self, horizon_ns: SimTime) -> SimReport {
         let shards = self
             .requested_shards
@@ -515,6 +529,14 @@ impl<S: TelemetrySink> Simulation<S> {
                     .and_then(|v| v.parse().ok())
             })
             .unwrap_or(1);
+        let engine = self
+            .requested_engine
+            .or_else(|| {
+                std::env::var("MPLS_SIM_ENGINE")
+                    .ok()
+                    .and_then(|v| EngineKind::parse(&v))
+            })
+            .unwrap_or_default();
         Engine::new(EngineParts {
             channels: self.channels,
             chan_index: self.chan_index,
@@ -530,6 +552,7 @@ impl<S: TelemetrySink> Simulation<S> {
             instr: self.instr,
             shards,
             hints: self.shard_hints,
+            engine,
             ldp: self.ldp,
             pdu_chaos: self.pdu_chaos,
         })
