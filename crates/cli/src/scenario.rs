@@ -72,10 +72,20 @@ fn parse_ip(s: &str) -> Result<u32, ScenarioError> {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 #[serde(deny_unknown_fields)]
 pub struct Scenario {
-    /// Nodes of the topology.
+    /// Nodes of the topology. May be empty when a `topology` section
+    /// synthesizes the graph instead.
+    #[serde(default)]
     pub nodes: Vec<NodeDecl>,
     /// Bidirectional links.
+    #[serde(default)]
     pub links: Vec<LinkDecl>,
+    /// Parametric topology synthesis: instead of enumerating nodes,
+    /// links and LSPs, name a family (`"fat_tree"`, `"ring_of_rings"`)
+    /// at a width and an LSP volume, and the streaming generator
+    /// derives the whole workload from the scenario seed. Mutually
+    /// exclusive with explicit `nodes`/`links`/`lsps`/`attached`.
+    #[serde(default)]
+    pub topology: Option<TopologyDecl>,
     /// Prefixes attached behind LERs (delivered locally).
     #[serde(default)]
     pub attached: Vec<AttachDecl>,
@@ -127,6 +137,118 @@ pub struct Scenario {
 
 fn default_horizon_ms() -> u64 {
     1000
+}
+
+/// A synthesized-topology workload (see [`mpls_net::ScaleSpec`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct TopologyDecl {
+    /// `"fat_tree"` or `"ring_of_rings"`.
+    pub family: String,
+    /// Fat-tree arity (even; default 4).
+    #[serde(default = "default_k")]
+    pub k: u32,
+    /// LERs under each fat-tree edge switch (default 2).
+    #[serde(default = "default_lers_per_edge")]
+    pub lers_per_edge: u32,
+    /// Backbone gateways for ring-of-rings (default 8).
+    #[serde(default = "default_rings")]
+    pub rings: u32,
+    /// LERs per local ring (default 4).
+    #[serde(default = "default_ring_size")]
+    pub ring_size: u32,
+    /// LSPs to signal, each riding a hierarchical tunnel with PHP.
+    pub lsps_total: usize,
+    /// Tunnel mesh density (stride classes per anchor; default 2).
+    #[serde(default = "default_strides")]
+    pub tunnel_strides: u32,
+    /// Traffic flows over a sampled subset of the LSPs (default 0).
+    #[serde(default)]
+    pub flows: usize,
+    /// Payload bytes per generated flow packet (default 256).
+    #[serde(default = "default_scale_payload")]
+    pub payload_bytes: usize,
+    /// CBR inter-packet gap per generated flow, µs (default 100).
+    #[serde(default = "default_scale_interval_us")]
+    pub flow_interval_us: u64,
+    /// Generated flows start at this time, ms (default 0).
+    #[serde(default)]
+    pub flow_start_ms: u64,
+    /// Generated flows stop at this time, ms (default 50).
+    #[serde(default = "default_scale_stop_ms")]
+    pub flow_stop_ms: u64,
+    /// Capacity of every synthesized link, Mb/s (default 10000).
+    #[serde(default = "default_scale_bw_mbps")]
+    pub bandwidth_mbps: u64,
+    /// One-way delay of every synthesized link, µs (default 10).
+    #[serde(default = "default_scale_delay_us")]
+    pub delay_us: u64,
+}
+
+fn default_k() -> u32 {
+    4
+}
+fn default_lers_per_edge() -> u32 {
+    2
+}
+fn default_rings() -> u32 {
+    8
+}
+fn default_ring_size() -> u32 {
+    4
+}
+fn default_strides() -> u32 {
+    2
+}
+fn default_scale_payload() -> usize {
+    256
+}
+fn default_scale_interval_us() -> u64 {
+    100
+}
+fn default_scale_stop_ms() -> u64 {
+    50
+}
+fn default_scale_bw_mbps() -> u64 {
+    10_000
+}
+fn default_scale_delay_us() -> u64 {
+    10
+}
+
+impl TopologyDecl {
+    /// Resolves to the streaming generator's spec; `seed` is the
+    /// scenario seed, so the whole workload derives from it.
+    pub fn to_spec(&self, seed: u64) -> Result<mpls_net::ScaleSpec, ScenarioError> {
+        let family = match self.family.to_ascii_lowercase().as_str() {
+            "fat_tree" => mpls_net::ScaleFamily::FatTree {
+                k: self.k,
+                lers_per_edge: self.lers_per_edge,
+            },
+            "ring_of_rings" => mpls_net::ScaleFamily::RingOfRings {
+                rings: self.rings,
+                ring_size: self.ring_size,
+            },
+            other => {
+                return Err(ScenarioError::Invalid(format!(
+                    "unknown topology family {other:?} (use \"fat_tree\" or \"ring_of_rings\")"
+                )))
+            }
+        };
+        Ok(mpls_net::ScaleSpec {
+            family,
+            lsps_total: self.lsps_total,
+            tunnel_strides: self.tunnel_strides,
+            flows: self.flows,
+            payload_bytes: self.payload_bytes,
+            flow_interval_ns: self.flow_interval_us * 1_000,
+            flow_start_ns: self.flow_start_ms * 1_000_000,
+            flow_stop_ns: self.flow_stop_ms * 1_000_000,
+            bandwidth_bps: self.bandwidth_mbps * 1_000_000,
+            delay_ns: self.delay_us * 1_000,
+            seed,
+        })
+    }
 }
 
 /// One node.
@@ -603,6 +725,29 @@ impl Scenario {
 
     /// Builds the control plane: topology, attachments, LSPs.
     pub fn build_control_plane(&self) -> Result<ControlPlane, ScenarioError> {
+        if let Some(t) = &self.topology {
+            if !self.nodes.is_empty() || !self.links.is_empty() {
+                return Err(ScenarioError::Invalid(
+                    "a topology section synthesizes the graph; drop explicit nodes/links".into(),
+                ));
+            }
+            if !self.lsps.is_empty() || !self.attached.is_empty() {
+                return Err(ScenarioError::Invalid(
+                    "a topology section synthesizes the workload; drop explicit lsps/attached"
+                        .into(),
+                ));
+            }
+            let w = t
+                .to_spec(self.seed)?
+                .build()
+                .map_err(|e| ScenarioError::Signal(format!("scale workload: {e:?}")))?;
+            return Ok(w.cp);
+        }
+        if self.nodes.is_empty() {
+            return Err(ScenarioError::Invalid(
+                "scenario needs nodes or a topology section".into(),
+            ));
+        }
         let mut topo = Topology::new();
         for n in &self.nodes {
             let role = match n.role.to_ascii_lowercase().as_str() {
@@ -796,8 +941,17 @@ impl Scenario {
         }
     }
 
-    /// Converts the flow declarations.
+    /// Converts the flow declarations; generated flows from a
+    /// `topology` section are appended after the explicit ones.
     pub fn flow_specs(&self) -> Result<Vec<FlowSpec>, ScenarioError> {
+        let mut flows = self.explicit_flow_specs()?;
+        if let Some(t) = &self.topology {
+            flows.extend(t.to_spec(self.seed)?.flow_specs());
+        }
+        Ok(flows)
+    }
+
+    fn explicit_flow_specs(&self) -> Result<Vec<FlowSpec>, ScenarioError> {
         self.flows
             .iter()
             .map(|f| {
@@ -1254,5 +1408,54 @@ mod tests {
         assert!(matches!(sc.queue, QueueDecl::Fifo { capacity: 64 }));
         let report = sc.run().unwrap();
         assert!(report.flows.is_empty());
+    }
+
+    #[test]
+    fn topology_section_synthesizes_and_runs() {
+        let doc = r#"{
+            "topology": {
+                "family": "fat_tree",
+                "lsps_total": 128,
+                "flows": 4,
+                "flow_stop_ms": 2
+            },
+            "seed": 11,
+            "horizon_ms": 20
+        }"#;
+        let sc = Scenario::from_json(doc).unwrap();
+        let cp = sc.build_control_plane().unwrap();
+        // k=4 default: 4 core + 8 agg + 8 edge + 16 LERs.
+        assert_eq!(cp.topology().nodes().len(), 36);
+        assert_eq!(cp.lsp_ids().len(), 128);
+        let flows = sc.flow_specs().unwrap();
+        assert_eq!(flows.len(), 4);
+        let report = sc.run().unwrap();
+        for f in &report.flows {
+            assert_eq!(f.1.delivered, f.1.sent, "flow {} lost traffic", f.0.name);
+            assert!(f.1.sent > 0);
+        }
+        // Byte-identical at any shard count, as everywhere else.
+        let base = serde_json::to_string(&report).unwrap();
+        let sharded = sc.run_with_overrides(false, Some(4), None, None).unwrap();
+        assert_eq!(base, serde_json::to_string(&sharded).unwrap());
+    }
+
+    #[test]
+    fn topology_section_rejects_explicit_graphs() {
+        let doc = r#"{
+            "nodes": [{"id": 0, "role": "ler"}],
+            "links": [],
+            "topology": {"family": "ring_of_rings", "lsps_total": 1}
+        }"#;
+        let sc = Scenario::from_json(doc).unwrap();
+        assert!(matches!(
+            sc.build_control_plane(),
+            Err(ScenarioError::Invalid(_))
+        ));
+        let empty = Scenario::from_json("{}").unwrap();
+        assert!(matches!(
+            empty.build_control_plane(),
+            Err(ScenarioError::Invalid(_))
+        ));
     }
 }

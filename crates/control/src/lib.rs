@@ -22,10 +22,12 @@ pub mod config;
 pub mod cspf;
 pub mod label_alloc;
 pub mod signaling;
+pub mod spt;
 pub mod topology;
 
 pub use config::{BindingEntry, FecEntry, Hop, IpRoute, NextHopEntry, NodeConfig};
 pub use cspf::{Constraint, PathError};
 pub use label_alloc::LabelAllocator;
 pub use signaling::{ControlPlane, LspId, LspRequest, SignalError, TunnelId};
+pub use spt::SptTree;
 pub use topology::{LinkId, LinkSpec, NodeId, NodeSpec, RouterRole, Topology};

@@ -25,11 +25,12 @@
 use crate::config::{BindingEntry, FecEntry, Hop, IpRoute, NextHopEntry, NodeConfig};
 use crate::cspf::{shortest_path, Constraint, PathError};
 use crate::label_alloc::LabelAllocator;
+use crate::spt::SptTree;
 use crate::topology::{LinkId, NodeId, RouterRole, Topology};
 use mpls_dataplane::ftn::Prefix;
 use mpls_dataplane::LabelOp;
 use mpls_packet::{CosBits, Label};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// LSP identifier.
 pub type LspId = u32;
@@ -155,6 +156,18 @@ pub struct Tunnel {
     next_hops: Vec<NextHopEntry>,
 }
 
+/// The tunnel facts `build_lsp_state` needs at the head of an LSP that
+/// rides a tunnel — resolved once by the caller so state generation
+/// never scans the tunnel table.
+#[derive(Debug, Clone, Copy)]
+struct TunnelHop {
+    head: NodeId,
+    tail: NodeId,
+    /// The tunnel's penultimate node (performs the interior PHP pop).
+    penultimate: NodeId,
+    entry_label: Label,
+}
+
 /// The control plane: owns the topology, the label space, the bandwidth
 /// ledger and all signaled state.
 #[derive(Debug, Clone)]
@@ -170,11 +183,25 @@ pub struct ControlPlane {
     backups: HashMap<LspId, LspId>,
     next_lsp: LspId,
     next_tunnel: TunnelId,
+    /// Delta-CSPF cache: one incrementally repaired shortest-path tree
+    /// per head end that has signaled an unconstrained request. Repaired
+    /// in place on `fail_link`/`restore_link`.
+    spt_cache: HashMap<NodeId, SptTree>,
+    /// The canonical-parent equivalence behind the cache requires every
+    /// link cost ≥ 1 (see [`crate::spt`]); computed once — the topology
+    /// is immutable after construction.
+    spt_cacheable: bool,
+    /// Node -> ids of LSPs with state at that node, ascending. Makes
+    /// `config_for` O(state at node) instead of O(all LSPs).
+    lsps_by_node: HashMap<NodeId, Vec<LspId>>,
+    /// Node -> ids of tunnels with state at that node, ascending.
+    tunnels_by_node: HashMap<NodeId, Vec<TunnelId>>,
 }
 
 impl ControlPlane {
     /// Creates a control plane over `topo`.
     pub fn new(topo: Topology) -> Self {
+        let spt_cacheable = topo.links().iter().all(|l| l.cost >= 1);
         Self {
             topo,
             alloc: LabelAllocator::new(),
@@ -186,6 +213,10 @@ impl ControlPlane {
             backups: HashMap::new(),
             next_lsp: 1,
             next_tunnel: 1,
+            spt_cache: HashMap::new(),
+            spt_cacheable,
+            lsps_by_node: HashMap::new(),
+            tunnels_by_node: HashMap::new(),
         }
     }
 
@@ -234,7 +265,12 @@ impl ControlPlane {
     /// simulator's `FaultPlan` instead, which drives this method on its
     /// own clone at fault-detection time.
     pub fn fail_link(&mut self, link: LinkId) -> Vec<LspId> {
-        self.failed_links.insert(link);
+        if self.failed_links.insert(link) {
+            let (topo, failed) = (&self.topo, &self.failed_links);
+            for tree in self.spt_cache.values_mut() {
+                tree.link_down(topo, link, &|l| !failed.contains(&l));
+            }
+        }
         let mut affected: Vec<LspId> = self
             .lsps
             .values()
@@ -247,7 +283,12 @@ impl ControlPlane {
 
     /// Clears a link failure.
     pub fn restore_link(&mut self, link: LinkId) {
-        self.failed_links.remove(&link);
+        if self.failed_links.remove(&link) {
+            let (topo, failed) = (&self.topo, &self.failed_links);
+            for tree in self.spt_cache.values_mut() {
+                tree.link_up(topo, link, &|l| !failed.contains(&l));
+            }
+        }
     }
 
     /// True while `link` is marked failed.
@@ -374,14 +415,24 @@ impl ControlPlane {
         v
     }
 
+    /// Labels currently allocated from the shared global space (net of
+    /// releases) — the scarce resource at million-LSP scale.
+    pub fn labels_allocated(&self) -> usize {
+        self.alloc.allocated_count(GLOBAL_SPACE)
+    }
+
     /// Aggregates the forwarding configuration for one node across every
     /// signaled LSP, tunnel and attachment.
     pub fn config_for(&self, node: NodeId) -> NodeConfig {
         let mut cfg = NodeConfig::default();
-        let mut lsp_ids: Vec<_> = self.lsps.keys().copied().collect();
-        lsp_ids.sort_unstable();
+        // The per-node index lists ids ascending (ids are monotonic and
+        // appended at install time), so the aggregation order — and the
+        // resulting first-binding-wins FIB — is identical to walking
+        // every LSP sorted by id, at O(state at this node).
+        static NO_LSPS: Vec<LspId> = Vec::new();
+        let lsp_ids = self.lsps_by_node.get(&node).unwrap_or(&NO_LSPS);
         for id in lsp_ids {
-            let lsp = &self.lsps[&id];
+            let lsp = &self.lsps[id];
             // A standby backup keeps its transit state (levels 2/3 and
             // next hops) installed so failover is head-end-only, but its
             // ingress steering — FEC classification and exact level-1
@@ -399,10 +450,10 @@ impl ControlPlane {
             cfg.ip_routes
                 .extend(lsp.ip_routes.iter().filter(|r| r.node == node));
         }
-        let mut tunnel_ids: Vec<_> = self.tunnels.keys().copied().collect();
-        tunnel_ids.sort_unstable();
+        static NO_TUNNELS: Vec<TunnelId> = Vec::new();
+        let tunnel_ids = self.tunnels_by_node.get(&node).unwrap_or(&NO_TUNNELS);
         for id in tunnel_ids {
-            let t = &self.tunnels[&id];
+            let t = &self.tunnels[id];
             cfg.bindings
                 .extend(t.bindings.iter().filter(|b| b.node == node));
             cfg.next_hops
@@ -443,12 +494,16 @@ impl ControlPlane {
             .tunnels
             .get(&tunnel)
             .ok_or(SignalError::UnknownTunnel(tunnel))?;
-        let (head, tail) = (t.head, t.tail);
-        let entry_label = t.entry_label;
+        let hop = TunnelHop {
+            head: t.head,
+            tail: t.tail,
+            penultimate: t.path[t.path.len() - 2],
+            entry_label: t.entry_label,
+        };
 
         // Route the two physical segments; the tunnel is one logical hop.
-        let seg1 = self.cspf(request.ingress, head, request.bandwidth_bps)?;
-        let seg2 = self.cspf(tail, request.egress, request.bandwidth_bps)?;
+        let seg1 = self.cspf(request.ingress, hop.head, request.bandwidth_bps)?;
+        let seg2 = self.cspf(hop.tail, request.egress, request.bandwidth_bps)?;
         let mut path = seg1.clone();
         path.extend_from_slice(&seg2);
 
@@ -460,7 +515,7 @@ impl ControlPlane {
                 return Err(e);
             }
         }
-        match self.build_lsp_state(&request, &path, Some((head, entry_label))) {
+        match self.build_lsp_state(&request, &path, Some(hop)) {
             Ok(state) => Ok(self.install_lsp(request, path, links, state)),
             Err(e) => {
                 self.release_links(&links, request.bandwidth_bps);
@@ -555,6 +610,14 @@ impl ControlPlane {
 
         let id = self.next_tunnel;
         self.next_tunnel += 1;
+        let nodes: BTreeSet<NodeId> = bindings
+            .iter()
+            .map(|b| b.node)
+            .chain(next_hops.iter().map(|n| n.node))
+            .collect();
+        for node in nodes {
+            self.tunnels_by_node.entry(node).or_default().push(id);
+        }
         self.tunnels.insert(
             id,
             Tunnel {
@@ -579,6 +642,19 @@ impl ControlPlane {
         self.backups.remove(&id);
         self.backups.retain(|_, &mut b| b != id);
         self.release_links(&lsp.reserved_links, lsp.request.bandwidth_bps);
+        let nodes: BTreeSet<NodeId> = lsp
+            .bindings
+            .iter()
+            .map(|b| b.node)
+            .chain(lsp.next_hops.iter().map(|n| n.node))
+            .chain(lsp.fecs.iter().map(|f| f.node))
+            .chain(lsp.ip_routes.iter().map(|r| r.node))
+            .collect();
+        for node in nodes {
+            if let Some(ids) = self.lsps_by_node.get_mut(&node) {
+                ids.retain(|&l| l != id);
+            }
+        }
         for l in lsp.hop_labels {
             self.alloc.release(GLOBAL_SPACE, l);
         }
@@ -595,17 +671,40 @@ impl ControlPlane {
         }
     }
 
-    fn cspf(&self, from: NodeId, to: NodeId, bw: u64) -> Result<Vec<NodeId>, SignalError> {
+    fn cspf(&mut self, from: NodeId, to: NodeId, bw: u64) -> Result<Vec<NodeId>, SignalError> {
         self.cspf_excluding(from, to, bw, &std::collections::HashSet::new())
     }
 
     fn cspf_excluding(
-        &self,
+        &mut self,
         from: NodeId,
         to: NodeId,
         bw: u64,
         avoid: &std::collections::HashSet<LinkId>,
     ) -> Result<Vec<NodeId>, SignalError> {
+        // Delta-CSPF fast path: an unconstrained request (no bandwidth
+        // floor, no extra exclusions) sees exactly "shortest path over
+        // non-failed links" — answered from the head end's cached tree,
+        // which fail_link/restore_link repair incrementally. The cache
+        // reproduces shortest_path byte-for-byte (see crate::spt), so
+        // this is a pure strength reduction: O(path) per signaled LSP
+        // instead of O(graph).
+        if self.spt_cacheable && bw == 0 && avoid.is_empty() {
+            if self.topo.node(from).is_none() {
+                return Err(SignalError::Path(PathError::UnknownNode(from)));
+            }
+            if self.topo.node(to).is_none() {
+                return Err(SignalError::Path(PathError::UnknownNode(to)));
+            }
+            let (topo, failed) = (&self.topo, &self.failed_links);
+            let tree = self
+                .spt_cache
+                .entry(from)
+                .or_insert_with(|| SptTree::build(topo, from, &|l| !failed.contains(&l)));
+            return tree
+                .path(topo, to)
+                .ok_or(SignalError::Path(PathError::NoPath));
+        }
         // Failed links are excluded outright — a zero-bandwidth
         // (best-effort) request must still avoid them.
         let mut exclude_links = self.failed_links.clone();
@@ -621,7 +720,7 @@ impl ControlPlane {
         .map_err(SignalError::Path)
     }
 
-    fn resolve_route(&self, request: &LspRequest) -> Result<Vec<NodeId>, SignalError> {
+    fn resolve_route(&mut self, request: &LspRequest) -> Result<Vec<NodeId>, SignalError> {
         match &request.explicit_route {
             Some(p) => {
                 if p.first() != Some(&request.ingress) || p.last() != Some(&request.egress) {
@@ -668,14 +767,15 @@ impl ControlPlane {
 
     /// Allocates labels and generates forwarding state for a (logical)
     /// path. `tunnel` marks the node that is a tunnel head on this path,
-    /// with the tunnel's entry label: at that node the LSP *pushes* into
-    /// the tunnel, and the label is preserved across the head–tail hop.
+    /// with the tunnel's entry label and penultimate/tail nodes: at the
+    /// head the LSP *pushes* into the tunnel, and the label is preserved
+    /// across the head–tail hop.
     #[allow(clippy::type_complexity)]
     fn build_lsp_state(
         &mut self,
         request: &LspRequest,
         path: &[NodeId],
-        tunnel: Option<(NodeId, Label)>,
+        tunnel: Option<TunnelHop>,
     ) -> Result<
         (
             Vec<Label>,
@@ -687,13 +787,22 @@ impl ControlPlane {
         SignalError,
     > {
         let hops = path.len() - 1;
-        let mut hop_labels: Vec<Label> = Vec::with_capacity(hops);
-        for i in 0..hops {
+        // Under PHP the final hop's label is never used — the packet
+        // leaves the penultimate node unlabeled — so it is not allocated.
+        // At million-LSP scale this is what keeps a tunneled PHP LSP at
+        // one label from the shared 2^20 space.
+        let alloc_hops = if request.php && hops >= 2 {
+            hops - 1
+        } else {
+            hops
+        };
+        let mut hop_labels: Vec<Label> = Vec::with_capacity(alloc_hops);
+        for i in 0..alloc_hops {
             let from = path[i];
             // Across a tunnel the hardware push preserves the inner label:
             // hop label (head -> tail) equals the label into the head.
-            if let Some((head, _)) = tunnel {
-                if from == head && i > 0 {
+            if let Some(t) = &tunnel {
+                if from == t.head && i > 0 {
                     hop_labels.push(hop_labels[i - 1]);
                     continue;
                 }
@@ -738,31 +847,24 @@ impl ControlPlane {
         for i in 1..last {
             let node = path[i];
             let in_label = hop_labels[i - 1];
-            let out_label = hop_labels[i];
-            let is_tunnel_head = tunnel.map(|(h, _)| h == node).unwrap_or(false);
+            let is_tunnel_head = tunnel.as_ref().map(|t| t.head == node).unwrap_or(false);
 
             if is_tunnel_head {
                 // Push into the tunnel; the inner label is preserved.
-                let (_, entry_label) = tunnel.expect("checked above");
+                let t = tunnel.as_ref().expect("checked above");
                 bindings.push(BindingEntry {
                     node,
                     level: 2,
                     key: in_label.value() as u64,
-                    new_label: entry_label,
+                    new_label: t.entry_label,
                     op: LabelOp::Push,
                 });
                 // Next hop for the tunnel entry label exists from tunnel
                 // establishment. Additionally, the tunnel's penultimate
                 // node needs to route this inner label to the tail after
                 // its PHP pop.
-                let t = self
-                    .tunnels
-                    .values()
-                    .find(|t| t.head == node && t.entry_label == entry_label)
-                    .expect("tunnel exists");
-                let penult = t.path[t.path.len() - 2];
                 next_hops.push(NextHopEntry {
-                    node: penult,
+                    node: t.penultimate,
                     label: Some(in_label),
                     next: Hop::Node(t.tail),
                 });
@@ -786,6 +888,7 @@ impl ControlPlane {
                     next: Hop::Node(path[last]),
                 });
             } else {
+                let out_label = hop_labels[i];
                 bindings.push(BindingEntry {
                     node,
                     level: 2,
@@ -839,6 +942,18 @@ impl ControlPlane {
         let (hop_labels, bindings, next_hops, fecs, ip_routes) = state;
         let id = self.next_lsp;
         self.next_lsp += 1;
+        // Ids are monotonic and never reused, so appending keeps every
+        // per-node list ascending — the order config_for aggregates in.
+        let nodes: BTreeSet<NodeId> = bindings
+            .iter()
+            .map(|b| b.node)
+            .chain(next_hops.iter().map(|n| n.node))
+            .chain(fecs.iter().map(|f| f.node))
+            .chain(ip_routes.iter().map(|r| r.node))
+            .collect();
+        for node in nodes {
+            self.lsps_by_node.entry(node).or_default().push(id);
+        }
         self.lsps.insert(
             id,
             SignaledLsp {

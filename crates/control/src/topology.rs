@@ -107,6 +107,12 @@ impl Topology {
         self.links.get(id as usize)
     }
 
+    /// Dense index of a node in [`Self::nodes`] — the array key the
+    /// shortest-path-tree cache stores distances under.
+    pub fn index_of(&self, id: NodeId) -> Option<usize> {
+        self.node_index.get(&id).copied()
+    }
+
     /// All nodes.
     pub fn nodes(&self) -> &[NodeSpec] {
         &self.nodes
@@ -199,6 +205,120 @@ impl Topology {
             let ler = k * k + i as u32;
             t.add_node(ler, RouterRole::Ler, format!("ler-{i}"));
             t.add_link(link(ler, corner));
+        }
+        t
+    }
+
+    /// Builds a `k`-ary fat tree — the canonical folded-Clos datacenter
+    /// fabric — with `lers_per_edge` LERs grafted under every edge
+    /// switch as traffic endpoints.
+    ///
+    /// `k` must be even and ≥ 2. The switch fabric is `(k/2)²` core,
+    /// `k` pods of `k/2` aggregation and `k/2` edge switches each (all
+    /// LSRs); every edge switch connects to every aggregation switch in
+    /// its pod, and aggregation switch `a` of each pod connects to core
+    /// switches `a·k/2 .. (a+1)·k/2`. All links cost 1.
+    ///
+    /// Node ids are dense and layered: cores first, then aggregations
+    /// (pod-major), then edges (pod-major), then LERs (edge-major) —
+    /// `k = 16`, `lers_per_edge = 6` yields 64 + 128 + 128 + 768 = 1088
+    /// nodes.
+    pub fn fat_tree(k: u32, lers_per_edge: u32, bandwidth_bps: u64, delay_ns: u64) -> Topology {
+        assert!(k >= 2 && k.is_multiple_of(2), "fat tree needs even k >= 2");
+        let half = k / 2;
+        let ncore = half * half;
+        let nagg = k * half;
+        let nedge = k * half;
+        let mut t = Topology::new();
+        for c in 0..ncore {
+            t.add_node(c, RouterRole::Lsr, format!("core-{c}"));
+        }
+        for p in 0..k {
+            for a in 0..half {
+                t.add_node(
+                    ncore + p * half + a,
+                    RouterRole::Lsr,
+                    format!("agg-{p}-{a}"),
+                );
+            }
+        }
+        for p in 0..k {
+            for e in 0..half {
+                t.add_node(
+                    ncore + nagg + p * half + e,
+                    RouterRole::Lsr,
+                    format!("edge-{p}-{e}"),
+                );
+            }
+        }
+        let link = |a, b| LinkSpec {
+            a,
+            b,
+            cost: 1,
+            bandwidth_bps,
+            delay_ns,
+        };
+        for p in 0..k {
+            for a in 0..half {
+                let agg = ncore + p * half + a;
+                for c in 0..half {
+                    t.add_link(link(agg, a * half + c));
+                }
+                for e in 0..half {
+                    t.add_link(link(ncore + nagg + p * half + e, agg));
+                }
+            }
+        }
+        for e in 0..nedge {
+            for j in 0..lers_per_edge {
+                let ler = ncore + nagg + nedge + e * lers_per_edge + j;
+                t.add_node(ler, RouterRole::Ler, format!("ler-{e}-{j}"));
+                t.add_link(link(ler, ncore + nagg + e));
+            }
+        }
+        t
+    }
+
+    /// Builds a two-level ring hierarchy — a metro/backbone shape: a
+    /// backbone ring of `rings` gateway LSRs, each anchoring a local
+    /// access ring of `ring_size` LERs. All links cost 1.
+    ///
+    /// Node ids: gateway `g` is `g`; member `j` of `g`'s local ring is
+    /// `rings + g·ring_size + j`. Each local ring runs gateway →
+    /// member 0 → … → member `ring_size-1` → gateway. `rings = 32`,
+    /// `ring_size = 32` yields 32 · 33 = 1056 nodes.
+    pub fn ring_of_rings(
+        rings: u32,
+        ring_size: u32,
+        bandwidth_bps: u64,
+        delay_ns: u64,
+    ) -> Topology {
+        assert!(rings >= 3, "backbone needs >= 3 rings");
+        assert!(ring_size >= 2, "local rings need >= 2 members");
+        let mut t = Topology::new();
+        for g in 0..rings {
+            t.add_node(g, RouterRole::Lsr, format!("gw-{g}"));
+        }
+        let link = |a, b| LinkSpec {
+            a,
+            b,
+            cost: 1,
+            bandwidth_bps,
+            delay_ns,
+        };
+        for g in 0..rings {
+            t.add_link(link(g, (g + 1) % rings));
+        }
+        for g in 0..rings {
+            let member = |j| rings + g * ring_size + j;
+            for j in 0..ring_size {
+                t.add_node(member(j), RouterRole::Ler, format!("acc-{g}-{j}"));
+            }
+            t.add_link(link(g, member(0)));
+            for j in 0..ring_size - 1 {
+                t.add_link(link(member(j), member(j + 1)));
+            }
+            t.add_link(link(member(ring_size - 1), g));
         }
         t
     }
@@ -305,6 +425,47 @@ mod tests {
     #[should_panic(expected = "grid needs k >= 2")]
     fn tiny_grid_panics() {
         Topology::grid(1, 1, 1);
+    }
+
+    #[test]
+    fn fat_tree_shape() {
+        let k = 4u32;
+        let t = Topology::fat_tree(k, 2, 1_000_000_000, 1000);
+        // (k/2)^2 core + k*k/2 agg + k*k/2 edge + 2 LERs per edge.
+        assert_eq!(t.nodes().len(), 4 + 8 + 8 + 16);
+        // Links: agg-core k*(k/2)*(k/2) + edge-agg k*(k/2)*(k/2) + LER.
+        assert_eq!(t.links().len(), 16 + 16 + 16);
+        // Core: one agg per pod (k). Agg: k/2 cores + k/2 edges (k).
+        // Edge: k/2 aggs + its LERs. LERs hang off edges singly.
+        for n in t.nodes() {
+            match n.role {
+                RouterRole::Lsr => {
+                    let expected = if n.id < 4 + 8 { k } else { k / 2 + 2 };
+                    assert_eq!(t.neighbors(n.id).len() as u32, expected, "node {}", n.id);
+                }
+                RouterRole::Ler => assert_eq!(t.neighbors(n.id).len(), 1),
+            }
+        }
+        // Edge switches of one pod share every agg switch of that pod.
+        assert!(t.link_between(12, 4).is_some(), "edge-0-0 to agg-0-0");
+        assert!(t.link_between(12, 5).is_some(), "edge-0-0 to agg-0-1");
+    }
+
+    #[test]
+    fn ring_of_rings_shape() {
+        let t = Topology::ring_of_rings(4, 3, 1_000_000_000, 1000);
+        assert_eq!(t.nodes().len(), 4 * (1 + 3));
+        // Backbone 4 + per ring (1 + (ring_size-1) + 1) = 4 + 4*4.
+        assert_eq!(t.links().len(), 4 + 4 * 4);
+        for g in 0..4 {
+            // Two backbone neighbors plus both local ring attachment points.
+            assert_eq!(t.neighbors(g).len(), 4, "gateway {g}");
+            assert_eq!(t.node(g).unwrap().role, RouterRole::Lsr);
+        }
+        for n in t.nodes().iter().filter(|n| n.id >= 4) {
+            assert_eq!(n.role, RouterRole::Ler);
+            assert_eq!(t.neighbors(n.id).len(), 2, "ring members sit in a cycle");
+        }
     }
 
     #[test]

@@ -50,19 +50,27 @@ fn mix(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Slot {
-    key: u64,
-    binding: LabelBinding,
-    /// 1-based insertion rank of the key's *first* insert — exactly the
-    /// probe count a first-match linear scan would report for a hit.
-    rank: usize,
-}
+/// Filler for empty/never-read binding slots in the SoA layout.
+const EMPTY_BINDING: LabelBinding =
+    LabelBinding::new(mpls_packet::Label::IPV4_EXPLICIT_NULL, crate::LabelOp::Swap);
 
 /// Exact-match hash FIB reporting linear-equivalent probe counts.
+///
+/// Struct-of-arrays layout: keys, ranks and bindings live in three
+/// parallel arrays instead of one array of boxed/optional slot structs.
+/// The probe walk touches only the key and rank arrays (`rank == 0`
+/// marks an empty slot — real ranks are 1-based); the binding array is
+/// read once on a hit. No per-entry indirection, no `Option`
+/// discriminant padding — the layout a pipeline-friendly dataplane
+/// would use.
 #[derive(Debug, Clone)]
 pub struct HashFib {
-    slots: Vec<Option<Slot>>,
+    keys: Vec<u64>,
+    /// 1-based insertion rank of each slot's key's *first* insert —
+    /// exactly the probe count a first-match linear scan would report
+    /// for a hit. `0` = the slot is empty.
+    ranks: Vec<u32>,
+    bindings: Vec<LabelBinding>,
     mask: u64,
     /// Distinct live keys (reachable bindings).
     live: usize,
@@ -87,7 +95,9 @@ impl HashFib {
     /// independently of the environment (tests use this).
     pub fn with_diff(diff: bool) -> Self {
         Self {
-            slots: vec![None; Self::INITIAL_SLOTS],
+            keys: vec![0; Self::INITIAL_SLOTS],
+            ranks: vec![0; Self::INITIAL_SLOTS],
+            bindings: vec![EMPTY_BINDING; Self::INITIAL_SLOTS],
             mask: Self::INITIAL_SLOTS as u64 - 1,
             live: 0,
             inserted: 0,
@@ -108,23 +118,31 @@ impl HashFib {
     #[inline]
     fn slot_of(&self, key: u64) -> usize {
         // Linear probe from the hashed home slot; the table is never full
-        // (grown at 3/4 load), so the walk terminates.
-        let mut i = mix(key) & self.mask;
+        // (grown at 3/4 load), so the walk terminates. Only the key and
+        // rank arrays are touched.
+        let mut i = (mix(key) & self.mask) as usize;
         loop {
-            match &self.slots[i as usize] {
-                Some(s) if s.key != key => i = (i + 1) & self.mask,
-                _ => return i as usize,
+            if self.ranks[i] == 0 || self.keys[i] == key {
+                return i;
             }
+            i = (i + 1) & self.mask as usize;
         }
     }
 
     fn grow(&mut self) {
-        let new_len = self.slots.len() * 2;
-        let old = std::mem::replace(&mut self.slots, vec![None; new_len]);
+        let new_len = self.keys.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; new_len]);
+        let old_ranks = std::mem::replace(&mut self.ranks, vec![0; new_len]);
+        let old_bindings = std::mem::replace(&mut self.bindings, vec![EMPTY_BINDING; new_len]);
         self.mask = new_len as u64 - 1;
-        for slot in old.into_iter().flatten() {
-            let i = self.slot_of(slot.key);
-            self.slots[i] = Some(slot);
+        for (i, rank) in old_ranks.into_iter().enumerate() {
+            if rank == 0 {
+                continue;
+            }
+            let j = self.slot_of(old_keys[i]);
+            self.keys[j] = old_keys[i];
+            self.ranks[j] = rank;
+            self.bindings[j] = old_bindings[i];
         }
     }
 }
@@ -138,24 +156,24 @@ impl LookupStrategy for HashFib {
         // linear-equivalent occupancy — even when shadowed.
         self.inserted += 1;
         let i = self.slot_of(key);
-        if self.slots[i].is_some() {
+        if self.ranks[i] != 0 {
             return; // first-binding-wins: the duplicate is a dead slot
         }
-        self.slots[i] = Some(Slot {
-            key,
-            binding,
-            rank: self.inserted,
-        });
+        self.keys[i] = key;
+        self.ranks[i] = u32::try_from(self.inserted).expect("FIB occupancy fits u32");
+        self.bindings[i] = binding;
         self.live += 1;
-        if self.live * 4 >= self.slots.len() * 3 {
+        if self.live * 4 >= self.keys.len() * 3 {
             self.grow();
         }
     }
 
     fn get(&self, key: u64) -> (Option<LabelBinding>, usize) {
-        let got = match &self.slots[self.slot_of(key)] {
-            Some(s) if s.key == key => (Some(s.binding), s.rank),
-            _ => (None, self.inserted),
+        let i = self.slot_of(key);
+        let got = if self.ranks[i] != 0 && self.keys[i] == key {
+            (Some(self.bindings[i]), self.ranks[i] as usize)
+        } else {
+            (None, self.inserted)
         };
         if let Some(shadow) = &self.shadow {
             let want = shadow.get(key);
@@ -173,7 +191,7 @@ impl LookupStrategy for HashFib {
     }
 
     fn clear(&mut self) {
-        self.slots.iter_mut().for_each(|s| *s = None);
+        self.ranks.iter_mut().for_each(|r| *r = 0);
         self.live = 0;
         self.inserted = 0;
         if let Some(shadow) = &mut self.shadow {
@@ -264,8 +282,8 @@ mod tests {
         let mut t = HashFib::with_diff(true);
         t.insert(1, b(1));
         // Corrupt the hash side behind the shadow's back.
-        for s in t.slots.iter_mut().flatten() {
-            s.rank = 42;
+        for r in t.ranks.iter_mut().filter(|r| **r != 0) {
+            *r = 42;
         }
         let _ = t.get(1);
     }

@@ -41,23 +41,28 @@ pub trait LookupStrategy: Default + Clone + core::fmt::Debug {
 
 /// First-match linear scan over insertion order — the software twin of the
 /// hardware search FSM.
+///
+/// Struct-of-arrays layout: the scan touches only the dense key array —
+/// one cache line holds eight candidate keys, the way the hardware's
+/// index memory holds keys apart from result memory — and the binding
+/// array is read exactly once, on a hit.
 #[derive(Debug, Clone, Default)]
 pub struct LinearTable {
-    entries: Vec<(u64, LabelBinding)>,
+    keys: Vec<u64>,
+    bindings: Vec<LabelBinding>,
 }
 
 impl LookupStrategy for LinearTable {
     fn insert(&mut self, key: u64, binding: LabelBinding) {
         // Duplicates may be appended; they are unreachable by lookup, the
         // same dead-slot behaviour the hardware exhibits.
-        self.entries.push((key, binding));
+        self.keys.push(key);
+        self.bindings.push(binding);
     }
 
     fn get(&self, key: u64) -> (Option<LabelBinding>, usize) {
-        for (i, (k, b)) in self.entries.iter().enumerate() {
-            if *k == key {
-                return (Some(*b), i + 1);
-            }
+        if let Some(i) = self.keys.iter().position(|&k| k == key) {
+            return (Some(self.bindings[i]), i + 1);
         }
         // Miss accounting (audited, ISSUE 5): a miss probes *exactly* the
         // occupancy — every stored slot, dead duplicates included, and
@@ -65,15 +70,16 @@ impl LookupStrategy for LinearTable {
         // failed search (Table 6), so the cycle-reconciliation sweep and
         // the timing model both depend on the count being occupancy, not
         // occupancy ± 1.
-        (None, self.entries.len())
+        (None, self.keys.len())
     }
 
     fn len(&self) -> usize {
-        self.entries.len()
+        self.keys.len()
     }
 
     fn clear(&mut self) {
-        self.entries.clear();
+        self.keys.clear();
+        self.bindings.clear();
     }
 
     fn name() -> &'static str {

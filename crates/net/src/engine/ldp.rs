@@ -390,7 +390,7 @@ impl<S: TelemetrySink> Engine<S> {
         };
         let stats = rt.fabric.stats();
         let summary = ControlSummary {
-            mode: "ldp".into(),
+            mode: crate::sim::ControlMode::Ldp,
             convergence_ns: rt.convergence_ns,
             sessions_established: stats.sessions_established,
             session_downs: stats.session_downs,

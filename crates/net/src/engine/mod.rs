@@ -34,7 +34,7 @@ use crate::fault::{FaultRecord, RecoveryMode, RestorationPolicy};
 use crate::link::Channel;
 use crate::node::Node;
 use crate::policer::TokenBucket;
-use crate::sim::{LinkUsage, SimInstruments, SimReport};
+use crate::sim::{FlowTemplate, LinkUsage, SimInstruments, SimReport};
 use crate::stats::{FlowId, FlowStats};
 use crate::traffic::FlowSpec;
 use mpls_control::{ControlPlane, LinkId, LspRequest, NodeConfig, NodeId};
@@ -173,6 +173,8 @@ pub(crate) struct Engine<S: TelemetrySink> {
     shards: Vec<ShardState<S>>,
     globals: EventQueue<ControlEvent>,
     flows: Vec<FlowSpec>,
+    /// Interned per-flow packet constants, parallel to `flows`.
+    templates: Vec<FlowTemplate>,
     chan_index: HashMap<(NodeId, NodeId), usize>,
     chan_link: Vec<LinkId>,
     /// `(owning shard, local index)` per global channel index.
@@ -306,10 +308,12 @@ impl<S: TelemetrySink> Engine<S> {
             rt.chaos = parts.pdu_chaos;
         }
         let nsh = shards.len();
+        let templates = parts.flows.iter().map(FlowTemplate::of).collect();
         Self {
             shards,
             globals: parts.globals,
             flows: parts.flows,
+            templates,
             chan_index: parts.chan_index,
             chan_link: parts.chan_link,
             chan_owner,
@@ -524,6 +528,7 @@ impl<S: TelemetrySink> Engine<S> {
         self.epochs += 1;
         let ctx = SharedCtx {
             flows: &self.flows,
+            templates: &self.templates,
             chan_index: &self.chan_index,
             chan_link: &self.chan_link,
             chan_state: &self.chan_state,

@@ -32,7 +32,7 @@ use crate::event::SimTime;
 use crate::link::{Channel, OfferResult};
 use crate::node::Node;
 use crate::policer::TokenBucket;
-use crate::sim::{make_packet, SimPacket};
+use crate::sim::{FlowTemplate, SimPacket};
 use crate::stats::{FlowId, FlowStats};
 use crate::traffic::FlowSpec;
 use mpls_control::{LinkId, NodeId};
@@ -145,6 +145,10 @@ pub(crate) struct ChanState {
 /// shards run; the coordinator owns the mutable masters.
 pub(crate) struct SharedCtx<'a> {
     pub flows: &'a [FlowSpec],
+    /// Interned per-flow packet constants, parallel to `flows`. Packets
+    /// in flight carry only deltas; the wire image is materialized from
+    /// here at the router boundary.
+    pub templates: &'a [FlowTemplate],
     pub chan_index: &'a HashMap<(NodeId, NodeId), usize>,
     pub chan_link: &'a [LinkId],
     /// Per-global-channel liveness snapshot.
@@ -285,12 +289,7 @@ impl<S: TelemetrySink> ShardState<S> {
         if S::ENABLED {
             self.deltas[flow].sent += 1;
         }
-        let packet = SimPacket {
-            inner: make_packet(spec, seq),
-            flow,
-            seq,
-            sent_ns: now,
-        };
+        let packet = ctx.templates[flow].emit(flow, seq, now);
         let li = self.emit_of_flow[&flow];
         // Edge policing: non-conforming packets never enter the network.
         let conforms = match &mut self.emit[li].policer {
@@ -362,13 +361,10 @@ impl<S: TelemetrySink> ShardState<S> {
                 // shard counts, disjoint from wire channel indices.
                 None => SOURCE_LANE + packet.flow as u64,
             };
-            let SimPacket {
-                inner,
-                flow,
-                seq,
-                sent_ns,
-            } = packet;
-            live.push((inner, flow, seq, sent_ns, port));
+            // The router boundary: materialize the wire packet from the
+            // flow's interned template plus the in-flight delta.
+            let inner = ctx.templates[packet.flow].materialize(&packet.stack, packet.seq);
+            live.push((inner, packet.flow, packet.seq, packet.sent_ns, port));
         }
         let mut outs = std::mem::take(&mut self.batch_outs);
         outs.clear();
@@ -410,12 +406,9 @@ impl<S: TelemetrySink> ShardState<S> {
                 };
                 let (owner, local) = ctx.chan_owner[chan];
                 debug_assert_eq!(owner, self.id, "a node transmits only on its own channels");
-                let sp = SimPacket {
-                    inner,
-                    flow,
-                    seq,
-                    sent_ns,
-                };
+                // Back to delta form for the wire: only the stack (and
+                // its derived EtherType) changed inside the router.
+                let sp = ctx.templates[flow].delta_of(inner, flow, seq, sent_ns);
                 if !ctx.chan_state[chan].up {
                     // Steered onto a dead link by stale forwarding state.
                     self.channels[local].fault_drops += 1;

@@ -204,28 +204,10 @@ mod tests {
 
     #[test]
     fn pop_arrival_for_drains_only_the_matching_head() {
-        use crate::sim::{make_packet, SimPacket};
-        use crate::traffic::{FlowSpec, TrafficPattern};
-        let spec = FlowSpec {
-            name: "t".into(),
-            ingress: 0,
-            src_addr: 0x0a00_0001,
-            dst_addr: 0x0a00_0002,
-            payload_bytes: 64,
-            precedence: 0,
-            pattern: TrafficPattern::Cbr { interval_ns: 1000 },
-            start_ns: 0,
-            stop_ns: 1000,
-            police: None,
-        };
+        use crate::sim::tests_support::packet_with_cos;
         let arrive = |node: u32, chan: usize| LocalEvent::Arrive {
             node,
-            packet: SimPacket {
-                inner: make_packet(&spec, 0),
-                flow: 0,
-                seq: 0,
-                sent_ns: 0,
-            },
+            packet: packet_with_cos(0, 0),
             via: Some((chan, 0)),
         };
         let mut w = EventWheel::new(100);

@@ -27,6 +27,7 @@ pub mod link;
 pub mod node;
 pub mod policer;
 pub mod queue;
+pub mod scale;
 pub mod sim;
 pub mod stats;
 pub mod traffic;
@@ -39,7 +40,8 @@ pub use link::Channel;
 pub use node::{ForwarderNode, Node};
 pub use policer::{PolicerSpec, TokenBucket};
 pub use queue::{LinkQueue, QueueDiscipline};
-pub use sim::{ControlSummary, RouterKind, SimReport, Simulation};
+pub use scale::{ScaleFamily, ScaleSpec, ScaleWorkload};
+pub use sim::{ControlMode, ControlSummary, RouterKind, SimReport, Simulation};
 pub use stats::{FlowId, FlowStats};
 pub use traffic::{FlowSpec, TrafficPattern};
 

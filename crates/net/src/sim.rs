@@ -40,32 +40,142 @@ use mpls_telemetry::{
 };
 use std::collections::{BTreeMap, HashMap};
 
-/// A packet in flight through the simulation.
+/// The interned, per-flow constant part of every packet a flow emits.
+///
+/// All of a flow's packets share one Ethernet header, one IPv4 header
+/// (modulo the per-emission `ident`), and one payload buffer. Cloning
+/// a full [`MplsPacket`] through queues, channels and the event wheel
+/// would copy all of that per hop; instead each flow interns it *once*
+/// here and packets in flight carry only the delta ([`SimPacket`]).
+/// The wire packet is materialized exactly at the router boundary.
+#[derive(Debug, Clone)]
+pub(crate) struct FlowTemplate {
+    eth: EthernetFrame,
+    /// Header with `ident` zeroed; [`FlowTemplate::materialize`] stamps
+    /// the per-emission value.
+    ip: Ipv4Header,
+    /// One shared zero-filled payload buffer — `Bytes` clones are
+    /// reference bumps, so emission never allocates the payload again.
+    payload: bytes::Bytes,
+    /// IP precedence, cached for CoS classing of unlabeled packets.
+    precedence: u8,
+    /// Wire bytes with an empty label stack.
+    base_wire: u32,
+}
+
+impl FlowTemplate {
+    /// Interns the constant part of `spec`'s packets.
+    pub fn of(spec: &FlowSpec) -> Self {
+        let mut ip = Ipv4Header::new(
+            spec.src_addr,
+            spec.dst_addr,
+            Ipv4Header::PROTO_UDP,
+            64,
+            spec.payload_bytes,
+        );
+        ip.tos = spec.precedence << 5;
+        let eth = EthernetFrame {
+            dst: MacAddr::from_node(spec.ingress, 0),
+            src: MacAddr::from_node(u32::MAX, 0),
+            ethertype: EtherType::Ipv4,
+        };
+        let base_wire = EthernetFrame::WIRE_LEN + Ipv4Header::WIRE_LEN + spec.payload_bytes;
+        Self {
+            eth,
+            ip,
+            payload: bytes::Bytes::from(vec![0u8; spec.payload_bytes]),
+            precedence: ip.precedence(),
+            base_wire: u32::try_from(base_wire).expect("payload fits u32"),
+        }
+    }
+
+    /// Builds the wire packet for one router visit: template constants
+    /// plus the in-flight delta (label stack, sequence number). Only
+    /// header-sized copies and a payload refcount bump — no allocation.
+    pub fn materialize(&self, stack: &mpls_packet::LabelStack, seq: u64) -> MplsPacket {
+        let mut ip = self.ip;
+        ip.ident = (seq & 0xffff) as u16;
+        let mut p = MplsPacket::ipv4(self.eth, ip, self.payload.clone());
+        p.splice_stack(stack.clone());
+        p
+    }
+
+    /// Wraps a fresh, unlabeled emission as its in-flight delta.
+    pub fn emit(&self, flow: FlowId, seq: u64, sent_ns: SimTime) -> SimPacket {
+        SimPacket {
+            flow,
+            stack: mpls_packet::LabelStack::default(),
+            seq,
+            sent_ns,
+            precedence: self.precedence,
+            base_wire: self.base_wire,
+        }
+    }
+
+    /// Re-wraps a router's output packet as its in-flight delta. Only
+    /// the label stack can have changed — the routers rewrite stacks
+    /// (and the EtherType derived from them) and nothing else.
+    pub fn delta_of(
+        &self,
+        packet: MplsPacket,
+        flow: FlowId,
+        seq: u64,
+        sent_ns: SimTime,
+    ) -> SimPacket {
+        debug_assert_eq!(
+            usize::try_from(self.base_wire).unwrap() + packet.stack.wire_len(),
+            packet.wire_len(),
+            "router changed more than the label stack"
+        );
+        SimPacket {
+            flow,
+            stack: packet.stack,
+            seq,
+            sent_ns,
+            precedence: self.precedence,
+            base_wire: self.base_wire,
+        }
+    }
+}
+
+/// A packet in flight through the simulation: the per-packet *delta*
+/// against its flow's interned [`FlowTemplate`].
+///
+/// Queues, channels and the event wheel hold this compact form; the
+/// full [`MplsPacket`] exists only inside a router visit (see
+/// [`FlowTemplate::materialize`]). The template's CoS and size
+/// constants are denormalized in so hot-path classing and
+/// serialization-time math never consult the arena.
 #[derive(Debug, Clone)]
 pub struct SimPacket {
-    /// The wire packet.
-    pub inner: MplsPacket,
-    /// Owning flow.
+    /// Owning flow — also the index of its interned template.
     pub flow: FlowId,
+    /// The live label stack, the only part of the wire image that
+    /// forwarding rewrites.
+    pub stack: mpls_packet::LabelStack,
     /// Per-flow sequence number.
     pub seq: u64,
     /// Emission timestamp.
     pub sent_ns: SimTime,
+    /// Template constant: IP precedence (unlabeled CoS class).
+    pub precedence: u8,
+    /// Template constant: wire bytes with an empty label stack.
+    pub base_wire: u32,
 }
 
 impl SimPacket {
     /// The CoS class used by priority queues: the top label's CoS bits, or
     /// the IP precedence for unlabeled packets.
     pub fn cos_class(&self) -> u8 {
-        match self.inner.stack.top() {
+        match self.stack.top() {
             Some(e) => e.cos.value(),
-            None => self.inner.ip.precedence(),
+            None => self.precedence,
         }
     }
 
     /// Bytes on the wire.
     pub fn wire_len(&self) -> usize {
-        self.inner.wire_len()
+        self.base_wire as usize + self.stack.wire_len()
     }
 }
 
@@ -88,15 +198,63 @@ pub struct LinkUsage {
     pub utilization: f64,
 }
 
+/// Which control plane drove the run. Serializes to the exact strings
+/// the stringly-typed field used (`"centralized"` / `"ldp"`), so every
+/// existing report, golden and comparison is byte-identical — but the
+/// type makes casing drift impossible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ControlMode {
+    /// The omniscient centralized solver programs all FIBs before t=0.
+    #[default]
+    Centralized,
+    /// In-band distributed label distribution (`--control ldp`).
+    Ldp,
+}
+
+impl ControlMode {
+    /// The wire/report spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ControlMode::Centralized => "centralized",
+            ControlMode::Ldp => "ldp",
+        }
+    }
+}
+
+impl serde::Serialize for ControlMode {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.as_str().to_string())
+    }
+}
+
+impl core::fmt::Display for ControlMode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// String comparisons keep working (`report.control.mode == "ldp"`).
+impl PartialEq<&str> for ControlMode {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<ControlMode> for &str {
+    fn eq(&self, other: &ControlMode) -> bool {
+        *self == other.as_str()
+    }
+}
+
 /// How the run's control plane behaved. For the default centralized
-/// solver the mode string is all there is to say; on a `--control ldp`
+/// solver the mode is all there is to say; on a `--control ldp`
 /// run the protocol's global counters and convergence time fill in.
 /// All values derive from coordinator-level events only, so the summary
 /// is shard-invariant and safe to serialize.
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct ControlSummary {
-    /// `"centralized"` or `"ldp"`.
-    pub mode: String,
+    /// Which control plane drove the run.
+    pub mode: ControlMode,
     /// When the fault-free bring-up last changed any FIB — the initial
     /// convergence time. `None` for centralized runs (bindings exist
     /// before t=0) and for ldp runs that never settled.
@@ -131,7 +289,7 @@ pub struct ControlSummary {
 impl Default for ControlSummary {
     fn default() -> Self {
         Self {
-            mode: "centralized".into(),
+            mode: ControlMode::Centralized,
             convergence_ns: None,
             sessions_established: 0,
             session_downs: 0,
@@ -601,28 +759,6 @@ pub fn ensemble_stat<F: Fn(&SimReport) -> f64>(reports: &[SimReport], metric: F)
     (mean, var.sqrt())
 }
 
-/// Builds the unlabeled wire packet for one emission.
-pub(crate) fn make_packet(spec: &FlowSpec, seq: u64) -> MplsPacket {
-    let mut ip = Ipv4Header::new(
-        spec.src_addr,
-        spec.dst_addr,
-        Ipv4Header::PROTO_UDP,
-        64,
-        spec.payload_bytes,
-    );
-    ip.tos = spec.precedence << 5;
-    ip.ident = (seq & 0xffff) as u16;
-    MplsPacket::ipv4(
-        EthernetFrame {
-            dst: MacAddr::from_node(spec.ingress, 0),
-            src: MacAddr::from_node(u32::MAX, 0),
-            ethertype: EtherType::Ipv4,
-        },
-        ip,
-        bytes::Bytes::from(vec![0u8; spec.payload_bytes]),
-    )
-}
-
 /// Helpers shared by this crate's unit tests.
 #[cfg(test)]
 pub(crate) mod tests_support {
@@ -642,12 +778,7 @@ pub(crate) mod tests_support {
             stop_ns: 1,
             police: None,
         };
-        SimPacket {
-            inner: make_packet(&spec, seq),
-            flow: 0,
-            seq,
-            sent_ns: 0,
-        }
+        FlowTemplate::of(&spec).emit(0, seq, 0)
     }
 }
 

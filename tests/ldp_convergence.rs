@@ -178,7 +178,7 @@ proptest! {
     ) {
         let cp = grid_plane(rows, cols, cost_salt);
         let report = build_ldp(&cp, seed).run(30_000_000);
-        prop_assert_eq!(&report.control.mode, "ldp");
+        prop_assert_eq!(report.control.mode, "ldp");
         prop_assert!(report.control.convergence_ns.is_some(), "never settled");
         prop_assert_eq!(report.control.session_downs, 0);
         prop_assert_eq!(report.control.pdus_lost, 0);

@@ -45,7 +45,7 @@ fn hetero_grid(
     let mut add = |a: u32, b: u32| {
         let h = a as u64 * 31 + b as u64 * 7 + delay_salt;
         let mut delay_us = base_delay_us + h % 40;
-        if h % 3 == 0 {
+        if h.is_multiple_of(3) {
             delay_us *= stretch;
         }
         topo.add_link(LinkSpec {
