@@ -40,6 +40,7 @@ fn main() {
         suite::ext11_convergence(quick),
         suite::ext12_throughput(quick),
         suite::ext15_scale(quick),
+        suite::ext16_sr_vs_ldp(quick),
     ];
     for s in &sections {
         println!("--- {} ---\n", s.bench);

@@ -13,11 +13,12 @@ use mpls_core::ClockSpec;
 use mpls_dataplane::ftn::Prefix;
 use mpls_net::traffic::{FlowSpec, TrafficPattern};
 use mpls_net::{
-    EngineKind, FaultPlan, LdpConfig, QueueDiscipline, RouterKind, ScaleFamily, ScaleSpec,
-    SimReport, Simulation, TelemetryConfig,
+    EngineKind, FaultPlan, LdpConfig, QueueDiscipline, RestorationPolicy, RouterKind, ScaleFamily,
+    ScaleSpec, SimReport, Simulation, TelemetryConfig,
 };
 use mpls_packet::ipv4::parse_addr;
 use mpls_router::SwTimingModel;
+use mpls_sr::SrConfig;
 use serde::Value;
 use std::time::Instant;
 
@@ -858,7 +859,10 @@ pub fn ext15_scale(quick: bool) -> Section {
             // Access-ring hops cost a label each (only the fat tree's
             // LER-adjacent anchors hit the one-label-per-LSP floor), so
             // the ring point stays at 100k LSPs / short local rings to
-            // fit the shared 2^20 label space: ~6.5 labels per LSP.
+            // fit the shared 2^20 label space. Measured: ~5.0 labels
+            // per LSP here (502,308 / 100k at ring_size 10); the quick
+            // ring_size-15 point pays ~7.6 — the per-LSP cost tracks
+            // ring_size, it is not a constant.
             (
                 "ring-of-rings",
                 ext15_spec(
@@ -1012,6 +1016,372 @@ pub fn ext15_scale(quick: bool) -> Section {
     ];
     Section {
         bench: "ext15-scale",
+        config,
+        rows,
+        table: t.render(),
+        notes,
+    }
+}
+
+// -----------------------------------------------------------------
+// EXT-16: segment routing vs LDP on the same fat tree
+// -----------------------------------------------------------------
+
+/// The 36-node 4-ary fat tree (2 LERs per edge switch) with four
+/// cross-pod LSPs between pods 0 and 3 — every route crosses the
+/// full edge/agg/core/agg/edge diameter, so the ECMP fan-out and the
+/// stack-depth sweep both have room to act. The same plane feeds the
+/// LDP leg and every SR leg, so state-footprint and convergence
+/// numbers compare like for like.
+fn ext16_plane() -> ControlPlane {
+    let topo = Topology::fat_tree(4, 2, 1_000_000_000, 10_000);
+    let mut cp = ControlPlane::new(topo);
+    // LERs are 20..35 edge-major: pod 0 owns 20..23, pod 3 owns 32..35.
+    let pairs: [(u32, u32); 4] = [(20, 34), (21, 35), (22, 32), (23, 33)];
+    for (i, &(a, b)) in pairs.iter().enumerate() {
+        let fec = Prefix::new(parse_addr(&format!("192.168.{}.0", i + 1)).unwrap(), 24);
+        cp.attach_prefix(b, fec);
+        cp.attach_prefix(
+            a,
+            Prefix::new(parse_addr(&format!("10.{}.0.0", i + 1)).unwrap(), 16),
+        );
+        cp.establish_lsp(LspRequest::best_effort(a, b, fec))
+            .expect("cross-pod LSP signals");
+    }
+    cp
+}
+
+fn ext16_flows(stop_ns: u64) -> Vec<FlowSpec> {
+    (0..4u32)
+        .map(|i| FlowSpec {
+            name: format!("x{i}"),
+            ingress: [20u32, 21, 22, 23][i as usize],
+            src_addr: parse_addr(&format!("10.{}.0.{}", i + 1, 7 + i)).unwrap(),
+            dst_addr: parse_addr(&format!("192.168.{}.{}", i + 1, 9 + i)).unwrap(),
+            payload_bytes: 256,
+            precedence: 0,
+            pattern: TrafficPattern::Cbr {
+                interval_ns: 200_000,
+            },
+            start_ns: 0,
+            stop_ns,
+            police: None,
+        })
+        .collect()
+}
+
+/// Total programmed state across a config set, with the same counting
+/// rule [`mpls_sr::SrFabric::state`] uses: every binding, next-hop,
+/// FEC, IP route, SR policy and ECMP set is one FIB entry. Labels are
+/// the level-2 bindings — one per label the owning node allocated.
+fn ext16_footprint(
+    configs: &std::collections::BTreeMap<mpls_control::NodeId, mpls_control::NodeConfig>,
+) -> (u64, u64) {
+    let mut labels = 0u64;
+    let mut entries = 0u64;
+    for c in configs.values() {
+        labels += c.bindings.iter().filter(|b| b.level == 2).count() as u64;
+        entries += (c.bindings.len()
+            + c.next_hops.len()
+            + c.fecs.len()
+            + c.ip_routes.len()
+            + c.sr_policies.len()
+            + c.ecmp.len()) as u64;
+    }
+    (labels, entries)
+}
+
+/// EXT-16: source-routed SR against signaled LDP on the same fat tree.
+///
+/// One LDP leg, then SR legs over max push depth {3, 6, 12} × RLD
+/// {2, 6} — the depth sweep moves routes from strict per-hop stacks
+/// (no ECMP choice left) through loose-hop compression (entropy-hashed
+/// fan-out across the Clos), and the RLD sweep toggles whether transit
+/// nodes can read the entropy pair at all. Each leg reports:
+///
+/// * **state footprint** — labels allocated plus programmed FIB
+///   entries network-wide: LDP pays per-FEC per-hop, SR pays one node
+///   SID per node plus ingress policies;
+/// * **bring-up / reconvergence** — LDP's hello+distribution wave vs
+///   SR's pre-programmed t=0 start, and the service gap around a
+///   mid-run link cut (LDP: withdraw wave; SR: coordinator recompile);
+/// * **events/s** — data-plane throughput as a function of stack depth
+///   and RLD, with per-flow conservation asserted;
+/// * **identity** — every SR config's serialized report is
+///   byte-identical across shards {1, 4} × engines {barrier, merge}.
+pub fn ext16_sr_vs_ldp(quick: bool) -> Section {
+    let stop_ns: u64 = if quick { 10_000_000 } else { 30_000_000 };
+    let down_ns: u64 = if quick { 3_000_000 } else { 8_000_000 };
+    let up_ns: u64 = if quick { 8_000_000 } else { 20_000_000 };
+    let horizon_ns = stop_ns + 100_000_000;
+    let cp = ext16_plane();
+    // The pod-0 edge switch under LERs 20/21 and its first aggregation
+    // switch: on the compiled route of flows x0/x1, with an equal-cost
+    // sibling for recovery to use.
+    let cut = cp.topology().link_between(12, 4).expect("edge-agg link");
+    let timing = SwTimingModel::default();
+
+    let mut t = MarkdownTable::new(&[
+        "control",
+        "depth",
+        "rld",
+        "labels",
+        "fib entries",
+        "bring-up (ms)",
+        "reconverge (ms)",
+        "peak stack",
+        "ecmp",
+        "rld viol",
+        "events/s",
+    ]);
+    let mut rows = Vec::new();
+    let mut notes = Vec::new();
+
+    let check_flows = |label: &str, report: &SimReport| {
+        for (spec, s) in &report.flows {
+            let accounted = s.delivered
+                + s.router_dropped
+                + s.queue_dropped
+                + s.policer_dropped
+                + s.link_dropped
+                + s.loss_dropped;
+            assert_eq!(
+                s.sent, accounted,
+                "{label}: conservation violated on {:?}",
+                spec.name
+            );
+            assert!(
+                s.delivered > 0,
+                "{label}: {:?} delivered nothing",
+                spec.name
+            );
+        }
+    };
+
+    // ---- LDP leg ----------------------------------------------------
+    let run_ldp = || {
+        let mut sim = Simulation::build(
+            &cp,
+            RouterKind::SoftwareHash { timing },
+            QueueDiscipline::Fifo { capacity: 64 },
+            16,
+        );
+        sim.enable_ldp(LdpConfig::default());
+        let mut plan = FaultPlan::new(RestorationPolicy::default());
+        plan.outage(cut, down_ns, up_ns);
+        sim.set_fault_plan(plan);
+        for f in ext16_flows(stop_ns) {
+            sim.add_flow(f);
+        }
+        let start = Instant::now();
+        let report = sim.run(horizon_ns);
+        (report, start.elapsed().as_secs_f64())
+    };
+    let (ldp_report, ldp_secs) = best_of(run_ldp);
+    assert_eq!(ldp_report.control.mode, "ldp");
+    check_flows("ldp", &ldp_report);
+    let ldp_bringup = ldp_report
+        .control
+        .convergence_ns
+        .expect("LDP bring-up settles") as f64
+        / 1e6;
+    let ldp_rec = &ldp_report.faults[0];
+    let ldp_reconverge =
+        (ldp_rec.restored_ns.expect("withdraw wave reroutes") - ldp_rec.down_ns) as f64 / 1e6;
+    let (ldp_labels, ldp_entries) =
+        ext16_footprint(ldp_report.fibs.as_ref().expect("ldp exposes FIBs"));
+    let ldp_events = ldp_report.engine.total_events();
+    let ldp_eps = ldp_events as f64 / ldp_secs;
+    t.row(&[
+        "ldp".into(),
+        "-".into(),
+        "-".into(),
+        ldp_labels.to_string(),
+        ldp_entries.to_string(),
+        format!("{ldp_bringup:.2}"),
+        format!("{ldp_reconverge:.2}"),
+        "1".into(),
+        "-".into(),
+        "-".into(),
+        format!("{ldp_eps:.0}"),
+    ]);
+    rows.push(obj(&[
+        ("control", Value::Str("ldp".into())),
+        ("labels", Value::U64(ldp_labels)),
+        ("fib_entries", Value::U64(ldp_entries)),
+        ("bringup_ms", Value::F64(ldp_bringup)),
+        ("reconverge_ms", Value::F64(ldp_reconverge)),
+        ("events", Value::U64(ldp_events)),
+        ("events_per_sec", Value::F64(ldp_eps)),
+    ]));
+
+    // ---- SR legs: depth x RLD sweep ---------------------------------
+    let depths: [u8; 3] = [3, 6, 12];
+    let rlds: [u8; 2] = [2, 6];
+    for &depth in &depths {
+        for &rld in &rlds {
+            let cfg = SrConfig {
+                max_push_depth: depth,
+                rld,
+                ..SrConfig::default()
+            };
+            let build = |shards: usize, engine: EngineKind| {
+                let mut sim = Simulation::build(
+                    &cp,
+                    RouterKind::SoftwareHash { timing },
+                    QueueDiscipline::Fifo { capacity: 64 },
+                    16,
+                );
+                sim.set_shards(shards);
+                sim.set_engine(engine);
+                sim.enable_sr(cfg);
+                let mut plan = FaultPlan::new(RestorationPolicy::default());
+                plan.outage(cut, down_ns, up_ns);
+                sim.set_fault_plan(plan);
+                for f in ext16_flows(stop_ns) {
+                    sim.add_flow(f);
+                }
+                sim
+            };
+            let state = {
+                let sim = build(1, EngineKind::Barrier);
+                sim.sr_fabric().expect("sr enabled").state()
+            };
+
+            // Identity across the shard x engine matrix; time the
+            // 1-shard barrier cell (best-of like every other leg).
+            let run_cell = |shards: usize, engine: EngineKind| {
+                let sim = build(shards, engine);
+                let start = Instant::now();
+                let report = sim.run(horizon_ns);
+                (report, start.elapsed().as_secs_f64())
+            };
+            let (report, secs) = best_of(|| run_cell(1, EngineKind::Barrier));
+            let baseline = serde_json::to_string(&report).expect("report serializes");
+            for engine in [EngineKind::Barrier, EngineKind::Merge] {
+                for shards in [1usize, 4] {
+                    let (twin, _) = run_cell(shards, engine);
+                    assert_eq!(
+                        baseline,
+                        serde_json::to_string(&twin).expect("report serializes"),
+                        "sr depth {depth} rld {rld}: report diverged under {} at {shards} shards",
+                        engine.name()
+                    );
+                }
+            }
+
+            assert_eq!(report.control.mode, "sr");
+            check_flows(&format!("sr d{depth} r{rld}"), &report);
+            let rec = &report.faults[0];
+            let reconverge =
+                (rec.restored_ns.expect("recompile restores") - rec.down_ns) as f64 / 1e6;
+            let peak_stack = report
+                .routers
+                .values()
+                .map(|r| r.peak_stack_depth)
+                .max()
+                .unwrap_or(0);
+            let ecmp: u64 = report.routers.values().map(|r| r.ecmp_decisions).sum();
+            let viol: u64 = report.routers.values().map(|r| r.rld_violations).sum();
+            // The sweep's whole point. Depth 3 leaves one loose
+            // 6-hop segment, so transit nodes face equal-cost choices:
+            // ECMP engages when the RLD exposes the entropy pair, and
+            // every hidden-pair lookup is counted instead. Depth 6's
+            // budget (4 SIDs after the pair) cuts the route into <=2
+            // hop segments — each has a unique shortest path in a fat
+            // tree, so like the strict depth-12 stack there is no
+            // choice left to hash over.
+            if depth == 3 && rld > 2 {
+                assert!(ecmp > 0, "depth {depth}/rld {rld}: loose segment must ECMP");
+                assert_eq!(
+                    viol, 0,
+                    "depth {depth}/rld {rld}: readable pair, no violations"
+                );
+            }
+            if depth == 3 && rld == 2 {
+                assert!(
+                    viol > 0,
+                    "depth {depth}/rld 2: hidden pair must count violations"
+                );
+                assert_eq!(
+                    ecmp, 0,
+                    "depth {depth}/rld 2: unreadable pair must not hash"
+                );
+            }
+            if depth >= 6 {
+                assert_eq!(
+                    ecmp, 0,
+                    "depth {depth}: short segments leave no ECMP choice"
+                );
+                assert_eq!(viol, 0, "depth {depth}: no entropy lookups, no violations");
+            }
+            assert!(
+                peak_stack as usize <= depth as usize || depth as usize >= 12,
+                "depth {depth}: ingress exceeded its push budget ({peak_stack})"
+            );
+            let events = report.engine.total_events();
+            let eps = events as f64 / secs;
+            t.row(&[
+                "sr".into(),
+                depth.to_string(),
+                rld.to_string(),
+                (state.labels as u64).to_string(),
+                (state.fib_entries as u64).to_string(),
+                "0.00".into(),
+                format!("{reconverge:.2}"),
+                peak_stack.to_string(),
+                ecmp.to_string(),
+                viol.to_string(),
+                format!("{eps:.0}"),
+            ]);
+            rows.push(obj(&[
+                ("control", Value::Str("sr".into())),
+                ("depth", Value::U64(depth as u64)),
+                ("rld", Value::U64(rld as u64)),
+                ("labels", Value::U64(state.labels as u64)),
+                ("fib_entries", Value::U64(state.fib_entries as u64)),
+                ("policies", Value::U64(state.policies as u64)),
+                ("bringup_ms", Value::F64(0.0)),
+                ("reconverge_ms", Value::F64(reconverge)),
+                ("peak_stack", Value::U64(peak_stack)),
+                ("ecmp_decisions", Value::U64(ecmp)),
+                ("rld_violations", Value::U64(viol)),
+                ("events", Value::U64(events)),
+                ("events_per_sec", Value::F64(eps)),
+            ]));
+        }
+    }
+
+    notes.push("observations:".into());
+    notes.push("  - state: SR allocates one node SID per node where LDP allocates a".into());
+    notes.push("    label per (node, FEC) hop -- but SR pre-programs every node's".into());
+    notes.push("    full SID table, so its FIB-entry floor is O(nodes^2) and larger".into());
+    notes.push("    at this LSP count; LDP's grows with LSPs and crosses over at".into());
+    notes.push("    scale (ext15 signals 64k LSPs on the same family);".into());
+    notes.push("  - bring-up: SR routes are compiled and downloaded before t=0".into());
+    notes.push("    (0 ms by construction); LDP spends its hello+distribution wave;".into());
+    notes.push("  - recovery: the SR coordinator recompiles at detection, so the".into());
+    notes.push("    gap is the detection delay alone; LDP adds the withdraw wave;".into());
+    notes.push("  - depth sweep: depth 12 fits the strict per-hop stack and depth 6".into());
+    notes.push("    still cuts the route into uniquely-routed <=2-hop segments, so".into());
+    notes.push("    neither leaves an ECMP choice; depth 3 compresses to one loose".into());
+    notes.push("    segment that hashes across the Clos when the RLD exposes the".into());
+    notes.push("    entropy pair, and falls back to first-next-hop (counted) when not.".into());
+    notes.push("".into());
+    notes.push(
+        "sr reports byte-identical across shards {1,4} x {barrier,merge} at \
+         every depth/RLD point -- OK"
+            .into(),
+    );
+    let config = vec![
+        ("quick".to_string(), Value::Bool(quick)),
+        ("stop_ns".to_string(), Value::U64(stop_ns)),
+        ("down_ns".to_string(), Value::U64(down_ns)),
+        ("up_ns".to_string(), Value::U64(up_ns)),
+        ("seed".to_string(), Value::U64(16)),
+    ];
+    Section {
+        bench: "ext16-sr-vs-ldp",
         config,
         rows,
         table: t.render(),

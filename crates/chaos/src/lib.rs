@@ -3,12 +3,13 @@
 //! suite of invariant oracles, and a greedy failure minimizer.
 //!
 //! The fuzzer composes topology families × fault schedules (link and
-//! node outages, control partitions, PDU chaos, wire loss) × LDP timers
-//! × traffic mixes × router kinds into ordinary [`Scenario`] documents —
-//! the same schema `mpls-sim run` executes — so every generated case,
-//! and every shrunk repro, is a standalone JSON file anyone can replay.
+//! node outages, control partitions, PDU chaos, wire loss) × control
+//! planes (centralized, LDP, segment routing) × LDP timers × traffic
+//! mixes × router kinds into ordinary [`Scenario`] documents — the same
+//! schema `mpls-sim run` executes — so every generated case, and every
+//! shrunk repro, is a standalone JSON file anyone can replay.
 //!
-//! Every case is judged by five oracles:
+//! Every case is judged by six oracles:
 //!
 //! 1. **Conservation** — each flow's packets are all accounted for:
 //!    `sent == delivered + router + queue + policer + link + loss drops`.
@@ -21,26 +22,32 @@
 //!    the omniscient centralized solver.
 //! 5. **Quiesce** — FIB churn stops within a bounded window of the last
 //!    disturbance; nothing happens after the network goes quiet.
+//! 6. **Source route** — on SR cases whose faults all heal, the path a
+//!    probe of each flow takes through the reported FIBs equals the
+//!    route an independently compiled fabric predicts (segments, ECMP
+//!    hashing and RLD fallbacks included).
 //!
 //! On a violation, [`minimize`] greedily drops faults, flows, LSPs and
 //! nodes while the violation persists, yielding a minimal repro.
 
 use mpls_cli::scenario::{
-    AttachDecl, FaultEventDecl, FaultsDecl, FlowDecl, LdpDecl, LinkDecl, LspDecl, NodeDecl,
-    PatternDecl, PduChaosDecl, PoliceDecl, RouterDecl, Scenario,
+    AttachDecl, ControlChoice, FaultEventDecl, FaultsDecl, FlowDecl, LdpDecl, LinkDecl, LspDecl,
+    NodeDecl, PatternDecl, PduChaosDecl, PoliceDecl, RouterDecl, Scenario, SrDecl,
 };
 use mpls_control::{Hop, NodeConfig, NodeId, RouterRole, Topology};
 use mpls_dataplane::LabelOp;
 use mpls_net::SimReport;
 use mpls_packet::ipv4::parse_addr;
 use mpls_packet::Label;
+use mpls_sr::{SrFabric, SrPolicySpec};
 use std::collections::BTreeMap;
 
 /// One oracle violation: which invariant broke and how.
 #[derive(Debug, Clone)]
 pub struct Violation {
     /// Oracle name: `conservation`, `shard_identity`, `engine_identity`,
-    /// `router_identity`, `fixed_point`, `quiesce` or `runnable`.
+    /// `router_identity`, `fixed_point`, `quiesce`, `sr_source_route` or
+    /// `runnable`.
     pub oracle: &'static str,
     /// Human-readable specifics.
     pub detail: String,
@@ -285,12 +292,21 @@ pub fn generate(corpus_seed: u64, idx: u64) -> ChaosCase {
             prefix: "10.1.0.0/16".into(),
         },
     ];
-    let use_ldp = rng.chance(50);
+    // Control plane: the omniscient solver, in-band LDP, or compiled
+    // segment-routing source routes.
+    let control = match rng.range(0, 2) {
+        0 => "centralized",
+        1 => "ldp",
+        _ => "sr",
+    };
+    let use_ldp = control == "ldp";
+    let use_sr = control == "sr";
     let recovery = match rng.range(0, 2) {
         0 => "restoration",
         // Protection needs a link-disjoint standby; on a line (or past
-        // a fat tree's bridge attachment links) there is none.
-        1 if protectable && !use_ldp => "protection",
+        // a fat tree's bridge attachment links) there is none. LDP and
+        // SR replace the recovery model wholesale.
+        1 if protectable && !use_ldp && !use_sr => "protection",
         _ => "none",
     };
     let lsps = vec![
@@ -436,12 +452,33 @@ pub fn generate(corpus_seed: u64, idx: u64) -> ChaosCase {
     let have_faults =
         !(faults.events.is_empty() && faults.loss.is_empty() && faults.pdu_chaos.is_empty());
 
-    let router = match rng.range(0, 3) {
-        0 => RouterDecl::Embedded {
-            clock_mhz: [25.0, 50.0, 100.0][rng.range(0, 2) as usize],
-        },
-        1 => RouterDecl::SoftwareHash,
-        _ => RouterDecl::SoftwareLinear,
+    let router = if use_sr {
+        // The embedded router's hardware stack holds three entries;
+        // source routes plus metadata LSEs need the software data plane.
+        if rng.chance(50) {
+            RouterDecl::SoftwareHash
+        } else {
+            RouterDecl::SoftwareLinear
+        }
+    } else {
+        match rng.range(0, 3) {
+            0 => RouterDecl::Embedded {
+                clock_mhz: [25.0, 50.0, 100.0][rng.range(0, 2) as usize],
+            },
+            1 => RouterDecl::SoftwareHash,
+            _ => RouterDecl::SoftwareLinear,
+        }
+    };
+
+    // SR knob sweep: deep and shallow push budgets (loose-hop
+    // compression on and off), RLDs that sometimes hide the entropy
+    // pair, and both metadata sub-stacks.
+    let sr = SrDecl {
+        rld: rng.range(2, 12) as u8,
+        max_push_depth: rng.range(2, 12) as u8,
+        entropy: rng.chance(70),
+        mna: rng.chance(25),
+        ..SrDecl::default()
     };
 
     let ldp = LdpDecl {
@@ -481,8 +518,9 @@ pub fn generate(corpus_seed: u64, idx: u64) -> ChaosCase {
         router,
         queue: Default::default(),
         faults: have_faults.then_some(faults),
-        control: Some(if use_ldp { "ldp" } else { "centralized" }.into()),
+        control: Some(control.into()),
         ldp: use_ldp.then_some(ldp),
+        sr: use_sr.then_some(sr),
         topology: None,
         telemetry: None,
         seed: rng.next_u64(),
@@ -740,11 +778,60 @@ pub fn check(sc: &Scenario) -> Result<(), Violation> {
         }
     }
 
-    let is_ldp = sc.uses_ldp(None).map_err(|e| Violation {
+    let mode = sc.control_mode(None).map_err(|e| Violation {
         oracle: "runnable",
         detail: e.to_string(),
     })?;
-    if !is_ldp {
+
+    // Oracle 6: on SR cases, once every fault heals the reported FIBs
+    // must route a probe of each flow along exactly the source route an
+    // independently compiled fabric predicts — same segments, same
+    // entropy-hashed ECMP choices, same RLD fallbacks.
+    if mode == ControlChoice::Sr {
+        if all_faults_heal(sc) {
+            let fibs = base.fibs.as_ref().ok_or_else(|| Violation {
+                oracle: "sr_source_route",
+                detail: "sr run exposed no FIBs".into(),
+            })?;
+            let cp = sc.build_control_plane().map_err(|e| Violation {
+                oracle: "runnable",
+                detail: e.to_string(),
+            })?;
+            let mut fabric = SrFabric::new(cp.topology().clone(), sc.sr_config());
+            for id in cp.lsp_ids() {
+                let req = &cp.lsp(id).expect("listed lsp exists").request;
+                fabric.add_policy(SrPolicySpec {
+                    ingress: req.ingress,
+                    egress: req.egress,
+                    prefix: req.fec,
+                    cos: req.cos,
+                });
+            }
+            for route in cp.attached_routes() {
+                fabric.add_local(route.node, route.prefix);
+            }
+            fabric.compile();
+            for f in &sc.flows {
+                let (src, dst) = match (parse_addr(&f.src), parse_addr(&f.dst)) {
+                    (Some(s), Some(d)) => (s, d),
+                    _ => continue,
+                };
+                let want = fabric.predict_path(f.ingress, src, dst);
+                let got = SrFabric::walk_configs(fibs, f.ingress, src, dst);
+                if got != want {
+                    return Err(Violation {
+                        oracle: "sr_source_route",
+                        detail: format!(
+                            "flow {:?} ({} -> {}): delivered path {:?} != compiled route {:?}",
+                            f.name, f.src, f.dst, got, want
+                        ),
+                    });
+                }
+            }
+        }
+        return Ok(());
+    }
+    if mode != ControlChoice::Ldp {
         return Ok(());
     }
 

@@ -11,7 +11,7 @@
 //!                                       (same report, less wall-clock)
 //! mpls-sim run --control <mode> <scenario.json>
 //!                                       ... force the control plane:
-//!                                       "centralized" or "ldp"
+//!                                       "centralized", "ldp" or "sr"
 //! mpls-sim run --engine <kind> <scenario.json>
 //!                                       ... force the execution engine:
 //!                                       "barrier" or "merge"
@@ -29,7 +29,7 @@ const EXAMPLE: &str = include_str!("../scenarios/example.json");
 fn usage() -> ExitCode {
     eprintln!(
         "usage: mpls-sim <run|validate> [--json] [--metrics-out <path>] [--shards <n>] \
-         [--control <centralized|ldp>] [--engine <barrier|merge>] <scenario.json> | \
+         [--control <centralized|ldp|sr>] [--engine <barrier|merge>] <scenario.json> | \
          mpls-sim example"
     );
     ExitCode::from(2)
@@ -70,7 +70,7 @@ fn main() -> ExitCode {
                     "--control" => match rest.next() {
                         Some(m) => control = Some(m.clone()),
                         None => {
-                            eprintln!("error: --control needs a mode (centralized or ldp)");
+                            eprintln!("error: --control needs a mode (centralized, ldp or sr)");
                             return usage();
                         }
                     },

@@ -17,6 +17,7 @@ use mpls_net::{
 use mpls_packet::ipv4::parse_addr;
 use mpls_packet::CosBits;
 use mpls_router::SwTimingModel;
+use mpls_sr::SrConfig;
 use serde::{Deserialize, Serialize};
 
 /// Errors while loading or running a scenario.
@@ -105,14 +106,19 @@ pub struct Scenario {
     #[serde(default)]
     pub faults: Option<FaultsDecl>,
     /// Control plane: `"centralized"` (default, the omniscient solver
-    /// programs every node before t=0) or `"ldp"` (nodes discover labels
-    /// in-band by exchanging LDP PDUs over the simulated links;
+    /// programs every node before t=0), `"ldp"` (nodes discover labels
+    /// in-band by exchanging LDP PDUs over the simulated links), or
+    /// `"sr"` (segment routing: per-node SIDs from an SRGB, source
+    /// routes compiled at the ingress, no per-LSP transit state;
     /// `--control` overrides).
     #[serde(default)]
     pub control: Option<String>,
     /// LDP protocol timers, used when the control mode is `"ldp"`.
     #[serde(default)]
     pub ldp: Option<LdpDecl>,
+    /// Segment-routing knobs, used when the control mode is `"sr"`.
+    #[serde(default)]
+    pub sr: Option<SrDecl>,
     /// Metrics collection. Omitting the section runs without telemetry
     /// (zero overhead); `--metrics-out` forces it on regardless.
     #[serde(default)]
@@ -137,6 +143,17 @@ pub struct Scenario {
 
 fn default_horizon_ms() -> u64 {
     1000
+}
+
+/// The resolved control-plane mode of a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlChoice {
+    /// The omniscient solver programs every node before t=0.
+    Centralized,
+    /// Nodes discover labels in-band over LDP sessions.
+    Ldp,
+    /// Segment routing: compiled source routes, no transit LSP state.
+    Sr,
 }
 
 /// A synthesized-topology workload (see [`mpls_net::ScaleSpec`]).
@@ -436,6 +453,50 @@ fn ldp_hold_us() -> u64 {
 }
 fn ldp_backoff_exp() -> u32 {
     LdpConfig::default().max_backoff_exp
+}
+
+/// Segment-routing section: SRGB placement, stack-depth budgets, and
+/// the metadata LSEs the ingress appends below the source route.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct SrDecl {
+    /// First label of the Segment Routing Global Block (default 16000).
+    #[serde(default = "sr_srgb_base")]
+    pub srgb_base: u32,
+    /// Readable Label Depth programmed into every node (default: the
+    /// full wire stack).
+    #[serde(default = "sr_depth")]
+    pub rld: u8,
+    /// Maximum labels an ingress pushes at once; longer routes get
+    /// loose-hop compressed (default: the full wire stack).
+    #[serde(default = "sr_depth")]
+    pub max_push_depth: u8,
+    /// Append an RFC 6790 ELI/EL entropy pair (default true).
+    #[serde(default = "truthy")]
+    pub entropy: bool,
+    /// Append a minimal MNA network-action sub-stack (default false).
+    #[serde(default)]
+    pub mna: bool,
+}
+
+impl Default for SrDecl {
+    /// Matches the serde field defaults (an empty `"sr": {}` section).
+    fn default() -> Self {
+        Self {
+            srgb_base: sr_srgb_base(),
+            rld: sr_depth(),
+            max_push_depth: sr_depth(),
+            entropy: true,
+            mna: false,
+        }
+    }
+}
+
+fn sr_srgb_base() -> u32 {
+    SrConfig::default().srgb_base
+}
+fn sr_depth() -> u8 {
+    mpls_packet::MAX_STACK_DEPTH as u8
 }
 
 /// Telemetry section: turns on the instrument registry for the run and
@@ -1012,17 +1073,40 @@ impl Scenario {
 
     /// Resolves the control mode: the `control_override` (the
     /// `--control` flag) beats the scenario's `control` field, which
-    /// defaults to `"centralized"`. Returns true for `"ldp"`.
-    pub fn uses_ldp(&self, control_override: Option<&str>) -> Result<bool, ScenarioError> {
+    /// defaults to `"centralized"`.
+    pub fn control_mode(
+        &self,
+        control_override: Option<&str>,
+    ) -> Result<ControlChoice, ScenarioError> {
         let mode = control_override
             .or(self.control.as_deref())
             .unwrap_or("centralized");
         match mode.to_ascii_lowercase().as_str() {
-            "centralized" => Ok(false),
-            "ldp" => Ok(true),
+            "centralized" => Ok(ControlChoice::Centralized),
+            "ldp" => Ok(ControlChoice::Ldp),
+            "sr" => Ok(ControlChoice::Sr),
             other => Err(ScenarioError::Invalid(format!(
-                "unknown control mode {other:?} (use \"centralized\" or \"ldp\")"
+                "unknown control mode {other:?} (use \"centralized\", \"ldp\" or \"sr\")"
             ))),
+        }
+    }
+
+    /// Whether the resolved control mode is `"ldp"` (see
+    /// [`Self::control_mode`]).
+    pub fn uses_ldp(&self, control_override: Option<&str>) -> Result<bool, ScenarioError> {
+        Ok(self.control_mode(control_override)? == ControlChoice::Ldp)
+    }
+
+    /// The segment-routing configuration (scenario `sr` section or
+    /// defaults).
+    pub fn sr_config(&self) -> SrConfig {
+        let decl = self.sr.clone().unwrap_or_default();
+        SrConfig {
+            srgb_base: decl.srgb_base,
+            rld: decl.rld,
+            max_push_depth: decl.max_push_depth,
+            entropy: decl.entropy,
+            mna: decl.mna,
         }
     }
 
@@ -1095,8 +1179,10 @@ impl Scenario {
                 sim.shard_hint(n.id, hint);
             }
         }
-        if self.uses_ldp(control_override)? {
-            sim.enable_ldp(self.ldp_config());
+        match self.control_mode(control_override)? {
+            ControlChoice::Centralized => {}
+            ControlChoice::Ldp => sim.enable_ldp(self.ldp_config()),
+            ControlChoice::Sr => sim.enable_sr(self.sr_config()),
         }
         if let Some(plan) = self.fault_plan(&cp)? {
             sim.set_fault_plan(plan);
@@ -1348,6 +1434,76 @@ mod tests {
         assert_eq!(central.control.mode, "centralized");
         assert!(central.control.convergence_ns.is_none());
         assert!(central.fibs.is_none());
+    }
+
+    const SR_FABRIC: &str = include_str!("../scenarios/sr_fabric.json");
+
+    #[test]
+    fn sr_control_mode_resolves() {
+        let mut sc = Scenario::from_json(FAULTY).unwrap();
+        assert_eq!(
+            sc.control_mode(None).unwrap(),
+            ControlChoice::Centralized,
+            "centralized by default"
+        );
+        assert_eq!(sc.control_mode(Some("sr")).unwrap(), ControlChoice::Sr);
+        assert!(!sc.uses_ldp(Some("sr")).unwrap(), "sr is not ldp");
+        sc.control = Some("sr".into());
+        assert_eq!(sc.control_mode(None).unwrap(), ControlChoice::Sr);
+        assert_eq!(
+            sc.control_mode(Some("ldp")).unwrap(),
+            ControlChoice::Ldp,
+            "override wins"
+        );
+        assert!(sc.control_mode(Some("rsvp")).is_err());
+    }
+
+    #[test]
+    fn sr_section_parses_and_defaults() {
+        let sc = Scenario::from_json(SR_FABRIC).unwrap();
+        let cfg = sc.sr_config();
+        assert_eq!(cfg.max_push_depth, 3, "section field applies");
+        assert_eq!(cfg.srgb_base, 16_000, "defaults fill the rest");
+        assert!(cfg.entropy);
+        assert!(!cfg.mna);
+        // Unknown keys in the section are schema violations.
+        let bad = SR_FABRIC.replace("\"max_push_depth\": 3", "\"stack_budget\": 3");
+        assert!(matches!(
+            Scenario::from_json(&bad),
+            Err(ScenarioError::Parse(_))
+        ));
+    }
+
+    /// The bundled SR scenario delivers everything over the diamond,
+    /// spreads flows across both equal-cost paths via the entropy
+    /// label, and reports byte-identically at any shard count and
+    /// under both engines (the CI smoke job re-checks this from the
+    /// built binary).
+    #[test]
+    fn sr_scenario_runs_and_is_shard_invariant() {
+        let sc = Scenario::from_json(SR_FABRIC).expect("sr scenario parses");
+        let report = sc.run().expect("sr scenario runs");
+        assert_eq!(report.control.mode, "sr");
+        assert!(!report.flows.is_empty());
+        for (spec, s) in &report.flows {
+            assert_eq!(s.delivered, s.sent, "flow {} lost traffic", spec.name);
+            assert!(s.sent > 0);
+        }
+        let ecmp: u64 = report.routers.values().map(|r| r.ecmp_decisions).sum();
+        assert!(ecmp > 0, "loose-hop diamond must exercise ECMP");
+        let baseline = serde_json::to_string(&report).unwrap();
+        for shards in [2, 4] {
+            for engine in ["barrier", "merge"] {
+                let run = sc
+                    .run_with_overrides(false, Some(shards), None, Some(engine))
+                    .unwrap();
+                assert_eq!(
+                    baseline,
+                    serde_json::to_string(&run).unwrap(),
+                    "{shards} shards / {engine} diverged"
+                );
+            }
+        }
     }
 
     #[test]

@@ -78,6 +78,41 @@ pub struct IpRoute {
     pub next: Hop,
 }
 
+/// A segment-routing steering policy at an ingress LER: packets matching
+/// `prefix` get the whole `sids` source route pushed at once, plus any
+/// entropy/MNA metadata LSEs below it. Compiled by the SR control plane;
+/// there is no per-LSP transit state behind it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SrPolicyEntry {
+    /// The ingress LER.
+    pub node: NodeId,
+    /// Destination prefix steered onto this source route.
+    pub prefix: Prefix,
+    /// Node-SID labels, top-first (the first segment endpoint on top).
+    pub sids: Vec<Label>,
+    /// Append an RFC 6790 ELI/EL pair below the SIDs; the entropy label
+    /// value is the ingress's flow hash.
+    pub entropy: bool,
+    /// Append a minimal MNA network-action sub-stack below the SIDs.
+    pub mna: bool,
+    /// CoS assigned to packets of this policy.
+    pub cos: CosBits,
+}
+
+/// Equal-cost next-hop fan-out for one outgoing top label at one node.
+/// The data plane picks a member by hashing the packet's entropy label;
+/// without a readable entropy label it falls back to `nexts[0]` (which
+/// equals the label's [`NextHopEntry`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EcmpEntry {
+    /// The node to program.
+    pub node: NodeId,
+    /// The label on top of the stack after the update.
+    pub label: Label,
+    /// Equal-cost adjacent next hops, ascending by node id.
+    pub nexts: Vec<NodeId>,
+}
+
 /// Everything one node needs: produced by
 /// [`crate::ControlPlane::config_for`].
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -90,6 +125,13 @@ pub struct NodeConfig {
     pub fecs: Vec<FecEntry>,
     /// Unlabeled-packet routes (longest prefix wins).
     pub ip_routes: Vec<IpRoute>,
+    /// Segment-routing ingress policies (SR control plane only).
+    pub sr_policies: Vec<SrPolicyEntry>,
+    /// Entropy-hashed equal-cost fan-out per outgoing label.
+    pub ecmp: Vec<EcmpEntry>,
+    /// Readable Label Depth: how many stack entries this node's data
+    /// plane can scan for an entropy pair. `None` means unlimited.
+    pub rld: Option<u8>,
 }
 
 impl NodeConfig {
@@ -99,6 +141,8 @@ impl NodeConfig {
             && self.next_hops.is_empty()
             && self.fecs.is_empty()
             && self.ip_routes.is_empty()
+            && self.sr_policies.is_empty()
+            && self.ecmp.is_empty()
     }
 
     /// Longest-prefix-match over the IP routes.
@@ -142,6 +186,7 @@ mod tests {
             ],
             fecs: vec![],
             ip_routes: vec![],
+            ..Default::default()
         };
         assert_eq!(cfg.next_hop_for(Some(l)), Some(Hop::Node(2)));
         assert_eq!(cfg.next_hop_for(None), Some(Hop::Local));

@@ -25,7 +25,9 @@ pub mod signaling;
 pub mod spt;
 pub mod topology;
 
-pub use config::{BindingEntry, FecEntry, Hop, IpRoute, NextHopEntry, NodeConfig};
+pub use config::{
+    BindingEntry, EcmpEntry, FecEntry, Hop, IpRoute, NextHopEntry, NodeConfig, SrPolicyEntry,
+};
 pub use cspf::{Constraint, PathError};
 pub use label_alloc::LabelAllocator;
 pub use signaling::{ControlPlane, LspId, LspRequest, SignalError, TunnelId};

@@ -5,7 +5,7 @@
 //! items"). Operations are staged through the `stckctrl` control signals
 //! and commit on the clock edge, like every other sequential component.
 
-use mpls_packet::{label::LabelStackEntry, LabelStack, MAX_STACK_DEPTH};
+use mpls_packet::{label::LabelStackEntry, LabelStack, EMBEDDED_STACK_DEPTH};
 use mpls_rtl::Clocked;
 
 /// Staged stack control (`stckctrl`, Table 3: "Used to add or remove
@@ -24,7 +24,7 @@ enum StackCtl {
 /// The hardware label stack: entry 0 is the top of the stack.
 #[derive(Debug, Clone, Default)]
 pub struct HwStack {
-    entries: [u32; MAX_STACK_DEPTH],
+    entries: [u32; EMBEDDED_STACK_DEPTH],
     size: u8,
     ctl: StackCtl,
     /// Sticky overflow/underflow indicator for the last committed edge;
@@ -51,7 +51,7 @@ impl HwStack {
 
     /// True when all three entry registers are occupied.
     pub fn is_full(&self) -> bool {
-        self.size() == MAX_STACK_DEPTH
+        self.size() == EMBEDDED_STACK_DEPTH
     }
 
     /// Raw 32-bit word of the top entry (undefined-as-zero when empty,
@@ -103,13 +103,13 @@ impl HwStack {
         // values the hardware ought to hold.
         for i in (0..self.size()).rev() {
             out.push(LabelStackEntry::from_bits(self.entries[i]))
-                .expect("hardware stack never exceeds MAX_STACK_DEPTH");
+                .expect("hardware stack never exceeds EMBEDDED_STACK_DEPTH");
         }
         out
     }
 
     /// Raw entry registers (top-first), for waveform probing.
-    pub fn raw_entries(&self) -> &[u32; MAX_STACK_DEPTH] {
+    pub fn raw_entries(&self) -> &[u32; EMBEDDED_STACK_DEPTH] {
         &self.entries
     }
 }

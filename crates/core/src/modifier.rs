@@ -717,7 +717,7 @@ impl LabelStackModifier {
             IbOperation::Nop => Some(DiscardReason::InconsistentOperation),
             // After REMOVE TOP the stack holds depth-1 entries; push
             // re-adds the old entry plus the new one.
-            IbOperation::Push if self.dp.stack.size() + 2 > mpls_packet::MAX_STACK_DEPTH => {
+            IbOperation::Push if self.dp.stack.size() + 2 > mpls_packet::EMBEDDED_STACK_DEPTH => {
                 Some(DiscardReason::InconsistentOperation)
             }
             _ => None,

@@ -11,7 +11,7 @@ use crate::cache::FlowCache;
 use crate::fib::{Fib, FibLevel};
 use crate::lookup::LookupStrategy;
 use crate::types::{Discard, LabelBinding, LabelOp, SwRouterType};
-use mpls_packet::{label::LabelStackEntry, CosBits, Label, LabelStack, Ttl, MAX_STACK_DEPTH};
+use mpls_packet::{label::LabelStackEntry, CosBits, Label, LabelStack, Ttl, EMBEDDED_STACK_DEPTH};
 
 /// Result of processing one packet's label stack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -207,7 +207,10 @@ impl<S: LookupStrategy> SoftwareForwarder<S> {
                 ProcessResult::Updated { op: LabelOp::Pop }
             }
             LabelOp::Push => {
-                if depth + 1 > MAX_STACK_DEPTH {
+                // Mirror the hardware's entry-register capacity, not the
+                // wire maximum, so software and embedded data paths agree
+                // on when a push is inconsistent.
+                if depth + 1 > EMBEDDED_STACK_DEPTH {
                     return self.discard(stack, Discard::InconsistentOperation);
                 }
                 // Old entry keeps its label/CoS with the decremented TTL;

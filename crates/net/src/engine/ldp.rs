@@ -385,6 +385,9 @@ impl<S: TelemetrySink> Engine<S> {
     pub(super) fn finish_control(
         &mut self,
     ) -> (ControlSummary, Option<BTreeMap<NodeId, NodeConfig>>) {
+        if self.sr.is_some() {
+            return self.finish_sr();
+        }
         let Some(rt) = &self.ldp else {
             return (ControlSummary::default(), None);
         };

@@ -25,9 +25,11 @@
 mod ldp;
 mod partition;
 mod shard;
+mod sr;
 mod wheel;
 
 pub(crate) use ldp::LdpRuntime;
+pub(crate) use sr::SrRuntime;
 
 use crate::event::{ControlEvent, EventQueue, SimTime};
 use crate::fault::{FaultRecord, RecoveryMode, RestorationPolicy};
@@ -164,6 +166,7 @@ pub(crate) struct EngineParts<S> {
     pub hints: HashMap<NodeId, usize>,
     pub engine: EngineKind,
     pub ldp: Option<LdpRuntime>,
+    pub sr: Option<SrRuntime>,
     pub pdu_chaos: Vec<crate::fault::PduChaos>,
 }
 
@@ -205,6 +208,9 @@ pub(crate) struct Engine<S: TelemetrySink> {
     /// Present on `--control ldp` runs: the distributed control plane
     /// and its in-flight PDUs (see [`ldp`]).
     ldp: Option<LdpRuntime>,
+    /// Present on `--control sr` runs: the compiled segment-routing
+    /// fabric (see [`sr`]).
+    sr: Option<SrRuntime>,
     /// Nodes currently crashed: incident links stay down and stray
     /// `LinkUp` events cannot revive their ports.
     dead_nodes: HashSet<NodeId>,
@@ -331,6 +337,7 @@ impl<S: TelemetrySink> Engine<S> {
             fault_of_link: HashMap::new(),
             pending: Vec::new(),
             ldp,
+            sr: parts.sr,
             dead_nodes: HashSet::new(),
             partitioned: HashSet::new(),
             sink: parts.sink,
@@ -803,6 +810,12 @@ impl<S: TelemetrySink> Engine<S> {
             self.sink
                 .event(self.now, "fault_detected", format!("link{link}"));
         }
+        if self.sr.is_some() {
+            // Segment routing: recompile the source routes around the
+            // cut. No per-LSP re-signaling exists to wait for.
+            self.sr_fault_detected(link, rec);
+            return;
+        }
         let affected = self.cp.fail_link(link);
         let mut changed = false;
         for id in affected {
@@ -913,6 +926,10 @@ impl<S: TelemetrySink> Engine<S> {
         if !self.chan(a).up {
             return; // failed again before the hold-down expired
         }
+        if self.sr.is_some() {
+            self.sr_hold_down_expired(link);
+            return;
+        }
         self.cp.restore_link(link);
     }
 
@@ -992,6 +1009,14 @@ impl<S: TelemetrySink> Engine<S> {
     fn on_node_reprovision(&mut self, node: NodeId) {
         if self.dead_nodes.contains(&node) {
             return; // crashed again before the download landed
+        }
+        if self.sr.is_some() {
+            self.sr_reprovision(node);
+            if S::ENABLED {
+                self.sink
+                    .event(self.now, "node_reprovisioned", format!("node{node}"));
+            }
+            return;
         }
         let cfg = self.cp.config_for(node);
         self.reprogram_node(node, &cfg);

@@ -38,6 +38,10 @@ pub enum RecoveryMode {
     /// and the remaining mappings reconverge. The centralized detection/
     /// re-signal/hold-down machinery stands down.
     Ldp,
+    /// Segment routing: detection still uses the centralized delay, but
+    /// recovery is a coordinator-side recompile of the source routes —
+    /// no per-LSP re-signaling, no protocol cascade.
+    Sr,
 }
 
 /// Timing model for failure detection and recovery.

@@ -21,7 +21,9 @@
 //! telemetry export — is byte-identical at any shard count; sharding is
 //! purely a wall-clock optimization. See [`crate::engine`].
 
-use crate::engine::{stream_seed, Engine, EngineKind, EngineParts, EngineStats, LdpRuntime};
+use crate::engine::{
+    stream_seed, Engine, EngineKind, EngineParts, EngineStats, LdpRuntime, SrRuntime,
+};
 use crate::event::{ControlEvent, EventQueue, SimTime};
 use crate::fault::{FaultKind, FaultPlan, FaultRecord, RestorationPolicy};
 use crate::link::Channel;
@@ -209,6 +211,9 @@ pub enum ControlMode {
     Centralized,
     /// In-band distributed label distribution (`--control ldp`).
     Ldp,
+    /// Segment-routing source routes compiled before t=0
+    /// (`--control sr`): no per-LSP signaling state in the network.
+    Sr,
 }
 
 impl ControlMode {
@@ -217,6 +222,7 @@ impl ControlMode {
         match self {
             ControlMode::Centralized => "centralized",
             ControlMode::Ldp => "ldp",
+            ControlMode::Sr => "sr",
         }
     }
 }
@@ -411,6 +417,8 @@ pub struct Simulation<S: TelemetrySink = NoopSink> {
     shard_hints: HashMap<NodeId, usize>,
     /// Present when the run uses the distributed control plane.
     ldp: Option<LdpRuntime>,
+    /// Present when the run uses the segment-routing control plane.
+    sr: Option<SrRuntime>,
     /// Control-PDU chaos windows from the fault plan; handed to the LDP
     /// runtime at engine assembly (plan and `enable_ldp` may arrive in
     /// either order).
@@ -474,6 +482,7 @@ impl Simulation {
             requested_engine: None,
             shard_hints: HashMap::new(),
             ldp: None,
+            sr: None,
             pdu_chaos: Vec::new(),
         }
     }
@@ -516,6 +525,7 @@ impl Simulation {
             requested_engine: self.requested_engine,
             shard_hints: self.shard_hints,
             ldp: self.ldp,
+            sr: self.sr,
             pdu_chaos: self.pdu_chaos,
         };
         for flow in 0..sim.flows.len() {
@@ -562,9 +572,13 @@ impl<S: TelemetrySink> Simulation<S> {
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         self.policy = plan.policy;
         // A distributed-control run recovers via the protocol no matter
-        // what the plan's policy says (call order must not matter).
+        // what the plan's policy says (call order must not matter), and
+        // likewise a segment-routing run recompiles source routes.
         if self.ldp.is_some() {
             self.policy.mode = crate::fault::RecoveryMode::Ldp;
+        }
+        if self.sr.is_some() {
+            self.policy.mode = crate::fault::RecoveryMode::Sr;
         }
         for ev in &plan.events {
             match ev.kind {
@@ -629,6 +643,49 @@ impl<S: TelemetrySink> Simulation<S> {
         fabric.take_dirty();
         self.globals.schedule(0, ControlEvent::LdpTick);
         self.ldp = Some(LdpRuntime::new(fabric, self.channels.len(), self.seed));
+    }
+
+    /// Switches the run to the segment-routing control plane: every
+    /// established LSP's request becomes an SR steering policy (same
+    /// ingress, egress, FEC prefix and CoS) compiled into a label-stack
+    /// source route, and the routers are reprogrammed from the compiled
+    /// fabric — SID bindings, ECMP fan-outs and ingress policies replace
+    /// the per-LSP hop labels. Programming happens before t=0, like the
+    /// centralized solver; what changes is the *state model* (one node
+    /// SID per node instead of per-LSP transit state) and fault recovery
+    /// (a coordinator-side recompile instead of re-signaling).
+    ///
+    /// The restoration policy switches to
+    /// [`crate::fault::RecoveryMode::Sr`].
+    pub fn enable_sr(&mut self, cfg: mpls_sr::SrConfig) {
+        let mut fabric = mpls_sr::SrFabric::new(self.cp.topology().clone(), cfg);
+        for id in self.cp.lsp_ids() {
+            let req = &self.cp.lsp(id).expect("listed lsp exists").request;
+            fabric.add_policy(mpls_sr::SrPolicySpec {
+                ingress: req.ingress,
+                egress: req.egress,
+                prefix: req.fec,
+                cos: req.cos,
+            });
+        }
+        for route in self.cp.attached_routes() {
+            fabric.add_local(route.node, route.prefix);
+        }
+        fabric.compile();
+        self.policy.mode = crate::fault::RecoveryMode::Sr;
+        // Replace the centrally solved per-LSP state with the compiled
+        // SR fabric's.
+        for node in &mut self.nodes {
+            let cfg = fabric.config_for(node.id());
+            node.reprogram(&cfg);
+        }
+        fabric.take_dirty();
+        self.sr = Some(SrRuntime::new(fabric));
+    }
+
+    /// The compiled SR fabric, when [`Self::enable_sr`] has run.
+    pub fn sr_fabric(&self) -> Option<&mpls_sr::SrFabric> {
+        self.sr.as_ref().map(|rt| &rt.fabric)
     }
 
     /// Registers a flow; its first packet is emitted at `spec.start_ns`.
@@ -712,6 +769,7 @@ impl<S: TelemetrySink> Simulation<S> {
             hints: self.shard_hints,
             engine,
             ldp: self.ldp,
+            sr: self.sr,
             pdu_chaos: self.pdu_chaos,
         })
         .run(horizon_ns)

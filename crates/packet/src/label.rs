@@ -38,6 +38,12 @@ impl Label {
     /// "Implicit NULL": signalled but never on the wire; requests
     /// penultimate hop popping.
     pub const IMPLICIT_NULL: Label = Label(3);
+    /// MPLS Network Actions base Special Purpose Label (bSPL): marks the
+    /// start of a network action sub-stack (see [`crate::sr`]).
+    pub const MNA_BSPL: Label = Label(4);
+    /// Entropy Label Indicator of RFC 6790: the next stack entry carries
+    /// an entropy label for load balancing, not a forwarding label.
+    pub const ENTROPY_INDICATOR: Label = Label(7);
     /// First label outside the IETF reserved range `0..=15`.
     pub const FIRST_UNRESERVED: Label = Label(16);
 

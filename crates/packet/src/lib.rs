@@ -26,6 +26,7 @@ pub mod ipv4;
 pub mod label;
 pub mod ldp;
 pub mod packet;
+pub mod sr;
 pub mod stack;
 
 pub use error::PacketError;
@@ -34,13 +35,26 @@ pub use ipv4::Ipv4Header;
 pub use label::{CosBits, Label, LabelStackEntry, Ttl};
 pub use ldp::{LdpFec, LdpMessage, LdpPdu};
 pub use packet::MplsPacket;
+pub use sr::{ecmp_index, entropy_label, EntropyScan, MnaNas, SrError};
 pub use stack::LabelStack;
 
-/// Number of nesting levels the embedded architecture supports.
+/// Number of stack entries the embedded hardware data path provisions.
 ///
 /// "A typical MPLS network does not use more than two or three levels of
 /// nested paths and consequently, label stacks do not normally exceed two
-/// or three labels" (§2). The hardware data path provisions exactly three
-/// levels of information-base memory, so the whole workspace shares this
-/// constant.
-pub const MAX_STACK_DEPTH: usize = 3;
+/// or three labels" (§2). The hardware label stack modifier holds exactly
+/// three 32-bit entry registers, and the software forwarder mirrors that
+/// limit for hardware/software parity. Segment-routed source routes
+/// (see [`sr`]) deliberately exceed it — that excess is the cost model
+/// the EXT-16 benchmark measures.
+pub const EMBEDDED_STACK_DEPTH: usize = 3;
+
+/// Maximum label stack depth the wire format and simulator carry.
+///
+/// Deep segment-routing stacks (node-SID source routes plus entropy and
+/// MNA metadata, RFC 8986 / RFC 6790 / draft-ietf-mpls-mna-hdr) need more
+/// room than the embedded hardware's three entry registers
+/// ([`EMBEDDED_STACK_DEPTH`]). [`LabelStack`] provisions this many
+/// in-line entries; routers with shallower hardware discard or compress
+/// beyond their own limit.
+pub const MAX_STACK_DEPTH: usize = 12;

@@ -6,8 +6,11 @@
 //! is processed at any given router." (§2)
 //!
 //! The stack owns the bottom-of-stack invariant: exactly the deepest entry
-//! carries `S = 1`, and the stack never exceeds [`MAX_STACK_DEPTH`] entries
-//! (mirroring the three levels of information-base memory in the hardware).
+//! carries `S = 1`, and the stack never exceeds [`MAX_STACK_DEPTH`] entries.
+//! That is the *wire/simulator* capacity, sized for segment-routed source
+//! routes; the embedded hardware itself provisions only
+//! [`crate::EMBEDDED_STACK_DEPTH`] levels of information-base memory and
+//! entry registers.
 
 use crate::{label::LabelStackEntry, CosBits, Label, PacketError, Ttl, MAX_STACK_DEPTH};
 use serde::{Deserialize, Serialize};
@@ -343,10 +346,11 @@ mod tests {
 
     #[test]
     fn read_unterminated_overflows() {
-        // Four entries none of which is bottom: overflow before termination.
+        // MAX_STACK_DEPTH + 1 entries none of which is bottom: overflow
+        // before termination.
         let e = LabelStackEntry::new(Label::new(1).unwrap(), CosBits::BEST_EFFORT, false, 9);
-        let mut buf = [0u8; 16];
-        for i in 0..4 {
+        let mut buf = vec![0u8; (MAX_STACK_DEPTH + 1) * LabelStackEntry::WIRE_LEN];
+        for i in 0..=MAX_STACK_DEPTH {
             e.write_to(&mut buf[i * 4..]).unwrap();
         }
         assert_eq!(

@@ -1,0 +1,193 @@
+//! Segment-routing metadata wire-format property tests.
+//!
+//! The inline tests in `sr.rs` pin a handful of concrete encode/decode
+//! cases; these properties pin the encodings over the whole input
+//! space, through the actual RFC 3032 wire image: an entropy pair or
+//! MNA sub-stack built below arbitrary transport SIDs must survive
+//! `write_to`/`read_from` byte for byte, re-encode canonically,
+//! reject truncation and out-of-range fields, and report its RLD
+//! visibility at exactly the documented boundary.
+
+use mpls_packet::label::LabelStackEntry;
+use mpls_packet::sr::{
+    ecmp_index, entropy_entries, entropy_label, find_entropy, is_metadata_indicator, parse_entropy,
+    EntropyScan, MnaNas, SrError, MAX_OPCODE,
+};
+use mpls_packet::stack::LabelStack;
+use mpls_packet::{CosBits, Label, MAX_STACK_DEPTH};
+use proptest::prelude::*;
+
+/// Transport labels that can never be mistaken for metadata
+/// indicators: anything at or above the first unreserved label.
+fn arb_sid() -> impl Strategy<Value = LabelStackEntry> {
+    (
+        Label::FIRST_UNRESERVED.value()..=Label::MAX,
+        0u8..=7,
+        any::<u8>(),
+    )
+        .prop_map(|(l, c, t)| {
+            LabelStackEntry::new(Label::new(l).unwrap(), CosBits::new(c).unwrap(), false, t)
+        })
+}
+
+/// An unreserved entropy label value, as `entropy_label` guarantees.
+fn arb_el() -> impl Strategy<Value = Label> {
+    (Label::FIRST_UNRESERVED.value()..=Label::MAX).prop_map(|v| Label::new(v).unwrap())
+}
+
+fn arb_nas() -> impl Strategy<Value = MnaNas> {
+    (0u8..=MAX_OPCODE, 0u32..=Label::MAX).prop_map(|(op, data)| MnaNas::new(op, data).unwrap())
+}
+
+/// Encodes `entries` as a stack, round-trips the bytes, and returns
+/// the parsed entries. Asserts the wire image is canonical: parsing
+/// and re-encoding reproduces the original buffer exactly.
+fn wire_round_trip(entries: &[LabelStackEntry]) -> Vec<LabelStackEntry> {
+    let stack = LabelStack::from_entries(entries).unwrap();
+    let mut buf = vec![0u8; stack.wire_len()];
+    stack.write_to(&mut buf).unwrap();
+    let (parsed, used) = LabelStack::read_from(&buf).unwrap();
+    assert_eq!(used, buf.len());
+    let mut again = vec![0u8; parsed.wire_len()];
+    parsed.write_to(&mut again).unwrap();
+    assert_eq!(buf, again, "re-encode is not canonical");
+    parsed.entries().to_vec()
+}
+
+proptest! {
+    /// RFC 6790: an entropy pair below any depth of transport SIDs
+    /// survives the wire and scans back to the same entropy label —
+    /// provided the RLD covers it. The pair sits at indices `k` and
+    /// `k + 1` below `k` SIDs, so `rld >= k + 2` finds it and any
+    /// shallower RLD reports `BeyondRld`, never a wrong label and
+    /// never a silent miss.
+    #[test]
+    fn entropy_pair_round_trips_and_rld_gates_exactly(
+        sids in proptest::collection::vec(arb_sid(), 0..MAX_STACK_DEPTH - 2),
+        el in arb_el(),
+        rld in 0usize..=MAX_STACK_DEPTH + 2,
+    ) {
+        let mut entries = sids.clone();
+        entries.extend(entropy_entries(el, CosBits::BEST_EFFORT, 64));
+        let parsed = wire_round_trip(&entries);
+        prop_assert_eq!(parse_entropy(&parsed[sids.len()..]), Ok(el));
+        let expected = if rld >= sids.len() + 2 {
+            EntropyScan::Found(el)
+        } else {
+            EntropyScan::BeyondRld
+        };
+        prop_assert_eq!(find_entropy(&parsed, rld), expected);
+    }
+
+    /// A stack of pure transport SIDs carries no entropy pair: the
+    /// scan reports `Absent` at every RLD, and no SID value aliases a
+    /// metadata indicator.
+    #[test]
+    fn sid_only_stacks_scan_absent(
+        sids in proptest::collection::vec(arb_sid(), 1..=MAX_STACK_DEPTH),
+        rld in 0usize..=MAX_STACK_DEPTH,
+    ) {
+        let parsed = wire_round_trip(&sids);
+        prop_assert_eq!(find_entropy(&parsed, rld), EntropyScan::Absent);
+        for e in &parsed {
+            prop_assert!(!is_metadata_indicator(e.label));
+        }
+    }
+
+    /// The MNA sub-stack round-trips through the wire below arbitrary
+    /// SIDs, and below the sub-stack an entropy pair is still found —
+    /// the two encodings compose in the documented order.
+    #[test]
+    fn mna_and_entropy_compose_through_the_wire(
+        sids in proptest::collection::vec(arb_sid(), 0..MAX_STACK_DEPTH - 5),
+        nas in arb_nas(),
+        el in arb_el(),
+    ) {
+        let mut entries = sids.clone();
+        entries.extend(nas.entries(CosBits::BEST_EFFORT, 64));
+        entries.extend(entropy_entries(el, CosBits::BEST_EFFORT, 64));
+        let parsed = wire_round_trip(&entries);
+        prop_assert_eq!(MnaNas::parse(&parsed[sids.len()..]), Ok(nas));
+        prop_assert_eq!(
+            find_entropy(&parsed, MAX_STACK_DEPTH + 1),
+            EntropyScan::Found(el)
+        );
+        prop_assert!(is_metadata_indicator(parsed[sids.len()].label));
+    }
+
+    /// Truncated encodings are rejected with the exact need/have
+    /// accounting — a decoder that reads past its slice or fabricates
+    /// fields would fail this on every cut point.
+    #[test]
+    fn truncation_is_rejected_with_exact_counts(nas in arb_nas(), el in arb_el()) {
+        let pair = entropy_entries(el, CosBits::BEST_EFFORT, 64);
+        for have in 0..pair.len() {
+            prop_assert_eq!(
+                parse_entropy(&pair[..have]),
+                Err(SrError::Truncated { what: "entropy pair", need: 2, have })
+            );
+        }
+        let sub = nas.entries(CosBits::BEST_EFFORT, 64);
+        for have in 0..sub.len() {
+            prop_assert_eq!(
+                MnaNas::parse(&sub[..have]),
+                Err(SrError::Truncated { what: "MNA sub-stack", need: 3, have })
+            );
+        }
+    }
+
+    /// Out-of-range fields are rejected at both ends: the constructor
+    /// refuses to build them, and the parser refuses wire images that
+    /// smuggle them in anyway.
+    #[test]
+    fn out_of_range_fields_are_rejected(
+        bad_op in (MAX_OPCODE as u32 + 1)..=Label::MAX,
+        data in 0u32..=Label::MAX,
+        reserved in 0u32..Label::FIRST_UNRESERVED.value(),
+    ) {
+        prop_assert!(MnaNas::new(MAX_OPCODE + 1, data).is_err());
+        // Forge an opcode LSE beyond the 4-bit range on the "wire".
+        let mut forged = MnaNas::new(0, data).unwrap().entries(CosBits::BEST_EFFORT, 64);
+        forged[1].label = Label::new(bad_op).unwrap();
+        prop_assert_eq!(MnaNas::parse(&forged), Err(SrError::OpcodeOutOfRange(bad_op)));
+        // A reserved entropy label is forbidden by RFC 6790.
+        let el = Label::from_masked(reserved);
+        let pair = entropy_entries(el, CosBits::BEST_EFFORT, 64);
+        prop_assert_eq!(parse_entropy(&pair), Err(SrError::ReservedEntropyLabel(el)));
+        // The scanner treats the malformed pair as no pair at all
+        // rather than hashing a reserved value.
+        prop_assert_eq!(find_entropy(&pair, 16), EntropyScan::Absent);
+    }
+
+    /// A wrong indicator label fails both decoders without looking at
+    /// the rest of the slice.
+    #[test]
+    fn wrong_indicator_is_rejected(top in arb_sid(), nas in arb_nas(), el in arb_el()) {
+        let mut pair = entropy_entries(el, CosBits::BEST_EFFORT, 64);
+        pair[0] = top;
+        prop_assert_eq!(
+            parse_entropy(&pair),
+            Err(SrError::BadIndicator { what: "entropy pair", found: top.label })
+        );
+        let mut sub = nas.entries(CosBits::BEST_EFFORT, 64);
+        sub[0] = top;
+        prop_assert_eq!(
+            MnaNas::parse(&sub),
+            Err(SrError::BadIndicator { what: "MNA sub-stack", found: top.label })
+        );
+    }
+
+    /// RFC 6790 §4.2: the ingress hash never produces a reserved
+    /// label, is pure, and its ECMP projection stays in range for any
+    /// fanout — the properties the dataplane's determinism and the
+    /// shard-identity oracle lean on.
+    #[test]
+    fn entropy_label_is_unreserved_pure_and_in_range(
+        src: u32, dst: u32, fanout in 1usize..=64,
+    ) {
+        let el = entropy_label(src, dst);
+        prop_assert!(!el.is_reserved());
+        prop_assert_eq!(el, entropy_label(src, dst));
+        prop_assert!(ecmp_index(el.value(), fanout) < fanout);
+    }
+}

@@ -15,12 +15,13 @@
 //!   level-1 memory as a flow cache).
 
 use crate::forwarding::{Action, DiscardCause, Forwarding, MplsForwarder, RouterStats};
-use crate::pipeline::RouterTables;
-use mpls_control::{Hop, NodeConfig, NodeId, RouterRole};
+use crate::pipeline::{RouterTables, SrPick};
+use mpls_control::{Hop, NodeConfig, NodeId, RouterRole, SrPolicyEntry};
 use mpls_core::modifier::Outcome;
 use mpls_core::{ClockSpec, DiscardReason, IbOperation, LabelStackModifier, Level, RouterType};
 use mpls_dataplane::LabelOp;
-use mpls_packet::{CosBits, LabelStack, MplsPacket};
+use mpls_packet::sr::{self, MnaNas};
+use mpls_packet::{label::LabelStackEntry, CosBits, LabelStack, MplsPacket, EMBEDDED_STACK_DEPTH};
 use std::collections::HashSet;
 
 /// Maps control-plane operations onto the hardware encoding.
@@ -121,6 +122,60 @@ impl EmbeddedRouter {
         Forwarding { action, latency_ns }
     }
 
+    fn note_pick(&mut self, pick: SrPick) {
+        match pick {
+            SrPick::Ecmp => self.stats.ecmp_decisions += 1,
+            SrPick::RldViolation => self.stats.rld_violations += 1,
+            SrPick::Single => {}
+        }
+    }
+
+    /// Segment-routing ingress. The embedded pipeline can hold at most
+    /// [`EMBEDDED_STACK_DEPTH`] entries, so only source routes compressed
+    /// to fit the entry registers can be assembled here — a deeper stack
+    /// is an inconsistent operation for this hardware, exactly the cost
+    /// boundary the RLD model captures. The assembled stack is delivered
+    /// through the ingress module at one `user push` (3 cycles) per entry.
+    fn sr_ingress(&mut self, mut packet: MplsPacket, policy: &SrPolicyEntry) -> Forwarding {
+        if packet.ip.ttl == 0 {
+            return self.finish(0, Action::Discard(DiscardCause::TtlExpired));
+        }
+        let (cos, ttl) = (policy.cos, packet.ip.ttl);
+        let mut entries: Vec<LabelStackEntry> = policy
+            .sids
+            .iter()
+            .map(|&sid| LabelStackEntry::new(sid, cos, false, ttl))
+            .collect();
+        if policy.mna {
+            let nas = MnaNas::new(1, policy.sids.len() as u32).expect("opcode 1 is in range");
+            entries.extend(nas.entries(cos, ttl));
+        }
+        if policy.entropy {
+            let el = sr::entropy_label(packet.ip.src, packet.ip.dst);
+            entries.extend(sr::entropy_entries(el, cos, ttl));
+        }
+        if entries.len() > EMBEDDED_STACK_DEPTH {
+            return self.finish(0, Action::Discard(DiscardCause::InconsistentOperation));
+        }
+        let depth = entries.len() as u64;
+        let stack = LabelStack::from_entries(&entries).expect("depth checked above");
+        packet.splice_stack(stack);
+        self.stats.peak_stack_depth = self.stats.peak_stack_depth.max(depth);
+        let cycles = 3 * depth;
+        self.stats.stage_cycles.load += cycles;
+        let dst = packet.ip.dst;
+        let top = packet.stack.top().map(|e| e.label);
+        let (res, pick) = self
+            .tables
+            .resolve_egress_on(top, dst, packet.stack.entries());
+        self.note_pick(pick);
+        match res {
+            Ok(Hop::Node(next)) => self.finish(cycles, Action::Forward { next, packet }),
+            Ok(Hop::Local) => self.finish(cycles, Action::Deliver(packet)),
+            Err(cause) => self.finish(cycles, Action::Discard(cause)),
+        }
+    }
+
     /// The MPLS fast/slow path for a packet that must traverse the
     /// modifier.
     fn mpls_path(
@@ -169,7 +224,21 @@ impl EmbeddedRouter {
         packet.splice_stack(new_stack);
 
         let top = packet.stack.top().map(|e| e.label);
-        match self.tables.resolve_egress(top, dst) {
+        // A metadata indicator on top means the last transport segment
+        // ended here: strip the sub-stack and route the bare packet.
+        if top.is_some_and(sr::is_metadata_indicator) {
+            packet.splice_stack(LabelStack::new());
+            return match self.tables.resolve_egress(None, dst) {
+                Ok(Hop::Node(next)) => self.finish(cycles, Action::Forward { next, packet }),
+                Ok(Hop::Local) => self.finish(cycles, Action::Deliver(packet)),
+                Err(cause) => self.finish(cycles, Action::Discard(cause)),
+            };
+        }
+        let (res, pick) = self
+            .tables
+            .resolve_egress_on(top, dst, packet.stack.entries());
+        self.note_pick(pick);
+        match res {
             Ok(Hop::Node(next)) => self.finish(cycles, Action::Forward { next, packet }),
             Ok(Hop::Local) => self.finish(cycles, Action::Deliver(packet)),
             Err(cause) => self.finish(cycles, Action::Discard(cause)),
@@ -184,7 +253,18 @@ impl MplsForwarder for EmbeddedRouter {
 
     fn handle(&mut self, packet: MplsPacket) -> Forwarding {
         self.stats.packets_in += 1;
+        self.stats.peak_stack_depth = self
+            .stats
+            .peak_stack_depth
+            .max(packet.stack.entries().len() as u64);
         let dst = packet.ip.dst;
+
+        // The entry registers hold EMBEDDED_STACK_DEPTH entries; a deeper
+        // arriving stack cannot be loaded and is discarded before it
+        // touches the modifier (no cycles spent).
+        if packet.stack.entries().len() > EMBEDDED_STACK_DEPTH {
+            return self.finish(0, Action::Discard(DiscardCause::InconsistentOperation));
+        }
 
         if packet.stack.is_empty() {
             // Unlabeled arrival: local delivery and plain IP transit skip
@@ -197,6 +277,11 @@ impl MplsForwarder for EmbeddedRouter {
             // Ingress classification: find the FEC, install the exact
             // level-1 pair on first sight (slow path), then run the
             // hardware push.
+            // Segment-routing ingress assembles the whole source route.
+            if let Some(policy) = self.tables.sr_classify(dst) {
+                let policy = policy.clone();
+                return self.sr_ingress(packet, &policy);
+            }
             let Some((push_label, cos)) = self.tables.classify(dst) else {
                 return self.finish(0, Action::Discard(DiscardCause::NoRoute));
             };

@@ -222,6 +222,14 @@ pub struct RouterStats {
     pub flow_installs: u64,
     /// Hardware only: `total_cycles` broken down by pipeline stage.
     pub stage_cycles: StageCycles,
+    /// Deepest label stack observed on any packet handled here (arriving
+    /// depth or an SR ingress push, whichever is larger).
+    pub peak_stack_depth: u64,
+    /// Equal-cost fan-outs that could not be entropy-hashed because the
+    /// entropy pair sat beyond this node's readable label depth.
+    pub rld_violations: u64,
+    /// Entropy-hashed ECMP next-hop decisions taken.
+    pub ecmp_decisions: u64,
     /// FIB lookups actually executed (cache hits excluded). Diagnostics
     /// only, never serialized: reports must stay byte-identical across
     /// lookup strategies, and this is exactly the counter that tells the

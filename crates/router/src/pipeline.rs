@@ -6,11 +6,26 @@
 //! after the stack update.
 
 use crate::forwarding::DiscardCause;
-use mpls_control::{Hop, NodeConfig};
+use mpls_control::{Hop, NodeConfig, NodeId, SrPolicyEntry};
 use mpls_dataplane::ftn::{Prefix, PrefixFtn};
 use mpls_dataplane::LabelBinding;
+use mpls_packet::label::LabelStackEntry;
+use mpls_packet::sr::{self, EntropyScan};
 use mpls_packet::{CosBits, Label};
 use std::collections::HashMap;
+
+/// How an egress resolution picked its next hop — the router folds this
+/// into its per-node SR counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SrPick {
+    /// No equal-cost fan-out was involved (or fan-out of one).
+    Single,
+    /// An entropy-hashed ECMP decision was made.
+    Ecmp,
+    /// Fan-out existed but the entropy pair sat below this node's
+    /// readable label depth: fell back to the canonical member.
+    RldViolation,
+}
 
 /// The packet-processing tables derived from a [`NodeConfig`].
 #[derive(Debug, Clone, Default)]
@@ -23,12 +38,21 @@ pub struct RouterTables {
     next_hops: HashMap<Option<u32>, Hop>,
     /// Unlabeled routes, most specific first.
     ip_routes: Vec<(Prefix, Hop)>,
+    /// Segment-routing ingress policies, most specific prefix first.
+    sr_policies: Vec<SrPolicyEntry>,
+    /// Equal-cost fan-out per outgoing top label (SR control plane).
+    ecmp: HashMap<u32, Vec<NodeId>>,
+    /// Readable label depth for the entropy scan.
+    rld: usize,
 }
 
 impl RouterTables {
     /// Builds the tables from a control-plane node configuration.
     pub fn from_config(cfg: &NodeConfig) -> Self {
-        let mut t = Self::default();
+        let mut t = Self {
+            rld: cfg.rld.map(usize::from).unwrap_or(usize::MAX),
+            ..Self::default()
+        };
         for fec in &cfg.fecs {
             t.ftn.insert(
                 fec.prefix,
@@ -43,6 +67,12 @@ impl RouterTables {
             t.ip_routes.push((r.prefix, r.next));
         }
         t.ip_routes.sort_by_key(|r| std::cmp::Reverse(r.0.len));
+        t.sr_policies = cfg.sr_policies.clone();
+        t.sr_policies
+            .sort_by_key(|p| std::cmp::Reverse(p.prefix.len));
+        for e in &cfg.ecmp {
+            t.ecmp.insert(e.label.value(), e.nexts.clone());
+        }
         t
     }
 
@@ -86,6 +116,45 @@ impl RouterTables {
         }
         Err(DiscardCause::NoNextHop)
     }
+
+    /// Longest-prefix segment-routing ingress policy for a destination.
+    pub fn sr_classify(&self, dst: u32) -> Option<&SrPolicyEntry> {
+        self.sr_policies.iter().find(|p| p.prefix.contains(dst))
+    }
+
+    /// This node's readable label depth (entropy scan window).
+    pub fn rld(&self) -> usize {
+        self.rld
+    }
+
+    /// Egress resolution with equal-cost fan-out: when the new top label
+    /// has an ECMP entry with more than one member, the member is picked
+    /// by hashing the entropy label — if one is readable within this
+    /// node's RLD. Otherwise falls back to [`Self::resolve_egress`].
+    ///
+    /// `entries` is the post-update stack, top first.
+    pub fn resolve_egress_on(
+        &self,
+        top: Option<Label>,
+        dst: u32,
+        entries: &[LabelStackEntry],
+    ) -> (Result<Hop, DiscardCause>, SrPick) {
+        if let Some(l) = top {
+            if let Some(nexts) = self.ecmp.get(&l.value()) {
+                if nexts.len() > 1 {
+                    return match sr::find_entropy(entries, self.rld) {
+                        EntropyScan::Found(el) => {
+                            let next = nexts[sr::ecmp_index(el.value(), nexts.len())];
+                            (Ok(Hop::Node(next)), SrPick::Ecmp)
+                        }
+                        EntropyScan::BeyondRld => (Ok(Hop::Node(nexts[0])), SrPick::RldViolation),
+                        EntropyScan::Absent => (Ok(Hop::Node(nexts[0])), SrPick::Single),
+                    };
+                }
+            }
+        }
+        (self.resolve_egress(top, dst), SrPick::Single)
+    }
 }
 
 #[cfg(test)]
@@ -123,6 +192,7 @@ mod tests {
                 prefix: Prefix::new(0xc0a80100, 24),
                 next: Hop::Local,
             }],
+            ..Default::default()
         }
     }
 

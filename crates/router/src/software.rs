@@ -9,11 +9,12 @@
 //! benchmarks also measure real host time separately.
 
 use crate::forwarding::{Action, DiscardCause, Forwarding, MplsForwarder, RouterStats};
-use crate::pipeline::RouterTables;
-use mpls_control::{Hop, NodeConfig, NodeId, RouterRole};
+use crate::pipeline::{RouterTables, SrPick};
+use mpls_control::{Hop, NodeConfig, NodeId, RouterRole, SrPolicyEntry};
 use mpls_dataplane::fib::FibLevel;
 use mpls_dataplane::{Discard, LookupStrategy, ProcessResult, SoftwareForwarder, SwRouterType};
-use mpls_packet::{label::LabelStackEntry, CosBits, MplsPacket};
+use mpls_packet::sr::{self, MnaNas};
+use mpls_packet::{label::LabelStackEntry, CosBits, LabelStack, MplsPacket};
 use serde::{Deserialize, Serialize};
 
 /// The software data plane's latency model.
@@ -132,6 +133,57 @@ impl<S: LookupStrategy> SoftwareRouter<S> {
         }
         Forwarding { action, latency_ns }
     }
+
+    fn note_pick(&mut self, pick: SrPick) {
+        match pick {
+            SrPick::Ecmp => self.stats.ecmp_decisions += 1,
+            SrPick::RldViolation => self.stats.rld_violations += 1,
+            SrPick::Single => {}
+        }
+    }
+
+    /// Segment-routing ingress: assembles the full source-route stack in
+    /// one pass — transport SIDs on top, then the optional MNA sub-stack,
+    /// then the optional entropy pair at the bottom — and resolves the
+    /// first hop (possibly over an ECMP fan-out).
+    fn sr_ingress(&mut self, mut packet: MplsPacket, policy: &SrPolicyEntry) -> Forwarding {
+        if packet.ip.ttl == 0 {
+            return self.finish(1, Action::Discard(DiscardCause::TtlExpired));
+        }
+        let (cos, ttl) = (policy.cos, packet.ip.ttl);
+        let mut entries: Vec<LabelStackEntry> = policy
+            .sids
+            .iter()
+            .map(|&sid| LabelStackEntry::new(sid, cos, false, ttl))
+            .collect();
+        if policy.mna {
+            // The one in-stack action carried here attests the transport
+            // segment count; the ancillary LSE carries that count as data.
+            let nas = MnaNas::new(1, policy.sids.len() as u32).expect("opcode 1 is in range");
+            entries.extend(nas.entries(cos, ttl));
+        }
+        if policy.entropy {
+            let el = sr::entropy_label(packet.ip.src, packet.ip.dst);
+            entries.extend(sr::entropy_entries(el, cos, ttl));
+        }
+        let depth = entries.len() as u64;
+        let Ok(stack) = LabelStack::from_entries(&entries) else {
+            return self.finish(1, Action::Discard(DiscardCause::InconsistentOperation));
+        };
+        packet.splice_stack(stack);
+        self.stats.peak_stack_depth = self.stats.peak_stack_depth.max(depth);
+        let dst = packet.ip.dst;
+        let top = packet.stack.top().map(|e| e.label);
+        let (res, pick) = self
+            .tables
+            .resolve_egress_on(top, dst, packet.stack.entries());
+        self.note_pick(pick);
+        match res {
+            Ok(Hop::Node(next)) => self.finish(depth + 1, Action::Forward { next, packet }),
+            Ok(Hop::Local) => self.finish(depth + 1, Action::Deliver(packet)),
+            Err(cause) => self.finish(depth + 1, Action::Discard(cause)),
+        }
+    }
 }
 
 impl<S: LookupStrategy> MplsForwarder for SoftwareRouter<S> {
@@ -145,6 +197,10 @@ impl<S: LookupStrategy> MplsForwarder for SoftwareRouter<S> {
 
     fn handle_on_port(&mut self, mut packet: MplsPacket, port: u64) -> Forwarding {
         self.stats.packets_in += 1;
+        self.stats.peak_stack_depth = self
+            .stats
+            .peak_stack_depth
+            .max(packet.stack.entries().len() as u64);
         let dst = packet.ip.dst;
 
         if packet.stack.is_empty() {
@@ -152,6 +208,12 @@ impl<S: LookupStrategy> MplsForwarder for SoftwareRouter<S> {
                 Some(Hop::Local) => return self.finish(1, Action::Deliver(packet)),
                 Some(Hop::Node(next)) => return self.finish(1, Action::Forward { next, packet }),
                 None => {}
+            }
+            // Segment-routing ingress builds the whole source route in one
+            // go, bypassing the single-op label forwarder.
+            if let Some(policy) = self.tables.sr_classify(dst) {
+                let policy = policy.clone();
+                return self.sr_ingress(packet, &policy);
             }
             // Software ingress classifies by longest-prefix match
             // directly — no exact-match flow cache needed.
@@ -191,7 +253,25 @@ impl<S: LookupStrategy> MplsForwarder for SoftwareRouter<S> {
             ProcessResult::Updated { .. } => {
                 packet.splice_stack(stack);
                 let top = packet.stack.top().map(|e| e.label);
-                match self.tables.resolve_egress(top, dst) {
+                // Metadata exposed at the top means the last transport
+                // segment ended here: strip the sub-stack (ELI/EL and the
+                // MNA LSEs are meaningless past the final endpoint) and
+                // route the bare packet by IP.
+                if top.is_some_and(sr::is_metadata_indicator) {
+                    packet.splice_stack(LabelStack::new());
+                    return match self.tables.resolve_egress(None, dst) {
+                        Ok(Hop::Node(next)) => {
+                            self.finish(probes + 1, Action::Forward { next, packet })
+                        }
+                        Ok(Hop::Local) => self.finish(probes + 1, Action::Deliver(packet)),
+                        Err(cause) => self.finish(probes + 1, Action::Discard(cause)),
+                    };
+                }
+                let (res, pick) = self
+                    .tables
+                    .resolve_egress_on(top, dst, packet.stack.entries());
+                self.note_pick(pick);
+                match res {
                     Ok(Hop::Node(next)) => {
                         self.finish(probes + 1, Action::Forward { next, packet })
                     }
