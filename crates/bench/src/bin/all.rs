@@ -1,8 +1,9 @@
 //! `mpls-bench` — the whole standard benchmark suite in one command.
 //!
 //! Runs every trajectory experiment (EXT-10 shard scaling, EXT-11 LDP
-//! convergence, EXT-12 fast-path throughput, EXT-15 streaming scale) at
-//! the standard quick configs, prints each table, and — with
+//! convergence, EXT-12 fast-path throughput, EXT-15 streaming scale,
+//! EXT-16 SR vs LDP, EXT-17 open- vs closed-loop traffic) at the
+//! standard quick configs, prints each table, and — with
 //! `--json <path>` — writes one combined `BENCH_<n>.json` trajectory
 //! point including the process's peak resident set size:
 //!
@@ -41,6 +42,7 @@ fn main() {
         suite::ext12_throughput(quick),
         suite::ext15_scale(quick),
         suite::ext16_sr_vs_ldp(quick),
+        suite::ext17_closed_loop(quick),
     ];
     for s in &sections {
         println!("--- {} ---\n", s.bench);

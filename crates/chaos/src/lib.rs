@@ -31,8 +31,9 @@
 //! nodes while the violation persists, yielding a minimal repro.
 
 use mpls_cli::scenario::{
-    AttachDecl, ControlChoice, FaultEventDecl, FaultsDecl, FlowDecl, LdpDecl, LinkDecl, LspDecl,
-    NodeDecl, PatternDecl, PduChaosDecl, PoliceDecl, RouterDecl, Scenario, SrDecl,
+    AttachDecl, ClosedLoopDecl, ControlChoice, FaultEventDecl, FaultsDecl, FlowDecl, LdpDecl,
+    LinkDecl, LspDecl, NodeDecl, PatternDecl, PduChaosDecl, PoliceDecl, RouterDecl, Scenario,
+    SrDecl, SubscriberDecl,
 };
 use mpls_control::{Hop, NodeConfig, NodeId, RouterRole, Topology};
 use mpls_dataplane::LabelOp;
@@ -342,15 +343,35 @@ pub fn generate(corpus_seed: u64, idx: u64) -> ChaosCase {
             (ler_b, format!("10.1.0.{}", rng.range(1, 250)))
         };
         let interval_us = rng.range(40, 400);
-        let pattern = match rng.range(0, 2) {
+        let pattern = match rng.range(0, 3) {
             0 => PatternDecl::Cbr { interval_us },
             1 => PatternDecl::Poisson {
                 mean_interval_us: interval_us,
             },
-            _ => PatternDecl::OnOff {
+            2 => PatternDecl::OnOff {
                 on_us: rng.range(300, 2000),
                 off_us: rng.range(300, 2000),
                 interval_us,
+            },
+            // Closed-loop sources self-clock off reverse-path acks, so
+            // every generated fault window also stresses the AIMD
+            // recovery path and the conservation oracle sees
+            // retransmissions.
+            _ => PatternDecl::ClosedLoop {
+                mean_arrival_us: rng.range(300, 1500),
+                size_min_pkts: 2,
+                size_max_pkts: rng.range(8, 96),
+                size_alpha_milli: rng.range(1050, 1900) as u32,
+                max_cwnd: rng.range(4, 32),
+                rto_us: rng.range(2_000, 12_000),
+                ecn_threshold: rng.range(0, 12) as u32,
+                pacing_us: rng.range(1, 5),
+                sla_fct_ms: if rng.chance(30) { rng.range(5, 40) } else { 0 },
+                diurnal_period_ms: if rng.chance(25) { rng.range(10, 40) } else { 0 },
+                diurnal_trough_pct: rng.range(30, 100) as u8,
+                flash_start_ms: rng.range(0, 15),
+                flash_duration_ms: if rng.chance(25) { rng.range(3, 10) } else { 0 },
+                flash_multiplier_pct: rng.range(100, 400) as u32,
             },
         };
         flows.push(FlowDecl {
@@ -493,6 +514,39 @@ pub fn generate(corpus_seed: u64, idx: u64) -> ChaosCase {
         },
     };
 
+    // A fifth of the corpus adds a subscriber population behind the
+    // forward ingress: three residential SLA classes expand into
+    // closed-loop flows with a diurnal curve and (sometimes) a flash
+    // crowd, so population-scale ack-clocked load rides through the
+    // same fault windows and oracle battery.
+    let subscribers = if rng.chance(20) {
+        vec![SubscriberDecl {
+            name: "pop".into(),
+            ingress: ler_a,
+            src: "10.0.2.1".into(),
+            dst: format!("192.168.1.{}", rng.range(1, 250)),
+            subscribers: rng.range(200, 3000),
+            mean_think_ms: rng.range(200, 1200),
+            base: ClosedLoopDecl {
+                size_max_pkts: rng.range(8, 64),
+                max_cwnd: rng.range(4, 24),
+                rto_us: rng.range(2_000, 12_000),
+                ecn_threshold: rng.range(0, 12) as u32,
+                diurnal_period_ms: if rng.chance(50) { rng.range(10, 40) } else { 0 },
+                diurnal_trough_pct: rng.range(30, 100) as u8,
+                flash_start_ms: rng.range(0, 15),
+                flash_duration_ms: if rng.chance(50) { rng.range(3, 10) } else { 0 },
+                flash_multiplier_pct: rng.range(100, 400) as u32,
+                ..ClosedLoopDecl::default()
+            },
+            classes: Vec::new(),
+            start_ms: rng.range(0, 8),
+            stop_ms: rng.range(25, 45),
+        }]
+    } else {
+        Vec::new()
+    };
+
     let last_fault_ms = faults
         .events
         .iter()
@@ -507,7 +561,12 @@ pub fn generate(corpus_seed: u64, idx: u64) -> ChaosCase {
         .chain(faults.pdu_chaos.iter().map(|c| c.until_ms))
         .max()
         .unwrap_or(0);
-    let last_stop_ms = flows.iter().map(|f| f.stop_ms).max().unwrap_or(0);
+    let last_stop_ms = flows
+        .iter()
+        .map(|f| f.stop_ms)
+        .chain(subscribers.iter().map(|s| s.stop_ms))
+        .max()
+        .unwrap_or(0);
 
     let scenario = Scenario {
         nodes,
@@ -515,6 +574,7 @@ pub fn generate(corpus_seed: u64, idx: u64) -> ChaosCase {
         attached,
         lsps,
         flows,
+        subscribers,
         router,
         queue: Default::default(),
         faults: have_faults.then_some(faults),
@@ -997,6 +1057,15 @@ pub fn minimize(sc: &Scenario) -> (Scenario, Violation) {
                 progressed = true;
             }
         }
+        for i in (0..best.subscribers.len()).rev() {
+            let mut cand = best.clone();
+            cand.subscribers.remove(i);
+            if let Some(v) = violates(&cand) {
+                best = cand;
+                witness = v;
+                progressed = true;
+            }
+        }
         for i in (0..best.lsps.len()).rev() {
             let mut cand = best.clone();
             cand.lsps.remove(i);
@@ -1023,6 +1092,7 @@ pub fn minimize(sc: &Scenario) -> (Scenario, Violation) {
                         .unwrap_or(true)
             });
             cand.flows.retain(|f| f.ingress != id);
+            cand.subscribers.retain(|s| s.ingress != id);
             if let Some(f) = &mut cand.faults {
                 f.events.retain(|e| match *e {
                     FaultEventDecl::LinkDown { a, b, .. }

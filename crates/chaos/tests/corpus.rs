@@ -26,8 +26,20 @@ fn generation_is_deterministic() {
 fn corpus_covers_the_fault_space() {
     let (mut ldp, mut central, mut events, mut chaos, mut loss) = (0, 0, 0, 0, 0);
     let (mut merge, mut stretched) = (0, 0);
+    let (mut closed_loop, mut subs) = (0, 0);
     for idx in 0..40 {
         let sc = generate(SEED, idx).scenario;
+        closed_loop += sc
+            .flows
+            .iter()
+            .filter(|f| {
+                matches!(
+                    f.pattern,
+                    mpls_cli::scenario::PatternDecl::ClosedLoop { .. }
+                )
+            })
+            .count();
+        subs += sc.subscribers.len();
         if sc.uses_ldp(None).unwrap() {
             ldp += 1;
         } else {
@@ -58,6 +70,8 @@ fn corpus_covers_the_fault_space() {
         stretched >= 4,
         "too few heterogeneous-delay cases: {stretched}"
     );
+    assert!(closed_loop >= 5, "too few closed-loop flows: {closed_loop}");
+    assert!(subs >= 2, "too few subscriber populations: {subs}");
 }
 
 /// A slice of the corpus with every oracle green — the same invariant

@@ -65,6 +65,41 @@ pub fn format_report(report: &SimReport) -> String {
             s.throughput_bps() / 1e6,
         ));
     }
+    // Closed-loop flows carry a second life beyond the packet counters:
+    // transfers, completion times, and the congestion-window reaction.
+    if report.flows.iter().any(|(_, s)| s.transfers_started > 0) {
+        out.push('\n');
+        out.push_str(&format!(
+            "{:<12} {:>12} {:>12} {:>12} {:>6} {:>6} {:>6} {:>10} {:>9}\n",
+            "closed-loop",
+            "xfers",
+            "fct p50",
+            "fct p99",
+            "retx",
+            "ecn",
+            "cuts",
+            "peak cwnd",
+            "sla viol"
+        ));
+        for (spec, s) in &report.flows {
+            if s.transfers_started == 0 {
+                continue;
+            }
+            let (p50, _, p99) = s.fct_hist.percentiles();
+            out.push_str(&format!(
+                "{:<12} {:>12} {:>9.2} ms {:>9.2} ms {:>6} {:>6} {:>6} {:>10} {:>9}\n",
+                spec.name,
+                format!("{}/{}", s.transfers_completed, s.transfers_started),
+                p50 / 1e6,
+                p99 / 1e6,
+                s.retransmits,
+                s.ecn_marks,
+                s.cwnd_cuts,
+                s.cwnd_peak,
+                s.sla_violations,
+            ));
+        }
+    }
     out.push('\n');
     out.push_str("links (utilization > 1%):\n");
     for l in &report.links {
@@ -158,6 +193,31 @@ mod tests {
         assert!(text.starts_with("engine: "));
         assert!(text.contains("rounds"));
         assert!(!text.contains("ldp:"), "no ldp block on centralized runs");
+    }
+
+    #[test]
+    fn report_shows_closed_loop_counters() {
+        let plain = format_report(
+            &Scenario::from_json(include_str!("../scenarios/example.json"))
+                .unwrap()
+                .run()
+                .unwrap(),
+        );
+        assert!(
+            !plain.contains("closed-loop"),
+            "no closed-loop block for open-loop scenarios"
+        );
+        let sc = Scenario::from_json(include_str!("../scenarios/closed_loop.json")).unwrap();
+        let text = format_report(&sc.run().unwrap());
+        assert!(text.contains("closed-loop"), "missing block:\n{text}");
+        assert!(text.contains("fct p99"));
+        assert!(text.contains("metro/gold"));
+        assert!(
+            !text
+                .lines()
+                .any(|l| l.starts_with("background") && l.contains("ms")),
+            "open-loop flows stay out of the closed-loop table"
+        );
     }
 
     #[test]

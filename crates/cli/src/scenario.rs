@@ -9,7 +9,8 @@ use mpls_control::{ControlPlane, LinkId, LinkSpec, LspRequest, RouterRole, Topol
 use mpls_core::ClockSpec;
 use mpls_dataplane::ftn::Prefix;
 use mpls_net::policer::PolicerSpec;
-use mpls_net::traffic::{FlowSpec, TrafficPattern};
+use mpls_net::subscriber::{SlaClass, SubscriberModel};
+use mpls_net::traffic::{ClosedLoopSpec, FlowSpec, TrafficPattern};
 use mpls_net::{
     FaultPlan, LdpConfig, QueueDiscipline, RecoveryMode, RestorationPolicy, RouterKind, Simulation,
     TelemetryConfig,
@@ -96,6 +97,12 @@ pub struct Scenario {
     /// Traffic flows.
     #[serde(default)]
     pub flows: Vec<FlowDecl>,
+    /// Subscriber populations, each expanded into one closed-loop flow
+    /// per SLA class (diurnal load, flash crowds, per-class CoS and
+    /// FCT SLAs). Expanded flows follow the explicit `flows` in id
+    /// order and are named `"<population>/<class>"`.
+    #[serde(default)]
+    pub subscribers: Vec<SubscriberDecl>,
     /// Router implementation.
     #[serde(default)]
     pub router: RouterDecl,
@@ -695,6 +702,232 @@ pub enum PatternDecl {
         /// In-burst gap (µs).
         interval_us: u64,
     },
+    /// Closed-loop congestion-controlled transfers (AIMD window,
+    /// ECN-style marks, ack-clocked by reverse-path delivery). Fields
+    /// mirror [`ClosedLoopDecl`]; serde's internally-tagged enums
+    /// can't wrap a struct, so they are spelled out here.
+    ClosedLoop {
+        /// Mean transfer-arrival gap (µs) at the diurnal peak.
+        #[serde(default = "default_cl_arrival_us")]
+        mean_arrival_us: u64,
+        /// Smallest transfer size in packets.
+        #[serde(default = "default_cl_size_min")]
+        size_min_pkts: u64,
+        /// Largest transfer size in packets.
+        #[serde(default = "default_cl_size_max")]
+        size_max_pkts: u64,
+        /// Pareto shape α in milli-units.
+        #[serde(default = "default_cl_alpha_milli")]
+        size_alpha_milli: u32,
+        /// Congestion-window ceiling in packets.
+        #[serde(default = "default_cl_max_cwnd")]
+        max_cwnd: u64,
+        /// Retransmission timeout (µs).
+        #[serde(default = "default_cl_rto_us")]
+        rto_us: u64,
+        /// ECN-mark queue-depth threshold (0 disables).
+        #[serde(default = "default_cl_ecn_threshold")]
+        ecn_threshold: u32,
+        /// Minimum emission gap (µs).
+        #[serde(default = "default_cl_pacing_us")]
+        pacing_us: u64,
+        /// Flow-completion-time SLA (ms, 0 disables).
+        #[serde(default)]
+        sla_fct_ms: u64,
+        /// Diurnal period (ms, 0 disables).
+        #[serde(default)]
+        diurnal_period_ms: u64,
+        /// Trough rate, percent of peak.
+        #[serde(default = "default_hundred_u8")]
+        diurnal_trough_pct: u8,
+        /// Flash-crowd start (ms).
+        #[serde(default)]
+        flash_start_ms: u64,
+        /// Flash-crowd length (ms, 0 disables).
+        #[serde(default)]
+        flash_duration_ms: u64,
+        /// Flash rate multiplier, percent.
+        #[serde(default = "default_hundred_u32")]
+        flash_multiplier_pct: u32,
+    },
+}
+
+/// Knobs for a closed-loop pattern; every field except the arrival
+/// rate defaults to the library's [`ClosedLoopSpec`] defaults.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ClosedLoopDecl {
+    /// Mean transfer-arrival gap (µs) at the diurnal peak.
+    #[serde(default = "default_cl_arrival_us")]
+    pub mean_arrival_us: u64,
+    /// Smallest transfer size in packets.
+    #[serde(default = "default_cl_size_min")]
+    pub size_min_pkts: u64,
+    /// Largest transfer size in packets (bounded-Pareto upper cut).
+    #[serde(default = "default_cl_size_max")]
+    pub size_max_pkts: u64,
+    /// Pareto shape α in milli-units (1200 = α 1.2, heavy-tailed).
+    #[serde(default = "default_cl_alpha_milli")]
+    pub size_alpha_milli: u32,
+    /// Congestion-window ceiling in packets.
+    #[serde(default = "default_cl_max_cwnd")]
+    pub max_cwnd: u64,
+    /// Retransmission timeout (µs).
+    #[serde(default = "default_cl_rto_us")]
+    pub rto_us: u64,
+    /// Queue depth at which packets are ECN-marked (0 disables).
+    #[serde(default = "default_cl_ecn_threshold")]
+    pub ecn_threshold: u32,
+    /// Minimum gap between a flow's back-to-back emissions (µs).
+    #[serde(default = "default_cl_pacing_us")]
+    pub pacing_us: u64,
+    /// Flow-completion-time SLA (ms, 0 disables).
+    #[serde(default)]
+    pub sla_fct_ms: u64,
+    /// Diurnal rate-curve period (ms, 0 disables).
+    #[serde(default)]
+    pub diurnal_period_ms: u64,
+    /// Arrival rate at the diurnal trough, percent of peak.
+    #[serde(default = "default_hundred_u8")]
+    pub diurnal_trough_pct: u8,
+    /// Flash-crowd window start (ms).
+    #[serde(default)]
+    pub flash_start_ms: u64,
+    /// Flash-crowd window length (ms, 0 disables).
+    #[serde(default)]
+    pub flash_duration_ms: u64,
+    /// Arrival-rate multiplier inside the flash window, percent.
+    #[serde(default = "default_hundred_u32")]
+    pub flash_multiplier_pct: u32,
+}
+
+fn default_cl_arrival_us() -> u64 {
+    2_000
+}
+fn default_cl_size_min() -> u64 {
+    4
+}
+fn default_cl_size_max() -> u64 {
+    256
+}
+fn default_cl_alpha_milli() -> u32 {
+    1_200
+}
+fn default_cl_max_cwnd() -> u64 {
+    32
+}
+fn default_cl_rto_us() -> u64 {
+    20_000
+}
+fn default_cl_ecn_threshold() -> u32 {
+    16
+}
+fn default_cl_pacing_us() -> u64 {
+    2
+}
+fn default_hundred_u8() -> u8 {
+    100
+}
+fn default_hundred_u32() -> u32 {
+    100
+}
+
+impl Default for ClosedLoopDecl {
+    fn default() -> Self {
+        Self {
+            mean_arrival_us: default_cl_arrival_us(),
+            size_min_pkts: default_cl_size_min(),
+            size_max_pkts: default_cl_size_max(),
+            size_alpha_milli: default_cl_alpha_milli(),
+            max_cwnd: default_cl_max_cwnd(),
+            rto_us: default_cl_rto_us(),
+            ecn_threshold: default_cl_ecn_threshold(),
+            pacing_us: default_cl_pacing_us(),
+            sla_fct_ms: 0,
+            diurnal_period_ms: 0,
+            diurnal_trough_pct: 100,
+            flash_start_ms: 0,
+            flash_duration_ms: 0,
+            flash_multiplier_pct: 100,
+        }
+    }
+}
+
+impl ClosedLoopDecl {
+    fn to_spec(self) -> ClosedLoopSpec {
+        ClosedLoopSpec {
+            mean_arrival_ns: self.mean_arrival_us * 1_000,
+            size_min_pkts: self.size_min_pkts,
+            size_max_pkts: self.size_max_pkts,
+            size_alpha_milli: self.size_alpha_milli,
+            max_cwnd: self.max_cwnd,
+            rto_ns: self.rto_us * 1_000,
+            ecn_threshold: self.ecn_threshold,
+            pacing_ns: self.pacing_us * 1_000,
+            sla_fct_ns: self.sla_fct_ms * 1_000_000,
+            diurnal_period_ns: self.diurnal_period_ms * 1_000_000,
+            diurnal_trough_pct: self.diurnal_trough_pct,
+            flash_start_ns: self.flash_start_ms * 1_000_000,
+            flash_duration_ns: self.flash_duration_ms * 1_000_000,
+            flash_multiplier_pct: self.flash_multiplier_pct,
+        }
+    }
+}
+
+/// One subscriber population: a count of subscribers behind an ingress
+/// LER, split into SLA classes, each class expanded into one aggregate
+/// closed-loop flow.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SubscriberDecl {
+    /// Population name; expanded flows are `"<name>/<class>"`.
+    pub name: String,
+    /// Ingress LER.
+    pub ingress: u32,
+    /// Source address for the population's traffic.
+    pub src: String,
+    /// Destination address.
+    pub dst: String,
+    /// Population size.
+    pub subscribers: u64,
+    /// Mean per-subscriber think time between transfers (ms) at the
+    /// diurnal peak.
+    #[serde(default = "default_think_ms")]
+    pub mean_think_ms: u64,
+    /// Shared closed-loop knobs (transfer sizes, congestion control,
+    /// diurnal curve, flash crowd). `mean_arrival_us` and `sla_fct_ms`
+    /// here are ignored: the arrival rate comes from the population
+    /// and the SLA from each class.
+    #[serde(default)]
+    pub base: ClosedLoopDecl,
+    /// Service tiers; empty means the built-in three-tier
+    /// residential mix (gold/silver/bronze).
+    #[serde(default)]
+    pub classes: Vec<ClassDecl>,
+    /// Start time, ms (default 0).
+    #[serde(default)]
+    pub start_ms: u64,
+    /// Stop time, ms.
+    pub stop_ms: u64,
+}
+
+fn default_think_ms() -> u64 {
+    1_000
+}
+
+/// One SLA class of a subscriber population.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassDecl {
+    /// Class name.
+    pub name: String,
+    /// IP precedence 0–7 (default 0) — the CoS hook.
+    #[serde(default)]
+    pub precedence: u8,
+    /// Share of the population in this class, percent.
+    pub weight_pct: u32,
+    /// Flow-completion-time SLA (ms, 0 disables).
+    #[serde(default)]
+    pub sla_fct_ms: u64,
+    /// Payload bytes per packet for this class.
+    pub payload_bytes: usize,
 }
 
 /// Edge policer declaration.
@@ -1002,10 +1235,42 @@ impl Scenario {
         }
     }
 
-    /// Converts the flow declarations; generated flows from a
-    /// `topology` section are appended after the explicit ones.
+    /// Converts the flow declarations; subscriber-population flows
+    /// follow the explicit ones, then generated flows from a
+    /// `topology` section. The order fixes flow ids, and with them
+    /// RNG streams and canonical event keys.
     pub fn flow_specs(&self) -> Result<Vec<FlowSpec>, ScenarioError> {
         let mut flows = self.explicit_flow_specs()?;
+        for s in &self.subscribers {
+            let classes = if s.classes.is_empty() {
+                SlaClass::residential_mix()
+            } else {
+                s.classes
+                    .iter()
+                    .map(|c| SlaClass {
+                        name: c.name.clone(),
+                        precedence: c.precedence & 0x7,
+                        weight_pct: c.weight_pct,
+                        sla_fct_ns: c.sla_fct_ms * 1_000_000,
+                        payload_bytes: c.payload_bytes,
+                    })
+                    .collect()
+            };
+            let model = SubscriberModel {
+                name: s.name.clone(),
+                subscribers: s.subscribers,
+                mean_think_ns: s.mean_think_ms * 1_000_000,
+                base: s.base.to_spec(),
+                classes,
+            };
+            flows.extend(model.flows(
+                s.ingress,
+                parse_ip(&s.src)?,
+                parse_ip(&s.dst)?,
+                s.start_ms * 1_000_000,
+                s.stop_ms * 1_000_000,
+            ));
+        }
         if let Some(t) = &self.topology {
             flows.extend(t.to_spec(self.seed)?.flow_specs());
         }
@@ -1039,6 +1304,40 @@ impl Scenario {
                             off_ns: off_us * 1_000,
                             interval_ns: interval_us * 1_000,
                         },
+                        PatternDecl::ClosedLoop {
+                            mean_arrival_us,
+                            size_min_pkts,
+                            size_max_pkts,
+                            size_alpha_milli,
+                            max_cwnd,
+                            rto_us,
+                            ecn_threshold,
+                            pacing_us,
+                            sla_fct_ms,
+                            diurnal_period_ms,
+                            diurnal_trough_pct,
+                            flash_start_ms,
+                            flash_duration_ms,
+                            flash_multiplier_pct,
+                        } => TrafficPattern::ClosedLoop(
+                            ClosedLoopDecl {
+                                mean_arrival_us,
+                                size_min_pkts,
+                                size_max_pkts,
+                                size_alpha_milli,
+                                max_cwnd,
+                                rto_us,
+                                ecn_threshold,
+                                pacing_us,
+                                sla_fct_ms,
+                                diurnal_period_ms,
+                                diurnal_trough_pct,
+                                flash_start_ms,
+                                flash_duration_ms,
+                                flash_multiplier_pct,
+                            }
+                            .to_spec(),
+                        ),
                     },
                     start_ns: f.start_ms * 1_000_000,
                     stop_ns: f.stop_ms * 1_000_000,
@@ -1491,6 +1790,97 @@ mod tests {
         }
         let ecmp: u64 = report.routers.values().map(|r| r.ecmp_decisions).sum();
         assert!(ecmp > 0, "loose-hop diamond must exercise ECMP");
+        let baseline = serde_json::to_string(&report).unwrap();
+        for shards in [2, 4] {
+            for engine in ["barrier", "merge"] {
+                let run = sc
+                    .run_with_overrides(false, Some(shards), None, Some(engine))
+                    .unwrap();
+                assert_eq!(
+                    baseline,
+                    serde_json::to_string(&run).unwrap(),
+                    "{shards} shards / {engine} diverged"
+                );
+            }
+        }
+    }
+
+    const CLOSED_LOOP: &str = include_str!("../scenarios/closed_loop.json");
+
+    #[test]
+    fn closed_loop_pattern_defaults_fill_in() {
+        let d: ClosedLoopDecl = serde_json::from_str(r#"{"kind": "closed_loop"}"#).unwrap();
+        let spec = d.to_spec();
+        assert_eq!(spec, ClosedLoopSpec::default());
+        // Partial overrides keep the rest at library defaults.
+        let d: ClosedLoopDecl =
+            serde_json::from_str(r#"{"kind": "closed_loop", "max_cwnd": 8, "sla_fct_ms": 5}"#)
+                .unwrap();
+        let spec = d.to_spec();
+        assert_eq!(spec.max_cwnd, 8);
+        assert_eq!(spec.sla_fct_ns, 5_000_000);
+        assert_eq!(spec.rto_ns, ClosedLoopSpec::default().rto_ns);
+    }
+
+    #[test]
+    fn subscribers_expand_to_per_class_flows() {
+        let sc = Scenario::from_json(CLOSED_LOOP).expect("closed-loop scenario parses");
+        let flows = sc.flow_specs().expect("flows convert");
+        // 2 explicit + 3 residential-mix classes.
+        assert_eq!(flows.len(), 5);
+        let names: Vec<&str> = flows.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "web",
+                "background",
+                "metro/gold",
+                "metro/silver",
+                "metro/bronze"
+            ]
+        );
+        let TrafficPattern::ClosedLoop(gold) = flows[2].pattern else {
+            panic!("subscriber flows are closed-loop");
+        };
+        assert_eq!(flows[2].precedence, 5);
+        assert_eq!(gold.sla_fct_ns, 20_000_000);
+        assert_eq!(gold.flash_multiplier_pct, 300);
+        // 2000 subs, 10% gold share, 400ms think => 2ms aggregate gap.
+        assert_eq!(gold.mean_arrival_ns, 2_000_000);
+    }
+
+    #[test]
+    fn closed_loop_scenario_runs_and_is_shard_invariant() {
+        let sc = Scenario::from_json(CLOSED_LOOP).expect("closed-loop scenario parses");
+        let report = sc.run().expect("closed-loop scenario runs");
+        let mut started = 0;
+        let mut completed = 0;
+        for (spec, s) in &report.flows {
+            assert_eq!(
+                s.sent,
+                s.delivered
+                    + s.router_dropped
+                    + s.queue_dropped
+                    + s.policer_dropped
+                    + s.link_dropped
+                    + s.loss_dropped,
+                "flow {} leaks packets",
+                spec.name
+            );
+            if matches!(spec.pattern, TrafficPattern::ClosedLoop(_)) {
+                started += s.transfers_started;
+                completed += s.transfers_completed;
+                assert_eq!(s.fct_hist.count(), s.transfers_completed);
+            }
+        }
+        assert!(started > 0, "closed-loop sources must start transfers");
+        assert!(completed > 0, "some transfers must finish");
+        let web = report.flow("web").expect("web flow present");
+        assert!(web.cwnd_peak > 1, "window must open past slow-start");
+        assert!(
+            web.cwnd_cuts > 0 || web.retransmits > 0,
+            "the outage window must provoke a congestion response"
+        );
         let baseline = serde_json::to_string(&report).unwrap();
         for shards in [2, 4] {
             for engine in ["barrier", "merge"] {

@@ -38,15 +38,19 @@ use crate::node::Node;
 use crate::policer::TokenBucket;
 use crate::sim::{FlowTemplate, LinkUsage, SimInstruments, SimReport};
 use crate::stats::{FlowId, FlowStats};
-use crate::traffic::FlowSpec;
+use crate::traffic::{FlowSpec, TrafficPattern};
 use mpls_control::{ControlPlane, LinkId, LspRequest, NodeConfig, NodeId};
 use mpls_router::DiscardCause;
 use mpls_telemetry::TelemetrySink;
 use partition::partition;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use shard::{batch_limit, ChanState, EmitState, FlowDelta, LocalEvent, ShardState, SharedCtx};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use shard::{
+    batch_limit, ChanState, ClosedLoopState, EmitState, FlowDelta, LocalEvent, ShardState,
+    SharedCtx,
+};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
 use std::marker::PhantomData;
 use wheel::EventWheel;
 
@@ -193,6 +197,12 @@ pub(crate) struct Engine<S: TelemetrySink> {
     /// the pair). The merge scheduler's per-shard bounds come from this
     /// matrix instead of the single global `lookahead`.
     min_delay: Vec<SimTime>,
+    /// Shard owning each flow's ingress node (ack destination).
+    flow_shard: Vec<usize>,
+    /// Per closed-loop ingress: static shortest-path delay from every
+    /// node that can reach it back to the ingress (see
+    /// [`Engine::ack_distances`]). Empty when no flow is closed-loop.
+    ack_dist: HashMap<NodeId, HashMap<NodeId, SimTime>>,
     /// Scratch: per-shard wheel peek times, refreshed every iteration.
     peeks: Vec<Option<SimTime>>,
     now: SimTime,
@@ -276,6 +286,12 @@ impl<S: TelemetrySink> Engine<S> {
             }
             sh.nodes.push(node);
         }
+        let ack_dist = Self::ack_distances(&parts.flows, &parts.channels);
+        let flow_shard: Vec<usize> = parts
+            .flows
+            .iter()
+            .map(|spec| part.shard_of_node[&spec.ingress])
+            .collect();
         let mut chan_owner = Vec::with_capacity(nchans);
         let mut chan_dest_shard = Vec::with_capacity(nchans);
         let mut chan_state = Vec::with_capacity(nchans);
@@ -302,12 +318,24 @@ impl<S: TelemetrySink> Engine<S> {
         for (f, (spec, policer)) in parts.flows.iter().zip(parts.policers).enumerate() {
             let sh = &mut shards[part.shard_of_node[&spec.ingress]];
             sh.emit_of_flow.insert(f, sh.emit.len());
+            let cl = match spec.pattern {
+                TrafficPattern::ClosedLoop(ref c) => Some(ClosedLoopState::new(c)),
+                _ => None,
+            };
             sh.emit.push(EmitState {
                 rng: StdRng::seed_from_u64(stream_seed(parts.seed, 1, f as u64)),
                 policer,
+                cl,
             });
-            sh.wheel
-                .schedule(spec.start_ns, LocalEvent::SourceEmit { flow: f });
+            // Open-loop sources start emitting immediately; closed-loop
+            // sources start their transfer-arrival process instead and
+            // only emit once a transfer is in service.
+            let ev = if matches!(spec.pattern, TrafficPattern::ClosedLoop(_)) {
+                LocalEvent::XferArrive { flow: f }
+            } else {
+                LocalEvent::SourceEmit { flow: f }
+            };
+            sh.wheel.schedule(spec.start_ns, ev);
         }
         let mut ldp = parts.ldp;
         if let Some(rt) = &mut ldp {
@@ -328,6 +356,8 @@ impl<S: TelemetrySink> Engine<S> {
             lookahead: part.lookahead,
             kind: parts.engine,
             min_delay,
+            flow_shard,
+            ack_dist,
             peeks: vec![None; nsh],
             now: 0,
             cp: parts.cp,
@@ -345,6 +375,64 @@ impl<S: TelemetrySink> Engine<S> {
             epochs: 0,
             global_events: 0,
         }
+    }
+
+    /// Static reverse-path delays for closed-loop acks: for each
+    /// distinct closed-loop ingress, the shortest-path delay (by summed
+    /// `delay_ns` over the full, fault-free channel graph) from every
+    /// node that can reach it. One Dijkstra per ingress, over reversed
+    /// edges.
+    ///
+    /// Causal safety of `ack at = delivery + dist`: collapse the
+    /// shortest node path onto the shard graph — every crossed
+    /// shard-pair channel contributes at least that pair's `min_delay`
+    /// entry, intra-shard hops at least zero — so `dist` is never below
+    /// the merge scheduler's transitive bound between the delivering
+    /// shard and the ingress shard, nor (when they differ) below the
+    /// barrier engine's global lookahead. The ack therefore always
+    /// lands at or after the receiving shard's round end and rides the
+    /// ordinary outbox exchange.
+    fn ack_distances(
+        flows: &[FlowSpec],
+        channels: &[Channel],
+    ) -> HashMap<NodeId, HashMap<NodeId, SimTime>> {
+        let ingresses: HashSet<NodeId> = flows
+            .iter()
+            .filter(|s| matches!(s.pattern, TrafficPattern::ClosedLoop(_)))
+            .map(|s| s.ingress)
+            .collect();
+        let mut out = HashMap::new();
+        if ingresses.is_empty() {
+            return out;
+        }
+        // Reverse adjacency: a forward channel `from -> to` lets an ack
+        // retrace `to -> from`.
+        let mut radj: HashMap<NodeId, Vec<(NodeId, SimTime)>> = HashMap::new();
+        for c in channels {
+            radj.entry(c.to).or_default().push((c.from, c.delay_ns));
+        }
+        for &ing in &ingresses {
+            let mut dist: HashMap<NodeId, SimTime> = HashMap::new();
+            let mut heap = BinaryHeap::new();
+            dist.insert(ing, 0);
+            heap.push(Reverse((0u64, ing)));
+            while let Some(Reverse((d, n))) = heap.pop() {
+                if dist.get(&n) != Some(&d) {
+                    continue;
+                }
+                if let Some(edges) = radj.get(&n) {
+                    for &(m, w) in edges {
+                        let nd = d.saturating_add(w);
+                        if dist.get(&m).is_none_or(|&cur| nd < cur) {
+                            dist.insert(m, nd);
+                            heap.push(Reverse((nd, m)));
+                        }
+                    }
+                }
+            }
+            out.insert(ing, dist);
+        }
+        out
     }
 
     /// Runs until every queue drains or `horizon_ns` passes, then
@@ -542,6 +630,8 @@ impl<S: TelemetrySink> Engine<S> {
             chan_owner: &self.chan_owner,
             chan_dest_shard: &self.chan_dest_shard,
             fault_of_link: &self.fault_of_link,
+            flow_shard: &self.flow_shard,
+            ack_dist: &self.ack_dist,
         };
         if self.shards.len() == 1 {
             let end = self.shards[0].round_end;
@@ -554,15 +644,14 @@ impl<S: TelemetrySink> Engine<S> {
         }
         for i in 0..self.shards.len() {
             let outbox = std::mem::take(&mut self.shards[i].outbox);
-            for (t, ev) in outbox {
-                let LocalEvent::Arrive {
-                    via: Some((chan, _)),
-                    ..
-                } = &ev
-                else {
-                    unreachable!("only wire arrivals cross shards");
-                };
-                let dest = self.chan_dest_shard[*chan];
+            for (t, dest, ev) in outbox {
+                debug_assert!(
+                    matches!(
+                        ev,
+                        LocalEvent::Arrive { via: Some(_), .. } | LocalEvent::Ack { .. }
+                    ),
+                    "only wire arrivals and closed-loop acks cross shards"
+                );
                 self.shards[dest].wheel.schedule(t, ev);
             }
         }

@@ -34,13 +34,13 @@ use crate::node::Node;
 use crate::policer::TokenBucket;
 use crate::sim::{FlowTemplate, SimPacket};
 use crate::stats::{FlowId, FlowStats};
-use crate::traffic::FlowSpec;
+use crate::traffic::{ClosedLoopSpec, FlowSpec, TrafficPattern};
 use mpls_control::{LinkId, NodeId};
 use mpls_packet::MplsPacket;
 use mpls_router::{Action, DiscardCause, Forwarding};
 use mpls_telemetry::{Histogram, TelemetrySink};
 use rand::rngs::StdRng;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::marker::PhantomData;
 
 /// Canonical ordering key for same-timestamp events: `(class, a, b)`.
@@ -102,6 +102,31 @@ pub(crate) enum LocalEvent {
         /// The ticking node.
         node: NodeId,
     },
+    /// A closed-loop delivery acknowledgment reaching the flow's ingress:
+    /// scheduled at delivery time plus the static shortest-path
+    /// propagation delay back to the ingress (an uncongested, reliable
+    /// reverse path — the forward direction is the one under test). The
+    /// delay is never below the engines' cross-shard lookahead bounds,
+    /// so acks ride the normal outbox exchange safely.
+    Ack {
+        /// The acked flow.
+        flow: FlowId,
+        /// The acked emission's sequence number.
+        seq: u64,
+        /// Echoed congestion mark.
+        ecn: bool,
+    },
+    /// A closed-loop transfer-arrival candidate (thinned nonhomogeneous
+    /// Poisson process) at the flow's ingress.
+    XferArrive {
+        /// The flow whose subscriber aggregate the arrival belongs to.
+        flow: FlowId,
+    },
+    /// A closed-loop retransmission-timeout check at the flow's ingress.
+    RtoCheck {
+        /// The flow under the timer.
+        flow: FlowId,
+    },
 }
 
 impl LocalEvent {
@@ -127,6 +152,12 @@ impl LocalEvent {
             }
             LocalEvent::TransmitDone { channel, gen } => (2, channel as u64, gen),
             LocalEvent::NodeTick { node } => (3, node as u64, 0),
+            // Unique per timestamp: seqs are unique per flow, and the
+            // chain/timer flags keep at most one XferArrive / RtoCheck
+            // pending per flow.
+            LocalEvent::Ack { flow, seq, .. } => (4, flow as u64, seq),
+            LocalEvent::XferArrive { flow } => (5, flow as u64, 0),
+            LocalEvent::RtoCheck { flow } => (6, flow as u64, 0),
         }
     }
 }
@@ -159,16 +190,111 @@ pub(crate) struct SharedCtx<'a> {
     pub chan_dest_shard: &'a [usize],
     /// Most recent fault record per link.
     pub fault_of_link: &'a HashMap<LinkId, usize>,
+    /// Shard owning each flow's ingress node — the destination of its
+    /// delivery acks.
+    pub flow_shard: &'a [usize],
+    /// Per closed-loop ingress: static shortest-path propagation delay
+    /// from every reachable node back to that ingress, over the full
+    /// (fault-free) channel graph. Lower-bounds nothing and is bounded
+    /// below by every cross-shard lookahead on the reverse path, which
+    /// is what makes ack scheduling conservative-safe (see
+    /// `Engine::ack_distances`).
+    pub ack_dist: &'a HashMap<NodeId, HashMap<NodeId, SimTime>>,
 }
 
 /// A flow's traffic source: its private RNG stream and edge policer.
 /// Lives on the flow's ingress shard.
 pub(crate) struct EmitState {
     /// Inter-packet gap RNG, seeded from (run seed, flow id) only, so
-    /// the emission schedule is identical at any shard count.
+    /// the emission schedule is identical at any shard count. Closed-loop
+    /// flows draw their arrival gaps, thinning accepts and transfer
+    /// sizes from the same stream — the draw order is fixed by the
+    /// canonical event order of this flow's own events, so it too is
+    /// shard-invariant.
     pub rng: StdRng,
     /// Edge policer, if the flow is policed.
     pub policer: Option<TokenBucket>,
+    /// Congestion-control state, for closed-loop flows only.
+    pub cl: Option<ClosedLoopState>,
+}
+
+/// Sender-side state of one closed-loop flow: a serial server of
+/// transfers under an AIMD congestion window.
+///
+/// Loss recovery is a Tahoe-style timeout: every emission carries a
+/// fresh sequence number (retransmissions included), the receiver acks
+/// whatever arrives, and the sender counts *acked packets* toward the
+/// transfer rather than tracking which seq carried which chunk. A
+/// stalled window (no ack within `rto_ns`) presumes everything in
+/// flight lost, re-queues it for sending and collapses the window. A
+/// spurious timeout can therefore complete a transfer with fewer
+/// retransmitted deliveries than re-sends — the overshoot shows up
+/// honestly in `sent`/`retransmits`, and the conservation identity is
+/// untouched because every emission is tracked individually in the
+/// data plane.
+pub(crate) struct ClosedLoopState {
+    /// Congestion window, in packets.
+    pub cwnd: u64,
+    /// Slow-start threshold.
+    pub ssthresh: u64,
+    /// Acks accumulated toward the next +1 in congestion avoidance.
+    pub ca_acks: u64,
+    /// Emissions outstanding (unacked, not yet presumed lost).
+    pub inflight: u64,
+    /// Packets of the current transfer still owed an emission
+    /// (first-time sends plus presumed-lost re-sends).
+    pub unsent: u64,
+    /// Deliveries still owed before the current transfer completes.
+    pub remaining: u64,
+    /// Arrival time of the transfer in service (FCT includes queue wait).
+    pub birth_ns: SimTime,
+    /// Transfers waiting for service: (arrival time, size in packets).
+    pub pending: VecDeque<(SimTime, u64)>,
+    /// Whether a transfer is in service.
+    pub active: bool,
+    /// Whether an emission-chain `SourceEmit` is pending in the wheel.
+    pub chain_live: bool,
+    /// Whether an `RtoCheck` is pending in the wheel.
+    pub rto_live: bool,
+    /// Time of the last ack (or transfer start / timeout action) —
+    /// the RTO stall reference.
+    pub last_progress_ns: SimTime,
+    /// ECN halvings only apply to acks of packets sent after the last
+    /// halving: acks with `seq` below this barrier don't cut again.
+    pub ecn_barrier_seq: u64,
+}
+
+impl ClosedLoopState {
+    pub fn new(spec: &ClosedLoopSpec) -> Self {
+        Self {
+            cwnd: 1,
+            ssthresh: spec.max_cwnd.max(2),
+            ca_acks: 0,
+            inflight: 0,
+            unsent: 0,
+            remaining: 0,
+            birth_ns: 0,
+            pending: VecDeque::new(),
+            active: false,
+            chain_live: false,
+            rto_live: false,
+            last_progress_ns: 0,
+            ecn_barrier_seq: 0,
+        }
+    }
+
+    /// Begins serving a transfer: fresh slow start, window of 1.
+    fn start_transfer(&mut self, spec: &ClosedLoopSpec, birth: SimTime, size: u64, now: SimTime) {
+        self.active = true;
+        self.birth_ns = birth;
+        self.remaining = size;
+        self.unsent = size;
+        self.inflight = 0;
+        self.cwnd = 1;
+        self.ssthresh = spec.max_cwnd.max(2);
+        self.ca_acks = 0;
+        self.last_progress_ns = now;
+    }
 }
 
 /// Per-flow telemetry buffered shard-locally and folded into the sink
@@ -213,8 +339,10 @@ pub(crate) struct ShardState<S> {
     /// Full-width per-flow stats; only the flows this shard touched are
     /// non-zero. Folded with [`FlowStats::absorb`] at the end.
     pub stats: Vec<FlowStats>,
-    /// Cross-shard arrivals buffered until the epoch barrier.
-    pub outbox: Vec<(SimTime, LocalEvent)>,
+    /// Cross-shard events buffered until the epoch barrier, tagged with
+    /// their destination shard (wire arrivals go to the receiving
+    /// node's shard; closed-loop acks to the flow's ingress shard).
+    pub outbox: Vec<(SimTime, usize, LocalEvent)>,
     /// `fault_drops` owed to channels owned by other shards (stale-gen
     /// arrivals observed here), by global channel index.
     pub foreign_fault_drops: Vec<u64>,
@@ -235,8 +363,8 @@ pub(crate) struct ShardState<S> {
     /// buffers keep the hot loop allocation-free.
     pub batch: usize,
     pub batch_items: Vec<(SimPacket, Option<(usize, u64)>)>,
-    pub batch_live: Vec<(MplsPacket, FlowId, u64, SimTime, u64)>,
-    pub batch_outs: Vec<(Forwarding, FlowId, u64, SimTime)>,
+    pub batch_live: Vec<(MplsPacket, FlowId, u64, SimTime, bool, u64)>,
+    pub batch_outs: Vec<(Forwarding, FlowId, u64, SimTime, bool)>,
     pub _sink: PhantomData<fn() -> S>,
 }
 
@@ -275,12 +403,18 @@ impl<S: TelemetrySink> ShardState<S> {
                     self.on_transmit_done(t, channel, gen, ctx)
                 }
                 LocalEvent::NodeTick { node } => self.on_node_tick(t, node),
+                LocalEvent::Ack { flow, seq, ecn } => self.on_ack(t, flow, seq, ecn, ctx),
+                LocalEvent::XferArrive { flow } => self.on_xfer_arrive(t, flow, ctx),
+                LocalEvent::RtoCheck { flow } => self.on_rto_check(t, flow, ctx),
             }
         }
     }
 
     fn on_source_emit(&mut self, now: SimTime, flow: FlowId, ctx: &SharedCtx<'_>) {
         let spec = &ctx.flows[flow];
+        if let TrafficPattern::ClosedLoop(cl) = spec.pattern {
+            return self.on_cl_emit(now, flow, &cl, ctx);
+        }
         if now >= spec.stop_ns {
             return;
         }
@@ -318,9 +452,237 @@ impl<S: TelemetrySink> ShardState<S> {
         let gap = spec
             .pattern
             .next_gap(now - spec.start_ns, &mut self.emit[li].rng);
-        let next = now + gap;
+        let next = now.saturating_add(gap);
         if next < spec.stop_ns {
             self.wheel.schedule(next, LocalEvent::SourceEmit { flow });
+        }
+    }
+
+    /// Emits one packet of a closed-loop flow's transfer in service, then
+    /// continues the emission chain while the window has room. A chain is
+    /// a series of `SourceEmit`s spaced `pacing_ns` apart; exactly one is
+    /// pending per flow (`chain_live`), and restarts triggered by acks,
+    /// arrivals or timeouts always land at `now + pacing` — never at
+    /// `now` — so an instant's canonical order is never re-entered.
+    fn on_cl_emit(&mut self, now: SimTime, flow: FlowId, cl: &ClosedLoopSpec, ctx: &SharedCtx<'_>) {
+        let spec = &ctx.flows[flow];
+        let li = self.emit_of_flow[&flow];
+        let st = self.emit[li]
+            .cl
+            .as_mut()
+            .expect("closed-loop flow has cl state");
+        st.chain_live = false;
+        if now >= spec.stop_ns || !st.active || st.unsent == 0 || st.inflight >= st.cwnd {
+            return;
+        }
+        st.unsent -= 1;
+        st.inflight += 1;
+        let cwnd = st.cwnd;
+        self.stats[flow].cwnd_peak = self.stats[flow].cwnd_peak.max(cwnd);
+        let seq = self.stats[flow].sent;
+        self.stats[flow].on_sent();
+        if S::ENABLED {
+            self.deltas[flow].sent += 1;
+        }
+        let packet = ctx.templates[flow].emit(flow, seq, now);
+        let conforms = match &mut self.emit[li].policer {
+            Some(bucket) => bucket.conform(now, packet.wire_len()),
+            None => true,
+        };
+        if S::ENABLED && self.emit[li].policer.is_some() {
+            if conforms {
+                self.deltas[flow].conform += 1;
+            } else {
+                self.deltas[flow].exceed += 1;
+            }
+        }
+        if conforms {
+            self.wheel.schedule(
+                now,
+                LocalEvent::Arrive {
+                    node: spec.ingress,
+                    packet,
+                    via: None,
+                },
+            );
+        } else {
+            // Still counted in flight: the RTO recovers the loss just
+            // like any other unacked emission.
+            self.stats[flow].policer_dropped += 1;
+        }
+        let st = self.emit[li].cl.as_mut().expect("cl state");
+        // Lazily arm the stall timer whenever data is outstanding.
+        if !st.rto_live {
+            st.rto_live = true;
+            self.wheel.schedule(
+                now.saturating_add(cl.rto_ns.max(1)),
+                LocalEvent::RtoCheck { flow },
+            );
+        }
+        let st = self.emit[li].cl.as_mut().expect("cl state");
+        if st.unsent > 0 && st.inflight < st.cwnd {
+            let at = now.saturating_add(cl.pacing_ns.max(1));
+            if at < spec.stop_ns {
+                st.chain_live = true;
+                self.wheel.schedule(at, LocalEvent::SourceEmit { flow });
+            }
+        }
+    }
+
+    /// A transfer-arrival candidate of the flow's thinned nonhomogeneous
+    /// Poisson process. The RNG draw order per candidate is fixed — gap,
+    /// accept, then size if accepted — so the stream stays shard-
+    /// invariant.
+    fn on_xfer_arrive(&mut self, now: SimTime, flow: FlowId, ctx: &SharedCtx<'_>) {
+        let spec = &ctx.flows[flow];
+        let TrafficPattern::ClosedLoop(cl) = spec.pattern else {
+            return;
+        };
+        if now >= spec.stop_ns {
+            return;
+        }
+        let li = self.emit_of_flow[&flow];
+        let elapsed = now.saturating_sub(spec.start_ns);
+        let gap = cl.next_arrival_gap(&mut self.emit[li].rng);
+        let accepted = cl.accept(elapsed, &mut self.emit[li].rng);
+        let next = now.saturating_add(gap);
+        if next < spec.stop_ns {
+            self.wheel.schedule(next, LocalEvent::XferArrive { flow });
+        }
+        if !accepted {
+            return;
+        }
+        let size = cl.draw_size(&mut self.emit[li].rng);
+        self.stats[flow].transfers_started += 1;
+        let st = self.emit[li].cl.as_mut().expect("cl state");
+        if st.active {
+            st.pending.push_back((now, size));
+            return;
+        }
+        st.start_transfer(&cl, now, size, now);
+        let at = now.saturating_add(cl.pacing_ns.max(1));
+        if at < spec.stop_ns && !st.chain_live {
+            st.chain_live = true;
+            self.wheel.schedule(at, LocalEvent::SourceEmit { flow });
+        }
+    }
+
+    /// A delivery ack reaching the flow's ingress: window update, then
+    /// transfer progress, then (maybe) a chain restart.
+    fn on_ack(&mut self, now: SimTime, flow: FlowId, seq: u64, ecn: bool, ctx: &SharedCtx<'_>) {
+        let spec = &ctx.flows[flow];
+        let TrafficPattern::ClosedLoop(cl) = spec.pattern else {
+            return;
+        };
+        let li = self.emit_of_flow[&flow];
+        let st = self.emit[li].cl.as_mut().expect("cl state");
+        if !st.active {
+            // Late ack of a transfer a spurious RTO already finished (the
+            // timeout's re-sends covered the tail): nothing left to credit.
+            return;
+        }
+        st.inflight = st.inflight.saturating_sub(1);
+        st.last_progress_ns = now;
+        if ecn && seq >= st.ecn_barrier_seq {
+            // One multiplicative decrease per window of marks: further
+            // marks on packets sent before this point don't cut again.
+            st.cwnd = (st.cwnd / 2).max(1);
+            st.ssthresh = st.cwnd.max(2);
+            st.ca_acks = 0;
+            st.ecn_barrier_seq = self.stats[flow].sent;
+            self.stats[flow].cwnd_cuts += 1;
+        } else if !ecn {
+            if st.cwnd < st.ssthresh {
+                st.cwnd += 1;
+            } else {
+                st.ca_acks += 1;
+                if st.ca_acks >= st.cwnd {
+                    st.cwnd += 1;
+                    st.ca_acks = 0;
+                }
+            }
+            st.cwnd = st.cwnd.min(cl.max_cwnd.max(1));
+        }
+        if st.remaining > 0 {
+            st.remaining -= 1;
+            if st.remaining == 0 {
+                // Transfer complete: FCT spans arrival (queue wait
+                // included) to last ack.
+                let fct = now.saturating_sub(st.birth_ns);
+                st.active = false;
+                st.inflight = 0;
+                st.unsent = 0;
+                let next = st.pending.pop_front();
+                self.stats[flow].transfers_completed += 1;
+                self.stats[flow].fct_sum_ns += fct;
+                self.stats[flow].fct_hist.record(fct);
+                if cl.sla_fct_ns > 0 && fct > cl.sla_fct_ns {
+                    self.stats[flow].sla_violations += 1;
+                }
+                if let Some((birth, size)) = next {
+                    let st = self.emit[li].cl.as_mut().expect("cl state");
+                    st.start_transfer(&cl, birth, size, now);
+                    let at = now.saturating_add(cl.pacing_ns.max(1));
+                    if at < spec.stop_ns && !st.chain_live {
+                        st.chain_live = true;
+                        self.wheel.schedule(at, LocalEvent::SourceEmit { flow });
+                    }
+                }
+                return;
+            }
+        }
+        let st = self.emit[li].cl.as_mut().expect("cl state");
+        if st.active && st.unsent > 0 && st.inflight < st.cwnd && !st.chain_live {
+            let at = now.saturating_add(cl.pacing_ns.max(1));
+            if at < spec.stop_ns {
+                st.chain_live = true;
+                self.wheel.schedule(at, LocalEvent::SourceEmit { flow });
+            }
+        }
+    }
+
+    /// The flow's lazy stall timer: if no ack landed within `rto_ns`,
+    /// presume the whole window lost (Tahoe), re-queue it and collapse
+    /// the window; either way re-arm while the run is still inside the
+    /// flow's active window.
+    fn on_rto_check(&mut self, now: SimTime, flow: FlowId, ctx: &SharedCtx<'_>) {
+        let spec = &ctx.flows[flow];
+        let TrafficPattern::ClosedLoop(cl) = spec.pattern else {
+            return;
+        };
+        let li = self.emit_of_flow[&flow];
+        let st = self.emit[li].cl.as_mut().expect("cl state");
+        st.rto_live = false;
+        if now >= spec.stop_ns {
+            // Let the run drain: no timer outlives the flow's window.
+            return;
+        }
+        if st.active && st.inflight > 0 && now.saturating_sub(st.last_progress_ns) >= cl.rto_ns {
+            let lost = st.inflight;
+            st.unsent += lost;
+            st.inflight = 0;
+            st.ssthresh = (st.cwnd / 2).max(2);
+            st.cwnd = 1;
+            st.ca_acks = 0;
+            st.last_progress_ns = now;
+            self.stats[flow].retransmits += lost;
+            self.stats[flow].cwnd_cuts += 1;
+            let st = self.emit[li].cl.as_mut().expect("cl state");
+            if !st.chain_live {
+                let at = now.saturating_add(cl.pacing_ns.max(1));
+                if at < spec.stop_ns {
+                    st.chain_live = true;
+                    self.wheel.schedule(at, LocalEvent::SourceEmit { flow });
+                }
+            }
+        }
+        let st = self.emit[li].cl.as_mut().expect("cl state");
+        if st.active && (st.inflight > 0 || st.unsent > 0) {
+            st.rto_live = true;
+            self.wheel.schedule(
+                now.saturating_add(cl.rto_ns.max(1)),
+                LocalEvent::RtoCheck { flow },
+            );
         }
     }
 
@@ -362,19 +724,33 @@ impl<S: TelemetrySink> ShardState<S> {
                 None => SOURCE_LANE + packet.flow as u64,
             };
             // The router boundary: materialize the wire packet from the
-            // flow's interned template plus the in-flight delta.
+            // flow's interned template plus the in-flight delta. The ECN
+            // mark rides alongside — routers don't read it.
             let inner = ctx.templates[packet.flow].materialize(&packet.stack, packet.seq);
-            live.push((inner, packet.flow, packet.seq, packet.sent_ns, port));
+            live.push((
+                inner,
+                packet.flow,
+                packet.seq,
+                packet.sent_ns,
+                packet.ecn,
+                port,
+            ));
         }
         let mut outs = std::mem::take(&mut self.batch_outs);
         outs.clear();
         let li = self.node_local[&node];
         let router = &mut self.nodes[li];
-        for (inner, flow, seq, sent_ns, port) in live.drain(..) {
-            outs.push((router.on_packet_via(now, inner, port), flow, seq, sent_ns));
+        for (inner, flow, seq, sent_ns, ecn, port) in live.drain(..) {
+            outs.push((
+                router.on_packet_via(now, inner, port),
+                flow,
+                seq,
+                sent_ns,
+                ecn,
+            ));
         }
-        for (out, flow, seq, sent_ns) in outs.drain(..) {
-            self.apply_forwarding(now, node, out, flow, seq, sent_ns, ctx);
+        for (out, flow, seq, sent_ns, ecn) in outs.drain(..) {
+            self.apply_forwarding(now, node, out, flow, seq, sent_ns, ecn, ctx);
         }
         self.batch_live = live;
         self.batch_outs = outs;
@@ -391,6 +767,7 @@ impl<S: TelemetrySink> ShardState<S> {
         flow: FlowId,
         seq: u64,
         sent_ns: SimTime,
+        ecn: bool,
         ctx: &SharedCtx<'_>,
     ) {
         let done = now + out.latency_ns;
@@ -408,14 +785,14 @@ impl<S: TelemetrySink> ShardState<S> {
                 debug_assert_eq!(owner, self.id, "a node transmits only on its own channels");
                 // Back to delta form for the wire: only the stack (and
                 // its derived EtherType) changed inside the router.
-                let sp = ctx.templates[flow].delta_of(inner, flow, seq, sent_ns);
+                let sp = ctx.templates[flow].delta_of(inner, flow, seq, sent_ns, ecn);
                 if !ctx.chan_state[chan].up {
                     // Steered onto a dead link by stale forwarding state.
                     self.channels[local].fault_drops += 1;
                     self.count_fault_loss(ctx.chan_link[chan], flow, ctx);
                     return;
                 }
-                self.offer_to_channel(chan, local, sp, done);
+                self.offer_to_channel(chan, local, sp, done, ctx);
             }
             Action::Deliver(inner) => {
                 let wire = inner.wire_len();
@@ -430,6 +807,35 @@ impl<S: TelemetrySink> ShardState<S> {
                     }
                 }
                 self.stats[flow].on_delivered(done, delay, wire);
+                // Closed-loop delivery: echo an ack (with the congestion
+                // mark) back to the ingress, arriving one static
+                // shortest-path propagation delay later. The reverse
+                // path is modeled reliable and uncongested; its delay is
+                // never below any cross-shard lookahead on the route, so
+                // the ack can cross shards through the normal outbox
+                // without violating either engine's conservative bound.
+                if matches!(ctx.flows[flow].pattern, TrafficPattern::ClosedLoop(_)) {
+                    let ingress = ctx.flows[flow].ingress;
+                    let d = ctx
+                        .ack_dist
+                        .get(&ingress)
+                        .and_then(|m| m.get(&node))
+                        .copied();
+                    if let Some(d) = d {
+                        let at = done.saturating_add(d.max(1));
+                        let ev = LocalEvent::Ack { flow, seq, ecn };
+                        let dest = ctx.flow_shard[flow];
+                        if dest == self.id {
+                            self.wheel.schedule(at, ev);
+                        } else {
+                            self.outbox.push((at, dest, ev));
+                        }
+                    }
+                    // A delivering node with no static path back to the
+                    // ingress can't ack; the sender's RTO covers it, and
+                    // the (deterministic) omission is identical at every
+                    // shard count.
+                }
             }
             Action::Discard(cause) => {
                 self.stats[flow].on_discarded(cause);
@@ -437,8 +843,29 @@ impl<S: TelemetrySink> ShardState<S> {
         }
     }
 
-    fn offer_to_channel(&mut self, chan: usize, local: usize, packet: SimPacket, at: SimTime) {
+    fn offer_to_channel(
+        &mut self,
+        chan: usize,
+        local: usize,
+        mut packet: SimPacket,
+        at: SimTime,
+        ctx: &SharedCtx<'_>,
+    ) {
         let flow = packet.flow;
+        // ECN-style congestion marking: a closed-loop flow's packet gets
+        // marked when it meets a queue at or past the flow's threshold.
+        // Marked before the offer so a packet that ends up tail-dropped
+        // was seen as congestion either way.
+        if !packet.ecn {
+            if let TrafficPattern::ClosedLoop(cl) = ctx.flows[flow].pattern {
+                if cl.ecn_threshold > 0
+                    && self.channels[local].queue.len() as u32 >= cl.ecn_threshold
+                {
+                    packet.ecn = true;
+                    self.stats[flow].ecn_marks += 1;
+                }
+            }
+        }
         let c = &mut self.channels[local];
         match c.offer(packet) {
             OfferResult::Dropped => {
@@ -504,7 +931,7 @@ impl<S: TelemetrySink> ShardState<S> {
         if ctx.chan_dest_shard[chan] == self.id {
             self.wheel.schedule(at, ev);
         } else {
-            self.outbox.push((at, ev));
+            self.outbox.push((at, ctx.chan_dest_shard[chan], ev));
         }
     }
 

@@ -11,7 +11,9 @@
 //! * [`event`] — the time-ordered event queue and control events.
 //! * [`queue`] — FIFO and CoS-priority link queues with tail drop.
 //! * [`link`] — directed channels with serialization + propagation delay.
-//! * [`traffic`] — CBR, Poisson and on/off generators.
+//! * [`traffic`] — CBR, Poisson, on/off and closed-loop generators.
+//! * [`subscriber`] — subscriber populations expanded into per-SLA-class
+//!   closed-loop flows (diurnal load, flash crowds).
 //! * [`stats`] — per-flow delay/jitter/loss/throughput accounting.
 //! * [`fault`] — scheduled link failures and the timed-restoration model.
 //! * [`node`] — the [`Node`] trait the engine drives at each vertex.
@@ -30,6 +32,7 @@ pub mod queue;
 pub mod scale;
 pub mod sim;
 pub mod stats;
+pub mod subscriber;
 pub mod traffic;
 
 pub use engine::{EngineKind, EngineStats};
@@ -43,7 +46,8 @@ pub use queue::{LinkQueue, QueueDiscipline};
 pub use scale::{ScaleFamily, ScaleSpec, ScaleWorkload};
 pub use sim::{ControlMode, ControlSummary, RouterKind, SimReport, Simulation};
 pub use stats::{FlowId, FlowStats};
-pub use traffic::{FlowSpec, TrafficPattern};
+pub use subscriber::{SlaClass, SubscriberModel};
+pub use traffic::{ClosedLoopSpec, FlowSpec, TrafficPattern};
 
 // Telemetry surface, re-exported so simulator users don't need a direct
 // `mpls-telemetry` dependency to configure a run or read its report.

@@ -111,18 +111,21 @@ impl FlowTemplate {
             sent_ns,
             precedence: self.precedence,
             base_wire: self.base_wire,
+            ecn: false,
         }
     }
 
     /// Re-wraps a router's output packet as its in-flight delta. Only
     /// the label stack can have changed — the routers rewrite stacks
-    /// (and the EtherType derived from them) and nothing else.
+    /// (and the EtherType derived from them) and nothing else. The
+    /// congestion mark rides the delta across the router visit.
     pub fn delta_of(
         &self,
         packet: MplsPacket,
         flow: FlowId,
         seq: u64,
         sent_ns: SimTime,
+        ecn: bool,
     ) -> SimPacket {
         debug_assert_eq!(
             usize::try_from(self.base_wire).unwrap() + packet.stack.wire_len(),
@@ -136,6 +139,7 @@ impl FlowTemplate {
             sent_ns,
             precedence: self.precedence,
             base_wire: self.base_wire,
+            ecn,
         }
     }
 }
@@ -163,6 +167,10 @@ pub struct SimPacket {
     pub precedence: u8,
     /// Template constant: wire bytes with an empty label stack.
     pub base_wire: u32,
+    /// ECN-style congestion mark: set when the packet was offered to a
+    /// link queue at or past its flow's mark threshold, echoed back to
+    /// closed-loop senders in the delivery ack.
+    pub ecn: bool,
 }
 
 impl SimPacket {

@@ -49,6 +49,29 @@ pub struct FlowStats {
     pub last_delivery_ns: u64,
     /// Full delay distribution (log-bucketed).
     pub delay_hist: LatencyHistogram,
+    /// Closed-loop only: emissions that were re-sends of presumed-lost
+    /// packets. Each retransmission is also counted in `sent`, so the
+    /// conservation identity `sent = delivered + drops` holds unchanged.
+    pub retransmits: u64,
+    /// Closed-loop only: transfers whose arrival was accepted.
+    pub transfers_started: u64,
+    /// Closed-loop only: transfers fully delivered.
+    pub transfers_completed: u64,
+    /// Closed-loop only: sum of flow completion times (arrival →
+    /// last ack, queue wait included), for completed transfers.
+    pub fct_sum_ns: u64,
+    /// Closed-loop only: flow-completion-time distribution.
+    pub fct_hist: LatencyHistogram,
+    /// Closed-loop only: completed transfers that blew their class SLA.
+    pub sla_violations: u64,
+    /// Closed-loop only: congestion marks applied to this flow's packets
+    /// at link queues past the ECN threshold.
+    pub ecn_marks: u64,
+    /// Closed-loop only: peak congestion window reached (packets).
+    pub cwnd_peak: u64,
+    /// Closed-loop only: multiplicative decreases taken (ECN halvings
+    /// plus RTO collapses) — the "cwnd visibly reacted" counter.
+    pub cwnd_cuts: u64,
     #[serde(skip)]
     last_delay_ns: Option<u64>,
 }
@@ -114,6 +137,15 @@ impl FlowStats {
         self.link_dropped += other.link_dropped;
         self.loss_dropped += other.loss_dropped;
         self.drop_causes.merge(&other.drop_causes);
+        self.retransmits += other.retransmits;
+        self.transfers_started += other.transfers_started;
+        self.transfers_completed += other.transfers_completed;
+        self.fct_sum_ns += other.fct_sum_ns;
+        self.fct_hist.merge(&other.fct_hist);
+        self.sla_violations += other.sla_violations;
+        self.ecn_marks += other.ecn_marks;
+        self.cwnd_peak = self.cwnd_peak.max(other.cwnd_peak);
+        self.cwnd_cuts += other.cwnd_cuts;
         if other.delivered > 0 {
             if self.delivered == 0 {
                 self.first_delivery_ns = other.first_delivery_ns;
@@ -162,6 +194,15 @@ impl FlowStats {
             0.0
         } else {
             1.0 - self.delivered as f64 / self.sent as f64
+        }
+    }
+
+    /// Mean flow completion time over completed transfers (ns).
+    pub fn mean_fct_ns(&self) -> f64 {
+        if self.transfers_completed == 0 {
+            0.0
+        } else {
+            self.fct_sum_ns as f64 / self.transfers_completed as f64
         }
     }
 

@@ -1,0 +1,192 @@
+//! Subscriber-population workload model.
+//!
+//! A [`SubscriberModel`] describes a population of subscribers behind
+//! one ingress LER, split into SLA classes. Each class expands to one
+//! aggregate [`ClosedLoop`](crate::traffic::TrafficPattern::ClosedLoop)
+//! flow: the superposition of many independent subscribers' transfer
+//! arrivals is (very nearly) Poisson at the aggregate rate, so the
+//! per-class arrival process is the population rate — subscribers ×
+//! per-subscriber rate × class share — modulated by the shared diurnal
+//! curve and flash-crowd window. Class precedence maps straight onto
+//! the existing CoS machinery (the TOS byte steers CoS-aware queueing
+//! and TE class selection), and each class carries its own
+//! flow-completion-time SLA, scored per flow in
+//! [`FlowStats::sla_violations`](crate::stats::FlowStats).
+
+use crate::traffic::{ClosedLoopSpec, FlowSpec, TrafficPattern};
+use mpls_control::NodeId;
+use mpls_packet::ipv4::Ipv4Addr;
+use serde::{Deserialize, Serialize};
+
+/// One service tier of the subscriber population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlaClass {
+    /// Class name, embedded in the expanded flow's name
+    /// (`"<model>/<class>"`).
+    pub name: String,
+    /// IP precedence (0–7) for the class's packets — the CoS hook.
+    pub precedence: u8,
+    /// Share of the subscriber population in this class, in percent.
+    /// Shares need not sum to 100; each class's rate is independent.
+    pub weight_pct: u32,
+    /// Flow-completion-time SLA (0 disables), scored per transfer.
+    pub sla_fct_ns: u64,
+    /// Payload bytes per packet for this class's transfers.
+    pub payload_bytes: usize,
+}
+
+impl SlaClass {
+    /// A three-tier residential mix: gold interactive, silver web,
+    /// bronze bulk.
+    pub fn residential_mix() -> Vec<SlaClass> {
+        vec![
+            SlaClass {
+                name: "gold".into(),
+                precedence: 5,
+                weight_pct: 10,
+                sla_fct_ns: 20_000_000,
+                payload_bytes: 400,
+            },
+            SlaClass {
+                name: "silver".into(),
+                precedence: 2,
+                weight_pct: 30,
+                sla_fct_ns: 100_000_000,
+                payload_bytes: 900,
+            },
+            SlaClass {
+                name: "bronze".into(),
+                precedence: 0,
+                weight_pct: 60,
+                sla_fct_ns: 0,
+                payload_bytes: 1200,
+            },
+        ]
+    }
+}
+
+/// A subscriber population behind one ingress, expanded into one
+/// aggregate closed-loop flow per SLA class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubscriberModel {
+    /// Model name; expanded flows are named `"<name>/<class>"`.
+    pub name: String,
+    /// Population size.
+    pub subscribers: u64,
+    /// Mean think time of one subscriber between transfers, at the
+    /// diurnal peak.
+    pub mean_think_ns: u64,
+    /// Shared closed-loop knobs: transfer sizes, congestion control,
+    /// diurnal curve and flash crowd. Per-class fields
+    /// (`sla_fct_ns`) are overridden from each [`SlaClass`].
+    pub base: ClosedLoopSpec,
+    /// The service tiers.
+    pub classes: Vec<SlaClass>,
+}
+
+impl SubscriberModel {
+    /// The aggregate mean transfer-arrival gap for a class holding
+    /// `weight_pct` percent of the population: `subscribers` sources
+    /// each with mean think `mean_think_ns` superpose to rate
+    /// `subs * share / think`, i.e. gap `think / (subs * share)`.
+    /// Clamped to ≥ 1 ns; degenerate populations (0 subscribers or a
+    /// 0-weight class) collapse to an effectively silent source with a
+    /// huge gap rather than a panic.
+    pub fn class_arrival_ns(&self, weight_pct: u32) -> u64 {
+        let eff = self.subscribers as f64 * weight_pct as f64 / 100.0;
+        if eff <= 0.0 {
+            return u64::MAX / 4;
+        }
+        ((self.mean_think_ns.max(1) as f64 / eff) as u64).max(1)
+    }
+
+    /// Expands the population into per-class closed-loop [`FlowSpec`]s
+    /// from `ingress` toward `dst_addr`. Classes are emitted in
+    /// declaration order, so flow ids — and with them RNG streams and
+    /// canonical event keys — are stable for a given model.
+    pub fn flows(
+        &self,
+        ingress: NodeId,
+        src_addr: Ipv4Addr,
+        dst_addr: Ipv4Addr,
+        start_ns: u64,
+        stop_ns: u64,
+    ) -> Vec<FlowSpec> {
+        self.classes
+            .iter()
+            .map(|class| {
+                let mut cl = self.base;
+                cl.mean_arrival_ns = self.class_arrival_ns(class.weight_pct);
+                cl.sla_fct_ns = class.sla_fct_ns;
+                FlowSpec {
+                    name: format!("{}/{}", self.name, class.name),
+                    ingress,
+                    src_addr,
+                    dst_addr,
+                    payload_bytes: class.payload_bytes,
+                    precedence: class.precedence.min(7),
+                    pattern: TrafficPattern::ClosedLoop(cl),
+                    start_ns,
+                    stop_ns,
+                    police: None,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> SubscriberModel {
+        SubscriberModel {
+            name: "pop".into(),
+            subscribers: 1000,
+            mean_think_ns: 1_000_000_000,
+            base: ClosedLoopSpec::default(),
+            classes: SlaClass::residential_mix(),
+        }
+    }
+
+    #[test]
+    fn aggregate_rate_scales_with_population_and_share() {
+        let m = model();
+        // 1000 subs, 10% share, 1s think => 100 transfers/s => 10ms gap.
+        assert_eq!(m.class_arrival_ns(10), 10_000_000);
+        assert_eq!(m.class_arrival_ns(60), 1_000_000_000 / 600);
+    }
+
+    #[test]
+    fn degenerate_populations_go_quiet_not_panicky() {
+        let mut m = model();
+        m.subscribers = 0;
+        assert!(m.class_arrival_ns(50) > 1 << 60);
+        m.subscribers = 1000;
+        assert!(m.class_arrival_ns(0) > 1 << 60);
+        m.mean_think_ns = 0;
+        assert!(m.class_arrival_ns(100) >= 1);
+    }
+
+    #[test]
+    fn expansion_is_per_class_and_stable() {
+        let m = model();
+        let src = mpls_packet::ipv4::parse_addr("10.0.0.1").unwrap();
+        let dst = mpls_packet::ipv4::parse_addr("192.168.1.1").unwrap();
+        let flows = m.flows(0, src, dst, 0, 5_000_000);
+        assert_eq!(flows.len(), 3);
+        assert_eq!(flows[0].name, "pop/gold");
+        assert_eq!(flows[0].precedence, 5);
+        let TrafficPattern::ClosedLoop(cl) = flows[0].pattern else {
+            panic!("expanded flow is closed-loop");
+        };
+        assert_eq!(cl.sla_fct_ns, 20_000_000);
+        assert_eq!(cl.mean_arrival_ns, 10_000_000);
+        // Bronze is the bulk tier: faster aggregate arrivals, no SLA.
+        let TrafficPattern::ClosedLoop(cl) = flows[2].pattern else {
+            panic!("expanded flow is closed-loop");
+        };
+        assert_eq!(cl.sla_fct_ns, 0);
+        assert!(cl.mean_arrival_ns < 10_000_000);
+    }
+}

@@ -9,7 +9,11 @@
 //!   fixed cadence);
 //! * [`TrafficPattern::Poisson`] — memoryless arrivals (aggregate web
 //!   traffic);
-//! * [`TrafficPattern::OnOff`] — bursty on/off (video / bulk transfer).
+//! * [`TrafficPattern::OnOff`] — bursty on/off (video / bulk transfer);
+//! * [`TrafficPattern::ClosedLoop`] — congestion-controlled transfers: a
+//!   subscriber-class aggregate whose sending rate reacts to the network
+//!   (AIMD window, ECN-style marks, retransmission timeouts) instead of
+//!   blasting open-loop.
 
 use mpls_packet::ipv4::Ipv4Addr;
 use rand::Rng;
@@ -37,6 +41,165 @@ pub enum TrafficPattern {
         /// Inter-packet gap inside a burst.
         interval_ns: u64,
     },
+    /// Closed-loop congestion-controlled transfers (see
+    /// [`ClosedLoopSpec`]). The engine drives these from delivery acks,
+    /// not from `next_gap`.
+    ClosedLoop(ClosedLoopSpec),
+}
+
+/// Parameters of one closed-loop subscriber-class aggregate.
+///
+/// The flow is a serial server of *transfers*: transfer arrivals are a
+/// nonhomogeneous Poisson process (baseline rate modulated by a diurnal
+/// curve and an optional flash-crowd window, realized by thinning),
+/// transfer sizes are bounded-Pareto in packets, and each transfer is
+/// clocked out under an AIMD congestion window — slow start to
+/// `ssthresh`, +1 packet per window above it, halved on an ECN-marked
+/// ack, collapsed to 1 on a retransmission timeout.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClosedLoopSpec {
+    /// Mean gap between transfer arrivals at the baseline (diurnal peak,
+    /// no flash crowd) rate.
+    pub mean_arrival_ns: u64,
+    /// Smallest transfer, in packets.
+    pub size_min_pkts: u64,
+    /// Largest transfer, in packets.
+    pub size_max_pkts: u64,
+    /// Bounded-Pareto tail exponent × 1000 (1200 ⇒ α = 1.2, the classic
+    /// mice-and-elephants web mix). Kept integral so scenario JSON stays
+    /// exact.
+    pub size_alpha_milli: u32,
+    /// Congestion-window cap, in packets.
+    pub max_cwnd: u64,
+    /// Retransmission timeout: no ack for this long with packets in
+    /// flight ⇒ they are presumed lost, re-queued for sending, and the
+    /// window collapses to 1 (Tahoe-style).
+    pub rto_ns: u64,
+    /// ECN-style mark threshold: a packet offered to a link queue
+    /// already holding at least this many packets is marked, and the
+    /// echoed mark halves the sender's window (at most once per
+    /// in-flight window). 0 disables marking.
+    pub ecn_threshold: u32,
+    /// Gap between back-to-back window packets. Clamped to ≥ 1 ns so
+    /// same-instant source events keep unique canonical keys.
+    pub pacing_ns: u64,
+    /// Flow-completion-time SLA for this class (queue wait included);
+    /// transfers finishing later count as violations. 0 disables.
+    pub sla_fct_ns: u64,
+    /// Diurnal rate-curve period; 0 means flat load.
+    pub diurnal_period_ns: u64,
+    /// Diurnal trough as a percentage of the peak arrival rate
+    /// (100 = flat).
+    pub diurnal_trough_pct: u8,
+    /// Flash-crowd window start (relative to the flow's start).
+    pub flash_start_ns: u64,
+    /// Flash-crowd window length; 0 disables the flash crowd.
+    pub flash_duration_ns: u64,
+    /// Arrival-rate multiplier inside the flash window as a percentage
+    /// of baseline (300 = 3× arrivals). Values ≤ 100 disable it.
+    pub flash_multiplier_pct: u32,
+}
+
+impl Default for ClosedLoopSpec {
+    fn default() -> Self {
+        Self {
+            mean_arrival_ns: 2_000_000,
+            size_min_pkts: 4,
+            size_max_pkts: 256,
+            size_alpha_milli: 1200,
+            max_cwnd: 32,
+            rto_ns: 20_000_000,
+            ecn_threshold: 16,
+            pacing_ns: 2_000,
+            sla_fct_ns: 0,
+            diurnal_period_ns: 0,
+            diurnal_trough_pct: 100,
+            flash_start_ns: 0,
+            flash_duration_ns: 0,
+            flash_multiplier_pct: 100,
+        }
+    }
+}
+
+impl ClosedLoopSpec {
+    /// Flash-crowd multiplier as a factor ≥ 1.
+    fn flash_factor(&self) -> f64 {
+        (self.flash_multiplier_pct.max(100) as f64) / 100.0
+    }
+
+    /// Peak instantaneous arrival-rate factor over the whole run —
+    /// candidates are drawn at this rate and thinned down to the
+    /// instantaneous rate.
+    pub fn peak_rate_factor(&self) -> f64 {
+        if self.flash_duration_ns > 0 {
+            self.flash_factor()
+        } else {
+            1.0
+        }
+    }
+
+    /// Instantaneous arrival-rate factor at `elapsed_ns` since the flow
+    /// started: diurnal raised-cosine (peak 1.0 at phase 0, trough at
+    /// half period) times the flash-crowd multiplier inside its window.
+    pub fn rate_factor(&self, elapsed_ns: u64) -> f64 {
+        let mut f = 1.0;
+        if self.diurnal_period_ns > 0 && self.diurnal_trough_pct < 100 {
+            let trough = self.diurnal_trough_pct as f64 / 100.0;
+            let phase =
+                (elapsed_ns % self.diurnal_period_ns) as f64 / self.diurnal_period_ns as f64;
+            let wave = 0.5 * (1.0 + (phase * std::f64::consts::TAU).cos());
+            f *= trough + (1.0 - trough) * wave;
+        }
+        if self.flash_duration_ns > 0
+            && elapsed_ns >= self.flash_start_ns
+            && elapsed_ns - self.flash_start_ns < self.flash_duration_ns
+        {
+            f *= self.flash_factor();
+        }
+        f
+    }
+
+    /// Draws the next candidate-arrival gap (exponential at the peak
+    /// rate; thinning happens at acceptance time via [`Self::accept`]).
+    pub fn next_arrival_gap<R: Rng>(&self, rng: &mut R) -> u64 {
+        let mean = self.mean_arrival_ns.max(1) as f64 / self.peak_rate_factor();
+        let u: f64 = rng.random_range(1e-12..1.0);
+        ((-(u.ln()) * mean) as u64).max(1)
+    }
+
+    /// Thinning acceptance for a candidate arrival at `elapsed_ns`.
+    pub fn accept<R: Rng>(&self, elapsed_ns: u64, rng: &mut R) -> bool {
+        let p = self.rate_factor(elapsed_ns) / self.peak_rate_factor();
+        rng.random_range(0.0..1.0) < p
+    }
+
+    /// Draws a bounded-Pareto transfer size in packets via the inverse
+    /// CDF, clamped into `[size_min_pkts, size_max_pkts]`.
+    pub fn draw_size<R: Rng>(&self, rng: &mut R) -> u64 {
+        let lo = self.size_min_pkts.max(1);
+        let hi = self.size_max_pkts.max(lo);
+        if lo == hi {
+            return lo;
+        }
+        let alpha = (self.size_alpha_milli.max(1) as f64) / 1000.0;
+        let (l, h) = (lo as f64, hi as f64);
+        let u: f64 = rng.random_range(0.0..1.0);
+        let x = l / (1.0 - u * (1.0 - (l / h).powf(alpha))).powf(1.0 / alpha);
+        (x as u64).clamp(lo, hi)
+    }
+
+    /// Mean transfer size in packets (for offered-load estimates).
+    pub fn mean_size_pkts(&self) -> f64 {
+        let lo = self.size_min_pkts.max(1) as f64;
+        let hi = self.size_max_pkts.max(self.size_min_pkts.max(1)) as f64;
+        let alpha = (self.size_alpha_milli.max(1) as f64) / 1000.0;
+        if (alpha - 1.0).abs() < 1e-9 {
+            return lo * (hi / lo).ln() / (1.0 - lo / hi).max(1e-12);
+        }
+        let num =
+            lo.powf(alpha) * alpha / (alpha - 1.0) * (lo.powf(1.0 - alpha) - hi.powf(1.0 - alpha));
+        num / (1.0 - (lo / hi).powf(alpha)).max(1e-12)
+    }
 }
 
 impl TrafficPattern {
@@ -50,6 +213,12 @@ impl TrafficPattern {
 
     /// The next inter-arrival gap from `now_in_cycle` (time since the
     /// flow started, used by the on/off pattern), given a random source.
+    ///
+    /// Total for every parameter value: degenerate intervals (zeros,
+    /// near-`u64::MAX` sums) clamp instead of panicking or dividing by
+    /// zero, and every returned gap is ≥ 1 ns so emission chains always
+    /// advance. `f64 → u64` casts saturate by language rule (NaN → 0,
+    /// +∞ → `u64::MAX`), so the Poisson arm cannot wrap either.
     pub fn next_gap<R: Rng>(&self, elapsed_ns: u64, rng: &mut R) -> u64 {
         match *self {
             TrafficPattern::Cbr { interval_ns } => interval_ns.max(1),
@@ -64,15 +233,23 @@ impl TrafficPattern {
                 off_ns,
                 interval_ns,
             } => {
-                let period = on_ns + off_ns;
+                let period = on_ns.saturating_add(off_ns);
+                if period == 0 {
+                    // Degenerate all-zero cycle: plain CBR.
+                    return interval_ns.max(1);
+                }
                 let pos = elapsed_ns % period;
-                if pos + interval_ns < on_ns {
+                if pos.saturating_add(interval_ns) < on_ns {
                     interval_ns.max(1)
                 } else {
                     // Jump to the start of the next burst.
                     (period - pos).max(1)
                 }
             }
+            // Closed-loop flows are clocked by acks, not by a gap
+            // process; the pacing gap is the only sane answer if a
+            // caller asks anyway.
+            TrafficPattern::ClosedLoop(cl) => cl.pacing_ns.max(1),
         }
     }
 }
@@ -111,17 +288,27 @@ impl FlowSpec {
     pub fn offered_bps(&self) -> f64 {
         let pkt_bits = (self.payload_bytes + 34 + 20) as f64 * 8.0;
         match self.pattern {
-            TrafficPattern::Cbr { interval_ns } => pkt_bits * 1e9 / interval_ns as f64,
+            TrafficPattern::Cbr { interval_ns } => pkt_bits * 1e9 / interval_ns.max(1) as f64,
             TrafficPattern::Poisson { mean_interval_ns } => {
-                pkt_bits * 1e9 / mean_interval_ns as f64
+                pkt_bits * 1e9 / mean_interval_ns.max(1) as f64
             }
             TrafficPattern::OnOff {
                 on_ns,
                 off_ns,
                 interval_ns,
             } => {
-                let duty = on_ns as f64 / (on_ns + off_ns) as f64;
-                pkt_bits * 1e9 / interval_ns as f64 * duty
+                let period = on_ns.saturating_add(off_ns).max(1);
+                let duty = if on_ns == 0 && off_ns == 0 {
+                    1.0
+                } else {
+                    on_ns as f64 / period as f64
+                };
+                pkt_bits * 1e9 / interval_ns.max(1) as f64 * duty
+            }
+            TrafficPattern::ClosedLoop(cl) => {
+                // Offered = arrivals/s × mean transfer size; the network
+                // may of course deliver less — that is the point.
+                pkt_bits * cl.mean_size_pkts() * 1e9 / cl.mean_arrival_ns.max(1) as f64
             }
         }
     }
@@ -189,5 +376,112 @@ mod tests {
         };
         // 200 B / 20 ms = 80 kb/s.
         assert!((f.offered_bps() - 80_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn degenerate_intervals_never_panic_and_always_advance() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cases = [
+            TrafficPattern::Cbr { interval_ns: 0 },
+            TrafficPattern::Poisson {
+                mean_interval_ns: 0,
+            },
+            TrafficPattern::Poisson {
+                mean_interval_ns: u64::MAX,
+            },
+            TrafficPattern::OnOff {
+                on_ns: 0,
+                off_ns: 0,
+                interval_ns: 0,
+            },
+            TrafficPattern::OnOff {
+                on_ns: u64::MAX,
+                off_ns: u64::MAX,
+                interval_ns: u64::MAX,
+            },
+            TrafficPattern::OnOff {
+                on_ns: 0,
+                off_ns: 7,
+                interval_ns: 0,
+            },
+            TrafficPattern::OnOff {
+                on_ns: 5,
+                off_ns: 0,
+                interval_ns: u64::MAX,
+            },
+        ];
+        for p in cases {
+            for t in [0u64, 1, 1000, u64::MAX - 1, u64::MAX] {
+                let gap = p.next_gap(t, &mut rng);
+                assert!(gap >= 1, "{p:?} at t={t} returned gap {gap}");
+            }
+            // Loads are finite even with zero denominators.
+            let f = FlowSpec {
+                name: "d".into(),
+                ingress: 0,
+                src_addr: 1,
+                dst_addr: 2,
+                payload_bytes: 100,
+                precedence: 0,
+                pattern: p,
+                start_ns: 0,
+                stop_ns: 1,
+                police: None,
+            };
+            assert!(f.offered_bps().is_finite(), "{p:?} offered infinite load");
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_sizes_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let cl = ClosedLoopSpec {
+            size_min_pkts: 4,
+            size_max_pkts: 256,
+            size_alpha_milli: 1200,
+            ..ClosedLoopSpec::default()
+        };
+        let mut seen_small = false;
+        let mut seen_large = false;
+        for _ in 0..5000 {
+            let s = cl.draw_size(&mut rng);
+            assert!((4..=256).contains(&s), "size {s} out of range");
+            seen_small |= s < 16;
+            seen_large |= s > 64;
+        }
+        assert!(seen_small && seen_large, "heavy tail not exercised");
+        // Degenerate: min == max, zero alpha.
+        let point = ClosedLoopSpec {
+            size_min_pkts: 7,
+            size_max_pkts: 7,
+            size_alpha_milli: 0,
+            ..ClosedLoopSpec::default()
+        };
+        assert_eq!(point.draw_size(&mut rng), 7);
+        assert!(cl.mean_size_pkts() > 4.0 && cl.mean_size_pkts() < 256.0);
+    }
+
+    #[test]
+    fn rate_curve_shapes() {
+        let cl = ClosedLoopSpec {
+            diurnal_period_ns: 1_000_000,
+            diurnal_trough_pct: 20,
+            flash_start_ns: 10_000_000,
+            flash_duration_ns: 1_000_000,
+            flash_multiplier_pct: 300,
+            ..ClosedLoopSpec::default()
+        };
+        // Peak at phase 0, trough at half period.
+        assert!((cl.rate_factor(0) - 1.0).abs() < 1e-9);
+        assert!((cl.rate_factor(500_000) - 0.2).abs() < 1e-9);
+        // Flash window multiplies by 3.
+        assert!((cl.rate_factor(10_000_000) - 3.0).abs() < 1e-9);
+        assert!(cl.rate_factor(11_000_000) <= 1.0);
+        assert!((cl.peak_rate_factor() - 3.0).abs() < 1e-9);
+        // Flat spec is identically 1.
+        let flat = ClosedLoopSpec::default();
+        for t in [0, 123_456, 10_000_000_000] {
+            assert!((flat.rate_factor(t) - 1.0).abs() < 1e-9);
+        }
     }
 }

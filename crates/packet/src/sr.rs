@@ -105,7 +105,17 @@ const fn mix64(mut z: u64) -> u64 {
 /// the same label on every shard, engine and run.
 pub fn entropy_label(src: u32, dst: u32) -> Label {
     let h = mix64(((src as u64) << 32) | dst as u64);
-    let v = (h as u32) & Label::MAX;
+    fold_unreserved(h as u32)
+}
+
+/// Truncates an arbitrary hash to label width and folds it out of the
+/// reserved range. RFC 6790 §4.2 forbids reserved values (0–15) as
+/// entropy labels, but `hash & Label::MAX` alone can land on them 16
+/// times in 2^20 — those collapse onto the first 16 unreserved labels
+/// instead. The fold never overflows label width: a reserved value is
+/// < 16, so the shifted result is at most 31.
+pub fn fold_unreserved(hash: u32) -> Label {
+    let v = hash & Label::MAX;
     if v < Label::FIRST_UNRESERVED.value() {
         Label::from_masked(v + Label::FIRST_UNRESERVED.value())
     } else {
@@ -277,6 +287,33 @@ mod tests {
         assert!(!a.is_reserved());
         // Different flows should (for these inputs) hash differently.
         assert_ne!(a, entropy_label(0x0a00_0002, 0x0a00_0001));
+    }
+
+    #[test]
+    fn fold_is_exhaustively_unreserved_over_the_masked_range() {
+        // Every 20-bit truncation, including all 16 reserved values and
+        // both boundaries, must come out unreserved and in label range.
+        for v in 0..=Label::MAX {
+            let l = fold_unreserved(v);
+            assert!(!l.is_reserved(), "hash {v:#07x} folded to reserved {l}");
+            assert!(l.value() <= Label::MAX);
+            if v >= Label::FIRST_UNRESERVED.value() {
+                assert_eq!(l.value(), v, "unreserved values must pass unchanged");
+            } else {
+                assert_eq!(
+                    l.value(),
+                    v + Label::FIRST_UNRESERVED.value(),
+                    "reserved values must shift onto the first unreserved block"
+                );
+            }
+        }
+        // Bits above label width are truncated, not folded twice.
+        assert_eq!(fold_unreserved(u32::MAX).value(), Label::MAX);
+        assert_eq!(
+            fold_unreserved(0xFFF0_0000),
+            fold_unreserved(0),
+            "only the low 20 bits may matter"
+        );
     }
 
     #[test]

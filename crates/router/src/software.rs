@@ -493,6 +493,59 @@ mod tests {
     }
 
     #[test]
+    fn reprogram_structurally_drops_the_flow_cache() {
+        // An SR recompile (or any control-plane rewrite) downloads fresh
+        // state through `reprogram`, which rebuilds the forwarder — and
+        // with it the flow cache. This pins that: a memoized binding for
+        // a route the new configuration no longer carries must be
+        // unreachable afterwards, never served stale.
+        let (cp, id) = setup();
+        let lsp = cp.lsp(id).unwrap().clone();
+        let timing = SwTimingModel::default();
+        let mut transit: SoftwareRouter<mpls_dataplane::HashFib> =
+            SoftwareRouter::with_options(2, RouterRole::Lsr, &cp.config_for(2), timing, true);
+        let labeled = || {
+            let mut p = packet_to("192.168.1.5");
+            let mut s = LabelStack::new();
+            s.push_parts(lsp.hop_labels[0], CosBits::BEST_EFFORT, 63)
+                .unwrap();
+            p.splice_stack(s);
+            p
+        };
+        // Warm the cache: first packet misses, the repeat hits.
+        assert!(matches!(
+            transit.handle(labeled()).action,
+            Action::Forward { next: 3, .. }
+        ));
+        assert!(matches!(
+            transit.handle(labeled()).action,
+            Action::Forward { next: 3, .. }
+        ));
+        let (hits, misses) = transit.forwarder().cache_stats().unwrap();
+        assert!(
+            hits >= 1 && misses >= 1,
+            "cache must be warm ({hits}/{misses})"
+        );
+
+        // The LSP is retired: reprogram from a control plane that never
+        // signaled it. The label's old next hop (3) is dead state now.
+        let bare = ControlPlane::new(Topology::figure1_example());
+        transit.reprogram(&bare.config_for(2));
+
+        // A stale cache entry would still forward to 3; the rebuilt
+        // forwarder must consult the new FIB and find nothing.
+        assert_eq!(
+            transit.handle(labeled()).action,
+            Action::Discard(DiscardCause::NoEntryFound)
+        );
+        let (h2, _) = transit.forwarder().cache_stats().unwrap();
+        assert_eq!(h2, 0, "the post-reprogram cache must start cold");
+        // The retired forwarder's diagnostics fold into the sticky stats.
+        let s = transit.stats();
+        assert!(s.cache_hits >= hits && s.cache_misses >= misses);
+    }
+
+    #[test]
     fn egress_delivers_unlabeled() {
         let (cp, id) = setup();
         let lsp = cp.lsp(id).unwrap().clone();
